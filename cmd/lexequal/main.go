@@ -1,0 +1,234 @@
+// Command lexequal is the command-line face of the library: match two
+// multiscript names with full evidence, transcribe text to IPA, compute
+// Soundex codes, inspect the phoneme clusters, and run SQL (with the
+// LexEQUAL extensions) against an embedded database.
+//
+// Usage:
+//
+//	lexequal match [-threshold 0.3] [-lang1 L] [-lang2 L] NAME1 NAME2
+//	lexequal phonemes [-lang L] TEXT...
+//	lexequal soundex NAME...
+//	lexequal clusters [-set default|coarse|fine]
+//	lexequal sql -db DIR [STATEMENT]     (no statement: read from stdin)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lexequal"
+	"lexequal/internal/phoneme"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "match":
+		err = cmdMatch(os.Args[2:])
+	case "phonemes":
+		err = cmdPhonemes(os.Args[2:])
+	case "soundex":
+		err = cmdSoundex(os.Args[2:])
+	case "clusters":
+		err = cmdClusters(os.Args[2:])
+	case "sql":
+		err = cmdSQL(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lexequal: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lexequal:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `lexequal — multiscript phonetic matching (LexEQUAL, EDBT 2004)
+
+commands:
+  match     match two names across scripts, with evidence
+  phonemes  transcribe text to IPA
+  soundex   classical Soundex codes
+  clusters  show a phoneme cluster partition
+  sql       run SQL with the LexEQUAL extensions against a database dir
+`)
+}
+
+func resolveLang(explicit, text string) (lexequal.Language, error) {
+	if explicit != "" {
+		return parseLang(explicit)
+	}
+	l := lexequal.GuessLanguage(text)
+	if l == "" {
+		return l, fmt.Errorf("cannot determine the language of %q; pass -lang", text)
+	}
+	return l, nil
+}
+
+func parseLang(s string) (lexequal.Language, error) {
+	switch strings.ToLower(s) {
+	case "english", "en":
+		return lexequal.English, nil
+	case "hindi", "hi":
+		return lexequal.Hindi, nil
+	case "tamil", "ta":
+		return lexequal.Tamil, nil
+	case "greek", "el":
+		return lexequal.Greek, nil
+	case "spanish", "es":
+		return lexequal.Spanish, nil
+	case "french", "fr":
+		return lexequal.French, nil
+	default:
+		return "", fmt.Errorf("unknown language %q", s)
+	}
+}
+
+func newMatcher(icsc, weak float64, clusters string, threshold float64) (*lexequal.Matcher, error) {
+	cfg := lexequal.Config{Threshold: threshold, Clusters: clusters}
+	if icsc >= 0 {
+		cfg.ICSC = &icsc
+	}
+	if weak >= 0 {
+		cfg.WeakIndel = &weak
+	}
+	return lexequal.New(cfg)
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.3, "match threshold in [0,1]")
+	icsc := fs.Float64("icsc", -1, "intra-cluster substitution cost (-1 = default 0.25)")
+	weak := fs.Float64("weak", -1, "weak indel discount (-1 = default 0.5)")
+	clusters := fs.String("clusters", "", "cluster set: default, coarse or fine")
+	lang1 := fs.String("lang1", "", "language of the first name (default: detect)")
+	lang2 := fs.String("lang2", "", "language of the second name (default: detect)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("match needs exactly two names")
+	}
+	m, err := newMatcher(*icsc, *weak, *clusters, *threshold)
+	if err != nil {
+		return err
+	}
+	l1, err := resolveLang(*lang1, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	l2, err := resolveLang(*lang2, fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	ex, err := m.Explain(lexequal.T(fs.Arg(0), l1), lexequal.T(fs.Arg(1), l2), *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ex)
+	return nil
+}
+
+func cmdPhonemes(args []string) error {
+	fs := flag.NewFlagSet("phonemes", flag.ExitOnError)
+	lang := fs.String("lang", "", "language (default: detect per argument)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("phonemes needs at least one text argument")
+	}
+	m := lexequal.NewDefault()
+	for _, text := range fs.Args() {
+		l, err := resolveLang(*lang, text)
+		if err != nil {
+			return err
+		}
+		ipa, err := m.Phonemes(text, l)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %-8s /%s/\n", text, l, ipa)
+	}
+	return nil
+}
+
+func cmdSoundex(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("soundex needs at least one name")
+	}
+	for _, name := range args {
+		fmt.Printf("%-20s %s\n", name, lexequal.Soundex(name))
+	}
+	return nil
+}
+
+func cmdClusters(args []string) error {
+	fs := flag.NewFlagSet("clusters", flag.ExitOnError)
+	set := fs.String("set", "default", "cluster set: default, coarse or fine")
+	fs.Parse(args)
+	c, err := phoneme.ByName(*set)
+	if err != nil {
+		return err
+	}
+	fmt.Print(c.Describe())
+	return nil
+}
+
+func cmdSQL(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	dir := fs.String("db", "lexequal.db", "database directory")
+	fs.Parse(args)
+	d, err := lexequal.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	exec := func(stmt string) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return
+		}
+		res, err := d.Exec(stmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Print(lexequal.Format(res))
+	}
+	if fs.NArg() > 0 {
+		exec(strings.Join(fs.Args(), " "))
+		return nil
+	}
+	// REPL: one statement per line (or ;-separated).
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("lexequal sql — enter statements, one per line (ctrl-D to exit)")
+	}
+	for {
+		if interactive {
+			fmt.Print("lexequal> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		for _, stmt := range strings.Split(sc.Text(), ";") {
+			exec(stmt)
+		}
+	}
+	return sc.Err()
+}
+
+func isTerminal() bool {
+	st, err := os.Stdin.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}

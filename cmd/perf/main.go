@@ -1,0 +1,359 @@
+// Command perf reproduces the run-time efficiency experiments of the
+// paper's §5 over the synthetic 200k-name dataset: Table 1 (native
+// exact matching vs the LexEQUAL UDF), Table 2 (q-gram filtering),
+// Table 3 (phonetic indexing, with its false-dismissal audit) and
+// Figure 13 (the generated set's length distributions).
+//
+// The interesting outcome is the *shape*: exact ≪ indexed ≪ q-gram ≪
+// naive UDF, spanning orders of magnitude, with the phonetic index
+// introducing a small percentage of false dismissals. Absolute numbers
+// differ from the paper's (compiled Go vs interpreted PL/SQL on 2003
+// hardware).
+//
+// Usage:
+//
+//	perf -rows 200000            # build (or reuse) data/perf.db and run everything
+//	perf -table 3 -queries 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lexequal/internal/core"
+	"lexequal/internal/dataset"
+	"lexequal/internal/db"
+	"lexequal/internal/ttp"
+)
+
+var (
+	dirFlag       = flag.String("dir", "data", "data directory (perf.db is created inside)")
+	rowsFlag      = flag.Int("rows", dataset.DefaultGeneratedSize, "generated dataset size")
+	tableFlag     = flag.Int("table", 0, "table to reproduce (1, 2 or 3); 0 = all")
+	figFlag       = flag.Int("fig", 0, "figure to reproduce (13); 0 = all")
+	queriesFlag   = flag.Int("queries", 20, "number of selection queries to average")
+	joinRowsFlag  = flag.Int("joinrows", 1000, "subset size for the join experiments (the paper used a 0.2% subset for the UDF join)")
+	thresholdFlag = flag.Float64("threshold", 0.25, "match threshold (the paper's example queries use 0.25)")
+	rebuildFlag   = flag.Bool("rebuild", false, "rebuild the database even if present")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perf:", err)
+		os.Exit(1)
+	}
+}
+
+// fixture bundles everything the experiments need.
+type fixture struct {
+	op      *core.Operator
+	d       *db.DB
+	cfg     *db.LexConfig
+	sub     *db.DB // join subset database
+	subCfg  *db.LexConfig
+	queries []core.Text
+	gen     []dataset.Entry
+}
+
+func run() error {
+	op, err := core.New(core.Options{})
+	if err != nil {
+		return err
+	}
+	lex, err := dataset.BuildLexicon(ttp.Default(), dataset.SourceAll)
+	if err != nil {
+		return err
+	}
+	gen := dataset.Generate(lex, *rowsFlag)
+
+	if *figFlag == 0 || *figFlag == 13 {
+		if err := fig13(gen, op); err != nil {
+			return err
+		}
+	}
+	if *tableFlag < 0 {
+		return nil
+	}
+
+	fx := &fixture{op: op, gen: gen}
+	if err := fx.open(); err != nil {
+		return err
+	}
+	defer fx.close()
+
+	if *tableFlag == 0 || *tableFlag == 1 {
+		if err := table1(fx); err != nil {
+			return err
+		}
+	}
+	if *tableFlag == 0 || *tableFlag == 2 {
+		if err := table2(fx); err != nil {
+			return err
+		}
+	}
+	if *tableFlag == 0 || *tableFlag == 3 {
+		if err := table3(fx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fx *fixture) open() error {
+	dir := filepath.Join(*dirFlag, fmt.Sprintf("perf-%d.db", *rowsFlag))
+	if *rebuildFlag {
+		os.RemoveAll(dir)
+	}
+	texts := make([]core.Text, len(fx.gen))
+	for i, e := range fx.gen {
+		texts[i] = e.Text
+	}
+	var err error
+	fx.d, fx.cfg, err = openOrBuild(dir, fx.op, texts)
+	if err != nil {
+		return err
+	}
+	// Join subset database (the paper's 0.2% subset methodology).
+	n := *joinRowsFlag
+	if n > len(texts) {
+		n = len(texts)
+	}
+	subDir := filepath.Join(*dirFlag, fmt.Sprintf("perf-%d-join-%d.db", *rowsFlag, n))
+	if *rebuildFlag {
+		os.RemoveAll(subDir)
+	}
+	fx.sub, fx.subCfg, err = openOrBuild(subDir, fx.op, texts[:n])
+	if err != nil {
+		return err
+	}
+	// Selection queries: spread across the generated set so they hit.
+	step := len(texts) / *queriesFlag
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(texts) && len(fx.queries) < *queriesFlag; i += step {
+		fx.queries = append(fx.queries, texts[i])
+	}
+	return nil
+}
+
+func openOrBuild(dir string, op *core.Operator, texts []core.Text) (*db.DB, *db.LexConfig, error) {
+	d, err := db.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := d.Table("names"); !ok {
+		fmt.Printf("loading %d rows into %s (heap + q-grams + indexes)...\n", len(texts), dir)
+		start := time.Now()
+		if _, err := db.CreateNameTable(d, "names", op, texts, db.NameTableSpec{WithAux: true, WithIndexes: true}); err != nil {
+			d.Close()
+			return nil, nil, err
+		}
+		fmt.Printf("  loaded in %v\n\n", time.Since(start))
+	}
+	cfg, err := db.ResolveLexConfig(d, "names", op)
+	if err != nil {
+		d.Close()
+		return nil, nil, err
+	}
+	return d, cfg, nil
+}
+
+func (fx *fixture) close() {
+	fx.d.Close()
+	fx.sub.Close()
+}
+
+// timeScan averages the latency of running mk(query) over the fixture's
+// queries; it returns the mean duration and total result rows.
+func timeScan(fx *fixture, mk func(q core.Text) db.Node) (time.Duration, int, error) {
+	start := time.Now()
+	total := 0
+	for _, q := range fx.queries {
+		rows, err := db.Collect(mk(q))
+		if err != nil {
+			return 0, 0, err
+		}
+		total += len(rows)
+	}
+	return time.Since(start) / time.Duration(len(fx.queries)), total, nil
+}
+
+func table1(fx *fixture) error {
+	fmt.Println("=== Table 1: Relative Performance of Approximate Matching ===")
+	fmt.Printf("  (paper on 200k rows: exact scan 0.59s; UDF scan 1418s; exact join 0.20s; UDF join 4004s on a 0.2%% subset)\n\n")
+
+	// Exact scan: native equality over a full sequential scan.
+	exactScan, _, err := timeScan(fx, func(q core.Text) db.Node {
+		return &db.Filter{
+			Child: db.NewSeqScan(fx.cfg.Table),
+			Pred: &db.Binary{Op: "=",
+				L: &db.ColRef{Idx: fx.cfg.NameCol},
+				R: &db.Const{V: db.NStr(q.Value, q.Lang)}},
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %12v per query\n", "Scan, exact (= operator):", exactScan)
+
+	// UDF scan: LexEQUAL on every row.
+	udfScan, matches, err := timeScan(fx, func(q core.Text) db.Node {
+		return db.NewLexScanNaive(fx.cfg, q, *thresholdFlag, nil)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %12v per query  (%d matches over %d queries)\n",
+		"Scan, approximate (LexEQUAL UDF):", udfScan, matches, len(fx.queries))
+	fmt.Printf("  %-34s %12.1fx\n\n", "UDF/exact scan slowdown:", ratio(udfScan, exactScan))
+
+	// Exact join: hash equi-join over the full table.
+	start := time.Now()
+	exactRows, err := db.Collect(&db.HashJoin{
+		Left:     db.NewSeqScan(fx.cfg.Table),
+		Right:    db.NewSeqScan(fx.cfg.Table),
+		LeftCol:  fx.cfg.NameCol,
+		RightCol: fx.cfg.NameCol,
+	})
+	if err != nil {
+		return err
+	}
+	exactJoin := time.Since(start)
+	fmt.Printf("  %-34s %12v  (%d pairs, full %d rows)\n",
+		"Join, exact (= operator):", exactJoin, len(exactRows), fx.cfg.Table.Count())
+
+	// UDF join: nested loop with the UDF, on the subset (per footnote 3).
+	start = time.Now()
+	udfRows, err := db.Collect(db.NewLexJoin(fx.subCfg, fx.subCfg, *thresholdFlag, false, core.Naive))
+	if err != nil {
+		return err
+	}
+	udfJoin := time.Since(start)
+	n := int(fx.subCfg.Table.Count())
+	full := float64(fx.cfg.Table.Count()) / float64(n)
+	fmt.Printf("  %-34s %12v  (%d pairs on a %d-row subset; ~%.0fx that, ≈%v, at full size)\n\n",
+		"Join, approximate (LexEQUAL UDF):", udfJoin, len(udfRows), n,
+		full*full, time.Duration(float64(udfJoin)*full*full).Round(time.Second))
+	return nil
+}
+
+func table2(fx *fixture) error {
+	fmt.Println("=== Table 2: Q-Gram Filter Performance ===")
+	fmt.Printf("  (paper: scan 13.5s — ~100x better than the UDF scan; join 856s — ~5x better)\n\n")
+
+	qgScan, matches, err := timeScan(fx, func(q core.Text) db.Node {
+		return db.NewLexScanQGram(fx.cfg, q, *thresholdFlag, nil)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %12v per query  (%d matches)\n", "Scan, UDF + q-gram filters:", qgScan, matches)
+
+	start := time.Now()
+	qgRows, err := db.Collect(db.NewLexJoin(fx.subCfg, fx.subCfg, *thresholdFlag, false, core.QGram))
+	if err != nil {
+		return err
+	}
+	qgJoin := time.Since(start)
+	fmt.Printf("  %-34s %12v  (%d pairs on the %d-row subset)\n\n",
+		"Join, UDF + q-gram filters:", qgJoin, len(qgRows), fx.subCfg.Table.Count())
+	return nil
+}
+
+func table3(fx *fixture) error {
+	fmt.Println("=== Table 3: Phonetic Index Performance ===")
+	fmt.Printf("  (paper: scan 0.71s; join 15.2s; 4-5%% false dismissals)\n\n")
+
+	idxScan, matches, err := timeScan(fx, func(q core.Text) db.Node {
+		return db.NewLexScanIndexed(fx.cfg, q, *thresholdFlag, nil)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %12v per query  (%d matches)\n", "Scan, UDF + phonetic index:", idxScan, matches)
+
+	start := time.Now()
+	idxRows, err := db.Collect(db.NewLexJoin(fx.subCfg, fx.subCfg, *thresholdFlag, false, core.Indexed))
+	if err != nil {
+		return err
+	}
+	idxJoin := time.Since(start)
+	fmt.Printf("  %-34s %12v  (%d pairs on the %d-row subset)\n",
+		"Join, UDF + phonetic index:", idxJoin, len(idxRows), fx.subCfg.Table.Count())
+
+	// False-dismissal audit: indexed vs naive over the same queries, at
+	// several thresholds. The index's neighborhood (signature equality)
+	// is threshold-independent, so the dismissal rate grows with the
+	// threshold: at tight thresholds it is near zero, around 0.1 it
+	// lands in the paper's 4-5% regime, and at loose thresholds the UDF
+	// admits many signature-distant pairs the index cannot see.
+	fmt.Println("\n  False dismissals vs naive (paper reports 4-5%):")
+	for _, thr := range []float64{0.05, 0.10, 0.15, *thresholdFlag} {
+		naiveTotal, dismissed := 0, 0
+		for _, q := range fx.queries {
+			naiveRows, err := db.Collect(db.NewLexScanNaive(fx.cfg, q, thr, nil))
+			if err != nil {
+				return err
+			}
+			idxRows, err := db.Collect(db.NewLexScanIndexed(fx.cfg, q, thr, nil))
+			if err != nil {
+				return err
+			}
+			got := map[int64]bool{}
+			for _, r := range idxRows {
+				got[r[fx.cfg.IDCol].I] = true
+			}
+			naiveTotal += len(naiveRows)
+			for _, r := range naiveRows {
+				if !got[r[fx.cfg.IDCol].I] {
+					dismissed++
+				}
+			}
+		}
+		rate := 0.0
+		if naiveTotal > 0 {
+			rate = 100 * float64(dismissed) / float64(naiveTotal)
+		}
+		fmt.Printf("    threshold %.2f: %4d of %4d (%.1f%%)\n", thr, dismissed, naiveTotal, rate)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig13(gen []dataset.Entry, op *core.Operator) error {
+	lh, ph, err := dataset.Distributions(gen, op)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Figure 13: Distribution of Generated Data Set ===")
+	fmt.Println("  (paper: ~200,000 names; avg lexicographic 14.71, avg phonemic 14.31)")
+	fmt.Printf("  measured: %d names; avg lexicographic %.2f, avg phonemic %.2f\n\n",
+		lh.Total, lh.Mean(), ph.Mean())
+	fmt.Println("  length  #lexicographic  #phonemic")
+	maxLen := 0
+	for _, n := range lh.Lengths() {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	for n := 1; n <= maxLen; n++ {
+		if lh.Counts[n] == 0 && ph.Counts[n] == 0 {
+			continue
+		}
+		fmt.Printf("  %6d  %14d  %9d\n", n, lh.Counts[n], ph.Counts[n])
+	}
+	fmt.Println()
+	return nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,206 @@
+// Command quality reproduces the match-quality experiments of the
+// paper's §4: Figure 10 (lexicon length distributions), Figure 11
+// (recall and precision vs. the user match threshold for several
+// intra-cluster substitution costs) and Figure 12 (precision-recall
+// curves and the best-parameter report).
+//
+// Usage:
+//
+//	quality            # all figures
+//	quality -fig 11    # one figure
+//	quality -clusters coarse -weak 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lexequal/internal/core"
+	"lexequal/internal/dataset"
+	"lexequal/internal/metrics"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/ttp"
+)
+
+var (
+	figFlag      = flag.Int("fig", 0, "figure to reproduce (10, 11 or 12); 0 = all")
+	clustersFlag = flag.String("clusters", "default", "phoneme cluster set: default, coarse or fine")
+	weakFlag     = flag.Float64("weak", core.DefaultWeakIndel, "weak-phoneme indel discount (0 disables)")
+	sourceFlag   = flag.String("source", "all", "name sources: all, indian, american, generic")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quality:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSource(s string) (dataset.Source, error) {
+	switch strings.ToLower(s) {
+	case "all":
+		return dataset.SourceAll, nil
+	case "indian":
+		return dataset.SourceIndian, nil
+	case "american":
+		return dataset.SourceAmerican, nil
+	case "generic":
+		return dataset.SourceGeneric, nil
+	default:
+		return 0, fmt.Errorf("unknown source %q", s)
+	}
+}
+
+func run() error {
+	src, err := parseSource(*sourceFlag)
+	if err != nil {
+		return err
+	}
+	clusters, err := phoneme.ByName(*clustersFlag)
+	if err != nil {
+		return err
+	}
+	lex, err := dataset.BuildLexicon(ttp.Default(), src)
+	if err != nil {
+		return err
+	}
+	op, err := core.New(core.Options{Clusters: clusters})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("lexicon: %d strings in %d tag groups (ideal matches: %d)\n\n",
+		len(lex.Entries), lex.Groups, lex.IdealMatches())
+
+	if *figFlag == 0 || *figFlag == 10 {
+		if err := fig10(lex, op); err != nil {
+			return err
+		}
+	}
+	if *figFlag == 0 || *figFlag == 11 || *figFlag == 12 {
+		ev, err := metrics.NewEvaluator(lex, op.Registry())
+		if err != nil {
+			return err
+		}
+		icscs := []float64{0, 0.25, 0.5, 0.75, 1}
+		thresholds := []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.6, 0.8, 1.0}
+		fmt.Println("computing all-pairs quality grid (one pass per ICSC)...")
+		grid, err := ev.Grid(clusters, *weakFlag, icscs, thresholds)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if *figFlag == 0 || *figFlag == 11 {
+			fig11(grid, icscs, thresholds)
+		}
+		if *figFlag == 0 || *figFlag == 12 {
+			fig12(grid, icscs, thresholds)
+		}
+	}
+	return nil
+}
+
+// fig10 prints the length distribution of the lexicon (Figure 10).
+func fig10(lex *dataset.Lexicon, op *core.Operator) error {
+	lh, ph, err := dataset.Distributions(lex.Entries, op)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Figure 10: Distribution of Multiscript Lexicon ===")
+	fmt.Println("  (paper: avg lexicographic 7.35, avg phonemic 7.16)")
+	fmt.Printf("  measured: avg lexicographic %.2f, avg phonemic %.2f, %d strings\n\n",
+		lh.Mean(), ph.Mean(), lh.Total)
+	fmt.Println("  length  #lexicographic  #phonemic")
+	maxLen := 0
+	for _, n := range lh.Lengths() {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	for _, n := range ph.Lengths() {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	for n := 1; n <= maxLen; n++ {
+		if lh.Counts[n] == 0 && ph.Counts[n] == 0 {
+			continue
+		}
+		fmt.Printf("  %6d  %14d  %9d\n", n, lh.Counts[n], ph.Counts[n])
+	}
+	fmt.Println()
+	return nil
+}
+
+// fig11 prints recall and precision against the match threshold, one
+// series per ICSC (Figure 11).
+func fig11(grid [][]metrics.QualityPoint, icscs, thresholds []float64) {
+	fmt.Println("=== Figure 11: Recall and Precision vs User Match Threshold ===")
+	header := "  threshold"
+	for _, c := range icscs {
+		header += fmt.Sprintf("  cost=%-4.2f", c)
+	}
+	fmt.Println("\n  --- Recall ---")
+	fmt.Println(header)
+	for ti, thr := range thresholds {
+		line := fmt.Sprintf("  %9.2f", thr)
+		for ci := range icscs {
+			line += fmt.Sprintf("  %9.3f", grid[ci][ti].Recall)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\n  --- Precision ---")
+	fmt.Println(header)
+	for ti, thr := range thresholds {
+		line := fmt.Sprintf("  %9.2f", thr)
+		for ci := range icscs {
+			line += fmt.Sprintf("  %9.3f", grid[ci][ti].Precision)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	fmt.Println("  paper's qualitative claims to check against the tables above:")
+	fmt.Println("   - recall improves with threshold, ~perfect past 0.5")
+	fmt.Println("   - recall improves as the intracluster cost drops")
+	fmt.Println("   - precision drops with threshold, fastest for cost 0 (Soundex)")
+	fmt.Println()
+}
+
+// fig12 prints the precision-recall curves and the best operating
+// point (Figure 12).
+func fig12(grid [][]metrics.QualityPoint, icscs, thresholds []float64) {
+	fmt.Println("=== Figure 12: Precision-Recall Curves ===")
+	fmt.Println("\n  --- by intracluster substitution cost (series over thresholds) ---")
+	for ci, c := range icscs {
+		if c != 0 && c != 0.5 && c != 1 {
+			continue // the paper plots costs 0, 0.5, 1 for clarity
+		}
+		fmt.Printf("  cost=%.2f:", c)
+		for ti := range thresholds {
+			p := grid[ci][ti]
+			fmt.Printf(" (R=%.2f,P=%.2f)", p.Recall, p.Precision)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n  --- by threshold (series over costs) ---")
+	for ti, thr := range thresholds {
+		if thr != 0.2 && thr != 0.3 && thr != 0.4 {
+			continue // the paper plots thresholds 0.2, 0.3, 0.4
+		}
+		fmt.Printf("  threshold=%.2f:", thr)
+		for ci := range icscs {
+			p := grid[ci][ti]
+			fmt.Printf(" (R=%.2f,P=%.2f)", p.Recall, p.Precision)
+		}
+		fmt.Println()
+	}
+	best := metrics.Best(grid)
+	fmt.Printf("\n  best operating point (closest to the perfect-match corner):\n")
+	fmt.Printf("    cost=%.2f threshold=%.2f -> recall %.3f, precision %.3f\n",
+		best.ICSC, best.Threshold, best.Recall, best.Precision)
+	fmt.Println("  (paper: cost 0.25-0.5 and threshold 0.25-0.35 -> recall ~0.95, precision ~0.85)")
+	fmt.Println()
+}

@@ -1,0 +1,88 @@
+package lexequal
+
+import (
+	"lexequal/internal/dataset"
+	"lexequal/internal/metrics"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/ttp"
+)
+
+// TaggedText is a lexicon entry with its ground-truth tag: two entries
+// name the same sound exactly when their tags agree.
+type TaggedText struct {
+	Text
+	Tag int
+}
+
+// PaperLexicon reconstructs the paper's tagged multiscript evaluation
+// lexicon (§4.1): roughly a thousand base names — Indian, American, and
+// generic (places/objects/chemicals) — each present in English, Hindi
+// and Tamil under a common tag.
+func PaperLexicon() ([]TaggedText, error) {
+	lex, err := dataset.BuildLexicon(ttp.Default(), dataset.SourceAll)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TaggedText, len(lex.Entries))
+	for i, e := range lex.Entries {
+		out[i] = TaggedText{Text: e.Text, Tag: e.Tag}
+	}
+	return out, nil
+}
+
+// QualityPoint reports the match quality of one parameter setting on a
+// tagged lexicon, using the paper's §4.2 methodology (recall =
+// m1/ΣC(ni,2), precision = m1/m2 over the all-pairs matching).
+type QualityPoint = metrics.QualityPoint
+
+// SuggestParameters grid-searches the intra-cluster substitution cost
+// and the match threshold on a tagged training set and returns the
+// operating point closest to perfect recall and precision — the
+// automatic parameter derivation the paper lists as future work (§6).
+func SuggestParameters(entries []TaggedText) (QualityPoint, error) {
+	lex := &dataset.Lexicon{}
+	sizes := map[int]int{}
+	maxTag := -1
+	for _, e := range entries {
+		lex.Entries = append(lex.Entries, dataset.Entry{Text: e.Text, Tag: e.Tag})
+		sizes[e.Tag]++
+		if e.Tag > maxTag {
+			maxTag = e.Tag
+		}
+	}
+	lex.Groups = maxTag + 1
+	lex.GroupSizes = make([]int, lex.Groups)
+	for tag, n := range sizes {
+		lex.GroupSizes[tag] = n
+	}
+	return metrics.SuggestParameters(lex, nil, phoneme.DefaultClusters())
+}
+
+// EvaluateQuality computes recall and precision on a tagged lexicon for
+// one explicit (ICSC, threshold) setting.
+func EvaluateQuality(entries []TaggedText, icsc, threshold float64) (QualityPoint, error) {
+	lex := &dataset.Lexicon{}
+	sizes := map[int]int{}
+	maxTag := -1
+	for _, e := range entries {
+		lex.Entries = append(lex.Entries, dataset.Entry{Text: e.Text, Tag: e.Tag})
+		sizes[e.Tag]++
+		if e.Tag > maxTag {
+			maxTag = e.Tag
+		}
+	}
+	lex.Groups = maxTag + 1
+	lex.GroupSizes = make([]int, lex.Groups)
+	for tag, n := range sizes {
+		lex.GroupSizes[tag] = n
+	}
+	ev, err := metrics.NewEvaluator(lex, nil)
+	if err != nil {
+		return QualityPoint{}, err
+	}
+	pts, err := ev.SweepClustered(phoneme.DefaultClusters(), icsc, 0.5, []float64{threshold})
+	if err != nil {
+		return QualityPoint{}, err
+	}
+	return pts[0], nil
+}

@@ -1,0 +1,145 @@
+package lexequal
+
+import (
+	"fmt"
+
+	"lexequal/internal/db"
+	"lexequal/internal/sql"
+)
+
+// DB is an embedded multiscript database: tables live in heap files
+// under a directory, secondary B-trees index integer columns, and a SQL
+// subset with the paper's LexEQUAL extensions runs on top.
+//
+//	db, _ := lexequal.Open("catalog")
+//	db.Exec(`CREATE TABLE Books (Author NVARCHAR, Title NVARCHAR)`)
+//	db.Exec(`INSERT INTO Books VALUES ('नेहरु' LANG hindi, 'भारत एक खोज')`)
+//	res, _ := db.Exec(`SELECT Author, Title FROM Books
+//	    WHERE Author LEXEQUAL 'Nehru' THRESHOLD 0.30
+//	    INLANGUAGES { English, Hindi, Tamil }`)
+//
+// Session settings select the physical strategy:
+//
+//	SET lexequal_strategy = naive | qgram | indexed
+type DB struct {
+	d    *db.DB
+	sess *sql.Session
+}
+
+// QueryResult is the outcome of one SQL statement.
+type QueryResult = sql.Result
+
+// Row is one result tuple.
+type Row = db.Row
+
+// Value is one typed datum in a result row.
+type Value = db.Value
+
+// Open opens (creating if needed) a database directory with a default
+// matcher.
+func Open(dir string) (*DB, error) {
+	return OpenWith(dir, NewDefault())
+}
+
+// OpenWith opens a database bound to a specific matcher configuration.
+func OpenWith(dir string, m *Matcher) (*DB, error) {
+	d, err := db.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := sql.NewSession(d, m.operator())
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	return &DB{d: d, sess: sess}, nil
+}
+
+// Exec parses and runs one SQL statement.
+func (x *DB) Exec(sqlText string) (*QueryResult, error) {
+	return x.sess.Exec(sqlText)
+}
+
+// Close flushes and closes every table and index.
+func (x *DB) Close() error { return x.d.Close() }
+
+// Tables lists table names.
+func (x *DB) Tables() []string { return x.d.Tables() }
+
+// NameTableSpec configures LoadNames.
+type NameTableSpec = db.NameTableSpec
+
+// LoadNames creates and loads the conventional multiscript name layout
+// for texts — the base table with precomputed phonemic strings and
+// grouped phoneme identifiers, the positional q-gram auxiliary table,
+// and the id/group B-tree indexes — enabling the q-gram and indexed
+// strategies for SQL queries over the table.
+func (x *DB) LoadNames(table string, texts []Text, spec NameTableSpec) error {
+	_, err := db.CreateNameTable(x.d, table, x.sess.Op, texts, spec)
+	return err
+}
+
+// Format renders a query result as an aligned text table (a small
+// convenience for examples and CLIs).
+func Format(res *QueryResult) string {
+	if res == nil {
+		return ""
+	}
+	if len(res.Rows) == 0 && res.Message != "" {
+		return res.Message + "\n"
+	}
+	widths := make([]int, len(res.Cols))
+	for i, c := range res.Cols {
+		widths[i] = len([]rune(c))
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			cells[r][i] = s
+			if i < len(widths) && len([]rune(s)) > widths[i] {
+				widths[i] = len([]rune(s))
+			}
+		}
+	}
+	var out []byte
+	pad := func(s string, w int) {
+		out = append(out, s...)
+		for n := len([]rune(s)); n < w+2; n++ {
+			out = append(out, ' ')
+		}
+	}
+	for i, c := range res.Cols {
+		pad(c, widths[i])
+	}
+	out = append(out, '\n')
+	for i := range res.Cols {
+		for n := 0; n < widths[i]; n++ {
+			out = append(out, '-')
+		}
+		out = append(out, ' ', ' ')
+		_ = i
+	}
+	out = append(out, '\n')
+	for _, row := range cells {
+		for i, s := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			pad(s, w)
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// MustExec is Exec that panics on error (for examples).
+func (x *DB) MustExec(sqlText string) *QueryResult {
+	res, err := x.Exec(sqlText)
+	if err != nil {
+		panic(fmt.Errorf("lexequal: %s: %w", sqlText, err))
+	}
+	return res
+}

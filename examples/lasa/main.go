@@ -1,0 +1,82 @@
+// LASA: look-alike/sound-alike drug-name screening, the pharmaceutical
+// application the paper cites (§2.3, Lambert et al.). Before approving
+// a new drug name, regulators screen it against the existing formulary
+// for names confusable by ear — a monoscript instance of phonetic
+// matching where the threshold directly controls the screening
+// strictness.
+//
+//	go run ./examples/lasa
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lexequal"
+)
+
+func main() {
+	m := lexequal.NewDefault()
+
+	// A slice of a formulary, including famously-confused pairs
+	// (Celebrex/Celexa/Cerebyx, Zantac/Xanax, Losec/Lasix).
+	formulary := []string{
+		"Celebrex", "Celexa", "Cerebyx", "Zantac", "Xanax", "Zyrtec",
+		"Losec", "Lasix", "Luvox", "Lovenox", "Paxil", "Plavix",
+		"Prilosec", "Prozac", "Klonopin", "Clonidine", "Ativan",
+		"Atarax", "Amaryl", "Amikin", "Hydralazine", "Hydroxyzine",
+	}
+	texts := make([]lexequal.Text, len(formulary))
+	for i, name := range formulary {
+		texts[i] = lexequal.T(name, lexequal.English)
+	}
+	corpus, err := m.NewCorpus(texts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Screen a proposed new name against the formulary at increasing
+	// strictness.
+	proposed := "Zelexa"
+	fmt.Printf("Screening proposed name %q:\n", proposed)
+	for _, thr := range []float64{0.15, 0.30, 0.45} {
+		hits, _, err := m.Select(corpus, lexequal.T(proposed, lexequal.English), thr, nil, lexequal.QGram)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, len(hits))
+		for i, h := range hits {
+			names[i] = corpus.Text(h).Value
+		}
+		fmt.Printf("  threshold %.2f: %d confusable: %v\n", thr, len(names), names)
+	}
+
+	// Full pairwise audit of the formulary itself: which existing pairs
+	// are confusable? (The self-join of Figure 5 without the language
+	// predicate.)
+	pairs, _, err := lexequal.SelfJoin(corpus, 0.30, false, lexequal.QGram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type scored struct {
+		a, b string
+		d    float64
+	}
+	var audit []scored
+	for _, p := range pairs {
+		ex, err := m.Explain(corpus.Text(p.Left), corpus.Text(p.Right), 0.30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		audit = append(audit, scored{corpus.Text(p.Left).Value, corpus.Text(p.Right).Value, ex.Distance})
+	}
+	sort.Slice(audit, func(i, j int) bool { return audit[i].d < audit[j].d })
+	fmt.Printf("\nConfusable pairs already in the formulary (threshold 0.30): %d\n", len(audit))
+	for _, s := range audit {
+		ipaA, _ := m.Phonemes(s.a, lexequal.English)
+		ipaB, _ := m.Phonemes(s.b, lexequal.English)
+		fmt.Printf("  %-10s /%s/  ~  %-10s /%s/   distance %.2f\n", s.a, ipaA, s.b, ipaB, s.d)
+	}
+	fmt.Println("\n(every flagged pair warrants a label/packaging review — the paper's LASA use case)")
+}

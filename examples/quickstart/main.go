@@ -1,0 +1,74 @@
+// Quickstart: match one name across four scripts with the LexEQUAL
+// operator, inspect the phonemic evidence, and see the threshold at
+// work.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lexequal"
+)
+
+func main() {
+	m := lexequal.NewDefault()
+
+	// The same name in four writing systems.
+	names := []lexequal.Text{
+		lexequal.T("Nehru", lexequal.English),
+		lexequal.T("नेहरु", lexequal.Hindi),
+		lexequal.T("நேரு", lexequal.Tamil),
+		lexequal.T("Νερου", lexequal.Greek),
+	}
+
+	fmt.Println("Phonemic transcriptions:")
+	for _, n := range names {
+		ipa, err := m.Phonemes(n.Value, n.Lang)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %-8s /%s/\n", n.Value, n.Lang, ipa)
+	}
+
+	fmt.Println("\nAll pairs match at the default threshold (0.30):")
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			res, err := m.Match(a, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s ~ %-8s -> %v\n", a.Value, b.Value, res)
+		}
+	}
+
+	// Nero is the paper's example of a threshold-dependent near miss:
+	// phonetically close to Nehru, but a different name.
+	nero := lexequal.T("Nero", lexequal.English)
+	nehru := names[0]
+	fmt.Println("\nNero vs Nehru at different thresholds:")
+	for _, thr := range []float64{0.05, 0.15, 0.30, 0.50} {
+		res, err := m.MatchThreshold(nehru, nero, thr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  threshold %.2f -> %v\n", thr, res)
+	}
+
+	// Explain shows the full evidence for a decision.
+	ex, err := m.Explain(nehru, nero, 0.30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEvidence:")
+	fmt.Println(" ", ex)
+
+	// Languages without a text-to-phoneme converter yield NoResource,
+	// never a silent false.
+	res, err := m.Match(nehru, lexequal.T("بهنسي", lexequal.Arabic))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nArabic (no converter installed): %v\n", res)
+}

@@ -1,0 +1,3 @@
+module lexequal
+
+go 1.22

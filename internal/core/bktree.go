@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lexequal/internal/editdist"
+	"lexequal/internal/phoneme"
+)
+
+// MetricIndex is a Burkhard-Keller tree over phoneme strings under the
+// operator's clustered edit distance — the "metric index for phonemes"
+// the paper names as future work (§6, citing Baeza-Yates & Navarro).
+// Unlike the grouped-phoneme-identifier index of §5.3, a metric index
+// has NO false dismissals: the triangle inequality prunes subtrees that
+// provably cannot contain a match, and everything else is verified.
+//
+// The clustered cost model is a metric for ICSC in (0,1] and weak-indel
+// in (0,1] (all single-edit costs are symmetric and satisfy the
+// triangle inequality; for ICSC = 0 it degenerates to a pseudometric,
+// which still never produces false dismissals — only coarser pruning).
+//
+// Distances are bucketed at a fixed quantum so the classic integer-
+// bucketed BK-tree structure applies to fractional costs.
+type MetricIndex struct {
+	op      *Operator
+	quantum float64
+	root    *bkNode
+	size    int
+}
+
+type bkNode struct {
+	row      int
+	phon     phoneme.String
+	children map[int]*bkNode // bucketed distance -> subtree
+}
+
+// metricQuantum buckets distances; 0.25 is the finest step the default
+// cost model produces.
+const metricQuantum = 0.25
+
+// NewMetricIndex builds a BK-tree over the corpus rows (NORESOURCE
+// rows are skipped). Construction performs O(n log n)-ish distance
+// computations.
+func (c *Corpus) NewMetricIndex() *MetricIndex {
+	mi := &MetricIndex{op: c.op, quantum: metricQuantum}
+	for i := range c.texts {
+		if c.phon[i] == nil {
+			continue
+		}
+		mi.insert(i, c.phon[i])
+	}
+	return mi
+}
+
+// Size returns the number of indexed strings.
+func (mi *MetricIndex) Size() int { return mi.size }
+
+func (mi *MetricIndex) bucket(d float64) int {
+	return int(math.Round(d / mi.quantum))
+}
+
+func (mi *MetricIndex) insert(row int, p phoneme.String) {
+	mi.size++
+	if mi.root == nil {
+		mi.root = &bkNode{row: row, phon: p, children: map[int]*bkNode{}}
+		return
+	}
+	n := mi.root
+	for {
+		d := editdist.Distance(p, n.phon, mi.op.cost)
+		b := mi.bucket(d)
+		child, ok := n.children[b]
+		if !ok {
+			n.children[b] = &bkNode{row: row, phon: p, children: map[int]*bkNode{}}
+			return
+		}
+		n = child
+	}
+}
+
+// Select finds all rows within the LexEQUAL threshold of the query,
+// exactly like the Naive strategy but visiting only the subtrees the
+// triangle inequality cannot exclude. The Stats' Candidates field
+// counts distance evaluations. Language filtering lives in
+// Corpus.SelectMetric so that one tree serves every INLANGUAGES
+// combination.
+func (mi *MetricIndex) Select(query Text, threshold float64) ([]int, Stats, error) {
+	if threshold < 0 {
+		threshold = mi.op.threshold
+	}
+	if threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("core: match threshold %v outside [0,1]", threshold)
+	}
+	qp, err := mi.op.Transform(query.Value, query.Lang)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	st.Rows = mi.size
+	var out []int
+	// The match bound depends on the candidate's length (e·min(|q|,|c|)),
+	// which varies per node. For pruning we need a single radius valid
+	// for every admissible candidate: bound <= e·|q| always, so r =
+	// e·|q| is a safe search radius; each surviving node is then
+	// verified with its exact bound.
+	radius := threshold * float64(len(qp))
+	var visit func(n *bkNode)
+	visit = func(n *bkNode) {
+		if n == nil {
+			return
+		}
+		st.Candidates++
+		d := editdist.Distance(qp, n.phon, mi.op.cost)
+		if mi.matchAt(qp, n.phon, d, threshold) {
+			out = append(out, n.row)
+		}
+		lo := mi.bucket(math.Max(0, d-radius))
+		hi := mi.bucket(d + radius)
+		for b, child := range n.children {
+			if b >= lo && b <= hi {
+				visit(child)
+			}
+		}
+	}
+	visit(mi.root)
+	sortInts(out)
+	st.Matches = len(out)
+	return out, st, nil
+}
+
+// matchAt applies the exact Figure 8 bound given the precomputed
+// distance.
+func (mi *MetricIndex) matchAt(qp, cp phoneme.String, d, threshold float64) bool {
+	smaller := len(qp)
+	if len(cp) < smaller {
+		smaller = len(cp)
+	}
+	return d <= threshold*float64(smaller)
+}
+
+// SelectMetric runs a metric-index search over the corpus, applying
+// the language filter against the corpus rows (kept out of the tree so
+// one tree serves every INLANGUAGES combination).
+func (c *Corpus) SelectMetric(mi *MetricIndex, query Text, threshold float64, langs LangSet) ([]int, Stats, error) {
+	rows, st, err := mi.Select(query, threshold)
+	if err != nil {
+		return nil, st, err
+	}
+	if langs == nil {
+		return rows, st, nil
+	}
+	out := rows[:0]
+	for _, i := range rows {
+		if langs.Contains(c.texts[i].Lang) {
+			out = append(out, i)
+		}
+	}
+	st.Matches = len(out)
+	return out, st, nil
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"lexequal/internal/script"
+)
+
+func TestMetricIndexExactMatchesNaive(t *testing.T) {
+	op := newOp(t)
+	c := buildCorpus(t, op)
+	mi := c.NewMetricIndex()
+	if mi.Size() != c.Len()-len(c.Skipped()) {
+		t.Errorf("Size = %d, want %d", mi.Size(), c.Len()-len(c.Skipped()))
+	}
+	queries := []Text{en("Nehru"), en("Gandhi"), en("Cathy"), el("Σαρρη"), en("Zzyzx")}
+	for _, q := range queries {
+		for _, thr := range []float64{0, 0.1, 0.25, 0.3, 0.5} {
+			naive, _, err := c.Select(q, thr, nil, Naive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			metric, st, err := c.SelectMetric(mi, q, thr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(naive, metric) {
+				t.Errorf("%v @%v: naive %v != metric %v", q, thr, naive, metric)
+			}
+			if st.Candidates > mi.Size() {
+				t.Errorf("more distance evaluations than entries: %+v", st)
+			}
+		}
+	}
+}
+
+func TestMetricIndexPrunes(t *testing.T) {
+	// Over a larger corpus the triangle inequality must actually skip
+	// subtrees at tight thresholds.
+	op := newOp(t)
+	var texts []Text
+	base := []string{
+		"Nehru", "Gandhi", "Krishna", "Kamala", "Sita", "Mohan", "Ramesh",
+		"Suresh", "Catherine", "Jonathan", "Elizabeth", "Washington",
+		"Hydrogen", "Oxygen", "Potassium", "Barcelona", "Amsterdam",
+	}
+	for _, a := range base {
+		for _, b := range base {
+			texts = append(texts, en(a+b))
+		}
+	}
+	c, err := op.NewCorpus(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := c.NewMetricIndex()
+	_, st, err := c.SelectMetric(mi, en("NehruGandhi"), 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates >= mi.Size() {
+		t.Errorf("no pruning: %d evaluations for %d entries", st.Candidates, mi.Size())
+	}
+}
+
+func TestMetricIndexLanguageFilter(t *testing.T) {
+	op := newOp(t)
+	c := buildCorpus(t, op)
+	mi := c.NewMetricIndex()
+	rows, _, err := c.SelectMetric(mi, en("Nehru"), 0.3, NewLangSet(script.Hindi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range rows {
+		if c.Text(i).Lang != script.Hindi {
+			t.Errorf("language filter leaked %v", c.Text(i))
+		}
+	}
+	if len(rows) == 0 {
+		t.Error("filtered metric search found nothing")
+	}
+}
+
+func TestMetricIndexInvalidThreshold(t *testing.T) {
+	op := newOp(t)
+	c := buildCorpus(t, op)
+	mi := c.NewMetricIndex()
+	if _, _, err := mi.Select(en("x"), 1.5); err == nil {
+		t.Error("threshold 1.5 accepted")
+	}
+}
+
+func TestMetricIndexDefaultThreshold(t *testing.T) {
+	op := newOp(t)
+	c := buildCorpus(t, op)
+	mi := c.NewMetricIndex()
+	rows, _, err := mi.Select(en("Nehru"), -1)
+	if err != nil || len(rows) == 0 {
+		t.Errorf("default-threshold metric select = %v, %v", rows, err)
+	}
+}
+
+func TestMetricIndexEmptyCorpus(t *testing.T) {
+	op := newOp(t)
+	c, err := op.NewCorpus(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := c.NewMetricIndex()
+	rows, _, err := mi.Select(en("Nehru"), 0.3)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("empty metric index = %v, %v", rows, err)
+	}
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lexequal/internal/phoneme"
+	"lexequal/internal/script"
+)
+
+func newOp(t *testing.T) *Operator {
+	t.Helper()
+	op, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func en(s string) Text { return Text{Value: s, Lang: script.English} }
+func hi(s string) Text { return Text{Value: s, Lang: script.Hindi} }
+func ta(s string) Text { return Text{Value: s, Lang: script.Tamil} }
+func el(s string) Text { return Text{Value: s, Lang: script.Greek} }
+
+func TestOptionsDefaults(t *testing.T) {
+	op := newOp(t)
+	if op.ICSC() != DefaultICSC {
+		t.Errorf("default ICSC = %v", op.ICSC())
+	}
+	if op.Threshold() != DefaultThreshold {
+		t.Errorf("default threshold = %v", op.Threshold())
+	}
+	if op.Registry() == nil || op.Clusters() == nil || op.Cost() == nil {
+		t.Error("nil defaults")
+	}
+	// Explicit zero ICSC (Soundex mode) must be honored.
+	op2 := MustNew(Options{ICSC: 0, ICSCSet: true})
+	if op2.ICSC() != 0 {
+		t.Errorf("explicit zero ICSC became %v", op2.ICSC())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(Options{ICSC: 2, ICSCSet: true}); err == nil {
+		t.Error("ICSC=2 accepted")
+	}
+	if _, err := New(Options{DefaultThreshold: 1.5}); err == nil {
+		t.Error("threshold 1.5 accepted")
+	}
+}
+
+func TestMatchPaperExample(t *testing.T) {
+	// The headline example: Nehru in English, Hindi, Tamil and Greek
+	// all match each other at the paper's operating point.
+	op := newOp(t)
+	names := []Text{en("Nehru"), hi("नेहरु"), ta("நேரு"), el("Νερου")}
+	for i, a := range names {
+		for j, b := range names {
+			res, err := op.Match(a, b, 0.30)
+			if err != nil {
+				t.Fatalf("%v vs %v: %v", a, b, err)
+			}
+			if res != True {
+				ex, _ := op.Explain(a, b, 0.30)
+				t.Errorf("(%d,%d) %v", i, j, ex)
+			}
+		}
+	}
+}
+
+func TestMatchRejectsDissimilar(t *testing.T) {
+	op := newOp(t)
+	pairs := [][2]Text{
+		{en("Nehru"), en("Gandhi")},
+		{en("Smith"), hi("नेहरु")},
+		{en("Kumar"), el("Παπαδοπουλος")},
+	}
+	for _, p := range pairs {
+		res, err := op.Match(p[0], p[1], 0.30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != False {
+			t.Errorf("%v vs %v matched", p[0], p[1])
+		}
+	}
+}
+
+func TestMatchThresholdZeroIsExact(t *testing.T) {
+	op := newOp(t)
+	// Identical phoneme strings match at threshold 0...
+	res, err := op.Match(en("Kathy"), en("Cathy"), 0)
+	if err != nil || res != True {
+		t.Errorf("Kathy/Cathy at 0 = %v, %v", res, err)
+	}
+	// ...but anything with nonzero distance does not.
+	res, err = op.Match(en("Nehru"), en("Nero"), 0)
+	if err != nil || res != False {
+		t.Errorf("Nehru/Nero at 0 = %v, %v", res, err)
+	}
+}
+
+func TestMatchNoResource(t *testing.T) {
+	op := newOp(t)
+	res, err := op.Match(en("Nehru"), Text{Value: "بهنسي", Lang: script.Arabic}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != NoResource {
+		t.Errorf("Arabic match = %v, want NORESOURCE", res)
+	}
+}
+
+func TestMatchInvalidThreshold(t *testing.T) {
+	op := newOp(t)
+	if _, err := op.Match(en("a"), en("b"), 1.5); err == nil {
+		t.Error("threshold 1.5 accepted by Match")
+	}
+}
+
+func TestMatchDefaultThreshold(t *testing.T) {
+	op := newOp(t)
+	res, err := op.Match(en("Nehru"), hi("नेहरु"), -1)
+	if err != nil || res != True {
+		t.Errorf("default-threshold match = %v, %v", res, err)
+	}
+}
+
+func TestNeroNehruIsThresholdSensitive(t *testing.T) {
+	// The paper's false-positive example: Nero may match Nehru at loose
+	// thresholds but must not at tight ones.
+	op := newOp(t)
+	tight, err := op.Match(en("Nehru"), en("Nero"), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight == True {
+		t.Error("Nero matched Nehru at threshold 0.1")
+	}
+	loose, err := op.Match(en("Nehru"), en("Nero"), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose != True {
+		ex, _ := op.Explain(en("Nehru"), en("Nero"), 0.5)
+		t.Errorf("Nero should match Nehru at 0.5: %v", ex)
+	}
+}
+
+func TestTransformCaching(t *testing.T) {
+	op := newOp(t)
+	a, err := op.Transform("Nehru", script.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := op.Transform("Nehru", script.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("cache returned different transform")
+	}
+	// Cache disabled still works.
+	op2 := MustNew(Options{CacheSize: -1})
+	c, err := op2.Transform("Nehru", script.English)
+	if err != nil || !c.Equal(a) {
+		t.Errorf("uncached transform = %v, %v", c, err)
+	}
+}
+
+func TestTransformCacheEviction(t *testing.T) {
+	op := MustNew(Options{CacheSize: 4})
+	words := []string{"Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta"}
+	for _, w := range words {
+		if _, err := op.Transform(w, script.English); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-transform after eviction must still be correct.
+	got, err := op.Transform("Alpha", script.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := MustNew(Options{CacheSize: -1}).Transform("Alpha", script.English)
+	if !got.Equal(want) {
+		t.Error("post-eviction transform wrong")
+	}
+}
+
+func TestICSCAffectsMatching(t *testing.T) {
+	// sita vs ɡita differ by one cross-cluster... actually s/ɡ are in
+	// different clusters; pick a pair differing only within a cluster:
+	// Tamil renders Gita with an ambiguous stop, so English Gita vs
+	// Tamil கீதா differ by intra-cluster edits only.
+	strict := MustNew(Options{ICSC: 1, ICSCSet: true})   // Levenshtein
+	soundexy := MustNew(Options{ICSC: 0, ICSCSet: true}) // free intra-cluster
+	a, b := en("Gita"), ta("கீதா")
+	thr := 0.15
+	rs, err := strict.Match(a, b, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := soundexy.Match(a, b, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl != True {
+		ex, _ := soundexy.Explain(a, b, thr)
+		t.Errorf("ICSC=0 should match: %v", ex)
+	}
+	if rs == True {
+		ex, _ := strict.Explain(a, b, thr)
+		t.Errorf("ICSC=1 should not match at tight threshold: %v", ex)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	op := newOp(t)
+	ex, err := op.Explain(en("Nehru"), hi("नेहरु"), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Matched {
+		t.Errorf("explain says no match: %v", ex)
+	}
+	if ex.PhonemesA == nil || ex.PhonemesB == nil {
+		t.Error("explain lacks phonemes")
+	}
+	if ex.Distance > ex.Bound {
+		t.Error("matched but distance > bound")
+	}
+	s := ex.String()
+	if !strings.Contains(s, "MATCH") || !strings.Contains(s, "alignment") {
+		t.Errorf("explanation rendering: %s", s)
+	}
+	// NoResource explanation.
+	ex2, err := op.Explain(en("x"), Text{Value: "ب", Lang: script.Arabic}, 0.3)
+	if err != nil || !ex2.NoResource {
+		t.Errorf("NoResource explain = %+v, %v", ex2, err)
+	}
+	if !strings.Contains(ex2.String(), "NORESOURCE") {
+		t.Error("NoResource not rendered")
+	}
+}
+
+func TestMatchPhonemesSmallerSideSemantics(t *testing.T) {
+	// Figure 8 line 4: the bound uses the SHORTER string's length.
+	op := newOp(t)
+	short := phoneme.MustParse("ne")
+	long := phoneme.MustParse("nehafalu")
+	// bound = 0.5 * 2 = 1 edit allowed; distance is 6 -> no match even
+	// though 6 < 0.5*8.
+	if op.MatchPhonemes(short, long, 0.5) {
+		t.Error("bound must use the shorter length")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if True.String() != "TRUE" || False.String() != "FALSE" || NoResource.String() != "NORESOURCE" {
+		t.Error("Result strings wrong")
+	}
+}
+
+func TestTextString(t *testing.T) {
+	if en("Nehru").String() != "Nehru[english]" {
+		t.Errorf("Text.String = %q", en("Nehru").String())
+	}
+}
+
+func TestConcurrentMatch(t *testing.T) {
+	op := newOp(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := op.Match(en("Nehru"), hi("नेहरु"), 0.3); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

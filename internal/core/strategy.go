@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lexequal/internal/phoneme"
+	"lexequal/internal/qgram"
+	"lexequal/internal/script"
+	"lexequal/internal/soundex"
+)
+
+// Strategy names the three execution plans of §5.
+type Strategy uint8
+
+// Execution strategies for LexEQUAL selections and joins.
+const (
+	Naive   Strategy = iota // call the UDF on every row (Table 1)
+	QGram                   // q-gram filters, then the UDF (Table 2)
+	Indexed                 // phonetic index probe, then the UDF (Table 3)
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case QGram:
+		return "qgram"
+	case Indexed:
+		return "indexed"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy resolves a strategy name from CLI/SQL settings.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "", "naive", "udf":
+		return Naive, nil
+	case "qgram", "qgrams":
+		return QGram, nil
+	case "indexed", "index", "phonetic":
+		return Indexed, nil
+	default:
+		return Naive, fmt.Errorf("core: unknown strategy %q", s)
+	}
+}
+
+// LangSet filters match targets by language: the INLANGUAGES clause.
+// A nil LangSet is the * wildcard (all languages).
+type LangSet map[script.Language]bool
+
+// NewLangSet builds a set from a list; an empty list yields the
+// wildcard nil set.
+func NewLangSet(langs ...script.Language) LangSet {
+	if len(langs) == 0 {
+		return nil
+	}
+	s := make(LangSet, len(langs))
+	for _, l := range langs {
+		s[l] = true
+	}
+	return s
+}
+
+// Contains reports whether lang passes the filter.
+func (s LangSet) Contains(lang script.Language) bool { return s == nil || s[lang] }
+
+// Stats counts the work a strategy performed, for the efficiency
+// experiments: how many rows the cheap phase admitted as candidates and
+// how many survived UDF verification.
+type Stats struct {
+	Rows       int // rows considered (after the language filter)
+	Candidates int // rows reaching the edit-distance verification
+	Matches    int // rows in the final result
+}
+
+// Corpus is a queryable collection of multiscript texts with the
+// auxiliary structures of §5 built once: per-row phoneme strings
+// (cached transforms), the positional q-gram inverted index, and the
+// grouped-phoneme-identifier hash. DefaultQ is used unless overridden.
+type Corpus struct {
+	op      *Operator
+	q       int
+	texts   []Text
+	phon    []phoneme.String
+	proj    []phoneme.String // signature projections (see soundex.Encoder.Project)
+	skipped []int            // rows whose language had no converter (NORESOURCE rows)
+
+	grams   map[string][]posting // q-gram inverted index
+	grouped map[soundex.GroupedID][]int
+	encoder *soundex.Encoder
+}
+
+type posting struct {
+	row int
+	pos int
+}
+
+// DefaultQ is the gram length used by the paper's experiments.
+const DefaultQ = 3
+
+// NewCorpus transforms every text once and builds the q-gram and
+// phonetic indexes. Rows in languages without a TTP converter are
+// retained but never match (they are the NORESOURCE rows); their
+// indices are reported by Skipped.
+func (op *Operator) NewCorpus(texts []Text) (*Corpus, error) {
+	return op.NewCorpusQ(texts, DefaultQ)
+}
+
+// NewCorpusQ is NewCorpus with an explicit q-gram length (q >= 2).
+func (op *Operator) NewCorpusQ(texts []Text, q int) (*Corpus, error) {
+	if q < 2 {
+		return nil, fmt.Errorf("core: q must be >= 2, got %d", q)
+	}
+	c := &Corpus{
+		op:      op,
+		q:       q,
+		texts:   texts,
+		phon:    make([]phoneme.String, len(texts)),
+		proj:    make([]phoneme.String, len(texts)),
+		grams:   make(map[string][]posting),
+		grouped: make(map[soundex.GroupedID][]int),
+		encoder: soundex.NewEncoder(op.clusters),
+	}
+	for i, t := range texts {
+		if !op.registry.Has(t.Lang) {
+			c.skipped = append(c.skipped, i)
+			continue
+		}
+		p, err := op.Transform(t.Value, t.Lang)
+		if err != nil {
+			return nil, fmt.Errorf("core: row %d (%s): %w", i, t, err)
+		}
+		c.phon[i] = p
+		// Q-grams are extracted over the signature projection of the
+		// phoneme string (glottals dropped, phonemes folded to their
+		// cluster representatives). Under the clustered cost model the
+		// cheap edits — intra-cluster substitutions and glottal indels —
+		// leave the projection untouched, and every edit that does
+		// change it costs at least one full unit, so an edit-cost
+		// budget of k admits at most k projected-space unit edits: the
+		// exact premise of the three q-gram filters.
+		c.proj[i] = c.encoder.Project(p)
+		for _, g := range qgram.Extract(c.proj[i], q) {
+			key := g.Key()
+			c.grams[key] = append(c.grams[key], posting{row: i, pos: g.Pos})
+		}
+		c.grouped[c.encoder.Encode(p)] = append(c.grouped[c.encoder.Encode(p)], i)
+	}
+	return c, nil
+}
+
+// sigBudget converts a clustered-cost bound into a sound budget on
+// projected-space unit edits. By construction (the cost model's
+// discounted-indel set equals the projection's drop set), every edit
+// that changes the signature projection costs at least 1, so the budget
+// is the bound itself.
+func (c *Corpus) sigBudget(bound float64) float64 {
+	return bound
+}
+
+// Len returns the number of rows.
+func (c *Corpus) Len() int { return len(c.texts) }
+
+// Text returns row i's text.
+func (c *Corpus) Text(i int) Text { return c.texts[i] }
+
+// Phonemes returns row i's phoneme string (nil for NORESOURCE rows).
+func (c *Corpus) Phonemes(i int) phoneme.String { return c.phon[i] }
+
+// Skipped lists rows whose language had no TTP converter.
+func (c *Corpus) Skipped() []int { return c.skipped }
+
+// Q returns the corpus's q-gram length.
+func (c *Corpus) Q() int { return c.q }
+
+// Select finds the rows matching query at the threshold, restricted to
+// langs, using the given strategy. All strategies return identical
+// results except Indexed, which may have false dismissals (§5.3).
+func (c *Corpus) Select(query Text, threshold float64, langs LangSet, strat Strategy) ([]int, Stats, error) {
+	if threshold < 0 {
+		threshold = c.op.threshold
+	}
+	if threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("core: match threshold %v outside [0,1]", threshold)
+	}
+	qp, err := c.op.Transform(query.Value, query.Lang)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	switch strat {
+	case Naive:
+		return c.selectNaive(qp, threshold, langs)
+	case QGram:
+		return c.selectQGram(qp, threshold, langs)
+	case Indexed:
+		return c.selectIndexed(qp, threshold, langs)
+	default:
+		return nil, Stats{}, fmt.Errorf("core: unknown strategy %v", strat)
+	}
+}
+
+func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet) ([]int, Stats, error) {
+	var out []int
+	var st Stats
+	for i := range c.texts {
+		if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+			continue
+		}
+		st.Rows++
+		st.Candidates++
+		if c.op.MatchPhonemes(qp, c.phon[i], e) {
+			out = append(out, i)
+		}
+	}
+	st.Matches = len(out)
+	return out, st, nil
+}
+
+// selectQGram implements the Figure 14 plan: the edit-distance budget is
+// k = e·|query| (the paper uses the query length in all three filter
+// predicates), the inverted index supplies position-filtered gram match
+// counts, and candidates passing the length and count filters are
+// verified with the UDF.
+func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet) ([]int, Stats, error) {
+	var st Stats
+	k := c.sigBudget(e * float64(len(qp)))
+	qproj := c.encoder.Project(qp)
+	counts := make(map[int]int)
+	for _, g := range qgram.Extract(qproj, c.q) {
+		for _, p := range c.grams[g.Key()] {
+			if qgram.PositionOK(g.Pos, p.pos, k) {
+				counts[p.row]++
+			}
+		}
+	}
+	var out []int
+	for i := range c.texts {
+		if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+			continue
+		}
+		st.Rows++
+		if !qgram.LengthOK(len(qproj), len(c.proj[i]), k) {
+			continue
+		}
+		need := qgram.CountThreshold(len(qproj), len(c.proj[i]), c.q, k)
+		if need > 0 && counts[i] < need {
+			continue
+		}
+		st.Candidates++
+		if c.op.MatchPhonemes(qp, c.phon[i], e) {
+			out = append(out, i)
+		}
+	}
+	st.Matches = len(out)
+	return out, st, nil
+}
+
+// selectIndexed implements the Figure 15 plan: probe the grouped-
+// phoneme-identifier index and verify the (few) rows sharing the
+// query's cluster signature. Fast, with false dismissals for matches
+// whose edits cross cluster boundaries.
+func (c *Corpus) selectIndexed(qp phoneme.String, e float64, langs LangSet) ([]int, Stats, error) {
+	var st Stats
+	var out []int
+	for _, i := range c.grouped[c.encoder.Encode(qp)] {
+		if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+			continue
+		}
+		st.Rows++
+		st.Candidates++
+		if c.op.MatchPhonemes(qp, c.phon[i], e) {
+			out = append(out, i)
+		}
+	}
+	st.Matches = len(out)
+	return out, st, nil
+}
+
+// Pair is one result of a join: row indexes into the left and right
+// corpora.
+type Pair struct {
+	Left, Right int
+}
+
+// Join finds all cross-corpus pairs matching at the threshold under the
+// strategy, optionally requiring different languages (the paper's
+// equi-join example restricts B1.Language <> B2.Language).
+func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
+	if threshold < 0 {
+		threshold = left.op.threshold
+	}
+	if threshold > 1 {
+		return nil, Stats{}, fmt.Errorf("core: match threshold %v outside [0,1]", threshold)
+	}
+	var out []Pair
+	var st Stats
+	admit := func(l, r int) {
+		st.Candidates++
+		if left.op.MatchPhonemes(left.phon[l], right.phon[r], threshold) {
+			out = append(out, Pair{Left: l, Right: r})
+		}
+	}
+	switch strat {
+	case Naive:
+		for l := range left.texts {
+			if left.phon[l] == nil {
+				continue
+			}
+			for r := range right.texts {
+				if right.phon[r] == nil {
+					continue
+				}
+				if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
+					continue
+				}
+				st.Rows++
+				admit(l, r)
+			}
+		}
+	case QGram:
+		for l := range left.texts {
+			if left.phon[l] == nil {
+				continue
+			}
+			lp := left.phon[l]
+			lproj := left.proj[l]
+			k := right.sigBudget(threshold * float64(len(lp)))
+			counts := make(map[int]int)
+			for _, g := range qgram.Extract(lproj, right.q) {
+				for _, p := range right.grams[g.Key()] {
+					if qgram.PositionOK(g.Pos, p.pos, k) {
+						counts[p.row]++
+					}
+				}
+			}
+			for r, cnt := range counts {
+				if right.phon[r] == nil {
+					continue
+				}
+				if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
+					continue
+				}
+				st.Rows++
+				if !qgram.LengthOK(len(lproj), len(right.proj[r]), k) {
+					continue
+				}
+				need := qgram.CountThreshold(len(lproj), len(right.proj[r]), right.q, k)
+				if need > 0 && cnt < need {
+					continue
+				}
+				admit(l, r)
+			}
+		}
+	case Indexed:
+		for l := range left.texts {
+			if left.phon[l] == nil {
+				continue
+			}
+			id := right.encoder.Encode(left.phon[l])
+			for _, r := range right.grouped[id] {
+				if right.phon[r] == nil {
+					continue
+				}
+				if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
+					continue
+				}
+				st.Rows++
+				admit(l, r)
+			}
+		}
+	default:
+		return nil, Stats{}, fmt.Errorf("core: unknown strategy %v", strat)
+	}
+	// The q-gram strategy discovers candidates in hash order; normalize
+	// so all strategies return deterministically ordered results.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	st.Matches = len(out)
+	return out, st, nil
+}
+
+// SelfJoin runs Join of a corpus with itself, returning each unordered
+// pair once (Left < Right).
+func SelfJoin(c *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
+	pairs, st, err := Join(c, c, threshold, requireDifferentLang, strat)
+	if err != nil {
+		return nil, st, err
+	}
+	out := pairs[:0]
+	for _, p := range pairs {
+		if p.Left < p.Right {
+			out = append(out, p)
+		}
+	}
+	st.Matches = len(out)
+	return out, st, nil
+}

@@ -1,0 +1,259 @@
+// Package dataset reconstructs the paper's two evaluation datasets: the
+// tagged multiscript lexicon of §4.1 (roughly 800 base names, each in
+// English, Hindi and Tamil, tagged so that phonetically-equivalent
+// strings share a tag number) and the large synthetic set of §5
+// (intra-language concatenations, about 200,000 names).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"lexequal/internal/core"
+	"lexequal/internal/script"
+	"lexequal/internal/ttp"
+)
+
+// Entry is one lexicon string with its ground-truth tag: two entries
+// match correctly iff their tags are equal.
+type Entry struct {
+	Text core.Text
+	Tag  int
+}
+
+// Lexicon is the tagged multiscript evaluation set.
+type Lexicon struct {
+	Entries []Entry
+	// Groups is the number of distinct tags (n in the paper's recall
+	// formula); group i has GroupSizes[i] members (the paper's n_i).
+	Groups     int
+	GroupSizes []int
+}
+
+// Source identifies which base-name lists to include.
+type Source uint8
+
+// Name sources (§4.1).
+const (
+	SourceIndian Source = 1 << iota
+	SourceAmerican
+	SourceGeneric
+	SourceAll = SourceIndian | SourceAmerican | SourceGeneric
+)
+
+// BaseNames returns the deduplicated English base names of the selected
+// sources, in deterministic order.
+func BaseNames(src Source) []string {
+	var all []string
+	if src&SourceIndian != 0 {
+		all = append(all, IndianNames...)
+	}
+	if src&SourceAmerican != 0 {
+		all = append(all, AmericanNames...)
+	}
+	if src&SourceGeneric != 0 {
+		all = append(all, GenericNames...)
+	}
+	seen := map[string]bool{}
+	out := all[:0]
+	for _, n := range all {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// minNameRunes drops initials and very short names: with two- and
+// three-letter strings a single phoneme of drift exceeds any reasonable
+// threshold fraction, which no evaluation lexicon would tolerate (the
+// paper's lexicon averages 7.35 characters).
+const minNameRunes = 5
+
+// BuildLexicon constructs the tagged multiscript lexicon: every base
+// name is phonemized with the English converter and rendered into
+// Devanagari and Tamil orthography (modelling the paper's hand
+// transliteration, §4.1), producing three same-tag entries per name.
+// The Indic renderings then flow through their own TTP converters at
+// match time, reproducing the phoneme-set mismatches the paper studies.
+//
+// Base names with identical phonemizations (Kathy/Cathy,
+// Gita/Geeta) are assigned a common tag: the ground truth is aural
+// equivalence, exactly how the paper's manual tagging worked.
+func BuildLexicon(reg *ttp.Registry, src Source) (*Lexicon, error) {
+	if reg == nil {
+		reg = ttp.Default()
+	}
+	en, ok := reg.Get(script.English)
+	if !ok {
+		return nil, fmt.Errorf("dataset: no English TTP converter")
+	}
+	names := BaseNames(src)
+	lex := &Lexicon{}
+	tagBySound := map[string]int{}
+	for _, name := range names {
+		if len([]rune(name)) < minNameRunes {
+			continue
+		}
+		phon, err := en.Convert(name)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: phonemize %q: %w", name, err)
+		}
+		if len(phon) < 3 {
+			continue
+		}
+		hindi := script.ToDevanagari(phon)
+		tamil := script.ToTamil(phon)
+		if hindi == "" || tamil == "" {
+			return nil, fmt.Errorf("dataset: empty transliteration for %q", name)
+		}
+		key := phon.IPA()
+		tag, seen := tagBySound[key]
+		if !seen {
+			tag = lex.Groups
+			tagBySound[key] = tag
+			lex.GroupSizes = append(lex.GroupSizes, 0)
+			lex.Groups++
+		}
+		entries := []Entry{{Text: core.Text{Value: name, Lang: script.English}, Tag: tag}}
+		if !seen {
+			// The Indic renderings are functions of the phonemization;
+			// repeating them for homophonous spellings would add exact
+			// duplicate strings.
+			entries = append(entries,
+				Entry{Text: core.Text{Value: hindi, Lang: script.Hindi}, Tag: tag},
+				Entry{Text: core.Text{Value: tamil, Lang: script.Tamil}, Tag: tag},
+			)
+		}
+		lex.Entries = append(lex.Entries, entries...)
+		lex.GroupSizes[tag] += len(entries)
+	}
+	return lex, nil
+}
+
+// Texts projects the lexicon onto its language-tagged strings.
+func (l *Lexicon) Texts() []core.Text {
+	out := make([]core.Text, len(l.Entries))
+	for i, e := range l.Entries {
+		out[i] = e.Text
+	}
+	return out
+}
+
+// IdealMatches is the denominator of the paper's recall formula:
+// Σ C(n_i, 2) over all tag groups.
+func (l *Lexicon) IdealMatches() int {
+	total := 0
+	for _, n := range l.GroupSizes {
+		total += n * (n - 1) / 2
+	}
+	return total
+}
+
+// Generate builds the §5 synthetic performance dataset: each lexicon
+// string concatenated with other strings of the same language, up to
+// target entries (the paper's set "contained about 200,000 names" with
+// average lexicographic length 14.71 ≈ 2× the lexicon average). Pairs
+// are enumerated deterministically and interleaved across languages.
+// The generated entry keeps a tag composed from the two source tags so
+// that ground truth remains available for false-dismissal audits.
+func Generate(l *Lexicon, target int) []Entry {
+	byLang := map[script.Language][]Entry{}
+	var langs []script.Language
+	for _, e := range l.Entries {
+		if _, ok := byLang[e.Text.Lang]; !ok {
+			langs = append(langs, e.Text.Lang)
+		}
+		byLang[e.Text.Lang] = append(byLang[e.Text.Lang], e)
+	}
+	sort.Slice(langs, func(i, j int) bool { return langs[i] < langs[j] })
+	out := make([]Entry, 0, target)
+	// Enumerate (i, i+step) pairs in rounds so that every string
+	// contributes before any contributes twice.
+	for step := 1; len(out) < target; step++ {
+		progressed := false
+		for _, lang := range langs {
+			entries := byLang[lang]
+			n := len(entries)
+			if step >= n {
+				continue
+			}
+			progressed = true
+			for i := 0; i < n && len(out) < target; i++ {
+				j := (i + step) % n
+				a, b := entries[i], entries[j]
+				out = append(out, Entry{
+					Text: core.Text{Value: a.Text.Value + b.Text.Value, Lang: lang},
+					Tag:  a.Tag*len(l.GroupSizes) + b.Tag,
+				})
+			}
+			if len(out) >= target {
+				break
+			}
+		}
+		if !progressed {
+			break // exhausted all pairs
+		}
+	}
+	return out
+}
+
+// DefaultGeneratedSize matches the paper's "about 200,000 names".
+const DefaultGeneratedSize = 200_000
+
+// Histogram is a frequency distribution over string lengths, used to
+// regenerate Figures 10 and 13.
+type Histogram struct {
+	Counts map[int]int
+	Total  int
+	Sum    int
+}
+
+// NewHistogram builds an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{Counts: map[int]int{}} }
+
+// Add records one length observation.
+func (h *Histogram) Add(n int) {
+	h.Counts[n]++
+	h.Total++
+	h.Sum += n
+}
+
+// Mean returns the average length.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Total)
+}
+
+// Lengths returns the observed lengths in ascending order.
+func (h *Histogram) Lengths() []int {
+	out := make([]int, 0, len(h.Counts))
+	for n := range h.Counts {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Distributions computes the lexicographic (Unicode character count)
+// and phonemic length histograms of a set of entries — the two series
+// of Figures 10 and 13. Entries whose language has no converter are
+// skipped from the phonemic histogram.
+func Distributions(entries []Entry, op *core.Operator) (lex, phon *Histogram, err error) {
+	lex, phon = NewHistogram(), NewHistogram()
+	for _, e := range entries {
+		lex.Add(len([]rune(e.Text.Value)))
+		if !op.Registry().Has(e.Text.Lang) {
+			continue
+		}
+		p, err := op.Transform(e.Text.Value, e.Text.Lang)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: transform %s: %w", e.Text, err)
+		}
+		phon.Add(len(p))
+	}
+	return lex, phon, nil
+}

@@ -1,0 +1,377 @@
+package db
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lexequal/internal/store"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string `json:"name"`
+	Type Type   `json:"type"`
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// ColIndex returns the index of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// IndexDef describes a secondary B-tree index over one INT column.
+type IndexDef struct {
+	Name   string `json:"name"`
+	Table  string `json:"table"`
+	Column string `json:"column"`
+}
+
+// tableDef is the persisted form of a table.
+type tableDef struct {
+	Name    string `json:"name"`
+	Columns Schema `json:"columns"`
+}
+
+type catalogFile struct {
+	Tables  []tableDef `json:"tables"`
+	Indexes []IndexDef `json:"indexes"`
+}
+
+// Table is an open table: schema plus heap file.
+type Table struct {
+	Name    string
+	Columns Schema
+	Heap    *store.HeapFile
+	db      *DB
+}
+
+// Index is an open secondary index.
+type Index struct {
+	Def  IndexDef
+	Tree *store.BTree
+}
+
+// DB is a database: a directory holding a JSON catalog, one heap file
+// per table and one B-tree file per index.
+type DB struct {
+	dir        string
+	cachePages int
+	tables     map[string]*Table
+	indexes    map[string]*Index
+}
+
+// Open opens (creating if necessary) a database directory.
+func Open(dir string) (*DB, error) {
+	return OpenWithCache(dir, 0)
+}
+
+// OpenWithCache opens a database with an explicit per-file buffer-pool
+// capacity in pages (0 selects the store default).
+func OpenWithCache(dir string, cachePages int) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("db: create dir: %w", err)
+	}
+	d := &DB{
+		dir:        dir,
+		cachePages: cachePages,
+		tables:     make(map[string]*Table),
+		indexes:    make(map[string]*Index),
+	}
+	cat, err := d.loadCatalog()
+	if err != nil {
+		return nil, err
+	}
+	for _, td := range cat.Tables {
+		h, err := store.OpenHeap(d.heapPath(td.Name), cachePages)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.tables[strings.ToLower(td.Name)] = &Table{Name: td.Name, Columns: td.Columns, Heap: h, db: d}
+	}
+	for _, id := range cat.Indexes {
+		bt, err := store.OpenBTree(d.indexPath(id.Name), cachePages)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.indexes[strings.ToLower(id.Name)] = &Index{Def: id, Tree: bt}
+	}
+	return d, nil
+}
+
+func (d *DB) catalogPath() string { return filepath.Join(d.dir, "catalog.json") }
+func (d *DB) heapPath(table string) string {
+	return filepath.Join(d.dir, strings.ToLower(table)+".heap")
+}
+func (d *DB) indexPath(index string) string {
+	return filepath.Join(d.dir, strings.ToLower(index)+".idx")
+}
+
+func (d *DB) loadCatalog() (catalogFile, error) {
+	var cat catalogFile
+	data, err := os.ReadFile(d.catalogPath())
+	if os.IsNotExist(err) {
+		return cat, nil
+	}
+	if err != nil {
+		return cat, fmt.Errorf("db: read catalog: %w", err)
+	}
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return cat, fmt.Errorf("db: parse catalog: %w", err)
+	}
+	return cat, nil
+}
+
+func (d *DB) saveCatalog() error {
+	var cat catalogFile
+	for _, t := range d.tables {
+		cat.Tables = append(cat.Tables, tableDef{Name: t.Name, Columns: t.Columns})
+	}
+	for _, ix := range d.indexes {
+		cat.Indexes = append(cat.Indexes, ix.Def)
+	}
+	sort.Slice(cat.Tables, func(i, j int) bool { return cat.Tables[i].Name < cat.Tables[j].Name })
+	sort.Slice(cat.Indexes, func(i, j int) bool { return cat.Indexes[i].Name < cat.Indexes[j].Name })
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := d.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("db: write catalog: %w", err)
+	}
+	return os.Rename(tmp, d.catalogPath())
+}
+
+// Close closes every open table and index.
+func (d *DB) Close() error {
+	var firstErr error
+	for _, t := range d.tables {
+		if err := t.Heap.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, ix := range d.indexes {
+		if err := ix.Tree.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	d.tables = map[string]*Table{}
+	d.indexes = map[string]*Index{}
+	return firstErr
+}
+
+// CreateTable creates a new empty table.
+func (d *DB) CreateTable(name string, cols Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := d.tables[key]; exists {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("db: table %q has no columns", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("db: duplicate column %q in table %q", c.Name, name)
+		}
+		seen[lc] = true
+	}
+	h, err := store.OpenHeap(d.heapPath(name), d.cachePages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Columns: cols, Heap: h, db: d}
+	d.tables[key] = t
+	if err := d.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table returns the named table.
+func (d *DB) Table(name string) (*Table, bool) {
+	t, ok := d.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables lists table names in sorted order.
+func (d *DB) Tables() []string {
+	out := make([]string, 0, len(d.tables))
+	for _, t := range d.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropTable removes a table, its heap file and its indexes.
+func (d *DB) DropTable(name string) error {
+	key := strings.ToLower(name)
+	t, ok := d.tables[key]
+	if !ok {
+		return fmt.Errorf("db: no table %q", name)
+	}
+	t.Heap.Close()
+	delete(d.tables, key)
+	os.Remove(d.heapPath(name))
+	for ikey, ix := range d.indexes {
+		if strings.EqualFold(ix.Def.Table, name) {
+			ix.Tree.Close()
+			os.Remove(d.indexPath(ix.Def.Name))
+			delete(d.indexes, ikey)
+		}
+	}
+	return d.saveCatalog()
+}
+
+// Insert appends a row after checking it against the schema.
+func (t *Table) Insert(row Row) (store.RID, error) {
+	if len(row) != len(t.Columns) {
+		return store.RID{}, fmt.Errorf("db: %s: row has %d values, schema has %d", t.Name, len(row), len(t.Columns))
+	}
+	for i, v := range row {
+		if v.T == TNull {
+			continue
+		}
+		if v.T != t.Columns[i].Type {
+			return store.RID{}, fmt.Errorf("db: %s.%s: value type %v, column type %v",
+				t.Name, t.Columns[i].Name, v.T, t.Columns[i].Type)
+		}
+	}
+	rid, err := t.Heap.Insert(row.Encode())
+	if err != nil {
+		return store.RID{}, err
+	}
+	// Maintain indexes.
+	for _, ix := range t.db.indexes {
+		if !strings.EqualFold(ix.Def.Table, t.Name) {
+			continue
+		}
+		ci := t.Columns.ColIndex(ix.Def.Column)
+		if ci < 0 || row[ci].T != TInt {
+			continue
+		}
+		if err := ix.Tree.Insert(uint64(row[ci].I), rid.Pack()); err != nil {
+			return store.RID{}, err
+		}
+	}
+	return rid, nil
+}
+
+// Get fetches the row at rid.
+func (t *Table) Get(rid store.RID) (Row, error) {
+	rec, err := t.Heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRow(rec, len(t.Columns))
+}
+
+// Delete tombstones the row at rid. Secondary index entries are not
+// removed (B-trees are insert-only here); index readers skip entries
+// whose heap fetch reports store.ErrDeleted.
+func (t *Table) Delete(rid store.RID) error { return t.Heap.Delete(rid) }
+
+// Scan invokes fn for each row in RID order.
+func (t *Table) Scan(fn func(rid store.RID, row Row) error) error {
+	n := len(t.Columns)
+	return t.Heap.Scan(func(rid store.RID, rec []byte) error {
+		row, err := DecodeRow(rec, n)
+		if err != nil {
+			return fmt.Errorf("db: %s at %v: %w", t.Name, rid, err)
+		}
+		return fn(rid, row)
+	})
+}
+
+// Count returns the number of rows.
+func (t *Table) Count() uint64 { return t.Heap.Count() }
+
+// CreateIndex builds a B-tree index over an existing INT column,
+// bulk-loading it with a table scan.
+func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
+	key := strings.ToLower(name)
+	if _, exists := d.indexes[key]; exists {
+		return nil, fmt.Errorf("db: index %q already exists", name)
+	}
+	t, ok := d.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", table)
+	}
+	ci := t.Columns.ColIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("db: no column %q in table %q", column, table)
+	}
+	if t.Columns[ci].Type != TInt {
+		return nil, fmt.Errorf("db: index column %s.%s must be INT (got %v)", table, column, t.Columns[ci].Type)
+	}
+	bt, err := store.OpenBTree(d.indexPath(name), d.cachePages)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Def: IndexDef{Name: name, Table: t.Name, Column: t.Columns[ci].Name}, Tree: bt}
+	err = t.Scan(func(rid store.RID, row Row) error {
+		if row[ci].T != TInt {
+			return nil // NULLs are not indexed
+		}
+		return bt.Insert(uint64(row[ci].I), rid.Pack())
+	})
+	if err != nil {
+		bt.Close()
+		os.Remove(d.indexPath(name))
+		return nil, err
+	}
+	d.indexes[key] = ix
+	if err := d.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Index returns the named index.
+func (d *DB) Index(name string) (*Index, bool) {
+	ix, ok := d.indexes[strings.ToLower(name)]
+	return ix, ok
+}
+
+// IndexOn finds an index over table.column, if any.
+func (d *DB) IndexOn(table, column string) (*Index, bool) {
+	for _, ix := range d.indexes {
+		if strings.EqualFold(ix.Def.Table, table) && strings.EqualFold(ix.Def.Column, column) {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// Indexes lists index names in sorted order.
+func (d *DB) Indexes() []string {
+	out := make([]string, 0, len(d.indexes))
+	for _, ix := range d.indexes {
+		out = append(out, ix.Def.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,694 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lexequal/internal/store"
+)
+
+// Node is a volcano-style executor: Open, repeated Next (nil row at
+// EOF), Close. Columns describes the output row layout for the planner.
+type Node interface {
+	Columns() Schema
+	Open() error
+	Next() (Row, error)
+	Close() error
+}
+
+// Collect drains a node into a slice (convenience for callers/tests).
+func Collect(n Node) ([]Row, error) {
+	if err := n.Open(); err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	var out []Row
+	for {
+		row, err := n.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// --- SeqScan ---
+
+// SeqScan reads every row of a table in RID order. It materializes the
+// scan lazily via a goroutine-free resumable cursor over heap pages by
+// buffering one page's rows at a time.
+type SeqScan struct {
+	Table *Table
+
+	rows   []Row
+	rowIdx int
+	done   bool
+	err    error
+	// cursor state: next heap page to read
+	nextPage store.PageID
+}
+
+// NewSeqScan returns a sequential scan of t.
+func NewSeqScan(t *Table) *SeqScan { return &SeqScan{Table: t} }
+
+// Columns implements Node.
+func (s *SeqScan) Columns() Schema { return s.Table.Columns }
+
+// Open implements Node.
+func (s *SeqScan) Open() error {
+	s.rows = nil
+	s.rowIdx = 0
+	s.done = false
+	s.err = nil
+	s.nextPage = 1
+	return nil
+}
+
+// Next implements Node.
+func (s *SeqScan) Next() (Row, error) {
+	for {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.rowIdx < len(s.rows) {
+			r := s.rows[s.rowIdx]
+			s.rowIdx++
+			return r, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+		if err := s.fill(); err != nil {
+			s.err = err
+			return nil, err
+		}
+	}
+}
+
+// fill buffers the next non-empty heap page.
+func (s *SeqScan) fill() error {
+	s.rows = s.rows[:0]
+	s.rowIdx = 0
+	h := s.Table.Heap
+	for uint32(s.nextPage) < h.Pager().NumPages() && len(s.rows) == 0 {
+		page := s.nextPage
+		s.nextPage++
+		err := h.ScanPage(page, func(rid store.RID, rec []byte) error {
+			row, err := DecodeRow(rec, len(s.Table.Columns))
+			if err != nil {
+				return err
+			}
+			s.rows = append(s.rows, row)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if len(s.rows) == 0 {
+		s.done = true
+	}
+	return nil
+}
+
+// Close implements Node.
+func (s *SeqScan) Close() error { return nil }
+
+// --- IndexScan ---
+
+// IndexScan fetches the rows whose indexed column equals Key.
+type IndexScan struct {
+	Table *Table
+	Index *Index
+	Key   int64
+
+	rids []uint64
+	idx  int
+}
+
+// NewIndexScan returns an equality index scan.
+func NewIndexScan(t *Table, ix *Index, key int64) *IndexScan {
+	return &IndexScan{Table: t, Index: ix, Key: key}
+}
+
+// Columns implements Node.
+func (s *IndexScan) Columns() Schema { return s.Table.Columns }
+
+// Open implements Node.
+func (s *IndexScan) Open() error {
+	rids, err := s.Index.Tree.Lookup(uint64(s.Key))
+	if err != nil {
+		return err
+	}
+	s.rids = rids
+	s.idx = 0
+	return nil
+}
+
+// Next implements Node.
+func (s *IndexScan) Next() (Row, error) {
+	for s.idx < len(s.rids) {
+		rid := store.UnpackRID(s.rids[s.idx])
+		s.idx++
+		row, err := s.Table.Get(rid)
+		if errors.Is(err, store.ErrDeleted) {
+			continue // stale index entry for a tombstoned row
+		}
+		return row, err
+	}
+	return nil, nil
+}
+
+// Close implements Node.
+func (s *IndexScan) Close() error { return nil }
+
+// --- Filter ---
+
+// Filter passes rows for which Pred is true.
+type Filter struct {
+	Child Node
+	Pred  Expr
+}
+
+// Columns implements Node.
+func (f *Filter) Columns() Schema { return f.Child.Columns() }
+
+// Open implements Node.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next implements Node.
+func (f *Filter) Next() (Row, error) {
+	for {
+		row, err := f.Child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := f.Pred.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		if v.Bool() {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Node.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// --- Project ---
+
+// Project evaluates output expressions per row.
+type Project struct {
+	Child Node
+	Exprs []Expr
+	Names []string
+	types []Type
+}
+
+// Columns implements Node.
+func (p *Project) Columns() Schema {
+	cols := make(Schema, len(p.Exprs))
+	for i := range p.Exprs {
+		name := ""
+		if i < len(p.Names) {
+			name = p.Names[i]
+		}
+		cols[i] = Column{Name: name, Type: TNull} // output types are dynamic
+	}
+	return cols
+}
+
+// Open implements Node.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next implements Node.
+func (p *Project) Next() (Row, error) {
+	row, err := p.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Close implements Node.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// --- Limit ---
+
+// Limit stops after N rows.
+type Limit struct {
+	Child Node
+	N     int
+	seen  int
+}
+
+// Columns implements Node.
+func (l *Limit) Columns() Schema { return l.Child.Columns() }
+
+// Open implements Node.
+func (l *Limit) Open() error { l.seen = 0; return l.Child.Open() }
+
+// Next implements Node.
+func (l *Limit) Next() (Row, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	row, err := l.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close implements Node.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// --- NestedLoopJoin ---
+
+// NestedLoopJoin joins two inputs with an arbitrary predicate over the
+// concatenated row. The right input is materialized on Open — the plan
+// the paper's optimizer chose for the UDF join (§5.1).
+type NestedLoopJoin struct {
+	Left, Right Node
+	Pred        Expr // may be nil for a cross join
+
+	rightRows []Row
+	leftRow   Row
+	rIdx      int
+}
+
+// Columns implements Node.
+func (j *NestedLoopJoin) Columns() Schema {
+	return append(append(Schema{}, j.Left.Columns()...), j.Right.Columns()...)
+}
+
+// Open implements Node.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	rows, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.leftRow = nil
+	j.rIdx = 0
+	return nil
+}
+
+// Next implements Node.
+func (j *NestedLoopJoin) Next() (Row, error) {
+	for {
+		if j.leftRow == nil {
+			row, err := j.Left.Next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			j.leftRow = row
+			j.rIdx = 0
+		}
+		for j.rIdx < len(j.rightRows) {
+			r := j.rightRows[j.rIdx]
+			j.rIdx++
+			combined := append(append(Row{}, j.leftRow...), r...)
+			if j.Pred == nil {
+				return combined, nil
+			}
+			v, err := j.Pred.Eval(combined)
+			if err != nil {
+				return nil, err
+			}
+			if v.Bool() {
+				return combined, nil
+			}
+		}
+		j.leftRow = nil
+	}
+}
+
+// Close implements Node.
+func (j *NestedLoopJoin) Close() error { return j.Left.Close() }
+
+// --- HashJoin ---
+
+// HashJoin equi-joins on one column from each side; the right side is
+// the build input.
+type HashJoin struct {
+	Left, Right Node
+	LeftCol     int
+	RightCol    int
+	Residual    Expr // optional predicate over the concatenated row
+
+	table   map[string][]Row
+	leftRow Row
+	matches []Row
+	mIdx    int
+}
+
+// Columns implements Node.
+func (j *HashJoin) Columns() Schema {
+	return append(append(Schema{}, j.Left.Columns()...), j.Right.Columns()...)
+}
+
+// Open implements Node.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	rows, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]Row)
+	for _, r := range rows {
+		v := r[j.RightCol]
+		if v.IsNull() {
+			continue
+		}
+		k := v.hashKey()
+		j.table[k] = append(j.table[k], r)
+	}
+	j.leftRow = nil
+	j.matches = nil
+	j.mIdx = 0
+	return nil
+}
+
+// Next implements Node.
+func (j *HashJoin) Next() (Row, error) {
+	for {
+		for j.mIdx < len(j.matches) {
+			r := j.matches[j.mIdx]
+			j.mIdx++
+			combined := append(append(Row{}, j.leftRow...), r...)
+			if j.Residual == nil {
+				return combined, nil
+			}
+			v, err := j.Residual.Eval(combined)
+			if err != nil {
+				return nil, err
+			}
+			if v.Bool() {
+				return combined, nil
+			}
+		}
+		row, err := j.Left.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		j.leftRow = row
+		v := row[j.LeftCol]
+		if v.IsNull() {
+			j.matches = nil
+		} else {
+			j.matches = j.table[v.hashKey()]
+		}
+		j.mIdx = 0
+	}
+}
+
+// Close implements Node.
+func (j *HashJoin) Close() error { return j.Left.Close() }
+
+// --- GroupBy ---
+
+// AggKind is an aggregate function.
+type AggKind uint8
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota // COUNT(*)
+	AggMin
+	AggMax
+	AggSum
+)
+
+// Aggregate specifies one aggregate output.
+type Aggregate struct {
+	Kind AggKind
+	Arg  Expr // nil for COUNT(*)
+}
+
+// GroupBy hash-aggregates its input. Output rows are the group-by
+// values followed by the aggregate values, in specification order;
+// Having (evaluated over that output row) filters groups. Output order
+// is deterministic (sorted by group key).
+type GroupBy struct {
+	Child  Node
+	Keys   []Expr
+	Aggs   []Aggregate
+	Having Expr
+
+	out []Row
+	idx int
+}
+
+// Columns implements Node.
+func (g *GroupBy) Columns() Schema {
+	cols := make(Schema, len(g.Keys)+len(g.Aggs))
+	return cols
+}
+
+// Open implements Node.
+func (g *GroupBy) Open() error {
+	if err := g.Child.Open(); err != nil {
+		return err
+	}
+	defer g.Child.Close()
+	type groupState struct {
+		keys Row
+		aggs []Value
+		n    []int64
+	}
+	groups := map[string]*groupState{}
+	var order []string
+	for {
+		row, err := g.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keyVals := make(Row, len(g.Keys))
+		keyStr := ""
+		for i, k := range g.Keys {
+			v, err := k.Eval(row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+			keyStr += v.hashKey() + "\x01"
+		}
+		gs, ok := groups[keyStr]
+		if !ok {
+			gs = &groupState{keys: keyVals, aggs: make([]Value, len(g.Aggs)), n: make([]int64, len(g.Aggs))}
+			groups[keyStr] = gs
+			order = append(order, keyStr)
+		}
+		for i, agg := range g.Aggs {
+			switch agg.Kind {
+			case AggCount:
+				gs.n[i]++
+			case AggMin, AggMax, AggSum:
+				v, err := agg.Arg.Eval(row)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
+				switch {
+				case gs.n[i] == 0:
+					gs.aggs[i] = v
+				case agg.Kind == AggMin && Compare(v, gs.aggs[i]) < 0:
+					gs.aggs[i] = v
+				case agg.Kind == AggMax && Compare(v, gs.aggs[i]) > 0:
+					gs.aggs[i] = v
+				case agg.Kind == AggSum:
+					a, _ := gs.aggs[i].AsFloat()
+					b, _ := v.AsFloat()
+					if gs.aggs[i].T == TInt && v.T == TInt {
+						gs.aggs[i] = Int(gs.aggs[i].I + v.I)
+					} else {
+						gs.aggs[i] = Float(a + b)
+					}
+				}
+				gs.n[i]++
+			}
+		}
+	}
+	// Grand aggregate over an empty input still yields one row (COUNT(*)
+	// of an empty table is 0, not no-rows).
+	if len(g.Keys) == 0 && len(groups) == 0 {
+		key := ""
+		groups[key] = &groupState{aggs: make([]Value, len(g.Aggs)), n: make([]int64, len(g.Aggs))}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	g.out = g.out[:0]
+	for _, k := range order {
+		gs := groups[k]
+		row := append(Row{}, gs.keys...)
+		for i, agg := range g.Aggs {
+			if agg.Kind == AggCount {
+				row = append(row, Int(gs.n[i]))
+			} else {
+				row = append(row, gs.aggs[i])
+			}
+		}
+		if g.Having != nil {
+			v, err := g.Having.Eval(row)
+			if err != nil {
+				return err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		g.out = append(g.out, row)
+	}
+	g.idx = 0
+	return nil
+}
+
+// Next implements Node.
+func (g *GroupBy) Next() (Row, error) {
+	if g.idx >= len(g.out) {
+		return nil, nil
+	}
+	r := g.out[g.idx]
+	g.idx++
+	return r, nil
+}
+
+// Close implements Node.
+func (g *GroupBy) Close() error { return nil }
+
+// --- Sort ---
+
+// Sort orders its input by the given expressions (ascending; Desc flips
+// all of them).
+type Sort struct {
+	Child Node
+	By    []Expr
+	Desc  bool
+
+	out []Row
+	idx int
+}
+
+// Columns implements Node.
+func (s *Sort) Columns() Schema { return s.Child.Columns() }
+
+// Open implements Node.
+func (s *Sort) Open() error {
+	rows, err := Collect(s.Child)
+	if err != nil {
+		return err
+	}
+	type keyed struct {
+		row  Row
+		keys Row
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		keys := make(Row, len(s.By))
+		for j, e := range s.By {
+			v, err := e.Eval(r)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{row: r, keys: keys}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		for k := range s.By {
+			c := Compare(ks[i].keys[k], ks[j].keys[k])
+			if c != 0 {
+				if s.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	s.out = make([]Row, len(ks))
+	for i := range ks {
+		s.out[i] = ks[i].row
+	}
+	s.idx = 0
+	return nil
+}
+
+// Next implements Node.
+func (s *Sort) Next() (Row, error) {
+	if s.idx >= len(s.out) {
+		return nil, nil
+	}
+	r := s.out[s.idx]
+	s.idx++
+	return r, nil
+}
+
+// Close implements Node.
+func (s *Sort) Close() error { return nil }
+
+// --- Values (literal rows, used by INSERT ... VALUES and tests) ---
+
+// Values yields a fixed set of rows.
+type Values struct {
+	Rows []Row
+	Cols Schema
+	idx  int
+}
+
+// Columns implements Node.
+func (v *Values) Columns() Schema { return v.Cols }
+
+// Open implements Node.
+func (v *Values) Open() error { v.idx = 0; return nil }
+
+// Next implements Node.
+func (v *Values) Next() (Row, error) {
+	if v.idx >= len(v.Rows) {
+		return nil, nil
+	}
+	r := v.Rows[v.idx]
+	v.idx++
+	return r, nil
+}
+
+// Close implements Node.
+func (v *Values) Close() error { return nil }
+
+// errNode is a Node that fails on Open (used by planners to defer
+// errors).
+type errNode struct{ err error }
+
+func (e *errNode) Columns() Schema    { return nil }
+func (e *errNode) Open() error        { return e.err }
+func (e *errNode) Next() (Row, error) { return nil, e.err }
+func (e *errNode) Close() error       { return nil }
+
+// ErrNode wraps an error as a Node.
+func ErrNode(format string, args ...any) Node {
+	return &errNode{err: fmt.Errorf(format, args...)}
+}

@@ -1,0 +1,268 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an evaluable expression over a row.
+type Expr interface {
+	Eval(row Row) (Value, error)
+	String() string
+}
+
+// ColRef references a column by position (resolved by the planner).
+type ColRef struct {
+	Idx  int
+	Name string // for display
+}
+
+// Eval implements Expr.
+func (c *ColRef) Eval(row Row) (Value, error) {
+	if c.Idx < 0 || c.Idx >= len(row) {
+		return Null(), fmt.Errorf("db: column index %d out of range (row has %d)", c.Idx, len(row))
+	}
+	return row[c.Idx], nil
+}
+
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Idx)
+}
+
+// Const is a literal.
+type Const struct {
+	V Value
+}
+
+// Eval implements Expr.
+func (c *Const) Eval(Row) (Value, error) { return c.V, nil }
+
+func (c *Const) String() string {
+	if c.V.T == TString || c.V.T == TNString {
+		return "'" + c.V.S + "'"
+	}
+	return c.V.String()
+}
+
+// Binary applies an infix operator: comparisons (=, <>, <, <=, >, >=),
+// logical AND/OR, and arithmetic (+, -, *, /).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b *Binary) Eval(row Row) (Value, error) {
+	l, err := b.L.Eval(row)
+	if err != nil {
+		return Null(), err
+	}
+	// Short-circuit logic.
+	switch b.Op {
+	case "AND":
+		if !l.Bool() {
+			return Int(0), nil
+		}
+		r, err := b.R.Eval(row)
+		if err != nil {
+			return Null(), err
+		}
+		return boolVal(r.Bool()), nil
+	case "OR":
+		if l.Bool() {
+			return Int(1), nil
+		}
+		r, err := b.R.Eval(row)
+		if err != nil {
+			return Null(), err
+		}
+		return boolVal(r.Bool()), nil
+	}
+	r, err := b.R.Eval(row)
+	if err != nil {
+		return Null(), err
+	}
+	switch b.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Int(0), nil // SQL-ish: comparisons with NULL are not true
+		}
+		c := Compare(l, r)
+		switch b.Op {
+		case "=":
+			return boolVal(c == 0), nil
+		case "<>":
+			return boolVal(c != 0), nil
+		case "<":
+			return boolVal(c < 0), nil
+		case "<=":
+			return boolVal(c <= 0), nil
+		case ">":
+			return boolVal(c > 0), nil
+		default:
+			return boolVal(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			if b.Op == "+" && (l.T == TString || l.T == TNString) && (r.T == TString || r.T == TNString) {
+				return Str(l.S + r.S), nil
+			}
+			return Null(), fmt.Errorf("db: non-numeric operands for %s: %v, %v", b.Op, l, r)
+		}
+		var out float64
+		switch b.Op {
+		case "+":
+			out = lf + rf
+		case "-":
+			out = lf - rf
+		case "*":
+			out = lf * rf
+		default:
+			if rf == 0 {
+				return Null(), fmt.Errorf("db: division by zero")
+			}
+			out = lf / rf
+		}
+		if l.T == TInt && r.T == TInt && b.Op != "/" {
+			return Int(int64(out)), nil
+		}
+		return Float(out), nil
+	default:
+		return Null(), fmt.Errorf("db: unknown operator %q", b.Op)
+	}
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// Not negates a predicate.
+type Not struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (n *Not) Eval(row Row) (Value, error) {
+	v, err := n.E.Eval(row)
+	if err != nil {
+		return Null(), err
+	}
+	return boolVal(!v.Bool()), nil
+}
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// UDF is a user-defined function: the extension mechanism the paper
+// uses to add LexEQUAL to a database server (§3.2).
+type UDF func(args []Value) (Value, error)
+
+// FuncRegistry maps lowercase function names to UDFs.
+type FuncRegistry struct {
+	fns map[string]UDF
+}
+
+// NewFuncRegistry returns a registry with the built-in scalar functions
+// (LENGTH, LOWER, UPPER, ABS) registered.
+func NewFuncRegistry() *FuncRegistry {
+	r := &FuncRegistry{fns: map[string]UDF{}}
+	r.Register("length", func(args []Value) (Value, error) {
+		if err := arity("length", args, 1); err != nil {
+			return Null(), err
+		}
+		return Int(int64(len([]rune(args[0].S)))), nil
+	})
+	r.Register("lower", func(args []Value) (Value, error) {
+		if err := arity("lower", args, 1); err != nil {
+			return Null(), err
+		}
+		v := args[0]
+		v.S = strings.ToLower(v.S)
+		return v, nil
+	})
+	r.Register("upper", func(args []Value) (Value, error) {
+		if err := arity("upper", args, 1); err != nil {
+			return Null(), err
+		}
+		v := args[0]
+		v.S = strings.ToUpper(v.S)
+		return v, nil
+	})
+	r.Register("abs", func(args []Value) (Value, error) {
+		if err := arity("abs", args, 1); err != nil {
+			return Null(), err
+		}
+		switch args[0].T {
+		case TInt:
+			if args[0].I < 0 {
+				return Int(-args[0].I), nil
+			}
+			return args[0], nil
+		case TFloat:
+			if args[0].F < 0 {
+				return Float(-args[0].F), nil
+			}
+			return args[0], nil
+		default:
+			return Null(), fmt.Errorf("db: abs of non-number")
+		}
+	})
+	return r
+}
+
+func arity(name string, args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("db: %s expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+// Register installs (or replaces) a UDF.
+func (r *FuncRegistry) Register(name string, fn UDF) {
+	r.fns[strings.ToLower(name)] = fn
+}
+
+// Lookup finds a UDF by name.
+func (r *FuncRegistry) Lookup(name string) (UDF, bool) {
+	fn, ok := r.fns[strings.ToLower(name)]
+	return fn, ok
+}
+
+// Call invokes a UDF over argument expressions.
+type Call struct {
+	Name string
+	Fn   UDF
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(row Row) (Value, error) {
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(row)
+		if err != nil {
+			return Null(), err
+		}
+		args[i] = v
+	}
+	return c.Fn(args)
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}

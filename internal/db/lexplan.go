@@ -1,0 +1,648 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"lexequal/internal/core"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/qgram"
+	"lexequal/internal/soundex"
+	"lexequal/internal/store"
+)
+
+// FuncExpr adapts a closure into an Expr (used for predicates that
+// close over prepared state, like a transformed query string).
+type FuncExpr struct {
+	F    func(Row) (Value, error)
+	Desc string
+}
+
+// Eval implements Expr.
+func (f *FuncExpr) Eval(row Row) (Value, error) { return f.F(row) }
+
+func (f *FuncExpr) String() string { return f.Desc }
+
+// LexConfig binds a multiscript name table to the physical structures
+// the LexEQUAL strategies need. The conventional layout (produced by
+// the dataset loader) is:
+//
+//	<table>(id INT, name NSTRING, pname STRING, groupid INT)
+//	<table>_qgrams(id INT, pos INT, qgram STRING)
+//	index <table>_id_idx  on <table>(id)
+//	index <table>_gid_idx on <table>(groupid)
+type LexConfig struct {
+	Table    *Table
+	IDCol    int
+	NameCol  int
+	PhonCol  int
+	GroupCol int
+
+	Aux                    *Table // nil disables the q-gram strategy
+	AuxID, AuxPos, AuxGram int
+	AuxHash                int // -1 when the aux table has no gramhash column
+
+	IDIndex      *Index // nil disables q-gram candidate fetch by index
+	GroupIndex   *Index // nil disables the phonetic-index strategy
+	AuxHashIndex *Index // nil makes the q-gram probe scan the aux table
+	CoverIndex   *Index // covering gram index: probe without heap fetches
+
+	Op *core.Operator
+	Q  int
+}
+
+// ResolveLexConfig locates the conventional structures for table.
+func ResolveLexConfig(d *DB, table string, op *core.Operator) (*LexConfig, error) {
+	t, ok := d.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", table)
+	}
+	cfg := &LexConfig{Table: t, Op: op, Q: core.DefaultQ}
+	cfg.IDCol = t.Columns.ColIndex("id")
+	cfg.NameCol = t.Columns.ColIndex("name")
+	cfg.PhonCol = t.Columns.ColIndex("pname")
+	cfg.GroupCol = t.Columns.ColIndex("groupid")
+	if cfg.NameCol < 0 {
+		return nil, fmt.Errorf("db: table %q lacks a name column", table)
+	}
+	if aux, ok := d.Table(table + "_qgrams"); ok {
+		cfg.Aux = aux
+		cfg.AuxID = aux.Columns.ColIndex("id")
+		cfg.AuxPos = aux.Columns.ColIndex("pos")
+		cfg.AuxGram = aux.Columns.ColIndex("qgram")
+		cfg.AuxHash = aux.Columns.ColIndex("gramhash")
+		if cfg.AuxID < 0 || cfg.AuxPos < 0 || cfg.AuxGram < 0 {
+			return nil, fmt.Errorf("db: aux table %s_qgrams has wrong schema", table)
+		}
+		if cfg.AuxHash >= 0 {
+			if ix, ok := d.IndexOn(aux.Name, "gramhash"); ok {
+				cfg.AuxHashIndex = ix
+			}
+		}
+		if ix, ok := d.Index(CoverIndexName(t.Name)); ok {
+			cfg.CoverIndex = ix
+		}
+	} else {
+		cfg.AuxHash = -1
+	}
+	if ix, ok := d.IndexOn(t.Name, "id"); ok {
+		cfg.IDIndex = ix
+	}
+	if ix, ok := d.IndexOn(t.Name, "groupid"); ok {
+		cfg.GroupIndex = ix
+	}
+	return cfg, nil
+}
+
+// GramHash maps a q-gram key to a non-negative int64 for B-tree
+// indexing (FNV-1a). Collisions only enlarge the candidate set — the
+// gram string is re-checked on fetch — so they cost time, never
+// correctness.
+func GramHash(key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
+}
+
+// phonemes decodes the stored phonemic string of a row, falling back to
+// transforming the name when no pname column exists.
+func (cfg *LexConfig) phonemes(row Row) (phoneme.String, bool) {
+	if cfg.PhonCol >= 0 && row[cfg.PhonCol].T == TString {
+		return phoneme.ParseLenient(row[cfg.PhonCol].S), true
+	}
+	nv := row[cfg.NameCol]
+	if nv.T != TNString {
+		return nil, false
+	}
+	p, err := cfg.Op.Transform(nv.S, nv.Lang)
+	if err != nil {
+		return nil, false
+	}
+	return p, true
+}
+
+// langOK applies the INLANGUAGES filter to a row.
+func (cfg *LexConfig) langOK(row Row, langs core.LangSet) bool {
+	nv := row[cfg.NameCol]
+	return nv.T == TNString && langs.Contains(nv.Lang)
+}
+
+// NewLexScanNaive builds the Table-1 plan: a sequential scan invoking
+// the LexEQUAL UDF on every row.
+func NewLexScanNaive(cfg *LexConfig, query core.Text, threshold float64, langs core.LangSet) Node {
+	qp, err := cfg.Op.Transform(query.Value, query.Lang)
+	if err != nil {
+		return ErrNode("lexequal: %v", err)
+	}
+	pred := &FuncExpr{
+		Desc: fmt.Sprintf("LexEQUAL(name, '%s', %g)", query.Value, threshold),
+		F: func(row Row) (Value, error) {
+			if !cfg.langOK(row, langs) {
+				return Int(0), nil
+			}
+			rp, ok := cfg.phonemes(row)
+			if !ok {
+				return Int(0), nil
+			}
+			return boolVal(cfg.Op.MatchPhonemes(qp, rp, threshold)), nil
+		},
+	}
+	return &Filter{Child: NewSeqScan(cfg.Table), Pred: pred}
+}
+
+// lexRowsNode yields precomputed rows (the materializing strategies).
+type lexRowsNode struct {
+	cols Schema
+	run  func() ([]Row, error)
+	rows []Row
+	idx  int
+}
+
+func (n *lexRowsNode) Columns() Schema { return n.cols }
+
+func (n *lexRowsNode) Open() error {
+	rows, err := n.run()
+	if err != nil {
+		return err
+	}
+	n.rows = rows
+	n.idx = 0
+	return nil
+}
+
+func (n *lexRowsNode) Next() (Row, error) {
+	if n.idx >= len(n.rows) {
+		return nil, nil
+	}
+	r := n.rows[n.idx]
+	n.idx++
+	return r, nil
+}
+
+func (n *lexRowsNode) Close() error { return nil }
+
+// NewLexScanQGram builds the Table-2 plan (Figure 14): probe the
+// auxiliary positional q-gram table with the query's grams, aggregate
+// match counts per row id (position filter inline), apply the length
+// and count filters, fetch surviving candidates via the id index, and
+// verify them with the UDF.
+func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs core.LangSet) Node {
+	if cfg.Aux == nil {
+		return ErrNode("lexequal: table %s has no q-gram auxiliary table", cfg.Table.Name)
+	}
+	if cfg.IDCol < 0 {
+		return ErrNode("lexequal: table %s has no id column", cfg.Table.Name)
+	}
+	return &lexRowsNode{cols: cfg.Table.Columns, run: func() ([]Row, error) {
+		qp, err := cfg.Op.Transform(query.Value, query.Lang)
+		if err != nil {
+			return nil, err
+		}
+		enc := soundex.NewEncoder(cfg.Op.Clusters())
+		qproj := enc.Project(qp)
+		k := lexSigBudget(threshold * float64(len(qp)))
+		// Build the query-gram hash (the tiny build side of the gram
+		// join in Figure 14).
+		queryGrams := map[string][]int{}
+		for _, g := range qgram.Extract(qproj, cfg.Q) {
+			queryGrams[g.Key()] = append(queryGrams[g.Key()], g.Pos)
+		}
+		// Probe: count position-compatible gram matches per base-row id
+		// (the gram join + GROUP BY of Figure 14). With a gramhash
+		// index the probe touches only matching aux rows — the plan a
+		// real optimizer picks for the Figure 14 SQL; without one it
+		// degrades to an aux-table scan.
+		counts := map[int64]int{}
+		tally := func(row Row) {
+			positions, ok := queryGrams[row[cfg.AuxGram].S]
+			if !ok {
+				return
+			}
+			pos := int(row[cfg.AuxPos].I)
+			for _, qpos := range positions {
+				if qgram.PositionOK(qpos, pos, k) {
+					counts[row[cfg.AuxID].I]++
+					break
+				}
+			}
+		}
+		switch {
+		case cfg.CoverIndex != nil:
+			// Index-only probe: (id, pos) pairs come straight from the
+			// covering index. A hash collision can only inflate a
+			// count, which admits an extra candidate for verification —
+			// never a dismissal.
+			for key, positions := range queryGrams {
+				vals, err := cfg.CoverIndex.Tree.Lookup(uint64(GramHash(key)))
+				if err != nil {
+					return nil, err
+				}
+				for _, v := range vals {
+					id, pos := UnpackCover(v)
+					for _, qpos := range positions {
+						if qgram.PositionOK(qpos, pos, k) {
+							counts[id]++
+							break
+						}
+					}
+				}
+			}
+		case cfg.AuxHashIndex != nil:
+			for key := range queryGrams {
+				rids, err := cfg.AuxHashIndex.Tree.Lookup(uint64(GramHash(key)))
+				if err != nil {
+					return nil, err
+				}
+				for _, packed := range rids {
+					row, err := cfg.Aux.Get(store.UnpackRID(packed))
+					if err != nil {
+						return nil, err
+					}
+					tally(row)
+				}
+			}
+		default:
+			err = cfg.Aux.Scan(func(_ store.RID, row Row) error {
+				tally(row)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Fetch candidates and verify. With an id index we fetch just
+		// the candidates; otherwise one more scan filters by id.
+		verify := func(row Row) (Row, error) {
+			if !cfg.langOK(row, langs) {
+				return nil, nil
+			}
+			rp, ok := cfg.phonemes(row)
+			if !ok {
+				return nil, nil
+			}
+			if !qgram.LengthOK(len(qp), len(rp), k) {
+				return nil, nil
+			}
+			need := qgram.CountThreshold(len(qp), len(rp), cfg.Q, k)
+			if need > 0 && counts[row[cfg.IDCol].I] < need {
+				return nil, nil
+			}
+			if cfg.Op.MatchPhonemes(qp, rp, threshold) {
+				return row, nil
+			}
+			return nil, nil
+		}
+		var out []Row
+		if cfg.IDIndex != nil {
+			// Prefilter on the count threshold before fetching: the
+			// smallest admissible candidate (len(qproj) - k projected
+			// phonemes) needs at least minNeed shared grams, so ids
+			// below that bound cannot pass the per-row check either.
+			minNeed := qgram.CountThreshold(len(qproj), len(qproj)-int(k), cfg.Q, k)
+			ids := make([]int64, 0, len(counts))
+			for id, cnt := range counts {
+				if minNeed > 0 && cnt < minNeed {
+					continue
+				}
+				ids = append(ids, id)
+			}
+			sortInt64s(ids)
+			for _, id := range ids {
+				rids, err := cfg.IDIndex.Tree.Lookup(uint64(id))
+				if err != nil {
+					return nil, err
+				}
+				for _, packed := range rids {
+					row, err := cfg.Table.Get(store.UnpackRID(packed))
+					if errors.Is(err, store.ErrDeleted) {
+						continue
+					}
+					if err != nil {
+						return nil, err
+					}
+					m, err := verify(row)
+					if err != nil {
+						return nil, err
+					}
+					if m != nil {
+						out = append(out, m)
+					}
+				}
+			}
+			// Note: candidates with zero shared grams can still be true
+			// matches when the count threshold is non-positive (very
+			// short strings). Sweep them with a residual length-bounded
+			// scan only in that regime.
+			if qgram.CountThreshold(len(qproj), len(qproj), cfg.Q, k) <= 0 {
+				err = cfg.Table.Scan(func(_ store.RID, row Row) error {
+					if _, seen := counts[row[cfg.IDCol].I]; seen {
+						return nil
+					}
+					m, err := verify(row)
+					if err != nil {
+						return err
+					}
+					if m != nil {
+						out = append(out, m)
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}
+		err = cfg.Table.Scan(func(_ store.RID, row Row) error {
+			if _, ok := counts[row[cfg.IDCol].I]; !ok && qgram.CountThreshold(len(qp), len(qp), cfg.Q, k) > 0 {
+				return nil
+			}
+			m, err := verify(row)
+			if err != nil {
+				return err
+			}
+			if m != nil {
+				out = append(out, m)
+			}
+			return nil
+		})
+		return out, err
+	}}
+}
+
+// NewLexScanIndexed builds the Table-3 plan (Figure 15): compute the
+// query's grouped phoneme string identifier, probe the B-tree index,
+// and verify the rows sharing the signature with the UDF.
+func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs core.LangSet) Node {
+	if cfg.GroupIndex == nil {
+		return ErrNode("lexequal: table %s has no phonetic index", cfg.Table.Name)
+	}
+	return &lexRowsNode{cols: cfg.Table.Columns, run: func() ([]Row, error) {
+		qp, err := cfg.Op.Transform(query.Value, query.Lang)
+		if err != nil {
+			return nil, err
+		}
+		enc := soundex.NewEncoder(cfg.Op.Clusters())
+		gid := enc.Encode(qp)
+		rids, err := cfg.GroupIndex.Tree.Lookup(uint64(gid))
+		if err != nil {
+			return nil, err
+		}
+		var out []Row
+		for _, packed := range rids {
+			row, err := cfg.Table.Get(store.UnpackRID(packed))
+			if errors.Is(err, store.ErrDeleted) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if !cfg.langOK(row, langs) {
+				continue
+			}
+			rp, ok := cfg.phonemes(row)
+			if !ok {
+				continue
+			}
+			if cfg.Op.MatchPhonemes(qp, rp, threshold) {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	}}
+}
+
+// NewLexJoin builds the equi-join plans of Figure 5: every pair of rows
+// from the two tables matching under LexEQUAL (optionally restricted to
+// different languages). Strategy selects the physical shape: Naive is
+// the UDF nested loop of Table 1; QGram probes the right table's aux
+// grams per left row (Table 2); Indexed probes the right table's
+// phonetic index per left row (Table 3). Output rows are the
+// concatenation left ++ right.
+func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat core.Strategy) Node {
+	cols := append(append(Schema{}, left.Table.Columns...), right.Table.Columns...)
+	return &lexRowsNode{cols: cols, run: func() ([]Row, error) {
+		var out []Row
+		emit := func(l, r Row, lp, rp phoneme.String) {
+			if diffLang && l[left.NameCol].Lang == r[right.NameCol].Lang {
+				return
+			}
+			if left.Op.MatchPhonemes(lp, rp, threshold) {
+				out = append(out, append(append(Row{}, l...), r...))
+			}
+		}
+		switch strat {
+		case core.Naive:
+			// Materialize the right side once (the optimizer's nested
+			// loop of §5.1).
+			var rightRows []Row
+			var rightPhon []phoneme.String
+			err := right.Table.Scan(func(_ store.RID, row Row) error {
+				rp, ok := right.phonemes(row)
+				if !ok {
+					return nil
+				}
+				rightRows = append(rightRows, row.Clone())
+				rightPhon = append(rightPhon, rp)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			err = left.Table.Scan(func(_ store.RID, lrow Row) error {
+				lp, ok := left.phonemes(lrow)
+				if !ok {
+					return nil
+				}
+				l := lrow.Clone()
+				for i, r := range rightRows {
+					emit(l, r, lp, rightPhon[i])
+				}
+				return nil
+			})
+			return out, err
+
+		case core.QGram:
+			if right.Aux == nil || right.IDCol < 0 {
+				return nil, fmt.Errorf("lexequal: join target %s lacks q-gram structures", right.Table.Name)
+			}
+			// Build an in-memory gram postings map of the right table
+			// once (equivalent to the aux-aux join of Figure 14 with
+			// the right aux as build side).
+			type post struct {
+				id  int64
+				pos int
+			}
+			postings := map[string][]post{}
+			err := right.Aux.Scan(func(_ store.RID, row Row) error {
+				postings[row[right.AuxGram].S] = append(postings[row[right.AuxGram].S],
+					post{id: row[right.AuxID].I, pos: int(row[right.AuxPos].I)})
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Materialize right rows by id for candidate fetch.
+			rightByID := map[int64][]Row{}
+			rightPhonByID := map[int64][]phoneme.String{}
+			err = right.Table.Scan(func(_ store.RID, row Row) error {
+				rp, ok := right.phonemes(row)
+				if !ok {
+					return nil
+				}
+				id := row[right.IDCol].I
+				rightByID[id] = append(rightByID[id], row.Clone())
+				rightPhonByID[id] = append(rightPhonByID[id], rp)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			enc := soundex.NewEncoder(left.Op.Clusters())
+			err = left.Table.Scan(func(_ store.RID, lrow Row) error {
+				lp, ok := left.phonemes(lrow)
+				if !ok {
+					return nil
+				}
+				l := lrow.Clone()
+				lproj := enc.Project(lp)
+				k := lexSigBudget(threshold * float64(len(lp)))
+				counts := map[int64]int{}
+				for _, g := range qgram.Extract(lproj, right.Q) {
+					for _, p := range postings[g.Key()] {
+						if qgram.PositionOK(g.Pos, p.pos, k) {
+							counts[p.id]++
+						}
+					}
+				}
+				ids := make([]int64, 0, len(counts))
+				for id := range counts {
+					ids = append(ids, id)
+				}
+				sortInt64s(ids)
+				for _, id := range ids {
+					cnt := counts[id]
+					for i, r := range rightByID[id] {
+						rp := rightPhonByID[id][i]
+						rproj := enc.Project(rp)
+						if !qgram.LengthOK(len(lproj), len(rproj), k) {
+							continue
+						}
+						need := qgram.CountThreshold(len(lproj), len(rproj), right.Q, k)
+						if need > 0 && cnt < need {
+							continue
+						}
+						emit(l, r, lp, rp)
+					}
+				}
+				return nil
+			})
+			return out, err
+
+		case core.Indexed:
+			if right.GroupIndex == nil {
+				return nil, fmt.Errorf("lexequal: join target %s lacks a phonetic index", right.Table.Name)
+			}
+			enc := soundex.NewEncoder(right.Op.Clusters())
+			err := left.Table.Scan(func(_ store.RID, lrow Row) error {
+				lp, ok := left.phonemes(lrow)
+				if !ok {
+					return nil
+				}
+				l := lrow.Clone()
+				rids, err := right.GroupIndex.Tree.Lookup(uint64(enc.Encode(lp)))
+				if err != nil {
+					return err
+				}
+				for _, packed := range rids {
+					r, err := right.Table.Get(store.UnpackRID(packed))
+					if errors.Is(err, store.ErrDeleted) {
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					rp, ok := right.phonemes(r)
+					if !ok {
+						continue
+					}
+					emit(l, r, lp, rp)
+				}
+				return nil
+			})
+			return out, err
+
+		default:
+			return nil, fmt.Errorf("lexequal: unknown strategy %v", strat)
+		}
+	}}
+}
+
+// lexSigBudget mirrors core's signature-space budget: every edit that
+// changes the signature projection costs at least one full unit, so the
+// clustered-cost bound is itself a sound unit-edit budget in projected
+// space.
+func lexSigBudget(bound float64) float64 {
+	return bound
+}
+
+func sortInt64s(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// RegisterLexEqualUDF installs the lexequal(name, query, threshold) UDF
+// into a function registry — the paper's outside-the-server integration
+// path. Both string arguments must be NSTRING (language-tagged); the
+// result is 1, 0, or NULL for NORESOURCE.
+func RegisterLexEqualUDF(r *FuncRegistry, op *core.Operator) {
+	r.Register("lexequal", func(args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Null(), fmt.Errorf("db: lexequal expects 3 arguments, got %d", len(args))
+		}
+		a, b, e := args[0], args[1], args[2]
+		if a.T != TNString || b.T != TNString {
+			return Null(), fmt.Errorf("db: lexequal arguments must be NSTRING")
+		}
+		thr, ok := e.AsFloat()
+		if !ok {
+			return Null(), fmt.Errorf("db: lexequal threshold must be numeric")
+		}
+		res, err := op.Match(
+			core.Text{Value: a.S, Lang: a.Lang},
+			core.Text{Value: b.S, Lang: b.Lang},
+			thr,
+		)
+		if err != nil {
+			return Null(), err
+		}
+		switch res {
+		case core.True:
+			return Int(1), nil
+		case core.False:
+			return Int(0), nil
+		default:
+			return Null(), nil // NORESOURCE
+		}
+	})
+	r.Register("soundex", func(args []Value) (Value, error) {
+		if err := arity("soundex", args, 1); err != nil {
+			return Null(), err
+		}
+		return Str(soundex.Classic(args[0].S)), nil
+	})
+	r.Register("phonemes", func(args []Value) (Value, error) {
+		if err := arity("phonemes", args, 1); err != nil {
+			return Null(), err
+		}
+		if args[0].T != TNString {
+			return Null(), fmt.Errorf("db: phonemes argument must be NSTRING")
+		}
+		p, err := op.Transform(args[0].S, args[0].Lang)
+		if err != nil {
+			return Null(), nil // NORESOURCE or untranscribable
+		}
+		return Str(p.IPA()), nil
+	})
+}

@@ -1,0 +1,288 @@
+package db
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"lexequal/internal/core"
+	"lexequal/internal/script"
+)
+
+func lexFixture(t *testing.T) (*DB, *LexConfig, *core.Operator) {
+	t.Helper()
+	d := openDB(t)
+	op := core.MustNew(core.Options{})
+	texts := []core.Text{
+		{Value: "Descartes", Lang: script.English}, // 0
+		{Value: "நேரு", Lang: script.Tamil},        // 1
+		{Value: "Σαρρη", Lang: script.Greek},       // 2
+		{Value: "Nero", Lang: script.English},      // 3
+		{Value: "Nehru", Lang: script.English},     // 4
+		{Value: "नेहरु", Lang: script.Hindi},       // 5
+		{Value: "Gandhi", Lang: script.English},    // 6
+		{Value: "गांधी", Lang: script.Hindi},       // 7
+		{Value: "காந்தி", Lang: script.Tamil},      // 8
+		{Value: "Kathy", Lang: script.English},     // 9
+		{Value: "Cathy", Lang: script.English},     // 10
+		{Value: "بهنسي", Lang: script.Arabic},      // 11: NORESOURCE
+	}
+	cfg, err := CreateNameTable(d, "names", op, texts, NameTableSpec{WithAux: true, WithIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cfg, op
+}
+
+func ids(rows []Row, idCol int) []int64 {
+	out := make([]int64, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r[idCol].I)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestLoaderLayout(t *testing.T) {
+	d, cfg, _ := lexFixture(t)
+	if cfg.Aux == nil || cfg.IDIndex == nil || cfg.GroupIndex == nil {
+		t.Fatal("loader did not build auxiliary structures")
+	}
+	tbl, _ := d.Table("names")
+	if tbl.Count() != 12 {
+		t.Errorf("row count = %d", tbl.Count())
+	}
+	aux, _ := d.Table("names_qgrams")
+	if aux.Count() == 0 {
+		t.Error("aux table empty")
+	}
+	// NORESOURCE row has NULL pname and groupid.
+	rows, _ := Collect(NewSeqScan(tbl))
+	last := rows[11]
+	if !last[cfg.PhonCol].IsNull() || !last[cfg.GroupCol].IsNull() {
+		t.Errorf("NORESOURCE row has phonemes: %v", last)
+	}
+	// Other rows carry IPA that parses.
+	if rows[4][cfg.PhonCol].S == "" {
+		t.Error("English row lacks pname")
+	}
+}
+
+func TestLexScanNaive(t *testing.T) {
+	_, cfg, _ := lexFixture(t)
+	q := core.Text{Value: "Nehru", Lang: script.English}
+	rows, err := Collect(NewLexScanNaive(cfg, q, 0.30, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(rows, cfg.IDCol)
+	for _, want := range []int64{1, 4, 5} {
+		if !containsID(got, want) {
+			t.Errorf("naive scan missing id %d (got %v)", want, got)
+		}
+	}
+}
+
+func containsID(xs []int64, x int64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLexScanStrategiesAgree(t *testing.T) {
+	_, cfg, _ := lexFixture(t)
+	queries := []core.Text{
+		{Value: "Nehru", Lang: script.English},
+		{Value: "Gandhi", Lang: script.English},
+		{Value: "Cathy", Lang: script.English},
+		{Value: "Σαρρη", Lang: script.Greek},
+	}
+	for _, q := range queries {
+		for _, thr := range []float64{0.1, 0.25, 0.3, 0.4} {
+			naive, err := Collect(NewLexScanNaive(cfg, q, thr, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qg, err := Collect(NewLexScanQGram(cfg, q, thr, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ids(naive, cfg.IDCol), ids(qg, cfg.IDCol)) {
+				t.Errorf("%v @%v: naive %v != qgram %v", q, thr, ids(naive, cfg.IDCol), ids(qg, cfg.IDCol))
+			}
+			idx, err := Collect(NewLexScanIndexed(cfg, q, thr, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			naiveIDs := ids(naive, cfg.IDCol)
+			for _, id := range ids(idx, cfg.IDCol) {
+				if !containsID(naiveIDs, id) {
+					t.Errorf("%v @%v: indexed invented id %d", q, thr, id)
+				}
+			}
+		}
+	}
+}
+
+func TestLexScanLanguageFilter(t *testing.T) {
+	_, cfg, _ := lexFixture(t)
+	q := core.Text{Value: "Nehru", Lang: script.English}
+	langs := core.NewLangSet(script.Hindi, script.Tamil)
+	for name, node := range map[string]Node{
+		"naive": NewLexScanNaive(cfg, q, 0.3, langs),
+		"qgram": NewLexScanQGram(cfg, q, 0.3, langs),
+		"index": NewLexScanIndexed(cfg, q, 0.3, langs),
+	} {
+		rows, err := Collect(node)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range rows {
+			if l := r[cfg.NameCol].Lang; l != script.Hindi && l != script.Tamil {
+				t.Errorf("%s leaked language %v", name, l)
+			}
+		}
+	}
+}
+
+func TestLexScanErrsWithoutStructures(t *testing.T) {
+	d := openDB(t)
+	op := core.MustNew(core.Options{})
+	cfg, err := CreateNameTable(d, "bare", op, []core.Text{
+		{Value: "Nehru", Lang: script.English},
+	}, NameTableSpec{}) // no aux, no indexes
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Text{Value: "Nehru", Lang: script.English}
+	if _, err := Collect(NewLexScanQGram(cfg, q, 0.3, nil)); err == nil {
+		t.Error("qgram scan without aux table succeeded")
+	}
+	if _, err := Collect(NewLexScanIndexed(cfg, q, 0.3, nil)); err == nil {
+		t.Error("indexed scan without index succeeded")
+	}
+	// Naive still works.
+	rows, err := Collect(NewLexScanNaive(cfg, q, 0.3, nil))
+	if err != nil || len(rows) != 1 {
+		t.Errorf("naive scan on bare table = %v, %v", rows, err)
+	}
+}
+
+func TestLexJoinStrategies(t *testing.T) {
+	_, cfg, _ := lexFixture(t)
+	type pair struct{ l, r int64 }
+	collect := func(strat core.Strategy) map[pair]bool {
+		rows, err := Collect(NewLexJoin(cfg, cfg, 0.30, true, strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := len(cfg.Table.Columns)
+		out := map[pair]bool{}
+		for _, r := range rows {
+			out[pair{r[cfg.IDCol].I, r[w+cfg.IDCol].I}] = true
+		}
+		return out
+	}
+	naive := collect(core.Naive)
+	// Cross-language Nehru and Gandhi pairs must be present.
+	for _, want := range []pair{{1, 4}, {4, 1}, {1, 5}, {4, 5}, {6, 7}, {7, 8}} {
+		if !naive[want] {
+			t.Errorf("naive join missing %v", want)
+		}
+	}
+	// Same-language pairs excluded.
+	if naive[pair{9, 10}] {
+		t.Error("join kept same-language Kathy/Cathy despite diffLang")
+	}
+	qg := collect(core.QGram)
+	if !reflect.DeepEqual(naive, qg) {
+		t.Errorf("qgram join differs from naive:\nnaive %v\nqgram %v", naive, qg)
+	}
+	idx := collect(core.Indexed)
+	for p := range idx {
+		if !naive[p] {
+			t.Errorf("indexed join invented %v", p)
+		}
+	}
+	if len(idx) == 0 {
+		t.Error("indexed join found nothing")
+	}
+}
+
+func TestLexJoinWithoutDiffLang(t *testing.T) {
+	_, cfg, _ := lexFixture(t)
+	rows, err := Collect(NewLexJoin(cfg, cfg, 0.0, false, core.Indexed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := len(cfg.Table.Columns)
+	found := false
+	for _, r := range rows {
+		if r[cfg.IDCol].I == 9 && r[w+cfg.IDCol].I == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("indexed join missed identical-phoneme Kathy/Cathy")
+	}
+}
+
+func TestLexEqualUDF(t *testing.T) {
+	_, cfg, op := lexFixture(t)
+	r := NewFuncRegistry()
+	RegisterLexEqualUDF(r, op)
+	fn, ok := r.Lookup("LEXEQUAL")
+	if !ok {
+		t.Fatal("lexequal UDF not registered")
+	}
+	v, err := fn([]Value{NStr("Nehru", script.English), NStr("नेहरु", script.Hindi), Float(0.3)})
+	if err != nil || v.I != 1 {
+		t.Errorf("lexequal UDF = %v, %v", v, err)
+	}
+	v, err = fn([]Value{NStr("Nehru", script.English), NStr("Gandhi", script.English), Float(0.3)})
+	if err != nil || v.I != 0 {
+		t.Errorf("lexequal non-match = %v, %v", v, err)
+	}
+	// NORESOURCE yields NULL.
+	v, err = fn([]Value{NStr("Nehru", script.English), NStr("بهنسي", script.Arabic), Float(0.3)})
+	if err != nil || !v.IsNull() {
+		t.Errorf("lexequal NORESOURCE = %v, %v", v, err)
+	}
+	// Bad arguments.
+	if _, err := fn([]Value{Str("x"), Str("y"), Float(0.3)}); err == nil {
+		t.Error("non-NSTRING arguments accepted")
+	}
+	if _, err := fn([]Value{NStr("x", script.English)}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// soundex and phonemes UDFs.
+	sdx, _ := r.Lookup("soundex")
+	v, err = sdx([]Value{Str("Nehru")})
+	if err != nil || v.S != "N600" {
+		t.Errorf("soundex UDF = %v, %v", v, err)
+	}
+	ph, _ := r.Lookup("phonemes")
+	v, err = ph([]Value{NStr("Nehru", script.English)})
+	if err != nil || v.S != "neːru" {
+		t.Errorf("phonemes UDF = %v, %v", v, err)
+	}
+	// UDF in a query plan: count matches via Filter.
+	call := &Call{Name: "lexequal", Fn: fn, Args: []Expr{
+		&ColRef{Idx: cfg.NameCol},
+		&Const{V: NStr("Nehru", script.English)},
+		&Const{V: Float(0.3)},
+	}}
+	rows, err := Collect(&Filter{Child: NewSeqScan(cfg.Table), Pred: call})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ids(rows, cfg.IDCol)
+	for _, want := range []int64{1, 4, 5} {
+		if !containsID(got, want) {
+			t.Errorf("UDF filter missing id %d (got %v)", want, got)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+
+	"lexequal/internal/core"
+	"lexequal/internal/qgram"
+	"lexequal/internal/soundex"
+	"lexequal/internal/store"
+)
+
+// NameTableSpec controls CreateNameTable.
+type NameTableSpec struct {
+	// WithAux builds the <table>_qgrams auxiliary table (Figure 14).
+	WithAux bool
+	// WithIndexes builds the id index and the grouped-phoneme-id B-tree
+	// (Figure 15).
+	WithIndexes bool
+	// Q is the gram length (0 selects core.DefaultQ).
+	Q int
+}
+
+// CreateNameTable creates and loads the conventional multiscript name
+// layout for texts:
+//
+//	<name>(id INT, name NSTRING, pname STRING, groupid INT)
+//	<name>_qgrams(id INT, pos INT, qgram STRING)        [spec.WithAux]
+//	<name>_id_idx on id, <name>_gid_idx on groupid      [spec.WithIndexes]
+//
+// Rows whose language has no TTP converter get NULL pname/groupid and
+// never match (the NORESOURCE rows). Row ids are the positions in
+// texts.
+func CreateNameTable(d *DB, name string, op *core.Operator, texts []core.Text, spec NameTableSpec) (*LexConfig, error) {
+	q := spec.Q
+	if q == 0 {
+		q = core.DefaultQ
+	}
+	if q < 2 {
+		return nil, fmt.Errorf("db: q must be >= 2, got %d", q)
+	}
+	t, err := d.CreateTable(name, Schema{
+		{Name: "id", Type: TInt},
+		{Name: "name", Type: TNString},
+		{Name: "pname", Type: TString},
+		{Name: "groupid", Type: TInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var aux *Table
+	if spec.WithAux {
+		aux, err = d.CreateTable(name+"_qgrams", Schema{
+			{Name: "id", Type: TInt},
+			{Name: "pos", Type: TInt},
+			{Name: "qgram", Type: TString},
+			{Name: "gramhash", Type: TInt},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	enc := soundex.NewEncoder(op.Clusters())
+	for i, text := range texts {
+		row := Row{Int(int64(i)), NStr(text.Value, text.Lang), Null(), Null()}
+		if op.Registry().Has(text.Lang) {
+			p, err := op.Transform(text.Value, text.Lang)
+			if err != nil {
+				return nil, fmt.Errorf("db: load row %d (%s): %w", i, text, err)
+			}
+			row[2] = Str(p.IPA())
+			row[3] = Int(int64(enc.Encode(p)))
+			if aux != nil {
+				for _, g := range qgram.Extract(enc.Project(p), q) {
+					key := g.Key()
+					if _, err := aux.Insert(Row{Int(int64(i)), Int(int64(g.Pos)), Str(key), Int(GramHash(key))}); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	if spec.WithIndexes {
+		if _, err := d.CreateIndex(name+"_id_idx", name, "id"); err != nil {
+			return nil, err
+		}
+		if _, err := d.CreateIndex(name+"_gid_idx", name, "groupid"); err != nil {
+			return nil, err
+		}
+		if spec.WithAux {
+			if _, err := d.CreateIndex(name+"_qgrams_hash_idx", name+"_qgrams", "gramhash"); err != nil {
+				return nil, err
+			}
+			// Covering index: gramhash -> (id, pos) packed into the
+			// value, so the gram probe never touches the aux heap (the
+			// index-only plan a real optimizer would use for Figure 14).
+			if err := buildCoverIndex(d, name, aux); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cfg, err := ResolveLexConfig(d, name, op)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Q = q
+	return cfg, nil
+}
+
+// CoverValue packs an aux-table (id, pos) pair into a B-tree value for
+// the covering gram index; positions fit comfortably in 16 bits.
+func CoverValue(id int64, pos int) uint64 { return uint64(id)<<16 | uint64(pos&0xFFFF) }
+
+// UnpackCover reverses CoverValue.
+func UnpackCover(v uint64) (id int64, pos int) { return int64(v >> 16), int(v & 0xFFFF) }
+
+// CoverIndexName is the naming convention for the covering gram index.
+func CoverIndexName(table string) string { return table + "_qgrams_cover" }
+
+// coverColumn marks the covering index in the catalog; it resolves to
+// no real column, so ordinary insert-time index maintenance skips it.
+const coverColumn = "(gramhash)->(id,pos)"
+
+// buildCoverIndex bulk-loads the covering gram index from the aux
+// table.
+func buildCoverIndex(d *DB, name string, aux *Table) error {
+	idxName := CoverIndexName(name)
+	bt, err := store.OpenBTree(d.indexPath(idxName), d.cachePages)
+	if err != nil {
+		return err
+	}
+	idCol := aux.Columns.ColIndex("id")
+	posCol := aux.Columns.ColIndex("pos")
+	hashCol := aux.Columns.ColIndex("gramhash")
+	err = aux.Scan(func(_ store.RID, row Row) error {
+		return bt.Insert(uint64(row[hashCol].I), CoverValue(row[idCol].I, int(row[posCol].I)))
+	})
+	if err != nil {
+		bt.Close()
+		return err
+	}
+	d.indexes[strings.ToLower(idxName)] = &Index{
+		Def:  IndexDef{Name: idxName, Table: aux.Name, Column: coverColumn},
+		Tree: bt,
+	}
+	return d.saveCatalog()
+}

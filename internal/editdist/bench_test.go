@@ -1,0 +1,54 @@
+package editdist
+
+import (
+	"testing"
+
+	"lexequal/internal/phoneme"
+)
+
+var benchPairs = []struct {
+	name string
+	a, b phoneme.String
+}{
+	{"close", phoneme.MustParse("dʒəʋaːɦərlaːl"), phoneme.MustParse("dʒawɑhɑrlɑl")},
+	{"far", phoneme.MustParse("dʒəʋaːɦərlaːl"), phoneme.MustParse("pɒtæsiəm")},
+	{"short", phoneme.MustParse("neru"), phoneme.MustParse("nero")},
+}
+
+func benchModel() CostModel {
+	cm, err := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}
+
+func BenchmarkDistanceFull(b *testing.B) {
+	cm := benchModel()
+	for _, p := range benchPairs {
+		b.Run(p.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Distance(p.a, p.b, cm)
+			}
+		})
+	}
+}
+
+func BenchmarkDistanceBounded(b *testing.B) {
+	cm := benchModel()
+	for _, p := range benchPairs {
+		b.Run(p.name, func(b *testing.B) {
+			bound := 0.25 * float64(len(p.b))
+			for i := 0; i < b.N; i++ {
+				DistanceBounded(p.a, p.b, cm, bound)
+			}
+		})
+	}
+}
+
+func BenchmarkAlign(b *testing.B) {
+	cm := benchModel()
+	for i := 0; i < b.N; i++ {
+		Align(benchPairs[0].a, benchPairs[0].b, cm)
+	}
+}

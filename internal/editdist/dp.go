@@ -1,0 +1,249 @@
+package editdist
+
+import (
+	"fmt"
+	"strings"
+
+	"lexequal/internal/phoneme"
+)
+
+// Distance computes the edit distance between phoneme strings a and b
+// under the given cost model, with the classical O(|a|·|b|) dynamic
+// program of Figure 8 (two-row formulation, O(min) extra space after the
+// swap below).
+func Distance(a, b phoneme.String, cm CostModel) float64 {
+	// Keep the shorter string as the column dimension.
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	n := len(b)
+	prev := make([]float64, n+1)
+	curr := make([]float64, n+1)
+	prev[0] = 0
+	for j := 1; j <= n; j++ {
+		prev[j] = prev[j-1] + cm.Ins(b[j-1])
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = prev[0] + cm.Del(a[i-1])
+		ai := a[i-1]
+		for j := 1; j <= n; j++ {
+			del := prev[j] + cm.Del(ai)
+			ins := curr[j-1] + cm.Ins(b[j-1])
+			sub := prev[j-1] + cm.Sub(ai, b[j-1])
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	return prev[n]
+}
+
+// DistanceBounded computes the edit distance if it is at most bound and
+// returns (distance, true); otherwise it returns (_, false) having
+// short-circuited. It restricts the dynamic program to a diagonal band
+// of half-width ⌊bound/IndelFloor⌋ — cells outside the band provably
+// exceed the bound because reaching them requires that many net
+// insertions or deletions — and exits early when an entire row exceeds
+// the bound. This is the kernel the LexEQUAL operator actually runs:
+// the match threshold always supplies a bound.
+func DistanceBounded(a, b phoneme.String, cm CostModel, bound float64) (float64, bool) {
+	if bound < 0 {
+		return 0, false
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	floor := cm.IndelFloor()
+	if floor <= 0 {
+		// Degenerate model: fall back to the full DP.
+		d := Distance(a, b, cm)
+		return d, d <= bound
+	}
+	k := int(bound / floor) // band half-width
+	if len(a)-len(b) > k {
+		// Length filter: |len(a)-len(b)|·floor already exceeds bound.
+		return 0, false
+	}
+	n := len(b)
+	const inf = 1e18
+	prev := make([]float64, n+1)
+	curr := make([]float64, n+1)
+	prev[0] = 0
+	for j := 1; j <= n; j++ {
+		if j <= k {
+			prev[j] = prev[j-1] + cm.Ins(b[j-1])
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			curr[0] = prev[0] + cm.Del(a[i-1])
+		}
+		ai := a[i-1]
+		rowMin := inf
+		if lo == 1 && curr[0] < rowMin {
+			rowMin = curr[0]
+		}
+		for j := lo; j <= hi; j++ {
+			del := prev[j] + cm.Del(ai)
+			ins := curr[j-1] + cm.Ins(b[j-1])
+			sub := prev[j-1] + cm.Sub(ai, b[j-1])
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			curr[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < n {
+			curr[hi+1] = inf
+		}
+		if rowMin > bound {
+			return 0, false
+		}
+		prev, curr = curr, prev
+	}
+	if prev[n] > bound {
+		return 0, false
+	}
+	return prev[n], true
+}
+
+// OpKind labels one step of an alignment.
+type OpKind uint8
+
+// Alignment operation kinds.
+const (
+	OpMatch OpKind = iota // identical phonemes
+	OpSub                 // substitution
+	OpIns                 // insertion (present in b, absent in a)
+	OpDel                 // deletion (present in a, absent in b)
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMatch:
+		return "match"
+	case OpSub:
+		return "sub"
+	case OpIns:
+		return "ins"
+	case OpDel:
+		return "del"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one step of an optimal alignment between two phoneme strings.
+type Op struct {
+	Kind OpKind
+	A, B phoneme.Phoneme // phoneme.Invalid on the absent side of ins/del
+	Cost float64
+}
+
+// Alignment is an optimal edit script with its total cost.
+type Alignment struct {
+	Ops  []Op
+	Cost float64
+}
+
+// String renders the alignment in a compact three-line-ish form, e.g.
+// "n=n e~eː h- r=r u=u" where '=' is match, '~' substitution, '-'
+// deletion and '+' insertion.
+func (al Alignment) String() string {
+	parts := make([]string, len(al.Ops))
+	for i, op := range al.Ops {
+		switch op.Kind {
+		case OpMatch:
+			parts[i] = op.A.IPA() + "=" + op.B.IPA()
+		case OpSub:
+			parts[i] = op.A.IPA() + "~" + op.B.IPA()
+		case OpIns:
+			parts[i] = "+" + op.B.IPA()
+		case OpDel:
+			parts[i] = op.A.IPA() + "-"
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Align computes an optimal alignment (with full backtrace) between a
+// and b under the cost model. It keeps the complete DP matrix and is
+// therefore intended for explanation and debugging, not the hot path.
+func Align(a, b phoneme.String, cm CostModel) Alignment {
+	la, lb := len(a), len(b)
+	d := make([][]float64, la+1)
+	for i := range d {
+		d[i] = make([]float64, lb+1)
+	}
+	for i := 1; i <= la; i++ {
+		d[i][0] = d[i-1][0] + cm.Del(a[i-1])
+	}
+	for j := 1; j <= lb; j++ {
+		d[0][j] = d[0][j-1] + cm.Ins(b[j-1])
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			del := d[i-1][j] + cm.Del(a[i-1])
+			ins := d[i][j-1] + cm.Ins(b[j-1])
+			sub := d[i-1][j-1] + cm.Sub(a[i-1], b[j-1])
+			m := sub
+			if del < m {
+				m = del
+			}
+			if ins < m {
+				m = ins
+			}
+			d[i][j] = m
+		}
+	}
+	// Backtrace, preferring diagonal moves for stable scripts.
+	var rev []Op
+	i, j := la, lb
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+cm.Sub(a[i-1], b[j-1]):
+			kind := OpSub
+			if a[i-1] == b[j-1] {
+				kind = OpMatch
+			}
+			rev = append(rev, Op{Kind: kind, A: a[i-1], B: b[j-1], Cost: cm.Sub(a[i-1], b[j-1])})
+			i--
+			j--
+		case i > 0 && d[i][j] == d[i-1][j]+cm.Del(a[i-1]):
+			rev = append(rev, Op{Kind: OpDel, A: a[i-1], B: phoneme.Invalid, Cost: cm.Del(a[i-1])})
+			i--
+		default:
+			rev = append(rev, Op{Kind: OpIns, A: phoneme.Invalid, B: b[j-1], Cost: cm.Ins(b[j-1])})
+			j--
+		}
+	}
+	ops := make([]Op, len(rev))
+	for k := range rev {
+		ops[k] = rev[len(rev)-1-k]
+	}
+	return Alignment{Ops: ops, Cost: d[la][lb]}
+}

@@ -1,0 +1,393 @@
+package editdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lexequal/internal/phoneme"
+)
+
+func ps(ipa string) phoneme.String { return phoneme.MustParse(ipa) }
+
+func TestDistanceLevenshteinBasics(t *testing.T) {
+	u := Unit{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"neru", "", 4},
+		{"", "neru", 4},
+		{"neru", "neru", 0},
+		{"neru", "nero", 1},  // one substitution
+		{"neru", "nehru", 1}, // one insertion
+		{"nehru", "neru", 1}, // one deletion
+		{"neru", "uren", 4},
+		{"sita", "ɡita", 1},
+	}
+	for _, c := range cases {
+		if got := Distance(ps(c.a), ps(c.b), u); got != c.want {
+			t.Errorf("Distance(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceClustered(t *testing.T) {
+	cm, err := NewClustered(phoneme.DefaultClusters(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p and b share the labial cluster: substitution costs 0.5.
+	if got := Distance(ps("pat"), ps("bat"), cm); got != 0.5 {
+		t.Errorf("intra-cluster sub = %v, want 0.5", got)
+	}
+	// p and k are in different clusters: full unit cost.
+	if got := Distance(ps("pat"), ps("kat"), cm); got != 1 {
+		t.Errorf("cross-cluster sub = %v, want 1", got)
+	}
+	// Identical strings remain 0.
+	if got := Distance(ps("pat"), ps("pat"), cm); got != 0 {
+		t.Errorf("identity = %v, want 0", got)
+	}
+	// ICSC=1 degenerates to Levenshtein.
+	lev, _ := NewClustered(phoneme.DefaultClusters(), 1)
+	for _, pair := range [][2]string{{"neru", "nero"}, {"pat", "bat"}, {"sita", "ɡita"}} {
+		if Distance(ps(pair[0]), ps(pair[1]), lev) != Distance(ps(pair[0]), ps(pair[1]), Unit{}) {
+			t.Errorf("ICSC=1 differs from Levenshtein on %v", pair)
+		}
+	}
+	// ICSC=0 makes intra-cluster substitutions free (phonetic Soundex).
+	sdx, _ := NewClustered(phoneme.DefaultClusters(), 0)
+	if got := Distance(ps("pat"), ps("bad"), sdx); got != 0 {
+		t.Errorf("soundex-mode distance = %v, want 0", got)
+	}
+}
+
+func TestNewClusteredValidation(t *testing.T) {
+	if _, err := NewClustered(nil, 0.5); err == nil {
+		t.Error("nil clusters accepted")
+	}
+	if _, err := NewClustered(phoneme.DefaultClusters(), -0.1); err == nil {
+		t.Error("negative ICSC accepted")
+	}
+	if _, err := NewClustered(phoneme.DefaultClusters(), 1.5); err == nil {
+		t.Error("ICSC > 1 accepted")
+	}
+}
+
+func TestDistanceBoundedAgreesWithFull(t *testing.T) {
+	models := []CostModel{Unit{}, mustClustered(0.5), mustClustered(0), Feature{}}
+	pairs := [][2]string{
+		{"neru", "nehru"}, {"dʒəvaːɦərlaːl", "dʒavaharlal"}, {"sita", "ɡita"},
+		{"", "abu"}, {"ram", ""}, {"ram", "ram"},
+		{"junəvɜrsɪti", "junivarsiti"}, {"pat", "tap"},
+	}
+	for _, cm := range models {
+		for _, p := range pairs {
+			a, b := ps(p[0]), ps(p[1])
+			full := Distance(a, b, cm)
+			for _, bound := range []float64{0, 0.5, 1, 1.5, 2, 3, 10} {
+				got, ok := DistanceBounded(a, b, cm, bound)
+				if full <= bound {
+					if !ok {
+						t.Errorf("%s: DistanceBounded(%q,%q,%v) rejected, full=%v", cm.Name(), p[0], p[1], bound, full)
+					} else if math.Abs(got-full) > 1e-9 {
+						t.Errorf("%s: DistanceBounded(%q,%q,%v)=%v, full=%v", cm.Name(), p[0], p[1], bound, got, full)
+					}
+				} else if ok {
+					t.Errorf("%s: DistanceBounded(%q,%q,%v) accepted with %v, full=%v", cm.Name(), p[0], p[1], bound, got, full)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceBoundedNegativeBound(t *testing.T) {
+	if _, ok := DistanceBounded(ps("a"), ps("a"), Unit{}, -1); ok {
+		t.Error("negative bound accepted")
+	}
+}
+
+func mustClustered(icsc float64) Clustered {
+	cm, err := NewClustered(phoneme.DefaultClusters(), icsc)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}
+
+// randomString derives a phoneme string from fuzz bytes.
+func randomString(bs []byte) phoneme.String {
+	all := phoneme.All()
+	s := make(phoneme.String, 0, len(bs))
+	for _, b := range bs {
+		s = append(s, all[int(b)%len(all)])
+	}
+	return s
+}
+
+// Property: Levenshtein distance is a metric.
+func TestQuickUnitMetric(t *testing.T) {
+	u := Unit{}
+	f := func(ba, bb, bc []byte) bool {
+		if len(ba) > 12 {
+			ba = ba[:12]
+		}
+		if len(bb) > 12 {
+			bb = bb[:12]
+		}
+		if len(bc) > 12 {
+			bc = bc[:12]
+		}
+		a, b, c := randomString(ba), randomString(bb), randomString(bc)
+		dab := Distance(a, b, u)
+		dba := Distance(b, a, u)
+		if dab != dba {
+			return false
+		}
+		if a.Equal(b) != (dab == 0) {
+			return false
+		}
+		// Triangle inequality.
+		dac := Distance(a, c, u)
+		dcb := Distance(c, b, u)
+		return dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clustered distance is symmetric, bounded by Levenshtein,
+// and satisfies the triangle inequality (substitution costs within an
+// equivalence-class structure are metric for ICSC in [0,1]).
+func TestQuickClusteredProperties(t *testing.T) {
+	cm := mustClustered(0.25)
+	u := Unit{}
+	f := func(ba, bb, bc []byte) bool {
+		if len(ba) > 10 {
+			ba = ba[:10]
+		}
+		if len(bb) > 10 {
+			bb = bb[:10]
+		}
+		if len(bc) > 10 {
+			bc = bc[:10]
+		}
+		a, b, c := randomString(ba), randomString(bb), randomString(bc)
+		dab := Distance(a, b, cm)
+		if dab != Distance(b, a, cm) {
+			return false
+		}
+		if dab > Distance(a, b, u)+1e-9 {
+			return false // clustered can only be cheaper than unit
+		}
+		if dab < 0 {
+			return false
+		}
+		dac := Distance(a, c, cm)
+		dcb := Distance(c, b, cm)
+		return dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the bounded distance agrees with the full DP on random
+// inputs and never accepts above the bound.
+func TestQuickBoundedConsistency(t *testing.T) {
+	cm := mustClustered(0.5)
+	f := func(ba, bb []byte, boundRaw uint8) bool {
+		if len(ba) > 14 {
+			ba = ba[:14]
+		}
+		if len(bb) > 14 {
+			bb = bb[:14]
+		}
+		a, b := randomString(ba), randomString(bb)
+		bound := float64(boundRaw%12) / 2
+		full := Distance(a, b, cm)
+		got, ok := DistanceBounded(a, b, cm, bound)
+		if full <= bound {
+			return ok && math.Abs(got-full) < 1e-9
+		}
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignBasics(t *testing.T) {
+	u := Unit{}
+	al := Align(ps("nehru"), ps("neru"), u)
+	if al.Cost != 1 {
+		t.Fatalf("alignment cost = %v, want 1", al.Cost)
+	}
+	var dels, inss, subs, matches int
+	for _, op := range al.Ops {
+		switch op.Kind {
+		case OpDel:
+			dels++
+			if op.B != phoneme.Invalid {
+				t.Error("deletion carries a B phoneme")
+			}
+		case OpIns:
+			inss++
+		case OpSub:
+			subs++
+		case OpMatch:
+			matches++
+			if op.Cost != 0 {
+				t.Error("match has nonzero cost")
+			}
+		}
+	}
+	if dels != 1 || inss != 0 || subs != 0 || matches != 4 {
+		t.Errorf("ops = %d del, %d ins, %d sub, %d match; want 1/0/0/4 (%s)", dels, inss, subs, matches, al)
+	}
+}
+
+// Property: the alignment's op costs sum to the DP distance, and
+// replaying the script transforms a into b.
+func TestQuickAlignReplay(t *testing.T) {
+	cm := mustClustered(0.5)
+	f := func(ba, bb []byte) bool {
+		if len(ba) > 10 {
+			ba = ba[:10]
+		}
+		if len(bb) > 10 {
+			bb = bb[:10]
+		}
+		a, b := randomString(ba), randomString(bb)
+		al := Align(a, b, cm)
+		if math.Abs(al.Cost-Distance(a, b, cm)) > 1e-9 {
+			return false
+		}
+		var sum float64
+		var rebuilt phoneme.String
+		ai := 0
+		for _, op := range al.Ops {
+			sum += op.Cost
+			switch op.Kind {
+			case OpMatch, OpSub:
+				if ai >= len(a) || a[ai] != op.A {
+					return false
+				}
+				rebuilt = append(rebuilt, op.B)
+				ai++
+			case OpDel:
+				if ai >= len(a) || a[ai] != op.A {
+					return false
+				}
+				ai++
+			case OpIns:
+				rebuilt = append(rebuilt, op.B)
+			}
+		}
+		return ai == len(a) && rebuilt.Equal(b) && math.Abs(sum-al.Cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignmentString(t *testing.T) {
+	al := Align(ps("neru"), ps("nero"), Unit{})
+	s := al.String()
+	if s == "" {
+		t.Error("empty alignment rendering")
+	}
+}
+
+func TestFeatureModelBounds(t *testing.T) {
+	fm := Feature{}
+	all := phoneme.All()
+	for _, a := range all {
+		if fm.Sub(a, a) != 0 {
+			t.Fatalf("Feature.Sub(%s,%s) != 0", a, a)
+		}
+		for _, b := range all {
+			c := fm.Sub(a, b)
+			if c < 0 || c > 1 {
+				t.Fatalf("Feature.Sub(%s,%s) = %v out of range", a, b, c)
+			}
+		}
+	}
+}
+
+func TestCostModelNames(t *testing.T) {
+	if (Unit{}).Name() == "" || (Feature{}).Name() == "" || mustClustered(0.5).Name() == "" {
+		t.Error("cost model with empty name")
+	}
+}
+
+func TestWeakIndelDiscount(t *testing.T) {
+	plain := mustClustered(0.25) // no weak discount
+	weak, err := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the glottal ɦ costs 1 under plain, 0.5 under weak.
+	a, b := ps("neɦru"), ps("neru")
+	if got := Distance(a, b, plain); got != 1 {
+		t.Errorf("plain glottal deletion = %v, want 1", got)
+	}
+	if got := Distance(a, b, weak); got != 0.5 {
+		t.Errorf("weak glottal deletion = %v, want 0.5", got)
+	}
+	// Schwa deletion is NOT discounted (it pairs with full vowels as a
+	// cheap substitution instead).
+	c, d := ps("nerəu"), ps("neru")
+	if Distance(c, d, weak) != Distance(c, d, plain) {
+		t.Error("schwa indel was discounted")
+	}
+	// Non-weak consonants keep full indel cost.
+	e, f := ps("nekru"), ps("neru")
+	if got := Distance(e, f, weak); got != 1 {
+		t.Errorf("velar deletion = %v, want 1", got)
+	}
+	// IndelFloor reflects the discount.
+	if weak.IndelFloor() != 0.5 || plain.IndelFloor() != 1 {
+		t.Errorf("IndelFloor: weak=%v plain=%v", weak.IndelFloor(), plain.IndelFloor())
+	}
+	if weak.Name() == plain.Name() {
+		t.Error("weak model name indistinct")
+	}
+}
+
+func TestNewClusteredWeakValidation(t *testing.T) {
+	if _, err := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, -0.5); err == nil {
+		t.Error("negative weak indel accepted")
+	}
+	if _, err := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 1.5); err == nil {
+		t.Error("weak indel > 1 accepted")
+	}
+}
+
+// Property: the weak model is still a metric (symmetric, triangle).
+func TestQuickWeakModelMetric(t *testing.T) {
+	cm, _ := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	f := func(ba, bb, bc []byte) bool {
+		if len(ba) > 8 {
+			ba = ba[:8]
+		}
+		if len(bb) > 8 {
+			bb = bb[:8]
+		}
+		if len(bc) > 8 {
+			bc = bc[:8]
+		}
+		a, b, c := randomString(ba), randomString(bb), randomString(bc)
+		dab := Distance(a, b, cm)
+		if math.Abs(dab-Distance(b, a, cm)) > 1e-9 {
+			return false
+		}
+		return dab <= Distance(a, c, cm)+Distance(c, b, cm)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package metrics implements the match-quality methodology of the
+// paper's §4.2: every phonemic string is matched against every other,
+// a match is correct iff the tag numbers agree, and
+//
+//	Recall    = m1 / Σ C(n_i, 2)
+//	Precision = m1 / m2
+//
+// where m1 counts correct reported matches and m2 all reported matches.
+// The evaluator computes each pair's distance ratio once per cost model
+// and then derives the full threshold sweep from the sorted ratios, so
+// regenerating Figures 11 and 12 costs one all-pairs pass per ICSC
+// value.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lexequal/internal/core"
+	"lexequal/internal/dataset"
+	"lexequal/internal/editdist"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/ttp"
+)
+
+// QualityPoint is one (threshold, cost) evaluation.
+type QualityPoint struct {
+	Threshold float64
+	ICSC      float64
+	Recall    float64
+	Precision float64
+	Correct   int // m1
+	Reported  int // m2
+	Ideal     int // Σ C(n_i, 2)
+}
+
+// Distance from the perfect-match corner (recall 1, precision 1); the
+// paper picks operating parameters by proximity to that corner.
+func (p QualityPoint) CornerDistance() float64 {
+	dr := 1 - p.Recall
+	dp := 1 - p.Precision
+	return math.Sqrt(dr*dr + dp*dp)
+}
+
+// Evaluator holds the phonemized lexicon and per-pair ground truth.
+type Evaluator struct {
+	phon    []phoneme.String
+	tags    []int
+	minLen  []int
+	ideal   int
+	entries int
+}
+
+// NewEvaluator phonemizes every lexicon entry once.
+func NewEvaluator(lex *dataset.Lexicon, reg *ttp.Registry) (*Evaluator, error) {
+	if reg == nil {
+		reg = ttp.Default()
+	}
+	ev := &Evaluator{ideal: lex.IdealMatches(), entries: len(lex.Entries)}
+	for _, e := range lex.Entries {
+		p, err := reg.Convert(e.Text.Value, e.Text.Lang)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: transform %s: %w", e.Text, err)
+		}
+		if len(p) == 0 {
+			return nil, fmt.Errorf("metrics: empty phoneme string for %s", e.Text)
+		}
+		ev.phon = append(ev.phon, p)
+		ev.tags = append(ev.tags, e.Tag)
+	}
+	return ev, nil
+}
+
+// Entries returns the number of lexicon strings.
+func (ev *Evaluator) Entries() int { return ev.entries }
+
+// Ideal returns Σ C(n_i, 2).
+func (ev *Evaluator) Ideal() int { return ev.ideal }
+
+// pairRatio is one pair's normalized distance and ground truth.
+type pairRatio struct {
+	ratio   float64 // editdistance / min(|a|,|b|)
+	correct bool    // tags equal
+}
+
+// ratios computes every pair's distance ratio under the cost model.
+// maxRatio bounds the DP (ratios above it are recorded as +inf — they
+// can never match at thresholds ≤ maxRatio, which is all we sweep).
+func (ev *Evaluator) ratios(cm editdist.CostModel, maxRatio float64) []pairRatio {
+	n := len(ev.phon)
+	out := make([]pairRatio, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := ev.phon[i], ev.phon[j]
+			minLen := len(a)
+			if len(b) < minLen {
+				minLen = len(b)
+			}
+			bound := maxRatio * float64(minLen)
+			d, ok := editdist.DistanceBounded(a, b, cm, bound)
+			r := math.Inf(1)
+			if ok {
+				r = d / float64(minLen)
+			}
+			out = append(out, pairRatio{ratio: r, correct: ev.tags[i] == ev.tags[j]})
+		}
+	}
+	return out
+}
+
+// Sweep evaluates recall/precision at each threshold for one clustered
+// cost model (identified by its ICSC for reporting). Thresholds must be
+// ascending; the underlying all-pairs distances are computed once.
+func (ev *Evaluator) Sweep(cm editdist.CostModel, icsc float64, thresholds []float64) []QualityPoint {
+	if len(thresholds) == 0 {
+		return nil
+	}
+	maxThr := thresholds[len(thresholds)-1]
+	rs := ev.ratios(cm, maxThr)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ratio < rs[j].ratio })
+	points := make([]QualityPoint, 0, len(thresholds))
+	idx, m1, m2 := 0, 0, 0
+	for _, thr := range thresholds {
+		for idx < len(rs) && rs[idx].ratio <= thr {
+			m2++
+			if rs[idx].correct {
+				m1++
+			}
+			idx++
+		}
+		p := QualityPoint{Threshold: thr, ICSC: icsc, Correct: m1, Reported: m2, Ideal: ev.ideal}
+		if ev.ideal > 0 {
+			p.Recall = float64(m1) / float64(ev.ideal)
+		}
+		if m2 > 0 {
+			p.Precision = float64(m1) / float64(m2)
+		} else {
+			p.Precision = 1 // vacuous precision at thresholds reporting nothing
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// SweepClustered runs Sweep for a clustered cost model built from the
+// given partition/ICSC/weak-indel parameters.
+func (ev *Evaluator) SweepClustered(clusters *phoneme.Clusters, icsc, weakIndel float64, thresholds []float64) ([]QualityPoint, error) {
+	cm, err := editdist.NewClusteredWeak(clusters, icsc, weakIndel)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Sweep(cm, icsc, thresholds), nil
+}
+
+// Grid evaluates the full (ICSC × threshold) grid of Figures 11 and 12:
+// one row of QualityPoints per ICSC value.
+func (ev *Evaluator) Grid(clusters *phoneme.Clusters, weakIndel float64, icscs, thresholds []float64) ([][]QualityPoint, error) {
+	out := make([][]QualityPoint, 0, len(icscs))
+	for _, icsc := range icscs {
+		points, err := ev.SweepClustered(clusters, icsc, weakIndel, thresholds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, points)
+	}
+	return out, nil
+}
+
+// Best returns the grid point closest to the perfect-match corner — the
+// paper's §4.3 parameter-selection rule ("the closest points on the
+// precision-recall graphs to the top-right corner").
+func Best(grid [][]QualityPoint) QualityPoint {
+	best := QualityPoint{Recall: 0, Precision: 0, Threshold: math.NaN(), ICSC: math.NaN()}
+	bestD := math.Inf(1)
+	for _, row := range grid {
+		for _, p := range row {
+			if d := p.CornerDistance(); d < bestD {
+				bestD = d
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// SuggestParameters implements the paper's future-work item of
+// automatically deriving matching parameters from a tagged training
+// set: it grid-searches ICSC and threshold on the lexicon and returns
+// the corner-closest operating point.
+func SuggestParameters(lex *dataset.Lexicon, reg *ttp.Registry, clusters *phoneme.Clusters) (QualityPoint, error) {
+	ev, err := NewEvaluator(lex, reg)
+	if err != nil {
+		return QualityPoint{}, err
+	}
+	icscs := []float64{0, 0.125, 0.25, 0.375, 0.5, 0.75, 1}
+	thresholds := []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+	grid, err := ev.Grid(clusters, core.DefaultWeakIndel, icscs, thresholds)
+	if err != nil {
+		return QualityPoint{}, err
+	}
+	return Best(grid), nil
+}

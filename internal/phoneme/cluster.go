@@ -1,0 +1,370 @@
+package phoneme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ClusterID identifies one cluster of near-equal phonemes within a
+// Clusters set. IDs are dense, starting at 1; 0 is never assigned.
+type ClusterID uint8
+
+// Clusters partitions the phoneme inventory into groups of near-equal
+// phonemes, following the multilingual phoneme clustering of Mareuil et
+// al. that the paper adopts (§3.3). Substitutions within a cluster are
+// charged the intra-cluster substitution cost; substitutions across
+// clusters cost a full unit. The same partition drives the Grouped
+// Phoneme String Identifier of the phonetic index (§5.3).
+//
+// A Clusters value is immutable after construction and safe for
+// concurrent use.
+type Clusters struct {
+	name string
+	ids  []ClusterID // indexed by Phoneme
+	n    int
+
+	reprOnce sync.Once
+	repr     []Phoneme // lazily built representative table
+}
+
+// Name returns the human-readable name of the cluster set.
+func (c *Clusters) Name() string { return c.name }
+
+// Count returns the number of clusters.
+func (c *Clusters) Count() int { return c.n }
+
+// Of returns the cluster of p.
+func (c *Clusters) Of(p Phoneme) ClusterID {
+	if int(p) >= len(c.ids) {
+		return 0
+	}
+	return c.ids[p]
+}
+
+// Same reports whether a and b belong to the same cluster.
+func (c *Clusters) Same(a, b Phoneme) bool { return c.Of(a) == c.Of(b) && c.Of(a) != 0 }
+
+// Representative returns the canonical member of p's cluster (the
+// lowest-numbered phoneme in it). Projecting every phoneme of a string
+// to its representative yields a string whose equality is exactly
+// cluster-signature equality — the basis of signature q-grams and the
+// phonetic index.
+func (c *Clusters) Representative(p Phoneme) Phoneme {
+	c.reprOnce.Do(func() {
+		c.repr = make([]Phoneme, len(c.ids))
+		first := make([]Phoneme, c.n+1)
+		for q := Phoneme(1); int(q) < len(c.ids); q++ {
+			if id := c.ids[q]; first[id] == 0 {
+				first[id] = q
+			}
+		}
+		for q := Phoneme(1); int(q) < len(c.ids); q++ {
+			c.repr[q] = first[c.ids[q]]
+		}
+	})
+	if int(p) >= len(c.repr) {
+		return Invalid
+	}
+	return c.repr[p]
+}
+
+// Project maps every phoneme of s to its cluster representative.
+func (c *Clusters) Project(s String) String {
+	out := make(String, len(s))
+	for i, p := range s {
+		out[i] = c.Representative(p)
+	}
+	return out
+}
+
+// Members returns the phonemes of cluster id, in inventory order.
+func (c *Clusters) Members(id ClusterID) []Phoneme {
+	var out []Phoneme
+	for p := Phoneme(1); int(p) < len(c.ids); p++ {
+		if c.ids[p] == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Signature renders the cluster-ID projection of s (the basis of the
+// phonetic index key), e.g. "3.8.5.9" — handy in diagnostics and tests.
+func (c *Clusters) Signature(s String) string {
+	parts := make([]string, len(s))
+	for i, p := range s {
+		parts[i] = fmt.Sprintf("%d", c.Of(p))
+	}
+	return strings.Join(parts, ".")
+}
+
+// Describe renders the whole partition for documentation/debugging.
+func (c *Clusters) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clusters %q (%d groups)\n", c.name, c.n)
+	for id := ClusterID(1); int(id) <= c.n; id++ {
+		ms := c.Members(id)
+		ipa := make([]string, len(ms))
+		for i, m := range ms {
+			ipa[i] = m.IPA()
+		}
+		sort.Strings(ipa)
+		fmt.Fprintf(&b, "  %2d: %s\n", id, strings.Join(ipa, " "))
+	}
+	return b.String()
+}
+
+// FromGroups builds a custom cluster set from explicit groups of
+// phonemes (the paper's "user customization of clustering"). Phonemes
+// not mentioned in any group each form a singleton cluster. A phoneme
+// listed in two groups is an error.
+func FromGroups(name string, groups [][]Phoneme) (*Clusters, error) {
+	c := &Clusters{name: name, ids: make([]ClusterID, len(inventory))}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		c.n++
+		if c.n > 255 {
+			return nil, fmt.Errorf("phoneme: too many clusters in %q", name)
+		}
+		id := ClusterID(c.n)
+		for _, p := range g {
+			if !p.Valid() {
+				return nil, fmt.Errorf("phoneme: invalid phoneme in cluster group %d of %q", id, name)
+			}
+			if c.ids[p] != 0 {
+				return nil, fmt.Errorf("phoneme: %s assigned to two clusters in %q", p.IPA(), name)
+			}
+			c.ids[p] = id
+		}
+	}
+	// Singleton clusters for the rest, in inventory order for
+	// determinism.
+	for p := 1; p < len(inventory); p++ {
+		if c.ids[p] == 0 {
+			c.n++
+			if c.n > 255 {
+				return nil, fmt.Errorf("phoneme: too many clusters in %q", name)
+			}
+			c.ids[p] = ClusterID(c.n)
+		}
+	}
+	return c, nil
+}
+
+// MustFromGroups is FromGroups that panics on error, for constant sets.
+func MustFromGroups(name string, groups [][]Phoneme) *Clusters {
+	c, err := FromGroups(name, groups)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// fromPredicates builds a partition by assigning each phoneme to the
+// first predicate that accepts it; a final catch-all must accept
+// everything.
+func fromPredicates(name string, preds []func(Features) bool) *Clusters {
+	c := &Clusters{name: name, ids: make([]ClusterID, len(inventory))}
+	c.n = len(preds)
+	for p := 1; p < len(inventory); p++ {
+		f := inventory[p].f
+		for i, pred := range preds {
+			if pred(f) {
+				c.ids[p] = ClusterID(i + 1)
+				break
+			}
+		}
+		if c.ids[p] == 0 {
+			panic(fmt.Sprintf("phoneme: %s matched no cluster predicate in %q", inventory[p].ipa, name))
+		}
+	}
+	return c
+}
+
+// Built lazily: cluster construction must not race with inventory
+// registration, and Go runs per-file init functions in file-name order
+// (cluster.go would init before inventory.go registers anything).
+var (
+	clustersOnce    sync.Once
+	defaultClusters *Clusters
+	coarseClusters  *Clusters
+	fineClusters    *Clusters
+)
+
+// DefaultClusters returns the standard ten-group multilingual partition:
+// labial obstruents (plus the v/ʋ/w confusion set), coronal stops,
+// sibilants and affricates, dorsal and laryngeal obstruents, nasals,
+// liquids, the palatal glide, and three vowel regions (front,
+// open/central, back rounded). This is the partition used by the
+// paper-reproduction experiments unless stated otherwise.
+func DefaultClusters() *Clusters { initClusters(); return defaultClusters }
+
+// CoarseClusters returns a Soundex-granularity partition: all vowels in
+// one group and consonants folded into six broad families. It trades
+// precision for recall; the cluster-granularity ablation uses it.
+func CoarseClusters() *Clusters { initClusters(); return coarseClusters }
+
+// FineClusters returns a near-identity partition where only
+// aspiration/length/nasalization variants of the same base articulation
+// share a cluster. It approaches plain Levenshtein behaviour.
+func FineClusters() *Clusters { initClusters(); return fineClusters }
+
+// ByName resolves a cluster-set name ("default", "coarse", "fine") to
+// the built-in partition, for CLI and SQL session settings.
+func ByName(name string) (*Clusters, error) {
+	initClusters()
+	switch strings.ToLower(name) {
+	case "", "default":
+		return defaultClusters, nil
+	case "coarse", "soundex":
+		return coarseClusters, nil
+	case "fine", "strict":
+		return fineClusters, nil
+	default:
+		return nil, fmt.Errorf("phoneme: unknown cluster set %q", name)
+	}
+}
+
+func isLabialObstruent(f Features) bool {
+	if f.Class != Consonant {
+		return false
+	}
+	switch f.Place {
+	case Bilabial, Labiodental:
+		return f.Manner != Nasal
+	case LabioVelar:
+		return true // w patterns with v/ʋ across Indic and European scripts
+	default:
+		return false
+	}
+}
+
+func isCoronalStop(f Features) bool {
+	if f.Class != Consonant {
+		return false
+	}
+	switch f.Place {
+	case Dental, Alveolar, Retroflex:
+		return f.Manner == Plosive || (f.Manner == Fricative && f.Place == Dental)
+	default:
+		return false
+	}
+}
+
+func isSibilant(f Features) bool {
+	if f.Class != Consonant {
+		return false
+	}
+	if f.Manner != Fricative && f.Manner != Affricate {
+		return false
+	}
+	switch f.Place {
+	case Alveolar, PostAlveolar, Retroflex, Palatal:
+		return true
+	default:
+		return false
+	}
+}
+
+func isDorsal(f Features) bool {
+	if f.Class != Consonant {
+		return false
+	}
+	switch f.Place {
+	case Velar, Uvular, Glottal:
+		return f.Manner == Plosive || f.Manner == Fricative
+	default:
+		return false
+	}
+}
+
+func isNasalC(f Features) bool { return f.Class == Consonant && f.Manner == Nasal }
+
+func isLiquid(f Features) bool {
+	if f.Class != Consonant {
+		return false
+	}
+	switch f.Manner {
+	case Trill, Tap, Lateral:
+		return true
+	case Approximant:
+		return f.Place == Alveolar || f.Place == Retroflex // ɹ ɻ pattern with r
+	default:
+		return false
+	}
+}
+
+func isGlide(f Features) bool { return f.Class == Consonant && f.Manner == Approximant }
+
+func isFrontVowel(f Features) bool { return f.Class == Vowel && f.Backness == Front }
+
+func isBackRoundVowel(f Features) bool {
+	return f.Class == Vowel && f.Backness == Back && f.Rounded && f.Height <= OpenMid
+}
+
+func isVowel(f Features) bool { return f.Class == Vowel }
+
+func anyConsonant(f Features) bool { return f.Class == Consonant }
+
+func initClusters() {
+	clustersOnce.Do(buildBuiltinClusters)
+}
+
+func buildBuiltinClusters() {
+	defaultClusters = fromPredicates("default", []func(Features) bool{
+		isLabialObstruent,
+		isCoronalStop,
+		isSibilant,
+		isDorsal,
+		isNasalC,
+		isLiquid,
+		isGlide,
+		isFrontVowel,
+		isBackRoundVowel,
+		isVowel, // remaining vowels: central/open region
+	})
+
+	coarseClusters = fromPredicates("coarse", []func(Features) bool{
+		isVowel,
+		isLabialObstruent,
+		func(f Features) bool { return isCoronalStop(f) || isSibilant(f) || isDorsal(f) },
+		isNasalC,
+		isLiquid,
+		anyConsonant, // glides and anything else
+	})
+
+	// Fine: one cluster per (class, manner, place, voiced, height,
+	// backness, rounded) tuple — aspiration, length and nasalization
+	// collapse, nothing else does.
+	fineClusters = buildFineClusters()
+}
+
+func buildFineClusters() *Clusters {
+	type key struct {
+		class    Class
+		manner   Manner
+		place    Place
+		voiced   bool
+		height   Height
+		backness Backness
+		rounded  bool
+	}
+	c := &Clusters{name: "fine", ids: make([]ClusterID, len(inventory))}
+	seen := map[key]ClusterID{}
+	for p := 1; p < len(inventory); p++ {
+		f := inventory[p].f
+		k := key{f.Class, f.Manner, f.Place, f.Voiced, f.Height, f.Backness, f.Rounded}
+		id, ok := seen[k]
+		if !ok {
+			c.n++
+			id = ClusterID(c.n)
+			seen[k] = id
+		}
+		c.ids[p] = id
+	}
+	return c
+}

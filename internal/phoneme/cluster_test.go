@@ -1,0 +1,286 @@
+package phoneme
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultClustersPartition(t *testing.T) {
+	c := DefaultClusters()
+	if c.Count() != 10 {
+		t.Errorf("default cluster count = %d, want 10", c.Count())
+	}
+	for _, p := range All() {
+		if c.Of(p) == 0 {
+			t.Errorf("%s unassigned in default clusters", p.IPA())
+		}
+	}
+}
+
+func TestDefaultClusterExpectations(t *testing.T) {
+	c := DefaultClusters()
+	same := []struct{ a, b string }{
+		{"p", "b"},   // voicing within labial stops
+		{"p", "pʰ"},  // aspiration
+		{"v", "w"},   // the v/w confusion set
+		{"v", "ʋ"},   // Hindi ʋ vs English v
+		{"t", "ʈ"},   // alveolar vs retroflex stop (Indic)
+		{"t", "d"},   // voicing: Tamil stop neutralization
+		{"t", "t̪"},  // dental vs alveolar
+		{"s", "ʃ"},   // sibilants
+		{"tʃ", "dʒ"}, // affricates
+		{"s", "tʃ"},  // sibilant/affricate
+		{"k", "ɡ"},   // dorsals
+		{"k", "h"},   // velar/glottal (Soundex-ish)
+		{"m", "n"},   // nasals
+		{"n", "ŋ"},
+		{"l", "r"}, // liquids
+		{"r", "ɾ"},
+		{"ɹ", "r"},
+		{"i", "ɪ"}, // front vowels
+		{"e", "ɛ"},
+		{"i", "iː"}, // length
+		{"a", "ə"},  // open/central vowels
+		{"a", "aː"},
+		{"a", "ɑ"},
+		{"u", "o"}, // back rounded
+		{"u", "uː"},
+	}
+	for _, pair := range same {
+		if !c.Same(MustLookup(pair.a), MustLookup(pair.b)) {
+			t.Errorf("%s and %s should share a default cluster", pair.a, pair.b)
+		}
+	}
+	diff := []struct{ a, b string }{
+		{"p", "t"},  // labial vs coronal
+		{"p", "k"},  // labial vs dorsal
+		{"t", "s"},  // stop vs sibilant
+		{"m", "b"},  // nasal vs stop
+		{"l", "n"},  // liquid vs nasal
+		{"i", "u"},  // front vs back vowel
+		{"a", "u"},  // open vs back rounded
+		{"p", "a"},  // consonant vs vowel
+		{"j", "dʒ"}, // glide vs affricate
+	}
+	for _, pair := range diff {
+		if c.Same(MustLookup(pair.a), MustLookup(pair.b)) {
+			t.Errorf("%s and %s should NOT share a default cluster", pair.a, pair.b)
+		}
+	}
+}
+
+func TestCoarseClustersMergeAllVowels(t *testing.T) {
+	c := CoarseClusters()
+	var vid ClusterID
+	for _, p := range All() {
+		if !p.IsVowel() {
+			continue
+		}
+		if vid == 0 {
+			vid = c.Of(p)
+		} else if c.Of(p) != vid {
+			t.Fatalf("vowels split in coarse clusters: %s", p.IPA())
+		}
+	}
+	if c.Count() >= DefaultClusters().Count() {
+		t.Errorf("coarse (%d) should have fewer clusters than default (%d)", c.Count(), DefaultClusters().Count())
+	}
+}
+
+func TestFineClustersNearIdentity(t *testing.T) {
+	c := FineClusters()
+	if !c.Same(MustLookup("p"), MustLookup("pʰ")) {
+		t.Error("fine clusters should merge aspiration variants")
+	}
+	if !c.Same(MustLookup("a"), MustLookup("aː")) {
+		t.Error("fine clusters should merge length variants")
+	}
+	if c.Same(MustLookup("p"), MustLookup("b")) {
+		t.Error("fine clusters should separate voicing")
+	}
+	if c.Same(MustLookup("t"), MustLookup("ʈ")) {
+		t.Error("fine clusters should separate retroflex")
+	}
+	if c.Count() <= DefaultClusters().Count() {
+		t.Errorf("fine (%d) should have more clusters than default (%d)", c.Count(), DefaultClusters().Count())
+	}
+}
+
+func TestFromGroupsCustom(t *testing.T) {
+	g, err := FromGroups("custom", [][]Phoneme{
+		{MustLookup("p"), MustLookup("b"), MustLookup("f")},
+		{MustLookup("a"), MustLookup("e")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Same(MustLookup("p"), MustLookup("f")) {
+		t.Error("custom group not honored")
+	}
+	if g.Same(MustLookup("p"), MustLookup("a")) {
+		t.Error("cross-group phonemes merged")
+	}
+	// Unmentioned phonemes form singletons.
+	if g.Same(MustLookup("k"), MustLookup("ɡ")) {
+		t.Error("unmentioned phonemes should be singletons")
+	}
+	if g.Of(MustLookup("k")) == 0 {
+		t.Error("unmentioned phoneme unassigned")
+	}
+}
+
+func TestFromGroupsRejectsOverlap(t *testing.T) {
+	_, err := FromGroups("bad", [][]Phoneme{
+		{MustLookup("p"), MustLookup("b")},
+		{MustLookup("b"), MustLookup("f")},
+	})
+	if err == nil {
+		t.Error("overlapping groups accepted")
+	}
+}
+
+func TestFromGroupsRejectsInvalidPhoneme(t *testing.T) {
+	if _, err := FromGroups("bad", [][]Phoneme{{Invalid}}); err == nil {
+		t.Error("invalid phoneme accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]*Clusters{
+		"default": DefaultClusters(),
+		"":        DefaultClusters(),
+		"coarse":  CoarseClusters(),
+		"soundex": CoarseClusters(),
+		"fine":    FineClusters(),
+		"STRICT":  FineClusters(),
+	} {
+		got, err := ByName(name)
+		if err != nil || got != want {
+			t.Errorf("ByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown set")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	c := DefaultClusters()
+	s := MustParse("neru")
+	sig := c.Signature(s)
+	if strings.Count(sig, ".") != len(s)-1 {
+		t.Errorf("signature %q has wrong arity for %v", sig, s)
+	}
+	// Same-cluster substitution must not change the signature.
+	s2 := MustParse("neːru")
+	if c.Signature(s2) != sig {
+		t.Errorf("length variant changed signature: %q vs %q", c.Signature(s2), sig)
+	}
+}
+
+func TestMembersRoundTrip(t *testing.T) {
+	c := DefaultClusters()
+	total := 0
+	for id := ClusterID(1); int(id) <= c.Count(); id++ {
+		for _, m := range c.Members(id) {
+			if c.Of(m) != id {
+				t.Fatalf("member %s of cluster %d maps to %d", m, id, c.Of(m))
+			}
+			total++
+		}
+	}
+	if total != Count() {
+		t.Errorf("members cover %d phonemes, inventory has %d", total, Count())
+	}
+}
+
+func TestDescribeMentionsEveryCluster(t *testing.T) {
+	d := DefaultClusters().Describe()
+	if !strings.Contains(d, "10:") || !strings.Contains(d, "default") {
+		t.Errorf("Describe output incomplete:\n%s", d)
+	}
+}
+
+// Property: Same is an equivalence relation (reflexive, symmetric;
+// transitivity follows from the ID representation but we check anyway).
+func TestQuickClusterEquivalence(t *testing.T) {
+	all := All()
+	c := DefaultClusters()
+	f := func(ia, ib, ic uint8) bool {
+		a, b, cc := all[int(ia)%len(all)], all[int(ib)%len(all)], all[int(ic)%len(all)]
+		if !c.Same(a, a) {
+			return false
+		}
+		if c.Same(a, b) != c.Same(b, a) {
+			return false
+		}
+		if c.Same(a, b) && c.Same(b, cc) && !c.Same(a, cc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intra-cluster similarity should on average exceed
+// cross-cluster similarity under the default partition (clusters are
+// "like phonemes" per the paper).
+func TestClustersAlignWithSimilarity(t *testing.T) {
+	c := DefaultClusters()
+	var inSum, outSum float64
+	var inN, outN int
+	for _, a := range All() {
+		for _, b := range All() {
+			if a >= b {
+				continue
+			}
+			s := Similarity(a, b)
+			if c.Same(a, b) {
+				inSum += s
+				inN++
+			} else {
+				outSum += s
+				outN++
+			}
+		}
+	}
+	if inN == 0 || outN == 0 {
+		t.Fatal("degenerate partition")
+	}
+	if inSum/float64(inN) <= outSum/float64(outN) {
+		t.Errorf("mean intra-cluster similarity %.3f <= inter %.3f", inSum/float64(inN), outSum/float64(outN))
+	}
+}
+
+func TestRepresentativeAndProject(t *testing.T) {
+	c := DefaultClusters()
+	for _, p := range All() {
+		r := c.Representative(p)
+		if !r.Valid() {
+			t.Fatalf("no representative for %s", p)
+		}
+		if !c.Same(p, r) {
+			t.Errorf("representative %s not in %s's cluster", r, p)
+		}
+		// Idempotent.
+		if c.Representative(r) != r {
+			t.Errorf("representative of representative differs for %s", p)
+		}
+	}
+	// Projection equality == signature equality.
+	a := MustParse("neru")
+	b := MustParse("neːrʊ")
+	if !c.Project(a).Equal(c.Project(b)) {
+		t.Error("cluster variants project differently")
+	}
+	d := MustParse("neku")
+	if c.Project(a).Equal(c.Project(d)) {
+		t.Error("cross-cluster strings project equally")
+	}
+	if c.Representative(Invalid) != Invalid {
+		t.Error("Representative(Invalid) != Invalid")
+	}
+}

@@ -1,0 +1,165 @@
+package phoneme
+
+// This file registers the phoneme inventory. The set covers the
+// languages evaluated or exemplified by the paper (English, Hindi,
+// Tamil, Greek, Spanish, French) plus a few symbols that commonly appear
+// in dictionary transcriptions so that foreign IPA parses cleanly.
+//
+// Aspirated stops, long vowels and nasalized vowels are distinct
+// inventory entries (their spellings embed the modifier), which lets the
+// tokenizer work by plain longest-match and lets cost models treat
+// aspiration/length as cluster-internal variation.
+
+func consonant(ipa string, m Manner, pl Place, voiced, aspirated bool) Phoneme {
+	return register(ipa, Features{Class: Consonant, Manner: m, Place: pl, Voiced: voiced, Aspirated: aspirated})
+}
+
+func vowel(ipa string, h Height, b Backness, rounded bool) Phoneme {
+	return register(ipa, Features{Class: Vowel, Height: h, Backness: b, Rounded: rounded})
+}
+
+func longVowel(ipa string, h Height, b Backness, rounded bool) Phoneme {
+	return register(ipa, Features{Class: Vowel, Height: h, Backness: b, Rounded: rounded, Long: true})
+}
+
+func nasalVowel(ipa string, h Height, b Backness, rounded bool) Phoneme {
+	return register(ipa, Features{Class: Vowel, Height: h, Backness: b, Rounded: rounded, Nasalized: true})
+}
+
+// Commonly referenced phonemes, initialized during inventory
+// registration below.
+var (
+	Schwa Phoneme // ə — the reduced central vowel, pivotal in English and Hindi G2P
+)
+
+func init() {
+	// --- Plosives ---
+	consonant("p", Plosive, Bilabial, false, false)
+	consonant("b", Plosive, Bilabial, true, false)
+	consonant("pʰ", Plosive, Bilabial, false, true)
+	consonant("bʱ", Plosive, Bilabial, true, true)
+	consonant("t", Plosive, Alveolar, false, false)
+	consonant("d", Plosive, Alveolar, true, false)
+	consonant("tʰ", Plosive, Alveolar, false, true)
+	consonant("dʱ", Plosive, Alveolar, true, true)
+	consonant("t̪", Plosive, Dental, false, false)
+	consonant("d̪", Plosive, Dental, true, false)
+	consonant("ʈ", Plosive, Retroflex, false, false)
+	consonant("ɖ", Plosive, Retroflex, true, false)
+	consonant("ʈʰ", Plosive, Retroflex, false, true)
+	consonant("ɖʱ", Plosive, Retroflex, true, true)
+	consonant("k", Plosive, Velar, false, false)
+	consonant("ɡ", Plosive, Velar, true, false)
+	consonant("kʰ", Plosive, Velar, false, true)
+	consonant("ɡʱ", Plosive, Velar, true, true)
+	consonant("q", Plosive, Uvular, false, false)
+	consonant("ʔ", Plosive, Glottal, false, false)
+
+	// --- Affricates ---
+	consonant("ts", Affricate, Alveolar, false, false)
+	consonant("dz", Affricate, Alveolar, true, false)
+	consonant("tʃ", Affricate, PostAlveolar, false, false)
+	consonant("dʒ", Affricate, PostAlveolar, true, false)
+	consonant("tʃʰ", Affricate, PostAlveolar, false, true)
+	consonant("dʒʱ", Affricate, PostAlveolar, true, true)
+
+	// --- Nasals ---
+	consonant("m", Nasal, Bilabial, true, false)
+	consonant("n", Nasal, Alveolar, true, false)
+	consonant("ɳ", Nasal, Retroflex, true, false)
+	consonant("ɲ", Nasal, Palatal, true, false)
+	consonant("ŋ", Nasal, Velar, true, false)
+
+	// --- Trills and taps ---
+	consonant("r", Trill, Alveolar, true, false)
+	consonant("ɾ", Tap, Alveolar, true, false)
+	consonant("ɽ", Tap, Retroflex, true, false)
+	consonant("ʀ", Trill, Uvular, true, false)
+
+	// --- Fricatives ---
+	consonant("f", Fricative, Labiodental, false, false)
+	consonant("v", Fricative, Labiodental, true, false)
+	consonant("β", Fricative, Bilabial, true, false)
+	consonant("θ", Fricative, Dental, false, false)
+	consonant("ð", Fricative, Dental, true, false)
+	consonant("s", Fricative, Alveolar, false, false)
+	consonant("z", Fricative, Alveolar, true, false)
+	consonant("ʃ", Fricative, PostAlveolar, false, false)
+	consonant("ʒ", Fricative, PostAlveolar, true, false)
+	consonant("ʂ", Fricative, Retroflex, false, false)
+	consonant("ʐ", Fricative, Retroflex, true, false)
+	consonant("ç", Fricative, Palatal, false, false)
+	consonant("x", Fricative, Velar, false, false)
+	consonant("ɣ", Fricative, Velar, true, false)
+	consonant("ʁ", Fricative, Uvular, true, false)
+	consonant("h", Fricative, Glottal, false, false)
+	consonant("ɦ", Fricative, Glottal, true, false)
+
+	// --- Approximants and laterals ---
+	consonant("ʋ", Approximant, Labiodental, true, false)
+	consonant("ɹ", Approximant, Alveolar, true, false)
+	consonant("ɻ", Approximant, Retroflex, true, false)
+	consonant("j", Approximant, Palatal, true, false)
+	consonant("w", Approximant, LabioVelar, true, false)
+	consonant("l", Lateral, Alveolar, true, false)
+	consonant("ɭ", Lateral, Retroflex, true, false)
+	consonant("ʎ", Lateral, Palatal, true, false)
+
+	// --- Short vowels ---
+	vowel("i", Close, Front, false)
+	vowel("ɪ", NearClose, Front, false)
+	vowel("e", CloseMid, Front, false)
+	vowel("ɛ", OpenMid, Front, false)
+	vowel("æ", NearOpen, Front, false)
+	vowel("y", Close, Front, true)
+	vowel("ʏ", NearClose, Front, true)
+	vowel("ø", CloseMid, Front, true)
+	vowel("œ", OpenMid, Front, true)
+	vowel("ɨ", Close, Central, false)
+	Schwa = vowel("ə", Mid, Central, false)
+	vowel("ɜ", OpenMid, Central, false)
+	vowel("ɐ", NearOpen, Central, false)
+	vowel("a", Open, Central, false)
+	vowel("ʌ", OpenMid, Back, false)
+	vowel("ɑ", Open, Back, false)
+	vowel("ɒ", Open, Back, true)
+	vowel("ɔ", OpenMid, Back, true)
+	vowel("o", CloseMid, Back, true)
+	vowel("ʊ", NearClose, Back, true)
+	vowel("u", Close, Back, true)
+
+	// --- Long vowels ---
+	longVowel("iː", Close, Front, false)
+	longVowel("eː", CloseMid, Front, false)
+	longVowel("ɛː", OpenMid, Front, false)
+	longVowel("aː", Open, Central, false)
+	longVowel("ɑː", Open, Back, false)
+	longVowel("ɔː", OpenMid, Back, true)
+	longVowel("oː", CloseMid, Back, true)
+	longVowel("uː", Close, Back, true)
+	longVowel("ɜː", OpenMid, Central, false)
+
+	// --- Nasalized vowels (Hindi nasalization, French nasal vowels) ---
+	nasalVowel("ã", Open, Central, false)
+	nasalVowel("ɑ̃", Open, Back, false)
+	nasalVowel("ɛ̃", OpenMid, Front, false)
+	nasalVowel("ɔ̃", OpenMid, Back, true)
+	nasalVowel("œ̃", OpenMid, Front, true)
+	nasalVowel("ĩ", Close, Front, false)
+	nasalVowel("ẽ", CloseMid, Front, false)
+	nasalVowel("õ", CloseMid, Back, true)
+	nasalVowel("ũ", Close, Back, true)
+
+	// --- Aliases: alternative spellings found in loose transcriptions ---
+	alias("g", "ɡ")    // ASCII g for the voiced velar plosive
+	alias("ɪ̈", "ɨ")   // centralized near-close
+	alias("t̠ʃ", "tʃ") // retracted affricate notation
+	alias("d̠ʒ", "dʒ")
+	alias("ʧ", "tʃ") // legacy one-glyph affricates
+	alias("ʤ", "dʒ")
+	alias("ʦ", "ts")
+	alias("ʣ", "dz")
+	alias("ǝ", "ə") // reversed-e confusable
+	alias("ɚ", "ə") // rhotacized schwa, treated as plain schwa after mark stripping
+	alias("ɝ", "ɜ")
+}

@@ -1,0 +1,113 @@
+package phoneme
+
+// Similarity returns a feature-based similarity between two phonemes in
+// [0,1]: 1 for identical phonemes, 0 for a consonant/vowel mismatch, and
+// a weighted feature agreement otherwise. The weights reflect perceptual
+// salience (manner and height dominate; aspiration, length and
+// nasalization are minor). The clustered cost model of the paper is a
+// hard quantization of this measure; Similarity itself backs the
+// feature-cost ablation and is useful for auditing cluster quality.
+func Similarity(a, b Phoneme) float64 {
+	if a == b {
+		return 1
+	}
+	fa, fb := a.Features(), b.Features()
+	if fa.Class != fb.Class || fa.Class == 0 {
+		return 0
+	}
+	if fa.Class == Consonant {
+		s := 0.0
+		if fa.Manner == fb.Manner {
+			s += 0.40
+		} else if affinity(fa.Manner, fb.Manner) {
+			s += 0.20
+		}
+		if fa.Place == fb.Place {
+			s += 0.30
+		} else if neighboringPlace(fa.Place, fb.Place) {
+			s += 0.15
+		}
+		if fa.Voiced == fb.Voiced {
+			s += 0.20
+		}
+		if fa.Aspirated == fb.Aspirated {
+			s += 0.10
+		}
+		return s
+	}
+	// Vowels.
+	s := 0.0
+	dh := int(fa.Height) - int(fb.Height)
+	if dh < 0 {
+		dh = -dh
+	}
+	switch dh {
+	case 0:
+		s += 0.40
+	case 1:
+		s += 0.30
+	case 2:
+		s += 0.15
+	}
+	db := int(fa.Backness) - int(fb.Backness)
+	if db < 0 {
+		db = -db
+	}
+	switch db {
+	case 0:
+		s += 0.30
+	case 1:
+		s += 0.15
+	}
+	if fa.Rounded == fb.Rounded {
+		s += 0.15
+	}
+	if fa.Long == fb.Long {
+		s += 0.075
+	}
+	if fa.Nasalized == fb.Nasalized {
+		s += 0.075
+	}
+	return s
+}
+
+// affinity reports manner pairs that pattern together cross-script
+// (plosive/affricate, fricative/affricate, tap/trill, approximant
+// variants).
+func affinity(a, b Manner) bool {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == Plosive && b == Affricate,
+		a == Fricative && b == Affricate,
+		a == Trill && b == Tap,
+		a == Tap && b == Approximant,
+		a == Trill && b == Approximant,
+		a == Approximant && b == Lateral:
+		return true
+	}
+	return false
+}
+
+// neighboringPlace reports adjacent articulation places that often
+// substitute for each other across language phoneme sets.
+func neighboringPlace(a, b Place) bool {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == Bilabial && b == Labiodental,
+		a == Dental && b == Alveolar,
+		a == Alveolar && b == PostAlveolar,
+		a == PostAlveolar && b == Retroflex,
+		a == PostAlveolar && b == Palatal,
+		a == Retroflex && b == Palatal,
+		a == Palatal && b == Velar,
+		a == Velar && b == LabioVelar,
+		a == Velar && b == Uvular,
+		a == Uvular && b == Glottal:
+		return true
+	}
+	return false
+}

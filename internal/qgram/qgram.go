@@ -1,0 +1,162 @@
+// Package qgram implements positional q-grams over phoneme strings and
+// the three filters of the paper's §5.2 (after Gravano et al., VLDB
+// 2001): the Length filter, the Count filter and the Position filter.
+// Together they cheaply discard most non-matches, so the expensive
+// edit-distance UDF runs only on a small candidate set.
+package qgram
+
+import (
+	"fmt"
+	"strings"
+
+	"lexequal/internal/phoneme"
+)
+
+// Gram is one positional q-gram: the 1-based position and the q-length
+// substring of the padded string. Pad symbols (the paper's ◁ and ▷) are
+// phoneme.Invalid, which cannot occur inside a real phoneme string.
+type Gram struct {
+	Pos  int
+	Gram []phoneme.Phoneme
+}
+
+// Key renders the gram's phonemes as a comparable string (pads render
+// as '#'), usable as a database key.
+func (g Gram) Key() string {
+	var b strings.Builder
+	for _, p := range g.Gram {
+		if p == phoneme.Invalid {
+			b.WriteByte('#')
+		} else {
+			b.WriteString(p.IPA())
+		}
+	}
+	return b.String()
+}
+
+func (g Gram) String() string { return fmt.Sprintf("(%d,%s)", g.Pos, g.Key()) }
+
+// Extract returns the positional q-grams of s: the padded string
+// ◁^(q-1) s ▷^(q-1) yields len(s)+q-1 grams, numbered from 1, exactly
+// as in the paper's footnote 4. q must be at least 2 (a 1-gram carries
+// no positional structure worth padding).
+func Extract(s phoneme.String, q int) []Gram {
+	if q < 2 {
+		panic(fmt.Sprintf("qgram: q must be >= 2, got %d", q))
+	}
+	padded := make([]phoneme.Phoneme, 0, len(s)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, phoneme.Invalid)
+	}
+	padded = append(padded, s...)
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, phoneme.Invalid)
+	}
+	n := len(s) + q - 1
+	grams := make([]Gram, 0, n)
+	for i := 0; i < n; i++ {
+		grams = append(grams, Gram{Pos: i + 1, Gram: padded[i : i+q]})
+	}
+	return grams
+}
+
+// LengthOK is the Length filter: strings within edit distance k cannot
+// differ in length by more than k.
+func LengthOK(len1, len2 int, k float64) bool {
+	d := len1 - len2
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) <= k
+}
+
+// CountThreshold returns the minimum number of matching positional
+// q-grams two strings of the given lengths must share to be within edit
+// distance k: max(|σ1|,|σ2|) − 1 − (k−1)·q. A result ≤ 0 means the
+// Count filter cannot prune the pair.
+func CountThreshold(len1, len2, q int, k float64) int {
+	m := len1
+	if len2 > m {
+		m = len2
+	}
+	return m - 1 - int((k-1)*float64(q))
+}
+
+// PositionOK is the Position filter: a positional q-gram of one string
+// can only correspond to a positional q-gram of the other if their
+// positions differ by at most k.
+func PositionOK(pos1, pos2 int, k float64) bool {
+	d := pos1 - pos2
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) <= k
+}
+
+// matchCount counts pairs of positional grams (one from each side) with
+// equal content and positions within k, matching each gram at most once
+// — the COUNT(*) of the paper's Figure 14 after its position predicate.
+func matchCount(a, b []Gram, k float64) int {
+	used := make([]bool, len(b))
+	count := 0
+	for _, ga := range a {
+		for j, gb := range b {
+			if used[j] || !PositionOK(ga.Pos, gb.Pos, k) {
+				continue
+			}
+			if gramEqual(ga.Gram, gb.Gram) {
+				used[j] = true
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+func gramEqual(a, b []phoneme.Phoneme) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Filter is a reusable q-gram filter pipeline for one query string: it
+// answers, per candidate, whether the candidate survives all three
+// filters for the given edit-distance budget k. It never produces false
+// dismissals with respect to the classical (unit-cost) edit distance;
+// clustered costs only shrink true distances further, so candidates the
+// filter keeps remain a superset of true matches there too only when
+// the caller derives k from the unit-cost bound (the LexEQUAL threshold
+// times the shorter length, as in Figure 14).
+type Filter struct {
+	q     int
+	query phoneme.String
+	grams []Gram
+}
+
+// NewFilter builds a filter for the query string with the given q.
+func NewFilter(query phoneme.String, q int) *Filter {
+	return &Filter{q: q, query: query, grams: Extract(query, q)}
+}
+
+// Q returns the gram length.
+func (f *Filter) Q() int { return f.q }
+
+// Survives reports whether cand passes the Length, Count and Position
+// filters against the query for edit-distance budget k.
+func (f *Filter) Survives(cand phoneme.String, k float64) bool {
+	if !LengthOK(len(f.query), len(cand), k) {
+		return false
+	}
+	need := CountThreshold(len(f.query), len(cand), f.q, k)
+	if need <= 0 {
+		return true // count filter has no power here
+	}
+	return matchCount(f.grams, Extract(cand, f.q), k) >= need
+}

@@ -1,0 +1,192 @@
+package qgram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lexequal/internal/editdist"
+	"lexequal/internal/phoneme"
+)
+
+func ps(ipa string) phoneme.String { return phoneme.MustParse(ipa) }
+
+func TestExtractCountAndPositions(t *testing.T) {
+	s := ps("neru")
+	for _, q := range []int{2, 3, 4} {
+		grams := Extract(s, q)
+		want := len(s) + q - 1
+		if len(grams) != want {
+			t.Errorf("q=%d: %d grams, want %d", q, len(grams), want)
+		}
+		for i, g := range grams {
+			if g.Pos != i+1 {
+				t.Errorf("q=%d gram %d has pos %d", q, i, g.Pos)
+			}
+			if len(g.Gram) != q {
+				t.Errorf("q=%d gram %d has len %d", q, i, len(g.Gram))
+			}
+		}
+		// First gram is all-pad except the last phoneme; final gram is
+		// the last phoneme followed by pads.
+		first, last := grams[0], grams[len(grams)-1]
+		for i := 0; i < q-1; i++ {
+			if first.Gram[i] != phoneme.Invalid {
+				t.Errorf("q=%d first gram lacks pad at %d", q, i)
+			}
+			if last.Gram[len(last.Gram)-1-i] != phoneme.Invalid {
+				t.Errorf("q=%d last gram lacks pad at tail %d", q, i)
+			}
+		}
+		if first.Gram[q-1] != s[0] || last.Gram[0] != s[len(s)-1] {
+			t.Errorf("q=%d boundary grams wrong: %v %v", q, first, last)
+		}
+	}
+}
+
+func TestExtractPaperExampleShape(t *testing.T) {
+	// The paper's footnote: "LexEQUAL" (8 symbols) with q=3 yields 10
+	// positional q-grams.
+	s := make(phoneme.String, 8)
+	for i := range s {
+		s[i] = phoneme.MustLookup("a")
+	}
+	if got := len(Extract(s, 3)); got != 10 {
+		t.Errorf("8-symbol string with q=3 has %d grams, want 10", got)
+	}
+}
+
+func TestExtractEmptyString(t *testing.T) {
+	grams := Extract(nil, 3)
+	if len(grams) != 2 {
+		t.Errorf("empty string q=3: %d grams, want 2 (pure padding)", len(grams))
+	}
+}
+
+func TestExtractPanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Extract(q=1) did not panic")
+		}
+	}()
+	Extract(ps("a"), 1)
+}
+
+func TestGramKeyDistinguishesPads(t *testing.T) {
+	grams := Extract(ps("ab"), 2)
+	seen := map[string]bool{}
+	for _, g := range grams {
+		if seen[g.Key()] {
+			t.Errorf("duplicate gram key %q", g.Key())
+		}
+		seen[g.Key()] = true
+	}
+}
+
+func TestLengthFilter(t *testing.T) {
+	if !LengthOK(5, 5, 0) || !LengthOK(5, 6, 1) || LengthOK(5, 7, 1) {
+		t.Error("LengthOK wrong")
+	}
+	if !LengthOK(7, 5, 2.5) {
+		t.Error("LengthOK should accept within fractional k")
+	}
+}
+
+func TestPositionFilter(t *testing.T) {
+	if !PositionOK(3, 3, 0) || !PositionOK(3, 4, 1) || PositionOK(3, 5, 1) {
+		t.Error("PositionOK wrong")
+	}
+}
+
+func TestCountThreshold(t *testing.T) {
+	// Identical strings of length n with k=1, q=3: need >= n-1 matches.
+	if got := CountThreshold(5, 5, 3, 1); got != 4 {
+		t.Errorf("CountThreshold(5,5,3,1) = %d, want 4", got)
+	}
+	// Large k drives the threshold to useless (<= 0).
+	if got := CountThreshold(4, 4, 3, 3); got > 0 {
+		t.Errorf("CountThreshold(4,4,3,3) = %d, want <= 0", got)
+	}
+}
+
+// The fundamental guarantee: the filter never dismisses a true match
+// (no false dismissals w.r.t. unit-cost edit distance).
+func TestQuickNoFalseDismissals(t *testing.T) {
+	all := phoneme.All()
+	mk := func(bs []byte) phoneme.String {
+		if len(bs) > 10 {
+			bs = bs[:10]
+		}
+		s := make(phoneme.String, 0, len(bs))
+		for _, b := range bs {
+			s = append(s, all[int(b)%6]) // small alphabet to force collisions
+		}
+		return s
+	}
+	for _, q := range []int{2, 3} {
+		f := func(ba, bb []byte, kRaw uint8) bool {
+			a, b := mk(ba), mk(bb)
+			k := float64(kRaw % 4)
+			d := editdist.Distance(a, b, editdist.Unit{})
+			if d > k {
+				return true // only true matches constrain the filter
+			}
+			return NewFilter(a, q).Survives(b, k)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestFilterPrunesObviousNonMatches(t *testing.T) {
+	f := NewFilter(ps("neru"), 3)
+	// Completely different string at tight k must be pruned.
+	if f.Survives(ps("mohandas"), 1) {
+		t.Error("filter kept a wildly different string")
+	}
+	// Identical string always survives.
+	if !f.Survives(ps("neru"), 0) {
+		t.Error("filter dismissed an exact match")
+	}
+	// One substitution at k=1 survives.
+	if !f.Survives(ps("nero"), 1) {
+		t.Error("filter dismissed a distance-1 string at k=1")
+	}
+}
+
+func TestFilterSelectivity(t *testing.T) {
+	// Over a small universe, the filter should prune a decent fraction
+	// of non-matches while keeping all matches (sanity of usefulness).
+	universe := []phoneme.String{
+		ps("neru"), ps("nero"), ps("neɪru"), ps("ɡita"), ps("sita"),
+		ps("kamala"), ps("kumar"), ps("raːm"), ps("mohan"), ps("dʒɔn"),
+		ps("dʒonsən"), ps("katrin"), ps("kætrin"), ps("ʃɑː"), ps("xan"),
+	}
+	q := ps("neru")
+	f := NewFilter(q, 3)
+	k := 1.0
+	kept, total := 0, 0
+	for _, cand := range universe {
+		total++
+		surv := f.Survives(cand, k)
+		d := editdist.Distance(q, cand, editdist.Unit{})
+		if d <= k && !surv {
+			t.Errorf("false dismissal of %s", cand)
+		}
+		if surv {
+			kept++
+		}
+	}
+	if kept == total {
+		t.Error("filter kept everything; no pruning power")
+	}
+}
+
+func TestMatchCountUsesEachGramOnce(t *testing.T) {
+	// "aaa" vs "aa": repeated grams must not be double counted.
+	a := Extract(ps("aaa"), 2)
+	b := Extract(ps("aa"), 2)
+	if got := matchCount(a, b, 10); got > len(b) {
+		t.Errorf("matchCount = %d exceeds gram count %d", got, len(b))
+	}
+}

@@ -1,0 +1,200 @@
+package script
+
+import (
+	"strings"
+
+	"lexequal/internal/phoneme"
+)
+
+// This file renders phoneme strings into Devanagari and Tamil
+// orthography. The paper's tagged lexicon was produced by hand-
+// transliterating 800 English names into Hindi and Tamil ("conversion is
+// fairly straight forward, barring variations due to the mismatch of
+// phoneme sets", §4.1); these renderers model that process, including
+// the information loss a human transliterator cannot avoid: Tamil script
+// does not distinguish stop voicing or aspiration, Devanagari folds
+// f→फ, w/v→व, θ/ð→त/द, and so on. Reading the rendered strings back
+// through the respective TTP converters therefore yields phoneme strings
+// that differ from the English source in exactly the cluster-internal
+// ways the LexEQUAL cost model is designed to absorb.
+
+// indicRenderer captures the shared abugida logic: consonants carry an
+// inherent vowel, other vowels attach as dependent signs (matras) after
+// a consonant or stand as independent letters elsewhere, and bare
+// consonants in clusters take a virama.
+type indicRenderer struct {
+	consonant      map[phoneme.Phoneme]string // phoneme -> base letter
+	independent    map[phoneme.Phoneme]string // vowel -> independent letter
+	matra          map[phoneme.Phoneme]string // vowel -> dependent sign ("" = inherent)
+	virama         string
+	finalVirama    bool   // Tamil writes final consonants with pulli; Hindi leaves them bare
+	nasalVowelTail string // consonant emitted after a nasalized vowel ("" = use anusvara)
+	anusvara       string
+	// finalSchwaMatra, when non-empty, is written for a word-final schwa
+	// after a consonant. Hindi transliterators write the final reduced
+	// vowel of a name with the long-ā matra (Gita -> गीता, Rama ->
+	// रामा); leaving it inherent would be silently deleted on readback.
+	finalSchwaMatra string
+	medialN         string // Tamil-specific: ந initially, ன elsewhere
+	nPhoneme        phoneme.Phoneme
+}
+
+// render converts a phoneme string to orthography. Phonemes without a
+// mapping are skipped (mirroring a transliterator dropping an alien
+// sound).
+func (ir *indicRenderer) render(s phoneme.String) string {
+	var b strings.Builder
+	pendingConsonant := false // a consonant letter awaiting its vowel
+	wrote := false
+	for i, p := range s {
+		if c, ok := ir.consonant[p]; ok {
+			if pendingConsonant {
+				b.WriteString(ir.virama)
+			}
+			if ir.medialN != "" && p == ir.nPhoneme && wrote {
+				c = ir.medialN
+			}
+			b.WriteString(c)
+			pendingConsonant = true
+			wrote = true
+			continue
+		}
+		f := p.Features()
+		if f.Class != phoneme.Vowel {
+			continue // unmappable consonant: dropped
+		}
+		if pendingConsonant {
+			m, ok := ir.matra[p]
+			if !ok {
+				continue
+			}
+			if m == "" && p == phoneme.Schwa && i == len(s)-1 && ir.finalSchwaMatra != "" {
+				m = ir.finalSchwaMatra
+			}
+			b.WriteString(m)
+		} else {
+			iv, ok := ir.independent[p]
+			if !ok {
+				continue
+			}
+			b.WriteString(iv)
+		}
+		pendingConsonant = false
+		wrote = true
+		if f.Nasalized {
+			if ir.nasalVowelTail != "" {
+				b.WriteString(ir.nasalVowelTail)
+				pendingConsonant = true
+			} else {
+				b.WriteString(ir.anusvara)
+			}
+		}
+	}
+	if pendingConsonant && ir.finalVirama {
+		b.WriteString(ir.virama)
+	}
+	return b.String()
+}
+
+var devanagariRenderer, tamilRenderer *indicRenderer
+
+// ToDevanagari renders a phoneme string in Hindi (Devanagari)
+// orthography.
+func ToDevanagari(s phoneme.String) string { return devanagariRenderer.render(s) }
+
+// ToTamil renders a phoneme string in Tamil orthography.
+func ToTamil(s phoneme.String) string { return tamilRenderer.render(s) }
+
+// pm builds a phoneme-keyed map from IPA-spelling keys.
+func pm(m map[string]string) map[phoneme.Phoneme]string {
+	out := make(map[phoneme.Phoneme]string, len(m))
+	for ipa, g := range m {
+		out[phoneme.MustLookup(ipa)] = g
+	}
+	return out
+}
+
+func init() {
+	devanagariRenderer = &indicRenderer{
+		virama:          "्",
+		anusvara:        "ं",
+		finalSchwaMatra: "ा",
+		consonant: pm(map[string]string{
+			"k": "क", "kʰ": "ख", "ɡ": "ग", "ɡʱ": "घ", "ŋ": "ङ",
+			"tʃ": "च", "tʃʰ": "छ", "dʒ": "ज", "dʒʱ": "झ", "ɲ": "ञ",
+			"ʈ": "ट", "ʈʰ": "ठ", "ɖ": "ड", "ɖʱ": "ढ", "ɳ": "ण", "ɽ": "ड़",
+			"t": "त", "t̪": "त", "θ": "त", "tʰ": "थ",
+			"d": "द", "d̪": "द", "ð": "द", "dʱ": "ध", "n": "न",
+			"p": "प", "pʰ": "फ", "f": "फ़", "b": "ब", "bʱ": "भ", "m": "म",
+			"j": "य", "r": "र", "ɾ": "र", "ɹ": "र", "ɻ": "र", "ʀ": "र", "ʁ": "र",
+			"l": "ल", "ɭ": "ळ", "ʎ": "ल",
+			"ʋ": "व", "v": "व", "w": "व", "β": "व",
+			"ʃ": "श", "ʒ": "श", "ʂ": "ष", "ç": "श",
+			"s": "स", "ts": "च", "z": "ज़", "dz": "ज",
+			"h": "ह", "ɦ": "ह", "x": "ख़", "ɣ": "ग़", "q": "क़",
+		}),
+		independent: pm(map[string]string{
+			"ə": "अ", "ʌ": "अ", "ɜ": "अ", "ɜː": "अ", "ɐ": "अ", "ɨ": "इ",
+			// The full open vowel is written with the long letter: only
+			// the reduced schwa is left inherent (a transliterator
+			// writes Karachi as कराची, not करची).
+			"a": "आ", "aː": "आ", "ɑ": "आ", "ɑː": "आ", "ɒ": "आ", "ã": "अ", "ɑ̃": "आ",
+			"æ": "ऐ", "ɛ": "ऐ", "ɛː": "ऐ", "ɛ̃": "ऐ",
+			"i": "इ", "ɪ": "इ", "iː": "ई", "ĩ": "इ",
+			"u": "उ", "ʊ": "उ", "uː": "ऊ", "ũ": "उ", "y": "उ", "ʏ": "उ",
+			"e": "ए", "eː": "ए", "ẽ": "ए",
+			"o": "ओ", "oː": "ओ", "õ": "ओ", "ø": "ओ", "œ": "ओ", "œ̃": "ओ",
+			"ɔ": "औ", "ɔː": "औ", "ɔ̃": "औ",
+		}),
+		matra: pm(map[string]string{
+			"ə": "", "ʌ": "", "ɜ": "", "ɜː": "", "ɐ": "", "ɨ": "ि",
+			"a": "ा", "aː": "ा", "ɑ": "ा", "ɑː": "ा", "ɒ": "ा", "ã": "", "ɑ̃": "ा",
+			"æ": "ै", "ɛ": "ै", "ɛː": "ै", "ɛ̃": "ै",
+			"i": "ि", "ɪ": "ि", "iː": "ी", "ĩ": "ि",
+			"u": "ु", "ʊ": "ु", "uː": "ू", "ũ": "ु", "y": "ु", "ʏ": "ु",
+			"e": "े", "eː": "े", "ẽ": "े",
+			"o": "ो", "oː": "ो", "õ": "ो", "ø": "ो", "œ": "ो", "œ̃": "ो",
+			"ɔ": "ौ", "ɔː": "ौ", "ɔ̃": "ौ",
+		}),
+	}
+
+	tamilRenderer = &indicRenderer{
+		virama:         "்",
+		finalVirama:    true,
+		nasalVowelTail: "ன",
+		nPhoneme:       phoneme.MustLookup("n"),
+		medialN:        "ன",
+		consonant: pm(map[string]string{
+			"k": "க", "kʰ": "க", "ɡ": "க", "ɡʱ": "க", "x": "க", "ɣ": "க", "q": "க", "ŋ": "ங",
+			"tʃ": "ச", "tʃʰ": "ச", "ç": "ச", "ts": "ச",
+			"dʒ": "ஜ", "dʒʱ": "ஜ", "z": "ஜ", "dz": "ஜ", "ʒ": "ஜ",
+			"ʈ": "ட", "ʈʰ": "ட", "ɖ": "ட", "ɖʱ": "ட", "ɳ": "ண",
+			"t": "த", "t̪": "த", "tʰ": "த", "θ": "த",
+			"d": "த", "d̪": "த", "dʱ": "த", "ð": "த", "n": "ந", "ɲ": "ஞ",
+			"p": "ப", "pʰ": "ப", "b": "ப", "bʱ": "ப", "f": "ப", "β": "ப", "m": "ம",
+			"j": "ய", "ɾ": "ர", "ɹ": "ர", "r": "ர", "ɽ": "ற", "ʀ": "ர", "ʁ": "ர",
+			"l": "ல", "ʎ": "ல", "ɭ": "ள", "ɻ": "ழ",
+			"ʋ": "வ", "v": "வ", "w": "வ",
+			"s": "ஸ", "ʃ": "ஷ", "ʂ": "ஷ",
+			"h": "ஹ", "ɦ": "ஹ",
+		}),
+		independent: pm(map[string]string{
+			"ə": "அ", "ʌ": "அ", "ɜ": "அ", "ɜː": "அ", "ɐ": "அ", "a": "அ", "ã": "அ",
+			"aː": "ஆ", "ɑ": "ஆ", "ɑː": "ஆ", "ɒ": "ஆ", "æ": "ஆ", "ɑ̃": "ஆ",
+			"i": "இ", "ɪ": "இ", "ɨ": "இ", "ĩ": "இ", "iː": "ஈ",
+			"u": "உ", "ʊ": "உ", "y": "உ", "ʏ": "உ", "ũ": "உ", "uː": "ஊ",
+			"e": "எ", "ɛ": "எ", "ɛː": "எ", "ɛ̃": "எ", "eː": "ஏ", "ẽ": "ஏ",
+			"o": "ஒ", "ɔ": "ஒ", "ɔ̃": "ஒ", "ø": "ஒ", "œ": "ஒ", "œ̃": "ஒ",
+			"oː": "ஓ", "õ": "ஓ", "ɔː": "ஓ",
+		}),
+		matra: pm(map[string]string{
+			"ə": "", "ʌ": "", "ɜ": "", "ɜː": "", "ɐ": "", "a": "", "ã": "",
+			"aː": "ா", "ɑ": "ா", "ɑː": "ா", "ɒ": "ா", "æ": "ா", "ɑ̃": "ா",
+			"i": "ி", "ɪ": "ி", "ɨ": "ி", "ĩ": "ி", "iː": "ீ",
+			"u": "ு", "ʊ": "ு", "y": "ு", "ʏ": "ு", "ũ": "ு", "uː": "ூ",
+			"e": "ெ", "ɛ": "ெ", "ɛː": "ெ", "ɛ̃": "ெ", "eː": "ே", "ẽ": "ே",
+			"o": "ொ", "ɔ": "ொ", "ɔ̃": "ொ", "ø": "ொ", "œ": "ொ", "œ̃": "ொ",
+			"oː": "ோ", "õ": "ோ", "ɔː": "ோ",
+		}),
+	}
+}

@@ -1,0 +1,235 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is SELECT items FROM tables [WHERE] [GROUP BY [HAVING]]
+// [ORDER BY] [LIMIT].
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Node
+	GroupBy []Node
+	Having  Node
+	OrderBy []Node
+	Desc    bool
+	Limit   int // -1 = no limit
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one output column: an expression with an optional
+// alias, or the * wildcard (Star).
+type SelectItem struct {
+	Star  bool
+	Expr  Node
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name the table is referenced by.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name string
+	Cols []ColDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColDef is one column definition.
+type ColDef struct {
+	Name string
+	Type string
+}
+
+// CreateIndexStmt is CREATE INDEX name ON table(column).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+}
+
+func (*DropTableStmt) stmt() {}
+
+// InsertStmt is INSERT INTO table VALUES (...), (...), ....
+type InsertStmt struct {
+	Table string
+	Rows  [][]Node
+}
+
+func (*InsertStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM table [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Node
+}
+
+func (*DeleteStmt) stmt() {}
+
+// SetStmt is SET name = value (session settings).
+type SetStmt struct {
+	Name  string
+	Value string
+}
+
+func (*SetStmt) stmt() {}
+
+// ShowStmt is SHOW TABLES or SHOW INDEXES.
+type ShowStmt struct {
+	What string // "TABLES" or "INDEXES"
+}
+
+func (*ShowStmt) stmt() {}
+
+// ExplainStmt wraps a SELECT and reports its plan.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// Node is an unresolved expression AST node.
+type Node interface {
+	fmt.Stringer
+	node()
+}
+
+// Ident references a column, optionally qualified (B1.Author).
+type Ident struct {
+	Qualifier string
+	Name      string
+}
+
+func (*Ident) node() {}
+
+func (i *Ident) String() string {
+	if i.Qualifier != "" {
+		return i.Qualifier + "." + i.Name
+	}
+	return i.Name
+}
+
+// Lit is a literal value.
+type Lit struct {
+	Kind LitKind
+	S    string
+	N    float64
+	I    int64
+	Lang string // optional LANG tag on a string literal
+}
+
+// LitKind classifies literals.
+type LitKind uint8
+
+// Literal kinds.
+const (
+	LitNull LitKind = iota
+	LitInt
+	LitFloat
+	LitString
+)
+
+func (*Lit) node() {}
+
+func (l *Lit) String() string {
+	switch l.Kind {
+	case LitNull:
+		return "NULL"
+	case LitInt:
+		return fmt.Sprintf("%d", l.I)
+	case LitFloat:
+		return fmt.Sprintf("%g", l.N)
+	default:
+		if l.Lang != "" {
+			return fmt.Sprintf("'%s' LANG %s", l.S, l.Lang)
+		}
+		return "'" + l.S + "'"
+	}
+}
+
+// Bin is an infix operation.
+type Bin struct {
+	Op   string
+	L, R Node
+}
+
+func (*Bin) node() {}
+
+func (b *Bin) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// NotNode negates a predicate.
+type NotNode struct {
+	E Node
+}
+
+func (*NotNode) node() {}
+
+func (n *NotNode) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// FuncCall invokes a scalar function or aggregate.
+type FuncCall struct {
+	Name string
+	Star bool // COUNT(*)
+	Args []Node
+}
+
+func (*FuncCall) node() {}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// LexMatch is the LexEQUAL predicate of Figures 3 and 5:
+// L LEXEQUAL R [THRESHOLD e] [INLANGUAGES { l1, l2, ... }]. A nil
+// Langs list (or the * wildcard) matches all languages; Threshold < 0
+// selects the session default.
+type LexMatch struct {
+	L, R      Node
+	Threshold float64
+	Langs     []string
+}
+
+func (*LexMatch) node() {}
+
+func (m *LexMatch) String() string {
+	s := fmt.Sprintf("(%s LEXEQUAL %s", m.L, m.R)
+	if m.Threshold >= 0 {
+		s += fmt.Sprintf(" THRESHOLD %g", m.Threshold)
+	}
+	if len(m.Langs) > 0 {
+		s += " INLANGUAGES {" + strings.Join(m.Langs, ", ") + "}"
+	}
+	return s + ")"
+}

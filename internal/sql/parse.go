@@ -1,0 +1,629 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number", tokString: "string"}[kind]
+	}
+	return token{}, p.errf("expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "EXPLAIN"):
+		p.next()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: sel}, nil
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tokKeyword, "DROP"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Name: name.text}, nil
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "DELETE"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		del := &DeleteStmt{Table: name.text}
+		if p.accept(tokKeyword, "WHERE") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			del.Where = e
+		}
+		return del, nil
+	case p.at(tokKeyword, "SET"):
+		return p.parseSet()
+	case p.at(tokKeyword, "SHOW"):
+		p.next()
+		switch {
+		case p.accept(tokKeyword, "TABLES"):
+			return &ShowStmt{What: "TABLES"}, nil
+		case p.accept(tokKeyword, "INDEXES"):
+			return &ShowStmt{What: "INDEXES"}, nil
+		default:
+			return nil, p.errf("expected TABLES or INDEXES after SHOW")
+		}
+	default:
+		return nil, p.errf("expected a statement, found %s", p.peek())
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	for {
+		if p.accept(tokSymbol, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				a, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a.text
+			} else if p.at(tokIdent, "") {
+				item.Alias = p.next().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: name.text}
+		if p.accept(tokKeyword, "AS") {
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a.text
+		} else if p.at(tokIdent, "") {
+			ref.Alias = p.next().text
+		}
+		sel.From = append(sel.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if p.accept(tokKeyword, "HAVING") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = e
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.OrderBy = append(sel.OrderBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if p.accept(tokKeyword, "DESC") {
+			sel.Desc = true
+		} else {
+			p.accept(tokKeyword, "ASC")
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 0 {
+			return nil, p.errf("bad LIMIT %q", n.text)
+		}
+		sel.Limit = v
+	}
+	return sel, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.next() // CREATE
+	switch {
+	case p.accept(tokKeyword, "TABLE"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var cols []ColDef
+		for {
+			cn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ct, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, ColDef{Name: cn.text, Type: ct.text})
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &CreateTableStmt{Name: name.text, Cols: cols}, nil
+	case p.accept(tokKeyword, "INDEX"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Name: name.text, Table: tbl.text, Column: col.text}, nil
+	default:
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name.text}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Node
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseSet() (Stmt, error) {
+	p.next() // SET
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "="); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	switch t.kind {
+	case tokIdent, tokString, tokNumber, tokKeyword:
+		return &SetStmt{Name: strings.ToLower(name.text), Value: t.text}, nil
+	default:
+		return nil, p.errf("bad SET value %s", t)
+	}
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	expr    := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | cmp
+//	cmp     := add ((=|<>|<|<=|>|>=) add | LEXEQUAL add lexargs)?
+//	add     := mul ((+|-) mul)*
+//	mul     := prim ((*|/) prim)*
+//	prim    := literal | ident[.ident] | func(args) | ( expr )
+func (p *parser) parseExpr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotNode{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Bin{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.accept(tokKeyword, "LEXEQUAL") {
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		m := &LexMatch{L: l, R: r, Threshold: -1}
+		if p.accept(tokKeyword, "THRESHOLD") {
+			n, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseFloat(n.text, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, p.errf("THRESHOLD must be in [0,1], got %q", n.text)
+			}
+			m.Threshold = v
+		}
+		if p.accept(tokKeyword, "INLANGUAGES") {
+			open := "{"
+			if !p.accept(tokSymbol, "{") {
+				if _, err := p.expect(tokSymbol, "("); err != nil {
+					return nil, err
+				}
+				open = "("
+			}
+			if p.accept(tokSymbol, "*") {
+				// Wildcard: all languages (nil list).
+			} else {
+				for {
+					lang, err := p.expect(tokIdent, "")
+					if err != nil {
+						return nil, err
+					}
+					m.Langs = append(m.Langs, lang.text)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+			}
+			closing := "}"
+			if open == "(" {
+				closing = ")"
+			}
+			if _, err := p.expect(tokSymbol, closing); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "+", L: l, R: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parsePrim()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.parsePrim()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "*", L: l, R: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.parsePrim()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parsePrim() (Node, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{Kind: LitFloat, N: f}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{Kind: LitInt, I: i}, nil
+	case t.kind == tokString:
+		p.next()
+		lit := &Lit{Kind: LitString, S: t.text}
+		if p.accept(tokKeyword, "LANG") {
+			lang, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			lit.Lang = lang.text
+		}
+		return lit, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return &Lit{Kind: LitNull}, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.next()
+		e, err := p.parsePrim()
+		if err != nil {
+			return nil, err
+		}
+		if l, ok := e.(*Lit); ok {
+			switch l.Kind {
+			case LitInt:
+				return &Lit{Kind: LitInt, I: -l.I}, nil
+			case LitFloat:
+				return &Lit{Kind: LitFloat, N: -l.N}, nil
+			}
+		}
+		return &Bin{Op: "-", L: &Lit{Kind: LitInt, I: 0}, R: e}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokKeyword && (t.text == "COUNT" || t.text == "MIN" || t.text == "MAX" || t.text == "SUM"):
+		p.next()
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		fc := &FuncCall{Name: t.text}
+		if p.accept(tokSymbol, "*") {
+			fc.Star = true
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = []Node{arg}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	case t.kind == tokIdent:
+		p.next()
+		// Function call?
+		if p.accept(tokSymbol, "(") {
+			fc := &FuncCall{Name: t.text}
+			if !p.at(tokSymbol, ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.accept(tokSymbol, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: t.text, Name: col.text}, nil
+		}
+		return &Ident{Name: t.text}, nil
+	default:
+		return nil, p.errf("unexpected %s in expression", t)
+	}
+}

@@ -1,0 +1,315 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lexequal/internal/core"
+	"lexequal/internal/db"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/script"
+	"lexequal/internal/store"
+)
+
+// Session executes SQL against a database with a configured LexEQUAL
+// operator. Session settings (strategy, default threshold, cost
+// parameters) are adjusted with SET statements:
+//
+//	SET lexequal_strategy  = naive | qgram | indexed
+//	SET lexequal_threshold = 0.30
+//	SET lexequal_icsc      = 0.25
+//	SET lexequal_clusters  = default | coarse | fine
+//	SET lexequal_weakindel = 0.5
+type Session struct {
+	DB        *db.DB
+	Op        *core.Operator
+	Funcs     *db.FuncRegistry
+	Strategy  core.Strategy
+	Threshold float64
+}
+
+// NewSession builds a session over an open database. A nil op selects
+// the default operator configuration.
+func NewSession(d *db.DB, op *core.Operator) (*Session, error) {
+	if op == nil {
+		var err error
+		op, err = core.New(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Session{
+		DB:        d,
+		Op:        op,
+		Strategy:  core.Naive,
+		Threshold: op.Threshold(),
+	}
+	s.installFuncs()
+	return s, nil
+}
+
+func (s *Session) installFuncs() {
+	s.Funcs = db.NewFuncRegistry()
+	db.RegisterLexEqualUDF(s.Funcs, s.Op)
+	// language(nstring) -> the row's language tag, enabling the paper's
+	// Figure 5 predicate B1.Language <> B2.Language on tables that keep
+	// the tag inside the NString rather than as a separate column.
+	s.Funcs.Register("language", func(args []db.Value) (db.Value, error) {
+		if len(args) != 1 || args[0].T != db.TNString {
+			return db.Null(), fmt.Errorf("sql: language() expects one NSTRING argument")
+		}
+		return db.Str(string(args[0].Lang)), nil
+	})
+	// fold(text) strips Latin accents: the cheap lexicographic
+	// normalization (§2.1 / the paper's multilexical companion report)
+	// that complements the phonetic operator for same-script variants.
+	s.Funcs.Register("fold", func(args []db.Value) (db.Value, error) {
+		if len(args) != 1 {
+			return db.Null(), fmt.Errorf("sql: fold() expects one argument")
+		}
+		v := args[0]
+		v.S = script.FoldAccents(v.S)
+		return v, nil
+	})
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Cols     []string
+	Rows     []db.Row
+	Affected int    // rows inserted
+	Message  string // DDL/SET acknowledgement
+}
+
+// Exec parses, plans and runs one statement.
+func (s *Session) Exec(sqlText string) (*Result, error) {
+	stmt, err := Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		node, names, _, err := s.planSelect(st)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := db.Collect(node)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: names, Rows: rows}, nil
+
+	case *ExplainStmt:
+		_, _, info, err := s.planSelect(st.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Cols: []string{"plan"},
+			Rows: []db.Row{{db.Str(fmt.Sprintf("%s [lexequal strategy: %s]", info.shape, info.strategy))}},
+		}, nil
+
+	case *CreateTableStmt:
+		cols := make(db.Schema, len(st.Cols))
+		for i, c := range st.Cols {
+			t, err := db.ParseType(c.Type)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = db.Column{Name: c.Name, Type: t}
+		}
+		if _, err := s.DB.CreateTable(st.Name, cols); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("table %s created", st.Name)}, nil
+
+	case *CreateIndexStmt:
+		if _, err := s.DB.CreateIndex(st.Name, st.Table, st.Column); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("index %s created", st.Name)}, nil
+
+	case *DropTableStmt:
+		if err := s.DB.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("table %s dropped", st.Name)}, nil
+
+	case *InsertStmt:
+		t, ok := s.DB.Table(st.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: no table %q", st.Table)
+		}
+		n := 0
+		for _, astRow := range st.Rows {
+			row := make(db.Row, len(astRow))
+			for i, cell := range astRow {
+				lit, ok := cell.(*Lit)
+				if !ok {
+					return nil, fmt.Errorf("sql: INSERT values must be literals")
+				}
+				v := s.litValue(lit)
+				// Coerce string literals to the column's declared type.
+				if i < len(t.Columns) {
+					v = coerce(v, t.Columns[i].Type)
+				}
+				row[i] = v
+			}
+			if _, err := t.Insert(row); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		return &Result{Affected: n, Message: fmt.Sprintf("%d row(s) inserted", n)}, nil
+
+	case *DeleteStmt:
+		return s.execDelete(st)
+
+	case *SetStmt:
+		return s.execSet(st)
+
+	case *ShowStmt:
+		var rows []db.Row
+		var col string
+		if st.What == "TABLES" {
+			col = "table"
+			for _, name := range s.DB.Tables() {
+				rows = append(rows, db.Row{db.Str(name)})
+			}
+		} else {
+			col = "index"
+			for _, name := range s.DB.Indexes() {
+				rows = append(rows, db.Row{db.Str(name)})
+			}
+		}
+		return &Result{Cols: []string{col}, Rows: rows}, nil
+
+	default:
+		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+	}
+}
+
+// execDelete scans the table, collects matching RIDs, then tombstones
+// them (two phases so the scan never observes its own deletions).
+func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
+	t, ok := s.DB.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: no table %q", st.Table)
+	}
+	sc, err := newScope(s, []TableRef{{Name: st.Table}})
+	if err != nil {
+		return nil, err
+	}
+	var pred db.Expr
+	if st.Where != nil {
+		pred, err = s.resolve(sc, st.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rids []store.RID
+	err = t.Scan(func(rid store.RID, row db.Row) error {
+		if pred != nil {
+			v, err := pred.Eval(row)
+			if err != nil {
+				return err
+			}
+			if !v.Bool() {
+				return nil
+			}
+		}
+		rids = append(rids, rid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range rids {
+		if err := t.Delete(rid); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(rids), Message: fmt.Sprintf("%d row(s) deleted", len(rids))}, nil
+}
+
+// coerce adapts literal values to a column type where lossless:
+// NString -> String (drop tag) and Int -> Float.
+func coerce(v db.Value, want db.Type) db.Value {
+	switch {
+	case v.T == db.TNString && want == db.TString:
+		return db.Str(v.S)
+	case v.T == db.TString && want == db.TNString:
+		return db.NStr(v.S, script.GuessLanguage(v.S))
+	case v.T == db.TInt && want == db.TFloat:
+		return db.Float(float64(v.I))
+	}
+	return v
+}
+
+func (s *Session) execSet(st *SetStmt) (*Result, error) {
+	ack := func() (*Result, error) {
+		return &Result{Message: fmt.Sprintf("%s = %s", st.Name, st.Value)}, nil
+	}
+	switch st.Name {
+	case "lexequal_strategy":
+		strat, err := core.ParseStrategy(strings.ToLower(st.Value))
+		if err != nil {
+			return nil, err
+		}
+		s.Strategy = strat
+		return ack()
+	case "lexequal_threshold":
+		v, err := strconv.ParseFloat(st.Value, 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("sql: lexequal_threshold must be in [0,1]")
+		}
+		s.Threshold = v
+		return ack()
+	case "lexequal_icsc":
+		v, err := strconv.ParseFloat(st.Value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad lexequal_icsc %q", st.Value)
+		}
+		return s.rebuildOperator(core.Options{
+			Registry: s.Op.Registry(), Clusters: s.Op.Clusters(),
+			ICSC: v, ICSCSet: true,
+			WeakIndel: s.Op.WeakIndel(), WeakIndelSet: true,
+			DefaultThreshold: s.Threshold,
+		}, ack)
+	case "lexequal_clusters":
+		cl, err := phoneme.ByName(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		return s.rebuildOperator(core.Options{
+			Registry: s.Op.Registry(), Clusters: cl,
+			ICSC: s.Op.ICSC(), ICSCSet: true,
+			WeakIndel: s.Op.WeakIndel(), WeakIndelSet: true,
+			DefaultThreshold: s.Threshold,
+		}, ack)
+	case "lexequal_weakindel":
+		v, err := strconv.ParseFloat(st.Value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad lexequal_weakindel %q", st.Value)
+		}
+		return s.rebuildOperator(core.Options{
+			Registry: s.Op.Registry(), Clusters: s.Op.Clusters(),
+			ICSC: s.Op.ICSC(), ICSCSet: true,
+			WeakIndel: v, WeakIndelSet: true,
+			DefaultThreshold: s.Threshold,
+		}, ack)
+	default:
+		return nil, fmt.Errorf("sql: unknown setting %q", st.Name)
+	}
+}
+
+func (s *Session) rebuildOperator(opts core.Options, ack func() (*Result, error)) (*Result, error) {
+	op, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.Op = op
+	s.installFuncs()
+	return ack()
+}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkHeapInsert(b *testing.B) {
+	h, err := OpenHeap(b.TempDir()+"/h.db", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	rec := []byte("a modest record of some tens of bytes, like a name row")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapScan(b *testing.B) {
+	h, err := OpenHeap(b.TempDir()+"/h.db", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	for i := 0; i < 10000; i++ {
+		h.Insert([]byte(fmt.Sprintf("record %d with a realistic payload size", i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		h.Scan(func(RID, []byte) error { n++; return nil })
+		if n != 10000 {
+			b.Fatal("scan lost records")
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt, err := OpenBTree(b.TempDir()+"/b.db", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bt.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bt.Insert(uint64(i*2654435761), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	bt, err := OpenBTree(b.TempDir()+"/b.db", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bt.Close()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		bt.Insert(uint64(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals, err := bt.Lookup(uint64(i % n))
+		if err != nil || len(vals) != 1 {
+			b.Fatal("lookup failed")
+		}
+	}
+}

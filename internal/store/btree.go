@@ -1,0 +1,485 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BTree is a persistent B+tree mapping uint64 keys to uint64 values
+// (packed RIDs), with duplicate keys allowed. It supports insertion and
+// ordered range scans — the operations the phonetic-index experiments
+// need; deletion is out of scope for the read-mostly workloads (see
+// DESIGN.md non-goals).
+//
+// Node layout:
+//
+//	byte 0      node kind (1 = leaf, 2 = internal)
+//	[2:4)       entry count n
+//	leaf:       [4:8) next-leaf page id; entries at 8+16i = {key u64, val u64}
+//	internal:   [4:8) leftmost child;  entries at 8+12i = {key u64, child u32}
+//	            child i covers keys >= key i (leftmost covers keys < key 0)
+type BTree struct {
+	pg    *Pager
+	root  PageID
+	count uint64
+}
+
+const (
+	btreeMagic   = 0x4C455842 // "LEXB"
+	nodeLeaf     = 1
+	nodeInternal = 2
+
+	leafHdr      = 8
+	leafEntry    = 16
+	maxLeafKeys  = (PageSize - leafHdr) / leafEntry // 255
+	innerHdr     = 8
+	innerEntry   = 12
+	maxInnerKeys = (PageSize - innerHdr) / innerEntry // 340
+)
+
+// OpenBTree opens (or creates) a B+tree at path.
+func OpenBTree(path string, cachePages int) (*BTree, error) {
+	pg, err := OpenPager(path, cachePages)
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{pg: pg}
+	if pg.NumPages() == 0 {
+		meta, err := pg.Allocate()
+		if err != nil {
+			pg.Close()
+			return nil, err
+		}
+		root, err := pg.Allocate()
+		if err != nil {
+			pg.Unpin(meta)
+			pg.Close()
+			return nil, err
+		}
+		initLeaf(root, InvalidPage)
+		t.root = root.ID
+		binary.LittleEndian.PutUint32(meta.Data[0:], btreeMagic)
+		t.writeMeta(meta)
+		pg.Unpin(root)
+		pg.Unpin(meta)
+		return t, nil
+	}
+	meta, err := pg.Get(0)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	defer pg.Unpin(meta)
+	if binary.LittleEndian.Uint32(meta.Data[0:]) != btreeMagic {
+		pg.Close()
+		return nil, fmt.Errorf("store: %s is not a btree file", path)
+	}
+	t.root = PageID(binary.LittleEndian.Uint32(meta.Data[4:]))
+	t.count = binary.LittleEndian.Uint64(meta.Data[8:])
+	return t, nil
+}
+
+func (t *BTree) writeMeta(meta *Page) {
+	binary.LittleEndian.PutUint32(meta.Data[4:], uint32(t.root))
+	binary.LittleEndian.PutUint64(meta.Data[8:], t.count)
+	meta.MarkDirty()
+}
+
+func (t *BTree) syncMeta() error {
+	meta, err := t.pg.Get(0)
+	if err != nil {
+		return err
+	}
+	t.writeMeta(meta)
+	t.pg.Unpin(meta)
+	return nil
+}
+
+// Count returns the number of stored entries.
+func (t *BTree) Count() uint64 { return t.count }
+
+// Pager exposes the underlying pager (for I/O statistics).
+func (t *BTree) Pager() *Pager { return t.pg }
+
+// Close flushes metadata and the page cache.
+func (t *BTree) Close() error {
+	if err := t.syncMeta(); err != nil {
+		t.pg.Close()
+		return err
+	}
+	return t.pg.Close()
+}
+
+func initLeaf(p *Page, next PageID) {
+	for i := range p.Data[:leafHdr] {
+		p.Data[i] = 0
+	}
+	p.Data[0] = nodeLeaf
+	binary.LittleEndian.PutUint16(p.Data[2:], 0)
+	binary.LittleEndian.PutUint32(p.Data[4:], uint32(next))
+	p.MarkDirty()
+}
+
+func nodeKind(p *Page) byte   { return p.Data[0] }
+func nodeCount(p *Page) int   { return int(binary.LittleEndian.Uint16(p.Data[2:])) }
+func setCount(p *Page, n int) { binary.LittleEndian.PutUint16(p.Data[2:], uint16(n)) }
+
+func leafNext(p *Page) PageID { return PageID(binary.LittleEndian.Uint32(p.Data[4:])) }
+func leafKey(p *Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Data[leafHdr+i*leafEntry:])
+}
+func leafVal(p *Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Data[leafHdr+i*leafEntry+8:])
+}
+func setLeafEntry(p *Page, i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(p.Data[leafHdr+i*leafEntry:], k)
+	binary.LittleEndian.PutUint64(p.Data[leafHdr+i*leafEntry+8:], v)
+}
+
+func innerLeft(p *Page) PageID { return PageID(binary.LittleEndian.Uint32(p.Data[4:])) }
+func innerKey(p *Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Data[innerHdr+i*innerEntry:])
+}
+func innerChild(p *Page, i int) PageID {
+	return PageID(binary.LittleEndian.Uint32(p.Data[innerHdr+i*innerEntry+8:]))
+}
+func setInnerEntry(p *Page, i int, k uint64, child PageID) {
+	binary.LittleEndian.PutUint64(p.Data[innerHdr+i*innerEntry:], k)
+	binary.LittleEndian.PutUint32(p.Data[innerHdr+i*innerEntry+8:], uint32(child))
+}
+
+// childFor returns the rightmost child page whose range covers key —
+// the insert path (new duplicates go to the right of existing ones).
+func childFor(p *Page, key uint64) PageID {
+	n := nodeCount(p)
+	lo, hi := 0, n // first i with innerKey(i) > key
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if innerKey(p, mid) > key {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return innerLeft(p)
+	}
+	return innerChild(p, lo-1)
+}
+
+// seekChild returns the leftmost child page that can contain the first
+// occurrence of key. This differs from childFor when duplicates
+// straddle a split boundary: entries equal to a separator key may live
+// in the subtree to its left, so a search for the first occurrence must
+// descend there and rely on the leaf chain to walk right.
+func seekChild(p *Page, key uint64) PageID {
+	n := nodeCount(p)
+	lo, hi := 0, n // first i with innerKey(i) >= key
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if innerKey(p, mid) >= key {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return innerLeft(p)
+	}
+	return innerChild(p, lo-1)
+}
+
+// leafLowerBound returns the first index i with key(i) >= key (or, when
+// withVal, with (key,val)(i) >= (key,val)).
+func leafLowerBound(p *Page, key uint64) int {
+	n := nodeCount(p)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(p, mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds (key, value). Duplicate keys (and duplicate pairs) are
+// allowed; entries with equal keys are stored in insertion-independent
+// (value) order.
+func (t *BTree) Insert(key, value uint64) error {
+	promo, right, changed, err := t.insertAt(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if changed {
+		// Root split: build a new root.
+		newRoot, err := t.pg.Allocate()
+		if err != nil {
+			return err
+		}
+		for i := range newRoot.Data[:innerHdr] {
+			newRoot.Data[i] = 0
+		}
+		newRoot.Data[0] = nodeInternal
+		setCount(newRoot, 1)
+		binary.LittleEndian.PutUint32(newRoot.Data[4:], uint32(t.root))
+		setInnerEntry(newRoot, 0, promo, right)
+		newRoot.MarkDirty()
+		t.root = newRoot.ID
+		t.pg.Unpin(newRoot)
+	}
+	t.count++
+	return nil
+}
+
+// insertAt inserts into the subtree rooted at id. When the node splits
+// it returns (promotedKey, newRightPage, true).
+func (t *BTree) insertAt(id PageID, key, value uint64) (uint64, PageID, bool, error) {
+	p, err := t.pg.Get(id)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if nodeKind(p) == nodeLeaf {
+		defer t.pg.Unpin(p)
+		return t.insertLeaf(p, key, value)
+	}
+	child := childFor(p, key)
+	t.pg.Unpin(p) // release during recursion; re-fetch if child split
+	promo, right, split, err := t.insertAt(child, key, value)
+	if err != nil || !split {
+		return 0, 0, false, err
+	}
+	p, err = t.pg.Get(id)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer t.pg.Unpin(p)
+	return t.insertInner(p, promo, right)
+}
+
+func (t *BTree) insertLeaf(p *Page, key, value uint64) (uint64, PageID, bool, error) {
+	n := nodeCount(p)
+	// Position by (key, value) for deterministic duplicate order.
+	i := leafLowerBound(p, key)
+	for i < n && leafKey(p, i) == key && leafVal(p, i) < value {
+		i++
+	}
+	if n < maxLeafKeys {
+		// Shift right and insert.
+		copy(p.Data[leafHdr+(i+1)*leafEntry:leafHdr+(n+1)*leafEntry], p.Data[leafHdr+i*leafEntry:leafHdr+n*leafEntry])
+		setLeafEntry(p, i, key, value)
+		setCount(p, n+1)
+		p.MarkDirty()
+		return 0, 0, false, nil
+	}
+	// Split: left keeps half, right takes the rest.
+	right, err := t.pg.Allocate()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer t.pg.Unpin(right)
+	initLeaf(right, leafNext(p))
+	half := n / 2
+	// Build the merged order conceptually: entries [0,n) plus the new
+	// one at i. Distribute without materializing: copy uppers first.
+	// Simpler and still O(n): materialize into a scratch array.
+	type kv struct{ k, v uint64 }
+	scratch := make([]kv, 0, n+1)
+	for j := 0; j < n; j++ {
+		if j == i {
+			scratch = append(scratch, kv{key, value})
+		}
+		scratch = append(scratch, kv{leafKey(p, j), leafVal(p, j)})
+	}
+	if i == n {
+		scratch = append(scratch, kv{key, value})
+	}
+	left := scratch[:half+1]
+	rest := scratch[half+1:]
+	for j, e := range left {
+		setLeafEntry(p, j, e.k, e.v)
+	}
+	setCount(p, len(left))
+	binary.LittleEndian.PutUint32(p.Data[4:], uint32(right.ID))
+	p.MarkDirty()
+	for j, e := range rest {
+		setLeafEntry(right, j, e.k, e.v)
+	}
+	setCount(right, len(rest))
+	right.MarkDirty()
+	return rest[0].k, right.ID, true, nil
+}
+
+func (t *BTree) insertInner(p *Page, key uint64, child PageID) (uint64, PageID, bool, error) {
+	n := nodeCount(p)
+	// Find insert position: first i with key(i) > key.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if innerKey(p, mid) > key {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
+	if n < maxInnerKeys {
+		copy(p.Data[innerHdr+(i+1)*innerEntry:innerHdr+(n+1)*innerEntry], p.Data[innerHdr+i*innerEntry:innerHdr+n*innerEntry])
+		setInnerEntry(p, i, key, child)
+		setCount(p, n+1)
+		p.MarkDirty()
+		return 0, 0, false, nil
+	}
+	// Split internal node.
+	type kc struct {
+		k uint64
+		c PageID
+	}
+	scratch := make([]kc, 0, n+1)
+	for j := 0; j < n; j++ {
+		if j == i {
+			scratch = append(scratch, kc{key, child})
+		}
+		scratch = append(scratch, kc{innerKey(p, j), innerChild(p, j)})
+	}
+	if i == n {
+		scratch = append(scratch, kc{key, child})
+	}
+	mid := len(scratch) / 2
+	promo := scratch[mid]
+	right, err := t.pg.Allocate()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer t.pg.Unpin(right)
+	for j := range right.Data[:innerHdr] {
+		right.Data[j] = 0
+	}
+	right.Data[0] = nodeInternal
+	binary.LittleEndian.PutUint32(right.Data[4:], uint32(promo.c))
+	rest := scratch[mid+1:]
+	for j, e := range rest {
+		setInnerEntry(right, j, e.k, e.c)
+	}
+	setCount(right, len(rest))
+	right.MarkDirty()
+	left := scratch[:mid]
+	for j, e := range left {
+		setInnerEntry(p, j, e.k, e.c)
+	}
+	setCount(p, len(left))
+	p.MarkDirty()
+	return promo.k, right.ID, true, nil
+}
+
+// Iterator walks entries in (key, value) order from a Seek position.
+// It buffers one leaf at a time, so concurrent inserts during iteration
+// are not supported.
+type Iterator struct {
+	t       *BTree
+	keys    []uint64
+	vals    []uint64
+	idx     int
+	next    PageID
+	stopped bool
+	err     error
+}
+
+// Seek positions an iterator at the first entry with key >= key.
+func (t *BTree) Seek(key uint64) *Iterator {
+	it := &Iterator{t: t}
+	id := t.root
+	for {
+		p, err := t.pg.Get(id)
+		if err != nil {
+			it.err = err
+			it.stopped = true
+			return it
+		}
+		if nodeKind(p) == nodeInternal {
+			id = seekChild(p, key)
+			t.pg.Unpin(p)
+			continue
+		}
+		i := leafLowerBound(p, key)
+		it.loadLeaf(p, i)
+		t.pg.Unpin(p)
+		return it
+	}
+}
+
+func (it *Iterator) loadLeaf(p *Page, from int) {
+	n := nodeCount(p)
+	it.keys = it.keys[:0]
+	it.vals = it.vals[:0]
+	for i := from; i < n; i++ {
+		it.keys = append(it.keys, leafKey(p, i))
+		it.vals = append(it.vals, leafVal(p, i))
+	}
+	it.idx = 0
+	it.next = leafNext(p)
+}
+
+// Next returns the next entry. ok is false at the end of the tree or on
+// error (check Err).
+func (it *Iterator) Next() (key, value uint64, ok bool) {
+	for {
+		if it.stopped {
+			return 0, 0, false
+		}
+		if it.idx < len(it.keys) {
+			k, v := it.keys[it.idx], it.vals[it.idx]
+			it.idx++
+			return k, v, true
+		}
+		if it.next == InvalidPage {
+			it.stopped = true
+			return 0, 0, false
+		}
+		p, err := it.t.pg.Get(it.next)
+		if err != nil {
+			it.err = err
+			it.stopped = true
+			return 0, 0, false
+		}
+		it.loadLeaf(p, 0)
+		it.t.pg.Unpin(p)
+	}
+}
+
+// Err reports an I/O error encountered during iteration.
+func (it *Iterator) Err() error { return it.err }
+
+// Lookup collects every value stored under exactly key.
+func (t *BTree) Lookup(key uint64) ([]uint64, error) {
+	it := t.Seek(key)
+	var out []uint64
+	for {
+		k, v, ok := it.Next()
+		if !ok || k != key {
+			break
+		}
+		out = append(out, v)
+	}
+	return out, it.Err()
+}
+
+// Range invokes fn for each entry with lo <= key <= hi, in order.
+func (t *BTree) Range(lo, hi uint64, fn func(key, value uint64) error) error {
+	it := t.Seek(lo)
+	for {
+		k, v, ok := it.Next()
+		if !ok || k > hi {
+			break
+		}
+		if err := fn(k, v); err != nil {
+			if err == ErrStopScan {
+				return nil
+			}
+			return err
+		}
+	}
+	return it.Err()
+}

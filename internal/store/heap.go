@@ -1,0 +1,286 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeapFile stores variable-length records in slotted pages. Records are
+// addressed by RID and never move; deletion leaves a tombstone. The
+// meta page (page 0) records the page/record counts so a heap reopens
+// cheaply.
+//
+// Page layout (pages >= 1):
+//
+//	[0:2)  slot count n
+//	[2:4)  free-space offset (start of the record area, grows down)
+//	[4:..) slot array: n entries of {offset uint16, length uint16}
+//	 ...   free space
+//	[freeOff:PageSize) record bytes (allocated from the end)
+//
+// A slot with offset 0 is a tombstone (valid records never start at
+// offset 0, which lies inside the header).
+type HeapFile struct {
+	pg *Pager
+	// meta
+	lastPage PageID // page currently receiving inserts
+	count    uint64 // live record count
+}
+
+// RID addresses one record: page and slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Pack encodes the RID as a uint64 (for storing RIDs in B-tree values).
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// UnpackRID reverses Pack.
+func UnpackRID(v uint64) RID {
+	return RID{Page: PageID(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+const (
+	heapMagic     = 0x4C455848 // "LEXH"
+	heapHdrSlotsN = 0
+	heapHdrFree   = 2
+	heapSlotBase  = 4
+	heapSlotSize  = 4
+)
+
+// maxHeapRecord is the largest record a heap accepts: it must fit in a
+// fresh page alongside the header and one slot.
+const maxHeapRecord = PageSize - heapSlotBase - heapSlotSize
+
+// OpenHeap opens (or creates) a heap file at path.
+func OpenHeap(path string, cachePages int) (*HeapFile, error) {
+	pg, err := OpenPager(path, cachePages)
+	if err != nil {
+		return nil, err
+	}
+	h := &HeapFile{pg: pg}
+	if pg.NumPages() == 0 {
+		meta, err := pg.Allocate()
+		if err != nil {
+			pg.Close()
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(meta.Data[0:], heapMagic)
+		h.lastPage = InvalidPage
+		h.writeMeta(meta)
+		pg.Unpin(meta)
+		return h, nil
+	}
+	meta, err := pg.Get(0)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	defer pg.Unpin(meta)
+	if binary.LittleEndian.Uint32(meta.Data[0:]) != heapMagic {
+		pg.Close()
+		return nil, fmt.Errorf("store: %s is not a heap file", path)
+	}
+	h.lastPage = PageID(binary.LittleEndian.Uint32(meta.Data[4:]))
+	h.count = binary.LittleEndian.Uint64(meta.Data[8:])
+	return h, nil
+}
+
+func (h *HeapFile) writeMeta(meta *Page) {
+	binary.LittleEndian.PutUint32(meta.Data[4:], uint32(h.lastPage))
+	binary.LittleEndian.PutUint64(meta.Data[8:], h.count)
+	meta.MarkDirty()
+}
+
+func (h *HeapFile) syncMeta() error {
+	meta, err := h.pg.Get(0)
+	if err != nil {
+		return err
+	}
+	h.writeMeta(meta)
+	h.pg.Unpin(meta)
+	return nil
+}
+
+// Count returns the number of live records.
+func (h *HeapFile) Count() uint64 { return h.count }
+
+// Pager exposes the underlying pager (for I/O statistics).
+func (h *HeapFile) Pager() *Pager { return h.pg }
+
+// Close flushes metadata and the page cache.
+func (h *HeapFile) Close() error {
+	if err := h.syncMeta(); err != nil {
+		h.pg.Close()
+		return err
+	}
+	return h.pg.Close()
+}
+
+func pageFree(p *Page) int {
+	n := int(binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:]))
+	freeOff := int(binary.LittleEndian.Uint16(p.Data[heapHdrFree:]))
+	slotEnd := heapSlotBase + n*heapSlotSize
+	return freeOff - slotEnd
+}
+
+// Insert appends a record and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > maxHeapRecord {
+		return RID{}, fmt.Errorf("store: record of %d bytes exceeds max %d", len(rec), maxHeapRecord)
+	}
+	var p *Page
+	var err error
+	if h.lastPage != InvalidPage {
+		p, err = h.pg.Get(h.lastPage)
+		if err != nil {
+			return RID{}, err
+		}
+		if pageFree(p) < len(rec)+heapSlotSize {
+			h.pg.Unpin(p)
+			p = nil
+		}
+	}
+	if p == nil {
+		p, err = h.pg.Allocate()
+		if err != nil {
+			return RID{}, err
+		}
+		binary.LittleEndian.PutUint16(p.Data[heapHdrSlotsN:], 0)
+		binary.LittleEndian.PutUint16(p.Data[heapHdrFree:], PageSize)
+		h.lastPage = p.ID
+	}
+	defer h.pg.Unpin(p)
+
+	n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
+	freeOff := binary.LittleEndian.Uint16(p.Data[heapHdrFree:])
+	newOff := freeOff - uint16(len(rec))
+	copy(p.Data[newOff:freeOff], rec)
+	slot := heapSlotBase + int(n)*heapSlotSize
+	binary.LittleEndian.PutUint16(p.Data[slot:], newOff)
+	binary.LittleEndian.PutUint16(p.Data[slot+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.Data[heapHdrSlotsN:], n+1)
+	binary.LittleEndian.PutUint16(p.Data[heapHdrFree:], newOff)
+	p.MarkDirty()
+	h.count++
+	return RID{Page: p.ID, Slot: n}, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	if rid.Page == 0 {
+		return nil, fmt.Errorf("store: rid %v addresses the meta page", rid)
+	}
+	p, err := h.pg.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pg.Unpin(p)
+	n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
+	if rid.Slot >= n {
+		return nil, fmt.Errorf("store: rid %v slot out of range (%d slots)", rid, n)
+	}
+	slot := heapSlotBase + int(rid.Slot)*heapSlotSize
+	off := binary.LittleEndian.Uint16(p.Data[slot:])
+	length := binary.LittleEndian.Uint16(p.Data[slot+2:])
+	if off == 0 {
+		return nil, fmt.Errorf("store: rid %v: %w", rid, ErrDeleted)
+	}
+	rec := make([]byte, length)
+	copy(rec, p.Data[off:off+length])
+	return rec, nil
+}
+
+// Delete tombstones the record at rid. The space is not reclaimed
+// (adequate for the read-mostly experimental workloads).
+func (h *HeapFile) Delete(rid RID) error {
+	if rid.Page == 0 {
+		return fmt.Errorf("store: rid %v addresses the meta page", rid)
+	}
+	p, err := h.pg.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pg.Unpin(p)
+	n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
+	if rid.Slot >= n {
+		return fmt.Errorf("store: rid %v slot out of range", rid)
+	}
+	slot := heapSlotBase + int(rid.Slot)*heapSlotSize
+	if binary.LittleEndian.Uint16(p.Data[slot:]) == 0 {
+		return fmt.Errorf("store: rid %v already deleted", rid)
+	}
+	binary.LittleEndian.PutUint16(p.Data[slot:], 0)
+	binary.LittleEndian.PutUint16(p.Data[slot+2:], 0)
+	p.MarkDirty()
+	h.count--
+	return nil
+}
+
+// Scan invokes fn for every live record in RID order. The record slice
+// is only valid during the call. Returning a non-nil error stops the
+// scan and propagates the error; the sentinel ErrStopScan stops cleanly.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
+	for id := PageID(1); uint32(id) < h.pg.NumPages(); id++ {
+		p, err := h.pg.Get(id)
+		if err != nil {
+			return err
+		}
+		n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
+		for s := uint16(0); s < n; s++ {
+			slot := heapSlotBase + int(s)*heapSlotSize
+			off := binary.LittleEndian.Uint16(p.Data[slot:])
+			if off == 0 {
+				continue
+			}
+			length := binary.LittleEndian.Uint16(p.Data[slot+2:])
+			if err := fn(RID{Page: id, Slot: s}, p.Data[off:off+length]); err != nil {
+				h.pg.Unpin(p)
+				if err == ErrStopScan {
+					return nil
+				}
+				return err
+			}
+		}
+		h.pg.Unpin(p)
+	}
+	return nil
+}
+
+// ScanPage invokes fn for every live record on one page, enabling
+// resumable page-at-a-time cursors (the executor's SeqScan).
+func (h *HeapFile) ScanPage(id PageID, fn func(rid RID, rec []byte) error) error {
+	if id == 0 || uint32(id) >= h.pg.NumPages() {
+		return fmt.Errorf("store: ScanPage %d out of range", id)
+	}
+	p, err := h.pg.Get(id)
+	if err != nil {
+		return err
+	}
+	defer h.pg.Unpin(p)
+	n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
+	for s := uint16(0); s < n; s++ {
+		slot := heapSlotBase + int(s)*heapSlotSize
+		off := binary.LittleEndian.Uint16(p.Data[slot:])
+		if off == 0 {
+			continue
+		}
+		length := binary.LittleEndian.Uint16(p.Data[slot+2:])
+		if err := fn(RID{Page: id, Slot: s}, p.Data[off:off+length]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrStopScan stops a Scan early without error.
+var ErrStopScan = fmt.Errorf("store: stop scan")
+
+// ErrDeleted marks a fetch of a tombstoned record. Index readers treat
+// it as "skip": secondary B-trees have no delete operation (DESIGN.md
+// non-goals), so stale index entries are filtered at fetch time.
+var ErrDeleted = errors.New("record deleted")

@@ -1,0 +1,239 @@
+// Package store implements the on-disk storage substrate the efficiency
+// experiments run on: a page cache (buffer pool) over a single file,
+// slotted-page heap files for table rows, and a persistent B+tree used
+// as the database index for the grouped phoneme string identifiers of
+// §5.3. The paper ran on a commercial DBMS; this package supplies the
+// equivalent access paths (full scans and B-tree probes against disk
+// pages) so the relative costs of the three LexEQUAL strategies have the
+// same shape.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// PageSize is the unit of I/O. 4 KiB matches common DBMS defaults.
+const PageSize = 4096
+
+// PageID identifies a page within one file; page 0 is the file's meta
+// page, owned by the structure (heap/btree) living in the file.
+type PageID uint32
+
+// InvalidPage is the nil page reference.
+const InvalidPage PageID = 0xFFFFFFFF
+
+// Page is one cached page. Callers must hold a pin (via Pager.Get or
+// Pager.Allocate) while reading or writing Data, call MarkDirty after
+// modifying it, and Unpin it when done.
+type Page struct {
+	ID   PageID
+	Data [PageSize]byte
+
+	pins  int
+	dirty bool
+	// LRU bookkeeping.
+	prev, next *Page
+}
+
+// MarkDirty records that the page must be written back before eviction.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// Pager provides pinned, cached access to the pages of one file.
+// It is not safe for concurrent use; the database serializes access
+// (the paper's workload is single-stream queries).
+type Pager struct {
+	f        *os.File
+	path     string
+	numPages uint32
+	capacity int
+	cache    map[PageID]*Page
+	// lru is a doubly-linked list of unpinned cached pages; lruHead is
+	// the most recently used.
+	lruHead, lruTail *Page
+	// Statistics for the benchmark harness.
+	reads, writes, hits, misses uint64
+}
+
+// DefaultCacheSize is the default buffer-pool capacity in pages
+// (4 MiB), small enough that the 200k-row experiments actually touch
+// the disk path.
+const DefaultCacheSize = 1024
+
+// OpenPager opens (or creates) the file at path with the given cache
+// capacity in pages (0 selects DefaultCacheSize).
+func OpenPager(path string, capacity int) (*Pager, error) {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("store: %s size %d is not page aligned", path, st.Size())
+	}
+	return &Pager{
+		f:        f,
+		path:     path,
+		numPages: uint32(st.Size() / PageSize),
+		capacity: capacity,
+		cache:    make(map[PageID]*Page),
+	}, nil
+}
+
+// NumPages returns the current number of pages in the file.
+func (pg *Pager) NumPages() uint32 { return pg.numPages }
+
+// Path returns the backing file path.
+func (pg *Pager) Path() string { return pg.path }
+
+// Stats reports I/O counters: physical reads/writes and cache
+// hits/misses since open.
+func (pg *Pager) Stats() (reads, writes, hits, misses uint64) {
+	return pg.reads, pg.writes, pg.hits, pg.misses
+}
+
+// Get returns page id pinned. The caller must Unpin it.
+func (pg *Pager) Get(id PageID) (*Page, error) {
+	if uint32(id) >= pg.numPages {
+		return nil, fmt.Errorf("store: page %d out of range (file has %d)", id, pg.numPages)
+	}
+	if p, ok := pg.cache[id]; ok {
+		pg.hits++
+		if p.pins == 0 {
+			pg.lruRemove(p)
+		}
+		p.pins++
+		return p, nil
+	}
+	pg.misses++
+	p, err := pg.fault(id)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pg.f.ReadAt(p.Data[:], int64(id)*PageSize); err != nil {
+		delete(pg.cache, id)
+		return nil, fmt.Errorf("store: read page %d of %s: %w", id, pg.path, err)
+	}
+	pg.reads++
+	return p, nil
+}
+
+// Allocate appends a zeroed page to the file and returns it pinned and
+// dirty.
+func (pg *Pager) Allocate() (*Page, error) {
+	id := PageID(pg.numPages)
+	if id == InvalidPage {
+		return nil, errors.New("store: file full")
+	}
+	pg.numPages++
+	p, err := pg.fault(id)
+	if err != nil {
+		pg.numPages--
+		return nil, err
+	}
+	p.dirty = true
+	return p, nil
+}
+
+// fault makes room and installs a fresh pinned cache entry for id.
+func (pg *Pager) fault(id PageID) (*Page, error) {
+	for len(pg.cache) >= pg.capacity {
+		victim := pg.lruTail
+		if victim == nil {
+			return nil, fmt.Errorf("store: buffer pool exhausted (%d pages all pinned)", len(pg.cache))
+		}
+		if err := pg.evict(victim); err != nil {
+			return nil, err
+		}
+	}
+	p := &Page{ID: id, pins: 1}
+	pg.cache[id] = p
+	return p, nil
+}
+
+// Unpin releases one pin. Unpinned pages become evictable.
+func (pg *Pager) Unpin(p *Page) {
+	if p.pins <= 0 {
+		panic("store: unpin of unpinned page")
+	}
+	p.pins--
+	if p.pins == 0 {
+		pg.lruPush(p)
+	}
+}
+
+func (pg *Pager) evict(p *Page) error {
+	if err := pg.writeBack(p); err != nil {
+		return err
+	}
+	pg.lruRemove(p)
+	delete(pg.cache, p.ID)
+	return nil
+}
+
+func (pg *Pager) writeBack(p *Page) error {
+	if !p.dirty {
+		return nil
+	}
+	if _, err := pg.f.WriteAt(p.Data[:], int64(p.ID)*PageSize); err != nil {
+		return fmt.Errorf("store: write page %d of %s: %w", p.ID, pg.path, err)
+	}
+	pg.writes++
+	p.dirty = false
+	return nil
+}
+
+// Flush writes every dirty cached page to disk and syncs the file.
+func (pg *Pager) Flush() error {
+	for _, p := range pg.cache {
+		if err := pg.writeBack(p); err != nil {
+			return err
+		}
+	}
+	return pg.f.Sync()
+}
+
+// Close flushes and closes the file. Pages must not be used afterwards.
+func (pg *Pager) Close() error {
+	if err := pg.Flush(); err != nil {
+		pg.f.Close()
+		return err
+	}
+	return pg.f.Close()
+}
+
+// lruPush inserts p at the head (most recently used).
+func (pg *Pager) lruPush(p *Page) {
+	p.prev = nil
+	p.next = pg.lruHead
+	if pg.lruHead != nil {
+		pg.lruHead.prev = p
+	}
+	pg.lruHead = p
+	if pg.lruTail == nil {
+		pg.lruTail = p
+	}
+}
+
+func (pg *Pager) lruRemove(p *Page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else if pg.lruHead == p {
+		pg.lruHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else if pg.lruTail == p {
+		pg.lruTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}

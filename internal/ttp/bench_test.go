@@ -1,0 +1,31 @@
+package ttp
+
+import (
+	"testing"
+
+	"lexequal/internal/script"
+)
+
+func BenchmarkConvert(b *testing.B) {
+	reg := Default()
+	cases := []struct {
+		lang script.Language
+		text string
+	}{
+		{script.English, "Jawaharlal"},
+		{script.Hindi, "जवाहरलाल"},
+		{script.Tamil, "ஜவஹர்லால்"},
+		{script.Greek, "Παπαδοπουλος"},
+		{script.Spanish, "Guillermo"},
+		{script.French, "François"},
+	}
+	for _, c := range cases {
+		b.Run(string(c.lang), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Convert(c.text, c.lang); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

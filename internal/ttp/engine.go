@@ -1,0 +1,307 @@
+package ttp
+
+import (
+	"fmt"
+	"strings"
+
+	"lexequal/internal/phoneme"
+	"lexequal/internal/script"
+)
+
+// This file implements a contextual letter-to-sound rule engine in the
+// tradition of the NRL text-to-speech rules (Elovitz et al., 1976): each
+// rule rewrites a grapheme sequence to phonemes when its left and right
+// contexts match. The English, Spanish, French and Greek converters are
+// rule tables for this engine.
+
+// classes defines the character classes a rule table may reference.
+// Each engine instance (language) supplies its own sets.
+type classes struct {
+	vowel     map[rune]bool // '#' one-or-more, and the letter class for word splitting
+	consonant map[rune]bool // ':' zero-or-more, '^' exactly-one
+	voiced    map[rune]bool // '.' one voiced consonant
+	sibilant  map[rune]bool // '&' one sibilant
+	coronal   map[rune]bool // '@' one coronal-ish consonant
+	front     map[rune]bool // '+' one front vowel
+}
+
+func (c *classes) isLetter(r rune) bool { return c.vowel[r] || c.consonant[r] }
+
+// rule is one contextual rewrite: when match occurs with left/right
+// contexts satisfied, emit out and consume match.
+//
+// Context pattern syntax (classic NRL notation):
+//
+//	_  word boundary
+//	#  one or more vowels
+//	:  zero or more consonants
+//	^  exactly one consonant
+//	.  one voiced consonant
+//	&  one sibilant
+//	@  one coronal consonant
+//	+  one front vowel (e, i, y)
+//	%  one of the suffixes er, e, es, ed, ing, ely
+//
+// Any other rune matches itself.
+type rule struct {
+	left  string
+	match string
+	right string
+	out   string
+}
+
+type compiledRule struct {
+	left  []rune
+	match []rune
+	right []rune
+	out   phoneme.String
+}
+
+// ruleEngine applies an ordered rule table to words.
+type ruleEngine struct {
+	lang  script.Language
+	cls   *classes
+	rules map[rune][]compiledRule // keyed by first rune of match
+	// prep normalizes the input (case folding, final-sigma, etc.).
+	prep func(string) string
+}
+
+func newRuleEngine(lang script.Language, cls *classes, prep func(string) string, table []rule) *ruleEngine {
+	e := &ruleEngine{
+		lang:  lang,
+		cls:   cls,
+		rules: make(map[rune][]compiledRule),
+		prep:  prep,
+	}
+	for _, r := range table {
+		if r.match == "" {
+			panic(fmt.Sprintf("ttp: %s rule with empty match", lang))
+		}
+		cr := compiledRule{
+			left:  []rune(r.left),
+			match: []rune(r.match),
+			right: []rune(r.right),
+			out:   phoneme.MustParse(r.out),
+		}
+		k := cr.match[0]
+		e.rules[k] = append(e.rules[k], cr)
+	}
+	return e
+}
+
+// Language implements Converter.
+func (e *ruleEngine) Language() script.Language { return e.lang }
+
+// Convert implements Converter: it splits text into words of the
+// engine's alphabet and transcribes each by first-matching-rule rewrite.
+func (e *ruleEngine) Convert(text string) (phoneme.String, error) {
+	norm := e.prep(text)
+	var out phoneme.String
+	word := make([]rune, 0, 32)
+	sawLetter := false
+	flush := func() {
+		if len(word) > 0 {
+			out = append(out, e.convertWord(word)...)
+			word = word[:0]
+		}
+	}
+	for _, r := range norm {
+		if e.cls.isLetter(r) {
+			word = append(word, r)
+			sawLetter = true
+		} else {
+			flush()
+		}
+	}
+	flush()
+	if !sawLetter && strings.TrimSpace(text) != "" {
+		return nil, fmt.Errorf("ttp: %s converter: no transcribable characters in %q", e.lang, text)
+	}
+	return out, nil
+}
+
+func (e *ruleEngine) convertWord(w []rune) phoneme.String {
+	var out phoneme.String
+	pos := 0
+	for pos < len(w) {
+		advanced := false
+		for _, r := range e.rules[w[pos]] {
+			if !literalAt(w, pos, r.match) {
+				continue
+			}
+			if !e.matchLeft(w[:pos], r.left) {
+				continue
+			}
+			if !e.matchRight(w[pos+len(r.match):], r.right) {
+				continue
+			}
+			out = append(out, r.out...)
+			pos += len(r.match)
+			advanced = true
+			break
+		}
+		if !advanced {
+			pos++ // no rule: letter is silent/unknown
+		}
+	}
+	return out
+}
+
+func literalAt(w []rune, pos int, lit []rune) bool {
+	if pos+len(lit) > len(w) {
+		return false
+	}
+	for i, r := range lit {
+		if w[pos+i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// matchRight matches pat against the text following the consumed
+// graphemes, left to right, with backtracking for the */+-style classes.
+func (e *ruleEngine) matchRight(text []rune, pat []rune) bool {
+	if len(pat) == 0 {
+		return true
+	}
+	switch pat[0] {
+	case '_':
+		return len(text) == 0 && e.matchRight(text, pat[1:])
+	case '#':
+		n := 0
+		for n < len(text) && e.cls.vowel[text[n]] {
+			n++
+		}
+		for j := n; j >= 1; j-- {
+			if e.matchRight(text[j:], pat[1:]) {
+				return true
+			}
+		}
+		return false
+	case ':':
+		n := 0
+		for n < len(text) && e.cls.consonant[text[n]] {
+			n++
+		}
+		for j := n; j >= 0; j-- {
+			if e.matchRight(text[j:], pat[1:]) {
+				return true
+			}
+		}
+		return false
+	case '^':
+		return len(text) > 0 && e.cls.consonant[text[0]] && e.matchRight(text[1:], pat[1:])
+	case '.':
+		return len(text) > 0 && e.cls.voiced[text[0]] && e.matchRight(text[1:], pat[1:])
+	case '&':
+		return len(text) > 0 && e.cls.sibilant[text[0]] && e.matchRight(text[1:], pat[1:])
+	case '@':
+		return len(text) > 0 && e.cls.coronal[text[0]] && e.matchRight(text[1:], pat[1:])
+	case '+':
+		return len(text) > 0 && e.cls.front[text[0]] && e.matchRight(text[1:], pat[1:])
+	case '%':
+		for _, suf := range suffixes {
+			if hasPrefix(text, suf) && e.matchRight(text[len(suf):], pat[1:]) {
+				return true
+			}
+		}
+		return false
+	default:
+		return len(text) > 0 && text[0] == pat[0] && e.matchRight(text[1:], pat[1:])
+	}
+}
+
+// matchLeft matches pat against the text preceding the consumed
+// graphemes; both are processed right to left.
+func (e *ruleEngine) matchLeft(text []rune, pat []rune) bool {
+	if len(pat) == 0 {
+		return true
+	}
+	last := pat[len(pat)-1]
+	rest := pat[:len(pat)-1]
+	switch last {
+	case '_':
+		return len(text) == 0 && e.matchLeft(text, rest)
+	case '#':
+		n := 0
+		for n < len(text) && e.cls.vowel[text[len(text)-1-n]] {
+			n++
+		}
+		for j := n; j >= 1; j-- {
+			if e.matchLeft(text[:len(text)-j], rest) {
+				return true
+			}
+		}
+		return false
+	case ':':
+		n := 0
+		for n < len(text) && e.cls.consonant[text[len(text)-1-n]] {
+			n++
+		}
+		for j := n; j >= 0; j-- {
+			if e.matchLeft(text[:len(text)-j], rest) {
+				return true
+			}
+		}
+		return false
+	case '^':
+		return len(text) > 0 && e.cls.consonant[text[len(text)-1]] && e.matchLeft(text[:len(text)-1], rest)
+	case '.':
+		return len(text) > 0 && e.cls.voiced[text[len(text)-1]] && e.matchLeft(text[:len(text)-1], rest)
+	case '&':
+		return len(text) > 0 && e.cls.sibilant[text[len(text)-1]] && e.matchLeft(text[:len(text)-1], rest)
+	case '@':
+		return len(text) > 0 && e.cls.coronal[text[len(text)-1]] && e.matchLeft(text[:len(text)-1], rest)
+	case '+':
+		return len(text) > 0 && e.cls.front[text[len(text)-1]] && e.matchLeft(text[:len(text)-1], rest)
+	case '%':
+		for _, suf := range suffixes {
+			if hasSuffix(text, suf) && e.matchLeft(text[:len(text)-len(suf)], rest) {
+				return true
+			}
+		}
+		return false
+	default:
+		return len(text) > 0 && text[len(text)-1] == last && e.matchLeft(text[:len(text)-1], rest)
+	}
+}
+
+// suffixes recognized by the '%' class, longest first.
+var suffixes = [][]rune{
+	[]rune("ing"), []rune("ely"), []rune("ed"), []rune("es"), []rune("er"), []rune("e"),
+}
+
+func hasPrefix(text, pre []rune) bool {
+	if len(text) < len(pre) {
+		return false
+	}
+	for i := range pre {
+		if text[i] != pre[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasSuffix(text, suf []rune) bool {
+	if len(text) < len(suf) {
+		return false
+	}
+	off := len(text) - len(suf)
+	for i := range suf {
+		if text[off+i] != suf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// set builds a rune set from a string.
+func set(s string) map[rune]bool {
+	m := make(map[rune]bool, len(s))
+	for _, r := range s {
+		m[r] = true
+	}
+	return m
+}

@@ -1,0 +1,166 @@
+package ttp
+
+import (
+	"testing"
+
+	"lexequal/internal/script"
+)
+
+// miniEngine builds a tiny rule table over a toy alphabet to exercise
+// each context-pattern class in isolation.
+func miniEngine(table []rule) *ruleEngine {
+	cls := &classes{
+		vowel:     set("aeiou"),
+		consonant: set("bcdfgklmnprstvz"),
+		voiced:    set("bdgvznmlr"),
+		sibilant:  set("sz"),
+		coronal:   set("tdsznlr"),
+		front:     set("ei"),
+	}
+	return newRuleEngine(script.English, cls, func(s string) string { return s }, table)
+}
+
+func out(t *testing.T, e *ruleEngine, in string) string {
+	t.Helper()
+	p, err := e.Convert(in)
+	if err != nil {
+		t.Fatalf("Convert(%q): %v", in, err)
+	}
+	return p.IPA()
+}
+
+func TestEngineWordBoundaryContexts(t *testing.T) {
+	e := miniEngine([]rule{
+		{"_", "k", "", "ɡ"}, // word-initial k -> ɡ
+		{"", "k", "_", "x"}, // word-final k -> x
+		{"", "k", "", "k"},  // otherwise k
+		{"", "a", "", "a"},
+	})
+	if got := out(t, e, "kakak"); got != "ɡakax" {
+		t.Errorf("boundary contexts: %q", got)
+	}
+	// Boundaries reset between words.
+	if got := out(t, e, "ka ka"); got != "ɡaɡa" {
+		t.Errorf("multi-word boundaries: %q", got)
+	}
+}
+
+func TestEngineVowelAndConsonantClasses(t *testing.T) {
+	e := miniEngine([]rule{
+		{"#", "t", "", "d"},  // t after one-or-more vowels -> d
+		{"", "t", "#", "tʰ"}, // t before vowels -> tʰ (lower priority)
+		{"", "t", "", "t"},
+		{"", "s", ":a", "z"}, // s before (any consonants)+a -> z
+		{"", "s", "", "s"},
+		{"", "a", "", "a"}, {"", "k", "", "k"},
+	})
+	if got := out(t, e, "ta"); got != "tʰa" {
+		t.Errorf("t before vowel: %q", got)
+	}
+	if got := out(t, e, "at"); got != "ad" {
+		t.Errorf("t after vowel: %q", got)
+	}
+	// ':' matches zero consonants...
+	if got := out(t, e, "sa"); got != "za" {
+		t.Errorf("s with zero-consonant gap: %q", got)
+	}
+	// ...and several.
+	if got := out(t, e, "skka"); got != "zkka" {
+		t.Errorf("s with consonant run: %q", got)
+	}
+	// No following a: plain s.
+	if got := out(t, e, "sk"); got != "sk" {
+		t.Errorf("s without a: %q", got)
+	}
+}
+
+func TestEngineSingleCharClasses(t *testing.T) {
+	e := miniEngine([]rule{
+		{"", "n", "^", "m"}, // n before exactly one consonant... (then anything)
+		{"", "n", "", "n"},
+		{".", "p", "", "b"}, // p after a voiced consonant -> b
+		{"", "p", "", "p"},
+		{"&", "t", "", "d"}, // t after a sibilant -> d
+		{"", "t", "", "t"},
+		{"", "r", "+", "rj"}, // r before a front vowel (e/i)
+		{"", "r", "", "r"},
+		{"", "a", "", "a"}, {"", "e", "", "e"}, {"", "k", "", "k"},
+		{"", "b", "", "b"}, {"", "s", "", "s"},
+	})
+	if got := out(t, e, "nk"); got != "mk" {
+		t.Errorf("^ class: %q", got)
+	}
+	if got := out(t, e, "na"); got != "na" {
+		t.Errorf("^ class negative: %q", got)
+	}
+	if got := out(t, e, "bpa"); got != "bba" {
+		t.Errorf(". class: %q", got)
+	}
+	if got := out(t, e, "kpa"); got != "kpa" {
+		t.Errorf(". class negative: %q", got)
+	}
+	if got := out(t, e, "sta"); got != "sda" {
+		t.Errorf("& class: %q", got)
+	}
+	if got := out(t, e, "re"); got != "rje" {
+		t.Errorf("+ class: %q", got)
+	}
+	if got := out(t, e, "ra"); got != "ra" {
+		t.Errorf("+ class negative: %q", got)
+	}
+}
+
+func TestEngineSuffixClass(t *testing.T) {
+	e := miniEngine([]rule{
+		{"", "t", "%", "d"}, // t before a suffix (e, er, es, ed, ing, ely)
+		{"", "t", "", "t"},
+		{"", "a", "", "a"}, {"", "e", "", "e"}, {"", "r", "", "r"},
+		{"", "i", "", "i"}, {"", "n", "", "n"}, {"", "g", "", "ɡ"},
+		{"", "s", "", "s"},
+	})
+	for in, want := range map[string]string{
+		"te":   "de",
+		"ter":  "der",
+		"ting": "dinɡ",
+		"ta":   "ta",
+	} {
+		if got := out(t, e, in); got != want {
+			t.Errorf("%q -> %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEngineFirstMatchWinsAndSilence(t *testing.T) {
+	e := miniEngine([]rule{
+		{"", "kk", "", "k"}, // longer literal listed first wins
+		{"", "k", "", "ɡ"},
+		{"", "a", "", "a"},
+		// no rule for 'z': silent
+	})
+	if got := out(t, e, "kka"); got != "ka" {
+		t.Errorf("longest literal: %q", got)
+	}
+	if got := out(t, e, "kazka"); got != "ɡaɡa" {
+		t.Errorf("silent letter handling: %q", got)
+	}
+}
+
+func TestEngineUntranscribableInput(t *testing.T) {
+	e := miniEngine([]rule{{"", "a", "", "a"}})
+	if _, err := e.Convert("1234"); err == nil {
+		t.Error("pure non-letters accepted")
+	}
+	p, err := e.Convert("")
+	if err != nil || len(p) != 0 {
+		t.Errorf("empty input: %v, %v", p, err)
+	}
+}
+
+func TestEnginePanicsOnEmptyMatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty-match rule accepted")
+		}
+	}()
+	miniEngine([]rule{{"", "", "", "a"}})
+}

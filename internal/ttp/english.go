@@ -1,0 +1,254 @@
+package ttp
+
+import (
+	"strings"
+
+	"lexequal/internal/script"
+)
+
+// NewEnglish returns the English Text-To-Phoneme converter: a contextual
+// letter-to-sound rule table in the NRL tradition, tuned for the proper-
+// name domain of the paper (it understands the common romanizations of
+// Indic names — kh/gh/bh/dh aspirates, doubled long vowels — alongside
+// ordinary English spelling).
+func NewEnglish() Converter {
+	return newRuleEngine(script.English, englishClasses, englishPrep, englishRules)
+}
+
+var englishClasses = &classes{
+	vowel:     set("aeiouy"),
+	consonant: set("bcdfghjklmnpqrstvwxz"),
+	voiced:    set("bdvgjlmnrwz"),
+	sibilant:  set("scgzxj"),
+	coronal:   set("tsrdlznj"),
+	front:     set("eiy"),
+}
+
+// englishPrep lowercases and folds Latin diacritics: the English
+// converter reads "René" as "rene" (the paper's é-aware matching is the
+// business of the French converter).
+func englishPrep(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		if f, ok := latinFold[r]; ok {
+			b.WriteRune(f)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+var latinFold = map[rune]rune{
+	'á': 'a', 'à': 'a', 'â': 'a', 'ä': 'a', 'ã': 'a', 'å': 'a', 'ā': 'a',
+	'é': 'e', 'è': 'e', 'ê': 'e', 'ë': 'e', 'ē': 'e',
+	'í': 'i', 'ì': 'i', 'î': 'i', 'ï': 'i', 'ī': 'i',
+	'ó': 'o', 'ò': 'o', 'ô': 'o', 'ö': 'o', 'õ': 'o', 'ō': 'o', 'ő': 'o',
+	'ú': 'u', 'ù': 'u', 'û': 'u', 'ü': 'u', 'ū': 'u',
+	'ñ': 'n', 'ç': 'c', 'ß': 's', 'ø': 'o', 'æ': 'e', 'œ': 'e',
+	'ý': 'y', 'ÿ': 'y',
+}
+
+// englishRules is the ordered rule table. Within a letter, more specific
+// rules must precede more general ones; the engine fires the first rule
+// whose literal and contexts match.
+var englishRules = []rule{
+	// --- A ---
+	{"_", "a", "_", "ə"},
+	{"", "aa", "", "ɑː"},
+	{"", "ai", "", "eː"},
+	{"", "ay", "", "eː"},
+	{"", "ao", "", "aʊ"},
+	{"", "au", "", "ɔ"},
+	{"", "aw", "_", "ɔ"},
+	{"", "aw", "^", "ɔ"},
+	{"", "alk", "", "ɔk"},
+	{"", "ah", "_", "ɑː"},
+	{"", "ah", "^", "ɑː"},
+	{"", "ar", "_", "ɑr"},
+	{"", "ar", "^", "ɑr"},
+	{"", "a", "r#", "ɛ"},
+	{"", "a", "^e_", "eː"},
+	{"", "a", "^%", "eː"},
+	{"", "a", "_", "ə"},
+	// Open syllable (single consonant then a vowel) and word-final
+	// closed syllable: the long/low vowel, as in the unanglicized
+	// pronunciation of most proper names (Rama, Khan, Jawahar).
+	{"", "a", "^#", "ɑ"},
+	{"", "a", "^_", "ɑ"},
+	// Default: the open central vowel. In the proper-name domain most
+	// remaining 'a's are the low vowel of romanized names (Ankit,
+	// Lakshmi, Patel), not the English TRAP vowel.
+	{"", "a", "", "a"},
+
+	// --- B ---
+	{"m", "b", "_", ""},
+	{"", "bh", "", "bʱ"},
+	{"", "bb", "", "b"},
+	{"", "b", "", "b"},
+
+	// --- C ---
+	{"s", "ch", "", "k"},
+	{"", "chh", "", "tʃʰ"},
+	{"", "ch", "r", "k"}, // Christina, Christopher
+	{"", "ch", "l", "k"}, // Chloe
+	{"", "ch", "", "tʃ"},
+	{"", "ck", "", "k"},
+	{"", "cc", "+", "ks"},
+	{"", "cc", "", "k"},
+	{"", "c", "+", "s"},
+	{"", "c", "", "k"},
+
+	// --- D ---
+	{"", "dge", "", "dʒ"},
+	{"", "dh", "", "dʱ"},
+	{"", "dd", "", "d"},
+	{"", "d", "", "d"},
+
+	// --- E ---
+	{"_^", "e", "_", "iː"},
+	{"", "ee", "", "iː"},
+	{"", "ea", "", "iː"},
+	{"", "eh", "", "eː"},
+	{"", "ei", "", "eː"},
+	{"", "eu", "", "ju"},
+	{"", "ew", "", "ju"},
+	{"", "ey", "_", "i"},
+	{"", "er", "_", "ər"},
+	{"", "er", "^", "ər"},
+	{"", "e", "_", ""},
+	{"", "e", "", "ɛ"},
+
+	// --- F ---
+	{"", "ff", "", "f"},
+	{"", "f", "", "f"},
+
+	// --- G ---
+	{"_", "gn", "", "n"},
+	{"", "gh", "#", "ɡʱ"},
+	{"", "gh", "", ""},
+	{"", "gg", "", "ɡ"},
+	{"", "ge", "_", "dʒ"},
+	{"", "g", "e", "dʒ"},
+	{"", "g", "y", "dʒ"},
+	{"", "g", "", "ɡ"},
+
+	// --- H ---
+	{"", "h", "_", ""},
+	{"", "h", "", "h"},
+
+	// --- I ---
+	{"", "ie", "_", "i"},
+	{"", "igh", "", "aɪ"},
+	{"", "ii", "", "iː"},
+	{"", "ine", "_", "in"}, // name suffix: Christine, Catherine
+	{"", "i", "^e_", "aɪ"},
+	{"", "i", "_", "i"},
+	{"", "i", "", "ɪ"},
+
+	// --- J ---
+	{"", "jh", "", "dʒʱ"},
+	{"", "j", "", "dʒ"},
+
+	// --- K ---
+	{"_", "kn", "", "n"},
+	{"", "kh", "", "kʰ"},
+	{"", "kk", "", "k"},
+	{"", "k", "", "k"},
+
+	// --- L ---
+	{"", "ll", "", "l"},
+	{"", "l", "", "l"},
+
+	// --- M ---
+	{"_", "mc", "", "mək"},
+	{"", "mm", "", "m"},
+	{"", "m", "", "m"},
+
+	// --- N ---
+	{"", "nn", "", "n"},
+	{"", "ngh", "_", "ŋ"},
+	{"", "ng", "_", "ŋ"},
+	{"", "ng", "", "ŋɡ"},
+	{"", "n", "", "n"},
+
+	// --- O ---
+	{"", "oo", "", "u"},
+	{"", "ohn", "", "ɒn"}, // John, Johnson
+	{"", "oh", "", "oː"},
+	{"", "ough", "_", "oː"},
+	{"", "ou", "", "aʊ"},
+	{"", "ow", "_", "oː"},
+	{"", "ow", "", "aʊ"},
+	{"", "oy", "", "ɔɪ"},
+	{"", "oa", "", "oː"},
+	{"", "or", "_", "ɔr"},
+	{"", "or", "^", "ɔr"},
+	{"", "o", "^e_", "oː"},
+	{"", "o", "_", "oː"},
+	{"", "o", "", "ɒ"},
+
+	// --- P ---
+	{"", "ph", "", "f"},
+	{"", "pp", "", "p"},
+	{"", "p", "", "p"},
+
+	// --- Q ---
+	{"", "qu", "", "kw"},
+	{"", "q", "", "k"},
+
+	// --- R ---
+	{"", "rr", "", "r"},
+	{"", "rh", "", "r"},
+	{"", "r", "", "r"},
+
+	// --- S ---
+	{"", "sh", "", "ʃ"},
+	{"", "ssion", "", "ʃən"},
+	{"", "sion", "", "ʃən"},
+	{"", "son", "_", "sən"}, // patronymic suffix: Johnson, Anderson
+	{"", "ss", "", "s"},
+	{"#", "s", "#", "z"},
+	{"", "s", "", "s"},
+
+	// --- T ---
+	{"", "tion", "", "ʃən"},
+	{"", "tch", "", "tʃ"},
+	{"", "th", "", "θ"},
+	{"", "tt", "", "t"},
+	{"", "t", "", "t"},
+
+	// --- U ---
+	{"_", "u", "ni", "ju"},
+	{"", "u", "^e_", "u"},
+	{"", "u", "_", "u"},
+	{"", "u", "r", "ʊ"},
+	// Open syllable: the full back vowel, as in romanized names
+	// (Sukumar, Ahuja, Suman).
+	{"", "u", "^#", "u"},
+	{"", "u", "", "ə"},
+
+	// --- V ---
+	{"", "v", "", "v"},
+
+	// --- W ---
+	{"_", "wr", "", "r"},
+	{"", "wh", "", "w"},
+	{"", "w", "", "w"},
+
+	// --- X ---
+	{"_", "x", "", "z"},
+	{"", "x", "", "ks"},
+
+	// --- Y ---
+	{"_", "y", "", "j"},
+	{"", "y", "_", "i"},
+	{"", "y", "^e_", "aɪ"},
+	{"", "y", "", "ɪ"},
+
+	// --- Z ---
+	{"", "zh", "", "ʒ"},
+	{"", "zz", "", "z"},
+	{"", "z", "", "z"},
+}

@@ -1,0 +1,178 @@
+package ttp
+
+import (
+	"strings"
+
+	"lexequal/internal/script"
+)
+
+// NewFrench returns the French Text-To-Phoneme converter. French
+// orthography is the least regular of the Latin-script languages here;
+// the rule table covers the productive patterns that matter for proper
+// names — vowel digraphs (eau, ou, oi, ai, eu), nasal vowels, soft c/g,
+// silent final consonants and the silent final e.
+func NewFrench() Converter {
+	return newRuleEngine(script.French, frenchClasses, frenchPrep, frenchRules)
+}
+
+var frenchClasses = &classes{
+	vowel:     set("aeiouyàâäéèêëîïôöùûüœ"),
+	consonant: set("bcçdfghjklmnpqrstvwxz"),
+	voiced:    set("bdvgjlmnrwz"),
+	sibilant:  set("szcjxç"),
+	coronal:   set("tsrdlzn"),
+	front:     set("eiyéèêë"),
+}
+
+func frenchPrep(s string) string { return strings.ToLower(s) }
+
+var frenchRules = []rule{
+	// --- Vowel digraphs/trigraphs ---
+	{"", "eaux", "_", "o"},
+	{"", "eau", "", "o"},
+	{"", "aux", "_", "o"},
+	{"", "au", "", "o"},
+	{"", "oeu", "", "œ"},
+	{"", "œu", "", "œ"},
+	{"", "œ", "", "œ"},
+	{"", "oin", "_", "wɛ̃"},
+	{"", "oin", "^", "wɛ̃"},
+	{"", "oi", "", "wa"},
+	{"", "oî", "", "wa"},
+	{"", "oy", "#", "waj"},
+	{"", "oy", "", "wa"},
+	{"", "où", "", "u"},
+	{"", "oû", "", "u"},
+	{"", "ou", "", "u"},
+	// ain/aim/ein: nasal [ɛ̃] before consonant or end.
+	{"", "ain", "_", "ɛ̃"},
+	{"", "ain", "^", "ɛ̃"},
+	{"", "aim", "_", "ɛ̃"},
+	{"", "ein", "_", "ɛ̃"},
+	{"", "ein", "^", "ɛ̃"},
+	{"", "ai", "", "ɛ"},
+	{"", "aî", "", "ɛ"},
+	{"", "ay", "_", "ɛ"},
+	{"", "ei", "", "ɛ"},
+	{"", "eu", "", "ø"},
+	// --- Nasal vowels (vowel + n/m before consonant or end) ---
+	{"", "ann", "", "an"},
+	{"", "amm", "", "am"},
+	{"", "an", "_", "ɑ̃"},
+	{"", "an", "^", "ɑ̃"},
+	{"", "am", "^", "ɑ̃"},
+	{"", "enn", "", "ɛn"},
+	{"", "emm", "", "ɛm"},
+	{"", "ean", "_", "ɑ̃"}, // Jean
+	{"", "ean", "^", "ɑ̃"},
+	{"", "ien", "_", "jɛ̃"},
+	{"", "ien", "^", "jɛ̃"},
+	{"", "en", "_", "ɑ̃"},
+	{"", "en", "^", "ɑ̃"},
+	{"", "em", "^", "ɑ̃"},
+	{"", "inn", "", "in"},
+	{"", "imm", "", "im"},
+	{"", "in", "_", "ɛ̃"},
+	{"", "in", "^", "ɛ̃"},
+	{"", "im", "^", "ɛ̃"},
+	{"", "onn", "", "ɔn"},
+	{"", "omm", "", "ɔm"},
+	{"", "on", "_", "ɔ̃"},
+	{"", "on", "^", "ɔ̃"},
+	{"", "om", "^", "ɔ̃"},
+	{"", "un", "_", "œ̃"},
+	{"", "un", "^", "œ̃"},
+	{"", "um", "^", "œ̃"},
+	{"", "yn", "^", "ɛ̃"},
+	{"", "ym", "^", "ɛ̃"},
+	// --- Glide clusters ---
+	{"", "ille", "_", "ij"},
+	{"", "ail", "_", "aj"},
+	{"", "aill", "", "aj"},
+	{"", "eil", "_", "ɛj"},
+	{"", "eill", "", "ɛj"},
+	// --- Consonant digraphs ---
+	{"", "ch", "", "ʃ"},
+	{"", "gn", "", "ɲ"},
+	{"", "ph", "", "f"},
+	{"", "th", "", "t"},
+	{"", "qu", "", "k"},
+	{"", "gu", "+", "ɡ"},
+	// --- Soft/hard c and g ---
+	{"", "ç", "", "s"},
+	{"", "cc", "+", "ks"},
+	{"", "c", "+", "s"},
+	{"", "c", "_", "k"},
+	{"", "c", "", "k"},
+	{"", "g", "+", "ʒ"},
+	{"", "g", "_", ""},
+	{"", "g", "", "ɡ"},
+	{"", "j", "", "ʒ"},
+	{"", "h", "", ""},
+	// --- s: silent finally, voiced between vowels ---
+	{"", "ss", "", "s"},
+	{"", "s", "_", ""},
+	{"#", "s", "#", "z"},
+	{"", "s", "", "s"},
+	// --- Silent final consonants ---
+	{"", "er", "_", "e"},
+	{"", "ez", "_", "e"},
+	{"", "et", "_", "ɛ"},
+	{"", "t", "_", ""},
+	{"", "d", "_", ""},
+	{"", "p", "_", ""},
+	{"", "x", "_", ""},
+	{"", "z", "_", ""},
+	{"", "x", "", "ks"},
+	// --- r ---
+	{"", "rr", "", "ʁ"},
+	{"", "r", "", "ʁ"},
+	// --- Remaining vowels ---
+	{"", "â", "", "ɑ"},
+	{"", "à", "", "a"},
+	{"", "ä", "", "a"},
+	{"", "a", "", "a"},
+	{"", "é", "", "e"},
+	{"", "è", "", "ɛ"},
+	{"", "ê", "", "ɛ"},
+	{"", "ë", "", "ɛ"},
+	{"_^", "e", "_", "ə"}, // monosyllables: le, de
+	{"", "e", "_", ""},    // final e silent
+	{"", "e", "^^", "ɛ"},  // e before a consonant cluster is open
+	{"", "e", "", "ə"},
+	{"", "î", "", "i"},
+	{"", "ï", "", "i"},
+	{"", "i", "#", "j"}, // i before a vowel glides
+	{"", "i", "", "i"},
+	{"", "ô", "", "o"},
+	{"", "ö", "", "o"},
+	{"", "o", "", "ɔ"},
+	{"", "û", "", "y"},
+	{"", "ù", "", "y"},
+	{"", "ü", "", "y"},
+	{"", "u", "", "y"},
+	{"", "ÿ", "", "i"},
+	{"", "y", "#", "j"},
+	{"", "y", "", "i"},
+	// --- Plain consonants ---
+	{"", "bb", "", "b"},
+	{"", "b", "", "b"},
+	{"", "dd", "", "d"},
+	{"", "d", "", "d"},
+	{"", "ff", "", "f"},
+	{"", "f", "", "f"},
+	{"", "k", "", "k"},
+	{"", "ll", "", "l"},
+	{"", "l", "", "l"},
+	{"", "mm", "", "m"},
+	{"", "m", "", "m"},
+	{"", "nn", "", "n"},
+	{"", "n", "", "n"},
+	{"", "pp", "", "p"},
+	{"", "p", "", "p"},
+	{"", "q", "", "k"},
+	{"", "tt", "", "t"},
+	{"", "t", "", "t"},
+	{"", "v", "", "v"},
+	{"", "w", "", "v"},
+}

@@ -1,0 +1,107 @@
+package ttp
+
+import (
+	"strings"
+
+	"lexequal/internal/script"
+)
+
+// NewGreek returns the Modern Greek Text-To-Phoneme converter. Greek
+// orthography is nearly regular once the vowel digraphs and the
+// voiced-stop digraphs (μπ, ντ, γκ) are handled, which a contextual
+// rule table captures directly.
+func NewGreek() Converter {
+	return newRuleEngine(script.Greek, greekClasses, greekPrep, greekRules)
+}
+
+var greekClasses = &classes{
+	vowel:     set("αεηιουω"),
+	consonant: set("βγδζθκλμνξπρστφχψ"),
+	voiced:    set("βγδζλμνρ"),
+	sibilant:  set("σζξψ"),
+	coronal:   set("τσρδλζν"),
+	front:     set("ειη"),
+}
+
+// greekPrep lowercases, folds the final sigma, and strips the tonos and
+// dialytika accents so the rule table sees bare letters.
+func greekPrep(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		if f, ok := greekFold[r]; ok {
+			b.WriteRune(f)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+var greekFold = map[rune]rune{
+	'ς': 'σ',
+	'ά': 'α', 'έ': 'ε', 'ή': 'η', 'ί': 'ι', 'ό': 'ο', 'ύ': 'υ', 'ώ': 'ω',
+	'ϊ': 'ι', 'ϋ': 'υ', 'ΐ': 'ι', 'ΰ': 'υ',
+}
+
+var greekRules = []rule{
+	// Vowel digraphs.
+	{"", "ου", "", "u"},
+	{"", "αι", "", "e"},
+	{"", "ει", "", "i"},
+	{"", "οι", "", "i"},
+	{"", "υι", "", "i"},
+	// αυ/ευ: [av]/[ev] before voiced sounds and vowels, [af]/[ef] else.
+	{"", "αυ", ".", "av"},
+	{"", "αυ", "#", "av"},
+	{"", "αυ", "", "af"},
+	{"", "ευ", ".", "ɛv"},
+	{"", "ευ", "#", "ɛv"},
+	{"", "ευ", "", "ɛf"},
+	// Voiced-stop digraphs.
+	{"_", "μπ", "", "b"},
+	{"", "μπ", "", "mb"},
+	{"_", "ντ", "", "d"},
+	{"", "ντ", "", "nd"},
+	{"_", "γκ", "", "ɡ"},
+	{"", "γκ", "", "ŋɡ"},
+	{"", "γγ", "", "ŋɡ"},
+	{"", "γχ", "", "ŋx"},
+	// Affricate digraphs.
+	{"", "τζ", "", "dz"},
+	{"", "τσ", "", "ts"},
+	// γι + vowel: the iota is a glide (Γιαννης -> jannis).
+	{"", "γι", "#", "j"},
+	// γ: palatal before front vowels, velar fricative otherwise.
+	{"", "γ", "+", "j"},
+	{"", "γ", "", "ɣ"},
+	// σ voices before voiced consonants.
+	{"", "σ", ".", "z"},
+	{"", "σ", "", "s"},
+	// χ: palatal before front vowels, velar otherwise.
+	{"", "χ", "+", "ç"},
+	{"", "χ", "", "x"},
+	// Simple vowels.
+	{"", "α", "", "a"},
+	{"", "ε", "", "ɛ"},
+	{"", "η", "", "i"},
+	{"", "ι", "", "i"},
+	{"", "ο", "", "o"},
+	{"", "υ", "", "i"},
+	{"", "ω", "", "o"},
+	// Simple consonants.
+	{"", "β", "", "v"},
+	{"", "δ", "", "ð"},
+	{"", "ζ", "", "z"},
+	{"", "θ", "", "θ"},
+	{"", "κ", "", "k"},
+	{"", "λ", "", "l"},
+	{"", "μ", "", "m"},
+	{"", "ν", "", "n"},
+	{"", "ξ", "", "ks"},
+	{"", "π", "", "p"},
+	{"", "ρ", "", "r"},
+	{"", "τ", "", "t"},
+	{"", "φ", "", "f"},
+	{"", "ψ", "", "ps"},
+}

@@ -1,0 +1,270 @@
+package ttp
+
+import (
+	"fmt"
+
+	"lexequal/internal/phoneme"
+	"lexequal/internal/script"
+)
+
+// NewHindi returns the Hindi Text-To-Phoneme converter. Devanagari is a
+// phonetically-spelled abugida, so conversion is a direct decomposition
+// of the orthography — consonant letters carry an inherent schwa unless
+// a dependent vowel sign (matra) or virama follows — plus Hindi's one
+// nontrivial phonological process, schwa deletion: the inherent schwa is
+// dropped word-finally and in the medial VC_CV context. This mirrors the
+// behaviour of the Dhvani converter the paper used.
+func NewHindi() Converter {
+	return &hindiConverter{}
+}
+
+type hindiConverter struct{}
+
+// Language implements Converter.
+func (h *hindiConverter) Language() script.Language { return script.Hindi }
+
+// hindiSegment is one phoneme plus the bookkeeping needed by the schwa
+// deletion pass.
+type hindiSegment struct {
+	p        phoneme.Phoneme
+	inherent bool // an inherent schwa (deletable); explicit vowels are not
+}
+
+var (
+	devaConsonants map[rune]phoneme.String
+	devaVowels     map[rune]phoneme.String // independent vowel letters
+	devaMatras     map[rune]phoneme.String // dependent vowel signs
+	devaNukta      map[rune]rune           // base letter -> nukta variant
+)
+
+func init() {
+	c := func(m map[string]string) map[rune]phoneme.String {
+		out := make(map[rune]phoneme.String, len(m))
+		for k, v := range m {
+			rs := []rune(k)
+			if len(rs) != 1 {
+				panic("ttp: devanagari table key must be one rune: " + k)
+			}
+			out[rs[0]] = phoneme.MustParse(v)
+		}
+		return out
+	}
+	devaConsonants = c(map[string]string{
+		"क": "k", "ख": "kʰ", "ग": "ɡ", "घ": "ɡʱ", "ङ": "ŋ",
+		"च": "tʃ", "छ": "tʃʰ", "ज": "dʒ", "झ": "dʒʱ", "ञ": "ɲ",
+		"ट": "ʈ", "ठ": "ʈʰ", "ड": "ɖ", "ढ": "ɖʱ", "ण": "ɳ",
+		"त": "t̪", "थ": "tʰ", "द": "d̪", "ध": "dʱ", "न": "n",
+		"प": "p", "फ": "pʰ", "ब": "b", "भ": "bʱ", "म": "m",
+		"य": "j", "र": "r", "ल": "l", "व": "ʋ", "ळ": "ɭ",
+		"श": "ʃ", "ष": "ʂ", "स": "s", "ह": "ɦ",
+		// Nukta (Perso-Arabic loan) letters, precomposed forms
+		// (U+0958..U+095E; source text in decomposed form is folded by
+		// normalizeNukta below).
+		"क़": "q", "ख़": "x", "ग़": "ɣ", "ज़": "z",
+		"ड़": "ɽ", "ढ़": "ɽ", "फ़": "f",
+	})
+	devaVowels = c(map[string]string{
+		"अ": "ə", "आ": "aː", "इ": "ɪ", "ई": "iː", "उ": "ʊ", "ऊ": "uː",
+		"ऋ": "rɪ", "ए": "eː", "ऐ": "ɛː", "ओ": "oː", "औ": "ɔː", "ऑ": "ɒ", "ऍ": "æ",
+	})
+	devaMatras = c(map[string]string{
+		"ा": "aː", "ि": "ɪ", "ी": "iː", "ु": "ʊ", "ू": "uː",
+		"ृ": "rɪ", "े": "eː", "ै": "ɛː", "ो": "oː", "ौ": "ɔː", "ॉ": "ɒ", "ॅ": "æ",
+	})
+	// Combining-nukta normalization: base + U+093C -> precomposed.
+	devaNukta = map[rune]rune{
+		'क': 'क़', 'ख': 'ख़', 'ग': 'ग़', 'ज': 'ज़',
+		'ड': 'ड़', 'ढ': 'ढ़', 'फ': 'फ़',
+	}
+}
+
+const (
+	virama      = '्'
+	anusvara    = 'ं'
+	candrabindu = 'ँ'
+	visarga     = 'ः'
+	nuktaSign   = '़'
+)
+
+// Convert implements Converter.
+func (h *hindiConverter) Convert(text string) (phoneme.String, error) {
+	runes := normalizeNukta([]rune(text))
+	var out phoneme.String
+	word := make([]rune, 0, 32)
+	sawLetter := false
+	flush := func() {
+		if len(word) > 0 {
+			out = append(out, convertHindiWord(word)...)
+			word = word[:0]
+		}
+	}
+	for _, r := range runes {
+		if isDevaRune(r) {
+			word = append(word, r)
+			sawLetter = true
+		} else {
+			flush()
+		}
+	}
+	flush()
+	if !sawLetter {
+		return nil, fmt.Errorf("ttp: hindi converter: no devanagari characters in %q", text)
+	}
+	return out, nil
+}
+
+func isDevaRune(r rune) bool {
+	if _, ok := devaConsonants[r]; ok {
+		return true
+	}
+	if _, ok := devaVowels[r]; ok {
+		return true
+	}
+	if _, ok := devaMatras[r]; ok {
+		return true
+	}
+	switch r {
+	case virama, anusvara, candrabindu, visarga, nuktaSign:
+		return true
+	}
+	return r >= 0x0900 && r <= 0x097F
+}
+
+// normalizeNukta folds base-letter + combining-nukta sequences into the
+// precomposed nukta letters the consonant table uses.
+func normalizeNukta(rs []rune) []rune {
+	out := rs[:0:0]
+	for i := 0; i < len(rs); i++ {
+		if i+1 < len(rs) && rs[i+1] == nuktaSign {
+			if folded, ok := devaNukta[rs[i]]; ok {
+				out = append(out, folded)
+				i++
+				continue
+			}
+		}
+		out = append(out, rs[i])
+	}
+	return out
+}
+
+// convertHindiWord decomposes one Devanagari word and applies schwa
+// deletion.
+func convertHindiWord(w []rune) phoneme.String {
+	var segs []hindiSegment
+	appendPh := func(ps phoneme.String, inherent bool) {
+		for _, p := range ps {
+			segs = append(segs, hindiSegment{p: p, inherent: inherent && p == phoneme.Schwa})
+		}
+	}
+	pendingCons := phoneme.String(nil) // consonant awaiting vowel decision
+	flushInherent := func() {
+		if pendingCons != nil {
+			appendPh(pendingCons, false)
+			appendPh(phoneme.String{phoneme.Schwa}, true)
+			pendingCons = nil
+		}
+	}
+	for i := 0; i < len(w); i++ {
+		r := w[i]
+		if ps, ok := devaConsonants[r]; ok {
+			flushInherent()
+			pendingCons = ps
+			continue
+		}
+		if ps, ok := devaMatras[r]; ok {
+			if pendingCons != nil {
+				appendPh(pendingCons, false)
+				pendingCons = nil
+			}
+			appendPh(ps, false)
+			continue
+		}
+		if ps, ok := devaVowels[r]; ok {
+			flushInherent()
+			appendPh(ps, false)
+			continue
+		}
+		switch r {
+		case virama:
+			// Kill the inherent vowel: consonant joins a cluster.
+			if pendingCons != nil {
+				appendPh(pendingCons, false)
+				pendingCons = nil
+			}
+		case anusvara, candrabindu:
+			flushInherent()
+			segs = append(segs, hindiSegment{p: anusvaraPhoneme(w, i)})
+		case visarga:
+			flushInherent()
+			segs = append(segs, hindiSegment{p: phoneme.MustLookup("ɦ")})
+		}
+	}
+	flushInherent()
+	segs = deleteSchwas(segs)
+	out := make(phoneme.String, len(segs))
+	for i, s := range segs {
+		out[i] = s.p
+	}
+	return out
+}
+
+// anusvaraPhoneme resolves ं to the nasal homorganic with the following
+// consonant (ŋ before velars, m before labials, n otherwise).
+func anusvaraPhoneme(w []rune, i int) phoneme.Phoneme {
+	for j := i + 1; j < len(w); j++ {
+		if ps, ok := devaConsonants[w[j]]; ok && len(ps) > 0 {
+			switch ps[0].Features().Place {
+			case phoneme.Velar:
+				return phoneme.MustLookup("ŋ")
+			case phoneme.Bilabial, phoneme.Labiodental:
+				return phoneme.MustLookup("m")
+			case phoneme.Retroflex:
+				return phoneme.MustLookup("ɳ")
+			case phoneme.Palatal, phoneme.PostAlveolar:
+				return phoneme.MustLookup("ɲ")
+			}
+			return phoneme.MustLookup("n")
+		}
+	}
+	return phoneme.MustLookup("n")
+}
+
+// deleteSchwas applies Hindi schwa deletion: the word-final inherent
+// schwa is always dropped; a medial inherent schwa is dropped in the
+// V C _ C V context (and deletions do not cascade) and in hiatus
+// (V C _ V — a schwa directly before another vowel elides, as when a
+// consonant-final name runs into a vowel-initial one).
+func deleteSchwas(segs []hindiSegment) []hindiSegment {
+	n := len(segs)
+	if n == 0 {
+		return segs
+	}
+	deleted := make([]bool, n)
+	// Final inherent schwa (राम -> raːm, not raːmə).
+	if segs[n-1].inherent && n > 1 {
+		deleted[n-1] = true
+	}
+	isV := func(i int) bool {
+		return i >= 0 && i < n && !deleted[i] && segs[i].p.IsVowel()
+	}
+	isC := func(i int) bool {
+		return i >= 0 && i < n && !deleted[i] && segs[i].p.IsConsonant()
+	}
+	// Medial pass, right to left per the standard algorithm.
+	for i := n - 2; i >= 1; i-- {
+		if !segs[i].inherent || deleted[i] {
+			continue
+		}
+		if isC(i-1) && isV(i-2) && ((isC(i+1) && isV(i+2)) || isV(i+1)) {
+			deleted[i] = true
+			i-- // no cascading deletion through the preceding consonant
+		}
+	}
+	out := segs[:0]
+	for i, s := range segs {
+		if !deleted[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package ttp
+
+import (
+	"strings"
+
+	"lexequal/internal/script"
+)
+
+// NewSpanish returns the Spanish Text-To-Phoneme converter (Latin
+// American seseo variety: c/z before front vowels yield s). Spanish
+// orthography is regular enough that a modest rule table is essentially
+// complete.
+func NewSpanish() Converter {
+	return newRuleEngine(script.Spanish, spanishClasses, spanishPrep, spanishRules)
+}
+
+var spanishClasses = &classes{
+	vowel:     set("aeiouáéíóúü"),
+	consonant: set("bcdfghjklmnñpqrstvwxyz"),
+	voiced:    set("bdvgjlmnñrwz"),
+	sibilant:  set("szcjx"),
+	coronal:   set("tsrdlzn"),
+	front:     set("eiéí"),
+}
+
+func spanishPrep(s string) string { return strings.ToLower(s) }
+
+var spanishRules = []rule{
+	// Digraphs.
+	{"", "ch", "", "tʃ"},
+	{"", "ll", "", "ʎ"},
+	{"", "rr", "", "r"},
+	{"", "qu", "", "k"},
+	{"", "gü", "", "ɡw"},
+	{"", "gu", "+", "ɡ"},
+	// ñ.
+	{"", "ñ", "", "ɲ"},
+	// c: soft before front vowels.
+	{"", "c", "+", "s"},
+	{"", "c", "", "k"},
+	// g: velar fricative before front vowels.
+	{"", "g", "+", "x"},
+	{"", "g", "", "ɡ"},
+	// j is always [x]; h is silent; z is seseo [s]; v merges with b.
+	{"", "j", "", "x"},
+	{"", "h", "", ""},
+	{"", "z", "", "s"},
+	{"", "v", "", "b"},
+	{"", "x", "", "ks"},
+	// y: vowel finally, palatal glide otherwise.
+	{"", "y", "_", "i"},
+	{"", "y", "", "j"},
+	// r: trill word-initially and after l/n/s, tap otherwise.
+	{"_", "r", "", "r"},
+	{"l", "r", "", "r"},
+	{"n", "r", "", "r"},
+	{"s", "r", "", "r"},
+	{"", "r", "", "ɾ"},
+	// Vowels (accents mark stress only — quality is unchanged).
+	{"", "a", "", "a"}, {"", "á", "", "a"},
+	{"", "e", "", "e"}, {"", "é", "", "e"},
+	{"", "i", "", "i"}, {"", "í", "", "i"},
+	{"", "o", "", "o"}, {"", "ó", "", "o"},
+	{"", "u", "", "u"}, {"", "ú", "", "u"}, {"", "ü", "", "u"},
+	// Plain consonants.
+	{"", "b", "", "b"},
+	{"", "d", "", "d"},
+	{"", "f", "", "f"},
+	{"", "k", "", "k"},
+	{"", "l", "", "l"},
+	{"", "m", "", "m"},
+	{"", "n", "", "n"},
+	{"", "p", "", "p"},
+	{"", "s", "", "s"},
+	{"", "t", "", "t"},
+	{"", "w", "", "w"},
+}

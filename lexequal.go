@@ -1,0 +1,252 @@
+// Package lexequal is a from-scratch reproduction of the LexEQUAL
+// multiscript matching operator of Kumaran & Haritsa (EDBT 2004):
+// matching proper names across writing systems by comparing their
+// phonemic (IPA) transcriptions with a cluster-parameterized approximate
+// string distance.
+//
+// The package exposes two levels of API:
+//
+//   - Matcher: the operator itself. Transform language-tagged strings to
+//     phonemes, match pairs under a threshold, build in-memory corpora
+//     with q-gram and phonetic-index acceleration, and run selections
+//     and joins.
+//
+//   - DB: an embedded relational database (heap files + B-trees under a
+//     SQL subset) with LexEQUAL integrated both as a UDF and as three
+//     physical query plans — the configuration the paper's efficiency
+//     experiments measure.
+//
+// The matching pipeline, briefly: a Text ("Nehru" tagged english, or
+// "நேரு" tagged tamil) is transcribed by a rule-based text-to-phoneme
+// converter; two transcriptions match at threshold e when their
+// clustered edit distance is at most e times the shorter length.
+// Substitutions between phonemes in the same articulatory cluster cost
+// ICSC (default 0.25) instead of 1, so the cross-script sound drift the
+// scripts force (Tamil's voicing neutralization, Devanagari's schwa
+// deletion) stays cheap while real name differences stay expensive.
+package lexequal
+
+import (
+	"lexequal/internal/core"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/script"
+	"lexequal/internal/soundex"
+	"lexequal/internal/ttp"
+)
+
+// Language identifies the language a string is written in.
+type Language = script.Language
+
+// Languages with built-in text-to-phoneme converters, plus two
+// (Arabic, Japanese) that appear in catalogs but have no converter and
+// therefore yield NoResource.
+const (
+	English  = script.English
+	Hindi    = script.Hindi
+	Tamil    = script.Tamil
+	Greek    = script.Greek
+	Spanish  = script.Spanish
+	French   = script.French
+	Arabic   = script.Arabic
+	Japanese = script.Japanese
+)
+
+// Text is a language-tagged string: the unit of multiscript data.
+type Text = core.Text
+
+// T builds a Text.
+func T(value string, lang Language) Text { return Text{Value: value, Lang: lang} }
+
+// GuessLanguage infers a default language from the dominant Unicode
+// script of text (Latin defaults to English). Use explicit tags when
+// you have them; this mirrors the paper's observation (§2.1) that
+// script blocks identify languages only approximately.
+func GuessLanguage(text string) Language { return script.GuessLanguage(text) }
+
+// Result is the three-valued LexEQUAL outcome.
+type Result = core.Result
+
+// LexEQUAL outcomes.
+const (
+	False      = core.False
+	True       = core.True
+	NoResource = core.NoResource
+)
+
+// Strategy selects the execution plan for corpus and database queries.
+type Strategy = core.Strategy
+
+// Execution strategies (§5 of the paper): Naive calls the matcher on
+// every row; QGram filters candidates with positional q-grams first;
+// Indexed probes the phonetic (grouped phoneme identifier) index and
+// may miss matches whose edits cross cluster boundaries.
+const (
+	Naive   = core.Naive
+	QGram   = core.QGram
+	Indexed = core.Indexed
+)
+
+// LangSet restricts matching to target languages (INLANGUAGES); nil
+// means all languages.
+type LangSet = core.LangSet
+
+// NewLangSet builds a language filter; no arguments yields the
+// wildcard.
+func NewLangSet(langs ...Language) LangSet { return core.NewLangSet(langs...) }
+
+// Stats reports how much work a query strategy performed.
+type Stats = core.Stats
+
+// Pair is one join result (row indexes into the joined corpora).
+type Pair = core.Pair
+
+// Corpus is a queryable in-memory collection with prebuilt q-gram and
+// phonetic indexes.
+type Corpus = core.Corpus
+
+// Explanation is the evidence trail of one match decision.
+type Explanation = core.Explanation
+
+// Config tunes a Matcher. The zero value selects the paper's
+// recommended operating point.
+type Config struct {
+	// ICSC is the intra-cluster substitution cost in [0,1]; 0 makes
+	// same-cluster phonemes interchangeable (phonetic Soundex), 1
+	// disables clustering (plain Levenshtein). Default 0.25.
+	ICSC *float64
+	// Threshold is the default match threshold in [0,1] used when a
+	// call passes a negative threshold. Default 0.30.
+	Threshold float64
+	// Clusters names the phoneme partition: "default", "coarse" or
+	// "fine".
+	Clusters string
+	// WeakIndel discounts insertion/deletion of glottals and schwa in
+	// [0,1]; 0 disables the discount. Default 0.5.
+	WeakIndel *float64
+}
+
+// Matcher is a configured LexEQUAL operator. It is safe for concurrent
+// use.
+type Matcher struct {
+	op *core.Operator
+}
+
+// New builds a Matcher.
+func New(cfg Config) (*Matcher, error) {
+	opts := core.Options{DefaultThreshold: cfg.Threshold}
+	if cfg.ICSC != nil {
+		opts.ICSC = *cfg.ICSC
+		opts.ICSCSet = true
+	}
+	if cfg.WeakIndel != nil {
+		opts.WeakIndel = *cfg.WeakIndel
+		opts.WeakIndelSet = true
+	}
+	if cfg.Clusters != "" {
+		cl, err := phoneme.ByName(cfg.Clusters)
+		if err != nil {
+			return nil, err
+		}
+		opts.Clusters = cl
+	}
+	op, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher{op: op}, nil
+}
+
+// NewDefault builds a Matcher at the paper's recommended operating
+// point (ICSC 0.25, threshold 0.30, default clusters).
+func NewDefault() *Matcher {
+	m, err := New(Config{})
+	if err != nil {
+		panic(err) // the zero config is always valid
+	}
+	return m
+}
+
+// Match reports whether a and b name the same sound at the matcher's
+// default threshold.
+func (m *Matcher) Match(a, b Text) (Result, error) {
+	return m.op.Match(a, b, -1)
+}
+
+// MatchThreshold is Match with an explicit threshold in [0,1].
+func (m *Matcher) MatchThreshold(a, b Text, threshold float64) (Result, error) {
+	return m.op.Match(a, b, threshold)
+}
+
+// Explain runs a match and returns the full evidence: both phoneme
+// strings, the distance, the bound and an optimal alignment.
+func (m *Matcher) Explain(a, b Text, threshold float64) (Explanation, error) {
+	return m.op.Explain(a, b, threshold)
+}
+
+// Phonemes returns the IPA transcription of text.
+func (m *Matcher) Phonemes(text string, lang Language) (string, error) {
+	p, err := m.op.Transform(text, lang)
+	if err != nil {
+		return "", err
+	}
+	return p.IPA(), nil
+}
+
+// Languages lists the languages this matcher can transcribe.
+func (m *Matcher) Languages() []Language {
+	return m.op.Registry().Languages()
+}
+
+// Threshold returns the default match threshold.
+func (m *Matcher) Threshold() float64 { return m.op.Threshold() }
+
+// NewCorpus transforms texts once and builds the q-gram and phonetic
+// indexes for repeated querying.
+func (m *Matcher) NewCorpus(texts []Text) (*Corpus, error) {
+	return m.op.NewCorpus(texts)
+}
+
+// Select finds the corpus rows matching query at the threshold (negative
+// = matcher default), restricted to langs (nil = all), under the
+// strategy.
+func (m *Matcher) Select(c *Corpus, query Text, threshold float64, langs LangSet, strat Strategy) ([]int, Stats, error) {
+	return c.Select(query, threshold, langs, strat)
+}
+
+// Join finds all cross-corpus matching pairs; requireDifferentLang
+// restricts to pairs in different languages (the paper's equi-join
+// example).
+func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
+	return core.Join(left, right, threshold, requireDifferentLang, strat)
+}
+
+// SelfJoin joins a corpus with itself, returning each unordered pair
+// once.
+func SelfJoin(c *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
+	return core.SelfJoin(c, threshold, requireDifferentLang, strat)
+}
+
+// MetricIndex is a BK-tree over a corpus's phoneme strings: the metric
+// index the paper names as future work. Unlike the Indexed strategy it
+// has no false dismissals; unlike Naive it prunes with the triangle
+// inequality.
+type MetricIndex = core.MetricIndex
+
+// NewMetricIndex builds a metric index over a corpus.
+func NewMetricIndex(c *Corpus) *MetricIndex { return c.NewMetricIndex() }
+
+// SelectMetric searches a corpus through its metric index.
+func SelectMetric(c *Corpus, mi *MetricIndex, query Text, threshold float64, langs LangSet) ([]int, Stats, error) {
+	return c.SelectMetric(mi, query, threshold, langs)
+}
+
+// Soundex computes the classical 4-character Soundex code of a Latin
+// name — the pseudo-phonetic matching database systems already ship,
+// and the paper's point of departure.
+func Soundex(name string) string { return soundex.Classic(name) }
+
+// operator exposes the internal operator to the sibling facade files.
+func (m *Matcher) operator() *core.Operator { return m.op }
+
+// assert the default registry covers the six documented languages.
+var _ = ttp.Default
