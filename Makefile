@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is what a pipeline should run:
+# static checks, build, the full test suite under the race detector,
+# and a short smoke run of each fuzz target.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run each native fuzz target briefly; a regression in either parser
+# robustness or TTP conversion shows up here before a long fuzz run.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSQLParse -fuzztime $(FUZZTIME) ./internal/sql/
+	$(GO) test -run '^$$' -fuzz FuzzTTPConvert -fuzztime $(FUZZTIME) ./internal/ttp/
+
+ci: vet build race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

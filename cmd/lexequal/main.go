@@ -10,6 +10,7 @@
 //	lexequal soundex NAME...
 //	lexequal clusters [-set default|coarse|fine]
 //	lexequal sql -db DIR [STATEMENT]     (no statement: read from stdin)
+//	lexequal check DIR                   (verify database integrity)
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 		err = cmdClusters(os.Args[2:])
 	case "sql":
 		err = cmdSQL(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,6 +65,7 @@ commands:
   soundex   classical Soundex codes
   clusters  show a phoneme cluster partition
   sql       run SQL with the LexEQUAL extensions against a database dir
+  check     verify the integrity of a database dir (checksums, structure, indexes)
 `)
 }
 
@@ -226,6 +230,32 @@ func cmdSQL(args []string) error {
 		}
 	}
 	return sc.Err()
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: lexequal check DIR")
+	}
+	dir := fs.Arg(0)
+	if _, err := os.Stat(dir); err != nil {
+		return err // don't silently create an empty db just to check it
+	}
+	d, err := lexequal.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", dir, err)
+	}
+	defer d.Close()
+	issues := d.Check()
+	if len(issues) == 0 {
+		fmt.Printf("%s: ok (%d tables)\n", dir, len(d.Tables()))
+		return nil
+	}
+	for _, is := range issues {
+		fmt.Println(is)
+	}
+	return fmt.Errorf("%s: %d integrity issue(s)", dir, len(issues))
 }
 
 func isTerminal() bool {

@@ -118,14 +118,11 @@ func writeLexicon(path string, lex *dataset.Lexicon, op *core.Operator) error {
 }
 
 func loadDB(dir string, op *core.Operator, texts []core.Text) error {
-	if err := os.RemoveAll(dir); err != nil {
+	// Atomic: the load runs in a staging directory and is renamed into
+	// place, so an interrupted mkdataset never leaves a half-built
+	// database where cmd/perf would look for one.
+	return db.BuildAtomic(dir, db.Options{}, func(d *db.DB) error {
+		_, err := db.CreateNameTable(d, "names", op, texts, db.NameTableSpec{WithAux: true, WithIndexes: true})
 		return err
-	}
-	d, err := db.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	_, err = db.CreateNameTable(d, "names", op, texts, db.NameTableSpec{WithAux: true, WithIndexes: true})
-	return err
+	})
 }

@@ -66,6 +66,19 @@ func (x *DB) Close() error { return x.d.Close() }
 // Tables lists table names.
 func (x *DB) Tables() []string { return x.d.Tables() }
 
+// CheckIssue is one problem found by Check.
+type CheckIssue = db.CheckIssue
+
+// ErrCorrupt is the sentinel every detected-corruption error matches
+// with errors.Is: page checksum mismatches, impossible page structure,
+// damaged catalogs.
+var ErrCorrupt = db.ErrCorrupt
+
+// Check verifies the integrity of the whole database — page checksums,
+// heap and B-tree structure, row codecs against schemas, and index ↔
+// heap agreement. An empty result means the database is consistent.
+func (x *DB) Check() []CheckIssue { return x.d.Check() }
+
 // NameTableSpec configures LoadNames.
 type NameTableSpec = db.NameTableSpec
 

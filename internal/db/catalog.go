@@ -75,24 +75,50 @@ type Index struct {
 type DB struct {
 	dir        string
 	cachePages int
+	fs         store.VFS
 	tables     map[string]*Table
 	indexes    map[string]*Index
 }
 
+// ErrCorrupt re-exports the storage corruption sentinel: every
+// detected-damage error (checksum, structure, catalog) matches it with
+// errors.Is.
+var ErrCorrupt = store.ErrCorrupt
+
+// Options configures Open.
+type Options struct {
+	// CachePages is the per-file buffer-pool capacity in pages
+	// (0 selects the store default).
+	CachePages int
+	// FS is the virtual filesystem all I/O goes through (nil selects
+	// the real one). Tests inject faults here.
+	FS store.VFS
+}
+
 // Open opens (creating if necessary) a database directory.
 func Open(dir string) (*DB, error) {
-	return OpenWithCache(dir, 0)
+	return OpenOpts(dir, Options{})
 }
 
 // OpenWithCache opens a database with an explicit per-file buffer-pool
 // capacity in pages (0 selects the store default).
 func OpenWithCache(dir string, cachePages int) (*DB, error) {
+	return OpenOpts(dir, Options{CachePages: cachePages})
+}
+
+// OpenOpts opens a database with full options.
+func OpenOpts(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("db: create dir: %w", err)
 	}
+	fs := opts.FS
+	if fs == nil {
+		fs = store.OSFS{}
+	}
 	d := &DB{
 		dir:        dir,
-		cachePages: cachePages,
+		cachePages: opts.CachePages,
+		fs:         fs,
 		tables:     make(map[string]*Table),
 		indexes:    make(map[string]*Index),
 	}
@@ -101,7 +127,7 @@ func OpenWithCache(dir string, cachePages int) (*DB, error) {
 		return nil, err
 	}
 	for _, td := range cat.Tables {
-		h, err := store.OpenHeap(d.heapPath(td.Name), cachePages)
+		h, err := store.OpenHeapFS(d.heapPath(td.Name), d.cachePages, d.fs)
 		if err != nil {
 			d.Close()
 			return nil, err
@@ -109,7 +135,7 @@ func OpenWithCache(dir string, cachePages int) (*DB, error) {
 		d.tables[strings.ToLower(td.Name)] = &Table{Name: td.Name, Columns: td.Columns, Heap: h, db: d}
 	}
 	for _, id := range cat.Indexes {
-		bt, err := store.OpenBTree(d.indexPath(id.Name), cachePages)
+		bt, err := store.OpenBTreeFS(d.indexPath(id.Name), d.cachePages, d.fs)
 		if err != nil {
 			d.Close()
 			return nil, err
@@ -137,7 +163,8 @@ func (d *DB) loadCatalog() (catalogFile, error) {
 		return cat, fmt.Errorf("db: read catalog: %w", err)
 	}
 	if err := json.Unmarshal(data, &cat); err != nil {
-		return cat, fmt.Errorf("db: parse catalog: %w", err)
+		// A half-written catalog is corruption, not a caller mistake.
+		return cat, fmt.Errorf("db: parse catalog %s: %v: %w", d.catalogPath(), err, store.ErrCorrupt)
 	}
 	return cat, nil
 }
@@ -156,11 +183,25 @@ func (d *DB) saveCatalog() error {
 	if err != nil {
 		return err
 	}
+	// Write-temp + fsync + rename so a crash leaves either the old
+	// catalog or the new one, never a truncated mix.
 	tmp := d.catalogPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := d.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("db: write catalog: %w", err)
 	}
-	return os.Rename(tmp, d.catalogPath())
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("db: write catalog: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("db: sync catalog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("db: close catalog: %w", err)
+	}
+	return d.fs.Rename(tmp, d.catalogPath())
 }
 
 // Close closes every open table and index.
@@ -198,7 +239,7 @@ func (d *DB) CreateTable(name string, cols Schema) (*Table, error) {
 		}
 		seen[lc] = true
 	}
-	h, err := store.OpenHeap(d.heapPath(name), d.cachePages)
+	h, err := store.OpenHeapFS(d.heapPath(name), d.cachePages, d.fs)
 	if err != nil {
 		return nil, err
 	}
@@ -235,11 +276,11 @@ func (d *DB) DropTable(name string) error {
 	}
 	t.Heap.Close()
 	delete(d.tables, key)
-	os.Remove(d.heapPath(name))
+	d.fs.Remove(d.heapPath(name))
 	for ikey, ix := range d.indexes {
 		if strings.EqualFold(ix.Def.Table, name) {
 			ix.Tree.Close()
-			os.Remove(d.indexPath(ix.Def.Name))
+			d.fs.Remove(d.indexPath(ix.Def.Name))
 			delete(d.indexes, ikey)
 		}
 	}
@@ -327,7 +368,7 @@ func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
 	if t.Columns[ci].Type != TInt {
 		return nil, fmt.Errorf("db: index column %s.%s must be INT (got %v)", table, column, t.Columns[ci].Type)
 	}
-	bt, err := store.OpenBTree(d.indexPath(name), d.cachePages)
+	bt, err := store.OpenBTreeFS(d.indexPath(name), d.cachePages, d.fs)
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +381,7 @@ func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
 	})
 	if err != nil {
 		bt.Close()
-		os.Remove(d.indexPath(name))
+		d.fs.Remove(d.indexPath(name))
 		return nil, err
 	}
 	d.indexes[key] = ix

@@ -1,0 +1,187 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lexequal/internal/store"
+)
+
+// CheckIssue is one problem found by DB.Check: the object (table,
+// index, or file) it concerns and a human-readable detail.
+type CheckIssue struct {
+	Object string
+	Detail string
+}
+
+func (i CheckIssue) String() string { return i.Object + ": " + i.Detail }
+
+// Check verifies the whole database: every heap page and B-tree node
+// (storage-level structure plus checksums via the read path), that every
+// row decodes against its table's schema, and that the secondary
+// indexes agree with the heaps they cover — every index entry points at
+// a live matching row (or a tombstone) and every live row is indexed.
+// It returns the issues found; an empty slice means the database is
+// consistent.
+func (d *DB) Check() []CheckIssue {
+	var issues []CheckIssue
+	add := func(object, format string, args ...interface{}) {
+		issues = append(issues, CheckIssue{Object: object, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Storage-level structure, then row decoding per table.
+	for _, name := range d.Tables() {
+		t, _ := d.Table(name)
+		for _, is := range t.Heap.Check() {
+			add("table "+name, "%s", is)
+		}
+		err := t.Heap.Scan(func(rid store.RID, rec []byte) error {
+			row, err := DecodeRow(rec, len(t.Columns))
+			if err != nil {
+				add("table "+name, "row %v does not decode: %v", rid, err)
+				return nil
+			}
+			for i, v := range row {
+				if v.T != TNull && v.T != t.Columns[i].Type {
+					add("table "+name, "row %v column %s holds %v, schema says %v",
+						rid, t.Columns[i].Name, v.T, t.Columns[i].Type)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			add("table "+name, "scan failed: %v", err)
+		}
+	}
+
+	for _, name := range d.Indexes() {
+		ix, _ := d.Index(name)
+		object := "index " + name
+		for _, is := range ix.Tree.Check() {
+			add(object, "%s", is)
+		}
+		t, ok := d.Table(ix.Def.Table)
+		if !ok {
+			add(object, "covers unknown table %q", ix.Def.Table)
+			continue
+		}
+		if ix.Def.Column == coverColumn {
+			d.checkCoverIndex(ix, t, add)
+			continue
+		}
+		d.checkColumnIndex(ix, t, add)
+	}
+	return issues
+}
+
+// checkColumnIndex cross-checks an ordinary column index against its
+// table: every entry's RID must fetch a row (or a tombstone — the
+// B-trees are insert-only, stale entries are legal) whose column value
+// equals the entry key, and every live row with a non-NULL column value
+// must have an entry.
+func (d *DB) checkColumnIndex(ix *Index, t *Table, add func(object, format string, args ...interface{})) {
+	object := "index " + ix.Def.Name
+	ci := t.Columns.ColIndex(ix.Def.Column)
+	if ci < 0 {
+		add(object, "covers unknown column %s.%s", ix.Def.Table, ix.Def.Column)
+		return
+	}
+	indexed := make(map[uint64]bool) // packed RIDs present in the tree
+	it := ix.Tree.Seek(0)
+	for {
+		key, packed, ok := it.Next()
+		if !ok {
+			break
+		}
+		indexed[packed] = true
+		rid := store.UnpackRID(packed)
+		row, err := t.Get(rid)
+		if err != nil {
+			if errors.Is(err, store.ErrDeleted) {
+				continue // tombstoned row; stale entry is legal
+			}
+			add(object, "entry %d -> %v: heap fetch failed: %v", key, rid, err)
+			continue
+		}
+		if row[ci].T != TInt || uint64(row[ci].I) != key {
+			add(object, "entry %d -> %v, but the row's %s is %v", key, rid, ix.Def.Column, row[ci])
+		}
+	}
+	if err := it.Err(); err != nil {
+		add(object, "scan failed: %v", err)
+		return
+	}
+	err := t.Scan(func(rid store.RID, row Row) error {
+		if row[ci].T != TInt {
+			return nil // NULLs are not indexed
+		}
+		if !indexed[rid.Pack()] {
+			add(object, "live row %v (%s = %d) has no entry", rid, ix.Def.Column, row[ci].I)
+		}
+		return nil
+	})
+	if err != nil {
+		add(object, "table cross-check scan failed: %v", err)
+	}
+}
+
+// checkCoverIndex cross-checks the covering gram index against the aux
+// table: the multiset of (gramhash, id, pos) triples must be identical
+// on both sides.
+func (d *DB) checkCoverIndex(ix *Index, aux *Table, add func(object, format string, args ...interface{})) {
+	object := "index " + ix.Def.Name
+	idCol := aux.Columns.ColIndex("id")
+	posCol := aux.Columns.ColIndex("pos")
+	hashCol := aux.Columns.ColIndex("gramhash")
+	if idCol < 0 || posCol < 0 || hashCol < 0 {
+		add(object, "aux table %s lacks the id/pos/gramhash columns", aux.Name)
+		return
+	}
+	type triple struct {
+		hash uint64
+		v    uint64
+	}
+	var fromTree, fromHeap []triple
+	it := ix.Tree.Seek(0)
+	for {
+		key, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		fromTree = append(fromTree, triple{key, v})
+	}
+	if err := it.Err(); err != nil {
+		add(object, "scan failed: %v", err)
+		return
+	}
+	err := aux.Scan(func(_ store.RID, row Row) error {
+		fromHeap = append(fromHeap, triple{uint64(row[hashCol].I), CoverValue(row[idCol].I, int(row[posCol].I))})
+		return nil
+	})
+	if err != nil {
+		add(object, "aux cross-check scan failed: %v", err)
+		return
+	}
+	less := func(s []triple) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].hash != s[j].hash {
+				return s[i].hash < s[j].hash
+			}
+			return s[i].v < s[j].v
+		}
+	}
+	sort.Slice(fromTree, less(fromTree))
+	sort.Slice(fromHeap, less(fromHeap))
+	if len(fromTree) != len(fromHeap) {
+		add(object, "holds %d entries, aux table %s holds %d grams", len(fromTree), aux.Name, len(fromHeap))
+		return
+	}
+	for i := range fromTree {
+		if fromTree[i] != fromHeap[i] {
+			id, pos := UnpackCover(fromTree[i].v)
+			add(object, "entry (hash %d, id %d, pos %d) disagrees with the aux table", fromTree[i].hash, id, pos)
+			return // one mismatch implies many; report once
+		}
+	}
+}

@@ -2,6 +2,8 @@ package db
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"lexequal/internal/core"
@@ -9,6 +11,67 @@ import (
 	"lexequal/internal/soundex"
 	"lexequal/internal/store"
 )
+
+// BuildAtomic builds a database at dir all-or-nothing: build runs
+// against a staging directory (dir + ".building"), the staged files are
+// flushed and synced on Close, and only then is the directory renamed
+// into place. A crash or injected fault at any point leaves dir either
+// absent/previous or fully loaded — never half-written. Any leftover
+// staging directory from an earlier crashed build is discarded first.
+func BuildAtomic(dir string, opts Options, build func(*DB) error) error {
+	fs := opts.FS
+	if fs == nil {
+		fs = store.OSFS{}
+	}
+	stage := dir + ".building"
+	if err := os.RemoveAll(stage); err != nil {
+		return fmt.Errorf("db: clear stage dir: %w", err)
+	}
+	d, err := OpenOpts(stage, opts)
+	if err != nil {
+		return err
+	}
+	if err := build(d); err != nil {
+		d.Close()
+		return err
+	}
+	if err := d.Close(); err != nil {
+		return err
+	}
+	syncDir(stage)
+
+	// Publish. If dir already exists, park it aside so a failed rename
+	// can restore it.
+	old := dir + ".old"
+	replaced := false
+	if _, err := os.Stat(dir); err == nil {
+		os.RemoveAll(old)
+		if err := fs.Rename(dir, old); err != nil {
+			return fmt.Errorf("db: park previous db: %w", err)
+		}
+		replaced = true
+	}
+	if err := fs.Rename(stage, dir); err != nil {
+		if replaced {
+			fs.Rename(old, dir) // best-effort restore
+		}
+		return fmt.Errorf("db: publish db: %w", err)
+	}
+	if replaced {
+		os.RemoveAll(old)
+	}
+	syncDir(filepath.Dir(dir))
+	return nil
+}
+
+// syncDir fsyncs a directory so renames inside it are durable. Best
+// effort: directory fsync is not supported everywhere.
+func syncDir(path string) {
+	if f, err := os.Open(path); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
 
 // NameTableSpec controls CreateNameTable.
 type NameTableSpec struct {
@@ -128,7 +191,7 @@ const coverColumn = "(gramhash)->(id,pos)"
 // table.
 func buildCoverIndex(d *DB, name string, aux *Table) error {
 	idxName := CoverIndexName(name)
-	bt, err := store.OpenBTree(d.indexPath(idxName), d.cachePages)
+	bt, err := store.OpenBTreeFS(d.indexPath(idxName), d.cachePages, d.fs)
 	if err != nil {
 		return err
 	}

@@ -30,8 +30,22 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// peek and next treat the trailing EOF token as sticky: consuming it
+// (e.g. while reporting an error about it) must not run off the slice.
+func (p *parser) peek() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) at(kind tokKind, text string) bool {
 	t := p.peek()

@@ -19,9 +19,10 @@ import (
 //	internal:   [4:8) leftmost child;  entries at 8+12i = {key u64, child u32}
 //	            child i covers keys >= key i (leftmost covers keys < key 0)
 type BTree struct {
-	pg    *Pager
-	root  PageID
-	count uint64
+	pg     *Pager
+	root   PageID
+	count  uint64
+	closed bool
 }
 
 const (
@@ -31,15 +32,24 @@ const (
 
 	leafHdr      = 8
 	leafEntry    = 16
-	maxLeafKeys  = (PageSize - leafHdr) / leafEntry // 255
+	maxLeafKeys  = (UsableSize - leafHdr) / leafEntry // 255
 	innerHdr     = 8
 	innerEntry   = 12
-	maxInnerKeys = (PageSize - innerHdr) / innerEntry // 340
+	maxInnerKeys = (UsableSize - innerHdr) / innerEntry // 340
+
+	// maxDepth bounds root-to-leaf descents: a healthy tree over 2^32
+	// pages is far shallower, so exceeding it means a pointer cycle.
+	maxDepth = 64
 )
 
 // OpenBTree opens (or creates) a B+tree at path.
 func OpenBTree(path string, cachePages int) (*BTree, error) {
-	pg, err := OpenPager(path, cachePages)
+	return OpenBTreeFS(path, cachePages, nil)
+}
+
+// OpenBTreeFS is OpenBTree through an explicit VFS (nil selects OSFS).
+func OpenBTreeFS(path string, cachePages int, fs VFS) (*BTree, error) {
+	pg, err := OpenPagerFS(path, cachePages, fs)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +82,7 @@ func OpenBTree(path string, cachePages int) (*BTree, error) {
 	defer pg.Unpin(meta)
 	if binary.LittleEndian.Uint32(meta.Data[0:]) != btreeMagic {
 		pg.Close()
-		return nil, fmt.Errorf("store: %s is not a btree file", path)
+		return nil, &CorruptFileError{Path: path, Reason: "not a btree file (bad magic)"}
 	}
 	t.root = PageID(binary.LittleEndian.Uint32(meta.Data[4:]))
 	t.count = binary.LittleEndian.Uint64(meta.Data[8:])
@@ -101,13 +111,45 @@ func (t *BTree) Count() uint64 { return t.count }
 // Pager exposes the underlying pager (for I/O statistics).
 func (t *BTree) Pager() *Pager { return t.pg }
 
-// Close flushes metadata and the page cache.
+// Close flushes metadata and the page cache. It is safe to call more
+// than once; the first error wins and later calls are no-ops.
 func (t *BTree) Close() error {
-	if err := t.syncMeta(); err != nil {
-		t.pg.Close()
-		return err
+	if t.closed {
+		return nil
 	}
-	return t.pg.Close()
+	t.closed = true
+	err := t.syncMeta()
+	if cerr := t.pg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// node fetches page id pinned and validates its node header, so corrupt
+// bytes yield a CorruptPageError rather than out-of-range reads.
+func (t *BTree) node(id PageID) (*Page, error) {
+	p, err := t.pg.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	var bad string
+	switch nodeKind(p) {
+	case nodeLeaf:
+		if nodeCount(p) > maxLeafKeys {
+			bad = fmt.Sprintf("leaf claims %d entries (max %d)", nodeCount(p), maxLeafKeys)
+		}
+	case nodeInternal:
+		if nodeCount(p) > maxInnerKeys {
+			bad = fmt.Sprintf("internal node claims %d entries (max %d)", nodeCount(p), maxInnerKeys)
+		}
+	default:
+		bad = fmt.Sprintf("unknown node kind %d", nodeKind(p))
+	}
+	if bad != "" {
+		t.pg.Unpin(p)
+		return nil, &CorruptPageError{Path: t.pg.Path(), Page: id, Reason: bad}
+	}
+	return p, nil
 }
 
 func initLeaf(p *Page, next PageID) {
@@ -237,7 +279,15 @@ func (t *BTree) Insert(key, value uint64) error {
 // insertAt inserts into the subtree rooted at id. When the node splits
 // it returns (promotedKey, newRightPage, true).
 func (t *BTree) insertAt(id PageID, key, value uint64) (uint64, PageID, bool, error) {
-	p, err := t.pg.Get(id)
+	return t.insertAtDepth(id, key, value, 0)
+}
+
+func (t *BTree) insertAtDepth(id PageID, key, value uint64, depth int) (uint64, PageID, bool, error) {
+	if depth > maxDepth {
+		return 0, 0, false, &CorruptPageError{Path: t.pg.Path(), Page: id,
+			Reason: fmt.Sprintf("descent deeper than %d levels (pointer cycle?)", maxDepth)}
+	}
+	p, err := t.node(id)
 	if err != nil {
 		return 0, 0, false, err
 	}
@@ -247,11 +297,11 @@ func (t *BTree) insertAt(id PageID, key, value uint64) (uint64, PageID, bool, er
 	}
 	child := childFor(p, key)
 	t.pg.Unpin(p) // release during recursion; re-fetch if child split
-	promo, right, split, err := t.insertAt(child, key, value)
+	promo, right, split, err := t.insertAtDepth(child, key, value, depth+1)
 	if err != nil || !split {
 		return 0, 0, false, err
 	}
-	p, err = t.pg.Get(id)
+	p, err = t.node(id)
 	if err != nil {
 		return 0, 0, false, err
 	}
@@ -383,6 +433,7 @@ type Iterator struct {
 	vals    []uint64
 	idx     int
 	next    PageID
+	walked  uint32 // leaves visited, bounds the chain against cycles
 	stopped bool
 	err     error
 }
@@ -391,8 +442,14 @@ type Iterator struct {
 func (t *BTree) Seek(key uint64) *Iterator {
 	it := &Iterator{t: t}
 	id := t.root
-	for {
-		p, err := t.pg.Get(id)
+	for depth := 0; ; depth++ {
+		if depth > maxDepth {
+			it.err = &CorruptPageError{Path: t.pg.Path(), Page: id,
+				Reason: fmt.Sprintf("descent deeper than %d levels (pointer cycle?)", maxDepth)}
+			it.stopped = true
+			return it
+		}
+		p, err := t.node(id)
 		if err != nil {
 			it.err = err
 			it.stopped = true
@@ -438,9 +495,22 @@ func (it *Iterator) Next() (key, value uint64, ok bool) {
 			it.stopped = true
 			return 0, 0, false
 		}
-		p, err := it.t.pg.Get(it.next)
+		if it.walked++; it.walked > it.t.pg.NumPages() {
+			it.err = &CorruptPageError{Path: it.t.pg.Path(), Page: it.next,
+				Reason: "leaf chain longer than the file (next-pointer cycle)"}
+			it.stopped = true
+			return 0, 0, false
+		}
+		p, err := it.t.node(it.next)
 		if err != nil {
 			it.err = err
+			it.stopped = true
+			return 0, 0, false
+		}
+		if nodeKind(p) != nodeLeaf {
+			it.t.pg.Unpin(p)
+			it.err = &CorruptPageError{Path: it.t.pg.Path(), Page: it.next,
+				Reason: "leaf chain points at an internal node"}
 			it.stopped = true
 			return 0, 0, false
 		}

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Issue is one problem found by an integrity check: the file, the page
+// (InvalidPage for file-level issues) and a human-readable detail.
+type Issue struct {
+	Path   string
+	Page   PageID
+	Detail string
+}
+
+func (i Issue) String() string {
+	if i.Page == InvalidPage {
+		return fmt.Sprintf("%s: %s", i.Path, i.Detail)
+	}
+	return fmt.Sprintf("%s page %d: %s", i.Path, i.Page, i.Detail)
+}
+
+// Check verifies every page of the heap: checksums (implicitly, via the
+// read path), slot-directory sanity, record extents, and that the meta
+// counters agree with what the pages actually hold. It returns the
+// issues found; an empty slice means the heap is sound.
+func (h *HeapFile) Check() []Issue {
+	var issues []Issue
+	path := h.pg.Path()
+	add := func(page PageID, format string, args ...interface{}) {
+		issues = append(issues, Issue{Path: path, Page: page, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	numPages := h.pg.NumPages()
+	if numPages == 0 {
+		add(InvalidPage, "heap has no meta page")
+		return issues
+	}
+	if h.lastPage != InvalidPage && (h.lastPage == 0 || uint32(h.lastPage) >= numPages) {
+		add(InvalidPage, "meta last-page %d is out of range (file has %d pages)", h.lastPage, numPages)
+	}
+
+	var live uint64
+	for id := PageID(1); uint32(id) < numPages; id++ {
+		p, err := h.pg.Get(id)
+		if err != nil {
+			add(id, "unreadable: %v", err)
+			continue
+		}
+		n, freeOff, err := h.pageSlots(p)
+		if err != nil {
+			add(id, "%v", err)
+			h.pg.Unpin(p)
+			continue
+		}
+		// Collect live record extents and verify each lies in the record
+		// area; then check they do not overlap.
+		type extent struct {
+			slot     int
+			off, end int
+		}
+		var exts []extent
+		for s := 0; s < n; s++ {
+			rec, err := h.slotRecord(p, s, freeOff)
+			if err != nil {
+				add(id, "%v", err)
+				continue
+			}
+			if rec == nil {
+				continue // tombstone
+			}
+			live++
+			slot := heapSlotBase + s*heapSlotSize
+			off := int(binary.LittleEndian.Uint16(p.Data[slot:]))
+			exts = append(exts, extent{slot: s, off: off, end: off + len(rec)})
+		}
+		sort.Slice(exts, func(a, b int) bool { return exts[a].off < exts[b].off })
+		for i := 1; i < len(exts); i++ {
+			if exts[i].off < exts[i-1].end {
+				add(id, "records of slots %d and %d overlap", exts[i-1].slot, exts[i].slot)
+			}
+		}
+		h.pg.Unpin(p)
+	}
+	if live != h.count {
+		add(InvalidPage, "meta records %d live rows but pages hold %d", h.count, live)
+	}
+	return issues
+}
+
+// Check verifies the B+tree's structural invariants: node headers, key
+// bounds per subtree, uniform leaf depth, an acyclic leaf chain that
+// matches the tree order, global (key, value) ordering, and the entry
+// count against the meta page. It returns the issues found; an empty
+// slice means the tree is sound.
+func (t *BTree) Check() []Issue {
+	c := &btreeChecker{t: t, visited: make(map[PageID]bool), leafDepth: -1}
+	c.walk(t.root, 0, 0, math.MaxUint64)
+
+	path := t.pg.Path()
+	// The leaf chain must enumerate exactly the DFS leaf order.
+	for i, id := range c.leaves {
+		want := InvalidPage
+		if i+1 < len(c.leaves) {
+			want = c.leaves[i+1]
+		}
+		if got := c.leafNext[id]; got != want {
+			c.add(id, "leaf chain points to page %d, tree order expects %d", got, want)
+		}
+	}
+	if c.entries != t.count {
+		c.issues = append(c.issues, Issue{Path: path, Page: InvalidPage,
+			Detail: fmt.Sprintf("meta records %d entries but leaves hold %d", t.count, c.entries)})
+	}
+	return c.issues
+}
+
+type btreeChecker struct {
+	t         *BTree
+	visited   map[PageID]bool
+	issues    []Issue
+	leaves    []PageID
+	leafNext  map[PageID]PageID
+	leafDepth int
+	entries   uint64
+	// lastKey/lastVal track global (key, value) order across leaves.
+	lastKey, lastVal uint64
+	haveLast         bool
+}
+
+func (c *btreeChecker) add(page PageID, format string, args ...interface{}) {
+	c.issues = append(c.issues, Issue{Path: c.t.pg.Path(), Page: page,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+// walk validates the subtree rooted at id; every key in it must lie in
+// [lo, hi]. Both bounds are inclusive because duplicates equal to a
+// separator key may legally live in the subtree to the separator's left.
+func (c *btreeChecker) walk(id PageID, depth int, lo, hi uint64) {
+	if depth > maxDepth {
+		c.add(id, "subtree deeper than %d levels (pointer cycle?)", maxDepth)
+		return
+	}
+	if c.visited[id] {
+		c.add(id, "page reachable twice (cycle or shared child)")
+		return
+	}
+	c.visited[id] = true
+
+	p, err := c.t.node(id)
+	if err != nil {
+		c.add(id, "unreadable: %v", err)
+		return
+	}
+	defer c.t.pg.Unpin(p)
+	n := nodeCount(p)
+
+	if nodeKind(p) == nodeLeaf {
+		if c.leafDepth == -1 {
+			c.leafDepth = depth
+		} else if depth != c.leafDepth {
+			c.add(id, "leaf at depth %d, expected %d (unbalanced tree)", depth, c.leafDepth)
+		}
+		if c.leafNext == nil {
+			c.leafNext = make(map[PageID]PageID)
+		}
+		c.leaves = append(c.leaves, id)
+		c.leafNext[id] = leafNext(p)
+		for i := 0; i < n; i++ {
+			k, v := leafKey(p, i), leafVal(p, i)
+			if k < lo || k > hi {
+				c.add(id, "key %d at slot %d escapes its subtree bounds [%d, %d]", k, i, lo, hi)
+			}
+			if c.haveLast && (k < c.lastKey || (k == c.lastKey && v < c.lastVal)) {
+				c.add(id, "entry (%d, %d) at slot %d breaks (key, value) order after (%d, %d)",
+					k, v, i, c.lastKey, c.lastVal)
+			}
+			c.lastKey, c.lastVal, c.haveLast = k, v, true
+			c.entries++
+		}
+		return
+	}
+
+	// Internal node: separator keys must be non-decreasing and inside
+	// the inherited bounds; each child recurses with narrowed bounds.
+	if n == 0 {
+		c.add(id, "internal node with no separator keys")
+		return
+	}
+	for i := 0; i < n; i++ {
+		k := innerKey(p, i)
+		if k < lo || k > hi {
+			c.add(id, "separator %d at slot %d escapes bounds [%d, %d]", k, i, lo, hi)
+		}
+		if i > 0 && k < innerKey(p, i-1) {
+			c.add(id, "separator order broken at slot %d (%d after %d)", i, k, innerKey(p, i-1))
+		}
+	}
+	c.walk(innerLeft(p), depth+1, lo, innerKey(p, 0))
+	for i := 0; i < n; i++ {
+		childHi := hi
+		if i+1 < n {
+			childHi = innerKey(p, i+1)
+		}
+		c.walk(innerChild(p, i), depth+1, innerKey(p, i), childHi)
+	}
+}

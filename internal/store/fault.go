@@ -1,0 +1,194 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrInjected marks errors produced by FaultFS, so tests can tell an
+// injected fault from a real one.
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultMode selects how an injected write fault manifests on disk.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultError fails the operation cleanly: no bytes reach the file.
+	FaultError FaultMode = iota
+	// FaultShort persists only the first half of the buffer, then
+	// fails — a short write at process death.
+	FaultShort
+	// FaultTorn persists alternating 512-byte sectors of the buffer,
+	// then fails — a torn page, where the drive committed some sectors
+	// of a page write but not others.
+	FaultTorn
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FaultError:
+		return "error"
+	case FaultShort:
+		return "short"
+	case FaultTorn:
+		return "torn"
+	default:
+		return fmt.Sprintf("FaultMode(%d)", int(m))
+	}
+}
+
+// FaultFS wraps a VFS and injects one deterministic fault: the Nth
+// write (counted across every file opened through it) or the Nth sync
+// fails in the configured mode. After the fault fires the filesystem
+// goes down — every subsequent read, write, sync, open and rename
+// fails — modeling a crashed process or dead disk: nothing after the
+// fault point reaches storage. The damaged files remain on disk for a
+// later reopen with a clean VFS.
+//
+// The zero value (no fault armed) counts operations without ever
+// failing, which is how sweeps size themselves:
+//
+//	counter := &store.FaultFS{}
+//	load(counter)                       // run once, cleanly
+//	for n := 1; n <= counter.Writes(); n++ {
+//	    load(&store.FaultFS{FailWrite: n, Mode: store.FaultTorn})
+//	    // reopen and verify detection
+//	}
+//
+// FaultFS is not safe for concurrent use (the engine serializes I/O).
+type FaultFS struct {
+	// Base is the wrapped VFS; nil means OSFS.
+	Base VFS
+	// FailWrite is the 1-based index of the WriteAt call to fault;
+	// 0 never faults a write.
+	FailWrite int
+	// FailSync is the 1-based index of the Sync call to fault;
+	// 0 never faults a sync.
+	FailSync int
+	// Mode is how the faulted write manifests (sync faults always
+	// behave like FaultError: the data simply never becomes durable).
+	Mode FaultMode
+
+	writes  int
+	syncs   int
+	tripped bool
+}
+
+// Writes returns the number of WriteAt calls observed.
+func (fs *FaultFS) Writes() int { return fs.writes }
+
+// Syncs returns the number of Sync calls observed.
+func (fs *FaultFS) Syncs() int { return fs.syncs }
+
+// Tripped reports whether the armed fault has fired.
+func (fs *FaultFS) Tripped() bool { return fs.tripped }
+
+func (fs *FaultFS) base() VFS {
+	if fs.Base == nil {
+		return OSFS{}
+	}
+	return fs.Base
+}
+
+func (fs *FaultFS) down(op string) error {
+	return fmt.Errorf("store: %s after crash point: %w", op, ErrInjected)
+}
+
+// OpenFile implements VFS.
+func (fs *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if fs.tripped {
+		return nil, fs.down("open " + path)
+	}
+	f, err := fs.base().OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, f: f, path: path}, nil
+}
+
+// Rename implements VFS.
+func (fs *FaultFS) Rename(oldPath, newPath string) error {
+	if fs.tripped {
+		return fs.down("rename " + oldPath)
+	}
+	return fs.base().Rename(oldPath, newPath)
+}
+
+// Remove implements VFS.
+func (fs *FaultFS) Remove(path string) error {
+	if fs.tripped {
+		return fs.down("remove " + path)
+	}
+	return fs.base().Remove(path)
+}
+
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	path string
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if ff.fs.tripped {
+		return 0, ff.fs.down("read " + ff.path)
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	fs := ff.fs
+	if fs.tripped {
+		return 0, fs.down("write " + ff.path)
+	}
+	fs.writes++
+	if fs.FailWrite == 0 || fs.writes != fs.FailWrite {
+		return ff.f.WriteAt(p, off)
+	}
+	fs.tripped = true
+	err := fmt.Errorf("store: write %d of %s (%s): %w", fs.writes, ff.path, fs.Mode, ErrInjected)
+	switch fs.Mode {
+	case FaultShort:
+		n := len(p) / 2
+		if _, werr := ff.f.WriteAt(p[:n], off); werr != nil {
+			return 0, werr
+		}
+		return n, err
+	case FaultTorn:
+		const sector = 512
+		written := 0
+		for s := 0; s < len(p); s += 2 * sector {
+			end := s + sector
+			if end > len(p) {
+				end = len(p)
+			}
+			if _, werr := ff.f.WriteAt(p[s:end], off+int64(s)); werr != nil {
+				return written, werr
+			}
+			written += end - s
+		}
+		return written, err
+	default:
+		return 0, err
+	}
+}
+
+func (ff *faultFile) Sync() error {
+	fs := ff.fs
+	if fs.tripped {
+		return fs.down("sync " + ff.path)
+	}
+	fs.syncs++
+	if fs.FailSync != 0 && fs.syncs == fs.FailSync {
+		fs.tripped = true
+		return fmt.Errorf("store: sync %d of %s: %w", fs.syncs, ff.path, ErrInjected)
+	}
+	return ff.f.Sync()
+}
+
+// Close always reaches the real file, even after the fault fired, so
+// descriptors are not leaked by crashed loads.
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+func (ff *faultFile) Stat() (os.FileInfo, error) { return ff.f.Stat() }

@@ -1,0 +1,426 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestPagerCloseFlushesDirty is a regression test: Close must write back
+// pages that are dirty in the cache, not just close the descriptor.
+func TestPagerCloseFlushesDirty(t *testing.T) {
+	path := tempPath(t, "p.db")
+	pg, err := OpenPager(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pg.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(p.Data[:], "must survive close")
+	p.MarkDirty()
+	pg.Unpin(p)
+	if err := pg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := OpenPager(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Close()
+	q, err := pg2.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(q.Data[:18]) != "must survive close" {
+		t.Errorf("dirty page lost at close: %q", q.Data[:18])
+	}
+	pg2.Unpin(q)
+}
+
+func TestPagerCloseIdempotentAndSurfacesError(t *testing.T) {
+	// A sync fault during Close must surface; the second Close is a no-op.
+	fs := &FaultFS{FailSync: 1}
+	pg, err := OpenPagerFS(tempPath(t, "p.db"), 8, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pg.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MarkDirty()
+	pg.Unpin(p)
+	if err := pg.Close(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Close did not surface the sync error: %v", err)
+	}
+	if err := pg.Close(); err != nil {
+		t.Errorf("second Close returned %v", err)
+	}
+	if _, err := pg.Get(0); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPagerCloseSurfacesWriteError(t *testing.T) {
+	fs := &FaultFS{FailWrite: 1}
+	pg, err := OpenPagerFS(tempPath(t, "p.db"), 8, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pg.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MarkDirty()
+	pg.Unpin(p)
+	if err := pg.Close(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Close swallowed the write-back error: %v", err)
+	}
+}
+
+func TestPagerPoolExhaustionTypedError(t *testing.T) {
+	pg, err := OpenPager(tempPath(t, "p.db"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	a, err := pg.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pg.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pages pinned: the pool must refuse with a typed error rather
+	// than evicting a pinned page or spinning.
+	if _, err := pg.Allocate(); !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("Allocate with all pinned = %v, want ErrPoolExhausted", err)
+	}
+	// The pinned pages are untouched and usable.
+	a.Data[0], b.Data[0] = 1, 2
+	a.MarkDirty()
+	b.MarkDirty()
+	pg.Unpin(a)
+	if c, err := pg.Allocate(); err != nil {
+		t.Errorf("Allocate after unpin: %v", err)
+	} else {
+		pg.Unpin(c)
+	}
+	pg.Unpin(b)
+}
+
+func TestPagerDetectsByteFlip(t *testing.T) {
+	path := tempPath(t, "p.db")
+	pg, err := OpenPager(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 4
+	for i := 0; i < pages; i++ {
+		p, err := pg.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(p.Data[:], fmt.Sprintf("page %d content", i))
+		p.MarkDirty()
+		pg.Unpin(p)
+	}
+	if err := pg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in each page in turn (payload, trailer CRC, and
+	// version field offsets) and verify the damaged page — and only a
+	// damaged page — is reported, with its page number.
+	for i := 0; i < pages; i++ {
+		for _, off := range []int{100, UsableSize, UsableSize + 4} {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[i*PageSize+off] ^= 0x01
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pg, err := OpenPager(path, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, gerr := pg.Get(PageID(i))
+			var cpe *CorruptPageError
+			if !errors.As(gerr, &cpe) {
+				t.Fatalf("flip page %d offset %d: Get = %v, want CorruptPageError", i, off, gerr)
+			}
+			if cpe.Page != PageID(i) {
+				t.Errorf("flip page %d: error names page %d", i, cpe.Page)
+			}
+			if !errors.Is(gerr, ErrCorrupt) {
+				t.Errorf("corruption error does not match ErrCorrupt: %v", gerr)
+			}
+			// Undamaged pages still read fine.
+			for j := 0; j < pages; j++ {
+				if j == i {
+					continue
+				}
+				q, err := pg.Get(PageID(j))
+				if err != nil {
+					t.Errorf("undamaged page %d unreadable after flipping page %d: %v", j, i, err)
+					continue
+				}
+				pg.Unpin(q)
+			}
+			pg.Close()
+			// Restore for the next iteration.
+			raw[i*PageSize+off] ^= 0x01
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestPagerRejectsUnalignedFile(t *testing.T) {
+	path := tempPath(t, "p.db")
+	if err := os.WriteFile(path, make([]byte, PageSize+100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenPager(path, 8)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unaligned file opened: %v", err)
+	}
+}
+
+func TestPagerRejectsTruncatedRead(t *testing.T) {
+	path := tempPath(t, "h.db")
+	h, err := OpenHeap(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("row %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file to a page boundary: the meta still promises more.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:PageSize], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := OpenHeap(path, 8)
+	if err != nil {
+		// Acceptable: open itself may notice. It must be typed.
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated heap open error untyped: %v", err)
+		}
+		return
+	}
+	defer h2.Close()
+	if issues := h2.Check(); len(issues) == 0 {
+		t.Error("Check found nothing wrong with a truncated heap")
+	}
+}
+
+func TestFaultFSCountsAndTrips(t *testing.T) {
+	counter := &FaultFS{}
+	path := tempPath(t, "h.db")
+	h, err := OpenHeapFS(path, 8, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("record %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Writes() == 0 || counter.Syncs() == 0 {
+		t.Fatalf("counter saw %d writes, %d syncs", counter.Writes(), counter.Syncs())
+	}
+	if counter.Tripped() {
+		t.Error("zero-value FaultFS tripped")
+	}
+
+	// Arm a fault at the first write: the load must fail with the
+	// injected error, and the FS must be down afterwards.
+	fs := &FaultFS{FailWrite: 1}
+	h2, err := OpenHeapFS(tempPath(t, "h2.db"), 8, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ferr error
+	for i := 0; i < 2000 && ferr == nil; i++ {
+		_, ferr = h2.Insert([]byte(fmt.Sprintf("record %d", i)))
+	}
+	if cerr := h2.Close(); ferr == nil {
+		ferr = cerr
+	}
+	if !errors.Is(ferr, ErrInjected) {
+		t.Errorf("armed fault never surfaced: %v", ferr)
+	}
+	if !fs.Tripped() {
+		t.Error("fault did not trip")
+	}
+	if _, err := fs.OpenFile(tempPath(t, "x"), os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, ErrInjected) {
+		t.Errorf("filesystem still up after crash point: %v", err)
+	}
+}
+
+func TestHeapCheckCleanAndDamaged(t *testing.T) {
+	path := tempPath(t, "h.db")
+	h, err := OpenHeap(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("row %04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if issues := h.Check(); len(issues) != 0 {
+		t.Fatalf("clean heap reported issues: %v", issues)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage one data page; Check must name it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[2*PageSize+50] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := OpenHeap(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	issues := h2.Check()
+	if len(issues) == 0 {
+		t.Fatal("Check missed a damaged page")
+	}
+	found := false
+	for _, is := range issues {
+		if is.Page == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Check did not name page 2: %v", issues)
+	}
+}
+
+func TestBTreeCheckCleanAndDamaged(t *testing.T) {
+	path := tempPath(t, "b.db")
+	bt, err := OpenBTree(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20000; i++ {
+		if err := bt.Insert(i%500, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if issues := bt.Check(); len(issues) != 0 {
+		t.Fatalf("clean btree reported issues: %v", issues)
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage a mid-file page (some node, not the meta).
+	target := len(raw) / PageSize / 2
+	raw[target*PageSize+16] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := OpenBTree(path, 64)
+	if err != nil {
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("damaged btree open error untyped: %v", err)
+		}
+		return
+	}
+	defer bt2.Close()
+	issues := bt2.Check()
+	if len(issues) == 0 {
+		t.Fatal("Check missed a damaged btree page")
+	}
+	found := false
+	for _, is := range issues {
+		if is.Page == PageID(target) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Check did not name page %d: %v", target, issues)
+	}
+}
+
+func TestBTreeCheckDetectsLogicalDamage(t *testing.T) {
+	// Corrupt the tree in a checksum-consistent way (flip bytes, then
+	// re-stamp the trailer): only the structural validator can catch it.
+	path := tempPath(t, "b.db")
+	bt, err := OpenBTree(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if err := bt.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a leaf page and scramble a key, then restamp its checksum.
+	for id := 1; id < len(raw)/PageSize; id++ {
+		page := raw[id*PageSize : (id+1)*PageSize]
+		if page[0] != nodeLeaf {
+			continue
+		}
+		// Overwrite the first key with max-uint64: breaks ordering.
+		for i := 0; i < 8; i++ {
+			page[leafHdr+i] = 0xFF
+		}
+		var p Page
+		p.ID = PageID(id)
+		copy(p.Data[:], page)
+		stampTrailer(&p)
+		copy(page, p.Data[:])
+		break
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := OpenBTree(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt2.Close()
+	if issues := bt2.Check(); len(issues) == 0 {
+		t.Error("Check missed checksum-consistent logical damage")
+	}
+}

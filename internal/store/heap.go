@@ -11,21 +11,25 @@ import (
 // meta page (page 0) records the page/record counts so a heap reopens
 // cheaply.
 //
-// Page layout (pages >= 1):
+// Page layout (pages >= 1, payload area [0:UsableSize)):
 //
 //	[0:2)  slot count n
 //	[2:4)  free-space offset (start of the record area, grows down)
 //	[4:..) slot array: n entries of {offset uint16, length uint16}
 //	 ...   free space
-//	[freeOff:PageSize) record bytes (allocated from the end)
+//	[freeOff:UsableSize) record bytes (allocated from the end)
 //
 // A slot with offset 0 is a tombstone (valid records never start at
-// offset 0, which lies inside the header).
+// offset 0, which lies inside the header). Every structural field read
+// from a page is validated before use, so a corrupt page that slips
+// past the checksum (or is corrupted in memory) yields a
+// CorruptPageError instead of an out-of-range panic.
 type HeapFile struct {
 	pg *Pager
 	// meta
 	lastPage PageID // page currently receiving inserts
 	count    uint64 // live record count
+	closed   bool
 }
 
 // RID addresses one record: page and slot.
@@ -54,11 +58,16 @@ const (
 
 // maxHeapRecord is the largest record a heap accepts: it must fit in a
 // fresh page alongside the header and one slot.
-const maxHeapRecord = PageSize - heapSlotBase - heapSlotSize
+const maxHeapRecord = UsableSize - heapSlotBase - heapSlotSize
 
 // OpenHeap opens (or creates) a heap file at path.
 func OpenHeap(path string, cachePages int) (*HeapFile, error) {
-	pg, err := OpenPager(path, cachePages)
+	return OpenHeapFS(path, cachePages, nil)
+}
+
+// OpenHeapFS is OpenHeap through an explicit VFS (nil selects OSFS).
+func OpenHeapFS(path string, cachePages int, fs VFS) (*HeapFile, error) {
+	pg, err := OpenPagerFS(path, cachePages, fs)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +92,7 @@ func OpenHeap(path string, cachePages int) (*HeapFile, error) {
 	defer pg.Unpin(meta)
 	if binary.LittleEndian.Uint32(meta.Data[0:]) != heapMagic {
 		pg.Close()
-		return nil, fmt.Errorf("store: %s is not a heap file", path)
+		return nil, &CorruptFileError{Path: path, Reason: "not a heap file (bad magic)"}
 	}
 	h.lastPage = PageID(binary.LittleEndian.Uint32(meta.Data[4:]))
 	h.count = binary.LittleEndian.Uint64(meta.Data[8:])
@@ -112,20 +121,48 @@ func (h *HeapFile) Count() uint64 { return h.count }
 // Pager exposes the underlying pager (for I/O statistics).
 func (h *HeapFile) Pager() *Pager { return h.pg }
 
-// Close flushes metadata and the page cache.
+// Close flushes metadata and the page cache. It is safe to call more
+// than once; the first error wins and later calls are no-ops.
 func (h *HeapFile) Close() error {
-	if err := h.syncMeta(); err != nil {
-		h.pg.Close()
-		return err
+	if h.closed {
+		return nil
 	}
-	return h.pg.Close()
+	h.closed = true
+	err := h.syncMeta()
+	if cerr := h.pg.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-func pageFree(p *Page) int {
-	n := int(binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:]))
-	freeOff := int(binary.LittleEndian.Uint16(p.Data[heapHdrFree:]))
+// pageSlots validates the slot-directory header of p and returns the
+// slot count and free offset.
+func (h *HeapFile) pageSlots(p *Page) (n, freeOff int, err error) {
+	n = int(binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:]))
+	freeOff = int(binary.LittleEndian.Uint16(p.Data[heapHdrFree:]))
 	slotEnd := heapSlotBase + n*heapSlotSize
-	return freeOff - slotEnd
+	if slotEnd > UsableSize || freeOff < slotEnd || freeOff > UsableSize {
+		return 0, 0, &CorruptPageError{Path: h.pg.Path(), Page: p.ID,
+			Reason: fmt.Sprintf("impossible slot directory (%d slots, free offset %d)", n, freeOff)}
+	}
+	return n, freeOff, nil
+}
+
+// slotRecord returns the record bytes of slot s (aliasing the page
+// buffer), or nil for a tombstone. Slot bounds must already be checked
+// against the page's slot count.
+func (h *HeapFile) slotRecord(p *Page, s int, freeOff int) ([]byte, error) {
+	slot := heapSlotBase + s*heapSlotSize
+	off := int(binary.LittleEndian.Uint16(p.Data[slot:]))
+	if off == 0 {
+		return nil, nil // tombstone
+	}
+	length := int(binary.LittleEndian.Uint16(p.Data[slot+2:]))
+	if off < freeOff || off+length > UsableSize {
+		return nil, &CorruptPageError{Path: h.pg.Path(), Page: p.ID,
+			Reason: fmt.Sprintf("slot %d points outside the record area (offset %d, length %d)", s, off, length)}
+	}
+	return p.Data[off : off+length], nil
 }
 
 // Insert appends a record and returns its RID.
@@ -140,7 +177,12 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		if err != nil {
 			return RID{}, err
 		}
-		if pageFree(p) < len(rec)+heapSlotSize {
+		n, freeOff, err := h.pageSlots(p)
+		if err != nil {
+			h.pg.Unpin(p)
+			return RID{}, err
+		}
+		if freeOff-(heapSlotBase+n*heapSlotSize) < len(rec)+heapSlotSize {
 			h.pg.Unpin(p)
 			p = nil
 		}
@@ -151,7 +193,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 			return RID{}, err
 		}
 		binary.LittleEndian.PutUint16(p.Data[heapHdrSlotsN:], 0)
-		binary.LittleEndian.PutUint16(p.Data[heapHdrFree:], PageSize)
+		binary.LittleEndian.PutUint16(p.Data[heapHdrFree:], UsableSize)
 		h.lastPage = p.ID
 	}
 	defer h.pg.Unpin(p)
@@ -180,18 +222,22 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 		return nil, err
 	}
 	defer h.pg.Unpin(p)
-	n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
-	if rid.Slot >= n {
+	n, freeOff, err := h.pageSlots(p)
+	if err != nil {
+		return nil, err
+	}
+	if int(rid.Slot) >= n {
 		return nil, fmt.Errorf("store: rid %v slot out of range (%d slots)", rid, n)
 	}
-	slot := heapSlotBase + int(rid.Slot)*heapSlotSize
-	off := binary.LittleEndian.Uint16(p.Data[slot:])
-	length := binary.LittleEndian.Uint16(p.Data[slot+2:])
-	if off == 0 {
+	raw, err := h.slotRecord(p, int(rid.Slot), freeOff)
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
 		return nil, fmt.Errorf("store: rid %v: %w", rid, ErrDeleted)
 	}
-	rec := make([]byte, length)
-	copy(rec, p.Data[off:off+length])
+	rec := make([]byte, len(raw))
+	copy(rec, raw)
 	return rec, nil
 }
 
@@ -206,8 +252,11 @@ func (h *HeapFile) Delete(rid RID) error {
 		return err
 	}
 	defer h.pg.Unpin(p)
-	n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
-	if rid.Slot >= n {
+	n, _, err := h.pageSlots(p)
+	if err != nil {
+		return err
+	}
+	if int(rid.Slot) >= n {
 		return fmt.Errorf("store: rid %v slot out of range", rid)
 	}
 	slot := heapSlotBase + int(rid.Slot)*heapSlotSize
@@ -226,33 +275,19 @@ func (h *HeapFile) Delete(rid RID) error {
 // scan and propagates the error; the sentinel ErrStopScan stops cleanly.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
 	for id := PageID(1); uint32(id) < h.pg.NumPages(); id++ {
-		p, err := h.pg.Get(id)
-		if err != nil {
+		if err := h.ScanPage(id, fn); err != nil {
+			if err == ErrStopScan {
+				return nil
+			}
 			return err
 		}
-		n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
-		for s := uint16(0); s < n; s++ {
-			slot := heapSlotBase + int(s)*heapSlotSize
-			off := binary.LittleEndian.Uint16(p.Data[slot:])
-			if off == 0 {
-				continue
-			}
-			length := binary.LittleEndian.Uint16(p.Data[slot+2:])
-			if err := fn(RID{Page: id, Slot: s}, p.Data[off:off+length]); err != nil {
-				h.pg.Unpin(p)
-				if err == ErrStopScan {
-					return nil
-				}
-				return err
-			}
-		}
-		h.pg.Unpin(p)
 	}
 	return nil
 }
 
 // ScanPage invokes fn for every live record on one page, enabling
-// resumable page-at-a-time cursors (the executor's SeqScan).
+// resumable page-at-a-time cursors (the executor's SeqScan). Unlike
+// Scan, ErrStopScan propagates so callers can distinguish a clean stop.
 func (h *HeapFile) ScanPage(id PageID, fn func(rid RID, rec []byte) error) error {
 	if id == 0 || uint32(id) >= h.pg.NumPages() {
 		return fmt.Errorf("store: ScanPage %d out of range", id)
@@ -262,15 +297,19 @@ func (h *HeapFile) ScanPage(id PageID, fn func(rid RID, rec []byte) error) error
 		return err
 	}
 	defer h.pg.Unpin(p)
-	n := binary.LittleEndian.Uint16(p.Data[heapHdrSlotsN:])
-	for s := uint16(0); s < n; s++ {
-		slot := heapSlotBase + int(s)*heapSlotSize
-		off := binary.LittleEndian.Uint16(p.Data[slot:])
-		if off == 0 {
+	n, freeOff, err := h.pageSlots(p)
+	if err != nil {
+		return err
+	}
+	for s := 0; s < n; s++ {
+		rec, err := h.slotRecord(p, s, freeOff)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
 			continue
 		}
-		length := binary.LittleEndian.Uint16(p.Data[slot+2:])
-		if err := fn(RID{Page: id, Slot: s}, p.Data[off:off+length]); err != nil {
+		if err := fn(RID{Page: id, Slot: uint16(s)}, rec); err != nil {
 			return err
 		}
 	}

@@ -6,16 +6,41 @@
 // equivalent access paths (full scans and B-tree probes against disk
 // pages) so the relative costs of the three LexEQUAL strategies have the
 // same shape.
+//
+// Durability model (format version 2): every page carries a CRC32-C
+// checksum over its payload and page number in an 8-byte trailer,
+// stamped on write-back and verified on every read from disk, so torn
+// writes, bit flips and misdirected writes surface as a typed
+// CorruptPageError instead of garbage data. There is still no WAL:
+// in-place updates are not crash-atomic — bulk loads obtain atomicity
+// by staging + rename (see internal/db.BuildAtomic), and damage is
+// detectable rather than silent.
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 )
 
 // PageSize is the unit of I/O. 4 KiB matches common DBMS defaults.
 const PageSize = 4096
+
+// FormatVersion is the on-disk page format. Version 2 introduced the
+// per-page checksum trailer; version-1 files (no trailer) are rejected.
+const FormatVersion = 2
+
+// pageTrailerSize bytes at the end of every page hold the integrity
+// trailer: CRC32-C over payload+pageID at [UsableSize:UsableSize+4),
+// the format version at [UsableSize+4:UsableSize+6), 2 reserved bytes.
+const pageTrailerSize = 8
+
+// UsableSize is the payload area of a page available to the heap and
+// B-tree layouts; the trailer occupies the rest.
+const UsableSize = PageSize - pageTrailerSize
 
 // PageID identifies a page within one file; page 0 is the file's meta
 // page, owned by the structure (heap/btree) living in the file.
@@ -26,7 +51,8 @@ const InvalidPage PageID = 0xFFFFFFFF
 
 // Page is one cached page. Callers must hold a pin (via Pager.Get or
 // Pager.Allocate) while reading or writing Data, call MarkDirty after
-// modifying it, and Unpin it when done.
+// modifying it, and Unpin it when done. Only Data[:UsableSize] is
+// payload; the trailer is owned by the pager.
 type Page struct {
 	ID   PageID
 	Data [PageSize]byte
@@ -40,11 +66,15 @@ type Page struct {
 // MarkDirty records that the page must be written back before eviction.
 func (p *Page) MarkDirty() { p.dirty = true }
 
+// ErrPoolExhausted is returned (wrapped) when every cached page is
+// pinned and a new page is needed: the buffer pool cannot evict.
+var ErrPoolExhausted = errors.New("buffer pool exhausted")
+
 // Pager provides pinned, cached access to the pages of one file.
 // It is not safe for concurrent use; the database serializes access
 // (the paper's workload is single-stream queries).
 type Pager struct {
-	f        *os.File
+	f        File
 	path     string
 	numPages uint32
 	capacity int
@@ -52,6 +82,7 @@ type Pager struct {
 	// lru is a doubly-linked list of unpinned cached pages; lruHead is
 	// the most recently used.
 	lruHead, lruTail *Page
+	closed           bool
 	// Statistics for the benchmark harness.
 	reads, writes, hits, misses uint64
 }
@@ -62,12 +93,21 @@ type Pager struct {
 const DefaultCacheSize = 1024
 
 // OpenPager opens (or creates) the file at path with the given cache
-// capacity in pages (0 selects DefaultCacheSize).
+// capacity in pages (0 selects DefaultCacheSize) on the real
+// filesystem.
 func OpenPager(path string, capacity int) (*Pager, error) {
+	return OpenPagerFS(path, capacity, nil)
+}
+
+// OpenPagerFS is OpenPager through an explicit VFS (nil selects OSFS).
+func OpenPagerFS(path string, capacity int, fs VFS) (*Pager, error) {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if fs == nil {
+		fs = OSFS{}
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
@@ -78,7 +118,8 @@ func OpenPager(path string, capacity int) (*Pager, error) {
 	}
 	if st.Size()%PageSize != 0 {
 		f.Close()
-		return nil, fmt.Errorf("store: %s size %d is not page aligned", path, st.Size())
+		return nil, &CorruptFileError{Path: path,
+			Reason: fmt.Sprintf("size %d is not page aligned (truncated write?)", st.Size())}
 	}
 	return &Pager{
 		f:        f,
@@ -101,8 +142,61 @@ func (pg *Pager) Stats() (reads, writes, hits, misses uint64) {
 	return pg.reads, pg.writes, pg.hits, pg.misses
 }
 
-// Get returns page id pinned. The caller must Unpin it.
+// castagnoli is the CRC32-C polynomial table (hardware accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// pageCRC covers the payload and the page number, so a structurally
+// valid page written to the wrong offset (a misdirected write) still
+// fails verification.
+func pageCRC(id PageID, data []byte) uint32 {
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], uint32(id))
+	crc := crc32.Update(0, castagnoli, data[:UsableSize])
+	return crc32.Update(crc, castagnoli, idb[:])
+}
+
+// stampTrailer writes the integrity trailer prior to write-back.
+func stampTrailer(p *Page) {
+	binary.LittleEndian.PutUint32(p.Data[UsableSize:], pageCRC(p.ID, p.Data[:]))
+	binary.LittleEndian.PutUint16(p.Data[UsableSize+4:], FormatVersion)
+	p.Data[UsableSize+6] = 0
+	p.Data[UsableSize+7] = 0
+}
+
+// verifyPage checks the trailer of a page freshly read from disk.
+func (pg *Pager) verifyPage(p *Page) error {
+	stored := binary.LittleEndian.Uint32(p.Data[UsableSize:])
+	version := binary.LittleEndian.Uint16(p.Data[UsableSize+4:])
+	if computed := pageCRC(p.ID, p.Data[:]); stored == computed && version == FormatVersion {
+		return nil
+	}
+	zero := true
+	for _, b := range p.Data {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	switch {
+	case zero:
+		return &CorruptPageError{Path: pg.path, Page: p.ID,
+			Reason: "page is all zeros (torn or never-completed write)"}
+	case version != FormatVersion:
+		return &CorruptPageError{Path: pg.path, Page: p.ID,
+			Reason: fmt.Sprintf("format version %d (this build reads version %d)", version, FormatVersion)}
+	default:
+		return &CorruptPageError{Path: pg.path, Page: p.ID,
+			Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", stored, pageCRC(p.ID, p.Data[:]))}
+	}
+}
+
+// Get returns page id pinned. The caller must Unpin it. Pages read
+// from disk are checksum-verified; damage returns a CorruptPageError.
 func (pg *Pager) Get(id PageID) (*Page, error) {
+	if pg.closed {
+		return nil, fmt.Errorf("store: get page %d of %s: %w", id, pg.path, os.ErrClosed)
+	}
 	if uint32(id) >= pg.numPages {
 		return nil, fmt.Errorf("store: page %d out of range (file has %d)", id, pg.numPages)
 	}
@@ -121,15 +215,25 @@ func (pg *Pager) Get(id PageID) (*Page, error) {
 	}
 	if _, err := pg.f.ReadAt(p.Data[:], int64(id)*PageSize); err != nil {
 		delete(pg.cache, id)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, &CorruptPageError{Path: pg.path, Page: id, Reason: "page lies beyond end of file (truncated)"}
+		}
 		return nil, fmt.Errorf("store: read page %d of %s: %w", id, pg.path, err)
 	}
 	pg.reads++
+	if err := pg.verifyPage(p); err != nil {
+		delete(pg.cache, id)
+		return nil, err
+	}
 	return p, nil
 }
 
 // Allocate appends a zeroed page to the file and returns it pinned and
 // dirty.
 func (pg *Pager) Allocate() (*Page, error) {
+	if pg.closed {
+		return nil, fmt.Errorf("store: allocate in %s: %w", pg.path, os.ErrClosed)
+	}
 	id := PageID(pg.numPages)
 	if id == InvalidPage {
 		return nil, errors.New("store: file full")
@@ -149,7 +253,7 @@ func (pg *Pager) fault(id PageID) (*Page, error) {
 	for len(pg.cache) >= pg.capacity {
 		victim := pg.lruTail
 		if victim == nil {
-			return nil, fmt.Errorf("store: buffer pool exhausted (%d pages all pinned)", len(pg.cache))
+			return nil, fmt.Errorf("store: %s: %w (%d pages cached, all pinned)", pg.path, ErrPoolExhausted, len(pg.cache))
 		}
 		if err := pg.evict(victim); err != nil {
 			return nil, err
@@ -163,7 +267,7 @@ func (pg *Pager) fault(id PageID) (*Page, error) {
 // Unpin releases one pin. Unpinned pages become evictable.
 func (pg *Pager) Unpin(p *Page) {
 	if p.pins <= 0 {
-		panic("store: unpin of unpinned page")
+		panic("store: unpin of unpinned page") // caller bug, not data-dependent
 	}
 	p.pins--
 	if p.pins == 0 {
@@ -184,6 +288,7 @@ func (pg *Pager) writeBack(p *Page) error {
 	if !p.dirty {
 		return nil
 	}
+	stampTrailer(p)
 	if _, err := pg.f.WriteAt(p.Data[:], int64(p.ID)*PageSize); err != nil {
 		return fmt.Errorf("store: write page %d of %s: %w", p.ID, pg.path, err)
 	}
@@ -194,6 +299,9 @@ func (pg *Pager) writeBack(p *Page) error {
 
 // Flush writes every dirty cached page to disk and syncs the file.
 func (pg *Pager) Flush() error {
+	if pg.closed {
+		return fmt.Errorf("store: flush %s: %w", pg.path, os.ErrClosed)
+	}
 	for _, p := range pg.cache {
 		if err := pg.writeBack(p); err != nil {
 			return err
@@ -202,13 +310,30 @@ func (pg *Pager) Flush() error {
 	return pg.f.Sync()
 }
 
-// Close flushes and closes the file. Pages must not be used afterwards.
+// Close writes back every remaining dirty page, syncs, and closes the
+// file, returning the first error encountered while still attempting
+// the rest. It is safe to call more than once; later calls are no-ops.
+// Pages must not be used afterwards.
 func (pg *Pager) Close() error {
-	if err := pg.Flush(); err != nil {
-		pg.f.Close()
-		return err
+	if pg.closed {
+		return nil
 	}
-	return pg.f.Close()
+	pg.closed = true
+	var first error
+	for _, p := range pg.cache {
+		if err := pg.writeBack(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := pg.f.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := pg.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	pg.cache = make(map[PageID]*Page)
+	pg.lruHead, pg.lruTail = nil, nil
+	return first
 }
 
 // lruPush inserts p at the head (most recently used).

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// File is the narrow slice of *os.File the storage layer needs. The
+// indirection exists so tests can interpose deterministic fault
+// injection (see FaultFS) between the pager and the operating system.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Close() error
+	Stat() (os.FileInfo, error)
+}
+
+// VFS opens files and performs the two directory operations the engine
+// relies on for atomic publication. Implementations must be usable for
+// many files at once (a database directory holds one file per table and
+// index plus the catalog).
+type VFS interface {
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+}
+
+// OSFS is the production VFS: plain os calls.
+type OSFS struct{}
+
+// OpenFile implements VFS.
+func (OSFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// Rename implements VFS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements VFS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// ErrCorrupt is the sentinel all corruption errors match with
+// errors.Is: page checksum mismatches, format-version mismatches,
+// impossible slot directories or node headers, truncated files. Callers
+// distinguish "the data is damaged" (fail the query, run the checker)
+// from transient I/O errors.
+var ErrCorrupt = errors.New("corrupt data")
+
+// CorruptPageError reports that one page failed verification: its
+// checksum did not match, its format version is unsupported, or its
+// internal structure (slot directory, node header) is impossible.
+type CorruptPageError struct {
+	Path   string
+	Page   PageID
+	Reason string
+}
+
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("store: %s page %d: %s", e.Path, e.Page, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) true.
+func (e *CorruptPageError) Is(target error) bool { return target == ErrCorrupt }
+
+// CorruptFileError reports file-level damage that is not attributable
+// to one page: a size that is not page aligned, or a wrong magic
+// number.
+type CorruptFileError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptFileError) Error() string {
+	return fmt.Sprintf("store: %s: %s", e.Path, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) true.
+func (e *CorruptFileError) Is(target error) bool { return target == ErrCorrupt }
