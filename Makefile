@@ -1,11 +1,12 @@
 # Developer entry points. `make ci` is what a pipeline should run:
-# static checks, build, the full test suite under the race detector,
-# and a short smoke run of each fuzz target.
+# static checks (go vet plus the engine-invariant lint suite), build,
+# the full test suite under the race detector, and a short smoke run of
+# each fuzz target.
 
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke ci clean
+.PHONY: all build vet lint test race fuzz-smoke ci clean
 
 all: build
 
@@ -14,6 +15,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The custom go/analysis suite (DESIGN.md §8): pin balance, VFS-only
+# I/O, wrap-tolerant error matching, no panics in library code, lock
+# hygiene. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/lexequallint ./...
 
 test:
 	$(GO) test ./...
@@ -27,7 +34,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSQLParse -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz FuzzTTPConvert -fuzztime $(FUZZTIME) ./internal/ttp/
 
-ci: vet build race fuzz-smoke
+ci: vet build lint race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,317 @@
+// Package analysis is a self-contained static-analysis framework for
+// the LexEQUAL engine, mirroring the golang.org/x/tools/go/analysis API
+// shape (Analyzer / Pass / Diagnostic) on the standard library alone,
+// so the lint suite builds offline with no module dependencies.
+//
+// The suite enforces the storage-engine invariants introduced with the
+// VFS seam and page-checksum work — invariants that hold only by
+// convention otherwise and silently regress as the engine grows:
+//
+//   - pinbalance: every Pager.Get/Allocate has a matching Unpin
+//   - vfsonly:    all file I/O in store/db goes through the VFS seam
+//   - corrupterr: corruption errors are matched with errors.Is/As
+//   - nopanic:    library code propagates errors, never panics
+//   - lockcheck:  mutexes are never copied, read locks never upgraded
+//
+// A finding is suppressed by an adjacent annotation comment:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: an unexplained suppression is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// annotations.
+	Name string
+	// Doc is the one-paragraph description shown by -list.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// suppressions maps file -> line -> analyzer names ignored there
+	// (the annotation suppresses its own line and the one below it).
+	suppressions map[string]map[int][]suppression
+}
+
+// suppression is one parsed //lint:ignore annotation.
+type suppression struct {
+	analyzers []string
+	reason    string
+}
+
+// lintIgnoreRE parses "lint:ignore name1,name2 reason..." comment text.
+var lintIgnoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+([A-Za-z0-9_,*]+)\s*(.*)$`)
+
+// NewPackage assembles a Package and indexes its suppression
+// annotations. All analyzer entry points go through here, so tests and
+// the multichecker agree on suppression semantics.
+func NewPackage(importPath, dir string, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) *Package {
+	p := &Package{
+		ImportPath:   importPath,
+		Dir:          dir,
+		Fset:         fset,
+		Files:        files,
+		Types:        tpkg,
+		Info:         info,
+		suppressions: map[string]map[int][]suppression{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := lintIgnoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := p.suppressions[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]suppression{}
+					p.suppressions[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], suppression{
+					analyzers: strings.Split(m[1], ","),
+					reason:    strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// suppressed reports whether an annotation at pos.Line or the line
+// above names the analyzer (or "*"). Annotations without a reason do
+// not suppress: the justification is part of the contract.
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	byLine := p.suppressions[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, s := range byLine[line] {
+			if s.reason == "" {
+				continue
+			}
+			for _, name := range s.analyzers {
+				if name == analyzer || name == "*" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	pkg   *Package
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //lint:ignore annotation
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the file name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// RunAnalyzer applies one analyzer to one package.
+func RunAnalyzer(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		pkg:      pkg,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return diags, nil
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings in stable file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := RunAnalyzer(pkg, a)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// All returns the full engine-invariant suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PinBalance,
+		VFSOnly,
+		CorruptErr,
+		NoPanic,
+		LockCheck,
+	}
+}
+
+// ---- shared analyzer helpers ----
+
+// errorType is the universe "error" interface type.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// namedOf unwraps pointers and aliases and returns the named type, or
+// nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// methodCallOn returns the receiver expression of call if it is a
+// method call named method on a named type called typeName (through a
+// pointer or not), else nil.
+func methodCallOn(info *types.Info, call *ast.CallExpr, typeName, method string) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	if n := namedOf(tv.Type); n != nil && n.Obj().Name() == typeName {
+		return sel.X
+	}
+	return nil
+}
+
+// pkgFuncName returns the function name if call invokes a
+// package-level function of the package with the given import path
+// (e.g. os.Open), else "".
+func pkgFuncName(info *types.Info, call *ast.CallExpr, pkgPath string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// walkStack traverses root, invoking fn with each node and the stack of
+// its ancestors (outermost first, not including n itself). Returning
+// false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// still need balanced push/pop: prune by pushing a marker
+			// and letting Inspect skip children.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost enclosing function declaration in
+// the stack, or nil.
+func enclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

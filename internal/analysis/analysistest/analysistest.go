@@ -1,0 +1,169 @@
+// Package analysistest runs analyzers over golden fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library alone. Fixtures live under testdata/src/<name>/ and annotate
+// the lines where findings are expected:
+//
+//	p, _ := pg.Get(1) // want `never unpinned`
+//
+// The string is a regular expression matched against the diagnostic
+// message. Every expectation must be matched by a finding and every
+// finding must be matched by an expectation, so each golden test fails
+// both when the analyzer goes blind and when it over-reports.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lexequal/internal/analysis"
+)
+
+// wantRE extracts the quoted or backquoted expectations from a
+// "// want ..." comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one // want annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads the fixture package in dir (a directory of .go files that
+// may import the standard library), applies the analyzer, and compares
+// findings against the fixture's // want annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	diags, expects := run(t, dir, a)
+
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.used || e.file != filepath.Base(d.Pos.Filename) || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func run(t *testing.T, dir string, a *analysis.Analyzer) ([]analysis.Diagnostic, []*expectation) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	var expects []*expectation
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			importSet[path] = true
+		}
+		expects = append(expects, wants(t, fset, name, f)...)
+	}
+
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := analysis.StdExports(dir, imports)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+
+	pkgPath := "fixture/" + filepath.Base(dir)
+	tpkg, info, err := analysis.TypeCheck(fset, pkgPath, files, analysis.NewImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	pkg := analysis.NewPackage(pkgPath, dir, fset, files, tpkg, info)
+	diags, err := analysis.RunAnalyzer(pkg, a)
+	if err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	return diags, expects
+}
+
+// wants collects the // want expectations of one file.
+func wants(t *testing.T, fset *token.FileSet, filename string, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			matches := wantRE.FindAllString(text, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", filename, line, c.Text)
+			}
+			for _, m := range matches {
+				var pat string
+				if m[0] == '`' {
+					pat = m[1 : len(m)-1]
+				} else {
+					var err error
+					pat, err = strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", filename, line, m, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, pat, err)
+				}
+				out = append(out, &expectation{file: filename, line: line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// Testdata returns the analyzer fixture root, relative to the calling
+// test's package directory.
+func Testdata(elem ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}

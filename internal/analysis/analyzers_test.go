@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"lexequal/internal/analysis"
+	"lexequal/internal/analysis/analysistest"
+)
+
+// Each golden test runs one analyzer over its fixture package and
+// checks the findings against the fixture's // want annotations in both
+// directions: a missed expectation and an unexpected finding both fail.
+
+func TestPinBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("pinbalance"), analysis.PinBalance)
+}
+
+func TestVFSOnly(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("vfsonly"), analysis.VFSOnly)
+}
+
+func TestCorruptErr(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("corrupterr"), analysis.CorruptErr)
+}
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("nopanic"), analysis.NoPanic)
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("lockcheck"), analysis.LockCheck)
+}
+
+// TestSuiteNames pins the analyzer roster: //lint:ignore annotations
+// and DESIGN.md refer to these names, so renames must be deliberate.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"pinbalance", "vfsonly", "corrupterr", "nopanic", "lockcheck"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

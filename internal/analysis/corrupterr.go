@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CorruptErr enforces wrap-tolerant error matching. The storage layer
+// classifies damage through sentinel errors (ErrCorrupt, ErrDeleted,
+// ErrStopScan, …) and concrete types (CorruptPageError), and every
+// layer above wraps errors with %w as they propagate. A comparison with
+// == or a type assertion sees only the outermost wrapper, so it works
+// in unit tests and silently stops matching the first time a call site
+// adds context — exactly the regression errors.Is/errors.As exist to
+// prevent.
+var CorruptErr = &Analyzer{
+	Name: "corrupterr",
+	Doc: "report ==/!= comparisons against error sentinels and type assertions on " +
+		"concrete error types; use errors.Is and errors.As so wrapped errors still match",
+	Run: runCorruptErr,
+}
+
+func runCorruptErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				name := sentinelName(pass.Info, n.X)
+				if name == "" {
+					name = sentinelName(pass.Info, n.Y)
+				}
+				if name == "" || inIsMethod(stack) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "comparison with %s using %s breaks once the error is wrapped; use errors.Is", name, n.Op)
+			case *ast.TypeAssertExpr:
+				if n.Type == nil {
+					return true // the `x.(type)` of a type switch; cases handled below
+				}
+				if name := concreteErrorType(pass.Info, n.X, n.Type); name != "" && !inIsMethod(stack) {
+					pass.Reportf(n.Pos(), "type assertion to %s sees only the outermost error; use errors.As", name)
+				}
+			case *ast.TypeSwitchStmt:
+				operand := typeSwitchOperand(n)
+				if operand == nil {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, t := range cc.List {
+						if name := concreteErrorType(pass.Info, operand, t); name != "" && !inIsMethod(stack) {
+							pass.Reportf(t.Pos(), "type switch case on %s sees only the outermost error; use errors.As", name)
+						}
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tv, ok := pass.Info.Types[n.Tag]
+				if !ok || !isErrorType(tv.Type) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelName(pass.Info, e); name != "" && !inIsMethod(stack) {
+							pass.Reportf(e.Pos(), "switch case matches %s by identity and breaks once the error is wrapped; use errors.Is", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName reports expr as a package-level error sentinel variable
+// (ErrCorrupt, io.EOF, …), returning its printable name or "".
+func sentinelName(info *types.Info, expr ast.Expr) string {
+	var id *ast.Ident
+	prefix := ""
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[x].(*types.PkgName); ok {
+				prefix = pn.Name() + "."
+				id = e.Sel
+			}
+		}
+	}
+	if id == nil {
+		return ""
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") && v.Name() != "EOF" {
+		return ""
+	}
+	return prefix + v.Name()
+}
+
+// concreteErrorType reports the printable type name when operand is an
+// error being asserted to a concrete (non-interface) named type whose
+// name ends in "Error", else "".
+func concreteErrorType(info *types.Info, operand, typ ast.Expr) string {
+	tv, ok := info.Types[operand]
+	if !ok || !isErrorType(tv.Type) {
+		return ""
+	}
+	t, ok := info.Types[typ]
+	if !ok {
+		return ""
+	}
+	n := namedOf(t.Type)
+	if n == nil || !strings.HasSuffix(n.Obj().Name(), "Error") {
+		return ""
+	}
+	if _, isIface := n.Underlying().(*types.Interface); isIface {
+		return ""
+	}
+	if pkg := n.Obj().Pkg(); pkg != nil {
+		return pkg.Name() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}
+
+// typeSwitchOperand extracts x from `switch y := x.(type)` or
+// `switch x.(type)`.
+func typeSwitchOperand(n *ast.TypeSwitchStmt) ast.Expr {
+	switch s := n.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	}
+	return nil
+}
+
+// inIsMethod reports whether the stack is inside an `Is` or `As` method
+// with a receiver: the errors.Is/As protocol implementations are the
+// one place identity comparison is the point.
+func inIsMethod(stack []ast.Node) bool {
+	fd := enclosingFunc(stack)
+	return fd != nil && fd.Recv != nil && (fd.Name.Name == "Is" || fd.Name.Name == "As")
+}

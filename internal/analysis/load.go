@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -json -deps -export` in dir and decodes the
+// package stream. The -export flag makes the toolchain compile every
+// listed package and report the path of its export data, which is what
+// lets us type-check from source offline: dependencies are imported
+// from compiled export data instead of being re-checked transitively.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "-export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files reported
+// by go list, through the standard library's gc importer.
+type exportImporter struct {
+	imp       types.ImporterFrom
+	importMap map[string]string // vendor/ImportMap indirection
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		imp:       importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		importMap: map[string]string{},
+	}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	return e.imp.ImportFrom(path, dir, 0)
+}
+
+// Load lists the packages matching patterns (relative to dir), parses
+// their sources, and type-checks each one against the export data of
+// its dependencies. Test files are not loaded: the invariants guard
+// library code paths.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		for from, to := range t.ImportMap {
+			imp.importMap[from] = to
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+		}
+		out = append(out, NewPackage(t.ImportPath, t.Dir, fset, files, pkg, info))
+	}
+	return out, nil
+}
+
+// TypeCheck type-checks one package's parsed files with full use/def
+// and expression-type information recorded.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewImporter returns a types.Importer resolving imports from a map of
+// import path -> export-data file (as produced by StdExports).
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newExportImporter(fset, exports)
+}
+
+// StdExports lists export data for the given import paths and all of
+// their dependencies (used by the analysistest harness, whose fixture
+// packages import only the standard library).
+func StdExports(dir string, imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList(dir, imports...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockCheck guards the two mutex invariants the concurrent paths
+// (ttp.Registry, core.Operator) rely on:
+//
+//  1. values whose type transitively contains a sync.Mutex/RWMutex (or
+//     any other stateful sync primitive) are never copied — a copied
+//     lock guards nothing;
+//  2. a goroutine holding an RWMutex read lock never calls Lock on the
+//     same mutex: the writer blocks behind its own reader, a
+//     self-deadlock that only manifests under contention.
+//
+// The upgrade check is ordered by source position within a function,
+// which matches straight-line lock/unlock protocols; branch-interleaved
+// locking that trips it can be annotated.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "report by-value copies of lock-bearing types and RWMutex read-to-write " +
+		"upgrades while the read lock is held",
+	Run: runLockCheck,
+}
+
+// syncStateful are the sync types whose value identity is their state.
+var syncStateful = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true,
+	"WaitGroup": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runLockCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockSignature(pass, n.Recv, n.Type)
+				if n.Body != nil {
+					checkRLockUpgrade(pass, n)
+				}
+			case *ast.FuncLit:
+				checkLockSignature(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				checkLockAssign(pass, n)
+			case *ast.CallExpr:
+				checkLockArgs(pass, n)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					// A `for _, v := range` value is a definition: its type
+					// lives in Defs, not Types.
+					var t types.Type
+					if tv, ok := pass.Info.Types[n.Value]; ok {
+						t = tv.Type
+					} else if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := pass.Info.ObjectOf(id); obj != nil {
+							t = obj.Type()
+						}
+					}
+					if name := lockInType(t); name != "" {
+						pass.Reportf(n.Value.Pos(), "range value copies a lock: its type contains %s; iterate by index or use pointers", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockInType reports the sync type name (e.g. "sync.RWMutex") if t
+// transitively contains a stateful sync primitive by value, else "".
+func lockInType(t types.Type) string {
+	return lockIn(t, map[*types.Named]bool{})
+}
+
+func lockIn(t types.Type, seen map[*types.Named]bool) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncStateful[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		return lockIn(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := lockIn(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockIn(t.Elem(), seen)
+	}
+	return ""
+}
+
+// checkLockSignature flags by-value receivers, parameters and results
+// whose types carry locks.
+func checkLockSignature(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ft.Params, ft.Results}
+	kinds := []string{"receiver", "parameter", "result"}
+	for i, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := types.Unalias(tv.Type).(*types.Pointer); isPtr {
+				continue
+			}
+			if name := lockInType(tv.Type); name != "" {
+				pass.Reportf(field.Type.Pos(), "%s passes a lock by value: the type contains %s; use a pointer", kinds[i], name)
+			}
+		}
+	}
+}
+
+// copyish reports whether e produces a fresh value rather than copying
+// an existing one: composite literals and call results are births, not
+// copies.
+func copyish(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return false
+	case *ast.ParenExpr:
+		return copyish(e.X)
+	}
+	return true
+}
+
+func checkLockAssign(pass *Pass, n *ast.AssignStmt) {
+	for _, rhs := range n.Rhs {
+		if !copyish(rhs) {
+			continue
+		}
+		tv, ok := pass.Info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if name := lockInType(tv.Type); name != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies a lock: the value's type contains %s; use a pointer", name)
+		}
+	}
+}
+
+func checkLockArgs(pass *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if !copyish(arg) {
+			continue
+		}
+		tv, ok := pass.Info.Types[arg]
+		if !ok {
+			continue
+		}
+		if name := lockInType(tv.Type); name != "" {
+			pass.Reportf(arg.Pos(), "call passes a lock by value: the argument's type contains %s; pass a pointer", name)
+		}
+	}
+}
+
+// lockEvent is one RWMutex operation, ordered by source position.
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // printable receiver expression, e.g. "op.mu"
+	op       string // RLock, RUnlock, Lock
+	deferred bool
+}
+
+// checkRLockUpgrade walks one function's RWMutex calls in source order
+// and reports Lock while the same receiver's read lock is still held. A
+// deferred RUnlock does not release until return, so it never clears
+// the held state.
+func checkRLockUpgrade(pass *Pass, fd *ast.FuncDecl) {
+	var events []lockEvent
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		op := sel.Sel.Name
+		if op != "RLock" && op != "RUnlock" && op != "Lock" {
+			return true
+		}
+		named := namedOf(pass.Info.Types[sel.X].Type)
+		if named == nil || named.Obj().Pkg() == nil ||
+			named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "RWMutex" {
+			return true
+		}
+		deferred := false
+		if len(stack) > 0 {
+			if d, ok := stack[len(stack)-1].(*ast.DeferStmt); ok && d.Call == call {
+				deferred = true
+			}
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			recv:     types.ExprString(sel.X),
+			op:       op,
+			deferred: deferred,
+		})
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]bool{}
+	for _, e := range events {
+		switch {
+		case e.op == "RLock" && !e.deferred:
+			held[e.recv] = true
+		case e.op == "RUnlock" && !e.deferred:
+			held[e.recv] = false
+		case e.op == "Lock" && held[e.recv]:
+			pass.Reportf(e.pos, "%s.Lock() while its read lock is held: an RWMutex cannot be upgraded and this deadlocks under contention", e.recv)
+		}
+	}
+}

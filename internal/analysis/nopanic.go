@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noPanicScopes are the package names treated as library code paths:
+// a panic or a silently dropped error inside them takes down or
+// corrupts a query instead of failing it cleanly.
+var noPanicScopes = map[string]bool{"store": true, "db": true, "sql": true}
+
+// NoPanic keeps errors flowing through return values in the engine's
+// library packages. Two shapes are flagged: calls to the panic builtin,
+// and statement-position calls whose final error result is implicitly
+// dropped. An explicit `_ =` assignment is the sanctioned way to state
+// "this error is intentionally unhandled"; a deliberate invariant panic
+// carries a //lint:ignore annotation with its justification.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "report panics and implicitly dropped error results in store/db/sql " +
+		"library code; errors must propagate to the query layer",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	if !noPanicScopes[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if pass.Info.Uses[id] == types.Universe.Lookup("panic") {
+						pass.Reportf(n.Pos(), "panic in library code path; propagate an error instead (or annotate the invariant with lint:ignore)")
+					}
+				}
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := droppedErrorCall(pass.Info, call); name != "" {
+					pass.Reportf(n.Pos(), "error result of %s is silently dropped; handle it or assign it to _ explicitly", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// infallibleRecv lists receiver types whose error-returning methods are
+// documented to never fail (the same carve-out errcheck ships with):
+// flagging them would train people to scatter meaningless `_ =`.
+func infallibleRecv(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (pkg == "strings" && name == "Builder") ||
+		(pkg == "bytes" && name == "Buffer") ||
+		pkg == "hash"
+}
+
+// droppedErrorCall reports the printable callee when call's final
+// result is an error being discarded by statement position, else "".
+func droppedErrorCall(info *types.Info, call *ast.CallExpr) string {
+	tv, ok := info.Types[call]
+	if !ok {
+		return ""
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if rtv, ok := info.Types[sel.X]; ok && infallibleRecv(rtv.Type) {
+			return ""
+		}
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return ""
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	if !isErrorType(last) {
+		return ""
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PinBalance enforces the pager pin protocol: every page returned
+// pinned by Pager.Get or Pager.Allocate must either be released with
+// Unpin in the same function (a deferred Unpin counts, covering every
+// early return) or visibly transfer ownership — returned, stored, or
+// passed to another function, which makes the callee responsible.
+//
+// The check is a per-function heuristic, not a path-sensitive proof: it
+// catches the common leak (a pinned page that no code path ever
+// unpins, which permanently shrinks the buffer pool and eventually
+// starves it into ErrPoolExhausted) without false-flagging the
+// branch-heavy release patterns the B-tree uses.
+var PinBalance = &Analyzer{
+	Name: "pinbalance",
+	Doc: "report pages pinned by Pager.Get/Allocate that are never unpinned " +
+		"and never escape the pinning function",
+	Run: runPinBalance,
+}
+
+func runPinBalance(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPinBalance(pass, fd)
+		}
+	}
+	return nil
+}
+
+// pinSite is one Get/Allocate call whose pinned result is bound to a
+// local variable.
+type pinSite struct {
+	call   *ast.CallExpr
+	method string
+	obj    types.Object // the page variable; nil when discarded
+}
+
+func checkPinBalance(pass *Pass, fd *ast.FuncDecl) {
+	var sites []pinSite
+	// unpinned[obj] will flip to true when an Unpin(obj) call is seen;
+	// escaped[obj] when the page leaves the function's hands.
+	unpinned := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method := ""
+		if methodCallOn(pass.Info, call, "Pager", "Get") != nil {
+			method = "Get"
+		} else if methodCallOn(pass.Info, call, "Pager", "Allocate") != nil {
+			method = "Allocate"
+		}
+		if method == "" {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		switch p := parent.(type) {
+		case *ast.AssignStmt:
+			// p, err := pg.Get(id): bind the page variable.
+			if len(p.Rhs) == 1 && p.Rhs[0] == call && len(p.Lhs) >= 1 {
+				if id, ok := p.Lhs[0].(*ast.Ident); ok {
+					if id.Name == "_" {
+						pass.Reportf(call.Pos(), "pinned page from Pager.%s is discarded; the pin can never be released", method)
+						return true
+					}
+					sites = append(sites, pinSite{call: call, method: method, obj: pass.Info.ObjectOf(id)})
+					return true
+				}
+			}
+			// Assigned into a field or index: ownership stored away.
+			return true
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of Pager.%s is discarded; the pinned page leaks", method)
+			return true
+		default:
+			// Return value, call argument, etc.: ownership transfers to
+			// whoever receives the page.
+			return true
+		}
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	tracked := map[types.Object]bool{}
+	for _, s := range sites {
+		if s.obj != nil {
+			tracked[s.obj] = true
+		}
+	}
+
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		// Unpin(p) balances p, deferred or not.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if methodCallOn(pass.Info, call, "Pager", "Unpin") != nil && len(call.Args) == 1 {
+				if id, ok := call.Args[0].(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); tracked[obj] {
+						unpinned[obj] = true
+					}
+				}
+			}
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.ObjectOf(id)
+		if !tracked[obj] || len(stack) == 0 {
+			return true
+		}
+		if pinEscapes(id, stack) {
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	for _, s := range sites {
+		if s.obj == nil || unpinned[s.obj] || escaped[s.obj] {
+			continue
+		}
+		pass.Reportf(s.call.Pos(), "page %q pinned by Pager.%s is never unpinned in %s (defer Unpin, or hand the page off)",
+			s.obj.Name(), s.method, fd.Name.Name)
+		// One report per variable is enough.
+		unpinned[s.obj] = true
+	}
+}
+
+// pinEscapes classifies one use of a tracked page variable: does this
+// occurrence hand the page to code outside the function's own
+// statements?
+func pinEscapes(id *ast.Ident, stack []ast.Node) bool {
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// p.Data, p.ID, p.MarkDirty(): plain use of the page.
+		return false
+	case *ast.IndexExpr, *ast.SliceExpr, *ast.BinaryExpr, *ast.IfStmt,
+		*ast.SwitchStmt, *ast.CaseClause, *ast.ParenExpr, *ast.StarExpr:
+		return false
+	case *ast.AssignStmt:
+		// On the left: reassignment of the variable (p = nil). On the
+		// right: the page value flows into another binding.
+		for _, l := range p.Lhs {
+			if l == id {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		// Argument position (the Unpin case was consumed by the caller
+		// before descending here). The callee now shares the page.
+		for _, a := range p.Args {
+			if a == id {
+				return true
+			}
+		}
+		return false
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
+		return true
+	case *ast.UnaryExpr:
+		return true // &p and friends
+	default:
+		// Unknown context: assume it escapes rather than false-flag.
+		return true
+	}
+}

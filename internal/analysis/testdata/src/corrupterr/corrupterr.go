@@ -1,0 +1,66 @@
+// Package corrupterr is the golden fixture for the corrupterr analyzer.
+package corrupterr
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrCorrupt = errors.New("corrupt data")
+
+type CorruptPageError struct{ Page uint32 }
+
+func (e *CorruptPageError) Error() string { return "corrupt page" }
+
+// Is implements the errors.Is protocol; identity comparison is the
+// point here and must not be flagged.
+func (e *CorruptPageError) Is(target error) bool { return target == ErrCorrupt }
+
+func compares(err error) bool {
+	if err == ErrCorrupt { // want `comparison with ErrCorrupt using == breaks once the error is wrapped; use errors\.Is`
+		return true
+	}
+	return err != io.EOF // want `comparison with io\.EOF using != breaks once the error is wrapped`
+}
+
+func asserts(err error) uint32 {
+	if pe, ok := err.(*CorruptPageError); ok { // want `type assertion to corrupterr\.CorruptPageError sees only the outermost error; use errors\.As`
+		return pe.Page
+	}
+	return 0
+}
+
+func typeSwitches(err error) string {
+	switch err.(type) {
+	case *CorruptPageError: // want `type switch case on corrupterr\.CorruptPageError sees only the outermost error`
+		return "corrupt"
+	default:
+		return "other"
+	}
+}
+
+func valueSwitches(err error) string {
+	switch err {
+	case ErrCorrupt: // want `switch case matches ErrCorrupt by identity and breaks once the error is wrapped; use errors\.Is`
+		return "corrupt"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func matchesProperly(err error) (uint32, bool) {
+	var pe *CorruptPageError
+	if errors.As(err, &pe) {
+		return pe.Page, true
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return 0, true
+	}
+	return 0, err == nil // nil comparisons are fine
+}
+
+func suppressedIdentity(err error) bool {
+	//lint:ignore corrupterr the decoder returns its own unwrapped sentinel
+	return err == ErrCorrupt
+}

@@ -1,0 +1,85 @@
+// Package lockcheck is the golden fixture for the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func byValueParam(g guarded) int { // want `parameter passes a lock by value: the type contains sync\.Mutex; use a pointer`
+	return g.count
+}
+
+func byValueResult() (g guarded) { // want `result passes a lock by value: the type contains sync\.Mutex`
+	return
+}
+
+func (g guarded) byValueReceiver() int { // want `receiver passes a lock by value: the type contains sync\.Mutex; use a pointer`
+	return g.count
+}
+
+func (g *guarded) increment() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.count++
+}
+
+func births() *guarded {
+	g := guarded{} // a composite literal is a fresh value, not a copy
+	return &g
+}
+
+func copies(g *guarded) {
+	snapshot := *g // want `assignment copies a lock: the value's type contains sync\.Mutex; use a pointer`
+	_ = &snapshot
+}
+
+func consume(g guarded) {} // want `parameter passes a lock by value`
+
+func passesByValue(g *guarded) {
+	consume(*g) // want `call passes a lock by value: the argument's type contains sync\.Mutex; pass a pointer`
+}
+
+func iterates(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies a lock: its type contains sync\.Mutex; iterate by index or use pointers`
+		total += g.count
+	}
+	return total
+}
+
+func (r *registry) lookupThenInsert(key string) int {
+	r.mu.RLock()
+	v, ok := r.m[key]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock() // the read lock was released above: not an upgrade
+	defer r.mu.Unlock()
+	r.m[key] = 1
+	return 1
+}
+
+func (r *registry) upgrades(key string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.m[key]; !ok {
+		r.mu.Lock() // want `r\.mu\.Lock\(\) while its read lock is held: an RWMutex cannot be upgraded`
+		r.m[key] = 1
+		r.mu.Unlock()
+	}
+}
+
+func suppressedCopy(g *guarded) {
+	//lint:ignore lockcheck the registry is quiescent while snapshotting
+	snapshot := *g
+	_ = &snapshot
+}

@@ -1,0 +1,61 @@
+// Package store is the golden fixture for the nopanic analyzer: the
+// package *name* places it in the library-code scope.
+package store
+
+import "strings"
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func panics(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic in library code path; propagate an error instead`
+	}
+	return n
+}
+
+func dropsError() {
+	var c closer
+	c.Close() // want `error result of c\.Close is silently dropped; handle it or assign it to _ explicitly`
+}
+
+func handlesError() error {
+	var c closer
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard() {
+	var c closer
+	_ = c.Close() // an explicit discard states the intent; allowed
+}
+
+func deferredClose() error {
+	var c closer
+	defer c.Close() // defers are structurally exempt
+	return nil
+}
+
+func infallibleBuilder() string {
+	var b strings.Builder
+	b.WriteByte('x') // strings.Builder writes never fail: carved out
+	return b.String()
+}
+
+func justifiedPanic(ok bool) {
+	if !ok {
+		//lint:ignore nopanic a pin-protocol violation is a programming error
+		panic("invariant violated")
+	}
+}
+
+func unexplainedSuppression(ok bool) {
+	if !ok {
+		// An annotation without a reason does not suppress.
+		//lint:ignore nopanic
+		panic("no reason given") // want `panic in library code path`
+	}
+}

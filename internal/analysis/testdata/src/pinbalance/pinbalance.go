@@ -1,0 +1,91 @@
+// Package pinbalance is the golden fixture for the pinbalance analyzer.
+// Page and Pager mirror the store types, which the analyzer matches by
+// type name so fixtures need not import the engine.
+package pinbalance
+
+type Page struct {
+	ID   uint32
+	Data []byte
+}
+
+type Pager struct{}
+
+func (*Pager) Get(id uint32) (*Page, error) { return &Page{ID: id}, nil }
+func (*Pager) Allocate() (*Page, error)     { return &Page{}, nil }
+func (*Pager) Unpin(p *Page)                {}
+
+func deferredUnpin(pg *Pager) error {
+	p, err := pg.Get(1)
+	if err != nil {
+		return err
+	}
+	defer pg.Unpin(p)
+	p.Data[0] = 1
+	return nil
+}
+
+func directUnpin(pg *Pager) error {
+	p, err := pg.Allocate()
+	if err != nil {
+		return err
+	}
+	p.Data[0] = 1
+	pg.Unpin(p)
+	return nil
+}
+
+func handedOff(pg *Pager) (*Page, error) {
+	p, err := pg.Get(2)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil // ownership transfers to the caller
+}
+
+func passedAlong(pg *Pager, sink func(*Page)) error {
+	p, err := pg.Get(3)
+	if err != nil {
+		return err
+	}
+	sink(p) // the callee is now responsible for the pin
+	return nil
+}
+
+type cursor struct{ page *Page }
+
+func storedAway(pg *Pager, c *cursor) error {
+	var err error
+	c.page, err = pg.Get(4) // pin ownership moves into the cursor
+	return err
+}
+
+func rebound(pg *Pager) *Page {
+	p, err := pg.Get(5)
+	if err != nil {
+		return nil
+	}
+	q := p // flowing into another binding counts as a hand-off
+	return q
+}
+
+func leaks(pg *Pager) byte {
+	p, err := pg.Get(6) // want `page "p" pinned by Pager\.Get is never unpinned in leaks`
+	if err != nil {
+		return 0
+	}
+	return p.Data[0]
+}
+
+func discards(pg *Pager) {
+	_, _ = pg.Get(7) // want `pinned page from Pager\.Get is discarded; the pin can never be released`
+	pg.Allocate()    // want `result of Pager\.Allocate is discarded; the pinned page leaks`
+}
+
+func pinnedForLife(pg *Pager) byte {
+	//lint:ignore pinbalance the meta page stays pinned for the pager's lifetime
+	p, err := pg.Get(8)
+	if err != nil {
+		return 0
+	}
+	return p.Data[0]
+}

@@ -1,0 +1,31 @@
+// Package store is the golden fixture for the vfsonly analyzer: the
+// package *name* places it in scope, matching internal/store.
+package store
+
+import "os"
+
+func reads(path string) ([]byte, error) {
+	f, err := os.Open(path) // want `direct os\.Open bypasses the store\.VFS seam`
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path) // want `direct os\.ReadFile bypasses the store\.VFS seam`
+}
+
+func writes(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os\.WriteFile bypasses the store\.VFS seam`
+}
+
+func allowedHelpers(err error) bool {
+	// Pure classification helpers and flag constants touch no
+	// filesystem state and are not flagged.
+	_ = os.O_RDWR
+	return os.IsNotExist(err)
+}
+
+func suppressedProbe(path string) bool {
+	//lint:ignore vfsonly the lock-file probe is advisory and test-only
+	_, err := os.Stat(path)
+	return err == nil
+}

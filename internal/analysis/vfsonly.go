@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// vfsScopes are the package names whose file I/O must go through the
+// store.VFS seam. Anything these packages do behind the seam's back is
+// invisible to FaultFS, which silently shrinks the crash-consistency
+// sweeps' coverage.
+var vfsScopes = map[string]bool{"store": true, "db": true}
+
+// vfsSeamFile is the one file per package allowed to touch the os
+// package directly: the seam implementation itself.
+const vfsSeamFile = "vfs.go"
+
+// osFileFuncs are the os functions that read or mutate the filesystem.
+// Pure path helpers (os.IsNotExist, os.Getenv, …) and constants
+// (os.O_RDWR) are not listed.
+var osFileFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "NewFile": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Stat": true, "Lstat": true, "Chmod": true, "Chtimes": true,
+	"Link": true, "Symlink": true, "ReadLink": true, "Readlink": true,
+}
+
+// VFSOnly forbids direct os file I/O in the storage packages outside
+// the seam file, so every byte the engine moves is observable (and
+// faultable) through store.VFS.
+var VFSOnly = &Analyzer{
+	Name: "vfsonly",
+	Doc: "report direct os file I/O in the store/db packages outside vfs.go; " +
+		"all engine I/O must flow through the store.VFS seam so fault injection stays exhaustive",
+	Run: runVFSOnly,
+}
+
+func runVFSOnly(pass *Pass) error {
+	if !vfsScopes[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Filename(file.Pos())) == vfsSeamFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := pkgFuncName(pass.Info, call, "os"); osFileFuncs[name] {
+				pass.Reportf(call.Pos(), "direct os.%s bypasses the store.VFS seam; route it through a VFS so fault injection sees this I/O", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

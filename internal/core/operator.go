@@ -188,7 +188,11 @@ func (op *Operator) Threshold() float64 { return op.threshold }
 // comparison.
 func (op *Operator) Transform(text string, lang script.Language) (phoneme.String, error) {
 	key := cacheKey{lang, text}
-	if op.cache != nil {
+	// cacheCap is immutable after New, so it gates cache use without a
+	// lock; the cache map itself (reassigned wholesale on reset) is only
+	// ever touched under op.mu.
+	cached := op.cacheCap > 0
+	if cached {
 		op.mu.RLock()
 		s, ok := op.cache[key]
 		op.mu.RUnlock()
@@ -200,7 +204,7 @@ func (op *Operator) Transform(text string, lang script.Language) (phoneme.String
 	if err != nil {
 		return nil, err
 	}
-	if op.cache != nil {
+	if cached {
 		op.mu.Lock()
 		if len(op.cache) >= op.cacheCap {
 			// Wholesale reset: simple, bounded, and the workloads here

@@ -2,6 +2,7 @@ package db
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -108,12 +109,12 @@ func OpenWithCache(dir string, cachePages int) (*DB, error) {
 
 // OpenOpts opens a database with full options.
 func OpenOpts(dir string, opts Options) (*DB, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("db: create dir: %w", err)
-	}
 	fs := opts.FS
 	if fs == nil {
 		fs = store.OSFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("db: create dir: %w", err)
 	}
 	d := &DB{
 		dir:        dir,
@@ -129,16 +130,14 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 	for _, td := range cat.Tables {
 		h, err := store.OpenHeapFS(d.heapPath(td.Name), d.cachePages, d.fs)
 		if err != nil {
-			d.Close()
-			return nil, err
+			return nil, errors.Join(err, d.Close())
 		}
 		d.tables[strings.ToLower(td.Name)] = &Table{Name: td.Name, Columns: td.Columns, Heap: h, db: d}
 	}
 	for _, id := range cat.Indexes {
 		bt, err := store.OpenBTreeFS(d.indexPath(id.Name), d.cachePages, d.fs)
 		if err != nil {
-			d.Close()
-			return nil, err
+			return nil, errors.Join(err, d.Close())
 		}
 		d.indexes[strings.ToLower(id.Name)] = &Index{Def: id, Tree: bt}
 	}
@@ -155,8 +154,8 @@ func (d *DB) indexPath(index string) string {
 
 func (d *DB) loadCatalog() (catalogFile, error) {
 	var cat catalogFile
-	data, err := os.ReadFile(d.catalogPath())
-	if os.IsNotExist(err) {
+	data, err := store.ReadFile(d.fs, d.catalogPath())
+	if errors.Is(err, os.ErrNotExist) {
 		return cat, nil
 	}
 	if err != nil {
@@ -191,12 +190,10 @@ func (d *DB) saveCatalog() error {
 		return fmt.Errorf("db: write catalog: %w", err)
 	}
 	if _, err := f.WriteAt(data, 0); err != nil {
-		f.Close()
-		return fmt.Errorf("db: write catalog: %w", err)
+		return errors.Join(fmt.Errorf("db: write catalog: %w", err), f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("db: sync catalog: %w", err)
+		return errors.Join(fmt.Errorf("db: sync catalog: %w", err), f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("db: close catalog: %w", err)
@@ -267,24 +264,26 @@ func (d *DB) Tables() []string {
 	return out
 }
 
-// DropTable removes a table, its heap file and its indexes.
+// DropTable removes a table, its heap file and its indexes. The table
+// is always dropped from the catalog; close/remove errors on the
+// backing files are collected and returned alongside.
 func (d *DB) DropTable(name string) error {
 	key := strings.ToLower(name)
 	t, ok := d.tables[key]
 	if !ok {
 		return fmt.Errorf("db: no table %q", name)
 	}
-	t.Heap.Close()
+	errs := []error{t.Heap.Close()}
 	delete(d.tables, key)
-	d.fs.Remove(d.heapPath(name))
+	errs = append(errs, d.fs.Remove(d.heapPath(name)))
 	for ikey, ix := range d.indexes {
 		if strings.EqualFold(ix.Def.Table, name) {
-			ix.Tree.Close()
-			d.fs.Remove(d.indexPath(ix.Def.Name))
+			errs = append(errs, ix.Tree.Close(), d.fs.Remove(d.indexPath(ix.Def.Name)))
 			delete(d.indexes, ikey)
 		}
 	}
-	return d.saveCatalog()
+	errs = append(errs, d.saveCatalog())
+	return errors.Join(errs...)
 }
 
 // Insert appends a row after checking it against the schema.
@@ -380,9 +379,7 @@ func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
 		return bt.Insert(uint64(row[ci].I), rid.Pack())
 	})
 	if err != nil {
-		bt.Close()
-		d.fs.Remove(d.indexPath(name))
-		return nil, err
+		return nil, errors.Join(err, bt.Close(), d.fs.Remove(d.indexPath(name)))
 	}
 	d.indexes[key] = ix
 	if err := d.saveCatalog(); err != nil {

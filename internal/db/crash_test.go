@@ -241,10 +241,12 @@ func runAtomicCrashCase(t *testing.T, op *core.Operator, fs *store.FaultFS) {
 	}
 	defer d.Close()
 	if err != nil {
-		// Failed build: dir may exist (MkdirAll ran before the fault)
-		// but must be an empty database, not a partial one.
+		// Failed build: the published dir may exist in exactly two
+		// shapes — an empty database (the fault hit before the load) or
+		// a complete one (the fault hit after the publish rename, in the
+		// final parent-dir sync). A partial load is never acceptable.
 		if got := d.Tables(); len(got) != 0 {
-			t.Errorf("failed build published tables %v", got)
+			verifyComplete(t, d, "post-publish crash")
 		}
 		return
 	}

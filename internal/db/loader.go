@@ -1,8 +1,8 @@
 package db
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 
@@ -24,7 +24,7 @@ func BuildAtomic(dir string, opts Options, build func(*DB) error) error {
 		fs = store.OSFS{}
 	}
 	stage := dir + ".building"
-	if err := os.RemoveAll(stage); err != nil {
+	if err := fs.RemoveAll(stage); err != nil {
 		return fmt.Errorf("db: clear stage dir: %w", err)
 	}
 	d, err := OpenOpts(stage, opts)
@@ -32,20 +32,23 @@ func BuildAtomic(dir string, opts Options, build func(*DB) error) error {
 		return err
 	}
 	if err := build(d); err != nil {
-		d.Close()
-		return err
+		return errors.Join(err, d.Close())
 	}
 	if err := d.Close(); err != nil {
 		return err
 	}
-	syncDir(stage)
+	if err := store.SyncDir(fs, stage); err != nil {
+		return fmt.Errorf("db: sync stage dir: %w", err)
+	}
 
 	// Publish. If dir already exists, park it aside so a failed rename
 	// can restore it.
 	old := dir + ".old"
 	replaced := false
-	if _, err := os.Stat(dir); err == nil {
-		os.RemoveAll(old)
+	if _, err := fs.Stat(dir); err == nil {
+		if err := fs.RemoveAll(old); err != nil {
+			return fmt.Errorf("db: clear parking dir: %w", err)
+		}
 		if err := fs.Rename(dir, old); err != nil {
 			return fmt.Errorf("db: park previous db: %w", err)
 		}
@@ -53,24 +56,25 @@ func BuildAtomic(dir string, opts Options, build func(*DB) error) error {
 	}
 	if err := fs.Rename(stage, dir); err != nil {
 		if replaced {
-			fs.Rename(old, dir) // best-effort restore
+			//lint:ignore nopanic best-effort restore of the parked db; the publish error is what matters
+			fs.Rename(old, dir)
 		}
 		return fmt.Errorf("db: publish db: %w", err)
 	}
 	if replaced {
-		os.RemoveAll(old)
+		if err := fs.RemoveAll(old); err != nil {
+			return fmt.Errorf("db: clear parked db: %w", err)
+		}
 	}
-	syncDir(filepath.Dir(dir))
+	// The parent-dir sync makes the publish rename itself durable. It
+	// runs after the point of no return: on failure the new database is
+	// fully readable but the rename may roll back to the previous state
+	// after a power loss — report it so the caller can retry. A crash
+	// here can never expose a partial load.
+	if err := store.SyncDir(fs, filepath.Dir(dir)); err != nil {
+		return fmt.Errorf("db: sync parent dir (published db may not survive power loss): %w", err)
+	}
 	return nil
-}
-
-// syncDir fsyncs a directory so renames inside it are durable. Best
-// effort: directory fsync is not supported everywhere.
-func syncDir(path string) {
-	if f, err := os.Open(path); err == nil {
-		f.Sync()
-		f.Close()
-	}
 }
 
 // NameTableSpec controls CreateNameTable.
@@ -202,8 +206,7 @@ func buildCoverIndex(d *DB, name string, aux *Table) error {
 		return bt.Insert(uint64(row[hashCol].I), CoverValue(row[idCol].I, int(row[posCol].I)))
 	})
 	if err != nil {
-		bt.Close()
-		return err
+		return errors.Join(err, bt.Close())
 	}
 	d.indexes[strings.ToLower(idxName)] = &Index{
 		Def:  IndexDef{Name: idxName, Table: aux.Name, Column: coverColumn},

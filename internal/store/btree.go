@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -57,14 +58,12 @@ func OpenBTreeFS(path string, cachePages int, fs VFS) (*BTree, error) {
 	if pg.NumPages() == 0 {
 		meta, err := pg.Allocate()
 		if err != nil {
-			pg.Close()
-			return nil, err
+			return nil, errors.Join(err, pg.Close())
 		}
 		root, err := pg.Allocate()
 		if err != nil {
 			pg.Unpin(meta)
-			pg.Close()
-			return nil, err
+			return nil, errors.Join(err, pg.Close())
 		}
 		initLeaf(root, InvalidPage)
 		t.root = root.ID
@@ -76,13 +75,12 @@ func OpenBTreeFS(path string, cachePages int, fs VFS) (*BTree, error) {
 	}
 	meta, err := pg.Get(0)
 	if err != nil {
-		pg.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close())
 	}
 	defer pg.Unpin(meta)
 	if binary.LittleEndian.Uint32(meta.Data[0:]) != btreeMagic {
-		pg.Close()
-		return nil, &CorruptFileError{Path: path, Reason: "not a btree file (bad magic)"}
+		corrupt := &CorruptFileError{Path: path, Reason: "not a btree file (bad magic)"}
+		return nil, errors.Join(corrupt, pg.Close())
 	}
 	t.root = PageID(binary.LittleEndian.Uint32(meta.Data[4:]))
 	t.count = binary.LittleEndian.Uint64(meta.Data[8:])
@@ -545,7 +543,7 @@ func (t *BTree) Range(lo, hi uint64, fn func(key, value uint64) error) error {
 			break
 		}
 		if err := fn(k, v); err != nil {
-			if err == ErrStopScan {
+			if errors.Is(err, ErrStopScan) {
 				return nil
 			}
 			return err

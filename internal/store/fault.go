@@ -124,6 +124,30 @@ func (fs *FaultFS) Remove(path string) error {
 	return fs.base().Remove(path)
 }
 
+// RemoveAll implements VFS.
+func (fs *FaultFS) RemoveAll(path string) error {
+	if fs.tripped {
+		return fs.down("remove all " + path)
+	}
+	return fs.base().RemoveAll(path)
+}
+
+// Stat implements VFS.
+func (fs *FaultFS) Stat(path string) (os.FileInfo, error) {
+	if fs.tripped {
+		return nil, fs.down("stat " + path)
+	}
+	return fs.base().Stat(path)
+}
+
+// MkdirAll implements VFS.
+func (fs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if fs.tripped {
+		return fs.down("mkdir " + path)
+	}
+	return fs.base().MkdirAll(path, perm)
+}
+
 type faultFile struct {
 	fs   *FaultFS
 	f    File

@@ -75,8 +75,7 @@ func OpenHeapFS(path string, cachePages int, fs VFS) (*HeapFile, error) {
 	if pg.NumPages() == 0 {
 		meta, err := pg.Allocate()
 		if err != nil {
-			pg.Close()
-			return nil, err
+			return nil, errors.Join(err, pg.Close())
 		}
 		binary.LittleEndian.PutUint32(meta.Data[0:], heapMagic)
 		h.lastPage = InvalidPage
@@ -86,13 +85,12 @@ func OpenHeapFS(path string, cachePages int, fs VFS) (*HeapFile, error) {
 	}
 	meta, err := pg.Get(0)
 	if err != nil {
-		pg.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close())
 	}
 	defer pg.Unpin(meta)
 	if binary.LittleEndian.Uint32(meta.Data[0:]) != heapMagic {
-		pg.Close()
-		return nil, &CorruptFileError{Path: path, Reason: "not a heap file (bad magic)"}
+		corrupt := &CorruptFileError{Path: path, Reason: "not a heap file (bad magic)"}
+		return nil, errors.Join(corrupt, pg.Close())
 	}
 	h.lastPage = PageID(binary.LittleEndian.Uint32(meta.Data[4:]))
 	h.count = binary.LittleEndian.Uint64(meta.Data[8:])
@@ -276,7 +274,7 @@ func (h *HeapFile) Delete(rid RID) error {
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
 	for id := PageID(1); uint32(id) < h.pg.NumPages(); id++ {
 		if err := h.ScanPage(id, fn); err != nil {
-			if err == ErrStopScan {
+			if errors.Is(err, ErrStopScan) {
 				return nil
 			}
 			return err

@@ -113,13 +113,12 @@ func OpenPagerFS(path string, capacity int, fs VFS) (*Pager, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: stat %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("store: stat %s: %w", path, err), f.Close())
 	}
 	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, &CorruptFileError{Path: path,
+		corrupt := &CorruptFileError{Path: path,
 			Reason: fmt.Sprintf("size %d is not page aligned (truncated write?)", st.Size())}
+		return nil, errors.Join(corrupt, f.Close())
 	}
 	return &Pager{
 		f:        f,
@@ -215,7 +214,7 @@ func (pg *Pager) Get(id PageID) (*Page, error) {
 	}
 	if _, err := pg.f.ReadAt(p.Data[:], int64(id)*PageSize); err != nil {
 		delete(pg.cache, id)
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, &CorruptPageError{Path: pg.path, Page: id, Reason: "page lies beyond end of file (truncated)"}
 		}
 		return nil, fmt.Errorf("store: read page %d of %s: %w", id, pg.path, err)
@@ -267,7 +266,11 @@ func (pg *Pager) fault(id PageID) (*Page, error) {
 // Unpin releases one pin. Unpinned pages become evictable.
 func (pg *Pager) Unpin(p *Page) {
 	if p.pins <= 0 {
-		panic("store: unpin of unpinned page") // caller bug, not data-dependent
+		// An unbalanced Unpin is a caller bug (the pinbalance analyzer
+		// guards the callers), never data-dependent; failing loudly here
+		// is the same contract as sync.Mutex.Unlock of an unlocked mutex.
+		//lint:ignore nopanic pin-protocol violation is a programming error, not a runtime condition
+		panic("store: unpin of unpinned page")
 	}
 	p.pins--
 	if p.pins == 0 {

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -17,14 +18,20 @@ type File interface {
 	Stat() (os.FileInfo, error)
 }
 
-// VFS opens files and performs the two directory operations the engine
+// VFS opens files and performs the directory operations the engine
 // relies on for atomic publication. Implementations must be usable for
 // many files at once (a database directory holds one file per table and
-// index plus the catalog).
+// index plus the catalog). Every byte the engine reads or writes goes
+// through a VFS — nothing in internal/store or internal/db may call the
+// os package directly (the vfsonly analyzer enforces this) — so fault
+// injection (FaultFS) observes the complete I/O sequence.
 type VFS interface {
 	OpenFile(path string, flag int, perm os.FileMode) (File, error)
 	Rename(oldPath, newPath string) error
 	Remove(path string) error
+	RemoveAll(path string) error
+	Stat(path string) (os.FileInfo, error)
+	MkdirAll(path string, perm os.FileMode) error
 }
 
 // OSFS is the production VFS: plain os calls.
@@ -40,6 +47,48 @@ func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, ne
 
 // Remove implements VFS.
 func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// RemoveAll implements VFS.
+func (OSFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// Stat implements VFS.
+func (OSFS) Stat(path string) (os.FileInfo, error) { return os.Stat(path) }
+
+// MkdirAll implements VFS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadFile reads the whole file at path through fs, the VFS analogue of
+// os.ReadFile.
+func ReadFile(fs VFS, path string) ([]byte, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, errors.Join(err, f.Close())
+	}
+	data := make([]byte, st.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && !errors.Is(err, io.EOF) {
+		return nil, errors.Join(err, f.Close())
+	}
+	return data, f.Close()
+}
+
+// SyncDir fsyncs the directory at path through fs, making renames
+// inside it durable. Opening a directory read-only and calling Sync is
+// supported on the platforms the engine targets; callers on exotic
+// filesystems may treat the error as advisory.
+func SyncDir(fs VFS, path string) error {
+	d, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return errors.Join(err, d.Close())
+	}
+	return d.Close()
+}
 
 // ErrCorrupt is the sentinel all corruption errors match with
 // errors.Is: page checksum mismatches, format-version mismatches,

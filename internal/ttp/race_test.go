@@ -1,0 +1,45 @@
+package ttp
+
+import (
+	"sync"
+	"testing"
+
+	"lexequal/internal/script"
+)
+
+// TestRegistryConcurrent exercises the registry's reader/writer paths
+// from concurrent goroutines: Register replaces a converter while other
+// goroutines convert, probe, and list. The test is meaningful under
+// `make race`; it guards the RWMutex discipline in Registry.
+func TestRegistryConcurrent(t *testing.T) {
+	r := Default()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Register(NewEnglish())
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !r.Has(script.English) {
+					t.Error("english converter missing mid-run")
+					return
+				}
+				if _, err := r.Convert("sample", script.English); err != nil {
+					t.Errorf("Convert: %v", err)
+					return
+				}
+				if langs := r.Languages(); len(langs) == 0 {
+					t.Error("Languages() returned none")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
