@@ -6,7 +6,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke ci clean
+.PHONY: all build vet lint test race fuzz-smoke bench ci clean
 
 all: build
 
@@ -28,13 +28,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Quick run of the §5 workload benchmark (DESIGN.md §9). Writes
+# BENCH_PR3.json and fails if any parallel run diverges from serial,
+# so it doubles as a determinism smoke test.
+bench:
+	$(GO) run ./cmd/lexequalbench -quick -out BENCH_PR3.json
+
 # Run each native fuzz target briefly; a regression in either parser
 # robustness or TTP conversion shows up here before a long fuzz run.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSQLParse -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz FuzzTTPConvert -fuzztime $(FUZZTIME) ./internal/ttp/
 
-ci: vet build lint race fuzz-smoke
+ci: vet build lint race fuzz-smoke bench
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,274 @@
+// Command lexequalbench measures the §5-shaped matching workloads
+// (naive scan vs q-gram filtering vs phonetic indexing, selections and
+// self-joins) serially and on the morsel-driven parallel pipeline, and
+// writes a machine-readable report. It is the acceptance harness of the
+// parallel pipeline: besides timing, it re-checks that every parallel
+// run returns byte-identical results and Stats to the serial run, and
+// that the scratch DP kernel is allocation-free in steady state.
+//
+// Usage:
+//
+//	lexequalbench                  # default workload, writes BENCH_PR3.json
+//	lexequalbench -quick           # small workload for CI smoke runs
+//	lexequalbench -rows 10000 -workers 1,2,4 -out bench.json
+//
+// Speedups are bounded by the machine: the report records GOMAXPROCS
+// and NumCPU so a single-core container honestly shows ~1x.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"lexequal/internal/core"
+	"lexequal/internal/dataset"
+	"lexequal/internal/editdist"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/ttp"
+)
+
+var (
+	rowsFlag      = flag.Int("rows", 10000, "corpus size for selection workloads")
+	joinRowsFlag  = flag.Int("joinrows", 2000, "corpus size for the self-join workloads")
+	queriesFlag   = flag.Int("queries", 20, "number of selection queries per measurement")
+	workersFlag   = flag.String("workers", "1,2,4", "comma-separated worker counts to measure")
+	thresholdFlag = flag.Float64("threshold", 0.25, "match threshold")
+	quickFlag     = flag.Bool("quick", false, "small workload for CI smoke runs (overrides -rows/-joinrows/-queries)")
+	outFlag       = flag.String("out", "BENCH_PR3.json", "output report path")
+)
+
+// Report is the JSON document lexequalbench emits.
+type Report struct {
+	Bench      string    `json:"bench"`
+	Timestamp  time.Time `json:"timestamp"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Rows       int       `json:"rows"`
+	JoinRows   int       `json:"join_rows"`
+	Queries    int       `json:"queries"`
+	Threshold  float64   `json:"threshold"`
+	Workers    []int     `json:"workers"`
+
+	Kernel    KernelReport     `json:"kernel"`
+	Workloads []WorkloadReport `json:"workloads"`
+
+	// IdenticalAcrossWorkers is the determinism audit: every parallel
+	// run's rows/pairs and Stats matched the serial run exactly.
+	IdenticalAcrossWorkers bool `json:"identical_across_workers"`
+}
+
+// KernelReport measures the bounded-DP scratch kernel in isolation.
+type KernelReport struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	CellsPerOp  float64 `json:"cells_per_op"`
+}
+
+// WorkloadReport is one (operation, strategy, workers) measurement.
+type WorkloadReport struct {
+	Op       string  `json:"op"` // "select" or "selfjoin"
+	Strategy string  `json:"strategy"`
+	Workers  int     `json:"workers"`
+	Seconds  float64 `json:"seconds"`
+	Matches  int     `json:"matches"`
+	Speedup  float64 `json:"speedup_vs_serial"`
+
+	Stats core.Stats `json:"stats"`
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lexequalbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers element %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[0] != 1 {
+		out = append([]int{1}, out...) // serial baseline always runs first
+	}
+	return out, nil
+}
+
+func run() error {
+	rows, joinRows, queries := *rowsFlag, *joinRowsFlag, *queriesFlag
+	if *quickFlag {
+		rows, joinRows, queries = 2000, 500, 5
+	}
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		return err
+	}
+
+	op, err := core.New(core.Options{})
+	if err != nil {
+		return err
+	}
+	lex, err := dataset.BuildLexicon(ttp.Default(), dataset.SourceAll)
+	if err != nil {
+		return err
+	}
+	gen := dataset.Generate(lex, rows)
+	texts := make([]core.Text, len(gen))
+	for i, e := range gen {
+		texts[i] = e.Text
+	}
+	fmt.Printf("building corpora (%d select rows, %d join rows)...\n", rows, joinRows)
+	corpus, err := op.NewCorpus(texts)
+	if err != nil {
+		return err
+	}
+	jn := joinRows
+	if jn > len(texts) {
+		jn = len(texts)
+	}
+	joinCorpus, err := op.NewCorpus(texts[:jn])
+	if err != nil {
+		return err
+	}
+	// Selection queries spread across the corpus so they hit.
+	var qs []core.Text
+	step := len(texts) / queries
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(texts) && len(qs) < queries; i += step {
+		qs = append(qs, texts[i])
+	}
+
+	rep := &Report{
+		Bench:      "lexequal-parallel-pipeline",
+		Timestamp:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Rows:       len(texts),
+		JoinRows:   jn,
+		Queries:    len(qs),
+		Threshold:  *thresholdFlag,
+		Workers:    workers,
+
+		Kernel:                 kernelBench(op),
+		IdenticalAcrossWorkers: true,
+	}
+
+	for _, strat := range []core.Strategy{core.Naive, core.QGram, core.Indexed} {
+		// Selections.
+		var baseRows [][]int
+		var baseStats []core.Stats
+		var serial float64
+		for _, w := range workers {
+			start := time.Now()
+			var gotRows [][]int
+			var gotStats []core.Stats
+			matches := 0
+			for _, q := range qs {
+				ids, st, err := corpus.Select(q, *thresholdFlag, nil, strat, core.Parallel(w))
+				if err != nil {
+					return err
+				}
+				matches += len(ids)
+				gotRows = append(gotRows, ids)
+				gotStats = append(gotStats, st)
+			}
+			secs := time.Since(start).Seconds()
+			wr := WorkloadReport{Op: "select", Strategy: strat.String(), Workers: w, Seconds: secs, Matches: matches}
+			for _, st := range gotStats {
+				wr.Stats.Add(st)
+			}
+			if w == 1 {
+				baseRows, baseStats, serial = gotRows, gotStats, secs
+			} else if !reflect.DeepEqual(gotRows, baseRows) || !reflect.DeepEqual(gotStats, baseStats) {
+				rep.IdenticalAcrossWorkers = false
+			}
+			if serial > 0 {
+				wr.Speedup = serial / secs
+			}
+			rep.Workloads = append(rep.Workloads, wr)
+			fmt.Printf("  select  %-8s workers=%d  %8.3fs  (%d matches, %.2fx)\n",
+				strat, w, secs, matches, wr.Speedup)
+		}
+		// Self-joins.
+		var basePairs []core.Pair
+		var baseSt core.Stats
+		serial = 0
+		for _, w := range workers {
+			start := time.Now()
+			pairs, st, err := core.SelfJoin(joinCorpus, *thresholdFlag, false, strat, core.Parallel(w))
+			if err != nil {
+				return err
+			}
+			secs := time.Since(start).Seconds()
+			wr := WorkloadReport{Op: "selfjoin", Strategy: strat.String(), Workers: w, Seconds: secs, Matches: len(pairs), Stats: st}
+			if w == 1 {
+				basePairs, baseSt, serial = pairs, st, secs
+			} else if !reflect.DeepEqual(pairs, basePairs) || st != baseSt {
+				rep.IdenticalAcrossWorkers = false
+			}
+			if serial > 0 {
+				wr.Speedup = serial / secs
+			}
+			rep.Workloads = append(rep.Workloads, wr)
+			fmt.Printf("  selfjoin %-8s workers=%d  %8.3fs  (%d pairs, %.2fx)\n",
+				strat, w, secs, len(pairs), wr.Speedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s (gomaxprocs=%d, identical_across_workers=%v)\n",
+		*outFlag, rep.GoMaxProcs, rep.IdenticalAcrossWorkers)
+	if !rep.IdenticalAcrossWorkers {
+		return fmt.Errorf("parallel results diverged from serial — determinism contract broken")
+	}
+	return nil
+}
+
+// kernelBench times the allocation-free bounded-DP kernel on a
+// representative close pair and audits its steady-state allocations
+// directly from the allocator statistics.
+func kernelBench(op *core.Operator) KernelReport {
+	a := phoneme.MustParse("dʒəʋaːɦərlaːl")
+	b := phoneme.MustParse("dʒawɑhɑrlɑl")
+	cm := op.Cost()
+	bound := 0.25 * float64(len(b))
+	s := editdist.NewScratch()
+	editdist.DistanceBoundedScratch(a, b, cm, bound, s) // warm the buffers
+	s.TakeCells()
+
+	const iters = 20000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		editdist.DistanceBoundedScratch(a, b, cm, bound, s)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return KernelReport{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / iters,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / iters,
+		CellsPerOp:  float64(s.TakeCells()) / iters,
+	}
+}

@@ -264,6 +264,19 @@ func (op *Operator) MatchPhonemes(ta, tb phoneme.String, threshold float64) bool
 	return ok
 }
 
+// MatchPhonemesScratch is MatchPhonemes with a caller-supplied DP
+// scratch, the allocation-free form used by the morsel workers (each
+// worker owns one scratch for its whole scan).
+func (op *Operator) MatchPhonemesScratch(ta, tb phoneme.String, threshold float64, s *editdist.Scratch) bool {
+	smaller := len(ta)
+	if len(tb) < smaller {
+		smaller = len(tb)
+	}
+	bound := threshold * float64(smaller)
+	_, ok := editdist.DistanceBoundedScratch(ta, tb, op.cost, bound, s)
+	return ok
+}
+
 // Bound returns the absolute edit-distance budget the operator allows
 // for a pair of phoneme strings at the given threshold (exposed for the
 // filter strategies, which need k to parameterize q-gram predicates).

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lexequal/internal/editdist"
+)
+
+// ExecOption tunes how a strategy executes (it never changes what the
+// strategy returns).
+type ExecOption func(*execOpts)
+
+type execOpts struct {
+	workers int
+}
+
+// Parallel runs the strategy's candidate loop on a morsel-driven worker
+// pool of the given size. workers <= 0 selects GOMAXPROCS; 1 (the
+// default) is the serial path. Results and Stats are byte-identical to
+// the serial execution at any worker count: morsels are merged in index
+// order and all counters are order-independent sums.
+func Parallel(workers int) ExecOption {
+	return func(o *execOpts) { o.workers = workers }
+}
+
+func resolveOpts(opts []ExecOption) execOpts {
+	o := execOpts{workers: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// MorselSize is the number of candidate rows a worker claims at a time.
+// Large enough that the atomic claim is noise, small enough that a
+// skewed morsel (one row with a huge candidate fan-out) cannot leave
+// the pool idle for long.
+const MorselSize = 256
+
+// Lane is the per-worker state of a morsel scan: a private DP scratch
+// and a private Stats accumulator, merged once when the pool drains.
+// Exported so other execution layers (the db verification stage) can
+// reuse the scheduler.
+type Lane struct {
+	Scratch *editdist.Scratch
+	Stats   Stats
+}
+
+func (ln *Lane) harvest() Stats {
+	ln.Stats.DPCells += ln.Scratch.TakeCells()
+	return ln.Stats
+}
+
+// RunMorsels partitions [0, n) into fixed-size morsels consumed by a
+// pool of workers and returns the per-morsel outputs in morsel order
+// plus the merged Stats. process must treat (lo, hi) as its exclusive
+// slice of the candidate range and must only touch shared state
+// read-only; per-worker mutable state lives in the lane. With one
+// worker everything runs inline on the calling goroutine, so the serial
+// strategies are literally the parallel ones at width 1.
+func RunMorsels[T any](n, workers int, process func(ln *Lane, lo, hi int) []T) ([][]T, Stats) {
+	numMorsels := (n + MorselSize - 1) / MorselSize
+	out := make([][]T, numMorsels)
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+	if workers <= 1 {
+		ln := Lane{Scratch: editdist.NewScratch()}
+		for m := 0; m < numMorsels; m++ {
+			lo, hi := morselBounds(m, n)
+			out[m] = process(&ln, lo, hi)
+		}
+		return out, ln.harvest()
+	}
+	var next atomic.Int64
+	lanes := make([]Lane, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ln *Lane) {
+			defer wg.Done()
+			ln.Scratch = editdist.NewScratch()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= numMorsels {
+					return
+				}
+				lo, hi := morselBounds(m, n)
+				out[m] = process(ln, lo, hi)
+			}
+		}(&lanes[w])
+	}
+	wg.Wait()
+	var st Stats
+	for i := range lanes {
+		st.Add(lanes[i].harvest())
+	}
+	return out, st
+}
+
+func morselBounds(m, n int) (lo, hi int) {
+	lo = m * MorselSize
+	hi = lo + MorselSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// MergeChunks concatenates per-morsel outputs in morsel order, so the
+// merged slice is independent of which worker ran which morsel.
+func MergeChunks[T any](chunks [][]T) []T {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total == 0 {
+		return nil // match the serial strategies' nil empty result
+	}
+	out := make([]T, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// bigCatalog builds a corpus large enough to span many morsels (well
+// over MorselSize rows) from deterministic syllable products, with the
+// small cross-script catalog mixed in so every strategy has real
+// matches to find.
+func bigCatalog() []Text {
+	out := catalog()
+	pre := []string{"na", "ne", "ni", "ka", "ke", "sa", "so", "ra", "ga", "ta"}
+	mid := []string{"ru", "ro", "ri", "ndi", "thy", "lin", "mar", "van"}
+	suf := []string{"", "n", "s", "la", "ra", "ta", "ya"}
+	for _, p := range pre {
+		for _, m := range mid {
+			for _, s := range suf {
+				out = append(out, en(p+m+s))
+			}
+		}
+	}
+	return out // 12 + 10*8*7 = 572 rows, i.e. 3 morsels of 256
+}
+
+func buildBigCorpus(t *testing.T, op *Operator) *Corpus {
+	t.Helper()
+	c, err := op.NewCorpus(bigCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// TestSelectDeterministicAcrossWorkers is the parallelism contract:
+// results and Stats from Select are byte-identical at every worker
+// count, for every strategy. Run under -race this also exercises the
+// morsel pool for data races.
+func TestSelectDeterministicAcrossWorkers(t *testing.T) {
+	op := newOp(t)
+	c := buildBigCorpus(t, op)
+	queries := []Text{en("Nehru"), en("Gandhi"), en("narula"), en("kathy")}
+	for _, strat := range []Strategy{Naive, QGram, Indexed} {
+		for _, q := range queries {
+			base, baseSt, err := c.Select(q, 0.30, nil, strat, Parallel(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts() {
+				got, st, err := c.Select(q, 0.30, nil, strat, Parallel(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("%v %v workers=%d: results %v != serial %v", strat, q, w, got, base)
+				}
+				if st != baseSt {
+					t.Errorf("%v %v workers=%d: stats %+v != serial %+v", strat, q, w, st, baseSt)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinDeterministicAcrossWorkers pins SelfJoin (and hence Join) to
+// the same contract: pairs and Stats identical at every worker count.
+func TestJoinDeterministicAcrossWorkers(t *testing.T) {
+	op := newOp(t)
+	c := buildBigCorpus(t, op)
+	for _, strat := range []Strategy{Naive, QGram, Indexed} {
+		base, baseSt, err := SelfJoin(c, 0.25, false, strat, Parallel(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base) == 0 {
+			t.Fatalf("%v: self-join found nothing; test corpus is too sparse", strat)
+		}
+		for _, w := range workerCounts() {
+			got, st, err := SelfJoin(c, 0.25, false, strat, Parallel(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("%v workers=%d: %d pairs != serial %d pairs", strat, w, len(got), len(base))
+			}
+			if st != baseSt {
+				t.Errorf("%v workers=%d: stats %+v != serial %+v", strat, w, st, baseSt)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesLegacySerial pins the morselized strategies to the
+// plain (no-option) call, which is the pre-parallelism serial contract.
+func TestParallelMatchesLegacySerial(t *testing.T) {
+	op := newOp(t)
+	c := buildCorpus(t, op)
+	for _, strat := range []Strategy{Naive, QGram, Indexed} {
+		plain, plainSt, err := c.Select(en("Nehru"), 0.30, nil, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, parSt, err := c.Select(en("Nehru"), 0.30, nil, strat, Parallel(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, par) || plainSt != parSt {
+			t.Errorf("%v: parallel result/stats diverge from default call", strat)
+		}
+	}
+}
+
+// TestSigCacheHits verifies the q-gram join reuses the corpus-side
+// signature cache when gram lengths agree (always, for a self-join) and
+// falls back to per-probe extraction when they differ.
+func TestSigCacheHits(t *testing.T) {
+	op := newOp(t)
+	c := buildCorpus(t, op)
+	_, st, err := SelfJoin(c, 0.30, false, QGram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SigCacheHits == 0 {
+		t.Error("self-join reported zero signature-cache hits")
+	}
+	// A join against a corpus with a different q cannot reuse cached
+	// signatures, but must still produce the same pairs as a naive join.
+	other, err := op.NewCorpusQ(catalog(), DefaultQ-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, st3, err := Join(c, other, 0.30, false, QGram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.SigCacheHits != 0 {
+		t.Errorf("mixed-q join claimed %d cache hits", st3.SigCacheHits)
+	}
+	naive, _, err := Join(c, other, 0.30, false, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pairs, naive) {
+		t.Errorf("mixed-q qgram join diverges from naive:\nqgram %v\nnaive %v", pairs, naive)
+	}
+}
+
+// TestStageCounters checks the new per-stage counters are populated and
+// internally consistent: every probed row is either pruned or verified.
+func TestStageCounters(t *testing.T) {
+	op := newOp(t)
+	c := buildBigCorpus(t, op)
+	_, st, err := c.Select(en("Nehru"), 0.25, nil, QGram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DPCells <= 0 {
+		t.Errorf("DPCells = %d, want > 0", st.DPCells)
+	}
+	if st.Rows != st.PrunedLength+st.PrunedCount+st.Candidates {
+		t.Errorf("counters inconsistent: rows %d != pruned(len) %d + pruned(count) %d + candidates %d",
+			st.Rows, st.PrunedLength, st.PrunedCount, st.Candidates)
+	}
+	// Naive never prunes.
+	_, stn, err := c.Select(en("Nehru"), 0.25, nil, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stn.PrunedLength != 0 || stn.PrunedCount != 0 {
+		t.Errorf("naive scan pruned: %+v", stn)
+	}
+	if stn.Rows != stn.Candidates {
+		t.Errorf("naive rows %d != candidates %d", stn.Rows, stn.Candidates)
+	}
+}
+
+// TestParallelZeroAndNegativeWorkers checks workers <= 0 resolves to
+// GOMAXPROCS rather than hanging or erroring.
+func TestParallelZeroAndNegativeWorkers(t *testing.T) {
+	op := newOp(t)
+	c := buildCorpus(t, op)
+	for _, w := range []int{0, -1} {
+		got, _, err := c.Select(en("Nehru"), 0.30, nil, Naive, Parallel(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _, _ := c.Select(en("Nehru"), 0.30, nil, Naive)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d diverges from serial", w)
+		}
+	}
+}
+
+func BenchmarkSelfJoinParallel(b *testing.B) {
+	op := MustNew(Options{})
+	texts := bigCatalog()
+	c, err := op.NewCorpus(texts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("qgram/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SelfJoin(c, 0.25, false, QGram, Parallel(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

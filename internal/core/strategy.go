@@ -68,12 +68,31 @@ func NewLangSet(langs ...script.Language) LangSet {
 func (s LangSet) Contains(lang script.Language) bool { return s == nil || s[lang] }
 
 // Stats counts the work a strategy performed, for the efficiency
-// experiments: how many rows the cheap phase admitted as candidates and
-// how many survived UDF verification.
+// experiments: how many rows the cheap phase admitted as candidates,
+// how many each filter pruned, how much DP work verification cost, and
+// how many survived. All fields are order-independent sums, so a
+// parallel execution reports totals byte-identical to the serial one.
 type Stats struct {
 	Rows       int // rows considered (after the language filter)
 	Candidates int // rows reaching the edit-distance verification
 	Matches    int // rows in the final result
+
+	PrunedLength int   // candidates dismissed by the q-gram length filter
+	PrunedCount  int   // candidates dismissed by the q-gram count filter
+	DPCells      int64 // DP cells evaluated during verification
+	SigCacheHits int   // join probes served from the corpus signature cache
+}
+
+// Add accumulates another Stats into s (used to merge per-worker stats
+// and to aggregate across queries).
+func (s *Stats) Add(o Stats) {
+	s.Rows += o.Rows
+	s.Candidates += o.Candidates
+	s.Matches += o.Matches
+	s.PrunedLength += o.PrunedLength
+	s.PrunedCount += o.PrunedCount
+	s.DPCells += o.DPCells
+	s.SigCacheHits += o.SigCacheHits
 }
 
 // Corpus is a queryable collection of multiscript texts with the
@@ -91,10 +110,23 @@ type Corpus struct {
 	grams   map[string][]posting // q-gram inverted index
 	grouped map[soundex.GroupedID][]int
 	encoder *soundex.Encoder
+
+	// sigGrams caches each row's positional q-gram signature (key +
+	// position over the projection), extracted once at corpus build so
+	// join probes never re-extract or re-render gram keys per pair.
+	sigGrams [][]sigGram
 }
 
 type posting struct {
 	row int
+	pos int
+}
+
+// sigGram is one cached positional q-gram of a row's signature
+// projection: the rendered key (as stored in the inverted index) and
+// its 1-based position.
+type sigGram struct {
+	key string
 	pos int
 }
 
@@ -115,14 +147,15 @@ func (op *Operator) NewCorpusQ(texts []Text, q int) (*Corpus, error) {
 		return nil, fmt.Errorf("core: q must be >= 2, got %d", q)
 	}
 	c := &Corpus{
-		op:      op,
-		q:       q,
-		texts:   texts,
-		phon:    make([]phoneme.String, len(texts)),
-		proj:    make([]phoneme.String, len(texts)),
-		grams:   make(map[string][]posting),
-		grouped: make(map[soundex.GroupedID][]int),
-		encoder: soundex.NewEncoder(op.clusters),
+		op:       op,
+		q:        q,
+		texts:    texts,
+		phon:     make([]phoneme.String, len(texts)),
+		proj:     make([]phoneme.String, len(texts)),
+		grams:    make(map[string][]posting),
+		grouped:  make(map[soundex.GroupedID][]int),
+		encoder:  soundex.NewEncoder(op.clusters),
+		sigGrams: make([][]sigGram, len(texts)),
 	}
 	for i, t := range texts {
 		if !op.registry.Has(t.Lang) {
@@ -143,9 +176,12 @@ func (op *Operator) NewCorpusQ(texts []Text, q int) (*Corpus, error) {
 		// budget of k admits at most k projected-space unit edits: the
 		// exact premise of the three q-gram filters.
 		c.proj[i] = c.encoder.Project(p)
-		for _, g := range qgram.Extract(c.proj[i], q) {
+		grams := qgram.Extract(c.proj[i], q)
+		c.sigGrams[i] = make([]sigGram, len(grams))
+		for gi, g := range grams {
 			key := g.Key()
 			c.grams[key] = append(c.grams[key], posting{row: i, pos: g.Pos})
+			c.sigGrams[i][gi] = sigGram{key: key, pos: g.Pos}
 		}
 		c.grouped[c.encoder.Encode(p)] = append(c.grouped[c.encoder.Encode(p)], i)
 	}
@@ -179,7 +215,10 @@ func (c *Corpus) Q() int { return c.q }
 // Select finds the rows matching query at the threshold, restricted to
 // langs, using the given strategy. All strategies return identical
 // results except Indexed, which may have false dismissals (§5.3).
-func (c *Corpus) Select(query Text, threshold float64, langs LangSet, strat Strategy) ([]int, Stats, error) {
+// Options (Parallel) tune execution without changing results: the
+// candidate range is split into morsels consumed by a worker pool with
+// per-worker scratch and stats, merged in morsel order.
+func (c *Corpus) Select(query Text, threshold float64, langs LangSet, strat Strategy, opts ...ExecOption) ([]int, Stats, error) {
 	if threshold < 0 {
 		threshold = c.op.threshold
 	}
@@ -190,31 +229,35 @@ func (c *Corpus) Select(query Text, threshold float64, langs LangSet, strat Stra
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	o := resolveOpts(opts)
 	switch strat {
 	case Naive:
-		return c.selectNaive(qp, threshold, langs)
+		return c.selectNaive(qp, threshold, langs, o.workers)
 	case QGram:
-		return c.selectQGram(qp, threshold, langs)
+		return c.selectQGram(qp, threshold, langs, o.workers)
 	case Indexed:
-		return c.selectIndexed(qp, threshold, langs)
+		return c.selectIndexed(qp, threshold, langs, o.workers)
 	default:
 		return nil, Stats{}, fmt.Errorf("core: unknown strategy %v", strat)
 	}
 }
 
-func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet) ([]int, Stats, error) {
-	var out []int
-	var st Stats
-	for i := range c.texts {
-		if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
-			continue
+func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet, workers int) ([]int, Stats, error) {
+	chunks, st := RunMorsels(len(c.texts), workers, func(ln *Lane, lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+				continue
+			}
+			ln.Stats.Rows++
+			ln.Stats.Candidates++
+			if c.op.MatchPhonemesScratch(qp, c.phon[i], e, ln.Scratch) {
+				out = append(out, i)
+			}
 		}
-		st.Rows++
-		st.Candidates++
-		if c.op.MatchPhonemes(qp, c.phon[i], e) {
-			out = append(out, i)
-		}
-	}
+		return out
+	})
+	out := MergeChunks(chunks)
 	st.Matches = len(out)
 	return out, st, nil
 }
@@ -223,9 +266,9 @@ func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet) ([]int
 // k = e·|query| (the paper uses the query length in all three filter
 // predicates), the inverted index supplies position-filtered gram match
 // counts, and candidates passing the length and count filters are
-// verified with the UDF.
-func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet) ([]int, Stats, error) {
-	var st Stats
+// verified with the UDF. The probe phase runs once; the filter+verify
+// scan is morsel-parallel (counts is read-only by then).
+func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet, workers int) ([]int, Stats, error) {
 	k := c.sigBudget(e * float64(len(qp)))
 	qproj := c.encoder.Project(qp)
 	counts := make(map[int]int)
@@ -236,24 +279,30 @@ func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet) ([]int
 			}
 		}
 	}
-	var out []int
-	for i := range c.texts {
-		if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
-			continue
+	chunks, st := RunMorsels(len(c.texts), workers, func(ln *Lane, lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+				continue
+			}
+			ln.Stats.Rows++
+			if !qgram.LengthOK(len(qproj), len(c.proj[i]), k) {
+				ln.Stats.PrunedLength++
+				continue
+			}
+			need := qgram.CountThreshold(len(qproj), len(c.proj[i]), c.q, k)
+			if need > 0 && counts[i] < need {
+				ln.Stats.PrunedCount++
+				continue
+			}
+			ln.Stats.Candidates++
+			if c.op.MatchPhonemesScratch(qp, c.phon[i], e, ln.Scratch) {
+				out = append(out, i)
+			}
 		}
-		st.Rows++
-		if !qgram.LengthOK(len(qproj), len(c.proj[i]), k) {
-			continue
-		}
-		need := qgram.CountThreshold(len(qproj), len(c.proj[i]), c.q, k)
-		if need > 0 && counts[i] < need {
-			continue
-		}
-		st.Candidates++
-		if c.op.MatchPhonemes(qp, c.phon[i], e) {
-			out = append(out, i)
-		}
-	}
+		return out
+	})
+	out := MergeChunks(chunks)
 	st.Matches = len(out)
 	return out, st, nil
 }
@@ -261,20 +310,25 @@ func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet) ([]int
 // selectIndexed implements the Figure 15 plan: probe the grouped-
 // phoneme-identifier index and verify the (few) rows sharing the
 // query's cluster signature. Fast, with false dismissals for matches
-// whose edits cross cluster boundaries.
-func (c *Corpus) selectIndexed(qp phoneme.String, e float64, langs LangSet) ([]int, Stats, error) {
-	var st Stats
-	var out []int
-	for _, i := range c.grouped[c.encoder.Encode(qp)] {
-		if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
-			continue
+// whose edits cross cluster boundaries. The posting list is morseled
+// like any other candidate range.
+func (c *Corpus) selectIndexed(qp phoneme.String, e float64, langs LangSet, workers int) ([]int, Stats, error) {
+	group := c.grouped[c.encoder.Encode(qp)]
+	chunks, st := RunMorsels(len(group), workers, func(ln *Lane, lo, hi int) []int {
+		var out []int
+		for _, i := range group[lo:hi] {
+			if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+				continue
+			}
+			ln.Stats.Rows++
+			ln.Stats.Candidates++
+			if c.op.MatchPhonemesScratch(qp, c.phon[i], e, ln.Scratch) {
+				out = append(out, i)
+			}
 		}
-		st.Rows++
-		st.Candidates++
-		if c.op.MatchPhonemes(qp, c.phon[i], e) {
-			out = append(out, i)
-		}
-	}
+		return out
+	})
+	out := MergeChunks(chunks)
 	st.Matches = len(out)
 	return out, st, nil
 }
@@ -287,93 +341,130 @@ type Pair struct {
 
 // Join finds all cross-corpus pairs matching at the threshold under the
 // strategy, optionally requiring different languages (the paper's
-// equi-join example restricts B1.Language <> B2.Language).
-func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
+// equi-join example restricts B1.Language <> B2.Language). The probe
+// loop over left rows is split into morsels; per-worker scratch and
+// stats plus the final normalizing sort make the output and Stats
+// byte-identical to the serial path at any worker count.
+func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, strat Strategy, opts ...ExecOption) ([]Pair, Stats, error) {
 	if threshold < 0 {
 		threshold = left.op.threshold
 	}
 	if threshold > 1 {
 		return nil, Stats{}, fmt.Errorf("core: match threshold %v outside [0,1]", threshold)
 	}
-	var out []Pair
-	var st Stats
-	admit := func(l, r int) {
-		st.Candidates++
-		if left.op.MatchPhonemes(left.phon[l], right.phon[r], threshold) {
-			out = append(out, Pair{Left: l, Right: r})
-		}
-	}
+	o := resolveOpts(opts)
+	var probe func(ln *Lane, lo, hi int) []Pair
 	switch strat {
 	case Naive:
-		for l := range left.texts {
-			if left.phon[l] == nil {
-				continue
-			}
-			for r := range right.texts {
-				if right.phon[r] == nil {
+		probe = func(ln *Lane, lo, hi int) []Pair {
+			var out []Pair
+			for l := lo; l < hi; l++ {
+				if left.phon[l] == nil {
 					continue
 				}
-				if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
-					continue
-				}
-				st.Rows++
-				admit(l, r)
-			}
-		}
-	case QGram:
-		for l := range left.texts {
-			if left.phon[l] == nil {
-				continue
-			}
-			lp := left.phon[l]
-			lproj := left.proj[l]
-			k := right.sigBudget(threshold * float64(len(lp)))
-			counts := make(map[int]int)
-			for _, g := range qgram.Extract(lproj, right.q) {
-				for _, p := range right.grams[g.Key()] {
-					if qgram.PositionOK(g.Pos, p.pos, k) {
-						counts[p.row]++
+				for r := range right.texts {
+					if right.phon[r] == nil {
+						continue
+					}
+					if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
+						continue
+					}
+					ln.Stats.Rows++
+					ln.Stats.Candidates++
+					if left.op.MatchPhonemesScratch(left.phon[l], right.phon[r], threshold, ln.Scratch) {
+						out = append(out, Pair{Left: l, Right: r})
 					}
 				}
 			}
-			for r, cnt := range counts {
-				if right.phon[r] == nil {
+			return out
+		}
+	case QGram:
+		// Probe-side signatures come from the corpus cache when the gram
+		// lengths agree (always, for a self-join), so no per-probe gram
+		// extraction or key rendering happens on the hot path.
+		cached := left.q == right.q
+		probe = func(ln *Lane, lo, hi int) []Pair {
+			var out []Pair
+			for l := lo; l < hi; l++ {
+				if left.phon[l] == nil {
 					continue
 				}
-				if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
-					continue
+				lp := left.phon[l]
+				lproj := left.proj[l]
+				k := right.sigBudget(threshold * float64(len(lp)))
+				counts := make(map[int]int)
+				if cached {
+					ln.Stats.SigCacheHits++
+					for _, g := range left.sigGrams[l] {
+						for _, p := range right.grams[g.key] {
+							if qgram.PositionOK(g.pos, p.pos, k) {
+								counts[p.row]++
+							}
+						}
+					}
+				} else {
+					for _, g := range qgram.Extract(lproj, right.q) {
+						for _, p := range right.grams[g.Key()] {
+							if qgram.PositionOK(g.Pos, p.pos, k) {
+								counts[p.row]++
+							}
+						}
+					}
 				}
-				st.Rows++
-				if !qgram.LengthOK(len(lproj), len(right.proj[r]), k) {
-					continue
+				for r, cnt := range counts {
+					if right.phon[r] == nil {
+						continue
+					}
+					if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
+						continue
+					}
+					ln.Stats.Rows++
+					if !qgram.LengthOK(len(lproj), len(right.proj[r]), k) {
+						ln.Stats.PrunedLength++
+						continue
+					}
+					need := qgram.CountThreshold(len(lproj), len(right.proj[r]), right.q, k)
+					if need > 0 && cnt < need {
+						ln.Stats.PrunedCount++
+						continue
+					}
+					ln.Stats.Candidates++
+					if left.op.MatchPhonemesScratch(lp, right.phon[r], threshold, ln.Scratch) {
+						out = append(out, Pair{Left: l, Right: r})
+					}
 				}
-				need := qgram.CountThreshold(len(lproj), len(right.proj[r]), right.q, k)
-				if need > 0 && cnt < need {
-					continue
-				}
-				admit(l, r)
 			}
+			return out
 		}
 	case Indexed:
-		for l := range left.texts {
-			if left.phon[l] == nil {
-				continue
-			}
-			id := right.encoder.Encode(left.phon[l])
-			for _, r := range right.grouped[id] {
-				if right.phon[r] == nil {
+		probe = func(ln *Lane, lo, hi int) []Pair {
+			var out []Pair
+			for l := lo; l < hi; l++ {
+				if left.phon[l] == nil {
 					continue
 				}
-				if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
-					continue
+				id := right.encoder.Encode(left.phon[l])
+				for _, r := range right.grouped[id] {
+					if right.phon[r] == nil {
+						continue
+					}
+					if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
+						continue
+					}
+					ln.Stats.Rows++
+					ln.Stats.Candidates++
+					if left.op.MatchPhonemesScratch(left.phon[l], right.phon[r], threshold, ln.Scratch) {
+						out = append(out, Pair{Left: l, Right: r})
+					}
 				}
-				st.Rows++
-				admit(l, r)
 			}
+			return out
 		}
 	default:
 		return nil, Stats{}, fmt.Errorf("core: unknown strategy %v", strat)
 	}
+	chunks, st := RunMorsels(len(left.texts), o.workers, probe)
+	out := MergeChunks(chunks)
 	// The q-gram strategy discovers candidates in hash order; normalize
 	// so all strategies return deterministically ordered results.
 	sort.Slice(out, func(i, j int) bool {
@@ -388,8 +479,8 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 
 // SelfJoin runs Join of a corpus with itself, returning each unordered
 // pair once (Left < Right).
-func SelfJoin(c *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
-	pairs, st, err := Join(c, c, threshold, requireDifferentLang, strat)
+func SelfJoin(c *Corpus, threshold float64, requireDifferentLang bool, strat Strategy, opts ...ExecOption) ([]Pair, Stats, error) {
+	pairs, st, err := Join(c, c, threshold, requireDifferentLang, strat, opts...)
 	if err != nil {
 		return nil, st, err
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"lexequal/internal/core"
+	"lexequal/internal/metrics"
 	"lexequal/internal/phoneme"
 	"lexequal/internal/qgram"
 	"lexequal/internal/soundex"
@@ -51,6 +52,67 @@ type LexConfig struct {
 
 	Op *core.Operator
 	Q  int
+
+	// Workers sets the verification parallelism of the lex nodes:
+	// candidates are fetched from storage serially (the storage layer is
+	// single-threaded), then the DP verification stage runs on a morsel
+	// pool of this width. <= 1 is serial; results are identical at any
+	// width. 0 means GOMAXPROCS.
+	Workers int
+	// Counters, when non-nil, accumulates per-stage execution counters
+	// across queries (surfaced by SHOW LEXSTATS).
+	Counters *metrics.PipelineCounters
+}
+
+// workers resolves the configured verification parallelism.
+func (cfg *LexConfig) workers() int {
+	if cfg.Workers == 0 {
+		return 1
+	}
+	return cfg.Workers
+}
+
+// record folds one execution's stats into the session counters.
+func (cfg *LexConfig) record(st core.Stats) {
+	if cfg.Counters != nil {
+		cfg.Counters.Record(st)
+	}
+}
+
+// lexCand is one fetched candidate awaiting verification: the base row,
+// its decoded phonemes, and (q-gram strategy only) its shared-gram
+// count.
+type lexCand struct {
+	row   Row
+	phon  phoneme.String
+	count int
+}
+
+// verifyStage runs the DP verification over fetched candidates on the
+// morsel pool. check, when non-nil, is the pre-DP filter chain (length
+// and count filters); it may bump the lane's pruning counters and
+// returns false to drop the candidate before verification. The
+// candidate slice and everything check reads must be treated as
+// read-only shared state.
+func (cfg *LexConfig) verifyStage(qp phoneme.String, threshold float64, cands []lexCand, check func(c *lexCand, st *core.Stats) bool) ([]Row, core.Stats) {
+	chunks, st := core.RunMorsels(len(cands), cfg.workers(), func(ln *core.Lane, lo, hi int) []Row {
+		var out []Row
+		for i := lo; i < hi; i++ {
+			c := &cands[i]
+			ln.Stats.Rows++
+			if check != nil && !check(c, &ln.Stats) {
+				continue
+			}
+			ln.Stats.Candidates++
+			if cfg.Op.MatchPhonemesScratch(qp, c.phon, threshold, ln.Scratch) {
+				out = append(out, c.row)
+			}
+		}
+		return out
+	})
+	rows := core.MergeChunks(chunks)
+	st.Matches = len(rows)
+	return rows, st
 }
 
 // ResolveLexConfig locates the conventional structures for table.
@@ -130,26 +192,34 @@ func (cfg *LexConfig) langOK(row Row, langs core.LangSet) bool {
 }
 
 // NewLexScanNaive builds the Table-1 plan: a sequential scan invoking
-// the LexEQUAL UDF on every row.
+// the LexEQUAL UDF on every row. The scan fetches and decodes rows
+// serially, then verifies them on the morsel pool (cfg.Workers wide);
+// output order is table scan order regardless of parallelism.
 func NewLexScanNaive(cfg *LexConfig, query core.Text, threshold float64, langs core.LangSet) Node {
 	qp, err := cfg.Op.Transform(query.Value, query.Lang)
 	if err != nil {
 		return ErrNode("lexequal: %v", err)
 	}
-	pred := &FuncExpr{
-		Desc: fmt.Sprintf("LexEQUAL(name, '%s', %g)", query.Value, threshold),
-		F: func(row Row) (Value, error) {
+	return &lexRowsNode{cols: cfg.Table.Columns, run: func() ([]Row, error) {
+		var cands []lexCand
+		err := cfg.Table.Scan(func(_ store.RID, row Row) error {
 			if !cfg.langOK(row, langs) {
-				return Int(0), nil
+				return nil
 			}
 			rp, ok := cfg.phonemes(row)
 			if !ok {
-				return Int(0), nil
+				return nil
 			}
-			return boolVal(cfg.Op.MatchPhonemes(qp, rp, threshold)), nil
-		},
-	}
-	return &Filter{Child: NewSeqScan(cfg.Table), Pred: pred}
+			cands = append(cands, lexCand{row: row.Clone(), phon: rp})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows, st := cfg.verifyStage(qp, threshold, cands, nil)
+		cfg.record(st)
+		return rows, nil
+	}}
 }
 
 // lexRowsNode yields precomputed rows (the materializing strategies).
@@ -272,29 +342,37 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 				return nil, err
 			}
 		}
-		// Fetch candidates and verify. With an id index we fetch just
-		// the candidates; otherwise one more scan filters by id.
-		verify := func(row Row) (Row, error) {
+		// Fetch candidates serially (storage access), then verify on the
+		// morsel pool. With an id index we fetch just the candidates;
+		// otherwise one more scan filters by id.
+		var cands []lexCand
+		collect := func(row Row) {
 			if !cfg.langOK(row, langs) {
-				return nil, nil
+				return
 			}
 			rp, ok := cfg.phonemes(row)
 			if !ok {
-				return nil, nil
+				return
 			}
-			if !qgram.LengthOK(len(qp), len(rp), k) {
-				return nil, nil
-			}
-			need := qgram.CountThreshold(len(qp), len(rp), cfg.Q, k)
-			if need > 0 && counts[row[cfg.IDCol].I] < need {
-				return nil, nil
-			}
-			if cfg.Op.MatchPhonemes(qp, rp, threshold) {
-				return row, nil
-			}
-			return nil, nil
+			cands = append(cands, lexCand{row: row.Clone(), phon: rp, count: counts[row[cfg.IDCol].I]})
 		}
-		var out []Row
+		check := func(c *lexCand, st *core.Stats) bool {
+			if !qgram.LengthOK(len(qp), len(c.phon), k) {
+				st.PrunedLength++
+				return false
+			}
+			need := qgram.CountThreshold(len(qp), len(c.phon), cfg.Q, k)
+			if need > 0 && c.count < need {
+				st.PrunedCount++
+				return false
+			}
+			return true
+		}
+		finish := func() ([]Row, error) {
+			rows, st := cfg.verifyStage(qp, threshold, cands, check)
+			cfg.record(st)
+			return rows, nil
+		}
 		if cfg.IDIndex != nil {
 			// Prefilter on the count threshold before fetching: the
 			// smallest admissible candidate (len(qproj) - k projected
@@ -322,13 +400,7 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 					if err != nil {
 						return nil, err
 					}
-					m, err := verify(row)
-					if err != nil {
-						return nil, err
-					}
-					if m != nil {
-						out = append(out, m)
-					}
+					collect(row)
 				}
 			}
 			// Note: candidates with zero shared grams can still be true
@@ -340,35 +412,26 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 					if _, seen := counts[row[cfg.IDCol].I]; seen {
 						return nil
 					}
-					m, err := verify(row)
-					if err != nil {
-						return err
-					}
-					if m != nil {
-						out = append(out, m)
-					}
+					collect(row)
 					return nil
 				})
 				if err != nil {
 					return nil, err
 				}
 			}
-			return out, nil
+			return finish()
 		}
 		err = cfg.Table.Scan(func(_ store.RID, row Row) error {
 			if _, ok := counts[row[cfg.IDCol].I]; !ok && qgram.CountThreshold(len(qp), len(qp), cfg.Q, k) > 0 {
 				return nil
 			}
-			m, err := verify(row)
-			if err != nil {
-				return err
-			}
-			if m != nil {
-				out = append(out, m)
-			}
+			collect(row)
 			return nil
 		})
-		return out, err
+		if err != nil {
+			return nil, err
+		}
+		return finish()
 	}}
 }
 
@@ -390,7 +453,7 @@ func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs
 		if err != nil {
 			return nil, err
 		}
-		var out []Row
+		var cands []lexCand
 		for _, packed := range rids {
 			row, err := cfg.Table.Get(store.UnpackRID(packed))
 			if errors.Is(err, store.ErrDeleted) {
@@ -406,11 +469,11 @@ func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs
 			if !ok {
 				continue
 			}
-			if cfg.Op.MatchPhonemes(qp, rp, threshold) {
-				out = append(out, row)
-			}
+			cands = append(cands, lexCand{row: row.Clone(), phon: rp})
 		}
-		return out, nil
+		rows, st := cfg.verifyStage(qp, threshold, cands, nil)
+		cfg.record(st)
+		return rows, nil
 	}}
 }
 
@@ -424,14 +487,36 @@ func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs
 func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat core.Strategy) Node {
 	cols := append(append(Schema{}, left.Table.Columns...), right.Table.Columns...)
 	return &lexRowsNode{cols: cols, run: func() ([]Row, error) {
-		var out []Row
-		emit := func(l, r Row, lp, rp phoneme.String) {
-			if diffLang && l[left.NameCol].Lang == r[right.NameCol].Lang {
-				return
+		// The probe loop runs on the morsel pool over materialized left
+		// rows (Naive, QGram: all probe state is in-memory and
+		// read-only) or over prefetched candidate pairs (Indexed: the
+		// B-tree probe itself stays on the fetch thread). Morsel-order
+		// merging keeps the output identical to the serial join.
+		concat := func(l, r Row) Row { return append(append(make(Row, 0, len(l)+len(r)), l...), r...) }
+		langClash := func(l, r Row) bool {
+			return diffLang && l[left.NameCol].Lang == r[right.NameCol].Lang
+		}
+		// Materialize the left side once; every strategy probes per left
+		// row.
+		var leftRows []Row
+		var leftPhon []phoneme.String
+		err := left.Table.Scan(func(_ store.RID, row Row) error {
+			lp, ok := left.phonemes(row)
+			if !ok {
+				return nil
 			}
-			if left.Op.MatchPhonemes(lp, rp, threshold) {
-				out = append(out, append(append(Row{}, l...), r...))
-			}
+			leftRows = append(leftRows, row.Clone())
+			leftPhon = append(leftPhon, lp)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		finish := func(chunks [][]Row, st core.Stats) ([]Row, error) {
+			rows := core.MergeChunks(chunks)
+			st.Matches = len(rows)
+			left.record(st)
+			return rows, nil
 		}
 		switch strat {
 		case core.Naive:
@@ -451,18 +536,23 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			if err != nil {
 				return nil, err
 			}
-			err = left.Table.Scan(func(_ store.RID, lrow Row) error {
-				lp, ok := left.phonemes(lrow)
-				if !ok {
-					return nil
+			chunks, st := core.RunMorsels(len(leftRows), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
+				var out []Row
+				for i := lo; i < hi; i++ {
+					for j, r := range rightRows {
+						if langClash(leftRows[i], r) {
+							continue
+						}
+						ln.Stats.Rows++
+						ln.Stats.Candidates++
+						if left.Op.MatchPhonemesScratch(leftPhon[i], rightPhon[j], threshold, ln.Scratch) {
+							out = append(out, concat(leftRows[i], r))
+						}
+					}
 				}
-				l := lrow.Clone()
-				for i, r := range rightRows {
-					emit(l, r, lp, rightPhon[i])
-				}
-				return nil
+				return out
 			})
-			return out, err
+			return finish(chunks, st)
 
 		case core.QGram:
 			if right.Aux == nil || right.IDCol < 0 {
@@ -501,60 +591,71 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 				return nil, err
 			}
 			enc := soundex.NewEncoder(left.Op.Clusters())
-			err = left.Table.Scan(func(_ store.RID, lrow Row) error {
-				lp, ok := left.phonemes(lrow)
-				if !ok {
-					return nil
-				}
-				l := lrow.Clone()
-				lproj := enc.Project(lp)
-				k := lexSigBudget(threshold * float64(len(lp)))
-				counts := map[int64]int{}
-				for _, g := range qgram.Extract(lproj, right.Q) {
-					for _, p := range postings[g.Key()] {
-						if qgram.PositionOK(g.Pos, p.pos, k) {
-							counts[p.id]++
+			chunks, st := core.RunMorsels(len(leftRows), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
+				var out []Row
+				for i := lo; i < hi; i++ {
+					lp := leftPhon[i]
+					lproj := enc.Project(lp)
+					k := lexSigBudget(threshold * float64(len(lp)))
+					counts := map[int64]int{}
+					for _, g := range qgram.Extract(lproj, right.Q) {
+						for _, p := range postings[g.Key()] {
+							if qgram.PositionOK(g.Pos, p.pos, k) {
+								counts[p.id]++
+							}
+						}
+					}
+					ids := make([]int64, 0, len(counts))
+					for id := range counts {
+						ids = append(ids, id)
+					}
+					sortInt64s(ids)
+					for _, id := range ids {
+						cnt := counts[id]
+						for j, r := range rightByID[id] {
+							if langClash(leftRows[i], r) {
+								continue
+							}
+							ln.Stats.Rows++
+							rp := rightPhonByID[id][j]
+							rproj := enc.Project(rp)
+							if !qgram.LengthOK(len(lproj), len(rproj), k) {
+								ln.Stats.PrunedLength++
+								continue
+							}
+							need := qgram.CountThreshold(len(lproj), len(rproj), right.Q, k)
+							if need > 0 && cnt < need {
+								ln.Stats.PrunedCount++
+								continue
+							}
+							ln.Stats.Candidates++
+							if left.Op.MatchPhonemesScratch(lp, rp, threshold, ln.Scratch) {
+								out = append(out, concat(leftRows[i], r))
+							}
 						}
 					}
 				}
-				ids := make([]int64, 0, len(counts))
-				for id := range counts {
-					ids = append(ids, id)
-				}
-				sortInt64s(ids)
-				for _, id := range ids {
-					cnt := counts[id]
-					for i, r := range rightByID[id] {
-						rp := rightPhonByID[id][i]
-						rproj := enc.Project(rp)
-						if !qgram.LengthOK(len(lproj), len(rproj), k) {
-							continue
-						}
-						need := qgram.CountThreshold(len(lproj), len(rproj), right.Q, k)
-						if need > 0 && cnt < need {
-							continue
-						}
-						emit(l, r, lp, rp)
-					}
-				}
-				return nil
+				return out
 			})
-			return out, err
+			return finish(chunks, st)
 
 		case core.Indexed:
 			if right.GroupIndex == nil {
 				return nil, fmt.Errorf("lexequal: join target %s lacks a phonetic index", right.Table.Name)
 			}
 			enc := soundex.NewEncoder(right.Op.Clusters())
-			err := left.Table.Scan(func(_ store.RID, lrow Row) error {
-				lp, ok := left.phonemes(lrow)
-				if !ok {
-					return nil
-				}
-				l := lrow.Clone()
+			// Prefetch candidate pairs on this thread (B-tree probe +
+			// heap fetch), then verify on the pool.
+			type pairCand struct {
+				li int
+				r  Row
+				rp phoneme.String
+			}
+			var cands []pairCand
+			for i, lp := range leftPhon {
 				rids, err := right.GroupIndex.Tree.Lookup(uint64(enc.Encode(lp)))
 				if err != nil {
-					return err
+					return nil, err
 				}
 				for _, packed := range rids {
 					r, err := right.Table.Get(store.UnpackRID(packed))
@@ -562,17 +663,31 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 						continue
 					}
 					if err != nil {
-						return err
+						return nil, err
 					}
 					rp, ok := right.phonemes(r)
 					if !ok {
 						continue
 					}
-					emit(l, r, lp, rp)
+					if langClash(leftRows[i], r) {
+						continue
+					}
+					cands = append(cands, pairCand{li: i, r: r.Clone(), rp: rp})
 				}
-				return nil
+			}
+			chunks, st := core.RunMorsels(len(cands), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
+				var out []Row
+				for i := lo; i < hi; i++ {
+					c := &cands[i]
+					ln.Stats.Rows++
+					ln.Stats.Candidates++
+					if left.Op.MatchPhonemesScratch(leftPhon[c.li], c.rp, threshold, ln.Scratch) {
+						out = append(out, concat(leftRows[c.li], c.r))
+					}
+				}
+				return out
 			})
-			return out, err
+			return finish(chunks, st)
 
 		default:
 			return nil, fmt.Errorf("lexequal: unknown strategy %v", strat)

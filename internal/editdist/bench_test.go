@@ -46,6 +46,23 @@ func BenchmarkDistanceBounded(b *testing.B) {
 	}
 }
 
+// BenchmarkDistanceBoundedScratch is the hot-path contract benchmark:
+// per-worker scratch, 0 allocs/op.
+func BenchmarkDistanceBoundedScratch(b *testing.B) {
+	cm := benchModel()
+	for _, p := range benchPairs {
+		b.Run(p.name, func(b *testing.B) {
+			s := NewScratch()
+			bound := 0.25 * float64(len(p.b))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				DistanceBoundedScratch(p.a, p.b, cm, bound, s)
+			}
+		})
+	}
+}
+
 func BenchmarkAlign(b *testing.B) {
 	cm := benchModel()
 	for i := 0; i < b.N; i++ {

@@ -9,39 +9,15 @@ import (
 
 // Distance computes the edit distance between phoneme strings a and b
 // under the given cost model, with the classical O(|a|·|b|) dynamic
-// program of Figure 8 (two-row formulation, O(min) extra space after the
-// swap below).
+// program of Figure 8 (two-row formulation, O(min) extra space). It is
+// a convenience wrapper over DistanceScratch that borrows DP rows from
+// the shared pool; scans that run millions of comparisons should thread
+// their own Scratch instead.
 func Distance(a, b phoneme.String, cm CostModel) float64 {
-	// Keep the shorter string as the column dimension.
-	if len(b) > len(a) {
-		a, b = b, a
-	}
-	n := len(b)
-	prev := make([]float64, n+1)
-	curr := make([]float64, n+1)
-	prev[0] = 0
-	for j := 1; j <= n; j++ {
-		prev[j] = prev[j-1] + cm.Ins(b[j-1])
-	}
-	for i := 1; i <= len(a); i++ {
-		curr[0] = prev[0] + cm.Del(a[i-1])
-		ai := a[i-1]
-		for j := 1; j <= n; j++ {
-			del := prev[j] + cm.Del(ai)
-			ins := curr[j-1] + cm.Ins(b[j-1])
-			sub := prev[j-1] + cm.Sub(ai, b[j-1])
-			m := del
-			if ins < m {
-				m = ins
-			}
-			if sub < m {
-				m = sub
-			}
-			curr[j] = m
-		}
-		prev, curr = curr, prev
-	}
-	return prev[n]
+	s := GetScratch()
+	d := DistanceScratch(a, b, cm, s)
+	PutScratch(s)
+	return d
 }
 
 // DistanceBounded computes the edit distance if it is at most bound and
@@ -51,84 +27,14 @@ func Distance(a, b phoneme.String, cm CostModel) float64 {
 // exceed the bound because reaching them requires that many net
 // insertions or deletions — and exits early when an entire row exceeds
 // the bound. This is the kernel the LexEQUAL operator actually runs:
-// the match threshold always supplies a bound.
+// the match threshold always supplies a bound. Like Distance it borrows
+// pooled scratch; see DistanceBoundedScratch for the allocation-free
+// form.
 func DistanceBounded(a, b phoneme.String, cm CostModel, bound float64) (float64, bool) {
-	if bound < 0 {
-		return 0, false
-	}
-	if len(b) > len(a) {
-		a, b = b, a
-	}
-	floor := cm.IndelFloor()
-	if floor <= 0 {
-		// Degenerate model: fall back to the full DP.
-		d := Distance(a, b, cm)
-		return d, d <= bound
-	}
-	k := int(bound / floor) // band half-width
-	if len(a)-len(b) > k {
-		// Length filter: |len(a)-len(b)|·floor already exceeds bound.
-		return 0, false
-	}
-	n := len(b)
-	const inf = 1e18
-	prev := make([]float64, n+1)
-	curr := make([]float64, n+1)
-	prev[0] = 0
-	for j := 1; j <= n; j++ {
-		if j <= k {
-			prev[j] = prev[j-1] + cm.Ins(b[j-1])
-		} else {
-			prev[j] = inf
-		}
-	}
-	for i := 1; i <= len(a); i++ {
-		lo := i - k
-		if lo < 1 {
-			lo = 1
-		}
-		hi := i + k
-		if hi > n {
-			hi = n
-		}
-		if lo > 1 {
-			curr[lo-1] = inf
-		} else {
-			curr[0] = prev[0] + cm.Del(a[i-1])
-		}
-		ai := a[i-1]
-		rowMin := inf
-		if lo == 1 && curr[0] < rowMin {
-			rowMin = curr[0]
-		}
-		for j := lo; j <= hi; j++ {
-			del := prev[j] + cm.Del(ai)
-			ins := curr[j-1] + cm.Ins(b[j-1])
-			sub := prev[j-1] + cm.Sub(ai, b[j-1])
-			m := del
-			if ins < m {
-				m = ins
-			}
-			if sub < m {
-				m = sub
-			}
-			curr[j] = m
-			if m < rowMin {
-				rowMin = m
-			}
-		}
-		if hi < n {
-			curr[hi+1] = inf
-		}
-		if rowMin > bound {
-			return 0, false
-		}
-		prev, curr = curr, prev
-	}
-	if prev[n] > bound {
-		return 0, false
-	}
-	return prev[n], true
+	s := GetScratch()
+	d, ok := DistanceBoundedScratch(a, b, cm, bound, s)
+	PutScratch(s)
+	return d, ok
 }
 
 // OpKind labels one step of an alignment.

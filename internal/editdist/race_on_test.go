@@ -1,0 +1,7 @@
+//go:build race
+
+package editdist
+
+// raceEnabled gates allocation-count assertions, which the race
+// detector's instrumentation would otherwise make flaky.
+const raceEnabled = true

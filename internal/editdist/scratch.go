@@ -1,0 +1,335 @@
+package editdist
+
+import (
+	"math"
+	"sync"
+
+	"lexequal/internal/phoneme"
+)
+
+// Scratch holds the reusable working state of the DP kernels: the two
+// row buffers (float and quantized-integer variants) and the running
+// count of DP cells evaluated. Buffers grow on demand and are never
+// shrunk, so a Scratch threaded through a scan amortizes to zero
+// allocations per comparison. A Scratch is not safe for concurrent use;
+// give each worker its own (the morsel scheduler in internal/core does
+// exactly that).
+type Scratch struct {
+	fprev, fcurr []float64
+	iprev, icurr []int32
+	cells        int64
+}
+
+// NewScratch returns an empty scratch. The zero value is also valid.
+func NewScratch() *Scratch { return new(Scratch) }
+
+// Cells returns the number of DP cells evaluated through this scratch
+// since the last TakeCells.
+func (s *Scratch) Cells() int64 { return s.cells }
+
+// TakeCells returns the DP-cell count and resets it, so per-stage
+// counters can harvest work done between checkpoints.
+func (s *Scratch) TakeCells() int64 {
+	c := s.cells
+	s.cells = 0
+	return c
+}
+
+// floatRows returns two zeroed-length-irrelevant float rows of length
+// at least n, reusing the scratch buffers.
+func (s *Scratch) floatRows(n int) (prev, curr []float64) {
+	if cap(s.fprev) < n {
+		s.fprev = make([]float64, n)
+		s.fcurr = make([]float64, n)
+	}
+	return s.fprev[:n], s.fcurr[:n]
+}
+
+// intRows is floatRows for the quantized kernel.
+func (s *Scratch) intRows(n int) (prev, curr []int32) {
+	if cap(s.iprev) < n {
+		s.iprev = make([]int32, n)
+		s.icurr = make([]int32, n)
+	}
+	return s.iprev[:n], s.icurr[:n]
+}
+
+// scratchPool backs the legacy Distance/DistanceBounded entry points so
+// existing callers get the allocation-free kernels without an API
+// change.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch borrows a scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a scratch to the shared pool.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// intModel is a cost model quantized to small non-negative integers:
+// every cost times 1/scale. It exists for the built-in models (Unit,
+// Clustered) whose costs are exact multiples of a small power of two,
+// which is the common operating point (ICSC 0.25, weak indel 0.5). The
+// integer kernel makes identical accept/reject decisions to the float
+// kernel — dyadic costs sum exactly in both domains — while avoiding
+// float traffic and interface dispatch in the inner loop.
+type intModel struct {
+	clusters *phoneme.Clusters // nil disables clustering (Unit model)
+	scale    int32             // cost unit: true cost = int cost / scale
+	icsc     int32             // intra-cluster substitution cost (scaled)
+	weak     int32             // weak-phoneme indel cost (scaled); 0 = no discount
+}
+
+// intInf is the quantized kernel's +infinity. Small enough that adding
+// any per-edit cost (≤ maxQuantScale) cannot overflow int32.
+const intInf = math.MaxInt32 / 4
+
+// maxQuantScale caps the quantization search. 1<<12 covers every cost
+// expressible in twelfths-of-a-bit granularity; models finer than that
+// take the float kernel.
+const maxQuantScale = 1 << 12
+
+func (m intModel) indel(p phoneme.Phoneme) int32 {
+	if m.weak > 0 && weak(p) {
+		return m.weak
+	}
+	return m.scale
+}
+
+func (m intModel) sub(a, b phoneme.Phoneme) int32 {
+	if a == b {
+		return 0
+	}
+	if m.clusters != nil && m.clusters.Same(a, b) {
+		return m.icsc
+	}
+	return m.scale
+}
+
+// indelFloor is the quantized IndelFloor: the cheapest possible indel.
+func (m intModel) indelFloor() int32 {
+	if m.weak > 0 {
+		return m.weak
+	}
+	return m.scale
+}
+
+// quantize maps a cost model onto an exact small-integer grid, or
+// reports that no such grid exists (ok=false → float kernel).
+func quantize(cm CostModel) (intModel, bool) {
+	switch m := cm.(type) {
+	case Unit:
+		return intModel{scale: 1, icsc: 1}, true
+	case Clustered:
+		for scale := int32(1); scale <= maxQuantScale; scale <<= 1 {
+			ic := m.ICSC * float64(scale)
+			wk := m.WeakIndel * float64(scale)
+			if ic == math.Trunc(ic) && wk == math.Trunc(wk) {
+				return intModel{clusters: m.Clusters, scale: scale, icsc: int32(ic), weak: int32(wk)}, true
+			}
+		}
+	}
+	return intModel{}, false
+}
+
+// DistanceScratch is Distance with caller-provided scratch (zero
+// allocations once the scratch has grown to the workload's row length).
+func DistanceScratch(a, b phoneme.String, cm CostModel, s *Scratch) float64 {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	n := len(b)
+	prev, curr := s.floatRows(n + 1)
+	prev[0] = 0
+	for j := 1; j <= n; j++ {
+		prev[j] = prev[j-1] + cm.Ins(b[j-1])
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = prev[0] + cm.Del(a[i-1])
+		ai := a[i-1]
+		for j := 1; j <= n; j++ {
+			del := prev[j] + cm.Del(ai)
+			ins := curr[j-1] + cm.Ins(b[j-1])
+			sub := prev[j-1] + cm.Sub(ai, b[j-1])
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	s.cells += int64(len(a)) * int64(n)
+	return prev[n]
+}
+
+// DistanceBoundedScratch is DistanceBounded with caller-provided
+// scratch. It dispatches to the quantized integer kernel when the cost
+// model sits exactly on a small-integer grid, and to the float kernel
+// otherwise; both make identical accept/reject decisions.
+func DistanceBoundedScratch(a, b phoneme.String, cm CostModel, bound float64, s *Scratch) (float64, bool) {
+	if bound < 0 {
+		return 0, false
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	if m, ok := quantize(cm); ok {
+		if bs := bound * float64(m.scale); bs < float64(intInf) {
+			return m.distanceBounded(a, b, int32(bs), s)
+		}
+	}
+	return distanceBoundedFloat(a, b, cm, bound, s)
+}
+
+// distanceBounded is the quantized banded DP: all arithmetic in int32,
+// the bound pre-scaled and floored (d ≤ bound ⟺ scaled d ≤ ⌊bound·scale⌋
+// because scaled distances are integers).
+func (m intModel) distanceBounded(a, b phoneme.String, ibound int32, s *Scratch) (float64, bool) {
+	floor := m.indelFloor()
+	k := int(ibound / floor) // band half-width
+	if len(a)-len(b) > k {
+		return 0, false
+	}
+	n := len(b)
+	prev, curr := s.intRows(n + 1)
+	prev[0] = 0
+	for j := 1; j <= n; j++ {
+		if j <= k {
+			prev[j] = prev[j-1] + m.indel(b[j-1])
+		} else {
+			prev[j] = intInf
+		}
+	}
+	cells := int64(0)
+	for i := 1; i <= len(a); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		if lo > 1 {
+			curr[lo-1] = intInf
+		} else {
+			curr[0] = prev[0] + m.indel(a[i-1])
+		}
+		ai := a[i-1]
+		rowMin := int32(intInf)
+		if lo == 1 && curr[0] < rowMin {
+			rowMin = curr[0]
+		}
+		for j := lo; j <= hi; j++ {
+			del := prev[j] + m.indel(ai)
+			ins := curr[j-1] + m.indel(b[j-1])
+			sub := prev[j-1] + m.sub(ai, b[j-1])
+			v := del
+			if ins < v {
+				v = ins
+			}
+			if sub < v {
+				v = sub
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		cells += int64(hi - lo + 1)
+		if hi < n {
+			curr[hi+1] = intInf
+		}
+		if rowMin > ibound {
+			s.cells += cells
+			return 0, false
+		}
+		prev, curr = curr, prev
+	}
+	s.cells += cells
+	if prev[n] > ibound {
+		return 0, false
+	}
+	return float64(prev[n]) / float64(m.scale), true
+}
+
+// distanceBoundedFloat is the original float banded DP over scratch
+// rows, kept for cost models that do not quantize exactly.
+func distanceBoundedFloat(a, b phoneme.String, cm CostModel, bound float64, s *Scratch) (float64, bool) {
+	floor := cm.IndelFloor()
+	if floor <= 0 {
+		// Degenerate model: fall back to the full DP.
+		d := DistanceScratch(a, b, cm, s)
+		return d, d <= bound
+	}
+	k := int(bound / floor) // band half-width
+	if len(a)-len(b) > k {
+		// Length filter: |len(a)-len(b)|·floor already exceeds bound.
+		return 0, false
+	}
+	n := len(b)
+	const inf = 1e18
+	prev, curr := s.floatRows(n + 1)
+	prev[0] = 0
+	for j := 1; j <= n; j++ {
+		if j <= k {
+			prev[j] = prev[j-1] + cm.Ins(b[j-1])
+		} else {
+			prev[j] = inf
+		}
+	}
+	cells := int64(0)
+	for i := 1; i <= len(a); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			curr[0] = prev[0] + cm.Del(a[i-1])
+		}
+		ai := a[i-1]
+		rowMin := inf
+		if lo == 1 && curr[0] < rowMin {
+			rowMin = curr[0]
+		}
+		for j := lo; j <= hi; j++ {
+			del := prev[j] + cm.Del(ai)
+			ins := curr[j-1] + cm.Ins(b[j-1])
+			sub := prev[j-1] + cm.Sub(ai, b[j-1])
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			curr[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		cells += int64(hi - lo + 1)
+		if hi < n {
+			curr[hi+1] = inf
+		}
+		if rowMin > bound {
+			s.cells += cells
+			return 0, false
+		}
+		prev, curr = curr, prev
+	}
+	s.cells += cells
+	if prev[n] > bound {
+		return 0, false
+	}
+	return prev[n], true
+}

@@ -1,0 +1,163 @@
+package editdist
+
+import (
+	"testing"
+
+	"lexequal/internal/phoneme"
+)
+
+// opaque hides the concrete model type so quantize never fires and the
+// float kernel runs — the reference the integer fast path must match.
+type opaque struct{ CostModel }
+
+// scratchModels covers both kernel dispatches: Unit and the default
+// clustered operating point quantize exactly (integer kernel); ICSC 0.3
+// and the feature model do not (float kernel).
+func scratchModels(t *testing.T) []CostModel {
+	t.Helper()
+	q, err := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nq, err := NewClustered(phoneme.DefaultClusters(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []CostModel{Unit{}, q, nq, Feature{}}
+}
+
+// scratchCorpus is a deterministic spread of lengths and distances,
+// including empty and wildly different strings.
+func scratchCorpus() []phoneme.String {
+	raw := []string{
+		"", "n", "neru", "nero", "nehru", "neːru",
+		"dʒəʋaːɦərlaːl", "dʒawɑhɑrlɑl", "pɒtæsiəm",
+		"sita", "ɡita", "kristəfər", "xristos",
+	}
+	out := make([]phoneme.String, len(raw))
+	for i, s := range raw {
+		out[i] = phoneme.MustParse(s)
+	}
+	return out
+}
+
+func TestQuantizeDispatch(t *testing.T) {
+	if _, ok := quantize(Unit{}); !ok {
+		t.Error("Unit should quantize")
+	}
+	q, _ := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	m, ok := quantize(q)
+	if !ok || m.scale != 4 || m.icsc != 1 || m.weak != 2 {
+		t.Errorf("quantize(icsc=0.25,weak=0.5) = %+v, %v; want scale 4, icsc 1, weak 2", m, ok)
+	}
+	nq, _ := NewClustered(phoneme.DefaultClusters(), 0.3)
+	if _, ok := quantize(nq); ok {
+		t.Error("ICSC=0.3 should not quantize (not dyadic)")
+	}
+	if _, ok := quantize(Feature{}); ok {
+		t.Error("Feature should not quantize")
+	}
+}
+
+// TestScratchAgreesWithLegacy pins the scratch kernels — including the
+// integer fast path — to the full DP and to the float banded kernel
+// (forced via an opaque model wrapper) on every model × pair × bound.
+func TestScratchAgreesWithLegacy(t *testing.T) {
+	corpus := scratchCorpus()
+	s := NewScratch()
+	fs := NewScratch()
+	for _, cm := range scratchModels(t) {
+		for _, a := range corpus {
+			for _, b := range corpus {
+				full := DistanceScratch(a, b, cm, s)
+				for _, bound := range []float64{-1, 0, 0.25, 0.3 * float64(min(len(a), len(b))), full, full - 0.01, full + 0.5, 100} {
+					d, ok := DistanceBoundedScratch(a, b, cm, bound, s)
+					fd, fok := DistanceBoundedScratch(a, b, opaque{cm}, bound, fs)
+					if ok != fok || (ok && d != fd) {
+						t.Fatalf("%s: int/float kernels disagree on (%s, %s, %g): (%v,%v) vs (%v,%v)",
+							cm.Name(), a, b, bound, d, ok, fd, fok)
+					}
+					wantOK := bound >= 0 && full <= bound
+					if ok != wantOK {
+						t.Fatalf("%s: DistanceBoundedScratch(%s, %s, %g) ok=%v, full distance %g",
+							cm.Name(), a, b, bound, ok, full)
+					}
+					if ok && d != full {
+						t.Fatalf("%s: bounded distance %g != full %g for (%s, %s)", cm.Name(), d, full, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLegacyWrappersStillWork exercises the pooled entry points.
+func TestLegacyWrappersStillWork(t *testing.T) {
+	u := Unit{}
+	if got := Distance(phoneme.MustParse("neru"), phoneme.MustParse("nero"), u); got != 1 {
+		t.Errorf("Distance = %v, want 1", got)
+	}
+	if d, ok := DistanceBounded(phoneme.MustParse("neru"), phoneme.MustParse("nero"), u, 1); !ok || d != 1 {
+		t.Errorf("DistanceBounded = %v, %v; want 1, true", d, ok)
+	}
+	if _, ok := DistanceBounded(phoneme.MustParse("neru"), phoneme.MustParse("pɒtæsiəm"), u, 1); ok {
+		t.Error("DistanceBounded accepted a far pair at bound 1")
+	}
+}
+
+func TestScratchCellCounter(t *testing.T) {
+	s := NewScratch()
+	cm, _ := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	a, b := phoneme.MustParse("dʒəʋaːɦərlaːl"), phoneme.MustParse("dʒawɑhɑrlɑl")
+	if _, ok := DistanceBoundedScratch(a, b, cm, 0.3*float64(len(b)), s); !ok {
+		t.Fatal("expected a match")
+	}
+	if s.Cells() <= 0 {
+		t.Fatalf("Cells = %d, want > 0", s.Cells())
+	}
+	first := s.TakeCells()
+	if first <= 0 || s.Cells() != 0 {
+		t.Fatalf("TakeCells = %d, residual %d; want positive and zero", first, s.Cells())
+	}
+	// The banded kernel evaluates no more cells than the full DP.
+	DistanceScratch(a, b, cm, s)
+	fullCells := s.TakeCells()
+	if first > fullCells {
+		t.Errorf("banded cells %d > full DP cells %d", first, fullCells)
+	}
+}
+
+// TestDistanceBoundedScratchZeroAllocs is the allocation contract of
+// the hot kernel: once the scratch has grown, a comparison allocates
+// nothing, on both the integer and the float kernel.
+func TestDistanceBoundedScratchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	// Box the models once: callers hold the cost model in a CostModel
+	// field, so per-call interface conversion is not part of the contract.
+	cw, _ := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	cn, _ := NewClustered(phoneme.DefaultClusters(), 0.3)
+	var cm, nq CostModel = cw, cn
+	a, b := phoneme.MustParse("dʒəʋaːɦərlaːl"), phoneme.MustParse("dʒawɑhɑrlɑl")
+	bound := 0.3 * float64(len(b))
+	s := NewScratch()
+	DistanceBoundedScratch(a, b, cm, bound, s) // warm the buffers
+	DistanceBoundedScratch(a, b, nq, bound, s)
+	if n := testing.AllocsPerRun(200, func() {
+		DistanceBoundedScratch(a, b, cm, bound, s)
+	}); n != 0 {
+		t.Errorf("integer kernel: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		DistanceBoundedScratch(a, b, nq, bound, s)
+	}); n != 0 {
+		t.Errorf("float kernel: %v allocs/op, want 0", n)
+	}
+	// The pooled wrapper is also allocation-free in steady state.
+	if n := testing.AllocsPerRun(200, func() {
+		DistanceBounded(a, b, cm, bound)
+	}); n != 0 {
+		t.Errorf("pooled DistanceBounded: %v allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lexequal/internal/core"
+)
+
+// PipelineCounters accumulates per-stage execution counters across
+// queries: rows probed, candidates admitted to DP verification, rows
+// pruned by the length and count filters, DP cells evaluated, matches
+// reported, and q-gram signature-cache hits. All fields are atomics so
+// morsel workers and concurrent sessions can record without a lock.
+type PipelineCounters struct {
+	Queries      atomic.Int64
+	Rows         atomic.Int64
+	Candidates   atomic.Int64
+	PrunedLength atomic.Int64
+	PrunedCount  atomic.Int64
+	DPCells      atomic.Int64
+	Matches      atomic.Int64
+	SigCacheHits atomic.Int64
+}
+
+// Record folds one strategy execution's Stats into the counters.
+func (pc *PipelineCounters) Record(st core.Stats) {
+	pc.Queries.Add(1)
+	pc.Rows.Add(int64(st.Rows))
+	pc.Candidates.Add(int64(st.Candidates))
+	pc.PrunedLength.Add(int64(st.PrunedLength))
+	pc.PrunedCount.Add(int64(st.PrunedCount))
+	pc.DPCells.Add(st.DPCells)
+	pc.Matches.Add(int64(st.Matches))
+	pc.SigCacheHits.Add(int64(st.SigCacheHits))
+}
+
+// Reset zeroes every counter.
+func (pc *PipelineCounters) Reset() {
+	pc.Queries.Store(0)
+	pc.Rows.Store(0)
+	pc.Candidates.Store(0)
+	pc.PrunedLength.Store(0)
+	pc.PrunedCount.Store(0)
+	pc.DPCells.Store(0)
+	pc.Matches.Store(0)
+	pc.SigCacheHits.Store(0)
+}
+
+// PipelineSnapshot is a point-in-time copy of the counters, safe to
+// compare and render.
+type PipelineSnapshot struct {
+	Queries      int64
+	Rows         int64
+	Candidates   int64
+	PrunedLength int64
+	PrunedCount  int64
+	DPCells      int64
+	Matches      int64
+	SigCacheHits int64
+}
+
+// Snapshot copies the current counter values.
+func (pc *PipelineCounters) Snapshot() PipelineSnapshot {
+	return PipelineSnapshot{
+		Queries:      pc.Queries.Load(),
+		Rows:         pc.Rows.Load(),
+		Candidates:   pc.Candidates.Load(),
+		PrunedLength: pc.PrunedLength.Load(),
+		PrunedCount:  pc.PrunedCount.Load(),
+		DPCells:      pc.DPCells.Load(),
+		Matches:      pc.Matches.Load(),
+		SigCacheHits: pc.SigCacheHits.Load(),
+	}
+}
+
+// PruneRate is the fraction of probed rows eliminated before DP
+// verification (0 when nothing was probed).
+func (s PipelineSnapshot) PruneRate() float64 {
+	if s.Rows == 0 {
+		return 0
+	}
+	return float64(s.PrunedLength+s.PrunedCount) / float64(s.Rows)
+}
+
+// String renders the snapshot as the one-line summary used by SHOW
+// LEXSTATS and the bench tool.
+func (s PipelineSnapshot) String() string {
+	return fmt.Sprintf(
+		"queries=%d rows=%d pruned_length=%d pruned_count=%d candidates=%d dp_cells=%d matches=%d sig_cache_hits=%d",
+		s.Queries, s.Rows, s.PrunedLength, s.PrunedCount, s.Candidates, s.DPCells, s.Matches, s.SigCacheHits)
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"lexequal/internal/core"
+)
+
+func TestPipelineCountersRecord(t *testing.T) {
+	var pc PipelineCounters
+	pc.Record(core.Stats{Rows: 10, Candidates: 4, Matches: 2,
+		PrunedLength: 5, PrunedCount: 1, DPCells: 123, SigCacheHits: 3})
+	pc.Record(core.Stats{Rows: 7, Candidates: 7, Matches: 1, DPCells: 77})
+	s := pc.Snapshot()
+	want := PipelineSnapshot{Queries: 2, Rows: 17, Candidates: 11,
+		PrunedLength: 5, PrunedCount: 1, DPCells: 200, Matches: 3, SigCacheHits: 3}
+	if s != want {
+		t.Errorf("Snapshot = %+v, want %+v", s, want)
+	}
+	if got := s.PruneRate(); got != 6.0/17.0 {
+		t.Errorf("PruneRate = %v", got)
+	}
+	for _, frag := range []string{"queries=2", "rows=17", "dp_cells=200", "sig_cache_hits=3"} {
+		if !strings.Contains(s.String(), frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+	pc.Reset()
+	if z := pc.Snapshot(); z != (PipelineSnapshot{}) {
+		t.Errorf("Reset left %+v", z)
+	}
+	if (PipelineSnapshot{}).PruneRate() != 0 {
+		t.Error("empty snapshot PruneRate != 0")
+	}
+}
+
+// TestPipelineCountersConcurrent hammers Record from many goroutines;
+// meaningful under -race and checks the totals are exact.
+func TestPipelineCountersConcurrent(t *testing.T) {
+	var pc PipelineCounters
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pc.Record(core.Stats{Rows: 1, Candidates: 1, DPCells: 2})
+			}
+		}()
+	}
+	wg.Wait()
+	s := pc.Snapshot()
+	if s.Queries != goroutines*rounds || s.Rows != goroutines*rounds || s.DPCells != 2*goroutines*rounds {
+		t.Errorf("lost updates: %+v", s)
+	}
+}

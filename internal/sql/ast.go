@@ -99,9 +99,9 @@ type SetStmt struct {
 
 func (*SetStmt) stmt() {}
 
-// ShowStmt is SHOW TABLES or SHOW INDEXES.
+// ShowStmt is SHOW TABLES, SHOW INDEXES or SHOW LEXSTATS.
 type ShowStmt struct {
-	What string // "TABLES" or "INDEXES"
+	What string // "TABLES", "INDEXES" or "LEXSTATS"
 }
 
 func (*ShowStmt) stmt() {}

@@ -127,8 +127,10 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return &ShowStmt{What: "TABLES"}, nil
 		case p.accept(tokKeyword, "INDEXES"):
 			return &ShowStmt{What: "INDEXES"}, nil
+		case p.accept(tokKeyword, "LEXSTATS"):
+			return &ShowStmt{What: "LEXSTATS"}, nil
 		default:
-			return nil, p.errf("expected TABLES or INDEXES after SHOW")
+			return nil, p.errf("expected TABLES, INDEXES or LEXSTATS after SHOW")
 		}
 	default:
 		return nil, p.errf("expected a statement, found %s", p.peek())

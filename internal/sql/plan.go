@@ -256,8 +256,17 @@ func isAggregate(name string) bool {
 
 // planInfo carries EXPLAIN information.
 type planInfo struct {
-	strategy string
-	shape    string
+	strategy    string
+	shape       string
+	parallelism int
+}
+
+// configureLex applies the session execution knobs to a resolved
+// LexConfig and notes them for EXPLAIN.
+func (s *Session) configureLex(cfg *db.LexConfig, info *planInfo) {
+	cfg.Workers = s.Parallelism
+	cfg.Counters = &s.Pipeline
+	info.parallelism = s.Parallelism
 }
 
 // planSelect lowers a SELECT into an executor tree.
@@ -266,7 +275,7 @@ func (s *Session) planSelect(sel *SelectStmt) (db.Node, []string, *planInfo, err
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	info := &planInfo{strategy: "generic"}
+	info := &planInfo{strategy: "generic", parallelism: 1}
 
 	// Build the base relation (scans + joins + where), recognizing the
 	// LexEQUAL plan patterns.
@@ -367,6 +376,7 @@ func (s *Session) planBase(sc *scope, sel *SelectStmt, info *planInfo) (db.Node,
 					if err != nil {
 						return nil, nil, err
 					}
+					s.configureLex(cfg, info)
 					node, strat := s.lexScan(cfg, qt, thr, langs)
 					info.strategy = strat
 					info.shape = fmt.Sprintf("lexequal-scan(%s) on %s", strat, b.table.Name)
@@ -397,6 +407,8 @@ func (s *Session) planBase(sc *scope, sel *SelectStmt, info *planInfo) (db.Node,
 							if thr < 0 {
 								thr = s.Threshold
 							}
+							s.configureLex(leftCfg, info)
+							s.configureLex(rightCfg, info)
 							node := db.NewLexJoin(leftCfg, rightCfg, thr, false, s.Strategy)
 							if lb > rb {
 								// Output layout is left++right in FROM

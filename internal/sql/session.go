@@ -7,6 +7,7 @@ import (
 
 	"lexequal/internal/core"
 	"lexequal/internal/db"
+	"lexequal/internal/metrics"
 	"lexequal/internal/phoneme"
 	"lexequal/internal/script"
 	"lexequal/internal/store"
@@ -21,12 +22,20 @@ import (
 //	SET lexequal_icsc      = 0.25
 //	SET lexequal_clusters  = default | coarse | fine
 //	SET lexequal_weakindel = 0.5
+//	SET parallelism        = 1 | n | 0 (0 = GOMAXPROCS)
 type Session struct {
 	DB        *db.DB
 	Op        *core.Operator
 	Funcs     *db.FuncRegistry
 	Strategy  core.Strategy
 	Threshold float64
+	// Parallelism is the morsel-pool width of the LexEQUAL verification
+	// stage (SET PARALLELISM = n). 1 is serial; 0 selects GOMAXPROCS.
+	// Results are identical at any width.
+	Parallelism int
+	// Pipeline accumulates per-stage execution counters across the
+	// session's LexEQUAL queries (SHOW LEXSTATS).
+	Pipeline metrics.PipelineCounters
 }
 
 // NewSession builds a session over an open database. A nil op selects
@@ -40,10 +49,11 @@ func NewSession(d *db.DB, op *core.Operator) (*Session, error) {
 		}
 	}
 	s := &Session{
-		DB:        d,
-		Op:        op,
-		Strategy:  core.Naive,
-		Threshold: op.Threshold(),
+		DB:          d,
+		Op:          op,
+		Strategy:    core.Naive,
+		Threshold:   op.Threshold(),
+		Parallelism: 1,
 	}
 	s.installFuncs()
 	return s, nil
@@ -105,9 +115,13 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		plan := fmt.Sprintf("%s [lexequal strategy: %s]", info.shape, info.strategy)
+		if info.parallelism > 1 || info.parallelism == 0 {
+			plan += fmt.Sprintf(" [parallelism: %d]", info.parallelism)
+		}
 		return &Result{
 			Cols: []string{"plan"},
-			Rows: []db.Row{{db.Str(fmt.Sprintf("%s [lexequal strategy: %s]", info.shape, info.strategy))}},
+			Rows: []db.Row{{db.Str(plan)}},
 		}, nil
 
 	case *CreateTableStmt:
@@ -172,12 +186,26 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 	case *ShowStmt:
 		var rows []db.Row
 		var col string
-		if st.What == "TABLES" {
+		switch st.What {
+		case "LEXSTATS":
+			snap := s.Pipeline.Snapshot()
+			rows = []db.Row{
+				{db.Str("queries"), db.Int(snap.Queries)},
+				{db.Str("rows_probed"), db.Int(snap.Rows)},
+				{db.Str("pruned_length"), db.Int(snap.PrunedLength)},
+				{db.Str("pruned_count"), db.Int(snap.PrunedCount)},
+				{db.Str("candidates"), db.Int(snap.Candidates)},
+				{db.Str("dp_cells"), db.Int(snap.DPCells)},
+				{db.Str("matches"), db.Int(snap.Matches)},
+				{db.Str("sig_cache_hits"), db.Int(snap.SigCacheHits)},
+			}
+			return &Result{Cols: []string{"counter", "value"}, Rows: rows}, nil
+		case "TABLES":
 			col = "table"
 			for _, name := range s.DB.Tables() {
 				rows = append(rows, db.Row{db.Str(name)})
 			}
-		} else {
+		default:
 			col = "index"
 			for _, name := range s.DB.Indexes() {
 				rows = append(rows, db.Row{db.Str(name)})
@@ -288,6 +316,13 @@ func (s *Session) execSet(st *SetStmt) (*Result, error) {
 			WeakIndel: s.Op.WeakIndel(), WeakIndelSet: true,
 			DefaultThreshold: s.Threshold,
 		}, ack)
+	case "parallelism", "lexequal_parallelism":
+		v, err := strconv.Atoi(st.Value)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("sql: parallelism must be a non-negative integer (0 = GOMAXPROCS)")
+		}
+		s.Parallelism = v
+		return ack()
 	case "lexequal_weakindel":
 		v, err := strconv.ParseFloat(st.Value, 64)
 		if err != nil {

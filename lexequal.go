@@ -206,24 +206,33 @@ func (m *Matcher) NewCorpus(texts []Text) (*Corpus, error) {
 	return m.op.NewCorpus(texts)
 }
 
+// ExecOption tunes how a corpus query executes without changing its
+// result (see Parallel).
+type ExecOption = core.ExecOption
+
+// Parallel runs a query's candidate loop on a morsel-driven worker pool
+// of the given width. workers <= 0 selects GOMAXPROCS; 1 (the default)
+// is the serial path. Results and Stats are identical at any width.
+func Parallel(workers int) ExecOption { return core.Parallel(workers) }
+
 // Select finds the corpus rows matching query at the threshold (negative
 // = matcher default), restricted to langs (nil = all), under the
 // strategy.
-func (m *Matcher) Select(c *Corpus, query Text, threshold float64, langs LangSet, strat Strategy) ([]int, Stats, error) {
-	return c.Select(query, threshold, langs, strat)
+func (m *Matcher) Select(c *Corpus, query Text, threshold float64, langs LangSet, strat Strategy, opts ...ExecOption) ([]int, Stats, error) {
+	return c.Select(query, threshold, langs, strat, opts...)
 }
 
 // Join finds all cross-corpus matching pairs; requireDifferentLang
 // restricts to pairs in different languages (the paper's equi-join
 // example).
-func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
-	return core.Join(left, right, threshold, requireDifferentLang, strat)
+func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, strat Strategy, opts ...ExecOption) ([]Pair, Stats, error) {
+	return core.Join(left, right, threshold, requireDifferentLang, strat, opts...)
 }
 
 // SelfJoin joins a corpus with itself, returning each unordered pair
 // once.
-func SelfJoin(c *Corpus, threshold float64, requireDifferentLang bool, strat Strategy) ([]Pair, Stats, error) {
-	return core.SelfJoin(c, threshold, requireDifferentLang, strat)
+func SelfJoin(c *Corpus, threshold float64, requireDifferentLang bool, strat Strategy, opts ...ExecOption) ([]Pair, Stats, error) {
+	return core.SelfJoin(c, threshold, requireDifferentLang, strat, opts...)
 }
 
 // MetricIndex is a BK-tree over a corpus's phoneme strings: the metric
