@@ -6,7 +6,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke bench ci clean
+.PHONY: all build vet lint test race fuzz-smoke bench serve-smoke ci clean
 
 all: build
 
@@ -40,7 +40,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSQLParse -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz FuzzTTPConvert -fuzztime $(FUZZTIME) ./internal/ttp/
 
-ci: vet build lint race fuzz-smoke bench
+# End-to-end smoke of lexequald (DESIGN.md §10): spawn a server, run a
+# mixed workload through the network client, SIGTERM, require a clean
+# drain with exit 0.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: vet build lint race fuzz-smoke serve-smoke bench
 
 clean:
 	$(GO) clean ./...

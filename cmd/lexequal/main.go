@@ -11,10 +11,12 @@
 //	lexequal clusters [-set default|coarse|fine]
 //	lexequal sql -db DIR [STATEMENT]     (no statement: read from stdin)
 //	lexequal check DIR                   (verify database integrity)
+//	lexequal client -addr HOST:PORT [STATEMENT...]   (talk to lexequald)
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 
 	"lexequal"
 	"lexequal/internal/phoneme"
+	"lexequal/internal/server"
 )
 
 func main() {
@@ -43,6 +46,8 @@ func main() {
 		err = cmdSQL(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,6 +71,7 @@ commands:
   clusters  show a phoneme cluster partition
   sql       run SQL with the LexEQUAL extensions against a database dir
   check     verify the integrity of a database dir (checksums, structure, indexes)
+  client    send statements to a running lexequald server
 `)
 }
 
@@ -227,6 +233,57 @@ func cmdSQL(args []string) error {
 		}
 		for _, stmt := range strings.Split(sc.Text(), ";") {
 			exec(stmt)
+		}
+	}
+	return sc.Err()
+}
+
+// cmdClient is the network counterpart of cmdSQL: statements go to a
+// running lexequald over the frame protocol (including the STATUS
+// admin command). It doubles as the serve-smoke client in CI.
+func cmdClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7045", "lexequald address")
+	fs.Parse(args)
+	c, err := server.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	exec := func(stmt string) error {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return nil
+		}
+		out, err := c.Query(stmt)
+		if err != nil {
+			var re *server.RemoteError
+			if errors.As(err, &re) {
+				fmt.Fprintln(os.Stderr, "error:", re.Msg)
+				return nil // statement failed; connection still good
+			}
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	if fs.NArg() > 0 {
+		// Each argument is one statement, so shell-quoted statements
+		// containing spaces pass through unsplit.
+		for _, stmt := range fs.Args() {
+			if err := exec(stmt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		for _, stmt := range strings.Split(sc.Text(), ";") {
+			if err := exec(stmt); err != nil {
+				return err
+			}
 		}
 	}
 	return sc.Err()

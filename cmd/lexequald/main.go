@@ -1,0 +1,72 @@
+// Command lexequald serves a lexequal database over TCP: the SQL
+// subset (with the LexEQUAL extensions) behind a length-prefixed frame
+// protocol, one session per connection. See DESIGN.md §10.
+//
+// Usage:
+//
+//	lexequald -db DIR [-addr HOST:PORT] [-max-conns N]
+//	          [-query-timeout D] [-slow-query D]
+//
+// The bound address is printed as "listening on HOST:PORT" once the
+// listener is up (useful with -addr 127.0.0.1:0). SIGTERM or SIGINT
+// triggers a graceful drain: in-flight statements finish, their
+// responses are delivered, the pager is flushed once, and the process
+// exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lexequal/internal/db"
+	"lexequal/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lexequald:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("lexequald", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7045", "TCP listen address (port 0 = OS-assigned)")
+	dir := fs.String("db", "lexequal.db", "database directory (created if missing)")
+	maxConns := fs.Int("max-conns", 64, "max concurrently served connections")
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-statement deadline (0 = none)")
+	slowQuery := fs.Duration("slow-query", time.Second, "slow-query log threshold (0 = off)")
+	fs.Parse(os.Args[1:])
+
+	d, err := db.Open(*dir)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(d, nil, server.Config{
+		Addr:         *addr,
+		MaxConns:     *maxConns,
+		QueryTimeout: *queryTimeout,
+		SlowQuery:    *slowQuery,
+	})
+	if err != nil {
+		d.Close()
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		d.Close()
+		return err
+	}
+	fmt.Printf("listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	got := <-sig
+	fmt.Printf("received %s, draining\n", got)
+	// Shutdown finishes in-flight statements and flushes the pager
+	// exactly once; the database is closed by it, not here.
+	return srv.Shutdown()
+}

@@ -83,3 +83,64 @@ func suppressedCopy(g *guarded) {
 	snapshot := *g
 	_ = &snapshot
 }
+
+// --- latch-tier idioms from the serving layer (DESIGN.md §10) ---
+
+// pager mirrors store.Pager: a plain mutex over maps and counts.
+type pager struct {
+	mu    sync.Mutex
+	pages map[int]int
+}
+
+// tree mirrors store.BTree / store.HeapFile: a structure RWMutex
+// ("latch") over structural fields, shared by readers.
+type tree struct {
+	latch sync.RWMutex
+	root  int
+}
+
+func pagerSnapshot(p *pager) pager { // want `result passes a lock by value: the type contains sync\.Mutex`
+	return *p
+}
+
+func sumRoots(ts []tree) int {
+	total := 0
+	for _, t := range ts { // want `range value copies a lock: its type contains sync\.RWMutex; iterate by index or use pointers`
+		total += t.root
+	}
+	return total
+}
+
+// descendThenSplit is the in-place latch upgrade a B-tree writer must
+// never attempt: the writer queues behind its own read latch.
+func (t *tree) descendThenSplit() {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	if t.root == 0 {
+		t.latch.Lock() // want `t\.latch\.Lock\(\) while its read lock is held: an RWMutex cannot be upgraded`
+		t.root = 1
+		t.latch.Unlock()
+	}
+}
+
+// lockShared / lockExclusive is the sql.Session idiom: the two
+// acquisitions live in separate functions, so a caller that reads then
+// writes re-enters through the exclusive path instead of upgrading —
+// and the analyzer's straight-line check stays quiet.
+func (t *tree) lockShared() func() {
+	t.latch.RLock()
+	return t.latch.RUnlock
+}
+
+func (t *tree) lockExclusive() func() {
+	t.latch.Lock()
+	return t.latch.Unlock
+}
+
+func (t *tree) readThenGrow() {
+	unlock := t.lockShared()
+	root := t.root
+	unlock()
+	defer t.lockExclusive()()
+	t.root = root + 1
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"lexequal/internal/editdist"
+	"lexequal/internal/phoneme"
+)
+
+// TestMatchPhonemesEmptyStrings pins the match predicate for zero-length
+// phonemic strings. An empty transcription forces min(|Tl|,|Tr|) = 0 and
+// therefore bound 0 regardless of threshold: two empty strings match
+// (distance 0 ≤ 0), while empty vs non-empty must never match — an empty
+// phoneme string is not a universal wildcard. No input may panic.
+func TestMatchPhonemesEmptyStrings(t *testing.T) {
+	op := newOp(t)
+	empty := phoneme.String{}
+	neru, err := phoneme.Parse("neru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		a, b      phoneme.String
+		threshold float64
+		want      bool
+	}{
+		{"empty-empty t=0", empty, empty, 0, true},
+		{"empty-empty t=1", empty, empty, 1, true},
+		{"empty-vs-neru t=0.3", empty, neru, 0.3, false},
+		{"neru-vs-empty t=0.3", neru, empty, 0.3, false},
+		{"empty-vs-neru t=1", empty, neru, 1, false},
+	}
+	s := editdist.NewScratch()
+	for _, c := range cases {
+		if got := op.MatchPhonemes(c.a, c.b, c.threshold); got != c.want {
+			t.Errorf("MatchPhonemes %s = %v, want %v", c.name, got, c.want)
+		}
+		if got := op.MatchPhonemesScratch(c.a, c.b, c.threshold, s); got != c.want {
+			t.Errorf("MatchPhonemesScratch %s = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Bound must be exactly 0 whenever either side is empty.
+	if b := op.Bound(empty, neru, 0.9); b != 0 {
+		t.Errorf("Bound(∅, neru) = %v, want 0", b)
+	}
+}

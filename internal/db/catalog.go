@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"lexequal/internal/store"
 )
@@ -73,13 +74,28 @@ type Index struct {
 
 // DB is a database: a directory holding a JSON catalog, one heap file
 // per table and one B-tree file per index.
+//
+// Concurrency: the database carries a query-level read/write lock
+// (QueryLock) so concurrent SELECT sessions share storage while DML
+// and DDL serialize. The SQL session layer acquires it per statement;
+// callers driving the db API directly across goroutines must do the
+// same. The storage structures underneath carry their own latches, so
+// read-only access is safe even without the query lock.
 type DB struct {
 	dir        string
 	cachePages int
 	fs         store.VFS
-	tables     map[string]*Table
-	indexes    map[string]*Index
+	// qmu is the database-level query lock: read-only statements take
+	// it shared, statements that mutate rows or the catalog take it
+	// exclusively. It guards the catalog maps and row data alike.
+	qmu     sync.RWMutex
+	tables  map[string]*Table
+	indexes map[string]*Index
 }
+
+// QueryLock exposes the database-level read/write lock. SELECTs run
+// under RLock (sharing storage), DML and DDL under Lock (serialized).
+func (d *DB) QueryLock() *sync.RWMutex { return &d.qmu }
 
 // ErrCorrupt re-exports the storage corruption sentinel: every
 // detected-damage error (checksum, structure, catalog) matches it with

@@ -1,0 +1,100 @@
+package editdist
+
+import (
+	"testing"
+
+	"lexequal/internal/phoneme"
+)
+
+// TestBoundedEmptyStrings pins the banded kernels' behavior on
+// zero-length phoneme strings (TTP can emit empty output for degenerate
+// names). With the paper's bound e·min(|Tl|,|Tr|), an empty operand
+// forces bound 0 and band half-width k = 0:
+//
+//   - empty vs empty: distance 0 ≤ 0 — a match (both names map to the
+//     same, empty, sound), with no slice-index panic;
+//   - empty vs non-empty: the length filter |len(a)-len(b)| > k rejects
+//     immediately — an empty string must NOT be a universal match.
+//
+// All three kernel paths are pinned: the quantized integer kernel
+// (Unit, dyadic Clustered), the float banded kernel (non-dyadic costs),
+// and the degenerate full-DP fallback (IndelFloor == 0).
+func TestBoundedEmptyStrings(t *testing.T) {
+	dyadic, err := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonDyadic, err := NewClusteredWeak(phoneme.DefaultClusters(), 0.3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []struct {
+		name string
+		cm   CostModel
+	}{
+		{"unit(int kernel)", Unit{}},
+		{"clustered-dyadic(int kernel)", dyadic},
+		{"clustered-nondyadic(float kernel)", nonDyadic},
+	}
+	empty := phoneme.String{}
+	neru := ps("neru")
+	for _, m := range models {
+		cases := []struct {
+			name      string
+			a, b      phoneme.String
+			bound     float64
+			wantOK    bool
+			wantDist  float64
+			checkDist bool
+		}{
+			{"empty-empty bound0", empty, empty, 0, true, 0, true},
+			{"empty-empty bound1", empty, empty, 1, true, 0, true},
+			{"empty-vs-neru bound0", empty, neru, 0, false, 0, false},
+			{"neru-vs-empty bound0", neru, empty, 0, false, 0, false},
+			{"empty-vs-neru bound1", empty, neru, 1, false, 0, false},
+			{"negative bound", empty, empty, -1, false, 0, false},
+		}
+		for _, c := range cases {
+			s := NewScratch()
+			d, ok := DistanceBoundedScratch(c.a, c.b, m.cm, c.bound, s)
+			if ok != c.wantOK {
+				t.Errorf("%s/%s: ok = %v, want %v", m.name, c.name, ok, c.wantOK)
+			}
+			if c.checkDist && ok && d != c.wantDist {
+				t.Errorf("%s/%s: distance = %v, want %v", m.name, c.name, d, c.wantDist)
+			}
+		}
+		// The pooled entry point takes the same path.
+		if _, ok := DistanceBounded(empty, neru, m.cm, 0); ok {
+			t.Errorf("%s: empty string matched a non-empty one at bound 0", m.name)
+		}
+		// Full DP on empties: no panic, distance 0 / |b|·indel.
+		s := NewScratch()
+		if d := DistanceScratch(empty, empty, m.cm, s); d != 0 {
+			t.Errorf("%s: DistanceScratch(∅,∅) = %v", m.name, d)
+		}
+		if d := DistanceScratch(empty, neru, m.cm, s); d <= 0 {
+			t.Errorf("%s: DistanceScratch(∅,neru) = %v, want > 0", m.name, d)
+		}
+	}
+}
+
+// degenerateModel has IndelFloor 0, driving the full-DP fallback inside
+// distanceBoundedFloat; empty inputs must not panic there either.
+type degenerateModel struct{ Unit }
+
+func (degenerateModel) IndelFloor() float64 { return 0 }
+
+func TestBoundedEmptyDegenerateFloor(t *testing.T) {
+	empty := phoneme.String{}
+	s := NewScratch()
+	d, ok := DistanceBoundedScratch(empty, empty, degenerateModel{}, 0, s)
+	if !ok || d != 0 {
+		t.Errorf("degenerate floor: (∅,∅) = (%v,%v), want (0,true)", d, ok)
+	}
+	// Unit costs with floor 0 take the full DP: the real distance (4
+	// indels) exceeds bound 0, so this must reject, not match.
+	if _, ok := DistanceBoundedScratch(empty, ps("neru"), degenerateModel{}, 0, s); ok {
+		t.Error("degenerate floor: empty matched non-empty at bound 0")
+	}
+}

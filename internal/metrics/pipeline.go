@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"lexequal/internal/core"
@@ -11,7 +12,9 @@ import (
 // queries: rows probed, candidates admitted to DP verification, rows
 // pruned by the length and count filters, DP cells evaluated, matches
 // reported, and q-gram signature-cache hits. All fields are atomics so
-// morsel workers and concurrent sessions can record without a lock.
+// morsel workers and concurrent sessions can record without a lock;
+// Reset and Snapshot additionally serialize against each other (see
+// below) so a snapshot never observes a half-applied reset.
 type PipelineCounters struct {
 	Queries      atomic.Int64
 	Rows         atomic.Int64
@@ -21,9 +24,23 @@ type PipelineCounters struct {
 	DPCells      atomic.Int64
 	Matches      atomic.Int64
 	SigCacheHits atomic.Int64
+
+	// mu serializes Reset against Snapshot. Reset stores zero
+	// field-by-field; without the mutex a concurrent Snapshot could read
+	// pre-reset values for some fields and post-reset zeros for others —
+	// a torn view where e.g. Matches > Queries. Record stays lock-free.
+	mu sync.Mutex
+
+	// mirror, when set, receives a copy of every Record — the server
+	// uses it to fold per-session counters into a global set without
+	// the sessions knowing about each other.
+	mirror atomic.Pointer[PipelineCounters]
 }
 
 // Record folds one strategy execution's Stats into the counters.
+// Queries is incremented first and Matches/SigCacheHits last; paired
+// with Snapshot's reverse read order this keeps the invariant
+// Matches ≤ Queries·(matches-per-record) visible to concurrent readers.
 func (pc *PipelineCounters) Record(st core.Stats) {
 	pc.Queries.Add(1)
 	pc.Rows.Add(int64(st.Rows))
@@ -33,10 +50,23 @@ func (pc *PipelineCounters) Record(st core.Stats) {
 	pc.DPCells.Add(st.DPCells)
 	pc.Matches.Add(int64(st.Matches))
 	pc.SigCacheHits.Add(int64(st.SigCacheHits))
+	if m := pc.mirror.Load(); m != nil {
+		m.Record(st)
+	}
 }
 
-// Reset zeroes every counter.
+// SetMirror directs a copy of every subsequent Record into m as well
+// (nil detaches). The mirror must not form a cycle.
+func (pc *PipelineCounters) SetMirror(m *PipelineCounters) {
+	pc.mirror.Store(m)
+}
+
+// Reset zeroes every counter. It holds the snapshot mutex for the whole
+// store sequence so no Snapshot can interleave and observe a torn
+// (half-zeroed) view.
 func (pc *PipelineCounters) Reset() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
 	pc.Queries.Store(0)
 	pc.Rows.Store(0)
 	pc.Candidates.Store(0)
@@ -60,18 +90,25 @@ type PipelineSnapshot struct {
 	SigCacheHits int64
 }
 
-// Snapshot copies the current counter values.
+// Snapshot copies the current counter values. It serializes against
+// Reset, and reads the fields in the reverse of Record's write order:
+// if the snapshot observes a Record's Matches increment, it is
+// guaranteed to also observe that Record's Queries increment, so
+// derived invariants (Matches ≤ Queries when every record reports at
+// most one match) hold even against in-flight Records.
 func (pc *PipelineCounters) Snapshot() PipelineSnapshot {
-	return PipelineSnapshot{
-		Queries:      pc.Queries.Load(),
-		Rows:         pc.Rows.Load(),
-		Candidates:   pc.Candidates.Load(),
-		PrunedLength: pc.PrunedLength.Load(),
-		PrunedCount:  pc.PrunedCount.Load(),
-		DPCells:      pc.DPCells.Load(),
-		Matches:      pc.Matches.Load(),
-		SigCacheHits: pc.SigCacheHits.Load(),
-	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var s PipelineSnapshot
+	s.SigCacheHits = pc.SigCacheHits.Load()
+	s.Matches = pc.Matches.Load()
+	s.DPCells = pc.DPCells.Load()
+	s.PrunedCount = pc.PrunedCount.Load()
+	s.PrunedLength = pc.PrunedLength.Load()
+	s.Candidates = pc.Candidates.Load()
+	s.Rows = pc.Rows.Load()
+	s.Queries = pc.Queries.Load()
+	return s
 }
 
 // PruneRate is the fraction of probed rows eliminated before DP

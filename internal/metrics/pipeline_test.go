@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -38,6 +39,70 @@ func TestPipelineCountersRecord(t *testing.T) {
 
 // TestPipelineCountersConcurrent hammers Record from many goroutines;
 // meaningful under -race and checks the totals are exact.
+// TestPipelineCountersTornReset hammers Record, Reset and Snapshot
+// concurrently and asserts no snapshot ever shows a torn view. Every
+// Record reports exactly one match per query, so any consistent
+// snapshot — taken between whole resets, not in the middle of one —
+// satisfies Matches <= Queries. Before the Reset/Snapshot mutex, a
+// snapshot racing a reset could read Matches pre-reset and Queries
+// post-reset and observe Matches > Queries. Run under -race.
+func TestPipelineCountersTornReset(t *testing.T) {
+	var pc PipelineCounters
+	const recorders, rounds, resets, snapshots = 4, 300, 300, 600
+	var wg sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pc.Record(core.Stats{Rows: 3, Candidates: 2, Matches: 1, DPCells: 5})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < resets; i++ {
+			pc.Reset()
+		}
+	}()
+	var snapErr error
+	for i := 0; i < snapshots && snapErr == nil; i++ {
+		s := pc.Snapshot()
+		if s.Matches > s.Queries {
+			snapErr = fmt.Errorf("torn snapshot: matches %d > queries %d", s.Matches, s.Queries)
+		}
+		if s.Rows > 3*s.Queries {
+			snapErr = fmt.Errorf("torn snapshot: rows %d > 3*queries %d", s.Rows, 3*s.Queries)
+		}
+	}
+	wg.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+}
+
+// TestPipelineCountersMirror verifies the server-global mirror: records
+// land in both the session counters and the mirror, and detaching stops
+// the flow.
+func TestPipelineCountersMirror(t *testing.T) {
+	var sess, global PipelineCounters
+	sess.SetMirror(&global)
+	sess.Record(core.Stats{Rows: 2, Matches: 1})
+	sess.Record(core.Stats{Rows: 4})
+	if g := global.Snapshot(); g.Queries != 2 || g.Rows != 6 || g.Matches != 1 {
+		t.Errorf("mirror snapshot = %+v", g)
+	}
+	sess.SetMirror(nil)
+	sess.Record(core.Stats{Rows: 1})
+	if g := global.Snapshot(); g.Queries != 2 {
+		t.Errorf("detached mirror still recorded: %+v", g)
+	}
+	if s := sess.Snapshot(); s.Queries != 3 || s.Rows != 7 {
+		t.Errorf("session snapshot = %+v", s)
+	}
+}
+
 func TestPipelineCountersConcurrent(t *testing.T) {
 	var pc PipelineCounters
 	const goroutines, rounds = 8, 200

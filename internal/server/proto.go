@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// The wire protocol is deliberately minimal: every message, in both
+// directions, is one frame —
+//
+//	uint32 big-endian payload length | payload bytes
+//
+// A request payload is one SQL statement (or the STATUS admin command)
+// in UTF-8. A response payload starts with a one-byte status marker:
+// '+' (success; the rest is the rendered result table) or '-' (failure;
+// the rest is the error message). One request yields exactly one
+// response, in order, so a client may pipeline.
+
+// MaxFrame bounds a single frame; larger requests or responses are
+// rejected rather than buffered (a 1 MiB statement is not a query, it
+// is a mistake).
+const MaxFrame = 1 << 20
+
+const (
+	statusOK  = '+'
+	statusErr = '-'
+)
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func okPayload(text string) []byte {
+	return append([]byte{statusOK}, text...)
+}
+
+func errPayload(err error) []byte {
+	return append([]byte{statusErr}, err.Error()...)
+}
+
+// RemoteError is a server-reported statement failure, as distinct from
+// a transport failure.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Client is a minimal synchronous client for the frame protocol, used
+// by the smoke client and the tests.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a lexequald server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Query sends one statement and waits for its response. A *RemoteError
+// is a statement failure (the connection remains usable); any other
+// error is a transport failure.
+func (c *Client) Query(stmt string) (string, error) {
+	if err := writeFrame(c.conn, []byte(stmt)); err != nil {
+		return "", err
+	}
+	payload, err := readFrame(c.r)
+	if err != nil {
+		return "", err
+	}
+	if len(payload) == 0 {
+		return "", fmt.Errorf("server: empty response frame")
+	}
+	body := string(payload[1:])
+	switch payload[0] {
+	case statusOK:
+		return body, nil
+	case statusErr:
+		return "", &RemoteError{Msg: body}
+	default:
+		return "", fmt.Errorf("server: bad response marker %q", payload[0])
+	}
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// IsAdminStatus reports whether a request payload is the STATUS admin
+// command (matched before SQL parsing, case-insensitively).
+func IsAdminStatus(stmt string) bool {
+	return strings.EqualFold(strings.TrimSpace(stmt), "STATUS")
+}

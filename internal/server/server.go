@@ -1,0 +1,289 @@
+// Package server is the concurrent serving layer: lexequald exposes
+// the SQL subset (with the LexEQUAL extensions) over a length-prefixed
+// TCP protocol, one sql.Session per connection, against one shared
+// database.
+//
+// Concurrency model (DESIGN.md §10): the server owns the top of the
+// latch hierarchy. Each connection gets its own Session, whose Exec
+// serializes that connection's statements and takes the db-level query
+// lock shared (SELECT) or exclusive (DML/DDL); below that the storage
+// latches in internal/store make pager and structure access safe. The
+// server itself adds a connection limit with accept backpressure, a
+// per-query deadline, a slow-query log, and a graceful drain that
+// finishes in-flight queries and flushes the pager exactly once.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lexequal"
+	"lexequal/internal/core"
+	"lexequal/internal/db"
+	"lexequal/internal/metrics"
+	"lexequal/internal/sql"
+)
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// Addr is the TCP listen address; default "127.0.0.1:0" (an
+	// OS-assigned port, reported by Addr after Start).
+	Addr string
+	// MaxConns caps concurrently served connections; further dials are
+	// left in the kernel accept backlog until a slot frees (accept
+	// backpressure, not an error). Default 64.
+	MaxConns int
+	// QueryTimeout bounds one statement's execution. A statement that
+	// exceeds it gets an error response; the engine cannot abandon a
+	// running plan mid-flight, so the statement runs to completion in
+	// the background and the connection's next statement waits behind
+	// it (per-session serialization). 0 disables the deadline.
+	QueryTimeout time.Duration
+	// SlowQuery is the slow-query-log threshold: statements at or above
+	// it are logged with their duration. 0 disables the log.
+	SlowQuery time.Duration
+	// Logf receives server log lines; default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server serves SQL sessions over TCP against one database.
+type Server struct {
+	cfg Config
+	db  *db.DB
+	op  *core.Operator
+
+	// Global accumulates PipelineCounters across every connection (each
+	// session's counters mirror into it); per-connection counters stay
+	// on the session. Both are reported by the STATUS admin command.
+	Global metrics.PipelineCounters
+
+	lis      net.Listener
+	sem      chan struct{}  // connection slots (accept backpressure)
+	handlers sync.WaitGroup // one per accepted connection
+	queries  sync.WaitGroup // one per in-flight statement (incl. timed-out ones)
+	accepted atomic.Int64
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	active map[net.Conn]struct{}
+
+	drainOnce sync.Once
+	drainErr  error
+	// flushes counts db.Close calls issued by the drain path; tests
+	// assert it stays at one no matter how often Shutdown is invoked.
+	flushes atomic.Int32
+}
+
+// New builds a server over an open database. A nil op selects the
+// default operator; the operator is shared by every session (it is
+// concurrency-safe), so the transcription cache warms across
+// connections. Sessions that SET cost parameters rebuild a private
+// operator and leave the shared one untouched.
+func New(d *db.DB, op *core.Operator, cfg Config) (*Server, error) {
+	if op == nil {
+		var err error
+		op, err = core.New(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Server{
+		cfg:    cfg,
+		db:     d,
+		op:     op,
+		sem:    make(chan struct{}, cfg.MaxConns),
+		active: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Start begins listening and serving. It returns once the listener is
+// bound; Addr then reports the actual address.
+func (s *Server) Start() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.handlers.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr is the bound listen address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.handlers.Done()
+	for {
+		// Take a connection slot before accepting: at MaxConns in
+		// flight we stop calling Accept and dials queue in the kernel
+		// backlog instead of being served (backpressure).
+		s.sem <- struct{}{}
+		conn, err := s.lis.Accept()
+		if err != nil {
+			<-s.sem
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.cfg.Logf("lexequald: accept: %v", err)
+			continue
+		}
+		s.accepted.Add(1)
+		s.handlers.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.active[conn] = struct{}{}
+	s.mu.Unlock()
+	// A drain that swept active conns before this one was tracked must
+	// still interrupt its next read.
+	if s.draining.Load() {
+		conn.SetReadDeadline(time.Now())
+	}
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.active, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.handlers.Done()
+	defer func() { <-s.sem }()
+	defer conn.Close()
+	s.track(conn)
+	defer s.untrack(conn)
+
+	sess, err := sql.NewSession(s.db, s.op)
+	if err != nil {
+		writeFrame(conn, errPayload(err))
+		return
+	}
+	sess.Pipeline.SetMirror(&s.Global)
+
+	r := bufio.NewReader(conn)
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			// EOF, client gone, or the drain deadline firing between
+			// statements — never mid-statement, so no response is lost.
+			return
+		}
+		resp := s.execute(sess, strings.TrimSpace(string(payload)))
+		if err := writeFrame(conn, resp); err != nil {
+			s.cfg.Logf("lexequald: write: %v", err)
+			return
+		}
+		if s.draining.Load() {
+			return
+		}
+	}
+}
+
+// execute runs one request payload and renders the response frame.
+func (s *Server) execute(sess *sql.Session, stmt string) []byte {
+	if IsAdminStatus(stmt) {
+		return okPayload(s.status(sess))
+	}
+	type outcome struct {
+		res *sql.Result
+		err error
+	}
+	start := time.Now()
+	ch := make(chan outcome, 1)
+	s.queries.Add(1)
+	go func() {
+		defer s.queries.Done()
+		res, err := sess.Exec(stmt)
+		ch <- outcome{res, err}
+	}()
+	var out outcome
+	if s.cfg.QueryTimeout > 0 {
+		t := time.NewTimer(s.cfg.QueryTimeout)
+		select {
+		case out = <-ch:
+			t.Stop()
+		case <-t.C:
+			// The plan cannot be cancelled mid-flight; it finishes in
+			// the background (s.queries keeps the drain honest) and the
+			// session mutex holds this connection's next statement back
+			// until then.
+			s.cfg.Logf("lexequald: query exceeded deadline %v: %s", s.cfg.QueryTimeout, stmt)
+			return errPayload(fmt.Errorf("server: query exceeded deadline %v", s.cfg.QueryTimeout))
+		}
+	} else {
+		out = <-ch
+	}
+	if d := time.Since(start); s.cfg.SlowQuery > 0 && d >= s.cfg.SlowQuery {
+		s.cfg.Logf("lexequald: slow query (%v): %s", d, stmt)
+	}
+	if out.err != nil {
+		return errPayload(out.err)
+	}
+	return okPayload(lexequal.Format(out.res))
+}
+
+// status renders the STATUS admin command: global counters (all
+// connections), this connection's counters, and connection accounting.
+func (s *Server) status(sess *sql.Session) string {
+	s.mu.Lock()
+	activeConns := len(s.active)
+	s.mu.Unlock()
+	return fmt.Sprintf("global:  %s\nsession: %s\nconns: active=%d accepted=%d max=%d draining=%v\n",
+		s.Global.Snapshot(), sess.Pipeline.Snapshot(),
+		activeConns, s.accepted.Load(), s.cfg.MaxConns, s.draining.Load())
+}
+
+// Shutdown gracefully drains the server: stop accepting, let every
+// in-flight statement finish and its response reach the client, then
+// close the database — flushing the pager — exactly once. Repeated
+// calls return the first drain's result.
+func (s *Server) Shutdown() error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		if s.lis != nil {
+			s.lis.Close()
+		}
+		// Interrupt connections idle in a read; a connection mid-query
+		// is not reading, so it completes the statement, writes the
+		// response (writes are unaffected), and exits on its next read.
+		s.mu.Lock()
+		for c := range s.active {
+			c.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		s.handlers.Wait()
+		// Statements abandoned by the query deadline may still be
+		// running after their handler exited; the pager must not flush
+		// underneath them.
+		s.queries.Wait()
+		s.flushes.Add(1)
+		s.drainErr = s.db.Close()
+	})
+	return s.drainErr
+}
+
+// Flushes reports how many times the drain path closed (and thereby
+// flushed) the database. It is exposed for tests, which assert exactly
+// one flush across repeated Shutdowns.
+func (s *Server) Flushes() int { return int(s.flushes.Load()) }

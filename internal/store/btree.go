@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // BTree is a persistent B+tree mapping uint64 keys to uint64 values
@@ -20,7 +21,11 @@ import (
 //	internal:   [4:8) leftmost child;  entries at 8+12i = {key u64, child u32}
 //	            child i covers keys >= key i (leftmost covers keys < key 0)
 type BTree struct {
-	pg     *Pager
+	pg *Pager
+	// latch is the structure latch: descents (Seek, and the Iterator's
+	// per-leaf loads) take it shared, Insert and Close take it
+	// exclusively. Root pointer and entry count are guarded by it.
+	latch  sync.RWMutex
 	root   PageID
 	count  uint64
 	closed bool
@@ -104,7 +109,11 @@ func (t *BTree) syncMeta() error {
 }
 
 // Count returns the number of stored entries.
-func (t *BTree) Count() uint64 { return t.count }
+func (t *BTree) Count() uint64 {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	return t.count
+}
 
 // Pager exposes the underlying pager (for I/O statistics).
 func (t *BTree) Pager() *Pager { return t.pg }
@@ -112,6 +121,8 @@ func (t *BTree) Pager() *Pager { return t.pg }
 // Close flushes metadata and the page cache. It is safe to call more
 // than once; the first error wins and later calls are no-ops.
 func (t *BTree) Close() error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if t.closed {
 		return nil
 	}
@@ -249,6 +260,8 @@ func leafLowerBound(p *Page, key uint64) int {
 // allowed; entries with equal keys are stored in insertion-independent
 // (value) order.
 func (t *BTree) Insert(key, value uint64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	promo, right, changed, err := t.insertAt(t.root, key, value)
 	if err != nil {
 		return err
@@ -436,8 +449,13 @@ type Iterator struct {
 	err     error
 }
 
-// Seek positions an iterator at the first entry with key >= key.
+// Seek positions an iterator at the first entry with key >= key. The
+// descent runs under the tree's read latch; the returned iterator
+// re-acquires it per leaf load, so concurrent inserts between Next
+// calls are safe (the leaf chain stays intact across splits).
 func (t *BTree) Seek(key uint64) *Iterator {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
 	it := &Iterator{t: t}
 	id := t.root
 	for depth := 0; ; depth++ {
@@ -499,22 +517,32 @@ func (it *Iterator) Next() (key, value uint64, ok bool) {
 			it.stopped = true
 			return 0, 0, false
 		}
-		p, err := it.t.node(it.next)
-		if err != nil {
-			it.err = err
-			it.stopped = true
+		if !it.stepLeaf() {
 			return 0, 0, false
 		}
-		if nodeKind(p) != nodeLeaf {
-			it.t.pg.Unpin(p)
-			it.err = &CorruptPageError{Path: it.t.pg.Path(), Page: it.next,
-				Reason: "leaf chain points at an internal node"}
-			it.stopped = true
-			return 0, 0, false
-		}
-		it.loadLeaf(p, 0)
-		it.t.pg.Unpin(p)
 	}
+}
+
+// stepLeaf loads the next leaf in the chain under the tree read latch.
+func (it *Iterator) stepLeaf() bool {
+	it.t.latch.RLock()
+	defer it.t.latch.RUnlock()
+	p, err := it.t.node(it.next)
+	if err != nil {
+		it.err = err
+		it.stopped = true
+		return false
+	}
+	if nodeKind(p) != nodeLeaf {
+		it.t.pg.Unpin(p)
+		it.err = &CorruptPageError{Path: it.t.pg.Path(), Page: it.next,
+			Reason: "leaf chain points at an internal node"}
+		it.stopped = true
+		return false
+	}
+	it.loadLeaf(p, 0)
+	it.t.pg.Unpin(p)
+	return true
 }
 
 // Err reports an I/O error encountered during iteration.

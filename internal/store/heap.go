@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // HeapFile stores variable-length records in slotted pages. Records are
@@ -26,7 +27,12 @@ import (
 // CorruptPageError instead of an out-of-range panic.
 type HeapFile struct {
 	pg *Pager
-	// meta
+	// latch is the structure latch: scans and fetches share it, Insert
+	// and Delete take it exclusively. Together with the goroutine-safe
+	// pager underneath, this makes a HeapFile safe for concurrent use
+	// (concurrent readers proceed in parallel; writers serialize).
+	latch sync.RWMutex
+	// meta (guarded by latch)
 	lastPage PageID // page currently receiving inserts
 	count    uint64 // live record count
 	closed   bool
@@ -114,7 +120,11 @@ func (h *HeapFile) syncMeta() error {
 }
 
 // Count returns the number of live records.
-func (h *HeapFile) Count() uint64 { return h.count }
+func (h *HeapFile) Count() uint64 {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
+	return h.count
+}
 
 // Pager exposes the underlying pager (for I/O statistics).
 func (h *HeapFile) Pager() *Pager { return h.pg }
@@ -122,6 +132,8 @@ func (h *HeapFile) Pager() *Pager { return h.pg }
 // Close flushes metadata and the page cache. It is safe to call more
 // than once; the first error wins and later calls are no-ops.
 func (h *HeapFile) Close() error {
+	h.latch.Lock()
+	defer h.latch.Unlock()
 	if h.closed {
 		return nil
 	}
@@ -165,6 +177,8 @@ func (h *HeapFile) slotRecord(p *Page, s int, freeOff int) ([]byte, error) {
 
 // Insert appends a record and returns its RID.
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	h.latch.Lock()
+	defer h.latch.Unlock()
 	if len(rec) > maxHeapRecord {
 		return RID{}, fmt.Errorf("store: record of %d bytes exceeds max %d", len(rec), maxHeapRecord)
 	}
@@ -212,6 +226,8 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 
 // Get returns a copy of the record at rid.
 func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
 	if rid.Page == 0 {
 		return nil, fmt.Errorf("store: rid %v addresses the meta page", rid)
 	}
@@ -242,6 +258,8 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 // Delete tombstones the record at rid. The space is not reclaimed
 // (adequate for the read-mostly experimental workloads).
 func (h *HeapFile) Delete(rid RID) error {
+	h.latch.Lock()
+	defer h.latch.Unlock()
 	if rid.Page == 0 {
 		return fmt.Errorf("store: rid %v addresses the meta page", rid)
 	}
@@ -271,9 +289,13 @@ func (h *HeapFile) Delete(rid RID) error {
 // Scan invokes fn for every live record in RID order. The record slice
 // is only valid during the call. Returning a non-nil error stops the
 // scan and propagates the error; the sentinel ErrStopScan stops cleanly.
+// The structure read latch is held for the whole scan, so a full Scan
+// observes a consistent heap even with concurrent writers.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
 	for id := PageID(1); uint32(id) < h.pg.NumPages(); id++ {
-		if err := h.ScanPage(id, fn); err != nil {
+		if err := h.scanPage(id, fn); err != nil {
 			if errors.Is(err, ErrStopScan) {
 				return nil
 			}
@@ -286,7 +308,16 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
 // ScanPage invokes fn for every live record on one page, enabling
 // resumable page-at-a-time cursors (the executor's SeqScan). Unlike
 // Scan, ErrStopScan propagates so callers can distinguish a clean stop.
+// The read latch covers one page visit; a paused cursor does not block
+// writers between pages.
 func (h *HeapFile) ScanPage(id PageID, fn func(rid RID, rec []byte) error) error {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
+	return h.scanPage(id, fn)
+}
+
+// scanPage is ScanPage with the latch already held (shared).
+func (h *HeapFile) scanPage(id PageID, fn func(rid RID, rec []byte) error) error {
 	if id == 0 || uint32(id) >= h.pg.NumPages() {
 		return fmt.Errorf("store: ScanPage %d out of range", id)
 	}

@@ -24,6 +24,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 // PageSize is the unit of I/O. 4 KiB matches common DBMS defaults.
@@ -70,10 +71,20 @@ func (p *Page) MarkDirty() { p.dirty = true }
 // pinned and a new page is needed: the buffer pool cannot evict.
 var ErrPoolExhausted = errors.New("buffer pool exhausted")
 
-// Pager provides pinned, cached access to the pages of one file.
-// It is not safe for concurrent use; the database serializes access
-// (the paper's workload is single-stream queries).
+// Pager provides pinned, cached access to the pages of one file. The
+// pager's own bookkeeping (page map, pin counts, LRU, statistics) is
+// goroutine-safe: concurrent readers may Get/Unpin pages freely. The
+// *payload* of a page is not latched here — callers that modify
+// Data must hold an exclusive latch above the pager (the heap/B-tree
+// structure latches, and the db-level RW lock above those), and Flush
+// must not run concurrently with writers.
 type Pager struct {
+	// mu is the pager latch: it protects the page map, the LRU list,
+	// pin counts, the page count and the I/O statistics. I/O on fault
+	// and eviction happens while holding it — a coarse latch, chosen
+	// because the workloads are cache-resident and correctness under
+	// many sessions matters more than read-miss overlap.
+	mu       sync.Mutex
 	f        File
 	path     string
 	numPages uint32
@@ -130,7 +141,11 @@ func OpenPagerFS(path string, capacity int, fs VFS) (*Pager, error) {
 }
 
 // NumPages returns the current number of pages in the file.
-func (pg *Pager) NumPages() uint32 { return pg.numPages }
+func (pg *Pager) NumPages() uint32 {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.numPages
+}
 
 // Path returns the backing file path.
 func (pg *Pager) Path() string { return pg.path }
@@ -138,6 +153,8 @@ func (pg *Pager) Path() string { return pg.path }
 // Stats reports I/O counters: physical reads/writes and cache
 // hits/misses since open.
 func (pg *Pager) Stats() (reads, writes, hits, misses uint64) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
 	return pg.reads, pg.writes, pg.hits, pg.misses
 }
 
@@ -193,6 +210,8 @@ func (pg *Pager) verifyPage(p *Page) error {
 // Get returns page id pinned. The caller must Unpin it. Pages read
 // from disk are checksum-verified; damage returns a CorruptPageError.
 func (pg *Pager) Get(id PageID) (*Page, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
 	if pg.closed {
 		return nil, fmt.Errorf("store: get page %d of %s: %w", id, pg.path, os.ErrClosed)
 	}
@@ -230,6 +249,8 @@ func (pg *Pager) Get(id PageID) (*Page, error) {
 // Allocate appends a zeroed page to the file and returns it pinned and
 // dirty.
 func (pg *Pager) Allocate() (*Page, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
 	if pg.closed {
 		return nil, fmt.Errorf("store: allocate in %s: %w", pg.path, os.ErrClosed)
 	}
@@ -265,6 +286,8 @@ func (pg *Pager) fault(id PageID) (*Page, error) {
 
 // Unpin releases one pin. Unpinned pages become evictable.
 func (pg *Pager) Unpin(p *Page) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
 	if p.pins <= 0 {
 		// An unbalanced Unpin is a caller bug (the pinbalance analyzer
 		// guards the callers), never data-dependent; failing loudly here
@@ -301,7 +324,11 @@ func (pg *Pager) writeBack(p *Page) error {
 }
 
 // Flush writes every dirty cached page to disk and syncs the file.
+// Callers must ensure no writer is concurrently modifying page
+// payloads (the server drains in-flight queries before flushing).
 func (pg *Pager) Flush() error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
 	if pg.closed {
 		return fmt.Errorf("store: flush %s: %w", pg.path, os.ErrClosed)
 	}
@@ -318,6 +345,8 @@ func (pg *Pager) Flush() error {
 // the rest. It is safe to call more than once; later calls are no-ops.
 // Pages must not be used afterwards.
 func (pg *Pager) Close() error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
 	if pg.closed {
 		return nil
 	}

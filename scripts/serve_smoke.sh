@@ -1,0 +1,63 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the serving layer (make serve-smoke):
+# build lexequald + the client, start a server on an OS-assigned port,
+# run a small mixed workload (DDL, DML, LexEQUAL select, STATUS, and a
+# SET that must be rejected), then SIGTERM and require a clean exit 0
+# with the graceful-drain message.
+set -eu
+
+tmp=$(mktemp -d)
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/bin/" ./cmd/lexequald ./cmd/lexequal
+
+"$tmp/bin/lexequald" -db "$tmp/db" -addr 127.0.0.1:0 >"$tmp/server.log" 2>&1 &
+pid=$!
+
+# Wait for the bound address to appear in the log.
+addr=
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^listening on //p' "$tmp/server.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died:"; cat "$tmp/server.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "serve-smoke: server never reported an address"; exit 1; }
+echo "serve-smoke: server at $addr"
+
+client() { "$tmp/bin/lexequal" client -addr "$addr" "$@"; }
+
+client \
+    "CREATE TABLE Books (Author NVARCHAR, Title NVARCHAR, Price FLOAT)" \
+    "INSERT INTO Books VALUES ('Nehru' LANG english, 'Discovery of India', 9.95), ('नेहरु' LANG hindi, 'भारत एक खोज', 175)" \
+    >"$tmp/setup.out"
+
+client "SELECT Author FROM Books WHERE Author LEXEQUAL 'Nehru' THRESHOLD 0.30 ORDER BY Author" \
+    >"$tmp/select.out"
+grep -q "Nehru" "$tmp/select.out" || { echo "serve-smoke: LexEQUAL select lost Nehru"; cat "$tmp/select.out"; exit 1; }
+grep -q "नेहरु" "$tmp/select.out" || { echo "serve-smoke: LexEQUAL select lost the Hindi match"; cat "$tmp/select.out"; exit 1; }
+
+client STATUS >"$tmp/status.out"
+grep -q "conns: active=1" "$tmp/status.out" || { echo "serve-smoke: STATUS wrong:"; cat "$tmp/status.out"; exit 1; }
+
+# A non-finite cost parameter must be rejected server-side, and the
+# client must report it without dropping the connection.
+client "SET lexequal_icsc = NaN" "SELECT COUNT(*) FROM Books" >"$tmp/set.out" 2>"$tmp/set.err"
+grep -q "\[0,1\]" "$tmp/set.err" || { echo "serve-smoke: NaN SET not rejected"; cat "$tmp/set.err"; exit 1; }
+grep -q "2" "$tmp/set.out" || { echo "serve-smoke: connection unusable after rejected SET"; cat "$tmp/set.out"; exit 1; }
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=
+[ "$rc" -eq 0 ] || { echo "serve-smoke: drain exited $rc:"; cat "$tmp/server.log"; exit 1; }
+grep -q "draining" "$tmp/server.log" || { echo "serve-smoke: no drain message:"; cat "$tmp/server.log"; exit 1; }
+
+echo "serve-smoke: ok"
