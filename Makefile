@@ -6,7 +6,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke bench serve-smoke ci clean
+.PHONY: all build vet lint test race fuzz-smoke bench serve-smoke crash-smoke ci clean
 
 all: build
 
@@ -35,10 +35,12 @@ bench:
 	$(GO) run ./cmd/lexequalbench -quick -out BENCH_PR3.json
 
 # Run each native fuzz target briefly; a regression in either parser
-# robustness or TTP conversion shows up here before a long fuzz run.
+# robustness, TTP conversion, or WAL replay shows up here before a long
+# fuzz run.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSQLParse -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz FuzzTTPConvert -fuzztime $(FUZZTIME) ./internal/ttp/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal/
 
 # End-to-end smoke of lexequald (DESIGN.md §10): spawn a server, run a
 # mixed workload through the network client, SIGTERM, require a clean
@@ -46,7 +48,14 @@ fuzz-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: vet build lint race fuzz-smoke serve-smoke bench
+# The crash-torture sweep (DESIGN.md §11): kill the WAL workload at
+# every write and sync point, recover, verify. Runs the full sweep (no
+# -short stride) plus the recovery-idempotency properties.
+crash-smoke:
+	$(GO) test -run 'CrashTorture|RecoveryIdempotent|CrashDuringRecovery' -count=1 ./internal/db/
+	$(GO) test -run 'GroupCommit' -count=1 ./internal/server/
+
+ci: vet build lint race fuzz-smoke serve-smoke crash-smoke bench
 
 clean:
 	$(GO) clean ./...

@@ -70,7 +70,7 @@ commands:
   soundex   classical Soundex codes
   clusters  show a phoneme cluster partition
   sql       run SQL with the LexEQUAL extensions against a database dir
-  check     verify the integrity of a database dir (checksums, structure, indexes)
+  check     verify the integrity of a database dir (checksums, structure, indexes; -wal adds the log)
   client    send statements to a running lexequald server
 `)
 }
@@ -291,9 +291,10 @@ func cmdClient(args []string) error {
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	wal := fs.Bool("wal", false, "also verify the write-ahead log and its coupling to the data files")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: lexequal check DIR")
+		return fmt.Errorf("usage: lexequal check [-wal] DIR")
 	}
 	dir := fs.Arg(0)
 	if _, err := os.Stat(dir); err != nil {
@@ -305,6 +306,9 @@ func cmdCheck(args []string) error {
 	}
 	defer d.Close()
 	issues := d.Check()
+	if *wal {
+		issues = append(issues, d.CheckWAL()...)
+	}
 	if len(issues) == 0 {
 		fmt.Printf("%s: ok (%d tables)\n", dir, len(d.Tables()))
 		return nil

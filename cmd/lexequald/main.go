@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lexequald -db DIR [-addr HOST:PORT] [-max-conns N]
-//	          [-query-timeout D] [-slow-query D]
+//	          [-query-timeout D] [-slow-query D] [-group-commit D]
 //
 // The bound address is printed as "listening on HOST:PORT" once the
 // listener is up (useful with -addr 127.0.0.1:0). SIGTERM or SIGINT
@@ -40,6 +40,7 @@ func run() error {
 	maxConns := fs.Int("max-conns", 64, "max concurrently served connections")
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-statement deadline (0 = none)")
 	slowQuery := fs.Duration("slow-query", time.Second, "slow-query log threshold (0 = off)")
+	groupCommit := fs.Duration("group-commit", 0, "WAL group-commit collection window (0 = WAL default)")
 	fs.Parse(os.Args[1:])
 
 	d, err := db.Open(*dir)
@@ -51,6 +52,7 @@ func run() error {
 		MaxConns:     *maxConns,
 		QueryTimeout: *queryTimeout,
 		SlowQuery:    *slowQuery,
+		GroupCommit:  *groupCommit,
 	})
 	if err != nil {
 		d.Close()

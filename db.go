@@ -79,6 +79,18 @@ var ErrCorrupt = db.ErrCorrupt
 // heap agreement. An empty result means the database is consistent.
 func (x *DB) Check() []CheckIssue { return x.d.Check() }
 
+// CheckWAL verifies the write-ahead log: segment and record checksums,
+// LSN monotonicity, transaction well-formedness, and that no on-disk
+// page was flushed ahead of its log record.
+func (x *DB) CheckWAL() []CheckIssue { return x.d.CheckWAL() }
+
+// WALStats reports write-ahead log activity (commits, fsyncs, LSN
+// high-water marks).
+type WALStats = db.WALStats
+
+// WALStats returns a snapshot of write-ahead log activity.
+func (x *DB) WALStats() WALStats { return x.d.WALStats() }
+
 // NameTableSpec configures LoadNames.
 type NameTableSpec = db.NameTableSpec
 

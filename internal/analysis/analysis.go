@@ -8,7 +8,8 @@
 // convention otherwise and silently regress as the engine grows:
 //
 //   - pinbalance: every Pager.Get/Allocate has a matching Unpin
-//   - vfsonly:    all file I/O in store/db goes through the VFS seam
+//   - vfsonly:    all file I/O in store/db/wal goes through the VFS seam
+//   - walonly:    page write-back and image stamping stay in store/wal
 //   - corrupterr: corruption errors are matched with errors.Is/As
 //   - nopanic:    library code propagates errors, never panics
 //   - lockcheck:  mutexes are never copied, read locks never upgraded
@@ -218,6 +219,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		PinBalance,
 		VFSOnly,
+		WALOnly,
 		CorruptErr,
 		NoPanic,
 		LockCheck,

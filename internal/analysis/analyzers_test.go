@@ -19,6 +19,10 @@ func TestVFSOnly(t *testing.T) {
 	analysistest.Run(t, analysistest.Testdata("vfsonly"), analysis.VFSOnly)
 }
 
+func TestWALOnly(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("walonly"), analysis.WALOnly)
+}
+
 func TestCorruptErr(t *testing.T) {
 	analysistest.Run(t, analysistest.Testdata("corrupterr"), analysis.CorruptErr)
 }
@@ -34,7 +38,7 @@ func TestLockCheck(t *testing.T) {
 // TestSuiteNames pins the analyzer roster: //lint:ignore annotations
 // and DESIGN.md refer to these names, so renames must be deliberate.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"pinbalance", "vfsonly", "corrupterr", "nopanic", "lockcheck"}
+	want := []string{"pinbalance", "vfsonly", "walonly", "corrupterr", "nopanic", "lockcheck"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

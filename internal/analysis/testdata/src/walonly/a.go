@@ -1,0 +1,48 @@
+// Package db is the golden fixture for the walonly analyzer: the
+// package name places it in scope (it is not store or wal), and the
+// local Pager type stands in for store.Pager, which the analyzer
+// matches by name.
+package db
+
+type Pager struct{}
+
+func (pg *Pager) Flush() error   { return nil }
+func (pg *Pager) Close() error   { return nil }
+func (pg *Pager) Discard() error { return nil }
+func (pg *Pager) Get(id uint32)  {}
+
+// Heap models the sanctioned object-level wrapper: flushing through it
+// is fine, only the raw pager call is flagged.
+type Heap struct{ pg *Pager }
+
+func (h *Heap) Flush() error {
+	return h.pg.Flush() // want `direct Pager\.Flush outside the storage/WAL layers`
+}
+
+func forcedWriteback(pg *Pager) error {
+	if err := pg.Flush(); err != nil { // want `direct Pager\.Flush outside the storage/WAL layers`
+		return err
+	}
+	pg.Get(1) // reads are fine
+	return pg.Close() // want `direct Pager\.Close outside the storage/WAL layers`
+}
+
+func dropCache(pg *Pager) error {
+	return pg.Discard() // want `direct Pager\.Discard outside the storage/WAL layers`
+}
+
+func wrapperFlushOK(h *Heap) error {
+	// The object-level wrapper is the sanctioned path.
+	return h.Flush()
+}
+
+func StampPageImage(id uint32, buf []byte, lsn uint64) {}
+
+func forgesImage(buf []byte) {
+	StampPageImage(0, buf, 99) // want `StampPageImage forges a page image`
+}
+
+func suppressedShutdown(pg *Pager) error {
+	//lint:ignore walonly the repl owns this pager and closes it at exit
+	return pg.Close()
+}

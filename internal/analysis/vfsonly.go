@@ -9,7 +9,7 @@ import (
 // store.VFS seam. Anything these packages do behind the seam's back is
 // invisible to FaultFS, which silently shrinks the crash-consistency
 // sweeps' coverage.
-var vfsScopes = map[string]bool{"store": true, "db": true}
+var vfsScopes = map[string]bool{"store": true, "db": true, "wal": true}
 
 // vfsSeamFile is the one file per package allowed to touch the os
 // package directly: the seam implementation itself.

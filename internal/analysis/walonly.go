@@ -1,0 +1,67 @@
+package analysis
+
+import "go/ast"
+
+// walExempt are the package names allowed to move page state to disk
+// (or drop it) directly: the storage layer itself, whose Pager enforces
+// the WAL rule, and the WAL/recovery machinery, which exists to order
+// those writes. Everywhere else a direct pager call bypasses the
+// transaction discipline — a Flush can push a loser transaction's pages
+// out from under recovery, and a stamped page image can assert a
+// durability the log never promised.
+var walExempt = map[string]bool{"store": true, "wal": true}
+
+// pagerForcedMethods are the Pager methods that write, drop, or sync
+// page state wholesale. Engine code outside the exempt packages must go
+// through the object-level wrappers (HeapFile/BTree Flush, db
+// transactions), which keep the WAL rule and no-steal policy intact.
+var pagerForcedMethods = map[string]bool{
+	"Flush":   true,
+	"Close":   true,
+	"Discard": true,
+}
+
+// WALOnly forbids direct pager write-back and page-image stamping
+// outside the storage and WAL layers.
+var WALOnly = &Analyzer{
+	Name: "walonly",
+	Doc: "report direct Pager.Flush/Close/Discard calls and StampPageImage uses outside the store/wal packages; " +
+		"page write-back must flow through the WAL rule so recovery stays sound",
+	Run: runWALOnly,
+}
+
+func runWALOnly(pass *Pass) error {
+	if walExempt[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && pagerForcedMethods[sel.Sel.Name] {
+				if methodCallOn(pass.Info, call, "Pager", sel.Sel.Name) != nil {
+					pass.Reportf(call.Pos(), "direct Pager.%s outside the storage/WAL layers bypasses the WAL rule; use the object-level Flush/Close or a db transaction instead", sel.Sel.Name)
+				}
+			}
+			if calleeName(call) == "StampPageImage" {
+				pass.Reportf(call.Pos(), "StampPageImage forges a page image's LSN and checksum; only the WAL and recovery layers may stamp pages")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName returns the bare name of the called function or method
+// ("F" for both F(...) and x.F(...)), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -9,8 +9,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"lexequal/internal/store"
+	"lexequal/internal/wal"
 )
 
 // Column describes one table column.
@@ -91,6 +93,28 @@ type DB struct {
 	qmu     sync.RWMutex
 	tables  map[string]*Table
 	indexes map[string]*Index
+
+	// wal is the write-ahead log; nil when opened with DisableWAL.
+	wal *wal.Log
+	// txmu serializes write transactions (held from Begin to
+	// Commit/Rollback).
+	txmu sync.Mutex
+	// stmu guards the small mutable transaction/lifecycle state below.
+	stmu     sync.Mutex
+	activeTx *Tx
+	// txWrites counts log records the open transaction has written.
+	txWrites int
+	nextTxID uint64
+	commits  uint64
+	// catDirty means the catalog has committed changes that are logged
+	// but not yet written to catalog.json (the write is deferred to
+	// Close; recovery re-creates it from the log after a crash).
+	catDirty bool
+	closed   bool
+	closeErr error
+	// recoveryErr is set when an in-place rollback recovery failed;
+	// the database is unusable and every operation returns it.
+	recoveryErr error
 }
 
 // QueryLock exposes the database-level read/write lock. SELECTs run
@@ -110,6 +134,14 @@ type Options struct {
 	// FS is the virtual filesystem all I/O goes through (nil selects
 	// the real one). Tests inject faults here.
 	FS store.VFS
+	// DisableWAL opens the database without a write-ahead log: no
+	// transactions, no crash recovery, mutations reach disk only on
+	// Close/flush. Used for one-shot bulk builds that are made atomic
+	// by other means (BuildAtomic's stage-and-rename).
+	DisableWAL bool
+	// WALFlushInterval is the group-commit collection window (0 selects
+	// the wal default). Ignored with DisableWAL.
+	WALFlushInterval time.Duration
 }
 
 // Open opens (creating if necessary) a database directory.
@@ -123,7 +155,11 @@ func OpenWithCache(dir string, cachePages int) (*DB, error) {
 	return OpenOpts(dir, Options{CachePages: cachePages})
 }
 
-// OpenOpts opens a database with full options.
+// OpenOpts opens a database with full options. Unless DisableWAL is
+// set, opening runs crash recovery first: committed transactions found
+// in the write-ahead log are re-applied to the data files, in-flight
+// ones are discarded, and the log is then truncated (a checkpoint —
+// everything it proved is now durably in the files).
 func OpenOpts(dir string, opts Options) (*DB, error) {
 	fs := opts.FS
 	if fs == nil {
@@ -139,25 +175,57 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 		tables:     make(map[string]*Table),
 		indexes:    make(map[string]*Index),
 	}
+	if !opts.DisableWAL {
+		l, err := wal.Open(dir, fs)
+		if err != nil {
+			return nil, fmt.Errorf("db: open wal: %w", err)
+		}
+		d.wal = l
+		if opts.WALFlushInterval > 0 {
+			l.SetFlushInterval(opts.WALFlushInterval)
+		}
+		if l.HasRecords() {
+			if _, err := wal.Redo(l, dir, fs); err != nil {
+				return nil, errors.Join(fmt.Errorf("db: crash recovery: %w", err), l.Close())
+			}
+			// Recovery made everything the log proves durable in the
+			// data files; drop the history so the log stays small and
+			// transaction ids cannot collide with a previous life's.
+			if err := l.Reset(); err != nil {
+				return nil, errors.Join(fmt.Errorf("db: post-recovery wal reset: %w", err), l.Close())
+			}
+		}
+	}
+	if err := d.openObjects(); err != nil {
+		return nil, errors.Join(err, d.Close())
+	}
+	return d, nil
+}
+
+// openObjects loads the catalog and opens (and WAL-attaches) every
+// table and index it lists, replacing the current maps.
+func (d *DB) openObjects() error {
 	cat, err := d.loadCatalog()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, td := range cat.Tables {
 		h, err := store.OpenHeapFS(d.heapPath(td.Name), d.cachePages, d.fs)
 		if err != nil {
-			return nil, errors.Join(err, d.Close())
+			return err
 		}
+		d.attachHeap(h)
 		d.tables[strings.ToLower(td.Name)] = &Table{Name: td.Name, Columns: td.Columns, Heap: h, db: d}
 	}
 	for _, id := range cat.Indexes {
 		bt, err := store.OpenBTreeFS(d.indexPath(id.Name), d.cachePages, d.fs)
 		if err != nil {
-			return nil, errors.Join(err, d.Close())
+			return err
 		}
+		d.attachTree(bt)
 		d.indexes[strings.ToLower(id.Name)] = &Index{Def: id, Tree: bt}
 	}
-	return d, nil
+	return nil
 }
 
 func (d *DB) catalogPath() string { return filepath.Join(d.dir, "catalog.json") }
@@ -184,7 +252,8 @@ func (d *DB) loadCatalog() (catalogFile, error) {
 	return cat, nil
 }
 
-func (d *DB) saveCatalog() error {
+// marshalCatalog renders the current maps as the persisted catalog.
+func (d *DB) marshalCatalog() ([]byte, error) {
 	var cat catalogFile
 	for _, t := range d.tables {
 		cat.Tables = append(cat.Tables, tableDef{Name: t.Name, Columns: t.Columns})
@@ -194,12 +263,41 @@ func (d *DB) saveCatalog() error {
 	}
 	sort.Slice(cat.Tables, func(i, j int) bool { return cat.Tables[i].Name < cat.Tables[j].Name })
 	sort.Slice(cat.Indexes, func(i, j int) bool { return cat.Indexes[i].Name < cat.Indexes[j].Name })
-	data, err := json.MarshalIndent(cat, "", "  ")
+	return json.MarshalIndent(cat, "", "  ")
+}
+
+// saveCatalog records a catalog change. With the WAL enabled the new
+// image is logged under the open transaction and the file write is
+// deferred (Close writes it; after a crash, recovery re-creates it from
+// the log). Without a WAL it is written through immediately.
+func (d *DB) saveCatalog() error {
+	data, err := d.marshalCatalog()
 	if err != nil {
 		return err
 	}
-	// Write-temp + fsync + rename so a crash leaves either the old
-	// catalog or the new one, never a truncated mix.
+	if d.wal != nil {
+		d.stmu.Lock()
+		tx := d.activeTx
+		d.stmu.Unlock()
+		if tx == nil {
+			return errors.New("db: catalog change outside a transaction")
+		}
+		if _, err := d.wal.LogCatalog(tx.id, filepath.Base(d.catalogPath()), data); err != nil {
+			return err
+		}
+		d.stmu.Lock()
+		d.txWrites++
+		d.catDirty = true
+		d.stmu.Unlock()
+		return nil
+	}
+	return d.writeCatalogNow(data)
+}
+
+// writeCatalogNow publishes the catalog bytes via write-temp + fsync +
+// rename, so a crash leaves either the old catalog or the new one,
+// never a truncated mix.
+func (d *DB) writeCatalogNow(data []byte) error {
 	tmp := d.catalogPath() + ".tmp"
 	f, err := d.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -217,25 +315,116 @@ func (d *DB) saveCatalog() error {
 	return d.fs.Rename(tmp, d.catalogPath())
 }
 
-// Close closes every open table and index.
+// Close shuts the database down in WAL order: any open transaction is
+// rolled back, the log is synced, the deferred catalog write happens,
+// and only then are the page caches flushed (each page write re-checks
+// the WAL rule). When every step succeeded the log is truncated — a
+// clean checkpoint — so the next open recovers nothing; after any
+// error the log is kept so the next open can recover. Close is safe to
+// call more than once: later calls return the first outcome, and a
+// database whose in-place recovery failed returns that error from
+// every Close without touching the files again.
 func (d *DB) Close() error {
-	var firstErr error
+	d.stmu.Lock()
+	if d.closed {
+		err := d.closeErr
+		if d.recoveryErr != nil {
+			err = d.recoveryErr
+		}
+		d.stmu.Unlock()
+		return err
+	}
+	d.closed = true
+	active := d.activeTx
+	recErr := d.recoveryErr
+	d.stmu.Unlock()
+
+	var errs []error
+	if recErr != nil {
+		// The database is in an undefined in-memory state: drop the
+		// caches without write-back and keep the log for the next
+		// open's recovery. Teardown errors cannot outrank the recovery
+		// error the caller must see, so they are discarded.
+		for _, t := range d.tables {
+			_ = t.Heap.Discard()
+		}
+		for _, ix := range d.indexes {
+			_ = ix.Tree.Discard()
+		}
+		d.tables = map[string]*Table{}
+		d.indexes = map[string]*Index{}
+		if d.wal != nil {
+			_ = d.wal.Close()
+		}
+		d.stmu.Lock()
+		d.closeErr = recErr
+		d.stmu.Unlock()
+		return recErr
+	}
+	if active != nil {
+		// finish() rejects a stale handle, so a racing explicit
+		// Commit/Rollback is safe; the rollback restores the
+		// committed state before anything is flushed.
+		if err := active.Rollback(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if d.wal != nil {
+		if err := d.wal.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	d.stmu.Lock()
+	catDirty := d.catDirty
+	d.stmu.Unlock()
+	if catDirty {
+		data, err := d.marshalCatalog()
+		if err == nil {
+			err = d.writeCatalogNow(data)
+		}
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			d.stmu.Lock()
+			d.catDirty = false
+			d.stmu.Unlock()
+		}
+	}
 	for _, t := range d.tables {
-		if err := t.Heap.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := t.Heap.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	for _, ix := range d.indexes {
-		if err := ix.Tree.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := ix.Tree.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	d.tables = map[string]*Table{}
 	d.indexes = map[string]*Index{}
-	return firstErr
+	if d.wal != nil {
+		// Checkpoint only on a fully clean shutdown: with any error
+		// above, the log's history is still needed to repair the
+		// files on the next open.
+		if len(errs) == 0 {
+			if err := d.wal.Reset(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := d.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	err := errors.Join(errs...)
+	d.stmu.Lock()
+	d.closeErr = err
+	d.stmu.Unlock()
+	return err
 }
 
-// CreateTable creates a new empty table.
+// CreateTable creates a new empty table. The catalog change is
+// transactional: standalone it commits durably before returning,
+// inside an explicit transaction it becomes part of it.
 func (d *DB) CreateTable(name string, cols Schema) (*Table, error) {
 	key := strings.ToLower(name)
 	if _, exists := d.tables[key]; exists {
@@ -252,10 +441,23 @@ func (d *DB) CreateTable(name string, cols Schema) (*Table, error) {
 		}
 		seen[lc] = true
 	}
+	tx, err := d.autoBegin()
+	if err != nil {
+		return nil, err
+	}
+	t, err := d.createTableTx(key, name, cols)
+	if err := d.autoEnd(tx, err); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (d *DB) createTableTx(key, name string, cols Schema) (*Table, error) {
 	h, err := store.OpenHeapFS(d.heapPath(name), d.cachePages, d.fs)
 	if err != nil {
 		return nil, err
 	}
+	d.attachHeap(h)
 	t := &Table{Name: name, Columns: cols, Heap: h, db: d}
 	d.tables[key] = t
 	if err := d.saveCatalog(); err != nil {
@@ -283,26 +485,71 @@ func (d *DB) Tables() []string {
 // DropTable removes a table, its heap file and its indexes. The table
 // is always dropped from the catalog; close/remove errors on the
 // backing files are collected and returned alongside.
+//
+// With the WAL enabled the drop is its own transaction — file removal
+// is not undoable, so the catalog change commits durably first and the
+// backing files are removed only afterwards (a crash in between leaves
+// harmless orphan files). For the same reason DROP TABLE inside an
+// explicit transaction is rejected.
 func (d *DB) DropTable(name string) error {
 	key := strings.ToLower(name)
 	t, ok := d.tables[key]
 	if !ok {
 		return fmt.Errorf("db: no table %q", name)
 	}
-	errs := []error{t.Heap.Close()}
+	if d.wal == nil {
+		errs := []error{t.Heap.Close()}
+		delete(d.tables, key)
+		errs = append(errs, d.fs.Remove(d.heapPath(name)))
+		for ikey, ix := range d.indexes {
+			if strings.EqualFold(ix.Def.Table, name) {
+				errs = append(errs, ix.Tree.Close(), d.fs.Remove(d.indexPath(ix.Def.Name)))
+				delete(d.indexes, ikey)
+			}
+		}
+		errs = append(errs, d.saveCatalog())
+		return errors.Join(errs...)
+	}
+	if d.InTxn() {
+		return fmt.Errorf("db: DROP TABLE %s inside an explicit transaction is not supported", name)
+	}
+	tx, err := d.Begin()
+	if err != nil {
+		return err
+	}
+	var errs []error
+	errs = append(errs, t.Heap.Discard())
 	delete(d.tables, key)
-	errs = append(errs, d.fs.Remove(d.heapPath(name)))
+	doomed := []string{d.heapPath(name)}
 	for ikey, ix := range d.indexes {
 		if strings.EqualFold(ix.Def.Table, name) {
-			errs = append(errs, ix.Tree.Close(), d.fs.Remove(d.indexPath(ix.Def.Name)))
+			errs = append(errs, ix.Tree.Discard())
+			doomed = append(doomed, d.indexPath(ix.Def.Name))
 			delete(d.indexes, ikey)
 		}
 	}
-	errs = append(errs, d.saveCatalog())
+	if err := d.saveCatalog(); err != nil {
+		// Roll back: recovery reopens the table from the on-disk
+		// catalog, undoing the map surgery above.
+		errs = append(errs, err, tx.Rollback())
+		return errors.Join(errs...)
+	}
+	if err := tx.Commit(); err != nil {
+		errs = append(errs, err)
+		return errors.Join(errs...)
+	}
+	for _, path := range doomed {
+		if err := d.fs.Remove(path); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	return errors.Join(errs...)
 }
 
-// Insert appends a row after checking it against the schema.
+// Insert appends a row after checking it against the schema. The row
+// and its index entries are one transaction: standalone, Insert
+// returns only after the row is durably committed; inside an explicit
+// transaction it is covered by that transaction's commit.
 func (t *Table) Insert(row Row) (store.RID, error) {
 	if len(row) != len(t.Columns) {
 		return store.RID{}, fmt.Errorf("db: %s: row has %d values, schema has %d", t.Name, len(row), len(t.Columns))
@@ -316,6 +563,18 @@ func (t *Table) Insert(row Row) (store.RID, error) {
 				t.Name, t.Columns[i].Name, v.T, t.Columns[i].Type)
 		}
 	}
+	tx, err := t.db.autoBegin()
+	if err != nil {
+		return store.RID{}, err
+	}
+	rid, err := t.insertTx(row)
+	if err := t.db.autoEnd(tx, err); err != nil {
+		return store.RID{}, err
+	}
+	return rid, nil
+}
+
+func (t *Table) insertTx(row Row) (store.RID, error) {
 	rid, err := t.Heap.Insert(row.Encode())
 	if err != nil {
 		return store.RID{}, err
@@ -347,8 +606,15 @@ func (t *Table) Get(rid store.RID) (Row, error) {
 
 // Delete tombstones the row at rid. Secondary index entries are not
 // removed (B-trees are insert-only here); index readers skip entries
-// whose heap fetch reports store.ErrDeleted.
-func (t *Table) Delete(rid store.RID) error { return t.Heap.Delete(rid) }
+// whose heap fetch reports store.ErrDeleted. Transactional like
+// Insert.
+func (t *Table) Delete(rid store.RID) error {
+	tx, err := t.db.autoBegin()
+	if err != nil {
+		return err
+	}
+	return t.db.autoEnd(tx, t.Heap.Delete(rid))
+}
 
 // Scan invokes fn for each row in RID order.
 func (t *Table) Scan(fn func(rid store.RID, row Row) error) error {
@@ -366,7 +632,10 @@ func (t *Table) Scan(fn func(rid store.RID, row Row) error) error {
 func (t *Table) Count() uint64 { return t.Heap.Count() }
 
 // CreateIndex builds a B-tree index over an existing INT column,
-// bulk-loading it with a table scan.
+// bulk-loading it with a table scan. The bulk build itself is not
+// logged — the finished tree is flushed to disk before the catalog
+// change that names it commits, so a crash at any point leaves either
+// no index or a complete one (possibly as an orphan file).
 func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
 	key := strings.ToLower(name)
 	if _, exists := d.indexes[key]; exists {
@@ -383,6 +652,18 @@ func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
 	if t.Columns[ci].Type != TInt {
 		return nil, fmt.Errorf("db: index column %s.%s must be INT (got %v)", table, column, t.Columns[ci].Type)
 	}
+	tx, err := d.autoBegin()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := d.createIndexTx(key, name, t, ci)
+	if err := d.autoEnd(tx, err); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func (d *DB) createIndexTx(key, name string, t *Table, ci int) (*Index, error) {
 	bt, err := store.OpenBTreeFS(d.indexPath(name), d.cachePages, d.fs)
 	if err != nil {
 		return nil, err
@@ -394,9 +675,15 @@ func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
 		}
 		return bt.Insert(uint64(row[ci].I), rid.Pack())
 	})
+	if err == nil && d.wal != nil {
+		// Make the finished build durable before the catalog names it.
+		err = bt.Flush()
+	}
 	if err != nil {
 		return nil, errors.Join(err, bt.Close(), d.fs.Remove(d.indexPath(name)))
 	}
+	// Only incremental maintenance from here on is logged.
+	d.attachTree(bt)
 	d.indexes[key] = ix
 	if err := d.saveCatalog(); err != nil {
 		return nil, err

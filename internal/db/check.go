@@ -3,9 +3,12 @@ package db
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"lexequal/internal/store"
+	"lexequal/internal/wal"
 )
 
 // CheckIssue is one problem found by DB.Check: the object (table,
@@ -71,6 +74,70 @@ func (d *DB) Check() []CheckIssue {
 			continue
 		}
 		d.checkColumnIndex(ix, t, add)
+	}
+	return issues
+}
+
+// CheckWAL verifies the write-ahead log and its coupling to the data
+// files: every segment header and record checksum, LSN monotonicity
+// and transaction well-formedness across the whole log (via wal.Check),
+// and the WAL rule's on-disk shadow — no page in any heap or index
+// file may carry a pageLSN above the log's durable LSN, because that
+// would mean a page reached disk before the record covering it.
+//
+// Run it on a freshly opened database (as `lexequal check -wal` does):
+// recovery has then already replayed the log, so the durable LSN is
+// the true high-water mark.
+func (d *DB) CheckWAL() []CheckIssue {
+	var issues []CheckIssue
+	add := func(object, format string, args ...interface{}) {
+		issues = append(issues, CheckIssue{Object: object, Detail: fmt.Sprintf(format, args...)})
+	}
+	if d.wal == nil {
+		add("wal", "write-ahead logging is disabled for this database")
+		return issues
+	}
+	for _, detail := range wal.Check(d.wal, false) {
+		add("wal", "%s", detail)
+	}
+	durable := d.wal.DurableLSN()
+	checkFile := func(object, path string) {
+		f, err := d.fs.OpenFile(path, os.O_RDONLY, 0)
+		if err != nil {
+			add(object, "open for wal check: %v", err)
+			return
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			add(object, "stat for wal check: %v", err)
+			return
+		}
+		if st.Size()%store.PageSize != 0 {
+			add(object, "size %d is not page aligned", st.Size())
+		}
+		buf := make([]byte, store.PageSize)
+		for id := store.PageID(0); int64(id) < st.Size()/store.PageSize; id++ {
+			n, err := f.ReadAt(buf, int64(id)*store.PageSize)
+			if n != store.PageSize {
+				if err == nil || errors.Is(err, io.EOF) {
+					err = io.ErrUnexpectedEOF
+				}
+				add(object, "page %d: read for wal check: %v", id, err)
+				return
+			}
+			// Unverifiable pages are the structural checker's
+			// business; here only a verified pageLSN can testify.
+			if lsn, ok := store.PageImageLSN(id, buf); ok && lsn > durable {
+				add(object, "page %d has pageLSN %d above the durable LSN %d (flushed before its log record)", id, lsn, durable)
+			}
+		}
+	}
+	for _, name := range d.Tables() {
+		checkFile("table "+name, d.heapPath(name))
+	}
+	for _, name := range d.Indexes() {
+		checkFile("index "+name, d.indexPath(name))
 	}
 	return issues
 }

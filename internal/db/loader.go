@@ -27,6 +27,10 @@ func BuildAtomic(dir string, opts Options, build func(*DB) error) error {
 	if err := fs.RemoveAll(stage); err != nil {
 		return fmt.Errorf("db: clear stage dir: %w", err)
 	}
+	// The stage-and-rename protocol is the atomicity mechanism here; a
+	// WAL would only slow the bulk load down (and per-row commits
+	// would fsync constantly). Crashed stages are simply discarded.
+	opts.DisableWAL = true
 	d, err := OpenOpts(stage, opts)
 	if err != nil {
 		return err
@@ -106,6 +110,21 @@ func CreateNameTable(d *DB, name string, op *core.Operator, texts []core.Text, s
 	if q < 2 {
 		return nil, fmt.Errorf("db: q must be >= 2, got %d", q)
 	}
+	// One transaction for the whole load: with the WAL enabled the
+	// tables, rows, and indexes appear atomically (and commit with a
+	// single fsync); joined if the caller already opened one.
+	tx, err := d.autoBegin()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := createNameTableTx(d, name, op, texts, spec, q)
+	if err := d.autoEnd(tx, err); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func createNameTableTx(d *DB, name string, op *core.Operator, texts []core.Text, spec NameTableSpec, q int) (*LexConfig, error) {
 	t, err := d.CreateTable(name, Schema{
 		{Name: "id", Type: TInt},
 		{Name: "name", Type: TNString},
@@ -205,9 +224,15 @@ func buildCoverIndex(d *DB, name string, aux *Table) error {
 	err = aux.Scan(func(_ store.RID, row Row) error {
 		return bt.Insert(uint64(row[hashCol].I), CoverValue(row[idCol].I, int(row[posCol].I)))
 	})
+	if err == nil && d.wal != nil {
+		// As in CreateIndex: the unlogged bulk build must be durable
+		// before the catalog change naming it can commit.
+		err = bt.Flush()
+	}
 	if err != nil {
 		return errors.Join(err, bt.Close())
 	}
+	d.attachTree(bt)
 	d.indexes[strings.ToLower(idxName)] = &Index{
 		Def:  IndexDef{Name: idxName, Table: aux.Name, Column: coverColumn},
 		Tree: bt,

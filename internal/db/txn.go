@@ -1,0 +1,347 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lexequal/internal/store"
+	"lexequal/internal/wal"
+)
+
+// Tx is a write transaction. At most one write transaction is open per
+// database at a time (they serialize on an internal mutex); SELECTs are
+// unaffected. A Tx is created by Begin and finished by exactly one of
+// Commit or Rollback.
+//
+// Concurrency contract: the goroutine that begins an explicit
+// transaction is the only one that may write until it finishes the
+// transaction (the SQL layer guarantees this by holding the query lock
+// exclusively for the whole transaction; direct API callers must do the
+// same).
+type Tx struct {
+	d      *DB
+	id     uint64
+	joined bool // piggy-backed on an already-open transaction
+	done   bool
+}
+
+// walLogger adapts the database's log to store.PageLogger: page images
+// captured by heap/B-tree mutations are stamped with the currently
+// open transaction.
+type walLogger struct{ d *DB }
+
+func (w walLogger) LogPage(path string, id store.PageID, payload []byte) (uint64, error) {
+	d := w.d
+	d.stmu.Lock()
+	tx := d.activeTx
+	d.stmu.Unlock()
+	if tx == nil {
+		return 0, errors.New("db: page mutation outside a transaction")
+	}
+	lsn, err := d.wal.LogPage(tx.id, path, id, payload)
+	if err != nil {
+		return 0, err
+	}
+	d.stmu.Lock()
+	d.txWrites++
+	d.stmu.Unlock()
+	return lsn, nil
+}
+
+// Begin opens a write transaction, blocking until any other write
+// transaction finishes. The database must have been opened with the
+// WAL enabled (the default).
+func (d *DB) Begin() (*Tx, error) {
+	if d.wal == nil {
+		return nil, errors.New("db: transactions require the write-ahead log (database opened with DisableWAL)")
+	}
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	d.txmu.Lock()
+	if err := d.usable(); err != nil {
+		d.txmu.Unlock()
+		return nil, err
+	}
+	d.stmu.Lock()
+	d.nextTxID++
+	tx := &Tx{d: d, id: d.nextTxID}
+	d.activeTx = tx
+	d.txWrites = 0
+	d.stmu.Unlock()
+	if _, err := d.wal.Begin(tx.id); err != nil {
+		d.stmu.Lock()
+		d.activeTx = nil
+		d.stmu.Unlock()
+		d.txmu.Unlock()
+		return nil, err
+	}
+	return tx, nil
+}
+
+// InTxn reports whether a write transaction is currently open.
+func (d *DB) InTxn() bool {
+	d.stmu.Lock()
+	defer d.stmu.Unlock()
+	return d.activeTx != nil
+}
+
+// autoBegin wraps a single mutating operation in a transaction: it
+// joins the open transaction if there is one (the operation runs as
+// part of it and is finished by the caller's Commit/Rollback), begins
+// a fresh one otherwise, and returns nil when the WAL is disabled.
+func (d *DB) autoBegin() (*Tx, error) {
+	if d.wal == nil {
+		return nil, nil
+	}
+	d.stmu.Lock()
+	if cur := d.activeTx; cur != nil {
+		tx := &Tx{d: d, id: cur.id, joined: true}
+		d.stmu.Unlock()
+		return tx, nil
+	}
+	d.stmu.Unlock()
+	return d.Begin()
+}
+
+// autoEnd finishes an autoBegin transaction: commit on success, roll
+// back on failure. A failed statement may have partially mutated pages
+// it never logged, so the failure rollback always recovers in place —
+// and when the statement ran inside an explicit transaction, that
+// whole transaction is aborted on the spot (its owner's later
+// Commit/Rollback reports "already finished"; the SQL layer translates
+// this to the usual "transaction aborted by an earlier error").
+func (d *DB) autoEnd(tx *Tx, err error) error {
+	if tx == nil {
+		return err
+	}
+	if tx.joined {
+		if err != nil {
+			d.stmu.Lock()
+			owner := d.activeTx
+			d.stmu.Unlock()
+			if owner != nil && owner.id == tx.id {
+				if rbErr := owner.rollback(true); rbErr != nil {
+					err = errors.Join(err, rbErr)
+				}
+			}
+		}
+		return err
+	}
+	if err != nil {
+		if rbErr := tx.rollback(true); rbErr != nil {
+			return errors.Join(err, rbErr)
+		}
+		return err
+	}
+	return tx.Commit()
+}
+
+// finish validates that tx is the open transaction and detaches it.
+// The caller still holds txmu and must release it.
+func (tx *Tx) finish() error {
+	d := tx.d
+	d.stmu.Lock()
+	defer d.stmu.Unlock()
+	if tx.done || tx.joined {
+		return errors.New("db: transaction already finished")
+	}
+	if d.activeTx != tx {
+		return errors.New("db: not the active transaction")
+	}
+	tx.done = true
+	d.activeTx = nil
+	return nil
+}
+
+// CommitNoWait appends the commit record and releases the write slot
+// without waiting for durability. The returned LSN can be passed to
+// WaitDurable later — splitting the two lets a session release its
+// locks before blocking on the fsync, so concurrent committers batch
+// into one group-commit flush.
+func (tx *Tx) CommitNoWait() (uint64, error) {
+	d := tx.d
+	if err := tx.finish(); err != nil {
+		return 0, err
+	}
+	lsn, err := d.wal.CommitNoWait(tx.id)
+	d.txmu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("db: commit: %w", err)
+	}
+	d.stmu.Lock()
+	d.commits++
+	d.stmu.Unlock()
+	return lsn, nil
+}
+
+// Commit makes the transaction durable: all of its writes survive any
+// crash from here on.
+func (tx *Tx) Commit() error {
+	lsn, err := tx.CommitNoWait()
+	if err != nil {
+		return err
+	}
+	return tx.d.WaitDurable(lsn)
+}
+
+// WaitDurable blocks until every log record at or below lsn is on
+// durable storage (joining the group-commit batch in progress, if any).
+func (d *DB) WaitDurable(lsn uint64) error {
+	if d.wal == nil || lsn == 0 {
+		return nil
+	}
+	return d.wal.WaitDurable(lsn)
+}
+
+// Rollback abandons the transaction. Its writes — held only in page
+// caches, never flushed (no-steal) — are discarded by re-running crash
+// recovery in place: caches are dropped and the committed state is
+// re-applied from the log. If recovery itself fails the database is
+// marked unusable and every later operation (including Close) reports
+// the recovery error.
+func (tx *Tx) Rollback() error { return tx.rollback(false) }
+
+// rollback implements Rollback. force runs the in-place recovery even
+// when no log record was written — the path for failed statements,
+// which may have dirtied pages they never got around to logging.
+func (tx *Tx) rollback(force bool) error {
+	d := tx.d
+	if err := tx.finish(); err != nil {
+		return err
+	}
+	defer d.txmu.Unlock()
+	d.stmu.Lock()
+	writes := d.txWrites
+	d.txWrites = 0
+	d.stmu.Unlock()
+	// Best-effort: the abort record is bookkeeping (it lets the pager
+	// prove cached pages of this transaction are finished). A missing
+	// abort record is indistinguishable from a crash, which recovery
+	// below handles identically.
+	abortErr := error(nil)
+	if _, err := d.wal.Abort(tx.id); err != nil {
+		abortErr = err
+	}
+	if writes == 0 && !force {
+		return abortErr
+	}
+	if err := d.recoverInPlace(); err != nil {
+		err = fmt.Errorf("db: rollback recovery failed, database unusable: %w", err)
+		d.stmu.Lock()
+		if d.recoveryErr == nil {
+			d.recoveryErr = err
+		}
+		d.stmu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// recoverInPlace drops every page cache without write-back and rebuilds
+// the on-disk state from the log: redo re-applies committed images,
+// loser records are skipped, and the catalog and all storage objects
+// are reloaded from the recovered files. Callers must hold txmu and
+// exclude concurrent readers.
+func (d *DB) recoverInPlace() error {
+	for _, t := range d.tables {
+		if err := t.Heap.Discard(); err != nil {
+			return err
+		}
+	}
+	for _, ix := range d.indexes {
+		if err := ix.Tree.Discard(); err != nil {
+			return err
+		}
+	}
+	d.tables = make(map[string]*Table)
+	d.indexes = make(map[string]*Index)
+	if _, err := wal.Redo(d.wal, d.dir, d.fs); err != nil {
+		return err
+	}
+	// Redo published the last committed catalog image (if any), so the
+	// deferred catalog write is no longer pending.
+	d.stmu.Lock()
+	d.catDirty = false
+	d.stmu.Unlock()
+	return d.openObjects()
+}
+
+// usable returns the sticky error that makes the database unusable, if
+// any: a failed in-place recovery or a completed Close.
+func (d *DB) usable() error {
+	d.stmu.Lock()
+	defer d.stmu.Unlock()
+	if d.recoveryErr != nil {
+		return d.recoveryErr
+	}
+	if d.closed {
+		return errors.New("db: database is closed")
+	}
+	return nil
+}
+
+// attachHeap wires a heap file into the WAL: its pager enforces the
+// WAL rule and no-steal, and its mutations log page images.
+func (d *DB) attachHeap(h *store.HeapFile) {
+	if d.wal == nil {
+		return
+	}
+	h.Pager().SetWAL(d.wal)
+	h.SetLogger(walLogger{d})
+}
+
+// attachTree is attachHeap for B-trees.
+func (d *DB) attachTree(bt *store.BTree) {
+	if d.wal == nil {
+		return
+	}
+	bt.Pager().SetWAL(d.wal)
+	bt.SetLogger(walLogger{d})
+}
+
+// WALStats reports write-ahead log activity.
+type WALStats struct {
+	// Enabled is whether the database has a WAL at all.
+	Enabled bool
+	// Commits is the number of committed write transactions.
+	Commits uint64
+	// Syncs is the number of fsyncs the log has issued; with group
+	// commit under concurrent load it is much smaller than Commits.
+	Syncs uint64
+	// DurableLSN and LastLSN are the durable and appended high-water
+	// marks.
+	DurableLSN, LastLSN uint64
+	// FlushInterval is the group-commit collection window.
+	FlushInterval time.Duration
+}
+
+// WALStats returns a snapshot of log activity.
+func (d *DB) WALStats() WALStats {
+	if d.wal == nil {
+		return WALStats{}
+	}
+	d.stmu.Lock()
+	commits := d.commits
+	d.stmu.Unlock()
+	return WALStats{
+		Enabled:       true,
+		Commits:       commits,
+		Syncs:         d.wal.Syncs(),
+		DurableLSN:    d.wal.DurableLSN(),
+		LastLSN:       d.wal.LastLSN(),
+		FlushInterval: d.wal.FlushInterval(),
+	}
+}
+
+// SetWALFlushInterval adjusts the group-commit collection window: how
+// long the first committer in a batch waits for followers before
+// issuing the shared fsync. Zero syncs immediately per commit. No-op
+// when the WAL is disabled.
+func (d *DB) SetWALFlushInterval(dur time.Duration) {
+	if d.wal == nil {
+		return
+	}
+	d.wal.SetFlushInterval(dur)
+}

@@ -1,0 +1,344 @@
+package db
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lexequal/internal/store"
+)
+
+// The crash-torture workload: DDL, autocommit DML, a committed
+// transaction, a rolled-back transaction, and a transaction left open
+// at Close. Ids tell the stories apart after recovery:
+//
+//	0..3  autocommit inserts — durable once acknowledged
+//	4,5   one committed transaction — atomic, durable once acknowledged
+//	6,7   a rolled-back transaction — must never persist
+//	8     open at Close — rolled back by Close, must never persist
+var neverIDs = []int64{6, 7, 8}
+
+func crashRow(id int64) Row {
+	return Row{Int(id), Str("payload")}
+}
+
+// runCrashWorkload drives the workload against dir over fs, which may
+// fault at any point. It returns the ids whose commit was acknowledged
+// before the fault (these must survive recovery) and the atomic groups
+// that were in flight when an operation failed (these must recover
+// all-or-nothing).
+func runCrashWorkload(dir string, fs store.VFS) (acked []int64, inflight [][]int64) {
+	d, err := OpenOpts(dir, Options{FS: fs})
+	if err != nil {
+		return nil, nil
+	}
+	// Close is part of the faultable surface (WAL sync, catalog write,
+	// pager flushes, log truncation); its error means the crash hit
+	// there and recovery picks up the pieces.
+	defer func() { _ = d.Close() }()
+
+	t, err := d.CreateTable("t", Schema{{Name: "id", Type: TInt}, {Name: "name", Type: TString}})
+	if err != nil {
+		return nil, nil
+	}
+	if _, err := d.CreateIndex("t_id_idx", "t", "id"); err != nil {
+		return acked, nil
+	}
+	for id := int64(0); id < 4; id++ {
+		if _, err := t.Insert(crashRow(id)); err != nil {
+			return acked, [][]int64{{id}}
+		}
+		acked = append(acked, id)
+	}
+
+	// Committed transaction: 4 and 5 appear atomically.
+	tx, err := d.Begin()
+	if err != nil {
+		return acked, nil
+	}
+	for _, id := range []int64{4, 5} {
+		if _, err := t.Insert(crashRow(id)); err != nil {
+			return acked, [][]int64{{4, 5}}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return acked, [][]int64{{4, 5}}
+	}
+	acked = append(acked, 4, 5)
+
+	// Rolled-back transaction: 6 and 7 must never persist.
+	tx, err = d.Begin()
+	if err != nil {
+		return acked, nil
+	}
+	for _, id := range []int64{6, 7} {
+		if _, err := t.Insert(crashRow(id)); err != nil {
+			return acked, nil
+		}
+	}
+	if err := tx.Rollback(); err != nil {
+		return acked, nil
+	}
+
+	// Transaction left open at Close: 8 must never persist.
+	if _, err := d.Begin(); err != nil {
+		return acked, nil
+	}
+	if _, err := t.Insert(crashRow(8)); err != nil {
+		return acked, nil
+	}
+	return acked, nil
+}
+
+// dumpIDs opens dir cleanly and returns how often each id occurs in t
+// (nil map if the table does not exist), failing the test on any
+// integrity issue.
+func dumpIDs(t *testing.T, label, dir string) map[int64]int {
+	t.Helper()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("%s: reopen after crash: %v", label, err)
+	}
+	defer func() {
+		if err := d.Close(); err != nil {
+			t.Fatalf("%s: close after recovery: %v", label, err)
+		}
+	}()
+	for _, is := range d.Check() {
+		t.Errorf("%s: integrity: %s", label, is)
+	}
+	for _, is := range d.CheckWAL() {
+		t.Errorf("%s: wal check: %s", label, is)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	tab, ok := d.Table("t")
+	if !ok {
+		return nil
+	}
+	counts := map[int64]int{}
+	err = tab.Scan(func(_ store.RID, row Row) error {
+		counts[row[0].I]++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: scan after recovery: %v", label, err)
+	}
+	return counts
+}
+
+// verifyCrashOutcome asserts the recovery contract for one crash point.
+func verifyCrashOutcome(t *testing.T, label, dir string, acked []int64, inflight [][]int64) {
+	t.Helper()
+	counts := dumpIDs(t, label, dir)
+	if counts == nil && len(acked) > 0 {
+		t.Fatalf("%s: table t vanished with %d acknowledged rows", label, len(acked))
+	}
+	for _, id := range acked {
+		if counts[id] != 1 {
+			t.Fatalf("%s: acknowledged id %d occurs %d times, want 1 (counts %v)", label, id, counts[id], counts)
+		}
+	}
+	for _, id := range neverIDs {
+		if counts[id] != 0 {
+			t.Fatalf("%s: loser id %d persisted %d times", label, id, counts[id])
+		}
+	}
+	for _, group := range inflight {
+		present := 0
+		for _, id := range group {
+			if counts[id] > 0 {
+				present++
+			}
+		}
+		if present != 0 && present != len(group) {
+			t.Fatalf("%s: in-flight group %v recovered partially (%d of %d present)", label, group, present, len(group))
+		}
+	}
+}
+
+// TestCrashTortureSweep kills the workload at every write point and
+// every sync point, reopens cleanly, and asserts recovery: integrity
+// checks pass, acknowledged commits survive, losers vanish, in-flight
+// work is all-or-nothing. Write faults rotate through the clean-error,
+// short-write, and torn-sector modes.
+func TestCrashTortureSweep(t *testing.T) {
+	// Size the sweep from a clean run.
+	counter := &store.FaultFS{}
+	baseAcked, _ := runCrashWorkload(t.TempDir(), counter)
+	if want := []int{6}; len(baseAcked) != want[0] {
+		t.Fatalf("clean workload acknowledged %d commits, want %d", len(baseAcked), want[0])
+	}
+	writes, syncs := counter.Writes(), counter.Syncs()
+	if writes+syncs < 50 {
+		t.Fatalf("sweep covers only %d write + %d sync points, want >= 50", writes, syncs)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+
+	modes := []store.FaultMode{store.FaultError, store.FaultShort, store.FaultTorn}
+	for n := 1; n <= writes; n += stride {
+		mode := modes[n%len(modes)]
+		dir := filepath.Join(t.TempDir(), "db")
+		acked, inflight := runCrashWorkload(dir, &store.FaultFS{FailWrite: n, Mode: mode})
+		label := "write " + mode.String() + " point " + itoa(n)
+		verifyCrashOutcome(t, label, dir, acked, inflight)
+	}
+	for n := 1; n <= syncs; n += stride {
+		dir := filepath.Join(t.TempDir(), "db")
+		acked, inflight := runCrashWorkload(dir, &store.FaultFS{FailSync: n})
+		label := "sync point " + itoa(n)
+		verifyCrashOutcome(t, label, dir, acked, inflight)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// copyDir clones a database directory with plain os calls (tests sit
+// outside the VFS seam on purpose: the clone must not disturb fault
+// accounting).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copy %s -> %s: %v", src, dst, err)
+	}
+}
+
+// damagedDir produces one mid-workload crash image to recover from.
+func damagedDir(t *testing.T) (string, []int64, [][]int64) {
+	t.Helper()
+	counter := &store.FaultFS{}
+	runCrashWorkload(t.TempDir(), counter)
+	dir := filepath.Join(t.TempDir(), "db")
+	// Two thirds in: after several commits, before the clean close.
+	point := counter.Writes() * 2 / 3
+	acked, inflight := runCrashWorkload(dir, &store.FaultFS{FailWrite: point, Mode: store.FaultTorn})
+	return dir, acked, inflight
+}
+
+// TestRecoveryIdempotent recovers the same crash image twice — once on
+// the original, once (twice over) on a byte-for-byte copy — and
+// demands identical row state: redo must be stable under repetition.
+func TestRecoveryIdempotent(t *testing.T) {
+	dir, acked, inflight := damagedDir(t)
+	clone := filepath.Join(t.TempDir(), "clone")
+	copyDir(t, dir, clone)
+
+	verifyCrashOutcome(t, "original", dir, acked, inflight)
+	// First recovery of the clone.
+	first := dumpIDs(t, "clone pass 1", clone)
+	// Reopening recovers again (the log was truncated at close, so this
+	// also proves a checkpointed reopen changes nothing).
+	second := dumpIDs(t, "clone pass 2", clone)
+	if len(first) != len(second) {
+		t.Fatalf("recover twice diverged: %v vs %v", first, second)
+	}
+	for id, n := range first {
+		if second[id] != n {
+			t.Fatalf("recover twice diverged at id %d: %d vs %d", id, n, second[id])
+		}
+	}
+	original := dumpIDs(t, "original recheck", dir)
+	for id, n := range first {
+		if original[id] != n {
+			t.Fatalf("clone diverged from original at id %d: %d vs %d", id, n, original[id])
+		}
+	}
+}
+
+// TestCrashDuringRecovery crashes recovery itself at every write and
+// sync point of the redo pass, then recovers cleanly and compares
+// against a control recovery of the same image: a half-applied redo
+// must not change the final state.
+func TestCrashDuringRecovery(t *testing.T) {
+	dir, acked, inflight := damagedDir(t)
+	control := filepath.Join(t.TempDir(), "control")
+	copyDir(t, dir, control)
+	controlState := dumpIDs(t, "control", control)
+
+	// Size the recovery sweep: count the ops a recovery (open + close)
+	// performs on a fresh copy of the image.
+	probe := filepath.Join(t.TempDir(), "probe")
+	copyDir(t, dir, probe)
+	counter := &store.FaultFS{}
+	if d, err := OpenOpts(probe, Options{FS: counter}); err == nil {
+		d.Close()
+	}
+	writes, syncs := counter.Writes(), counter.Syncs()
+	if writes == 0 {
+		t.Fatal("recovery performed no writes; the crash image is not damaged")
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 5
+	}
+
+	run := func(label string, ffs *store.FaultFS) {
+		work := filepath.Join(t.TempDir(), "work")
+		copyDir(t, dir, work)
+		if d, err := OpenOpts(work, Options{FS: ffs}); err == nil {
+			_ = d.Close() // the armed fault may only fire at close time
+		}
+		verifyCrashOutcome(t, label, work, acked, inflight)
+		state := dumpIDs(t, label+" state", work)
+		for id, n := range controlState {
+			if state[id] != n {
+				t.Fatalf("%s: diverged from control at id %d: %d vs %d", label, id, state[id], n)
+			}
+		}
+		for id, n := range state {
+			if controlState[id] != n {
+				t.Fatalf("%s: extra id %d (%d occurrences) vs control", label, id, n)
+			}
+		}
+	}
+	for n := 1; n <= writes; n += stride {
+		run("recovery write point "+itoa(n), &store.FaultFS{FailWrite: n, Mode: store.FaultTorn})
+	}
+	for n := 1; n <= syncs; n += stride {
+		run("recovery sync point "+itoa(n), &store.FaultFS{FailSync: n})
+	}
+}

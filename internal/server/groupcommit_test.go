@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lexequal/internal/db"
+	"lexequal/internal/sql"
+)
+
+// TestGroupCommitSoak drives 8 concurrent sessions of autocommit
+// INSERTs through the server and asserts the WAL batched their commits:
+// at least 2x fewer fsyncs than commits. Durability is awaited after
+// each statement's locks drop, so while one session's fsync is in
+// flight the others append their commit records and join the same
+// flush.
+func TestGroupCommitSoak(t *testing.T) {
+	dir := t.TempDir()
+	func() {
+		d, err := db.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		sess, err := sql.NewSession(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Exec(`CREATE TABLE soak (k INT, v TEXT)`); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	srv, d := startServer(t, dir, Config{GroupCommit: 2 * time.Millisecond})
+	const (
+		sessions = 8
+		rounds   = 25
+	)
+	base := d.WALStats()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for r := 0; r < rounds; r++ {
+				stmt := fmt.Sprintf(`INSERT INTO soak VALUES (%d, 'w%d-r%d')`, i*rounds+r, i, r)
+				if _, err := c.Query(stmt); err != nil {
+					errs <- fmt.Errorf("worker %d round %d: %w", i, r, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	ws := d.WALStats()
+	commits := ws.Commits - base.Commits
+	syncs := ws.Syncs - base.Syncs
+	if commits != sessions*rounds {
+		t.Fatalf("commits = %d, want %d", commits, sessions*rounds)
+	}
+	if syncs*2 > commits {
+		t.Fatalf("group commit ineffective: %d fsyncs for %d commits (want at least 2x fewer)", syncs, commits)
+	}
+	t.Logf("group commit: %d commits in %d fsyncs (%.1fx batching)", commits, syncs, float64(commits)/float64(syncs))
+
+	// Every acknowledged row is present, and STATUS reports the log.
+	c := dial(t, srv)
+	out, err := c.Query(`SELECT COUNT(*) FROM soak`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, fmt.Sprint(sessions*rounds)) {
+		t.Fatalf("row count mismatch after soak:\n%s", out)
+	}
+	out, err = c.Query("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wal: commits=") {
+		t.Fatalf("STATUS missing the wal line:\n%s", out)
+	}
+}
+
+// TestDisconnectMidTransactionRollsBack kills a connection with an open
+// explicit transaction and checks the server releases the exclusive
+// lock (other sessions can write) and the dangling writes are gone.
+func TestDisconnectMidTransactionRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	seedBooks(t, dir)
+	srv, _ := startServer(t, dir, Config{})
+
+	c1 := dial(t, srv)
+	if _, err := c1.Query(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Query(`INSERT INTO Books VALUES ('Ghost' LANG english, 'Dangling', 1.0, 'English')`); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // vanish mid-transaction
+
+	c2 := dial(t, srv)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Query(`INSERT INTO Books VALUES ('Next' LANG english, 'After', 2.0, 'English')`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("write blocked: disconnect did not release the transaction's lock")
+	}
+	out, err := c2.Query(`SELECT COUNT(*) FROM Books WHERE Author = 'Ghost'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0") {
+		t.Fatalf("dangling transaction's write survived:\n%s", out)
+	}
+}

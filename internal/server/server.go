@@ -49,6 +49,12 @@ type Config struct {
 	// SlowQuery is the slow-query-log threshold: statements at or above
 	// it are logged with their duration. 0 disables the log.
 	SlowQuery time.Duration
+	// GroupCommit is the WAL group-commit collection window: how long
+	// the first committer in a batch waits for followers before issuing
+	// the shared fsync. 0 keeps the database's current window (the WAL
+	// default); sessions can still adjust it with SET
+	// lexequal_wal_flush.
+	GroupCommit time.Duration
 	// Logf receives server log lines; default log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +108,9 @@ func New(d *db.DB, op *core.Operator, cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
+	}
+	if cfg.GroupCommit > 0 {
+		d.SetWALFlushInterval(cfg.GroupCommit)
 	}
 	return &Server{
 		cfg:    cfg,
@@ -180,6 +189,13 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	sess.Pipeline.SetMirror(&s.Global)
+	// A client that vanishes mid-transaction must not orphan the
+	// exclusive query lock: roll its transaction back on the way out.
+	defer func() {
+		if err := sess.Reset(); err != nil {
+			s.cfg.Logf("lexequald: rollback on disconnect: %v", err)
+		}
+	}()
 
 	r := bufio.NewReader(conn)
 	for {
@@ -249,9 +265,15 @@ func (s *Server) status(sess *sql.Session) string {
 	s.mu.Lock()
 	activeConns := len(s.active)
 	s.mu.Unlock()
-	return fmt.Sprintf("global:  %s\nsession: %s\nconns: active=%d accepted=%d max=%d draining=%v\n",
+	ws := s.db.WALStats()
+	wal := "wal: disabled"
+	if ws.Enabled {
+		wal = fmt.Sprintf("wal: commits=%d syncs=%d durable_lsn=%d last_lsn=%d flush=%v",
+			ws.Commits, ws.Syncs, ws.DurableLSN, ws.LastLSN, ws.FlushInterval)
+	}
+	return fmt.Sprintf("global:  %s\nsession: %s\nconns: active=%d accepted=%d max=%d draining=%v\n%s\n",
 		s.Global.Snapshot(), sess.Pipeline.Snapshot(),
-		activeConns, s.accepted.Load(), s.cfg.MaxConns, s.draining.Load())
+		activeConns, s.accepted.Load(), s.cfg.MaxConns, s.draining.Load(), wal)
 }
 
 // Shutdown gracefully drains the server: stop accepting, let every

@@ -91,6 +91,22 @@ type DeleteStmt struct {
 
 func (*DeleteStmt) stmt() {}
 
+// BeginStmt is BEGIN [TRANSACTION]: it opens an explicit write
+// transaction that spans statements until COMMIT or ROLLBACK.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt is COMMIT: it makes the open transaction durable.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt is ROLLBACK: it abandons the open transaction.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
 // SetStmt is SET name = value (session settings).
 type SetStmt struct {
 	Name  string

@@ -118,6 +118,16 @@ func (p *parser) parseStmt() (Stmt, error) {
 			del.Where = e
 		}
 		return del, nil
+	case p.at(tokKeyword, "BEGIN"):
+		p.next()
+		p.accept(tokKeyword, "TRANSACTION")
+		return &BeginStmt{}, nil
+	case p.at(tokKeyword, "COMMIT"):
+		p.next()
+		return &CommitStmt{}, nil
+	case p.at(tokKeyword, "ROLLBACK"):
+		p.next()
+		return &RollbackStmt{}, nil
 	case p.at(tokKeyword, "SET"):
 		return p.parseSet()
 	case p.at(tokKeyword, "SHOW"):

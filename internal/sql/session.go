@@ -1,11 +1,13 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"lexequal/internal/core"
 	"lexequal/internal/db"
@@ -25,6 +27,12 @@ import (
 //	SET lexequal_clusters  = default | coarse | fine
 //	SET lexequal_weakindel = 0.5
 //	SET parallelism        = 1 | n | 0 (0 = GOMAXPROCS)
+//	SET lexequal_wal_flush = milliseconds (group-commit window)
+//
+// Explicit transactions span statements: BEGIN takes the exclusive
+// query lock and opens a write transaction, every following statement
+// joins it, and COMMIT/ROLLBACK finishes it (durability is awaited
+// after the locks drop, so concurrent committers share one fsync).
 //
 // A Session is safe for concurrent use: Exec serializes on a
 // per-session mutex (statements from one session never interleave),
@@ -47,6 +55,18 @@ type Session struct {
 	// Pipeline accumulates per-stage execution counters across the
 	// session's LexEQUAL queries (SHOW LEXSTATS).
 	Pipeline metrics.PipelineCounters
+
+	// tx and txUnlock track an explicit transaction (BEGIN..COMMIT):
+	// the database write transaction and the release of the exclusive
+	// query lock, which the session holds across statements until
+	// COMMIT/ROLLBACK so no other session observes its uncommitted
+	// writes.
+	tx       *db.Tx
+	txUnlock func()
+	// stmtLSN is the commit LSN of the last statement-scoped
+	// transaction, stashed by endStmtTxn for Exec to await after the
+	// locks drop.
+	stmtLSN uint64
 }
 
 // NewSession builds a session over an open database. A nil op selects
@@ -108,21 +128,144 @@ type Result struct {
 // database query lock is taken shared or exclusive per statement class.
 func (s *Session) Exec(sqlText string) (*Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	res, waitLSN, err := s.execLocked(sqlText)
+	s.mu.Unlock()
+	if err == nil && waitLSN != 0 {
+		// COMMIT durability is awaited here, after every lock (session
+		// and database) is released: concurrent committers then pile
+		// into the log's collection window and share one group-commit
+		// fsync instead of serializing on their own.
+		if derr := s.DB.WaitDurable(waitLSN); derr != nil {
+			return nil, derr
+		}
+	}
+	return res, err
+}
+
+// execLocked runs one statement under the session mutex and returns a
+// commit LSN to await after the locks drop (0 when there is nothing to
+// await).
+func (s *Session) execLocked(sqlText string) (*Result, uint64, error) {
 	stmt, err := Parse(sqlText)
 	if err != nil {
+		return nil, 0, err
+	}
+	switch stmt.(type) {
+	case *BeginStmt:
+		res, err := s.execBegin()
+		return res, 0, err
+	case *CommitStmt:
+		return s.execCommit()
+	case *RollbackStmt:
+		res, err := s.execRollback()
+		return res, 0, err
+	}
+	unlock := s.acquireDB(stmt)
+	res, err := s.exec(stmt)
+	waitLSN := s.stmtLSN
+	s.stmtLSN = 0
+	if unlock != nil {
+		unlock()
+	}
+	if err != nil && s.tx != nil && !s.DB.InTxn() {
+		// The failed statement aborted the explicit transaction at the
+		// database level (its pages may have been mutated before the
+		// failure, so the db rolled the whole transaction back on the
+		// spot). Drop the session's side of it and tell the client.
+		s.endTxn()
+		err = fmt.Errorf("%w (the open transaction was rolled back)", err)
+	}
+	if err != nil {
+		waitLSN = 0
+	}
+	return res, waitLSN, err
+}
+
+// execBegin opens an explicit transaction: it takes the exclusive
+// query lock — held until COMMIT/ROLLBACK — and begins a database
+// write transaction that every following statement joins.
+func (s *Session) execBegin() (*Result, error) {
+	if s.tx != nil {
+		return nil, fmt.Errorf("sql: a transaction is already open")
+	}
+	unlock := s.lockExclusive()
+	tx, err := s.DB.Begin()
+	if err != nil {
+		unlock()
 		return nil, err
 	}
-	if unlock := s.acquireDB(stmt); unlock != nil {
-		defer unlock()
+	s.tx = tx
+	s.txUnlock = unlock
+	return &Result{Message: "transaction started"}, nil
+}
+
+// execCommit appends the commit record and hands the commit LSN to
+// Exec, which awaits durability only after releasing the locks.
+func (s *Session) execCommit() (*Result, uint64, error) {
+	if s.tx == nil {
+		return nil, 0, fmt.Errorf("sql: no transaction is open")
 	}
-	return s.exec(stmt)
+	tx := s.tx
+	defer s.endTxn()
+	lsn, err := tx.CommitNoWait()
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Result{Message: "transaction committed"}, lsn, nil
+}
+
+// execRollback abandons the open transaction. The in-place recovery it
+// triggers runs while this session still holds the exclusive query
+// lock, so no reader observes the storage objects mid-rebuild.
+func (s *Session) execRollback() (*Result, error) {
+	if s.tx == nil {
+		return nil, fmt.Errorf("sql: no transaction is open")
+	}
+	tx := s.tx
+	defer s.endTxn()
+	if err := tx.Rollback(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "transaction rolled back"}, nil
+}
+
+// endTxn drops the session's explicit-transaction state and releases
+// the exclusive query lock.
+func (s *Session) endTxn() {
+	if s.txUnlock != nil {
+		s.txUnlock()
+		s.txUnlock = nil
+	}
+	s.tx = nil
+}
+
+// Reset rolls back any explicit transaction left open — the serving
+// layer calls it when a client disconnects mid-transaction, so the
+// exclusive query lock is never orphaned. The rollback error (if any)
+// is returned for logging; Reset on a clean session is a no-op.
+func (s *Session) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx == nil {
+		return nil
+	}
+	tx := s.tx
+	defer s.endTxn()
+	if s.DB.InTxn() {
+		return tx.Rollback()
+	}
+	return nil
 }
 
 // acquireDB takes the database-level query lock for one statement:
 // shared for read-only statements, exclusive for DML/DDL, none for
 // session-local SET/SHOW-LEXSTATS. It returns the release func.
 func (s *Session) acquireDB(stmt Stmt) func() {
+	if s.tx != nil {
+		// An explicit transaction already holds the exclusive lock
+		// across statements; re-acquiring (even shared) would deadlock.
+		return nil
+	}
 	switch st := stmt.(type) {
 	case *SelectStmt, *ExplainStmt:
 		return s.lockShared()
@@ -207,31 +350,7 @@ func (s *Session) exec(stmt Stmt) (*Result, error) {
 		return &Result{Message: fmt.Sprintf("table %s dropped", st.Name)}, nil
 
 	case *InsertStmt:
-		t, ok := s.DB.Table(st.Table)
-		if !ok {
-			return nil, fmt.Errorf("sql: no table %q", st.Table)
-		}
-		n := 0
-		for _, astRow := range st.Rows {
-			row := make(db.Row, len(astRow))
-			for i, cell := range astRow {
-				lit, ok := cell.(*Lit)
-				if !ok {
-					return nil, fmt.Errorf("sql: INSERT values must be literals")
-				}
-				v := s.litValue(lit)
-				// Coerce string literals to the column's declared type.
-				if i < len(t.Columns) {
-					v = coerce(v, t.Columns[i].Type)
-				}
-				row[i] = v
-			}
-			if _, err := t.Insert(row); err != nil {
-				return nil, err
-			}
-			n++
-		}
-		return &Result{Affected: n, Message: fmt.Sprintf("%d row(s) inserted", n)}, nil
+		return s.execInsert(st)
 
 	case *DeleteStmt:
 		return s.execDelete(st)
@@ -274,6 +393,89 @@ func (s *Session) exec(stmt Stmt) (*Result, error) {
 	}
 }
 
+// beginStmtTxn opens a statement-scoped transaction for a statement
+// about to mutate n rows: the whole statement commits — and fsyncs —
+// once, and the durability wait is deferred until the statement's
+// locks drop (see endStmtTxn), so concurrent sessions' commits batch
+// into one group-commit fsync. It returns nil (no wrapper needed) for
+// statements mutating nothing, inside an explicit transaction, or with
+// the WAL disabled.
+func (s *Session) beginStmtTxn(n int) (*db.Tx, error) {
+	if n < 1 || s.tx != nil || !s.DB.WALStats().Enabled {
+		return nil, nil
+	}
+	return s.DB.Begin()
+}
+
+// endStmtTxn finishes a statement-scoped transaction. On success it
+// appends the commit record without waiting for durability and stashes
+// the commit LSN for Exec to await once the query lock is released. On
+// failure the database has usually already aborted it (a failed row
+// aborts its enclosing transaction on the spot); if it is somehow
+// still open — the statement failed before touching any row — roll it
+// back here.
+func (s *Session) endStmtTxn(tx *db.Tx, err error) error {
+	if tx == nil {
+		return err
+	}
+	if err != nil {
+		if s.DB.InTxn() {
+			if rbErr := tx.Rollback(); rbErr != nil {
+				err = errors.Join(err, rbErr)
+			}
+		}
+		return err
+	}
+	lsn, err := tx.CommitNoWait()
+	if err != nil {
+		return err
+	}
+	s.stmtLSN = lsn
+	return nil
+}
+
+// execInsert inserts the statement's rows, wrapped in one
+// statement-scoped transaction when there are several.
+func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
+	t, ok := s.DB.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: no table %q", st.Table)
+	}
+	tx, err := s.beginStmtTxn(len(st.Rows))
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.insertRows(t, st)
+	if err = s.endStmtTxn(tx, err); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Message: fmt.Sprintf("%d row(s) inserted", n)}, nil
+}
+
+func (s *Session) insertRows(t *db.Table, st *InsertStmt) (int, error) {
+	n := 0
+	for _, astRow := range st.Rows {
+		row := make(db.Row, len(astRow))
+		for i, cell := range astRow {
+			lit, ok := cell.(*Lit)
+			if !ok {
+				return n, fmt.Errorf("sql: INSERT values must be literals")
+			}
+			v := s.litValue(lit)
+			// Coerce string literals to the column's declared type.
+			if i < len(t.Columns) {
+				v = coerce(v, t.Columns[i].Type)
+			}
+			row[i] = v
+		}
+		if _, err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
 // execDelete scans the table, collects matching RIDs, then tombstones
 // them (two phases so the scan never observes its own deletions).
 func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
@@ -309,10 +511,17 @@ func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tx, err := s.beginStmtTxn(len(rids))
+	if err != nil {
+		return nil, err
+	}
 	for _, rid := range rids {
-		if err := t.Delete(rid); err != nil {
-			return nil, err
+		if err = t.Delete(rid); err != nil {
+			break
 		}
+	}
+	if err = s.endStmtTxn(tx, err); err != nil {
+		return nil, err
 	}
 	return &Result{Affected: len(rids), Message: fmt.Sprintf("%d row(s) deleted", len(rids))}, nil
 }
@@ -385,6 +594,15 @@ func (s *Session) execSet(st *SetStmt) (*Result, error) {
 			WeakIndel: s.Op.WeakIndel(), WeakIndelSet: true,
 			DefaultThreshold: s.Threshold,
 		}, ack)
+	case "lexequal_wal_flush":
+		// The group-commit collection window, in milliseconds
+		// (fractional allowed; 0 fsyncs immediately per commit).
+		v, err := strconv.ParseFloat(st.Value, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("sql: lexequal_wal_flush must be a non-negative number of milliseconds (got %q)", st.Value)
+		}
+		s.DB.SetWALFlushInterval(time.Duration(v * float64(time.Millisecond)))
+		return ack()
 	case "parallelism", "lexequal_parallelism":
 		v, err := strconv.Atoi(st.Value)
 		if err != nil || v < 0 {

@@ -1,0 +1,196 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lexequal/internal/db"
+)
+
+func countRows(t *testing.T, s *Session, table string) int {
+	t.Helper()
+	res := mustExec(t, s, "SELECT COUNT(*) FROM "+table)
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("COUNT(*) returned %v", res.Rows)
+	}
+	return int(res.Rows[0][0].I)
+}
+
+func TestTxnCommitAndRollback(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE kv (k INT, v TEXT)`)
+
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO kv VALUES (1, 'one'), (2, 'two')`)
+	if got := countRows(t, s, "kv"); got != 2 {
+		t.Fatalf("inside txn: %d rows, want 2 (own writes visible)", got)
+	}
+	mustExec(t, s, `COMMIT`)
+	if got := countRows(t, s, "kv"); got != 2 {
+		t.Fatalf("after commit: %d rows, want 2", got)
+	}
+
+	mustExec(t, s, `BEGIN TRANSACTION`)
+	mustExec(t, s, `INSERT INTO kv VALUES (3, 'three')`)
+	mustExec(t, s, `DELETE FROM kv WHERE k = 1`)
+	if got := countRows(t, s, "kv"); got != 2 {
+		t.Fatalf("inside txn 2: %d rows, want 2", got)
+	}
+	mustExec(t, s, `ROLLBACK`)
+	if got := countRows(t, s, "kv"); got != 2 {
+		t.Fatalf("after rollback: %d rows, want 2 (insert and delete undone)", got)
+	}
+	res := mustExec(t, s, `SELECT v FROM kv WHERE k = 1`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("row k=1 did not survive the rolled-back DELETE: %v", res.Rows)
+	}
+}
+
+func TestTxnControlErrors(t *testing.T) {
+	s := newTestSession(t)
+	if _, err := s.Exec(`COMMIT`); err == nil || !strings.Contains(err.Error(), "no transaction") {
+		t.Fatalf("COMMIT without BEGIN: %v", err)
+	}
+	if _, err := s.Exec(`ROLLBACK`); err == nil || !strings.Contains(err.Error(), "no transaction") {
+		t.Fatalf("ROLLBACK without BEGIN: %v", err)
+	}
+	mustExec(t, s, `BEGIN`)
+	if _, err := s.Exec(`BEGIN`); err == nil || !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("nested BEGIN: %v", err)
+	}
+	mustExec(t, s, `ROLLBACK`)
+}
+
+// TestTxnAbortedByFailedStatement drives a statement that fails after
+// mutating pages (an oversized record, rejected by the heap mid-way
+// through a multi-row insert): the database rolls the whole explicit
+// transaction back on the spot, the error says so, and the session's
+// transaction is gone.
+func TestTxnAbortedByFailedStatement(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE kv (k INT, v TEXT)`)
+	mustExec(t, s, `INSERT INTO kv VALUES (1, 'committed')`)
+
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO kv VALUES (2, 'in-txn')`)
+	huge := strings.Repeat("x", 100000)
+	_, err := s.Exec(`INSERT INTO kv VALUES (3, 'ok'), (4, '` + huge + `')`)
+	if err == nil {
+		t.Fatal("oversized insert succeeded")
+	}
+	if !strings.Contains(err.Error(), "transaction was rolled back") {
+		t.Fatalf("error does not report the rollback: %v", err)
+	}
+	if _, err := s.Exec(`COMMIT`); err == nil || !strings.Contains(err.Error(), "no transaction") {
+		t.Fatalf("COMMIT after abort: %v", err)
+	}
+	if got := countRows(t, s, "kv"); got != 1 {
+		t.Fatalf("after aborted txn: %d rows, want 1 (only the pre-txn row)", got)
+	}
+}
+
+// TestTxnSelectErrorKeepsTxnOpen: a read-only failure must not abort
+// the transaction.
+func TestTxnSelectErrorKeepsTxnOpen(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE kv (k INT, v TEXT)`)
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO kv VALUES (1, 'one')`)
+	if _, err := s.Exec(`SELECT * FROM nosuch`); err == nil {
+		t.Fatal("select from missing table succeeded")
+	}
+	mustExec(t, s, `COMMIT`)
+	if got := countRows(t, s, "kv"); got != 1 {
+		t.Fatalf("after commit: %d rows, want 1", got)
+	}
+}
+
+// TestTxnCommitSurvivesReopen: committed work is durable across a
+// close/reopen of the database directory.
+func TestTxnCommitSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := db.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, `CREATE TABLE kv (k INT, v TEXT)`)
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO kv VALUES (1, 'one'), (2, 'two')`)
+	mustExec(t, s, `COMMIT`)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := db.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	s2, err := NewSession(d2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(t, s2, "kv"); got != 2 {
+		t.Fatalf("after reopen: %d rows, want 2", got)
+	}
+}
+
+// TestResetRollsBackOpenTxn: the serving layer's disconnect path must
+// release the exclusive lock and undo the dangling transaction.
+func TestResetRollsBackOpenTxn(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE kv (k INT, v TEXT)`)
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO kv VALUES (1, 'dangling')`)
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatalf("second Reset: %v", err)
+	}
+	// A second session can take the exclusive lock (it was released)
+	// and sees none of the rolled-back writes.
+	s2, err := NewSession(s.DB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s2, `INSERT INTO kv VALUES (2, 'after')`)
+	if got := countRows(t, s2, "kv"); got != 1 {
+		t.Fatalf("after reset: %d rows, want 1", got)
+	}
+}
+
+// TestMultiRowInsertCommitsOnce: a multi-row INSERT outside an explicit
+// transaction is one transaction, not one per row.
+func TestMultiRowInsertCommitsOnce(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `CREATE TABLE kv (k INT, v TEXT)`)
+	before := s.DB.WALStats().Commits
+	mustExec(t, s, `INSERT INTO kv VALUES (1,'a'), (2,'b'), (3,'c'), (4,'d')`)
+	after := s.DB.WALStats().Commits
+	if after-before != 1 {
+		t.Fatalf("multi-row INSERT issued %d commits, want 1", after-before)
+	}
+}
+
+func TestSetWALFlush(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, `SET lexequal_wal_flush = 5`)
+	if got := s.DB.WALStats().FlushInterval; got != 5*time.Millisecond {
+		t.Fatalf("flush interval = %v, want 5ms", got)
+	}
+	mustExec(t, s, `SET lexequal_wal_flush = 0.5`)
+	if got := s.DB.WALStats().FlushInterval; got != 500*time.Microsecond {
+		t.Fatalf("flush interval = %v, want 500µs", got)
+	}
+	for _, bad := range []string{`SET lexequal_wal_flush = -1`, `SET lexequal_wal_flush = nope`} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Fatalf("%s succeeded", bad)
+		}
+	}
+}

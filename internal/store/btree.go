@@ -29,6 +29,9 @@ type BTree struct {
 	root   PageID
 	count  uint64
 	closed bool
+	// logger, when attached (SetLogger), receives the after-image of
+	// every page an Insert dirties, inside the exclusive latch.
+	logger PageLogger
 }
 
 const (
@@ -108,6 +111,27 @@ func (t *BTree) syncMeta() error {
 	return nil
 }
 
+// SetLogger attaches the WAL page logger: every Insert then emits the
+// after-images of the pages it dirtied (leaf, any split chain, and the
+// meta page) before its latch is released. Attach before concurrent use.
+func (t *BTree) SetLogger(lg PageLogger) {
+	t.latch.Lock()
+	t.logger = lg
+	t.latch.Unlock()
+}
+
+// Discard drops the page cache without write-back and closes the file
+// (the rollback/recovery path; see Pager.Discard).
+func (t *BTree) Discard() error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.pg.Discard()
+}
+
 // Count returns the number of stored entries.
 func (t *BTree) Count() uint64 {
 	t.latch.RLock()
@@ -117,6 +141,20 @@ func (t *BTree) Count() uint64 {
 
 // Pager exposes the underlying pager (for I/O statistics).
 func (t *BTree) Pager() *Pager { return t.pg }
+
+// Flush writes metadata and every flushable dirty page to disk and
+// syncs the file, without closing it (the checkpoint path).
+func (t *BTree) Flush() error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if t.closed {
+		return nil
+	}
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	return t.pg.Flush()
+}
 
 // Close flushes metadata and the page cache. It is safe to call more
 // than once; the first error wins and later calls are no-ops.
@@ -262,6 +300,26 @@ func leafLowerBound(p *Page, key uint64) int {
 func (t *BTree) Insert(key, value uint64) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	if t.logger != nil {
+		t.pg.CaptureStart()
+	}
+	err := t.insertLocked(key, value)
+	if err == nil {
+		// The meta page (root pointer + count) travels with every
+		// logged mutation so recovery replays a consistent tree.
+		err = t.syncMeta()
+	}
+	if t.logger != nil {
+		if err != nil {
+			t.pg.DropCapture()
+		} else {
+			err = t.pg.LogCaptured(t.logger)
+		}
+	}
+	return err
+}
+
+func (t *BTree) insertLocked(key, value uint64) error {
 	promo, right, changed, err := t.insertAt(t.root, key, value)
 	if err != nil {
 		return err

@@ -198,6 +198,21 @@ func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
 	}
 }
 
+// Truncate counts as a write for fault accounting: it mutates on-disk
+// state just like WriteAt, so crash sweeps must cover it.
+func (ff *faultFile) Truncate(size int64) error {
+	fs := ff.fs
+	if fs.tripped {
+		return fs.down("truncate " + ff.path)
+	}
+	fs.writes++
+	if fs.FailWrite != 0 && fs.writes == fs.FailWrite {
+		fs.tripped = true
+		return fmt.Errorf("store: write %d (truncate) of %s: %w", fs.writes, ff.path, ErrInjected)
+	}
+	return ff.f.Truncate(size)
+}
+
 func (ff *faultFile) Sync() error {
 	fs := ff.fs
 	if fs.tripped {

@@ -36,6 +36,9 @@ type HeapFile struct {
 	lastPage PageID // page currently receiving inserts
 	count    uint64 // live record count
 	closed   bool
+	// logger, when attached (SetLogger), receives the after-image of
+	// every page a mutation dirties, inside the mutation's latch.
+	logger PageLogger
 }
 
 // RID addresses one record: page and slot.
@@ -119,6 +122,28 @@ func (h *HeapFile) syncMeta() error {
 	return nil
 }
 
+// SetLogger attaches the WAL page logger: every Insert and Delete then
+// emits the after-images of the pages it dirtied (data page and meta
+// page) before its latch is released. Attach before concurrent use.
+func (h *HeapFile) SetLogger(lg PageLogger) {
+	h.latch.Lock()
+	h.logger = lg
+	h.latch.Unlock()
+}
+
+// Discard drops the page cache without write-back and closes the file:
+// the rollback/recovery path, where the WAL holds the authoritative
+// state and flushing the cache would leak loser pages.
+func (h *HeapFile) Discard() error {
+	h.latch.Lock()
+	defer h.latch.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	return h.pg.Discard()
+}
+
 // Count returns the number of live records.
 func (h *HeapFile) Count() uint64 {
 	h.latch.RLock()
@@ -128,6 +153,20 @@ func (h *HeapFile) Count() uint64 {
 
 // Pager exposes the underlying pager (for I/O statistics).
 func (h *HeapFile) Pager() *Pager { return h.pg }
+
+// Flush writes metadata and every flushable dirty page to disk and
+// syncs the file, without closing it (the checkpoint path).
+func (h *HeapFile) Flush() error {
+	h.latch.Lock()
+	defer h.latch.Unlock()
+	if h.closed {
+		return nil
+	}
+	if err := h.syncMeta(); err != nil {
+		return err
+	}
+	return h.pg.Flush()
+}
 
 // Close flushes metadata and the page cache. It is safe to call more
 // than once; the first error wins and later calls are no-ops.
@@ -179,6 +218,30 @@ func (h *HeapFile) slotRecord(p *Page, s int, freeOff int) ([]byte, error) {
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	h.latch.Lock()
 	defer h.latch.Unlock()
+	if h.logger != nil {
+		h.pg.CaptureStart()
+	}
+	rid, err := h.insertLocked(rec)
+	if err == nil {
+		// The meta page travels with every mutation: under a WAL the
+		// counts must be part of the transaction's page images, not
+		// wait for Close.
+		err = h.syncMeta()
+	}
+	if h.logger != nil {
+		if err != nil {
+			h.pg.DropCapture()
+		} else {
+			err = h.pg.LogCaptured(h.logger)
+		}
+	}
+	if err != nil {
+		return RID{}, err
+	}
+	return rid, nil
+}
+
+func (h *HeapFile) insertLocked(rec []byte) (RID, error) {
 	if len(rec) > maxHeapRecord {
 		return RID{}, fmt.Errorf("store: record of %d bytes exceeds max %d", len(rec), maxHeapRecord)
 	}
@@ -260,6 +323,24 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 func (h *HeapFile) Delete(rid RID) error {
 	h.latch.Lock()
 	defer h.latch.Unlock()
+	if h.logger != nil {
+		h.pg.CaptureStart()
+	}
+	err := h.deleteLocked(rid)
+	if err == nil {
+		err = h.syncMeta()
+	}
+	if h.logger != nil {
+		if err != nil {
+			h.pg.DropCapture()
+		} else {
+			err = h.pg.LogCaptured(h.logger)
+		}
+	}
+	return err
+}
+
+func (h *HeapFile) deleteLocked(rid RID) error {
 	if rid.Page == 0 {
 		return fmt.Errorf("store: rid %v addresses the meta page", rid)
 	}

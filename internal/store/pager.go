@@ -7,14 +7,18 @@
 // pages) so the relative costs of the three LexEQUAL strategies have the
 // same shape.
 //
-// Durability model (format version 2): every page carries a CRC32-C
-// checksum over its payload and page number in an 8-byte trailer,
-// stamped on write-back and verified on every read from disk, so torn
-// writes, bit flips and misdirected writes surface as a typed
-// CorruptPageError instead of garbage data. There is still no WAL:
-// in-place updates are not crash-atomic — bulk loads obtain atomicity
-// by staging + rename (see internal/db.BuildAtomic), and damage is
-// detectable rather than silent.
+// Durability model (format version 3): every page carries a 16-byte
+// trailer holding the pageLSN of its last logged change and a CRC32-C
+// checksum over payload+pageID+pageLSN, stamped on write-back and
+// verified on every read from disk, so torn writes, bit flips and
+// misdirected writes surface as a typed CorruptPageError instead of
+// garbage data. In-place updates are crash-atomic when a write-ahead
+// log is attached (SetWAL; see internal/wal and DESIGN.md §11): the
+// pager enforces the WAL rule on write-back and the no-steal policy on
+// eviction, and recovery replays committed page images, gated on the
+// pageLSN, over whatever state the crash left. Bulk loads keep their
+// rename-based atomicity (internal/db.BuildAtomic) and run without a
+// WAL.
 package store
 
 import (
@@ -25,19 +29,22 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the unit of I/O. 4 KiB matches common DBMS defaults.
 const PageSize = 4096
 
 // FormatVersion is the on-disk page format. Version 2 introduced the
-// per-page checksum trailer; version-1 files (no trailer) are rejected.
-const FormatVersion = 2
+// per-page checksum trailer; version 3 widened it with the pageLSN the
+// recovery pass gates redo on. Older versions are rejected.
+const FormatVersion = 3
 
 // pageTrailerSize bytes at the end of every page hold the integrity
-// trailer: CRC32-C over payload+pageID at [UsableSize:UsableSize+4),
-// the format version at [UsableSize+4:UsableSize+6), 2 reserved bytes.
-const pageTrailerSize = 8
+// trailer: the pageLSN at [UsableSize:UsableSize+8), CRC32-C over
+// payload+pageID+pageLSN at [UsableSize+8:UsableSize+12), the format
+// version at [UsableSize+12:UsableSize+14), 2 reserved bytes.
+const pageTrailerSize = 16
 
 // UsableSize is the payload area of a page available to the heap and
 // B-tree layouts; the trailer occupies the rest.
@@ -60,12 +67,22 @@ type Page struct {
 
 	pins  int
 	dirty bool
+	// lsn is the LSN of the page's latest log record (0 when the page
+	// was never logged). Guarded by the pager latch on every access
+	// that can race (LogCaptured vs. write-back).
+	lsn uint64
+	pg  *Pager
 	// LRU bookkeeping.
 	prev, next *Page
 }
 
 // MarkDirty records that the page must be written back before eviction.
-func (p *Page) MarkDirty() { p.dirty = true }
+func (p *Page) MarkDirty() {
+	p.dirty = true
+	if p.pg != nil && p.pg.captureOn.Load() {
+		p.pg.noteDirty(p.ID)
+	}
+}
 
 // ErrPoolExhausted is returned (wrapped) when every cached page is
 // pinned and a new page is needed: the buffer pool cannot evict.
@@ -94,6 +111,14 @@ type Pager struct {
 	// the most recently used.
 	lruHead, lruTail *Page
 	closed           bool
+	// wal, when attached, gates write-back (WAL rule) and eviction
+	// (no-steal). capturing/captured implement the dirty-page capture
+	// window of one structure mutation; captureOn is the lock-free
+	// fast-path check MarkDirty takes before locking mu.
+	wal       WALHook
+	capturing bool
+	captured  map[PageID]struct{}
+	captureOn atomic.Bool
 	// Statistics for the benchmark harness.
 	reads, writes, hits, misses uint64
 }
@@ -162,29 +187,30 @@ func (pg *Pager) Stats() (reads, writes, hits, misses uint64) {
 // amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// pageCRC covers the payload and the page number, so a structurally
-// valid page written to the wrong offset (a misdirected write) still
-// fails verification.
+// pageCRC covers the payload, the page number and the pageLSN, so a
+// structurally valid page written to the wrong offset (a misdirected
+// write) or carrying a forged LSN still fails verification. data must
+// be a full page; the pageLSN bytes at [UsableSize:UsableSize+8) are
+// included, so they must be stamped first.
 func pageCRC(id PageID, data []byte) uint32 {
 	var idb [4]byte
 	binary.LittleEndian.PutUint32(idb[:], uint32(id))
 	crc := crc32.Update(0, castagnoli, data[:UsableSize])
-	return crc32.Update(crc, castagnoli, idb[:])
+	crc = crc32.Update(crc, castagnoli, idb[:])
+	return crc32.Update(crc, castagnoli, data[UsableSize:UsableSize+8])
 }
 
 // stampTrailer writes the integrity trailer prior to write-back.
 func stampTrailer(p *Page) {
-	binary.LittleEndian.PutUint32(p.Data[UsableSize:], pageCRC(p.ID, p.Data[:]))
-	binary.LittleEndian.PutUint16(p.Data[UsableSize+4:], FormatVersion)
-	p.Data[UsableSize+6] = 0
-	p.Data[UsableSize+7] = 0
+	StampPageImage(p.ID, p.Data[:], p.lsn)
 }
 
 // verifyPage checks the trailer of a page freshly read from disk.
 func (pg *Pager) verifyPage(p *Page) error {
-	stored := binary.LittleEndian.Uint32(p.Data[UsableSize:])
-	version := binary.LittleEndian.Uint16(p.Data[UsableSize+4:])
-	if computed := pageCRC(p.ID, p.Data[:]); stored == computed && version == FormatVersion {
+	stored := binary.LittleEndian.Uint32(p.Data[UsableSize+8:])
+	version := binary.LittleEndian.Uint16(p.Data[UsableSize+12:])
+	if lsn, ok := PageImageLSN(p.ID, p.Data[:]); ok {
+		p.lsn = lsn
 		return nil
 	}
 	zero := true
@@ -265,23 +291,50 @@ func (pg *Pager) Allocate() (*Page, error) {
 		return nil, err
 	}
 	p.dirty = true
+	if pg.capturing {
+		pg.captured[id] = struct{}{}
+	}
 	return p, nil
 }
 
 // fault makes room and installs a fresh pinned cache entry for id.
 func (pg *Pager) fault(id PageID) (*Page, error) {
 	for len(pg.cache) >= pg.capacity {
+		// Walk from the LRU tail past pages the WAL policy pins in
+		// memory: no-steal means a page dirtied by a live transaction
+		// (or sitting in an open capture window, its log record not yet
+		// written) must not reach disk.
 		victim := pg.lruTail
+		for victim != nil && !pg.evictable(victim) {
+			victim = victim.prev
+		}
 		if victim == nil {
-			return nil, fmt.Errorf("store: %s: %w (%d pages cached, all pinned)", pg.path, ErrPoolExhausted, len(pg.cache))
+			return nil, fmt.Errorf("store: %s: %w (%d pages cached, all pinned or unflushable)", pg.path, ErrPoolExhausted, len(pg.cache))
 		}
 		if err := pg.evict(victim); err != nil {
 			return nil, err
 		}
 	}
-	p := &Page{ID: id, pins: 1}
+	p := &Page{ID: id, pins: 1, pg: pg}
 	pg.cache[id] = p
 	return p, nil
+}
+
+// evictable reports whether write-back of p is permitted by the
+// no-steal policy (pg.mu held).
+func (pg *Pager) evictable(p *Page) bool {
+	if !p.dirty {
+		return true
+	}
+	if pg.capturing {
+		if _, held := pg.captured[p.ID]; held {
+			return false
+		}
+	}
+	if pg.wal != nil && p.lsn != 0 && !pg.wal.Committed(p.lsn) {
+		return false
+	}
+	return true
 }
 
 // Unpin releases one pin. Unpinned pages become evictable.
@@ -314,6 +367,13 @@ func (pg *Pager) writeBack(p *Page) error {
 	if !p.dirty {
 		return nil
 	}
+	// WAL rule: the log record covering this image must be durable
+	// before the image may overwrite the page on disk.
+	if pg.wal != nil && p.lsn != 0 {
+		if err := pg.wal.EnsureDurable(p.lsn); err != nil {
+			return fmt.Errorf("store: wal sync before page %d of %s: %w", p.ID, pg.path, err)
+		}
+	}
 	stampTrailer(p)
 	if _, err := pg.f.WriteAt(p.Data[:], int64(p.ID)*PageSize); err != nil {
 		return fmt.Errorf("store: write page %d of %s: %w", p.ID, pg.path, err)
@@ -326,6 +386,8 @@ func (pg *Pager) writeBack(p *Page) error {
 // Flush writes every dirty cached page to disk and syncs the file.
 // Callers must ensure no writer is concurrently modifying page
 // payloads (the server drains in-flight queries before flushing).
+// Pages belonging to a live transaction are skipped (no-steal); they
+// stay dirty in the cache until the transaction finishes.
 func (pg *Pager) Flush() error {
 	pg.mu.Lock()
 	defer pg.mu.Unlock()
@@ -333,6 +395,9 @@ func (pg *Pager) Flush() error {
 		return fmt.Errorf("store: flush %s: %w", pg.path, os.ErrClosed)
 	}
 	for _, p := range pg.cache {
+		if !pg.evictable(p) {
+			continue
+		}
 		if err := pg.writeBack(p); err != nil {
 			return err
 		}
@@ -343,7 +408,10 @@ func (pg *Pager) Flush() error {
 // Close writes back every remaining dirty page, syncs, and closes the
 // file, returning the first error encountered while still attempting
 // the rest. It is safe to call more than once; later calls are no-ops.
-// Pages must not be used afterwards.
+// Pages must not be used afterwards. Pages belonging to a transaction
+// that is still live (no-steal) are dropped, not written: uncommitted
+// data must never reach disk, and the WAL holds nothing to redo it
+// with — exactly the crash semantics an unfinished transaction gets.
 func (pg *Pager) Close() error {
 	pg.mu.Lock()
 	defer pg.mu.Unlock()
@@ -353,6 +421,9 @@ func (pg *Pager) Close() error {
 	pg.closed = true
 	var first error
 	for _, p := range pg.cache {
+		if !pg.evictable(p) {
+			continue
+		}
 		if err := pg.writeBack(p); err != nil && first == nil {
 			first = err
 		}

@@ -13,6 +13,7 @@ import (
 type File interface {
 	ReadAt(p []byte, off int64) (int, error)
 	WriteAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
 	Sync() error
 	Close() error
 	Stat() (os.FileInfo, error)

@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lexequal/internal/store"
+)
+
+// Redo replays the log over the database directory: every page image
+// belonging to a committed transaction is re-applied (newest wins), and
+// records of loser transactions — begun but neither committed nor
+// aborted before the crash — are discarded, which under the no-steal
+// buffer policy is all the undo there is.
+//
+// Redo uses raw file I/O, not pagers: crashed data files may be torn
+// or non-page-aligned and would fail a pager's open-time validation;
+// the images in the log are exactly what repairs them. Application is
+// idempotent — each image is skipped when the on-disk page already
+// verifies with an LSN at or above the record's — so a crash during
+// recovery is cured by recovering again.
+//
+// fs nil means the OS filesystem. Redo returns the number of page
+// images applied (skips not counted).
+func Redo(l *Log, dbDir string, fs store.VFS) (int, error) {
+	if fs == nil {
+		fs = store.OSFS{}
+	}
+	// Pass 1: which transactions finished with a commit.
+	committed := make(map[uint64]bool)
+	if err := l.Records(func(r Record) error {
+		if r.Type == RecCommit {
+			committed[r.TxID] = true
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	// Pass 2: apply page images of committed transactions in LSN
+	// order, remembering the last committed catalog image.
+	files := make(map[string]store.File)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	openData := func(name string) (store.File, error) {
+		if f, ok := files[name]; ok {
+			return f, nil
+		}
+		f, err := fs.OpenFile(filepath.Join(dbDir, name), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: redo open %s: %w", name, err)
+		}
+		files[name] = f
+		return f, nil
+	}
+	applied := 0
+	var catName string
+	var catImage []byte
+	err := l.Records(func(r Record) error {
+		if !committed[r.TxID] {
+			return nil
+		}
+		switch r.Type {
+		case RecPage:
+			name, err := safeName(r.File)
+			if err != nil {
+				return err
+			}
+			f, err := openData(name)
+			if err != nil {
+				return err
+			}
+			off := int64(r.Page) * store.PageSize
+			cur := make([]byte, store.PageSize)
+			if n, rerr := f.ReadAt(cur, off); n == store.PageSize && rerr == nil {
+				if lsn, ok := store.PageImageLSN(r.Page, cur); ok && lsn >= r.LSN {
+					return nil // already at or past this image
+				}
+			}
+			img := make([]byte, store.PageSize)
+			copy(img, r.Payload)
+			store.StampPageImage(r.Page, img, r.LSN)
+			if _, err := f.WriteAt(img, off); err != nil {
+				return fmt.Errorf("wal: redo write %s page %d: %w", name, r.Page, err)
+			}
+			applied++
+		case RecCatalog:
+			name, err := safeName(r.File)
+			if err != nil {
+				return err
+			}
+			catName = name
+			catImage = append(catImage[:0], r.Payload...)
+		}
+		return nil
+	})
+	if err != nil {
+		return applied, err
+	}
+	// Fix tails and make everything durable before the log can be
+	// reset: round non-aligned files down (the partial tail page is
+	// crash debris — any committed content for it was just rewritten
+	// at full size, which realigns the file first).
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := files[name]
+		st, err := f.Stat()
+		if err != nil {
+			return applied, err
+		}
+		if rem := st.Size() % store.PageSize; rem != 0 {
+			if err := f.Truncate(st.Size() - rem); err != nil {
+				return applied, fmt.Errorf("wal: redo truncate %s: %w", name, err)
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return applied, fmt.Errorf("wal: redo sync %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return applied, err
+		}
+		delete(files, name)
+	}
+	if catName != "" {
+		if err := writeFileAtomic(fs, dbDir, catName, catImage); err != nil {
+			return applied, err
+		}
+	}
+	if err := store.SyncDir(fs, dbDir); err != nil {
+		return applied, fmt.Errorf("wal: redo sync dir: %w", err)
+	}
+	return applied, nil
+}
+
+// safeName validates a file name taken from a log record before it is
+// joined to the database directory. Records are CRC-protected, but the
+// log is an external input (fuzzed, copied between machines), so a name
+// must be a bare basename — no separators, no "..", not empty.
+func safeName(name string) (string, error) {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || strings.ContainsRune(name, 0) {
+		return "", fmt.Errorf("wal: unsafe file name %q in log record", name)
+	}
+	return name, nil
+}
+
+// writeFileAtomic publishes contents at dir/name via tmp + fsync +
+// rename, the same protocol the live engine uses for the catalog.
+func writeFileAtomic(fs store.VFS, dir, name string, contents []byte) error {
+	tmp := filepath.Join(dir, name+".redo.tmp")
+	f, err := fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: redo catalog create: %w", err)
+	}
+	if _, err := f.WriteAt(contents, 0); err != nil {
+		return errors.Join(fmt.Errorf("wal: redo catalog write: %w", err), f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("wal: redo catalog sync: %w", err), f.Close())
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("wal: redo catalog rename: %w", err)
+	}
+	return nil
+}

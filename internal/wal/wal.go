@@ -1,0 +1,767 @@
+// Package wal implements the write-ahead log and crash recovery for
+// the engine.
+//
+// The log is physiological in spirit but physical in payload: every
+// record carries either transaction bookkeeping (begin/commit/abort) or
+// the full after-image of one page (or of the catalog file). Recovery
+// is redo-only ARIES-lite under a no-steal buffer policy — the pager
+// never flushes a page dirtied by an uncommitted transaction, so undo
+// is unnecessary: records of loser transactions are simply skipped.
+//
+// Two durability rules connect the log to the store layer:
+//
+//  1. WAL rule: a dirty page may reach its data file only after the log
+//     record carrying its after-image is durable. store.Pager enforces
+//     this by calling EnsureDurable(pageLSN) before every write-back.
+//  2. Commit rule: a transaction is committed the instant its commit
+//     record is durable; data files are written back lazily.
+//
+// On disk the log lives in <dbdir>/wal/ as numbered segment files
+// (000001.wal, 000002.wal, ...). Each segment starts with a 24-byte
+// header and holds a run of records:
+//
+//	header: magic "LXQLWAL\x01" (8) | seq uint32 | baseLSN uint64 |
+//	        crc32c over the first 20 bytes (4)
+//	record: crc32c over bytes [4:N) (4) | totalLen uint32 |
+//	        lsn uint64 | txid uint64 | type byte | payload
+//
+// All integers are little-endian. LSNs are strictly monotonic across
+// segments; a scan stops at the first record whose CRC fails, whose
+// length is impossible, or whose LSN does not increase — that is the
+// torn tail of a crash, and everything after it is garbage by rule 1.
+//
+// Group commit: Commit appends the commit record and then waits for a
+// flusher to make it durable. The first waiter becomes the leader,
+// sleeps FlushInterval to collect followers, syncs once, and wakes
+// everyone whose LSN the sync covered. One fsync thereby retires many
+// commits.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"lexequal/internal/store"
+)
+
+// Record types.
+const (
+	// RecBegin opens a transaction.
+	RecBegin byte = 1
+	// RecCommit commits a transaction; durable RecCommit == committed.
+	RecCommit byte = 2
+	// RecAbort ends a transaction without committing. Redo skips its
+	// records; the pager never flushed them (no-steal).
+	RecAbort byte = 3
+	// RecPage carries the full after-image of one data page:
+	// nameLen uint16 | file basename | pageID uint32 | UsableSize bytes.
+	RecPage byte = 4
+	// RecCatalog carries a whole-file after-image applied by atomic
+	// tmp+rename: nameLen uint16 | file basename | contents.
+	RecCatalog byte = 5
+)
+
+const (
+	segHdrSize = 24
+	recHdrSize = 4 + 4 + 8 + 8 + 1 // crc, totalLen, lsn, txid, type
+	walMagic   = "LXQLWAL\x01"
+
+	// MaxRecordSize bounds a single record; anything larger in a scan
+	// is treated as a torn tail rather than allocated.
+	MaxRecordSize = 1 << 24
+
+	// segmentLimit is the append size at which the log rolls to a new
+	// segment file.
+	segmentLimit = 16 << 20
+
+	// DefaultFlushInterval is how long a group-commit leader waits for
+	// followers before syncing.
+	DefaultFlushInterval = 200 * time.Microsecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Record is one decoded log record.
+type Record struct {
+	LSN  uint64
+	TxID uint64
+	Type byte
+	// File is the basename of the file a RecPage/RecCatalog targets.
+	File string
+	// Page is the page ID for RecPage.
+	Page store.PageID
+	// Payload is the page image (RecPage, len == store.UsableSize) or
+	// file contents (RecCatalog).
+	Payload []byte
+}
+
+// Log is the write-ahead log manager for one database directory. All
+// methods are safe for concurrent use.
+type Log struct {
+	dir string
+	fs  store.VFS
+
+	mu      sync.Mutex // guards append state
+	f       store.File // current segment
+	seq     uint32     // current segment number
+	size    int64      // append offset in current segment
+	nextLSN uint64
+	lastLSN uint64
+	closed  bool
+
+	// hasRecords is whether any record exists in the log (as opposed
+	// to bare segment headers).
+	hasRecords bool
+
+	// finishedLSN is the LSN of the most recent commit or abort
+	// record. Because write transactions serialize above this layer, a
+	// page LSN at or below it belongs to a finished transaction — the
+	// basis of the pager's no-steal check.
+	finishedLSN uint64
+
+	fmu        sync.Mutex // guards durability state
+	fcond      *sync.Cond
+	durableLSN uint64
+	flushing   bool
+	syncErr    error // sticky: after a sync failure the log is wedged
+	syncs      uint64
+	flushEvery time.Duration
+}
+
+// Open opens (creating if needed) the log under dir/wal and scans it to
+// find the durable tail. fs nil means the OS filesystem.
+func Open(dir string, fs store.VFS) (*Log, error) {
+	if fs == nil {
+		fs = store.OSFS{}
+	}
+	wdir := filepath.Join(dir, "wal")
+	if err := fs.MkdirAll(wdir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	l := &Log{dir: wdir, fs: fs, nextLSN: 1, flushEvery: DefaultFlushInterval}
+	l.fcond = sync.NewCond(&l.fmu)
+	if err := l.openTail(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// segPath returns the path of segment seq.
+func (l *Log) segPath(seq uint32) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%06d.wal", seq))
+}
+
+// segments probes the directory for the contiguous run of segment
+// files starting at 1. The VFS has no ReadDir, so existence is probed
+// with Stat.
+func (l *Log) segments() []uint32 {
+	var segs []uint32
+	for seq := uint32(1); ; seq++ {
+		if _, err := l.fs.Stat(l.segPath(seq)); err != nil {
+			return segs
+		}
+		segs = append(segs, seq)
+	}
+}
+
+// openTail scans existing segments to find nextLSN and the append
+// position, then opens (or creates) the tail segment.
+//
+// The scan carries an LSN floor forward: each segment header's baseLSN
+// raises it, so records left over from a pre-Reset life of the log
+// (lower LSNs than the fresh segment-1 header announces) are rejected
+// as stale, and an empty post-Reset log still resumes LSNs above every
+// pageLSN already stamped on data pages — restarting at 1 would leave
+// on-disk pageLSNs the pager could never prove durable.
+func (l *Log) openTail() error {
+	for {
+		segs := l.segments()
+		if len(segs) == 0 {
+			return l.createSegment(1, 1)
+		}
+		floor := uint64(0)
+		var tailEnd int64
+		var scanErr error
+		sawRecords := false
+		for _, seq := range segs {
+			end, newFloor, err := scanSegment(l.fs, l.segPath(seq), floor, nil)
+			if err != nil {
+				scanErr = err
+				break
+			}
+			if end > segHdrSize {
+				sawRecords = true
+			}
+			floor = newFloor
+			tailEnd = end
+		}
+		if scanErr != nil {
+			// A structurally broken header on the LAST segment is a
+			// crash during segment creation: the header syncs before
+			// any record is appended, so nothing durable lived there.
+			// Discard it and retry. Anywhere else it is corruption.
+			tail := segs[len(segs)-1]
+			var cfe *store.CorruptFileError
+			if errors.As(scanErr, &cfe) && cfe.Path == l.segPath(tail) && tail > 1 {
+				if err := l.fs.Remove(l.segPath(tail)); err != nil {
+					return errors.Join(scanErr, err)
+				}
+				continue
+			}
+			if errors.As(scanErr, &cfe) && cfe.Path == l.segPath(1) && len(segs) == 1 {
+				// Crash while creating the very first segment of a new
+				// log: no records ever existed. Recreate it.
+				return l.createSegment(1, 1)
+			}
+			return scanErr
+		}
+		tail := segs[len(segs)-1]
+		f, err := l.fs.OpenFile(l.segPath(tail), os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: open segment: %w", err)
+		}
+		// Drop the torn tail so new records append over garbage cleanly.
+		if err := f.Truncate(tailEnd); err != nil {
+			return errors.Join(fmt.Errorf("wal: truncate tail: %w", err), f.Close())
+		}
+		l.f = f
+		l.seq = tail
+		l.size = tailEnd
+		l.nextLSN = floor + 1
+		l.lastLSN = floor
+		l.hasRecords = sawRecords
+		l.finishedLSN = floor // everything on disk predates this process
+		l.durableLSN = floor
+		return nil
+	}
+}
+
+// createSegment writes a fresh segment file with the given sequence
+// number and base LSN and makes it the append target.
+func (l *Log) createSegment(seq uint32, baseLSN uint64) error {
+	f, err := l.fs.OpenFile(l.segPath(seq), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, segHdrSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], seq)
+	binary.LittleEndian.PutUint64(hdr[12:], baseLSN)
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], castagnoli))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return errors.Join(fmt.Errorf("wal: write segment header: %w", err), f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("wal: sync segment header: %w", err), f.Close())
+	}
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return errors.Join(err, f.Close())
+		}
+	}
+	l.f = f
+	l.seq = seq
+	l.size = segHdrSize
+	return nil
+}
+
+// append encodes and writes one record, returning its LSN. The bytes
+// are in the OS page cache but NOT durable until a sync covers them.
+func (l *Log) append(typ byte, txid uint64, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.size >= segmentLimit {
+		if err := l.createSegment(l.seq+1, l.nextLSN); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	total := recHdrSize + len(payload)
+	buf := make([]byte, total)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(total))
+	binary.LittleEndian.PutUint64(buf[8:], lsn)
+	binary.LittleEndian.PutUint64(buf[16:], txid)
+	buf[24] = typ
+	copy(buf[recHdrSize:], payload)
+	binary.LittleEndian.PutUint32(buf[0:], crc32.Checksum(buf[4:], castagnoli))
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(total)
+	l.nextLSN = lsn + 1
+	l.lastLSN = lsn
+	l.hasRecords = true
+	if typ == RecCommit || typ == RecAbort {
+		l.finishedLSN = lsn
+	}
+	return lsn, nil
+}
+
+// Begin appends a begin record for txid.
+func (l *Log) Begin(txid uint64) (uint64, error) {
+	return l.append(RecBegin, txid, nil)
+}
+
+// LogPage appends the after-image of one page. path is the data file's
+// path; only its basename is recorded (the log and data files share a
+// directory). payload must be exactly store.UsableSize bytes.
+func (l *Log) LogPage(txid uint64, path string, id store.PageID, payload []byte) (uint64, error) {
+	if len(payload) != store.UsableSize {
+		return 0, fmt.Errorf("wal: page payload is %d bytes, want %d", len(payload), store.UsableSize)
+	}
+	name := filepath.Base(path)
+	buf := make([]byte, 2+len(name)+4+len(payload))
+	binary.LittleEndian.PutUint16(buf, uint16(len(name)))
+	copy(buf[2:], name)
+	binary.LittleEndian.PutUint32(buf[2+len(name):], uint32(id))
+	copy(buf[2+len(name)+4:], payload)
+	return l.append(RecPage, txid, buf)
+}
+
+// LogCatalog appends a whole-file after-image of the catalog, applied
+// by recovery via atomic tmp+rename.
+func (l *Log) LogCatalog(txid uint64, name string, contents []byte) (uint64, error) {
+	buf := make([]byte, 2+len(name)+len(contents))
+	binary.LittleEndian.PutUint16(buf, uint16(len(name)))
+	copy(buf[2:], name)
+	copy(buf[2+len(name):], contents)
+	return l.append(RecCatalog, txid, buf)
+}
+
+// Abort appends an abort record for txid. It does not wait for
+// durability: an abort that never becomes durable is indistinguishable
+// from a crash mid-transaction, and both discard the loser.
+func (l *Log) Abort(txid uint64) (uint64, error) {
+	return l.append(RecAbort, txid, nil)
+}
+
+// CommitNoWait appends the commit record and returns its LSN without
+// waiting for durability. Pair with WaitDurable; Commit does both.
+func (l *Log) CommitNoWait(txid uint64) (uint64, error) {
+	return l.append(RecCommit, txid, nil)
+}
+
+// Commit appends the commit record and blocks until it is durable
+// (group commit: the wait batches with concurrent committers).
+func (l *Log) Commit(txid uint64) (uint64, error) {
+	lsn, err := l.append(RecCommit, txid, nil)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.WaitDurable(lsn)
+}
+
+// WaitDurable blocks until every record at or below lsn is durable,
+// joining or leading a group-commit flush as needed.
+func (l *Log) WaitDurable(lsn uint64) error {
+	return l.waitDurable(lsn, l.flushEvery)
+}
+
+// EnsureDurable is WaitDurable without the leader's collection sleep:
+// the caller (a page write-back honoring the WAL rule) must not be
+// delayed to batch with commits.
+func (l *Log) EnsureDurable(lsn uint64) error {
+	return l.waitDurable(lsn, 0)
+}
+
+func (l *Log) waitDurable(lsn uint64, wait time.Duration) error {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	for {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.durableLSN >= lsn {
+			return nil
+		}
+		if !l.flushing {
+			break
+		}
+		l.fcond.Wait()
+	}
+	// Become the leader.
+	l.flushing = true
+	l.fmu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait) // collect followers
+	}
+	covered, err := l.sync()
+	l.fmu.Lock()
+	l.flushing = false
+	if err != nil {
+		l.syncErr = err
+	} else if covered > l.durableLSN {
+		l.durableLSN = covered
+	}
+	l.fcond.Broadcast()
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if l.durableLSN >= lsn {
+		return nil
+	}
+	// A segment roll raced our sync; loop will retry.
+	return l.waitDurableLocked(lsn)
+}
+
+// waitDurableLocked re-enters the wait loop with fmu held (rare path).
+func (l *Log) waitDurableLocked(lsn uint64) error {
+	for l.syncErr == nil && l.durableLSN < lsn {
+		if !l.flushing {
+			l.flushing = true
+			l.fmu.Unlock()
+			covered, err := l.sync()
+			l.fmu.Lock()
+			l.flushing = false
+			if err != nil {
+				l.syncErr = err
+			} else if covered > l.durableLSN {
+				l.durableLSN = covered
+			}
+			l.fcond.Broadcast()
+			continue
+		}
+		l.fcond.Wait()
+	}
+	return l.syncErr
+}
+
+// sync fsyncs the current segment and returns the highest LSN the sync
+// covered. Holding mu prevents a concurrent segment roll from closing
+// the file under us.
+func (l *Log) sync() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	covered := l.lastLSN
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: sync: %w", err)
+	}
+	l.fmu.Lock()
+	l.syncs++
+	l.fmu.Unlock()
+	return covered, nil
+}
+
+// Sync forces everything appended so far to durable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	last := l.lastLSN
+	l.mu.Unlock()
+	if last == 0 {
+		return nil
+	}
+	return l.EnsureDurable(last)
+}
+
+// Committed reports whether lsn belongs to a finished (committed or
+// aborted) transaction. Valid because write transactions serialize:
+// every record at or below the last commit/abort record belongs to a
+// finished transaction. Implements store.WALHook.
+func (l *Log) Committed(lsn uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return lsn <= l.finishedLSN
+}
+
+// DurableLSN returns the highest LSN known durable.
+func (l *Log) DurableLSN() uint64 {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	return l.durableLSN
+}
+
+// LastLSN returns the LSN of the most recently appended record.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// Syncs returns how many fsyncs the log has issued — the group-commit
+// effectiveness metric.
+func (l *Log) Syncs() uint64 {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	return l.syncs
+}
+
+// SetFlushInterval sets how long a group-commit leader waits to collect
+// followers before syncing. Zero means sync immediately per commit.
+func (l *Log) SetFlushInterval(d time.Duration) {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	l.flushEvery = d
+}
+
+// FlushInterval returns the current group-commit collection window.
+func (l *Log) FlushInterval() time.Duration {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	return l.flushEvery
+}
+
+// HasRecords reports whether the log holds any records (i.e. recovery
+// has work to do or Reset is worthwhile).
+func (l *Log) HasRecords() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hasRecords
+}
+
+// Reset discards all log records after a checkpoint: the caller has
+// flushed every data page and the catalog, so the history is no longer
+// needed. LSNs keep counting from where they were (pageLSNs on disk
+// must stay ≤ any future durable LSN — the fresh header's baseLSN
+// records the continuation point).
+//
+// Crash safety: the fresh segment-1 header is built in a temp file and
+// renamed into place, so segment 1 is atomically either the old log
+// (Reset simply didn't happen) or the empty new one. Higher segments
+// are removed afterwards, highest first; any that survive a crash hold
+// only records below the new baseLSN, which the scan floor rejects as
+// stale.
+func (l *Log) Reset() error {
+	l.fmu.Lock()
+	if l.syncErr != nil {
+		defer l.fmu.Unlock()
+		return l.syncErr
+	}
+	l.fmu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs := l.segments()
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f = nil
+	hdr := make([]byte, segHdrSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], 1)
+	binary.LittleEndian.PutUint64(hdr[12:], l.nextLSN)
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], castagnoli))
+	tmp := l.segPath(1) + ".tmp"
+	tf, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset create: %w", err)
+	}
+	if _, err := tf.WriteAt(hdr, 0); err != nil {
+		return errors.Join(fmt.Errorf("wal: reset write header: %w", err), tf.Close())
+	}
+	if err := tf.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("wal: reset sync header: %w", err), tf.Close())
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(tmp, l.segPath(1)); err != nil {
+		return fmt.Errorf("wal: reset rename: %w", err)
+	}
+	if err := store.SyncDir(l.fs, l.dir); err != nil {
+		return fmt.Errorf("wal: reset sync dir: %w", err)
+	}
+	// Highest first, so the contiguous probe in segments() never
+	// orphans a survivor behind a gap.
+	for i := len(segs) - 1; i >= 0; i-- {
+		if segs[i] == 1 {
+			continue
+		}
+		if err := l.fs.Remove(l.segPath(segs[i])); err != nil {
+			return fmt.Errorf("wal: reset remove: %w", err)
+		}
+	}
+	f, err := l.fs.OpenFile(l.segPath(1), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset reopen: %w", err)
+	}
+	l.f = f
+	l.seq = 1
+	l.size = segHdrSize
+	l.lastLSN = l.nextLSN - 1
+	l.hasRecords = false
+	l.fmu.Lock()
+	l.durableLSN = l.nextLSN - 1
+	l.fmu.Unlock()
+	return nil
+}
+
+// Close syncs and closes the log. Safe to call twice.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	last := l.lastLSN
+	l.mu.Unlock()
+	var syncErr error
+	if last != 0 {
+		syncErr = l.EnsureDurable(last)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return syncErr
+	}
+	l.closed = true
+	if l.f != nil {
+		if err := l.f.Close(); err != nil && syncErr == nil {
+			syncErr = err
+		}
+		l.f = nil
+	}
+	l.fmu.Lock()
+	if l.syncErr == nil {
+		l.syncErr = ErrClosed
+	}
+	l.fcond.Broadcast()
+	l.fmu.Unlock()
+	return syncErr
+}
+
+// Records scans the whole log and calls fn for every valid record in
+// LSN order, stopping at the torn tail. fn must not retain Payload.
+// A structurally broken tail segment (crash during creation, before
+// its header synced — so provably record-free) is skipped.
+func (l *Log) Records(fn func(Record) error) error {
+	l.mu.Lock()
+	segs := l.segments()
+	dir, fs := l.dir, l.fs
+	l.mu.Unlock()
+	floor := uint64(0)
+	for i, seq := range segs {
+		path := filepath.Join(dir, fmt.Sprintf("%06d.wal", seq))
+		_, newFloor, err := scanSegment(fs, path, floor, fn)
+		if err != nil {
+			var cfe *store.CorruptFileError
+			if errors.As(err, &cfe) && i == len(segs)-1 && seq > 1 {
+				return nil
+			}
+			return err
+		}
+		floor = newFloor
+	}
+	return nil
+}
+
+// scanSegment reads one segment file, verifying the header and every
+// record CRC, and calls fn (if non-nil) per record. floor is the
+// highest LSN accounted for by earlier segments; the segment header's
+// baseLSN raises it further (baseLSN-1 is by construction the last LSN
+// of the log's previous life, so anything at or below it is stale).
+// Records must keep LSNs strictly above the floor and strictly
+// increasing, or the scan treats the rest as torn tail. It returns the
+// byte offset just past the last valid record and the new floor. A
+// structurally broken header is an error; a torn record is not.
+func scanSegment(fs store.VFS, path string, floor uint64, fn func(Record) error) (int64, uint64, error) {
+	data, err := store.ReadFile(fs, path)
+	if err != nil {
+		return 0, floor, fmt.Errorf("wal: read segment: %w", err)
+	}
+	if len(data) < segHdrSize {
+		// Segment created but header never fully written: a crash
+		// during createSegment. Nothing valid inside.
+		return 0, floor, &store.CorruptFileError{Path: path, Reason: "wal segment shorter than header"}
+	}
+	if string(data[:8]) != walMagic {
+		return 0, floor, &store.CorruptFileError{Path: path, Reason: "bad wal magic"}
+	}
+	if crc32.Checksum(data[:20], castagnoli) != binary.LittleEndian.Uint32(data[20:24]) {
+		return 0, floor, &store.CorruptFileError{Path: path, Reason: "wal segment header checksum mismatch"}
+	}
+	if base := binary.LittleEndian.Uint64(data[12:20]); base > 0 && base-1 > floor {
+		floor = base - 1
+	}
+	off := int64(segHdrSize)
+	for {
+		if int64(len(data))-off < recHdrSize {
+			return off, floor, nil // torn tail
+		}
+		rec := data[off:]
+		total := binary.LittleEndian.Uint32(rec[4:])
+		if total < recHdrSize || total > MaxRecordSize || int64(total) > int64(len(data))-off {
+			return off, floor, nil // torn tail
+		}
+		if crc32.Checksum(rec[4:total], castagnoli) != binary.LittleEndian.Uint32(rec[0:]) {
+			return off, floor, nil // torn tail
+		}
+		lsn := binary.LittleEndian.Uint64(rec[8:])
+		if lsn <= floor {
+			// Stale data from a pre-Reset life of this file.
+			return off, floor, nil
+		}
+		if fn != nil {
+			r, perr := decodeRecord(rec[:total])
+			if perr != nil {
+				return off, floor, nil // malformed payload: treat as tail
+			}
+			if err := fn(r); err != nil {
+				return off, floor, err
+			}
+		}
+		floor = lsn
+		off += int64(total)
+	}
+}
+
+// decodeRecord parses the payload of a CRC-valid record.
+func decodeRecord(rec []byte) (Record, error) {
+	r := Record{
+		LSN:  binary.LittleEndian.Uint64(rec[8:]),
+		TxID: binary.LittleEndian.Uint64(rec[16:]),
+		Type: rec[24],
+	}
+	payload := rec[recHdrSize:]
+	switch r.Type {
+	case RecBegin, RecCommit, RecAbort:
+		return r, nil
+	case RecPage:
+		if len(payload) < 2 {
+			return r, errors.New("wal: short page record")
+		}
+		n := int(binary.LittleEndian.Uint16(payload))
+		if len(payload) < 2+n+4 {
+			return r, errors.New("wal: short page record")
+		}
+		r.File = string(payload[2 : 2+n])
+		r.Page = store.PageID(binary.LittleEndian.Uint32(payload[2+n:]))
+		r.Payload = payload[2+n+4:]
+		if len(r.Payload) != store.UsableSize {
+			return r, errors.New("wal: page record payload size mismatch")
+		}
+		return r, nil
+	case RecCatalog:
+		if len(payload) < 2 {
+			return r, errors.New("wal: short catalog record")
+		}
+		n := int(binary.LittleEndian.Uint16(payload))
+		if len(payload) < 2+n {
+			return r, errors.New("wal: short catalog record")
+		}
+		r.File = string(payload[2 : 2+n])
+		r.Payload = payload[2+n:]
+		return r, nil
+	default:
+		return r, fmt.Errorf("wal: unknown record type %d", r.Type)
+	}
+}
