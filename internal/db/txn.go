@@ -166,10 +166,34 @@ func (tx *Tx) CommitNoWait() (uint64, error) {
 		return 0, err
 	}
 	lsn, err := d.wal.CommitNoWait(tx.id)
-	d.txmu.Unlock()
 	if err != nil {
-		return 0, fmt.Errorf("db: commit: %w", err)
+		// The commit record never reached the log (disk full, I/O
+		// error), so the transaction must not look committed — but its
+		// writes are still live in the page caches and would otherwise
+		// be served to later queries and then silently dropped at
+		// Close (no-steal never lets them flush). Take the rollback
+		// path while the write slot is still held: best-effort abort
+		// record (a missing one is indistinguishable from a crash,
+		// which recovery handles identically), then in-place recovery
+		// to re-apply only the committed history.
+		err = fmt.Errorf("db: commit: %w", err)
+		d.stmu.Lock()
+		d.txWrites = 0
+		d.stmu.Unlock()
+		_, _ = d.wal.Abort(tx.id)
+		if rErr := d.recoverInPlace(); rErr != nil {
+			rErr = fmt.Errorf("db: commit-failure recovery failed, database unusable: %w", rErr)
+			d.stmu.Lock()
+			if d.recoveryErr == nil {
+				d.recoveryErr = rErr
+			}
+			d.stmu.Unlock()
+			err = errors.Join(err, rErr)
+		}
+		d.txmu.Unlock()
+		return 0, err
 	}
+	d.txmu.Unlock()
 	d.stmu.Lock()
 	d.commits++
 	d.stmu.Unlock()

@@ -1,6 +1,7 @@
 package db
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -193,6 +194,117 @@ func TestCrashTortureSweep(t *testing.T) {
 		acked, inflight := runCrashWorkload(dir, &store.FaultFS{FailSync: n})
 		label := "sync point " + itoa(n)
 		verifyCrashOutcome(t, label, dir, acked, inflight)
+	}
+}
+
+// oneShotFailFS delegates to the OS filesystem but, once armed, fails
+// the next WriteAt cleanly and then keeps working — a transient I/O
+// error rather than FaultFS's fail-stop crash. It targets the
+// in-process aftermath of a failed commit append, where the database
+// must roll the transaction back and stay usable.
+type oneShotFailFS struct {
+	failNext bool
+}
+
+func (fs *oneShotFailFS) OpenFile(path string, flag int, perm os.FileMode) (store.File, error) {
+	f, err := store.OSFS{}.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &oneShotFailFile{fs: fs, File: f}, nil
+}
+
+func (fs *oneShotFailFS) Rename(o, n string) error        { return store.OSFS{}.Rename(o, n) }
+func (fs *oneShotFailFS) Remove(p string) error           { return store.OSFS{}.Remove(p) }
+func (fs *oneShotFailFS) RemoveAll(p string) error        { return store.OSFS{}.RemoveAll(p) }
+func (fs *oneShotFailFS) Stat(p string) (os.FileInfo, error) { return store.OSFS{}.Stat(p) }
+func (fs *oneShotFailFS) MkdirAll(p string, perm os.FileMode) error {
+	return store.OSFS{}.MkdirAll(p, perm)
+}
+
+type oneShotFailFile struct {
+	fs *oneShotFailFS
+	store.File
+}
+
+func (f *oneShotFailFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.fs.failNext {
+		f.fs.failNext = false
+		return 0, store.ErrInjected
+	}
+	return f.File.WriteAt(p, off)
+}
+
+// TestCommitAppendFailureRollsBack arms a transient write failure for
+// exactly the commit record's append and asserts the transaction is
+// fully rolled back in place: the failed transaction's rows never
+// surface (neither to the live handle nor after reopen), and the
+// database stays usable for later transactions.
+func TestCommitAppendFailureRollsBack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	ffs := &oneShotFailFS{}
+	d, err := OpenOpts(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := d.CreateTable("t", Schema{{Name: "id", Type: TInt}, {Name: "name", Type: TString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(crashRow(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(crashRow(2)); err != nil {
+		t.Fatal(err)
+	}
+	// The next WriteAt is the commit record's append.
+	ffs.failNext = true
+	if err := tx.Commit(); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("commit after injected append failure: %v", err)
+	}
+
+	scan := func(label string) map[int64]int {
+		t.Helper()
+		// The in-place recovery rebuilt the storage objects; stale
+		// handles are discarded, so re-fetch the table.
+		cur, ok := d.Table("t")
+		if !ok {
+			t.Fatalf("%s: table t missing", label)
+		}
+		counts := map[int64]int{}
+		err := cur.Scan(func(_ store.RID, row Row) error {
+			counts[row[0].I]++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: scan: %v", label, err)
+		}
+		return counts
+	}
+	if counts := scan("after failed commit"); counts[1] != 1 || counts[2] != 0 {
+		t.Fatalf("after failed commit: counts = %v, want only id 1", counts)
+	}
+
+	// The database must remain usable: a later transaction commits.
+	tab2, _ := d.Table("t")
+	if _, err := tab2.Insert(crashRow(3)); err != nil {
+		t.Fatalf("insert after recovered commit failure: %v", err)
+	}
+	if counts := scan("after later insert"); counts[3] != 1 {
+		t.Fatalf("after later insert: counts = %v", counts)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	counts := dumpIDs(t, "reopen", dir)
+	if counts[1] != 1 || counts[2] != 0 || counts[3] != 1 {
+		t.Fatalf("reopen: counts = %v, want ids 1 and 3 only", counts)
 	}
 }
 

@@ -247,7 +247,27 @@ func (l *Log) openTail() error {
 
 // createSegment writes a fresh segment file with the given sequence
 // number and base LSN and makes it the append target.
+//
+// Rolling preserves the durability invariant behind the scan floor:
+// recovery trusts that every LSN below a segment's baseLSN is durable,
+// so the outgoing segment is fsynced before the swap — otherwise a
+// later sync() of the new segment could report coverage of LSNs whose
+// bytes still sit only in the old segment's page cache, and a power
+// failure would silently drop them while the floor hides the gap. The
+// directory is fsynced too, so the new segment's entry cannot vanish
+// out from under records already reported durable.
 func (l *Log) createSegment(seq uint32, baseLSN uint64) error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync outgoing segment: %w", err)
+		}
+		l.fmu.Lock()
+		l.syncs++
+		if l.lastLSN > l.durableLSN {
+			l.durableLSN = l.lastLSN
+		}
+		l.fmu.Unlock()
+	}
 	f, err := l.fs.OpenFile(l.segPath(seq), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
@@ -262,6 +282,9 @@ func (l *Log) createSegment(seq uint32, baseLSN uint64) error {
 	}
 	if err := f.Sync(); err != nil {
 		return errors.Join(fmt.Errorf("wal: sync segment header: %w", err), f.Close())
+	}
+	if err := store.SyncDir(l.fs, l.dir); err != nil {
+		return errors.Join(fmt.Errorf("wal: sync wal dir: %w", err), f.Close())
 	}
 	if l.f != nil {
 		if err := l.f.Close(); err != nil {

@@ -441,6 +441,49 @@ func TestSegmentRoll(t *testing.T) {
 	}
 }
 
+// TestRollMakesOutgoingSegmentDurable pins the scan-floor invariant: a
+// segment header's baseLSN promises that every lower LSN is durable, so
+// the roll itself must fsync the outgoing segment — even when no commit
+// ever waited for durability. Without that sync, a power failure after
+// the roll could drop the old segment's tail while recovery's floor
+// silently skips over the gap.
+func TestRollMakesOutgoingSegmentDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Fill past one segment using only CommitNoWait: nothing in this
+	// workload requests a sync explicitly.
+	n := segmentLimit/store.PageSize + 4
+	for i := 0; i < n; i++ {
+		txid := uint64(i + 1)
+		if _, err := l.Begin(txid); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.LogPage(txid, "t.heap", store.PageID(i%5), pagePayload(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.CommitNoWait(txid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hdr := make([]byte, segHdrSize)
+	f, err := os.Open(filepath.Join(dir, "wal", "000002.wal"))
+	if err != nil {
+		t.Fatalf("no second segment after %d page records: %v", n, err)
+	}
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	base := binary.LittleEndian.Uint64(hdr[12:20])
+	if durable := l.DurableLSN(); durable < base-1 {
+		t.Fatalf("segment 2 baseLSN %d promises durability below it, but DurableLSN = %d", base, durable)
+	}
+}
+
 func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, nil)
@@ -480,7 +523,7 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 
 func TestSyncFailureIsSticky(t *testing.T) {
 	dir := t.TempDir()
-	ffs := &store.FaultFS{FailSync: 2} // sync 1 creates the segment header
+	ffs := &store.FaultFS{FailSync: 3} // syncs 1-2 create the segment (header, dir)
 	l, err := Open(dir, ffs)
 	if err != nil {
 		t.Fatal(err)
