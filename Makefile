@@ -52,8 +52,8 @@ serve-smoke:
 # every write and sync point, recover, verify. Runs the full sweep (no
 # -short stride) plus the recovery-idempotency properties.
 crash-smoke:
-	$(GO) test -run 'CrashTorture|RecoveryIdempotent|CrashDuringRecovery' -count=1 ./internal/db/
-	$(GO) test -run 'GroupCommit' -count=1 ./internal/server/
+	$(GO) test -run 'CrashTorture|RecoveryIdempotent|CrashDuringRecovery|BoundedRecovery|CheckpointENOSPC' -count=1 ./internal/db/
+	$(GO) test -run 'GroupCommit|Checkpoint' -count=1 ./internal/server/
 
 ci: vet build lint race fuzz-smoke serve-smoke crash-smoke bench
 

@@ -6,12 +6,15 @@
 //
 //	lexequald -db DIR [-addr HOST:PORT] [-max-conns N]
 //	          [-query-timeout D] [-slow-query D] [-group-commit D]
+//	          [-checkpoint-interval D]
 //
 // The bound address is printed as "listening on HOST:PORT" once the
-// listener is up (useful with -addr 127.0.0.1:0). SIGTERM or SIGINT
-// triggers a graceful drain: in-flight statements finish, their
-// responses are delivered, the pager is flushed once, and the process
-// exits 0.
+// listener is up (useful with -addr 127.0.0.1:0). If opening the
+// database replayed the WAL, the recovery duration and record counts
+// are logged so operators can see how far the last checkpoint bounded
+// the replay. SIGTERM or SIGINT triggers a graceful drain: in-flight
+// statements finish, their responses are delivered, a final checkpoint
+// and pager flush run once, and the process exits 0.
 package main
 
 import (
@@ -41,18 +44,24 @@ func run() error {
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-statement deadline (0 = none)")
 	slowQuery := fs.Duration("slow-query", time.Second, "slow-query log threshold (0 = off)")
 	groupCommit := fs.Duration("group-commit", 0, "WAL group-commit collection window (0 = WAL default)")
+	ckptInterval := fs.Duration("checkpoint-interval", 30*time.Second, "background checkpointer poll interval (0 = off)")
 	fs.Parse(os.Args[1:])
 
 	d, err := db.Open(*dir)
 	if err != nil {
 		return err
 	}
+	if rs := d.RecoveryStats(); rs.Ran {
+		fmt.Printf("recovered in %v: redo floor %d, %d records scanned, %d skipped below floor, %d replayed (%d pages applied)\n",
+			rs.Duration, rs.Redo.Floor, rs.Redo.Scanned, rs.Redo.Skipped, rs.Redo.Replayed, rs.Redo.Applied)
+	}
 	srv, err := server.New(d, nil, server.Config{
-		Addr:         *addr,
-		MaxConns:     *maxConns,
-		QueryTimeout: *queryTimeout,
-		SlowQuery:    *slowQuery,
-		GroupCommit:  *groupCommit,
+		Addr:               *addr,
+		MaxConns:           *maxConns,
+		QueryTimeout:       *queryTimeout,
+		SlowQuery:          *slowQuery,
+		GroupCommit:        *groupCommit,
+		CheckpointInterval: *ckptInterval,
 	})
 	if err != nil {
 		d.Close()

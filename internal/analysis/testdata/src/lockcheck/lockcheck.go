@@ -144,3 +144,41 @@ func (t *tree) readThenGrow() {
 	defer t.lockExclusive()()
 	t.root = root + 1
 }
+
+// --- checkpointer idioms (DESIGN.md §12) ---
+
+// database mirrors db.DB's top of the hierarchy: qmu admits queries
+// shared and transactions exclusive; stmu guards small counters.
+type database struct {
+	qmu  sync.RWMutex
+	stmu sync.Mutex
+	objs []int
+}
+
+// fuzzyFlushRounds is the sanctioned checkpoint shape: one fresh
+// shared hold per flush round, released before the next, then one
+// shared hold for the floor snapshot. Writers interleave between
+// rounds and the analyzer sees no upgrade.
+func (d *database) fuzzyFlushRounds() {
+	for range d.objs {
+		d.qmu.RLock()
+		_ = len(d.objs)
+		d.qmu.RUnlock()
+	}
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	d.stmu.Lock() // a different mutex under the shared hold is fine
+	_ = len(d.objs)
+	d.stmu.Unlock()
+}
+
+// stopTheWorldCheckpoint is the forbidden shape: "upgrading" the
+// snapshot's shared hold to exclusive to stall writers queues the
+// checkpointer behind its own read lock.
+func (d *database) stopTheWorldCheckpoint() {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	d.qmu.Lock() // want `d\.qmu\.Lock\(\) while its read lock is held: an RWMutex cannot be upgraded`
+	d.objs = nil
+	d.qmu.Unlock()
+}

@@ -6,10 +6,12 @@ package db
 
 type Pager struct{}
 
-func (pg *Pager) Flush() error   { return nil }
-func (pg *Pager) Close() error   { return nil }
-func (pg *Pager) Discard() error { return nil }
-func (pg *Pager) Get(id uint32)  {}
+func (pg *Pager) Flush() error          { return nil }
+func (pg *Pager) Close() error          { return nil }
+func (pg *Pager) Discard() error        { return nil }
+func (pg *Pager) FlushCommitted() error { return nil }
+func (pg *Pager) SyncFile() error       { return nil }
+func (pg *Pager) Get(id uint32)         {}
 
 // Heap models the sanctioned object-level wrapper: flushing through it
 // is fine, only the raw pager call is flagged.
@@ -17,6 +19,22 @@ type Heap struct{ pg *Pager }
 
 func (h *Heap) Flush() error {
 	return h.pg.Flush() // want `direct Pager\.Flush outside the storage/WAL layers`
+}
+
+func (h *Heap) FlushCommitted() error {
+	return h.pg.FlushCommitted() // want `direct Pager\.FlushCommitted outside the storage/WAL layers`
+}
+
+// fuzzyCheckpoint models a checkpointer reaching past the object layer:
+// both write-back primitives are flagged; the wrapper call is not.
+func fuzzyCheckpoint(pg *Pager, h *Heap) error {
+	if err := h.FlushCommitted(); err != nil { // the sanctioned path
+		return err
+	}
+	if err := pg.FlushCommitted(); err != nil { // want `direct Pager\.FlushCommitted outside the storage/WAL layers`
+		return err
+	}
+	return pg.SyncFile() // want `direct Pager\.SyncFile outside the storage/WAL layers`
 }
 
 func forcedWriteback(pg *Pager) error {

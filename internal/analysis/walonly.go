@@ -13,19 +13,24 @@ var walExempt = map[string]bool{"store": true, "wal": true}
 
 // pagerForcedMethods are the Pager methods that write, drop, or sync
 // page state wholesale. Engine code outside the exempt packages must go
-// through the object-level wrappers (HeapFile/BTree Flush, db
-// transactions), which keep the WAL rule and no-steal policy intact.
+// through the object-level wrappers (HeapFile/BTree Flush and
+// FlushCommitted, db transactions and checkpoints), which keep the WAL
+// rule and no-steal policy intact. FlushCommitted and SyncFile are the
+// checkpoint's write-back primitives: called raw they can push pages
+// whose log records are not yet durable.
 var pagerForcedMethods = map[string]bool{
-	"Flush":   true,
-	"Close":   true,
-	"Discard": true,
+	"Flush":          true,
+	"Close":          true,
+	"Discard":        true,
+	"FlushCommitted": true,
+	"SyncFile":       true,
 }
 
 // WALOnly forbids direct pager write-back and page-image stamping
 // outside the storage and WAL layers.
 var WALOnly = &Analyzer{
 	Name: "walonly",
-	Doc: "report direct Pager.Flush/Close/Discard calls and StampPageImage uses outside the store/wal packages; " +
+	Doc: "report direct Pager.Flush/Close/Discard/FlushCommitted/SyncFile calls and StampPageImage uses outside the store/wal packages; " +
 		"page write-back must flow through the WAL rule so recovery stays sound",
 	Run: runWALOnly,
 }

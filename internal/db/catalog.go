@@ -115,6 +115,18 @@ type DB struct {
 	// recoveryErr is set when an in-place rollback recovery failed;
 	// the database is unusable and every operation returns it.
 	recoveryErr error
+
+	// ckptMu serializes checkpoints (never held together with qmu or
+	// txmu — the checkpoint takes qmu shared in short rounds).
+	ckptMu sync.Mutex
+	// The remaining checkpoint state is guarded by stmu.
+	autoCkptBytes int64
+	ckptCount     uint64
+	ckptFailures  uint64
+	gcRemoved     uint64
+	lastCkpt      CheckpointStats
+	// recovery describes the crash-recovery pass Open ran.
+	recovery RecoveryStats
 }
 
 // QueryLock exposes the database-level read/write lock. SELECTs run
@@ -142,6 +154,14 @@ type Options struct {
 	// WALFlushInterval is the group-commit collection window (0 selects
 	// the wal default). Ignored with DisableWAL.
 	WALFlushInterval time.Duration
+	// WALSegmentBytes overrides the WAL segment roll size (0 selects
+	// the wal default of 16 MiB; tests shrink it to exercise
+	// multi-segment logs and GC cheaply). Ignored with DisableWAL.
+	WALSegmentBytes int64
+	// AutoCheckpointBytes is the WAL-growth threshold at which
+	// CheckpointIfNeeded fires (0 selects DefaultAutoCheckpointBytes).
+	// Ignored with DisableWAL.
+	AutoCheckpointBytes int64
 }
 
 // Open opens (creating if necessary) a database directory.
@@ -184,9 +204,26 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 		if opts.WALFlushInterval > 0 {
 			l.SetFlushInterval(opts.WALFlushInterval)
 		}
+		if opts.WALSegmentBytes > 0 {
+			l.SetSegmentBytes(opts.WALSegmentBytes)
+		}
+		d.autoCkptBytes = opts.AutoCheckpointBytes
 		if l.HasRecords() {
-			if _, err := wal.Redo(l, dir, fs); err != nil {
+			started := time.Now()
+			stats, err := wal.Redo(l, dir, fs)
+			if err != nil {
 				return nil, errors.Join(fmt.Errorf("db: crash recovery: %w", err), l.Close())
+			}
+			d.recovery = RecoveryStats{
+				Ran:      true,
+				Duration: time.Since(started),
+				Redo: RedoSummary{
+					Floor:    stats.Floor,
+					Scanned:  stats.Scanned,
+					Skipped:  stats.Skipped,
+					Replayed: stats.Replayed,
+					Applied:  stats.Applied,
+				},
 			}
 			// Recovery made everything the log proves durable in the
 			// data files; drop the history so the log stays small and

@@ -1,0 +1,263 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lexequal/internal/store"
+)
+
+// This file implements online fuzzy checkpointing (DESIGN.md §12): a
+// checkpoint writes every committed dirty page back to the data files,
+// fsyncs them, and then declares a redo floor in the log — the LSN at
+// or below which recovery has nothing left to do. Old WAL segments
+// wholly below the floor are garbage-collected, which is what bounds
+// both the log's disk footprint and crash-recovery time for a
+// long-lived server.
+//
+// The checkpoint is "fuzzy" because it never stalls serving: each
+// flush round holds the database query lock SHARED, so concurrent
+// SELECTs proceed throughout, and writers are excluded only for the
+// duration of one object's flush or the floor snapshot, never for the
+// whole checkpoint. No-steal makes this safe — the only dirty pages
+// in any cache belong to committed transactions (an open transaction
+// holds the query lock exclusively, so none can overlap a shared
+// acquisition), and a page re-dirtied after its flush simply raises
+// its recovery LSN above the floor the snapshot will compute.
+
+// DefaultAutoCheckpointBytes is the WAL-bytes threshold at which
+// CheckpointIfNeeded fires (4 MiB: a quarter of one segment, so a
+// busy server checkpoints well before segments pile up).
+const DefaultAutoCheckpointBytes = 4 << 20
+
+// CheckpointStats describes one completed checkpoint.
+type CheckpointStats struct {
+	// LSN is the checkpoint-end record's LSN.
+	LSN uint64
+	// Floor is the redo floor the checkpoint declared: recovery replays
+	// only records above it.
+	Floor uint64
+	// SegmentsRemoved is how many WAL segments the post-checkpoint GC
+	// unlinked.
+	SegmentsRemoved int
+	// Duration is the wall-clock time of the whole checkpoint.
+	Duration time.Duration
+}
+
+// RecoveryStats describes the crash-recovery pass Open ran (zero-value
+// with Ran=false when the log was empty and there was nothing to do).
+type RecoveryStats struct {
+	// Ran is whether a recovery pass executed at all.
+	Ran bool
+	// Duration is the wall-clock time of the redo pass.
+	Duration time.Duration
+	// Redo carries the scan/skip/replay counters, including the
+	// checkpoint floor recovery started from.
+	Redo RedoSummary
+}
+
+// RedoSummary mirrors wal.RedoStats for callers that should not
+// import internal/wal directly.
+type RedoSummary struct {
+	Floor    uint64
+	Scanned  int
+	Skipped  int
+	Replayed int
+	Applied  int
+}
+
+// RecoveryStats returns what the opening recovery pass did.
+func (d *DB) RecoveryStats() RecoveryStats {
+	d.stmu.Lock()
+	defer d.stmu.Unlock()
+	return d.recovery
+}
+
+// ckptObject is one flushable storage object captured under the query
+// lock; the closures stay valid after a drop (they report success on a
+// closed object, whose pages no recovery will ever need).
+type ckptObject struct {
+	flush  func() error
+	sync   func() error
+	minRec func() (uint64, bool)
+}
+
+// snapshotObjects collects the current tables and indexes under a
+// shared query lock.
+func (d *DB) snapshotObjects() []ckptObject {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	return d.snapshotObjectsLocked()
+}
+
+// SetAutoCheckpointBytes sets the WAL-bytes threshold for
+// CheckpointIfNeeded (0 restores the default).
+func (d *DB) SetAutoCheckpointBytes(n int64) {
+	d.stmu.Lock()
+	defer d.stmu.Unlock()
+	d.autoCkptBytes = n
+}
+
+// CheckpointIfNeeded runs a checkpoint when the WAL has grown past the
+// auto-checkpoint threshold since the last one. ok reports whether a
+// checkpoint actually ran.
+func (d *DB) CheckpointIfNeeded() (CheckpointStats, bool, error) {
+	if d.wal == nil {
+		return CheckpointStats{}, false, nil
+	}
+	d.stmu.Lock()
+	threshold := d.autoCkptBytes
+	d.stmu.Unlock()
+	if threshold <= 0 {
+		threshold = DefaultAutoCheckpointBytes
+	}
+	if d.wal.SinceCheckpoint() < threshold {
+		return CheckpointStats{}, false, nil
+	}
+	st, err := d.Checkpoint()
+	return st, err == nil, err
+}
+
+// Checkpoint runs one full fuzzy checkpoint: flush committed dirty
+// pages, publish the deferred catalog if needed, fsync the data files,
+// declare the redo floor in the log, and GC dead WAL segments. It is
+// safe to call while the database is serving (checkpoints serialize
+// among themselves). On any failure the log keeps its previous floor —
+// the checkpoint simply did not happen, and a later retry starts over.
+//
+// Deadlock warning: Checkpoint acquires the database query lock shared,
+// so it must NOT be called while holding that lock — in particular not
+// from inside an open explicit transaction, which holds it exclusively.
+func (d *DB) Checkpoint() (CheckpointStats, error) {
+	if d.wal == nil {
+		return CheckpointStats{}, errors.New("db: checkpoint requires the write-ahead log")
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	start := time.Now()
+	st, err := d.checkpointLocked()
+	if err != nil {
+		d.stmu.Lock()
+		d.ckptFailures++
+		d.stmu.Unlock()
+		return CheckpointStats{}, err
+	}
+	st.Duration = time.Since(start)
+	d.stmu.Lock()
+	d.ckptCount++
+	d.gcRemoved += uint64(st.SegmentsRemoved)
+	d.lastCkpt = st
+	d.stmu.Unlock()
+	return st, nil
+}
+
+func (d *DB) checkpointLocked() (CheckpointStats, error) {
+	var st CheckpointStats
+	if err := d.usable(); err != nil {
+		return st, err
+	}
+	// The begin record marks intent only; if anything below fails it is
+	// abandoned debris the strict checker can point at.
+	beginLSN, err := d.wal.CheckpointBegin()
+	if err != nil {
+		return st, fmt.Errorf("db: checkpoint begin: %w", err)
+	}
+	// Phase 1 — flush. One shared-lock round per object, so writers can
+	// interleave between objects; anything they re-dirty is accounted
+	// for by the floor snapshot below.
+	for _, obj := range d.snapshotObjects() {
+		d.qmu.RLock()
+		err := obj.flush()
+		d.qmu.RUnlock()
+		if err != nil {
+			return st, fmt.Errorf("db: checkpoint flush: %w", err)
+		}
+	}
+	// Phase 2 — snapshot, under ONE shared hold so no writer can slip
+	// between the catalog publish and the floor computation. The floor
+	// is min(recLSN)-1 over the pages still dirty (their first
+	// unflushed change bounds what recovery must replay); with nothing
+	// dirty every logged change is in the files and the floor is the
+	// last LSN itself. The deferred catalog must be published first:
+	// committed catalog records at or below the floor will never be
+	// replayed again.
+	d.qmu.RLock()
+	d.stmu.Lock()
+	catDirty := d.catDirty
+	d.stmu.Unlock()
+	if catDirty {
+		data, err := d.marshalCatalog()
+		if err == nil {
+			err = d.writeCatalogNow(data)
+		}
+		if err == nil {
+			err = store.SyncDir(d.fs, d.dir)
+		}
+		if err != nil {
+			d.qmu.RUnlock()
+			return st, fmt.Errorf("db: checkpoint catalog: %w", err)
+		}
+		d.stmu.Lock()
+		d.catDirty = false
+		d.stmu.Unlock()
+	}
+	objs := d.snapshotObjectsLocked()
+	minRec, anyDirty := uint64(0), false
+	for _, obj := range objs {
+		if m, ok := obj.minRec(); ok && (!anyDirty || m < minRec) {
+			minRec, anyDirty = m, true
+		}
+	}
+	lastLSN := d.wal.LastLSN()
+	d.qmu.RUnlock()
+	floor := lastLSN
+	if anyDirty {
+		floor = minRec - 1
+	}
+	// Phase 3 — make the flushed images durable, then declare the
+	// floor. The order is the WAL rule writ large: the end record may
+	// promise "everything at or below floor is in the files" only after
+	// the files are fsynced.
+	for _, obj := range objs {
+		d.qmu.RLock()
+		err := obj.sync()
+		d.qmu.RUnlock()
+		if err != nil {
+			return st, fmt.Errorf("db: checkpoint sync: %w", err)
+		}
+	}
+	if err := store.SyncDir(d.fs, d.dir); err != nil {
+		return st, fmt.Errorf("db: checkpoint dir sync: %w", err)
+	}
+	endLSN, err := d.wal.CompleteCheckpoint(beginLSN, floor)
+	if err != nil {
+		return st, fmt.Errorf("db: checkpoint complete: %w", err)
+	}
+	st.LSN = endLSN
+	st.Floor = floor
+	// GC is best-effort bookkeeping: the checkpoint is already complete
+	// and durable, so a GC failure (disk trouble mid-unlink) only
+	// postpones space reclamation to the next checkpoint.
+	removed, err := d.wal.GC()
+	st.SegmentsRemoved = removed
+	if err != nil {
+		return st, fmt.Errorf("db: checkpoint gc: %w", err)
+	}
+	return st, nil
+}
+
+// snapshotObjectsLocked is snapshotObjects for callers already holding
+// the query lock (shared or exclusive).
+func (d *DB) snapshotObjectsLocked() []ckptObject {
+	objs := make([]ckptObject, 0, len(d.tables)+len(d.indexes))
+	for _, t := range d.tables {
+		h := t.Heap
+		objs = append(objs, ckptObject{flush: h.FlushCommitted, sync: h.SyncData, minRec: h.MinRecLSN})
+	}
+	for _, ix := range d.indexes {
+		bt := ix.Tree
+		objs = append(objs, ckptObject{flush: bt.FlushCommitted, sync: bt.SyncData, minRec: bt.MinRecLSN})
+	}
+	return objs
+}

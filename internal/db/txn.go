@@ -339,6 +339,22 @@ type WALStats struct {
 	DurableLSN, LastLSN uint64
 	// FlushInterval is the group-commit collection window.
 	FlushInterval time.Duration
+	// Checkpoints and CheckpointFailures count completed and failed
+	// checkpoint attempts this process life.
+	Checkpoints, CheckpointFailures uint64
+	// LastCheckpoint describes the most recent completed checkpoint
+	// (zero-value until one completes).
+	LastCheckpoint CheckpointStats
+	// RedoFloor is the redo floor currently installed in the log;
+	// SinceCheckpoint is how many WAL bytes have accumulated above it.
+	RedoFloor       uint64
+	SinceCheckpoint int64
+	// FirstSegment and Segments describe the live WAL segment run
+	// (FirstSegment > 1 once GC has reclaimed history); SegmentsGCed
+	// counts segments unlinked this process life.
+	FirstSegment uint32
+	Segments     int
+	SegmentsGCed uint64
 }
 
 // WALStats returns a snapshot of log activity.
@@ -348,14 +364,27 @@ func (d *DB) WALStats() WALStats {
 	}
 	d.stmu.Lock()
 	commits := d.commits
+	ckpts := d.ckptCount
+	ckptFails := d.ckptFailures
+	lastCkpt := d.lastCkpt
+	gcRemoved := d.gcRemoved
 	d.stmu.Unlock()
+	first, count := d.wal.Segments()
 	return WALStats{
-		Enabled:       true,
-		Commits:       commits,
-		Syncs:         d.wal.Syncs(),
-		DurableLSN:    d.wal.DurableLSN(),
-		LastLSN:       d.wal.LastLSN(),
-		FlushInterval: d.wal.FlushInterval(),
+		Enabled:            true,
+		Commits:            commits,
+		Syncs:              d.wal.Syncs(),
+		DurableLSN:         d.wal.DurableLSN(),
+		LastLSN:            d.wal.LastLSN(),
+		FlushInterval:      d.wal.FlushInterval(),
+		Checkpoints:        ckpts,
+		CheckpointFailures: ckptFails,
+		LastCheckpoint:     lastCkpt,
+		RedoFloor:          d.wal.RedoFloor(),
+		SinceCheckpoint:    d.wal.SinceCheckpoint(),
+		FirstSegment:       first,
+		Segments:           count,
+		SegmentsGCed:       gcRemoved,
 	}
 }
 

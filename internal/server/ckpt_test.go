@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"lexequal/internal/db"
+	"lexequal/internal/store"
+)
+
+// TestBackgroundCheckpointerAndStatus proves the interval checkpointer
+// fires while the server serves, STATUS reports the checkpoint
+// counters, and the graceful drain lands one final checkpoint.
+func TestBackgroundCheckpointerAndStatus(t *testing.T) {
+	dir := t.TempDir()
+	seedBooks(t, dir)
+	srv, d := startServer(t, dir, Config{CheckpointInterval: 2 * time.Millisecond})
+	// Any WAL growth at all qualifies for the next tick.
+	d.SetAutoCheckpointBytes(1)
+	c := dial(t, srv)
+
+	if _, err := c.Query(`INSERT INTO Books VALUES ('Extra' LANG english, 'Extra', 1.00, 'English')`); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for d.WALStats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never completed a checkpoint")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	out, err := c.Query("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ckpt: count=", "redo_floor=", "last_ckpt: lsn="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("STATUS missing %q:\n%s", want, out)
+		}
+	}
+	if ws := d.WALStats(); ws.RedoFloor == 0 {
+		t.Errorf("checkpoint completed but the redo floor is still 0")
+	}
+
+	ckptsBefore := d.WALStats().Checkpoints
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The drain path runs one final checkpoint after the last statement.
+	if got := d.WALStats().Checkpoints; got <= ckptsBefore {
+		t.Errorf("drain did not checkpoint: %d before, %d after", ckptsBefore, got)
+	}
+}
+
+// TestDisconnectMidCheckpointRollsBack pits a fuzzy checkpoint against
+// a client that vanishes mid-transaction: the open transaction holds
+// the query lock exclusively, so the checkpoint blocks on its first
+// shared acquisition; the disconnect must roll the transaction back
+// (Session.Reset in the handler's exit path), unblocking the
+// checkpoint, and the loser's rows must not survive.
+func TestDisconnectMidCheckpointRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	seedBooks(t, dir)
+	srv, d := startServer(t, dir, Config{})
+	c := dial(t, srv)
+
+	if _, err := c.Query("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(`INSERT INTO Books VALUES ('Zed' LANG english, 'Never', 1.00, 'English')`); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Checkpoint()
+		done <- err
+	}()
+	// The checkpoint must still be waiting on the transaction's lock.
+	select {
+	case err := <-done:
+		t.Fatalf("checkpoint finished with a transaction still open: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The client vanishes mid-checkpoint.
+	c.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("checkpoint after disconnect: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("checkpoint still blocked 10s after the client disconnected")
+	}
+
+	c2 := dial(t, srv)
+	out, err := c2.Query(`SELECT Author FROM Books WHERE Author = 'Zed'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Zed") {
+		t.Fatalf("rolled-back row survived the disconnect:\n%s", out)
+	}
+}
+
+// TestCheckpointENOSPCServerKeepsServing fills the disk for exactly the
+// checkpoint's next write: the checkpoint must fail with ENOSPC while
+// the server keeps answering reads and writes, the WAL must keep its
+// old redo floor, and a retried checkpoint once space returns must
+// succeed.
+func TestCheckpointENOSPCServerKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	seedBooks(t, dir)
+	ffs := &store.FaultFS{}
+	d, err := db.OpenOpts(dir, db.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(d, nil, Config{})
+	if err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown() })
+	c := dial(t, srv)
+
+	if _, err := c.Query(`INSERT INTO Books VALUES ('Pre' LANG english, 'Pre', 1.00, 'English')`); err != nil {
+		t.Fatal(err)
+	}
+	// The connection is idle now, so the next write through the VFS is
+	// the checkpoint's own first write.
+	ffs.ArmWrite(ffs.Writes()+1, store.FaultDiskFull)
+	if _, err := d.Checkpoint(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("checkpoint on a full disk: err = %v, want ENOSPC", err)
+	}
+	if ws := d.WALStats(); ws.RedoFloor != 0 || ws.CheckpointFailures != 1 {
+		t.Fatalf("after failed checkpoint: floor=%d failures=%d, want floor 0 and 1 failure",
+			ws.RedoFloor, ws.CheckpointFailures)
+	}
+
+	// The server keeps serving both reads and writes.
+	out, err := c.Query(`SELECT COUNT(*) FROM Books`)
+	if err != nil {
+		t.Fatalf("read after failed checkpoint: %v", err)
+	}
+	if !strings.Contains(out, "7") {
+		t.Fatalf("unexpected count after failed checkpoint:\n%s", out)
+	}
+	if _, err := c.Query(`INSERT INTO Books VALUES ('Post' LANG english, 'Post', 1.00, 'English')`); err != nil {
+		t.Fatalf("write after failed checkpoint: %v", err)
+	}
+
+	// Space is back (the disk-full fault fires once): the retry lands.
+	st, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("retried checkpoint: %v", err)
+	}
+	if st.Floor == 0 {
+		t.Fatal("retried checkpoint declared no floor")
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -55,6 +55,16 @@ type Config struct {
 	// default); sessions can still adjust it with SET
 	// lexequal_wal_flush.
 	GroupCommit time.Duration
+	// CheckpointInterval is how often the background checkpointer polls
+	// the database; each tick calls db.CheckpointIfNeeded, which only
+	// does work once enough WAL has accumulated since the last
+	// checkpoint (so a short interval is cheap). A failed checkpoint is
+	// logged and retried on the next tick; serving is never stalled
+	// because the checkpoint is fuzzy. 0 disables the background
+	// checkpointer (explicit CHECKPOINT statements still work). The
+	// graceful drain always runs one final checkpoint so a restart
+	// replays almost nothing.
+	CheckpointInterval time.Duration
 	// Logf receives server log lines; default log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -76,6 +86,11 @@ type Server struct {
 	queries  sync.WaitGroup // one per in-flight statement (incl. timed-out ones)
 	accepted atomic.Int64
 	draining atomic.Bool
+
+	// ckptStop ends the background checkpointer; ckptDone is closed when
+	// it exits. Both are nil when CheckpointInterval is 0.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 
 	mu     sync.Mutex
 	active map[net.Conn]struct{}
@@ -131,7 +146,39 @@ func (s *Server) Start() error {
 	s.lis = lis
 	s.handlers.Add(1)
 	go s.acceptLoop()
+	if s.cfg.CheckpointInterval > 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	return nil
+}
+
+// checkpointLoop is the background checkpointer: every tick it asks the
+// database whether enough WAL has accumulated to be worth a checkpoint.
+// Failures (a full disk, say) are logged and retried next tick — the
+// WAL keeps its old redo floor, so nothing is lost, recovery is just
+// longer until a checkpoint succeeds again.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case <-t.C:
+			st, ran, err := s.db.CheckpointIfNeeded()
+			if err != nil {
+				s.cfg.Logf("lexequald: checkpoint: %v", err)
+				continue
+			}
+			if ran {
+				s.cfg.Logf("lexequald: checkpoint complete: lsn=%d floor=%d gc=%d in %v",
+					st.LSN, st.Floor, st.SegmentsRemoved, st.Duration)
+			}
+		}
+	}
 }
 
 // Addr is the bound listen address (valid after Start).
@@ -270,6 +317,19 @@ func (s *Server) status(sess *sql.Session) string {
 	if ws.Enabled {
 		wal = fmt.Sprintf("wal: commits=%d syncs=%d durable_lsn=%d last_lsn=%d flush=%v",
 			ws.Commits, ws.Syncs, ws.DurableLSN, ws.LastLSN, ws.FlushInterval)
+		wal += fmt.Sprintf("\nckpt: count=%d failures=%d redo_floor=%d since_ckpt=%dB segments=%d first_seg=%d gc_removed=%d",
+			ws.Checkpoints, ws.CheckpointFailures, ws.RedoFloor,
+			ws.SinceCheckpoint, ws.Segments, ws.FirstSegment, ws.SegmentsGCed)
+		if ws.Checkpoints > 0 {
+			wal += fmt.Sprintf("\nlast_ckpt: lsn=%d floor=%d gc=%d duration=%v",
+				ws.LastCheckpoint.LSN, ws.LastCheckpoint.Floor,
+				ws.LastCheckpoint.SegmentsRemoved, ws.LastCheckpoint.Duration)
+		}
+	}
+	if rs := s.db.RecoveryStats(); rs.Ran {
+		wal += fmt.Sprintf("\nrecovery: duration=%v floor=%d scanned=%d skipped=%d replayed=%d applied=%d",
+			rs.Duration, rs.Redo.Floor, rs.Redo.Scanned, rs.Redo.Skipped,
+			rs.Redo.Replayed, rs.Redo.Applied)
 	}
 	return fmt.Sprintf("global:  %s\nsession: %s\nconns: active=%d accepted=%d max=%d draining=%v\n%s\n",
 		s.Global.Snapshot(), sess.Pipeline.Snapshot(),
@@ -299,6 +359,22 @@ func (s *Server) Shutdown() error {
 		// running after their handler exited; the pager must not flush
 		// underneath them.
 		s.queries.Wait()
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+			<-s.ckptDone
+		}
+		// A final checkpoint while draining: the next startup then seeks
+		// to a floor just below the tail and replays almost nothing.
+		// Failure is non-fatal — Close flushes everything anyway, and the
+		// WAL simply keeps its older floor.
+		if s.db.WALStats().Enabled {
+			if st, err := s.db.Checkpoint(); err != nil {
+				s.cfg.Logf("lexequald: drain checkpoint: %v", err)
+			} else {
+				s.cfg.Logf("lexequald: drain checkpoint complete: lsn=%d floor=%d gc=%d",
+					st.LSN, st.Floor, st.SegmentsRemoved)
+			}
+		}
 		s.flushes.Add(1)
 		s.drainErr = s.db.Close()
 	})

@@ -107,6 +107,15 @@ type RollbackStmt struct{}
 
 func (*RollbackStmt) stmt() {}
 
+// CheckpointStmt is CHECKPOINT: it runs an online fuzzy checkpoint —
+// flushing committed pages, declaring a redo floor in the WAL and
+// garbage-collecting dead log segments. Rejected inside an explicit
+// transaction (the checkpoint needs the shared query lock the
+// transaction holds exclusively).
+type CheckpointStmt struct{}
+
+func (*CheckpointStmt) stmt() {}
+
 // SetStmt is SET name = value (session settings).
 type SetStmt struct {
 	Name  string

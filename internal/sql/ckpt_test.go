@@ -1,0 +1,33 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckpointStatement covers the CHECKPOINT statement: it runs an
+// online checkpoint and reports the declared floor, is rejected inside
+// an explicit transaction (where it would deadlock on the query lock
+// the transaction holds), and works again once the transaction ends.
+func TestCheckpointStatement(t *testing.T) {
+	s := newTestSession(t)
+	loadBooks(t, s)
+
+	res := mustExec(t, s, "CHECKPOINT")
+	if !strings.Contains(res.Message, "checkpoint complete") {
+		t.Fatalf("CHECKPOINT message = %q", res.Message)
+	}
+
+	mustExec(t, s, "BEGIN")
+	if _, err := s.Exec("CHECKPOINT"); err == nil || !strings.Contains(err.Error(), "inside a transaction") {
+		t.Fatalf("CHECKPOINT inside a transaction: err = %v, want rejection", err)
+	}
+	// The rejection must not disturb the open transaction.
+	mustExec(t, s, `INSERT INTO Books VALUES ('Tx' LANG english, 'Tx', 1.00, 'English')`)
+	mustExec(t, s, "ROLLBACK")
+
+	res = mustExec(t, s, "CHECKPOINT")
+	if !strings.Contains(res.Message, "checkpoint complete") {
+		t.Fatalf("CHECKPOINT after transaction = %q", res.Message)
+	}
+}

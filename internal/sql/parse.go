@@ -128,6 +128,9 @@ func (p *parser) parseStmt() (Stmt, error) {
 	case p.at(tokKeyword, "ROLLBACK"):
 		p.next()
 		return &RollbackStmt{}, nil
+	case p.at(tokKeyword, "CHECKPOINT"):
+		p.next()
+		return &CheckpointStmt{}, nil
 	case p.at(tokKeyword, "SET"):
 		return p.parseSet()
 	case p.at(tokKeyword, "SHOW"):

@@ -159,6 +159,9 @@ func (s *Session) execLocked(sqlText string) (*Result, uint64, error) {
 	case *RollbackStmt:
 		res, err := s.execRollback()
 		return res, 0, err
+	case *CheckpointStmt:
+		res, err := s.execCheckpoint()
+		return res, 0, err
 	}
 	unlock := s.acquireDB(stmt)
 	res, err := s.exec(stmt)
@@ -227,6 +230,23 @@ func (s *Session) execRollback() (*Result, error) {
 		return nil, err
 	}
 	return &Result{Message: "transaction rolled back"}, nil
+}
+
+// execCheckpoint runs an online fuzzy checkpoint. It takes no
+// session-level query lock — the checkpoint acquires the lock shared
+// in short rounds itself, so serving continues around it — but is
+// rejected inside an explicit transaction, whose exclusive hold of
+// that lock would deadlock the checkpoint.
+func (s *Session) execCheckpoint() (*Result, error) {
+	if s.tx != nil {
+		return nil, fmt.Errorf("sql: CHECKPOINT inside a transaction is not supported")
+	}
+	st, err := s.DB.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("checkpoint complete (lsn %d, redo floor %d, %d wal segments reclaimed)",
+		st.LSN, st.Floor, st.SegmentsRemoved)}, nil
 }
 
 // endTxn drops the session's explicit-transaction state and releases

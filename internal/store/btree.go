@@ -156,6 +156,42 @@ func (t *BTree) Flush() error {
 	return t.pg.Flush()
 }
 
+// FlushCommitted writes back the committed dirty pages of the tree
+// without syncing, for a fuzzy checkpoint. It takes the latch shared:
+// concurrent probes proceed, and the meta page needs no separate sync
+// because every logged mutation already rewrites it inside its capture
+// window. A closed tree reports success — its Close already flushed.
+func (t *BTree) FlushCommitted() error {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	if t.closed {
+		return nil
+	}
+	return t.pg.FlushCommitted()
+}
+
+// SyncData fsyncs the tree's backing file (the durability half of a
+// checkpoint round).
+func (t *BTree) SyncData() error {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	if t.closed {
+		return nil
+	}
+	return t.pg.SyncFile()
+}
+
+// MinRecLSN reports the smallest recovery LSN over the tree's dirty
+// pages (ok=false when clean — or closed, which flushed everything).
+func (t *BTree) MinRecLSN() (uint64, bool) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	if t.closed {
+		return 0, false
+	}
+	return t.pg.MinRecLSN()
+}
+
 // Close flushes metadata and the page cache. It is safe to call more
 // than once; the first error wins and later calls are no-ops.
 func (t *BTree) Close() error {

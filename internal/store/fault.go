@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
+	"syscall"
 )
 
 // ErrInjected marks errors produced by FaultFS, so tests can tell an
@@ -24,6 +26,14 @@ const (
 	// then fails — a torn page, where the drive committed some sectors
 	// of a page write but not others.
 	FaultTorn
+	// FaultDiskFull persists the first half of the buffer, then fails
+	// with ENOSPC — and, uniquely, the filesystem STAYS UP: the fault
+	// models a full disk, not a dead process, so the engine is expected
+	// to degrade gracefully (fail the operation, keep serving) and the
+	// next attempt finds space again. A FailSync armed with this mode
+	// likewise fails once with ENOSPC without taking the filesystem
+	// down.
+	FaultDiskFull
 )
 
 func (m FaultMode) String() string {
@@ -34,18 +44,22 @@ func (m FaultMode) String() string {
 		return "short"
 	case FaultTorn:
 		return "torn"
+	case FaultDiskFull:
+		return "diskfull"
 	default:
 		return fmt.Sprintf("FaultMode(%d)", int(m))
 	}
 }
 
 // FaultFS wraps a VFS and injects one deterministic fault: the Nth
-// write (counted across every file opened through it) or the Nth sync
-// fails in the configured mode. After the fault fires the filesystem
-// goes down — every subsequent read, write, sync, open and rename
-// fails — modeling a crashed process or dead disk: nothing after the
-// fault point reaches storage. The damaged files remain on disk for a
-// later reopen with a clean VFS.
+// write (counted across every file opened through it), the Nth sync,
+// or the Nth remove fails in the configured mode. After the fault
+// fires the filesystem goes down — every subsequent read, write, sync,
+// open, rename and remove fails — modeling a crashed process or dead
+// disk: nothing after the fault point reaches storage. The damaged
+// files remain on disk for a later reopen with a clean VFS. The one
+// exception is FaultDiskFull, which fails the armed operation with
+// ENOSPC and leaves the filesystem up.
 //
 // The zero value (no fault armed) counts operations without ever
 // failing, which is how sweeps size themselves:
@@ -57,7 +71,9 @@ func (m FaultMode) String() string {
 //	    // reopen and verify detection
 //	}
 //
-// FaultFS is not safe for concurrent use (the engine serializes I/O).
+// FaultFS is safe for concurrent use (checkpoints run alongside
+// serving traffic in the torture tests); the armed fault still fires
+// exactly once.
 type FaultFS struct {
 	// Base is the wrapped VFS; nil means OSFS.
 	Base VFS
@@ -67,23 +83,61 @@ type FaultFS struct {
 	// FailSync is the 1-based index of the Sync call to fault;
 	// 0 never faults a sync.
 	FailSync int
-	// Mode is how the faulted write manifests (sync faults always
-	// behave like FaultError: the data simply never becomes durable).
+	// FailRemove is the 1-based index of the Remove call to fault —
+	// the GC-unlink crash point; 0 never faults a remove. Remove
+	// faults are always fail-stop (a crash mid-unlink), regardless of
+	// Mode.
+	FailRemove int
+	// Mode is how the faulted write manifests (sync faults behave like
+	// FaultError — the data simply never becomes durable — except
+	// under FaultDiskFull, which is transient).
 	Mode FaultMode
 
+	mu      sync.Mutex
 	writes  int
 	syncs   int
+	removes int
 	tripped bool
 }
 
 // Writes returns the number of WriteAt calls observed.
-func (fs *FaultFS) Writes() int { return fs.writes }
+func (fs *FaultFS) Writes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes
+}
 
 // Syncs returns the number of Sync calls observed.
-func (fs *FaultFS) Syncs() int { return fs.syncs }
+func (fs *FaultFS) Syncs() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncs
+}
+
+// Removes returns the number of Remove calls observed.
+func (fs *FaultFS) Removes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.removes
+}
+
+// ArmWrite arms (or re-arms) the write fault at the 1-based index n in
+// the given mode; pass fs.Writes()+1 to fault the very next write. The
+// fields are guarded by the same lock the write path reads them under,
+// so a live filesystem can be armed between operations.
+func (fs *FaultFS) ArmWrite(n int, mode FaultMode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.FailWrite = n
+	fs.Mode = mode
+}
 
 // Tripped reports whether the armed fault has fired.
-func (fs *FaultFS) Tripped() bool { return fs.tripped }
+func (fs *FaultFS) Tripped() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.tripped
+}
 
 func (fs *FaultFS) base() VFS {
 	if fs.Base == nil {
@@ -96,9 +150,16 @@ func (fs *FaultFS) down(op string) error {
 	return fmt.Errorf("store: %s after crash point: %w", op, ErrInjected)
 }
 
+// isDown reports (under mu) whether the filesystem has failed stop.
+func (fs *FaultFS) isDown() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.tripped
+}
+
 // OpenFile implements VFS.
 func (fs *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
-	if fs.tripped {
+	if fs.isDown() {
 		return nil, fs.down("open " + path)
 	}
 	f, err := fs.base().OpenFile(path, flag, perm)
@@ -110,7 +171,7 @@ func (fs *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, erro
 
 // Rename implements VFS.
 func (fs *FaultFS) Rename(oldPath, newPath string) error {
-	if fs.tripped {
+	if fs.isDown() {
 		return fs.down("rename " + oldPath)
 	}
 	return fs.base().Rename(oldPath, newPath)
@@ -118,15 +179,25 @@ func (fs *FaultFS) Rename(oldPath, newPath string) error {
 
 // Remove implements VFS.
 func (fs *FaultFS) Remove(path string) error {
+	fs.mu.Lock()
 	if fs.tripped {
+		fs.mu.Unlock()
 		return fs.down("remove " + path)
 	}
+	fs.removes++
+	if fs.FailRemove != 0 && fs.removes == fs.FailRemove {
+		fs.tripped = true
+		n := fs.removes
+		fs.mu.Unlock()
+		return fmt.Errorf("store: remove %d of %s: %w", n, path, ErrInjected)
+	}
+	fs.mu.Unlock()
 	return fs.base().Remove(path)
 }
 
 // RemoveAll implements VFS.
 func (fs *FaultFS) RemoveAll(path string) error {
-	if fs.tripped {
+	if fs.isDown() {
 		return fs.down("remove all " + path)
 	}
 	return fs.base().RemoveAll(path)
@@ -134,7 +205,7 @@ func (fs *FaultFS) RemoveAll(path string) error {
 
 // Stat implements VFS.
 func (fs *FaultFS) Stat(path string) (os.FileInfo, error) {
-	if fs.tripped {
+	if fs.isDown() {
 		return nil, fs.down("stat " + path)
 	}
 	return fs.base().Stat(path)
@@ -142,7 +213,7 @@ func (fs *FaultFS) Stat(path string) (os.FileInfo, error) {
 
 // MkdirAll implements VFS.
 func (fs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
-	if fs.tripped {
+	if fs.isDown() {
 		return fs.down("mkdir " + path)
 	}
 	return fs.base().MkdirAll(path, perm)
@@ -155,7 +226,7 @@ type faultFile struct {
 }
 
 func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if ff.fs.tripped {
+	if ff.fs.isDown() {
 		return 0, ff.fs.down("read " + ff.path)
 	}
 	return ff.f.ReadAt(p, off)
@@ -163,22 +234,36 @@ func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
 
 func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
 	fs := ff.fs
+	fs.mu.Lock()
 	if fs.tripped {
+		fs.mu.Unlock()
 		return 0, fs.down("write " + ff.path)
 	}
 	fs.writes++
-	if fs.FailWrite == 0 || fs.writes != fs.FailWrite {
+	fire := fs.FailWrite != 0 && fs.writes == fs.FailWrite
+	if fire && fs.Mode != FaultDiskFull {
+		fs.tripped = true
+	}
+	n := fs.writes
+	mode := fs.Mode
+	fs.mu.Unlock()
+	if !fire {
 		return ff.f.WriteAt(p, off)
 	}
-	fs.tripped = true
-	err := fmt.Errorf("store: write %d of %s (%s): %w", fs.writes, ff.path, fs.Mode, ErrInjected)
-	switch fs.Mode {
+	err := fmt.Errorf("store: write %d of %s (%s): %w", n, ff.path, mode, ErrInjected)
+	switch mode {
 	case FaultShort:
-		n := len(p) / 2
-		if _, werr := ff.f.WriteAt(p[:n], off); werr != nil {
+		half := len(p) / 2
+		if _, werr := ff.f.WriteAt(p[:half], off); werr != nil {
 			return 0, werr
 		}
-		return n, err
+		return half, err
+	case FaultDiskFull:
+		half := len(p) / 2
+		if _, werr := ff.f.WriteAt(p[:half], off); werr != nil {
+			return 0, werr
+		}
+		return half, fmt.Errorf("store: write %d of %s: %w: %w", n, ff.path, syscall.ENOSPC, ErrInjected)
 	case FaultTorn:
 		const sector = 512
 		written := 0
@@ -202,28 +287,50 @@ func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
 // state just like WriteAt, so crash sweeps must cover it.
 func (ff *faultFile) Truncate(size int64) error {
 	fs := ff.fs
+	fs.mu.Lock()
 	if fs.tripped {
+		fs.mu.Unlock()
 		return fs.down("truncate " + ff.path)
 	}
 	fs.writes++
-	if fs.FailWrite != 0 && fs.writes == fs.FailWrite {
+	fire := fs.FailWrite != 0 && fs.writes == fs.FailWrite
+	if fire && fs.Mode != FaultDiskFull {
 		fs.tripped = true
-		return fmt.Errorf("store: write %d (truncate) of %s: %w", fs.writes, ff.path, ErrInjected)
 	}
-	return ff.f.Truncate(size)
+	n := fs.writes
+	mode := fs.Mode
+	fs.mu.Unlock()
+	if !fire {
+		return ff.f.Truncate(size)
+	}
+	if mode == FaultDiskFull {
+		return fmt.Errorf("store: write %d (truncate) of %s: %w: %w", n, ff.path, syscall.ENOSPC, ErrInjected)
+	}
+	return fmt.Errorf("store: write %d (truncate) of %s: %w", n, ff.path, ErrInjected)
 }
 
 func (ff *faultFile) Sync() error {
 	fs := ff.fs
+	fs.mu.Lock()
 	if fs.tripped {
+		fs.mu.Unlock()
 		return fs.down("sync " + ff.path)
 	}
 	fs.syncs++
-	if fs.FailSync != 0 && fs.syncs == fs.FailSync {
+	fire := fs.FailSync != 0 && fs.syncs == fs.FailSync
+	if fire && fs.Mode != FaultDiskFull {
 		fs.tripped = true
-		return fmt.Errorf("store: sync %d of %s: %w", fs.syncs, ff.path, ErrInjected)
 	}
-	return ff.f.Sync()
+	n := fs.syncs
+	mode := fs.Mode
+	fs.mu.Unlock()
+	if !fire {
+		return ff.f.Sync()
+	}
+	if mode == FaultDiskFull {
+		return fmt.Errorf("store: sync %d of %s: %w: %w", n, ff.path, syscall.ENOSPC, ErrInjected)
+	}
+	return fmt.Errorf("store: sync %d of %s: %w", n, ff.path, ErrInjected)
 }
 
 // Close always reaches the real file, even after the fault fired, so

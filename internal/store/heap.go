@@ -168,6 +168,42 @@ func (h *HeapFile) Flush() error {
 	return h.pg.Flush()
 }
 
+// FlushCommitted writes back the committed dirty pages of the heap
+// without syncing, for a fuzzy checkpoint. It takes the latch shared:
+// concurrent scans proceed, and the meta page needs no separate sync
+// because every logged mutation already rewrites it inside its capture
+// window. A closed heap reports success — its Close already flushed.
+func (h *HeapFile) FlushCommitted() error {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
+	if h.closed {
+		return nil
+	}
+	return h.pg.FlushCommitted()
+}
+
+// SyncData fsyncs the heap's backing file (the durability half of a
+// checkpoint round).
+func (h *HeapFile) SyncData() error {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
+	if h.closed {
+		return nil
+	}
+	return h.pg.SyncFile()
+}
+
+// MinRecLSN reports the smallest recovery LSN over the heap's dirty
+// pages (ok=false when clean — or closed, which flushed everything).
+func (h *HeapFile) MinRecLSN() (uint64, bool) {
+	h.latch.RLock()
+	defer h.latch.RUnlock()
+	if h.closed {
+		return 0, false
+	}
+	return h.pg.MinRecLSN()
+}
+
 // Close flushes metadata and the page cache. It is safe to call more
 // than once; the first error wins and later calls are no-ops.
 func (h *HeapFile) Close() error {

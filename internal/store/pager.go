@@ -71,6 +71,13 @@ type Page struct {
 	// was never logged). Guarded by the pager latch on every access
 	// that can race (LogCaptured vs. write-back).
 	lsn uint64
+	// recLSN is the LSN of the page's FIRST log record since it was
+	// last clean on disk (the ARIES dirty-page-table recovery LSN):
+	// every logged change the on-disk image is missing has LSN >=
+	// recLSN, so min(recLSN)-1 over dirty pages is a safe redo floor.
+	// Set by LogCaptured when zero, cleared by write-back. Guarded by
+	// the pager latch like lsn.
+	recLSN uint64
 	pg  *Pager
 	// LRU bookkeeping.
 	prev, next *Page
@@ -380,6 +387,7 @@ func (pg *Pager) writeBack(p *Page) error {
 	}
 	pg.writes++
 	p.dirty = false
+	p.recLSN = 0
 	return nil
 }
 
@@ -403,6 +411,64 @@ func (pg *Pager) Flush() error {
 		}
 	}
 	return pg.f.Sync()
+}
+
+// FlushCommitted is the fuzzy-checkpoint flush: it writes back every
+// dirty page the no-steal policy allows (committed changes only) and
+// returns without syncing — the checkpoint fsyncs via SyncFile after
+// taking its floor snapshot. Unlike Flush it is safe alongside
+// concurrent readers (write-back touches only the trailer bytes and
+// pager bookkeeping); writers are excluded by the database-level lock
+// the checkpoint holds shared.
+func (pg *Pager) FlushCommitted() error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if pg.closed {
+		return fmt.Errorf("store: checkpoint flush %s: %w", pg.path, os.ErrClosed)
+	}
+	for _, p := range pg.cache {
+		if !pg.evictable(p) {
+			continue
+		}
+		if err := pg.writeBack(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncFile fsyncs the backing file — the durability half of a
+// FlushCommitted round.
+func (pg *Pager) SyncFile() error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if pg.closed {
+		return fmt.Errorf("store: checkpoint sync %s: %w", pg.path, os.ErrClosed)
+	}
+	return pg.f.Sync()
+}
+
+// MinRecLSN returns the smallest recovery LSN over the dirty pages
+// still in cache, and ok=false when no page is dirty. A dirty page
+// that was never logged reports recLSN 1 — it forces the caller's
+// floor to 0, the maximally conservative answer, rather than letting
+// an unlogged change hide above the floor.
+func (pg *Pager) MinRecLSN() (min uint64, ok bool) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for _, p := range pg.cache {
+		if !p.dirty {
+			continue
+		}
+		rec := p.recLSN
+		if rec == 0 {
+			rec = 1
+		}
+		if !ok || rec < min {
+			min, ok = rec, true
+		}
+	}
+	return min, ok
 }
 
 // Close writes back every remaining dirty page, syncs, and closes the

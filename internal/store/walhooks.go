@@ -105,6 +105,9 @@ func (pg *Pager) LogCaptured(lg PageLogger) error {
 		}
 		pg.mu.Lock()
 		p.lsn = lsn
+		if p.recLSN == 0 {
+			p.recLSN = lsn // first change since the page was last clean
+		}
 		pg.mu.Unlock()
 		pg.Unpin(p)
 	}

@@ -12,25 +12,52 @@ import (
 //   - LSNs are strictly monotonic across the whole log;
 //   - transaction records are well-formed (a commit or abort names a
 //     transaction that began, and no transaction finishes twice);
-//   - page/catalog record payloads decode and carry safe file names.
+//   - page/catalog record payloads decode and carry safe file names;
+//   - checkpoint records are well-formed: every end pairs with a begin
+//     the scan saw, its redo floor sits strictly below the end record's
+//     own LSN (hence at or below the durable LSN), and floors never
+//     regress across checkpoints.
+//
+// A log whose first segment sequence is above 1 (segments below the
+// redo floor garbage-collected) is normal and scans identically: the
+// surviving first segment's baseLSN carries the scan floor.
 //
 // A torn tail (trailing bytes after the last valid record) is normal
 // after a crash and is reported as informational only when strict is
-// set. Check never modifies the log.
+// set, as is a checkpoint begun but never completed (abandoned by a
+// crash or a failed flush; it promises nothing). Check never modifies
+// the log.
 func Check(l *Log, strict bool) []string {
 	var issues []string
 	begun := make(map[uint64]bool)
 	finished := make(map[uint64]bool)
+	ckptBegun := make(map[uint64]bool)
+	openCkpt := uint64(0) // LSN of the newest begin without an end
+	lastFloor := uint64(0)
 	prevLSN := uint64(0)
 	records := 0
+	// After segment GC the log can start mid-transaction: the floor may
+	// fall inside a transaction whose begin record sat in an unlinked
+	// segment while its tail survives. Write transactions serialize, so
+	// only records before the first begin the scan sees can legally
+	// continue such a transaction.
+	truncatedStart := l.StartsAboveOrigin()
+	sawBegin := false
 	err := l.Records(func(r Record) error {
 		records++
 		if r.LSN <= prevLSN {
 			issues = append(issues, fmt.Sprintf("wal: record LSN %d not above predecessor %d", r.LSN, prevLSN))
 		}
 		prevLSN = r.LSN
+		if truncatedStart && !sawBegin && !begun[r.TxID] {
+			switch r.Type {
+			case RecCommit, RecAbort, RecPage, RecCatalog:
+				begun[r.TxID] = true // continuation from below the GC floor
+			}
+		}
 		switch r.Type {
 		case RecBegin:
+			sawBegin = true
 			if begun[r.TxID] && !finished[r.TxID] {
 				issues = append(issues, fmt.Sprintf("wal: txn %d begun twice without finishing (lsn %d)", r.TxID, r.LSN))
 			}
@@ -51,6 +78,23 @@ func Check(l *Log, strict bool) []string {
 			if _, err := safeName(r.File); err != nil {
 				issues = append(issues, fmt.Sprintf("wal: lsn %d: %v", r.LSN, err))
 			}
+		case RecCheckpointBegin:
+			ckptBegun[r.LSN] = true
+			openCkpt = r.LSN
+		case RecCheckpointEnd:
+			if !ckptBegun[r.CkptBegin] {
+				issues = append(issues, fmt.Sprintf("wal: checkpoint end at lsn %d names begin lsn %d the log does not hold", r.LSN, r.CkptBegin))
+			}
+			if r.CkptFloor >= r.LSN {
+				issues = append(issues, fmt.Sprintf("wal: checkpoint end at lsn %d carries floor %d at or above itself", r.LSN, r.CkptFloor))
+			}
+			if r.CkptFloor < lastFloor {
+				issues = append(issues, fmt.Sprintf("wal: checkpoint floor regresses from %d to %d at lsn %d", lastFloor, r.CkptFloor, r.LSN))
+			}
+			lastFloor = r.CkptFloor
+			if openCkpt == r.CkptBegin {
+				openCkpt = 0
+			}
 		default:
 			issues = append(issues, fmt.Sprintf("wal: lsn %d has unknown record type %d", r.LSN, r.Type))
 		}
@@ -64,6 +108,9 @@ func Check(l *Log, strict bool) []string {
 			if !finished[txid] {
 				issues = append(issues, fmt.Sprintf("wal: txn %d has no commit or abort record (in-flight at crash)", txid))
 			}
+		}
+		if openCkpt != 0 {
+			issues = append(issues, fmt.Sprintf("wal: checkpoint begun at lsn %d never completed (abandoned at crash)", openCkpt))
 		}
 	}
 	return issues

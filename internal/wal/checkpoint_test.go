@@ -1,0 +1,396 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lexequal/internal/store"
+)
+
+// flushPageImage simulates the checkpoint flush the pager performs in
+// the real protocol: the committed after-image lands in the data file,
+// stamped with its record LSN, before the floor is declared.
+func flushPageImage(t *testing.T, dir, name string, id store.PageID, fill byte, lsn uint64) {
+	t.Helper()
+	img := make([]byte, store.PageSize)
+	copy(img, pagePayload(fill))
+	store.StampPageImage(id, img, lsn)
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(img, int64(id)*store.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	commitTxn(t, l, 1, "t.heap", 0, 0x11)
+	beginLSN, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := l.LastLSN()
+	endLSN, err := l.CompleteCheckpoint(beginLSN, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.DurableLSN(); got < endLSN {
+		t.Fatalf("DurableLSN = %d, want >= %d (end record must be durable)", got, endLSN)
+	}
+	if got := l.RedoFloor(); got != floor {
+		t.Fatalf("RedoFloor = %d, want %d", got, floor)
+	}
+	if got := l.SinceCheckpoint(); got != 0 {
+		t.Fatalf("SinceCheckpoint = %d, want 0 after checkpoint", got)
+	}
+	var end *Record
+	if err := l.Records(func(r Record) error {
+		if r.Type == RecCheckpointEnd {
+			rc := r
+			end = &rc
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if end == nil {
+		t.Fatal("no checkpoint end record in scan")
+	}
+	if end.CkptBegin != beginLSN || end.CkptFloor != floor {
+		t.Fatalf("end record carries begin %d floor %d, want %d %d",
+			end.CkptBegin, end.CkptFloor, beginLSN, floor)
+	}
+	if issues := Check(l, true); len(issues) != 0 {
+		t.Fatalf("Check(strict) on completed checkpoint: %v", issues)
+	}
+}
+
+func TestCompleteCheckpointValidates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	commitTxn(t, l, 1, "t.heap", 0, 0x11)
+	b1, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CompleteCheckpoint(b1, l.LastLSN()+1); err == nil {
+		t.Fatal("floor above last LSN accepted")
+	}
+	floor := l.LastLSN()
+	if _, err := l.CompleteCheckpoint(b1, floor); err != nil {
+		t.Fatal(err)
+	}
+	commitTxn(t, l, 2, "t.heap", 1, 0x22)
+	b2, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CompleteCheckpoint(b2, floor-1); err == nil {
+		t.Fatal("regressing floor accepted")
+	}
+}
+
+func TestCheckReportsAbandonedCheckpointStrictOnly(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	commitTxn(t, l, 1, "t.heap", 0, 0x11)
+	if _, err := l.CheckpointBegin(); err != nil {
+		t.Fatal(err)
+	}
+	if issues := Check(l, false); len(issues) != 0 {
+		t.Fatalf("lenient Check flags abandoned checkpoint: %v", issues)
+	}
+	issues := Check(l, true)
+	found := false
+	for _, is := range issues {
+		if strings.Contains(is, "never completed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("strict Check missing abandoned-checkpoint report: %v", issues)
+	}
+}
+
+// TestGCUnlinksSegmentsBelowFloor is the end-to-end WAL-layer story:
+// a multi-segment log is checkpointed with a floor that strands a
+// transaction's begin record below it, GC unlinks the dead segment,
+// and the survivor log still reopens, scans, checks clean, and redoes
+// correctly from the floor.
+func TestGCUnlinksSegmentsBelowFloor(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetSegmentBytes(store.PageSize) // roll after every page record
+	// txn 1: begin and page 0 land in segment 1; the commit record
+	// rolls into segment 2, so GC of segment 1 strands the begin.
+	if _, err := l.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	pageLSN, err := l.LogPage(1, "t.heap", 0, pagePayload(0x11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	commitTxn(t, l, 2, "t.heap", 1, 0x22)
+	firstBefore, countBefore := l.Segments()
+	if firstBefore != 1 || countBefore < 3 {
+		t.Fatalf("segments before GC = (%d, %d), want run from 1 with >= 3", firstBefore, countBefore)
+	}
+	// Checkpoint with floor = page 0's LSN: its image is durably in the
+	// data file, so everything at or below it may be dropped.
+	beginLSN, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushPageImage(t, dir, "t.heap", 0, 0x11, pageLSN)
+	if _, err := l.CompleteCheckpoint(beginLSN, pageLSN); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed < 1 {
+		t.Fatalf("GC removed %d segments, want >= 1", removed)
+	}
+	firstAfter, _ := l.Segments()
+	if firstAfter <= 1 {
+		t.Fatalf("first segment after GC = %d, want > 1", firstAfter)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal", "000001.wal")); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 still present after GC (err=%v)", err)
+	}
+	// Satellite regression: check accepts a log whose first segment
+	// sequence is non-zero after GC, including the stranded-begin head.
+	if issues := Check(l, false); len(issues) != 0 {
+		t.Fatalf("Check on GC'd log: %v", issues)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen discovers the run via the gcfloor pointer.
+	l2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	first2, _ := l2.Segments()
+	if first2 != firstAfter {
+		t.Fatalf("reopened first segment = %d, want %d", first2, firstAfter)
+	}
+	if !l2.StartsAboveOrigin() {
+		t.Fatal("reopened GC'd log claims to start at origin")
+	}
+	if issues := Check(l2, false); len(issues) != 0 {
+		t.Fatalf("Check on reopened GC'd log: %v", issues)
+	}
+	stats, err := Redo(l2, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Floor != pageLSN {
+		t.Fatalf("redo floor = %d, want %d", stats.Floor, pageLSN)
+	}
+	for _, id := range []store.PageID{0, 1} {
+		img := make([]byte, store.PageSize)
+		f, err := os.Open(filepath.Join(dir, "t.heap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ReadAt(img, int64(id)*store.PageSize); err != nil {
+			t.Fatalf("read page %d: %v", id, err)
+		}
+		f.Close()
+		if _, ok := store.PageImageLSN(id, img); !ok {
+			t.Fatalf("page %d fails verification after redo over GC'd log", id)
+		}
+	}
+	// Appends continue with strictly increasing LSNs.
+	commitTxn(t, l2, 3, "t.heap", 2, 0x33)
+	if issues := Check(l2, false); len(issues) != 0 {
+		t.Fatalf("Check after post-GC appends: %v", issues)
+	}
+}
+
+// TestGCCrashOrphanSweep simulates a crash between the gcfloor pointer
+// rename and the segment unlinks: the pointer names segment 3, segment
+// 1 was removed, segment 2 survives as an orphan. Reopen must start at
+// 3 and sweep the orphan.
+func TestGCCrashOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetSegmentBytes(store.PageSize)
+	for i := uint64(1); i <= 4; i++ {
+		commitTxn(t, l, i, "t.heap", store.PageID(i-1), byte(i))
+	}
+	_, count := l.Segments()
+	if count < 4 {
+		t.Fatalf("need >= 4 segments, have %d", count)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wdir := filepath.Join(dir, "wal")
+	lw := &Log{dir: wdir, fs: store.OSFS{}}
+	if err := lw.writeGCFloor(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(wdir, "000001.wal")); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	first, _ := l2.Segments()
+	if first != 3 {
+		t.Fatalf("first segment = %d, want 3", first)
+	}
+	if _, err := os.Stat(filepath.Join(wdir, "000002.wal")); !os.IsNotExist(err) {
+		t.Fatalf("orphan segment 2 not swept (err=%v)", err)
+	}
+	if issues := Check(l2, false); len(issues) != 0 {
+		t.Fatalf("Check after orphan sweep: %v", issues)
+	}
+}
+
+// TestResetOverridesStaleGCFloor: Reset rebuilds segment 1; a gcfloor
+// pointer left behind by an earlier GC must be ignored (segment 1 wins
+// discovery) and removed.
+func TestResetOverridesStaleGCFloor(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetSegmentBytes(store.PageSize)
+	var lastPageLSN uint64
+	for i := uint64(1); i <= 3; i++ {
+		commitTxn(t, l, i, "t.heap", store.PageID(i-1), byte(i))
+	}
+	beginLSN, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Records(func(r Record) error {
+		if r.Type == RecPage {
+			lastPageLSN = r.LSN
+			flushPageImage(t, dir, "t.heap", r.Page, r.Payload[0], r.LSN)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CompleteCheckpoint(beginLSN, lastPageLSN); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.GC(); err != nil {
+		t.Fatal(err)
+	}
+	preReset := l.LastLSN()
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal", gcFloorName)); !os.IsNotExist(err) {
+		t.Fatalf("gcfloor pointer survives Reset (err=%v)", err)
+	}
+	first, count := l.Segments()
+	if first != 1 || count != 1 {
+		t.Fatalf("segments after Reset = (%d, %d), want (1, 1)", first, count)
+	}
+	commitTxn(t, l, 9, "t.heap", 0, 0x99)
+	if l.LastLSN() <= preReset {
+		t.Fatalf("LSNs restarted: last %d not above pre-reset %d", l.LastLSN(), preReset)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if first, _ := l2.Segments(); first != 1 {
+		t.Fatalf("reopened first segment = %d, want 1", first)
+	}
+}
+
+// TestRedoSkipsRecordsAtOrBelowFloor drives the bounded-recovery
+// counters directly: records the checkpoint covered are Skipped, not
+// Replayed, and their pre-flushed images are left untouched.
+func TestRedoSkipsRecordsAtOrBelowFloor(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	commitTxn(t, l, 1, "t.heap", 0, 0x11)
+	var page0LSN uint64
+	if err := l.Records(func(r Record) error {
+		if r.Type == RecPage {
+			page0LSN = r.LSN
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	beginLSN, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushPageImage(t, dir, "t.heap", 0, 0x11, page0LSN)
+	if _, err := l.CompleteCheckpoint(beginLSN, page0LSN); err != nil {
+		t.Fatal(err)
+	}
+	commitTxn(t, l, 2, "t.heap", 1, 0x22)
+
+	stats, err := Redo(l, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Floor != page0LSN {
+		t.Fatalf("floor = %d, want %d", stats.Floor, page0LSN)
+	}
+	if stats.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (page 0 covered by checkpoint)", stats.Skipped)
+	}
+	if stats.Replayed != 1 {
+		t.Fatalf("replayed = %d, want 1 (page 1 above floor)", stats.Replayed)
+	}
+	if stats.Applied != 1 {
+		t.Fatalf("applied = %d, want 1", stats.Applied)
+	}
+}

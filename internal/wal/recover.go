@@ -11,11 +11,37 @@ import (
 	"lexequal/internal/store"
 )
 
+// RedoStats describes one recovery pass: where redo started and how
+// much work it actually did, so operators (and the bounded-recovery
+// tests) can see whether checkpoints are holding replay down.
+type RedoStats struct {
+	// Floor is the redo floor of the last complete checkpoint found in
+	// the log (0 = no checkpoint; redo starts at the log's origin).
+	Floor uint64
+	// CheckpointLSN is the LSN of that checkpoint's end record.
+	CheckpointLSN uint64
+	// Scanned counts every record the recovery scan visited.
+	Scanned int
+	// Skipped counts committed page/catalog records at or below the
+	// floor — work the checkpoint already made durable.
+	Skipped int
+	// Replayed counts committed page/catalog records above the floor.
+	Replayed int
+	// Applied counts page images physically rewritten (Replayed minus
+	// pages whose on-disk image was already current).
+	Applied int
+}
+
 // Redo replays the log over the database directory: every page image
 // belonging to a committed transaction is re-applied (newest wins), and
 // records of loser transactions — begun but neither committed nor
 // aborted before the crash — are discarded, which under the no-steal
 // buffer policy is all the undo there is.
+//
+// Replay starts at the last complete checkpoint's redo floor: records
+// at or below it were durably flushed to the data files before the
+// checkpoint-end record was written, so they are skipped (and their
+// segments may already have been garbage-collected).
 //
 // Redo uses raw file I/O, not pagers: crashed data files may be torn
 // or non-page-aligned and would fail a pager's open-time validation;
@@ -24,21 +50,29 @@ import (
 // verifies with an LSN at or above the record's — so a crash during
 // recovery is cured by recovering again.
 //
-// fs nil means the OS filesystem. Redo returns the number of page
-// images applied (skips not counted).
-func Redo(l *Log, dbDir string, fs store.VFS) (int, error) {
+// fs nil means the OS filesystem.
+func Redo(l *Log, dbDir string, fs store.VFS) (RedoStats, error) {
+	var stats RedoStats
 	if fs == nil {
 		fs = store.OSFS{}
 	}
-	// Pass 1: which transactions finished with a commit.
+	// Pass 1: which transactions finished with a commit, and where the
+	// last complete checkpoint put the redo floor. Any checkpoint-end
+	// the scan reaches is complete by construction (it was appended and
+	// synced before anything relied on it); the newest one wins.
 	committed := make(map[uint64]bool)
 	if err := l.Records(func(r Record) error {
-		if r.Type == RecCommit {
+		stats.Scanned++
+		switch r.Type {
+		case RecCommit:
 			committed[r.TxID] = true
+		case RecCheckpointEnd:
+			stats.Floor = r.CkptFloor
+			stats.CheckpointLSN = r.LSN
 		}
 		return nil
 	}); err != nil {
-		return 0, err
+		return stats, err
 	}
 	// Pass 2: apply page images of committed transactions in LSN
 	// order, remembering the last committed catalog image.
@@ -59,13 +93,24 @@ func Redo(l *Log, dbDir string, fs store.VFS) (int, error) {
 		files[name] = f
 		return f, nil
 	}
-	applied := 0
 	var catName string
 	var catImage []byte
 	err := l.Records(func(r Record) error {
 		if !committed[r.TxID] {
 			return nil
 		}
+		if r.Type != RecPage && r.Type != RecCatalog {
+			return nil
+		}
+		if r.LSN <= stats.Floor {
+			// The checkpoint flushed and fsynced this image's effects
+			// before declaring the floor; replaying it would be
+			// harmless but is exactly the work checkpoints exist to
+			// bound.
+			stats.Skipped++
+			return nil
+		}
+		stats.Replayed++
 		switch r.Type {
 		case RecPage:
 			name, err := safeName(r.File)
@@ -89,7 +134,7 @@ func Redo(l *Log, dbDir string, fs store.VFS) (int, error) {
 			if _, err := f.WriteAt(img, off); err != nil {
 				return fmt.Errorf("wal: redo write %s page %d: %w", name, r.Page, err)
 			}
-			applied++
+			stats.Applied++
 		case RecCatalog:
 			name, err := safeName(r.File)
 			if err != nil {
@@ -101,7 +146,7 @@ func Redo(l *Log, dbDir string, fs store.VFS) (int, error) {
 		return nil
 	})
 	if err != nil {
-		return applied, err
+		return stats, err
 	}
 	// Fix tails and make everything durable before the log can be
 	// reset: round non-aligned files down (the partial tail page is
@@ -116,30 +161,30 @@ func Redo(l *Log, dbDir string, fs store.VFS) (int, error) {
 		f := files[name]
 		st, err := f.Stat()
 		if err != nil {
-			return applied, err
+			return stats, err
 		}
 		if rem := st.Size() % store.PageSize; rem != 0 {
 			if err := f.Truncate(st.Size() - rem); err != nil {
-				return applied, fmt.Errorf("wal: redo truncate %s: %w", name, err)
+				return stats, fmt.Errorf("wal: redo truncate %s: %w", name, err)
 			}
 		}
 		if err := f.Sync(); err != nil {
-			return applied, fmt.Errorf("wal: redo sync %s: %w", name, err)
+			return stats, fmt.Errorf("wal: redo sync %s: %w", name, err)
 		}
 		if err := f.Close(); err != nil {
-			return applied, err
+			return stats, err
 		}
 		delete(files, name)
 	}
 	if catName != "" {
 		if err := writeFileAtomic(fs, dbDir, catName, catImage); err != nil {
-			return applied, err
+			return stats, err
 		}
 	}
 	if err := store.SyncDir(fs, dbDir); err != nil {
-		return applied, fmt.Errorf("wal: redo sync dir: %w", err)
+		return stats, fmt.Errorf("wal: redo sync dir: %w", err)
 	}
-	return applied, nil
+	return stats, nil
 }
 
 // safeName validates a file name taken from a log record before it is

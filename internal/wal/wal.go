@@ -65,6 +65,16 @@ const (
 	// RecCatalog carries a whole-file after-image applied by atomic
 	// tmp+rename: nameLen uint16 | file basename | contents.
 	RecCatalog byte = 5
+	// RecCheckpointBegin marks the start of a fuzzy checkpoint (txid 0,
+	// no payload). A begin with no matching end is an abandoned
+	// checkpoint — normal crash/ENOSPC debris, carrying no promises.
+	RecCheckpointBegin byte = 6
+	// RecCheckpointEnd marks a completed checkpoint: beginLSN uint64 |
+	// redo floor uint64 (txid 0). Its durable presence proves every
+	// committed page image at or below the floor is in the data files,
+	// so recovery may skip records at or below it and segment GC may
+	// unlink segments wholly below it.
+	RecCheckpointEnd byte = 7
 )
 
 const (
@@ -76,9 +86,19 @@ const (
 	// is treated as a torn tail rather than allocated.
 	MaxRecordSize = 1 << 24
 
-	// segmentLimit is the append size at which the log rolls to a new
-	// segment file.
+	// segmentLimit is the default append size at which the log rolls to
+	// a new segment file (SetSegmentBytes overrides it, chiefly so tests
+	// can force multi-segment logs cheaply).
 	segmentLimit = 16 << 20
+
+	// gcFloorName is the pointer file inside the wal directory that
+	// records the first live segment after a GC. The VFS has no ReadDir,
+	// so after segments below the redo floor are unlinked this is how a
+	// reopen finds the start of the run: magic (8) | seq uint32 |
+	// crc32c over the first 12 bytes (4).
+	gcFloorName  = "gcfloor"
+	gcFloorMagic = "LXQLGCP\x01"
+	gcFloorSize  = 16
 
 	// DefaultFlushInterval is how long a group-commit leader waits for
 	// followers before syncing.
@@ -102,6 +122,10 @@ type Record struct {
 	// Payload is the page image (RecPage, len == store.UsableSize) or
 	// file contents (RecCatalog).
 	Payload []byte
+	// CkptBegin and CkptFloor are the paired begin-record LSN and the
+	// redo floor carried by a RecCheckpointEnd.
+	CkptBegin uint64
+	CkptFloor uint64
 }
 
 // Log is the write-ahead log manager for one database directory. All
@@ -110,13 +134,22 @@ type Log struct {
 	dir string
 	fs  store.VFS
 
-	mu      sync.Mutex // guards append state
-	f       store.File // current segment
-	seq     uint32     // current segment number
-	size    int64      // append offset in current segment
-	nextLSN uint64
-	lastLSN uint64
-	closed  bool
+	mu       sync.Mutex // guards append state
+	f        store.File // current segment
+	seq      uint32     // current segment number
+	firstSeq uint32     // lowest live segment (advanced by GC)
+	size     int64      // append offset in current segment
+	segLimit int64      // roll threshold (segmentLimit by default)
+	nextLSN  uint64
+	lastLSN  uint64
+	closed   bool
+
+	// redoFloor/ckptLSN describe the last checkpoint completed in this
+	// process life (0 until one completes); ckptBytes counts bytes
+	// appended since then — the auto-checkpoint trigger input.
+	redoFloor uint64
+	ckptLSN   uint64
+	ckptBytes int64
 
 	// hasRecords is whether any record exists in the log (as opposed
 	// to bare segment headers).
@@ -147,7 +180,7 @@ func Open(dir string, fs store.VFS) (*Log, error) {
 	if err := fs.MkdirAll(wdir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
-	l := &Log{dir: wdir, fs: fs, nextLSN: 1, flushEvery: DefaultFlushInterval}
+	l := &Log{dir: wdir, fs: fs, nextLSN: 1, segLimit: segmentLimit, flushEvery: DefaultFlushInterval}
 	l.fcond = sync.NewCond(&l.fmu)
 	if err := l.openTail(); err != nil {
 		return nil, err
@@ -160,17 +193,102 @@ func (l *Log) segPath(seq uint32) string {
 	return filepath.Join(l.dir, fmt.Sprintf("%06d.wal", seq))
 }
 
+func (l *Log) gcFloorPath() string { return filepath.Join(l.dir, gcFloorName) }
+
 // segments probes the directory for the contiguous run of segment
-// files starting at 1. The VFS has no ReadDir, so existence is probed
-// with Stat.
+// files starting at firstSeq. The VFS has no ReadDir, so existence is
+// probed with Stat.
 func (l *Log) segments() []uint32 {
+	first := l.firstSeq
+	if first == 0 {
+		first = 1
+	}
 	var segs []uint32
-	for seq := uint32(1); ; seq++ {
+	for seq := first; ; seq++ {
 		if _, err := l.fs.Stat(l.segPath(seq)); err != nil {
 			return segs
 		}
 		segs = append(segs, seq)
 	}
+}
+
+// resolveFirstSeq decides where the segment run starts. A present
+// segment 1 always wins: GC never leaves one behind (it unlinks
+// upward from the old first segment), so its existence means either no
+// GC has happened or a Reset rebuilt the log — in both cases the
+// gcfloor pointer is stale. Otherwise a valid pointer whose segment
+// exists names the start. A pointer at a missing segment with no
+// segment 1 either is refused: creating a fresh log there would
+// restart LSNs below pageLSNs already stamped on data pages.
+func (l *Log) resolveFirstSeq() (uint32, error) {
+	if _, err := l.fs.Stat(l.segPath(1)); err == nil {
+		return 1, nil
+	}
+	ptr, ok, err := l.readGCFloor()
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 1, nil // no pointer, no segment 1: empty or fresh log
+	}
+	if _, err := l.fs.Stat(l.segPath(ptr)); err == nil {
+		return ptr, nil
+	}
+	return 0, &store.CorruptFileError{Path: l.gcFloorPath(),
+		Reason: fmt.Sprintf("gc floor points at missing wal segment %d", ptr)}
+}
+
+// readGCFloor parses the gcfloor pointer file. ok is false when the
+// file does not exist; a present-but-invalid pointer is corruption.
+func (l *Log) readGCFloor() (uint32, bool, error) {
+	data, err := store.ReadFile(l.fs, l.gcFloorPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: read gc floor: %w", err)
+	}
+	if len(data) != gcFloorSize || string(data[:8]) != gcFloorMagic ||
+		crc32.Checksum(data[:12], castagnoli) != binary.LittleEndian.Uint32(data[12:]) {
+		return 0, false, &store.CorruptFileError{Path: l.gcFloorPath(), Reason: "gc floor pointer fails verification"}
+	}
+	seq := binary.LittleEndian.Uint32(data[8:])
+	if seq < 2 {
+		return 0, false, &store.CorruptFileError{Path: l.gcFloorPath(),
+			Reason: fmt.Sprintf("gc floor names impossible segment %d", seq)}
+	}
+	return seq, true, nil
+}
+
+// writeGCFloor durably publishes the pointer via tmp + fsync + rename +
+// dir sync, so GC may unlink segments below seq only once a reopen is
+// guaranteed to find the run's new start.
+func (l *Log) writeGCFloor(seq uint32) error {
+	buf := make([]byte, gcFloorSize)
+	copy(buf, gcFloorMagic)
+	binary.LittleEndian.PutUint32(buf[8:], seq)
+	binary.LittleEndian.PutUint32(buf[12:], crc32.Checksum(buf[:12], castagnoli))
+	tmp := l.gcFloorPath() + ".tmp"
+	f, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: gc floor create: %w", err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return errors.Join(fmt.Errorf("wal: gc floor write: %w", err), f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("wal: gc floor sync: %w", err), f.Close())
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(tmp, l.gcFloorPath()); err != nil {
+		return fmt.Errorf("wal: gc floor rename: %w", err)
+	}
+	if err := store.SyncDir(l.fs, l.dir); err != nil {
+		return fmt.Errorf("wal: gc floor dir sync: %w", err)
+	}
+	return nil
 }
 
 // openTail scans existing segments to find nextLSN and the append
@@ -183,13 +301,36 @@ func (l *Log) segments() []uint32 {
 // pageLSN already stamped on data pages — restarting at 1 would leave
 // on-disk pageLSNs the pager could never prove durable.
 func (l *Log) openTail() error {
+	first, err := l.resolveFirstSeq()
+	if err != nil {
+		return err
+	}
+	l.firstSeq = first
+	// Sweep orphans a crash-interrupted GC left below the pointer. GC
+	// unlinks lowest-first, so survivors are contiguous up to first-1;
+	// probing downward finds them all and stops at the first gap.
+	for seq := first - 1; seq >= 1; seq-- {
+		if _, err := l.fs.Stat(l.segPath(seq)); err != nil {
+			break
+		}
+		if err := l.fs.Remove(l.segPath(seq)); err != nil {
+			return fmt.Errorf("wal: remove gc orphan: %w", err)
+		}
+	}
 	for {
 		segs := l.segments()
 		if len(segs) == 0 {
+			if l.firstSeq > 1 {
+				// The gcfloor pointer promised a segment run here; an
+				// empty directory means the log was externally damaged.
+				// A fresh log would restart LSNs below on-disk pageLSNs.
+				return &store.CorruptFileError{Path: l.gcFloorPath(),
+					Reason: fmt.Sprintf("no wal segments at or above gc floor %d", l.firstSeq)}
+			}
 			return l.createSegment(1, 1)
 		}
 		floor := uint64(0)
-		var tailEnd int64
+		var tailEnd, liveBytes int64
 		var scanErr error
 		sawRecords := false
 		for _, seq := range segs {
@@ -201,6 +342,7 @@ func (l *Log) openTail() error {
 			if end > segHdrSize {
 				sawRecords = true
 			}
+			liveBytes += end - segHdrSize
 			floor = newFloor
 			tailEnd = end
 		}
@@ -208,16 +350,17 @@ func (l *Log) openTail() error {
 			// A structurally broken header on the LAST segment is a
 			// crash during segment creation: the header syncs before
 			// any record is appended, so nothing durable lived there.
-			// Discard it and retry. Anywhere else it is corruption.
+			// Discard it and retry. Anywhere else — including a sole
+			// surviving post-GC segment — it is corruption.
 			tail := segs[len(segs)-1]
 			var cfe *store.CorruptFileError
-			if errors.As(scanErr, &cfe) && cfe.Path == l.segPath(tail) && tail > 1 {
+			if errors.As(scanErr, &cfe) && cfe.Path == l.segPath(tail) && tail > l.firstSeq {
 				if err := l.fs.Remove(l.segPath(tail)); err != nil {
 					return errors.Join(scanErr, err)
 				}
 				continue
 			}
-			if errors.As(scanErr, &cfe) && cfe.Path == l.segPath(1) && len(segs) == 1 {
+			if errors.As(scanErr, &cfe) && cfe.Path == l.segPath(1) && l.firstSeq == 1 && len(segs) == 1 {
 				// Crash while creating the very first segment of a new
 				// log: no records ever existed. Recreate it.
 				return l.createSegment(1, 1)
@@ -239,7 +382,8 @@ func (l *Log) openTail() error {
 		l.nextLSN = floor + 1
 		l.lastLSN = floor
 		l.hasRecords = sawRecords
-		l.finishedLSN = floor // everything on disk predates this process
+		l.ckptBytes = liveBytes // conservative: no checkpoint this life yet
+		l.finishedLSN = floor   // everything on disk predates this process
 		l.durableLSN = floor
 		return nil
 	}
@@ -305,7 +449,7 @@ func (l *Log) append(typ byte, txid uint64, payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
-	if l.size >= segmentLimit {
+	if l.size >= l.segLimit {
 		if err := l.createSegment(l.seq+1, l.nextLSN); err != nil {
 			return 0, err
 		}
@@ -323,6 +467,7 @@ func (l *Log) append(typ byte, txid uint64, payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(total)
+	l.ckptBytes += int64(total)
 	l.nextLSN = lsn + 1
 	l.lastLSN = lsn
 	l.hasRecords = true
@@ -541,6 +686,175 @@ func (l *Log) FlushInterval() time.Duration {
 	return l.flushEvery
 }
 
+// SetSegmentBytes sets the append size at which the log rolls to a new
+// segment (the default is 16 MiB). Values below one page are clamped;
+// tests shrink it to force multi-segment logs cheaply.
+func (l *Log) SetSegmentBytes(n int64) {
+	if n < store.PageSize {
+		n = store.PageSize
+	}
+	l.mu.Lock()
+	l.segLimit = n
+	l.mu.Unlock()
+}
+
+// SinceCheckpoint returns the bytes appended since the last completed
+// checkpoint (or since open) — the auto-checkpoint trigger input.
+func (l *Log) SinceCheckpoint() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptBytes
+}
+
+// RedoFloor returns the redo floor installed by the last checkpoint
+// completed in this process life (0 until one completes).
+func (l *Log) RedoFloor() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.redoFloor
+}
+
+// Segments reports the live segment run: the first segment's sequence
+// number (above 1 after GC) and how many segments the run holds.
+func (l *Log) Segments() (first uint32, count int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstSeq, int(l.seq - l.firstSeq + 1)
+}
+
+// StartsAboveOrigin reports whether the log's first live segment is no
+// longer segment 1 — i.e. GC has unlinked history below the redo floor,
+// so a scan may legally open mid-transaction.
+func (l *Log) StartsAboveOrigin() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstSeq > 1
+}
+
+// CheckpointBegin appends a checkpoint-begin record (txid 0). It marks
+// intent only: a begin with no matching end is an abandoned checkpoint
+// and promises nothing.
+func (l *Log) CheckpointBegin() (uint64, error) {
+	return l.append(RecCheckpointBegin, 0, nil)
+}
+
+// CompleteCheckpoint appends the checkpoint-end record carrying the
+// redo floor, makes it durable, and installs the floor for GC. The
+// caller guarantees that every committed page image at or below floor
+// is durably in the data files. Floors never regress and sit strictly
+// below the end record's own LSN; violating either is a protocol bug
+// and is refused before anything is appended.
+func (l *Log) CompleteCheckpoint(beginLSN, floor uint64) (uint64, error) {
+	l.mu.Lock()
+	if floor < l.redoFloor {
+		prev := l.redoFloor
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: checkpoint floor %d regresses below %d", floor, prev)
+	}
+	if floor > l.lastLSN {
+		last := l.lastLSN
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: checkpoint floor %d above last lsn %d", floor, last)
+	}
+	l.mu.Unlock()
+	payload := make([]byte, 16)
+	binary.LittleEndian.PutUint64(payload, beginLSN)
+	binary.LittleEndian.PutUint64(payload[8:], floor)
+	lsn, err := l.append(RecCheckpointEnd, 0, payload)
+	if err != nil {
+		return 0, err
+	}
+	// The end record must be durable before it can excuse anything: a
+	// crash that loses it also loses the floor declaration, and the
+	// next recovery replays from the previous checkpoint (or origin).
+	if err := l.EnsureDurable(lsn); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.ckptLSN = lsn
+	l.redoFloor = floor
+	l.ckptBytes = 0
+	l.mu.Unlock()
+	return lsn, nil
+}
+
+// GC unlinks segments that lie wholly below the redo floor: a segment
+// is dead once the NEXT segment's baseLSN shows every record in it has
+// LSN at or below the floor. The tail segment always survives. Before
+// any unlink the gcfloor pointer is durably renamed into place, naming
+// the new first segment, so a reopen after any crash inside GC finds
+// the run (openTail sweeps stragglers below the pointer). Returns the
+// number of segments removed.
+func (l *Log) GC() (int, error) {
+	l.fmu.Lock()
+	if l.syncErr != nil {
+		defer l.fmu.Unlock()
+		return 0, l.syncErr
+	}
+	l.fmu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	floor := l.redoFloor
+	if floor == 0 || l.firstSeq >= l.seq {
+		return 0, nil
+	}
+	// keep = the highest segment whose baseLSN is at or below floor+1:
+	// the segment holding the first record recovery must see.
+	keep := l.firstSeq
+	for s := l.firstSeq + 1; s <= l.seq; s++ {
+		base, err := l.readSegBase(s)
+		if err != nil {
+			return 0, err
+		}
+		if base > floor+1 {
+			break
+		}
+		keep = s
+	}
+	if keep == l.firstSeq {
+		return 0, nil
+	}
+	if err := l.writeGCFloor(keep); err != nil {
+		return 0, err
+	}
+	removed := 0
+	// Lowest first: survivors of a crash mid-loop stay contiguous up to
+	// keep-1, which is exactly what openTail's downward sweep expects.
+	for s := l.firstSeq; s < keep; s++ {
+		if err := l.fs.Remove(l.segPath(s)); err != nil {
+			return removed, fmt.Errorf("wal: gc remove segment %d: %w", s, err)
+		}
+		removed++
+	}
+	l.firstSeq = keep
+	if err := store.SyncDir(l.fs, l.dir); err != nil {
+		return removed, fmt.Errorf("wal: gc dir sync: %w", err)
+	}
+	return removed, nil
+}
+
+// readSegBase reads and verifies one segment header, returning its
+// baseLSN.
+func (l *Log) readSegBase(seq uint32) (uint64, error) {
+	f, err := l.fs.OpenFile(l.segPath(seq), os.O_RDONLY, 0)
+	if err != nil {
+		return 0, fmt.Errorf("wal: open segment %d header: %w", seq, err)
+	}
+	defer f.Close()
+	hdr := make([]byte, segHdrSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return 0, fmt.Errorf("wal: read segment %d header: %w", seq, err)
+	}
+	if string(hdr[:8]) != walMagic ||
+		crc32.Checksum(hdr[:20], castagnoli) != binary.LittleEndian.Uint32(hdr[20:]) {
+		return 0, &store.CorruptFileError{Path: l.segPath(seq), Reason: "wal segment header fails verification"}
+	}
+	return binary.LittleEndian.Uint64(hdr[12:]), nil
+}
+
 // HasRecords reports whether the log holds any records (i.e. recovery
 // has work to do or Reset is worthwhile).
 func (l *Log) HasRecords() bool {
@@ -557,10 +871,13 @@ func (l *Log) HasRecords() bool {
 //
 // Crash safety: the fresh segment-1 header is built in a temp file and
 // renamed into place, so segment 1 is atomically either the old log
-// (Reset simply didn't happen) or the empty new one. Higher segments
-// are removed afterwards, highest first; any that survive a crash hold
-// only records below the new baseLSN, which the scan floor rejects as
-// stale.
+// (Reset simply didn't happen) or the empty new one — and the moment it
+// exists, reopen discovery prefers it over any gcfloor pointer. Higher
+// segments are removed afterwards, highest first; survivors of a crash
+// either stay contiguous with segment 1 (their stale records are
+// rejected by the scan floor) or sit beyond a gap, where they are never
+// scanned and are overwritten as the log grows back. The stale gcfloor
+// pointer is removed last; left behind by a crash it is simply ignored.
 func (l *Log) Reset() error {
 	l.fmu.Lock()
 	if l.syncErr != nil {
@@ -613,15 +930,25 @@ func (l *Log) Reset() error {
 			return fmt.Errorf("wal: reset remove: %w", err)
 		}
 	}
+	// The gcfloor pointer (if a GC wrote one) now lies about the run's
+	// start; segment 1 exists again, which overrides it on reopen, so
+	// removing it is tidiness, not correctness.
+	if err := l.fs.Remove(l.gcFloorPath()); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("wal: reset remove gc floor: %w", err)
+	}
 	f, err := l.fs.OpenFile(l.segPath(1), os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: reset reopen: %w", err)
 	}
 	l.f = f
 	l.seq = 1
+	l.firstSeq = 1
 	l.size = segHdrSize
 	l.lastLSN = l.nextLSN - 1
 	l.hasRecords = false
+	l.redoFloor = 0
+	l.ckptLSN = 0
+	l.ckptBytes = 0
 	l.fmu.Lock()
 	l.durableLSN = l.nextLSN - 1
 	l.fmu.Unlock()
@@ -677,7 +1004,7 @@ func (l *Log) Records(fn func(Record) error) error {
 		_, newFloor, err := scanSegment(fs, path, floor, fn)
 		if err != nil {
 			var cfe *store.CorruptFileError
-			if errors.As(err, &cfe) && i == len(segs)-1 && seq > 1 {
+			if errors.As(err, &cfe) && i == len(segs)-1 && seq > segs[0] {
 				return nil
 			}
 			return err
@@ -756,7 +1083,14 @@ func decodeRecord(rec []byte) (Record, error) {
 	}
 	payload := rec[recHdrSize:]
 	switch r.Type {
-	case RecBegin, RecCommit, RecAbort:
+	case RecBegin, RecCommit, RecAbort, RecCheckpointBegin:
+		return r, nil
+	case RecCheckpointEnd:
+		if len(payload) < 16 {
+			return r, errors.New("wal: short checkpoint record")
+		}
+		r.CkptBegin = binary.LittleEndian.Uint64(payload)
+		r.CkptFloor = binary.LittleEndian.Uint64(payload[8:])
 		return r, nil
 	case RecPage:
 		if len(payload) < 2 {

@@ -261,12 +261,12 @@ func TestRedoAppliesCommittedDiscardsLosers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	applied, err := Redo(l, dir, nil)
+	stats, err := Redo(l, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 1 {
-		t.Fatalf("applied = %d, want 1", applied)
+	if stats.Applied != 1 {
+		t.Fatalf("applied = %d, want 1", stats.Applied)
 	}
 	heap, err := os.ReadFile(filepath.Join(dir, "t.heap"))
 	if err != nil {
@@ -291,12 +291,12 @@ func TestRedoAppliesCommittedDiscardsLosers(t *testing.T) {
 	}
 
 	// Idempotency: a second redo applies nothing and changes nothing.
-	applied, err = Redo(l, dir, nil)
+	stats, err = Redo(l, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 0 {
-		t.Fatalf("second redo applied %d images, want 0", applied)
+	if stats.Applied != 0 {
+		t.Fatalf("second redo applied %d images, want 0", stats.Applied)
 	}
 	l.Close()
 }
@@ -328,12 +328,12 @@ func TestRedoRepairsTornPage(t *testing.T) {
 	}
 	f.Close()
 
-	applied, err := Redo(l, dir, nil)
+	stats, err := Redo(l, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != 1 {
-		t.Fatalf("applied = %d, want 1 (torn page must be rewritten)", applied)
+	if stats.Applied != 1 {
+		t.Fatalf("applied = %d, want 1 (torn page must be rewritten)", stats.Applied)
 	}
 	heap, err := os.ReadFile(path)
 	if err != nil {
