@@ -6,7 +6,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke bench serve-smoke crash-smoke ci clean
+.PHONY: all build vet lint lint-json lockgraph test race fuzz-smoke bench serve-smoke crash-smoke ci clean
 
 all: build
 
@@ -16,11 +16,27 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The custom go/analysis suite (DESIGN.md §8): pin balance, VFS-only
-# I/O, wrap-tolerant error matching, no panics in library code, lock
-# hygiene. Exits non-zero on any finding.
+# The custom go/analysis suite (DESIGN.md §8, §13): the per-package AST
+# tier (VFS-only I/O, wrap-tolerant error matching, no panics in
+# library code, lock hygiene) plus the dataflow tier (errpath resource
+# leaks on error paths, lockorder cycle/tier analysis). Exits non-zero
+# on any finding, including stale //lint:ignore annotations.
 lint:
 	$(GO) run ./cmd/lexequallint ./...
+
+# Same suite, findings as a JSON array in results/lexequallint.json (CI
+# archives it). The exit status of the lint run is preserved.
+lint-json:
+	@mkdir -p results
+	@$(GO) run ./cmd/lexequallint -json ./... > results/lexequallint.json; \
+	status=$$?; cat results/lexequallint.json; exit $$status
+
+# Dump the interprocedural lock-acquisition-order graph (DESIGN.md §13)
+# as Graphviz DOT, tier inversions highlighted in red.
+lockgraph:
+	@mkdir -p results
+	$(GO) run ./cmd/lexequallint -graph ./... > results/lockorder.dot
+	@echo "wrote results/lockorder.dot"
 
 test:
 	$(GO) test ./...

@@ -1,20 +1,26 @@
 // Command lexequallint is the engine-invariant multichecker: it runs
-// the internal/analysis suite (pinbalance, vfsonly, corrupterr,
-// nopanic, lockcheck) over the named packages and exits non-zero when
-// any invariant is violated.
+// the internal/analysis suite — the per-package AST tier (vfsonly,
+// walonly, corrupterr, nopanic, lockcheck) and the dataflow tier
+// (errpath, lockorder) — over the named packages and exits non-zero
+// when any invariant is violated.
 //
 // Usage:
 //
-//	lexequallint [-list] [-only name,name] [packages]
+//	lexequallint [-list] [-only name,name] [-json] [-graph] [packages]
 //
 // With no package patterns it checks ./... . Findings print as
-// file:line:col: message [analyzer]. A finding is suppressed — with a
-// mandatory justification — by an adjacent annotation:
+// file:line:col: message [analyzer]; -json emits them as a JSON array
+// instead (CI archives this artifact). -graph skips the analyzers and
+// dumps the program's lock-acquisition-order graph as Graphviz DOT,
+// with sanctioned-order violations highlighted. A finding is
+// suppressed — with a mandatory justification — by an adjacent
+// annotation:
 //
 //	//lint:ignore <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +29,20 @@ import (
 	"lexequal/internal/analysis"
 )
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	graph := flag.Bool("graph", false, "dump the lock-acquisition-order graph as Graphviz DOT and exit")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -60,13 +77,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lexequallint: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *graph {
+		prog := analysis.NewProgram(pkgs)
+		g := analysis.BuildLockOrder(prog)
+		fmt.Print(g.DOT(prog))
+		return
+	}
+
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lexequallint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "lexequallint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lexequallint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

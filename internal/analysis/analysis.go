@@ -7,19 +7,31 @@
 // VFS seam and page-checksum work — invariants that hold only by
 // convention otherwise and silently regress as the engine grows:
 //
-//   - pinbalance: every Pager.Get/Allocate has a matching Unpin
 //   - vfsonly:    all file I/O in store/db/wal goes through the VFS seam
 //   - walonly:    page write-back and image stamping stay in store/wal
 //   - corrupterr: corruption errors are matched with errors.Is/As
 //   - nopanic:    library code propagates errors, never panics
 //   - lockcheck:  mutexes are never copied, read locks never upgraded
+//   - errpath:    pins, latches and transactions are released on every
+//     control-flow path, including early error returns
+//   - lockorder:  the interprocedural lock-acquisition-order graph is
+//     acyclic and respects the sanctioned tier order
+//     db → heap/btree → pager → wal
+//
+// The first five are per-package AST checks (Analyzer.Run); errpath and
+// lockorder form the dataflow tier (Analyzer.RunProgram): they build
+// per-function control-flow graphs (cfg.go) and a whole-program call
+// graph (callgraph.go), compute lock-set summaries (summary.go), and
+// reason across function and package boundaries.
 //
 // A finding is suppressed by an adjacent annotation comment:
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // on the flagged line or the line directly above it. The reason is
-// mandatory: an unexplained suppression is itself a finding.
+// mandatory: an unexplained suppression is itself a finding. A
+// suppression that no longer matches any finding is reported as stale
+// (analyzer name "staleignore"), so annotations cannot rot in place.
 package analysis
 
 import (
@@ -32,7 +44,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check.
+// Analyzer is one named check. Exactly one of Run and RunProgram is
+// set: Run analyzers see one package at a time, RunProgram analyzers
+// see the whole loaded program (all packages plus the call graph) and
+// can reason across function and package boundaries.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in //lint:ignore
 	// annotations.
@@ -41,6 +56,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
+	// RunProgram inspects the whole program at once (dataflow tier).
+	RunProgram func(*ProgramPass) error
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -65,13 +82,17 @@ type Package struct {
 
 	// suppressions maps file -> line -> analyzer names ignored there
 	// (the annotation suppresses its own line and the one below it).
-	suppressions map[string]map[int][]suppression
+	suppressions map[string]map[int][]*suppression
 }
 
-// suppression is one parsed //lint:ignore annotation.
+// suppression is one parsed //lint:ignore annotation. used flips when
+// the annotation actually suppresses a finding, which is what the
+// stale-suppression audit keys on.
 type suppression struct {
+	pos       token.Position
 	analyzers []string
 	reason    string
+	used      bool
 }
 
 // lintIgnoreRE parses "lint:ignore name1,name2 reason..." comment text.
@@ -88,7 +109,7 @@ func NewPackage(importPath, dir string, fset *token.FileSet, files []*ast.File, 
 		Files:        files,
 		Types:        tpkg,
 		Info:         info,
-		suppressions: map[string]map[int][]suppression{},
+		suppressions: map[string]map[int][]*suppression{},
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -100,10 +121,11 @@ func NewPackage(importPath, dir string, fset *token.FileSet, files []*ast.File, 
 				pos := fset.Position(c.Pos())
 				byLine := p.suppressions[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]suppression{}
+					byLine = map[int][]*suppression{}
 					p.suppressions[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], suppression{
+				byLine[pos.Line] = append(byLine[pos.Line], &suppression{
+					pos:       pos,
 					analyzers: strings.Split(m[1], ","),
 					reason:    strings.TrimSpace(m[2]),
 				})
@@ -115,7 +137,9 @@ func NewPackage(importPath, dir string, fset *token.FileSet, files []*ast.File, 
 
 // suppressed reports whether an annotation at pos.Line or the line
 // above names the analyzer (or "*"). Annotations without a reason do
-// not suppress: the justification is part of the contract.
+// not suppress: the justification is part of the contract. A match is
+// recorded on the annotation so the stale-suppression audit can tell
+// live annotations from rotten ones.
 func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 	byLine := p.suppressions[pos.Filename]
 	if byLine == nil {
@@ -128,6 +152,7 @@ func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 			}
 			for _, name := range s.analyzers {
 				if name == analyzer || name == "*" {
+					s.used = true
 					return true
 				}
 			}
@@ -167,8 +192,13 @@ func (p *Pass) Filename(pos token.Pos) string {
 	return p.Fset.Position(pos).Filename
 }
 
-// RunAnalyzer applies one analyzer to one package.
+// RunAnalyzer applies one analyzer to one package. A program-level
+// analyzer sees a single-package program (the analysistest path); use
+// Run for the full multi-package view.
 func RunAnalyzer(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	if a.RunProgram != nil {
+		return RunProgramAnalyzer(NewProgram([]*Package{pkg}), a)
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -185,12 +215,92 @@ func RunAnalyzer(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings in stable file/line order.
+// StaleIgnoreName labels the diagnostics of the stale-suppression
+// audit, which is part of the framework rather than a listed analyzer:
+// it can only judge an annotation after seeing which findings the real
+// analyzers produced.
+const StaleIgnoreName = "staleignore"
+
+// auditSuppressions reports every //lint:ignore annotation that did not
+// suppress anything during this run. An annotation is only judged when
+// all analyzers it names were part of the run (so `-only` subsets never
+// produce false staleness); an annotation naming an unknown analyzer
+// can never fire and is always stale.
+func auditSuppressions(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, byLine := range pkg.suppressions {
+			for _, anns := range byLine {
+				for _, s := range anns {
+					if s.used {
+						continue
+					}
+					judgeable := true
+					for _, name := range s.analyzers {
+						if name != "*" && !ran[name] {
+							judgeable = false
+							out = append(out, Diagnostic{
+								Analyzer: StaleIgnoreName,
+								Pos:      s.pos,
+								Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q; it can never suppress anything",
+									name),
+							})
+							break
+						}
+					}
+					if !judgeable {
+						continue
+					}
+					if s.reason == "" {
+						out = append(out, Diagnostic{
+							Analyzer: StaleIgnoreName,
+							Pos:      s.pos,
+							Message:  "//lint:ignore without a reason never suppresses; add a justification or delete it",
+						})
+						continue
+					}
+					out = append(out, Diagnostic{
+						Analyzer: StaleIgnoreName,
+						Pos:      s.pos,
+						Message: fmt.Sprintf("stale //lint:ignore %s: no finding here to suppress; delete it",
+							strings.Join(s.analyzers, ",")),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package — per-package analyzers
+// package by package, program analyzers once over the whole set — then
+// audits the //lint:ignore annotations for staleness, and returns the
+// combined findings in stable file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var all []Diagnostic
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		diags, err := RunProgramAnalyzer(prog, a)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			diags, err := RunAnalyzer(pkg, a)
 			if err != nil {
 				return nil, err
@@ -198,6 +308,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			all = append(all, diags...)
 		}
 	}
+	all = append(all, auditSuppressions(pkgs, analyzers)...)
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -214,15 +325,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return all, nil
 }
 
-// All returns the full engine-invariant suite in a stable order.
+// All returns the full engine-invariant suite in a stable order: the
+// per-package AST tier first, then the dataflow tier.
 func All() []*Analyzer {
 	return []*Analyzer{
-		PinBalance,
 		VFSOnly,
 		WALOnly,
 		CorruptErr,
 		NoPanic,
 		LockCheck,
+		ErrPath,
+		LockOrder,
 	}
 }
 

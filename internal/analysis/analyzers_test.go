@@ -11,10 +11,6 @@ import (
 // checks the findings against the fixture's // want annotations in both
 // directions: a missed expectation and an unexpected finding both fail.
 
-func TestPinBalance(t *testing.T) {
-	analysistest.Run(t, analysistest.Testdata("pinbalance"), analysis.PinBalance)
-}
-
 func TestVFSOnly(t *testing.T) {
 	analysistest.Run(t, analysistest.Testdata("vfsonly"), analysis.VFSOnly)
 }
@@ -35,10 +31,25 @@ func TestLockCheck(t *testing.T) {
 	analysistest.Run(t, analysistest.Testdata("lockcheck"), analysis.LockCheck)
 }
 
+// The errpath fixtures pair a seeded-bug file with a clean twin: a pin
+// leaked on an early error return and a latch left held in one switch
+// arm, next to the deferred/escaping/err-gated shapes that must stay
+// silent.
+func TestErrPath(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("errpath"), analysis.ErrPath)
+}
+
+// The lockorder fixtures seed a two-lock acquisition cycle, a tier
+// inversion against the sanctioned order, and a cross-call RLock
+// upgrade, with a clean twin that nests locks in sanctioned order.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata("lockorder"), analysis.LockOrder)
+}
+
 // TestSuiteNames pins the analyzer roster: //lint:ignore annotations
 // and DESIGN.md refer to these names, so renames must be deliberate.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"pinbalance", "vfsonly", "walonly", "corrupterr", "nopanic", "lockcheck"}
+	want := []string{"vfsonly", "walonly", "corrupterr", "nopanic", "lockcheck", "errpath", "lockorder"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -50,8 +61,8 @@ func TestSuiteNames(t *testing.T) {
 		if a.Doc == "" {
 			t.Errorf("analyzer %q has no Doc", a.Name)
 		}
-		if a.Run == nil {
-			t.Errorf("analyzer %q has no Run", a.Name)
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunProgram", a.Name)
 		}
 	}
 }

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the whole-program call graph the dataflow tier
+// walks. Nodes are function bodies (declared functions and function
+// literals) keyed by a stable string ID, so the same function has the
+// same identity whether it is seen source-checked in its own package or
+// through export data from an importing one. Direct calls resolve to
+// one callee; interface method calls devirtualize to every loaded type
+// implementing the interface (the engine's VFS and PageLogger seams),
+// which is what lets lock-set summaries flow through seam boundaries.
+
+// FuncID is a stable, package-qualified function identity:
+// "path.Func", "path.(Recv).Method", or "path.func@line" for literals.
+type FuncID string
+
+// FuncNode is one analyzable function body.
+type FuncNode struct {
+	ID   FuncID
+	Name string // short human name for diagnostics, e.g. "store.(*Pager).Get"
+	Pkg  *Package
+	Decl *ast.FuncDecl // nil for function literals
+	Body *ast.BlockStmt
+	Pos  token.Pos
+
+	cfg *CFG
+}
+
+// CFG returns the function's control-flow graph, built on first use.
+func (f *FuncNode) CFG() *CFG {
+	if f.cfg == nil {
+		f.cfg = NewCFG(f.Body, f.Pkg.Info)
+	}
+	return f.cfg
+}
+
+// CallGraph indexes every function body in the program and resolves
+// call expressions to callee IDs.
+type CallGraph struct {
+	prog  *Program
+	Funcs map[FuncID]*FuncNode
+	// Order is the deterministic iteration order of Funcs.
+	Order []FuncID
+
+	named       []namedType
+	devirtCache map[*types.Func][]FuncID
+	litIDs      map[*ast.FuncLit]FuncID
+}
+
+// namedType is one named type of a loaded package, a devirtualization
+// candidate.
+type namedType struct {
+	named *types.Named
+	pkg   *Package
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	cg := &CallGraph{
+		prog:        prog,
+		Funcs:       map[FuncID]*FuncNode{},
+		devirtCache: map[*types.Func][]FuncID{},
+		litIDs:      map[*ast.FuncLit]FuncID{},
+	}
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if n, ok := types.Unalias(tn.Type()).(*types.Named); ok {
+					cg.named = append(cg.named, namedType{named: n, pkg: pkg})
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				id := FuncID("")
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					id = typeFuncID(obj)
+				}
+				if id == "" {
+					id = FuncID(pkg.ImportPath + "." + fd.Name.Name)
+				}
+				cg.addFunc(&FuncNode{
+					ID:   id,
+					Name: funcTitle(pkg, fd),
+					Pkg:  pkg,
+					Decl: fd,
+					Body: fd.Body,
+					Pos:  fd.Pos(),
+				})
+			}
+			// Function literals are nodes of their own: a literal called
+			// directly (or deferred) links into the graph; one launched
+			// with `go` or stored in a variable is analyzed as a root.
+			pkg := pkg
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok || lit.Body == nil {
+					return true
+				}
+				pos := pkg.Fset.Position(lit.Pos())
+				id := FuncID(fmt.Sprintf("%s.func@%d:%d", pkg.ImportPath, pos.Line, pos.Column))
+				cg.litIDs[lit] = id
+				cg.addFunc(&FuncNode{
+					ID:   id,
+					Name: fmt.Sprintf("%s.func@%d", pkgBase(pkg.ImportPath), pos.Line),
+					Pkg:  pkg,
+					Body: lit.Body,
+					Pos:  lit.Pos(),
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(cg.Order, func(i, j int) bool { return cg.Order[i] < cg.Order[j] })
+	return cg
+}
+
+func (cg *CallGraph) addFunc(fn *FuncNode) {
+	if _, dup := cg.Funcs[fn.ID]; dup {
+		return
+	}
+	cg.Funcs[fn.ID] = fn
+	cg.Order = append(cg.Order, fn.ID)
+}
+
+// Callees resolves one call expression (appearing in pkg) to the IDs of
+// the function bodies it may invoke. Direct calls and method calls on
+// concrete types yield one callee; interface method calls yield every
+// loaded implementation; calls through function values yield none.
+func (cg *CallGraph) Callees(pkg *Package, call *ast.CallExpr) []FuncID {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		if id, ok := cg.litIDs[fun]; ok {
+			return []FuncID{id}
+		}
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return cg.known(typeFuncID(fn))
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if isInterfaceMethod(fn) {
+				return cg.devirtualize(fn)
+			}
+			return cg.known(typeFuncID(fn))
+		}
+		// Qualified call of a package-level function (pkg.Fn).
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if isInterfaceMethod(fn) {
+				return cg.devirtualize(fn)
+			}
+			return cg.known(typeFuncID(fn))
+		}
+	}
+	return nil
+}
+
+// known filters an ID down to functions we actually hold a body for.
+func (cg *CallGraph) known(id FuncID) []FuncID {
+	if id == "" {
+		return nil
+	}
+	if _, ok := cg.Funcs[id]; !ok {
+		return nil
+	}
+	return []FuncID{id}
+}
+
+// isInterfaceMethod reports whether fn's receiver is an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = types.Unalias(sig.Recv().Type()).Underlying().(*types.Interface)
+	return ok
+}
+
+// devirtualize maps an interface method to the matching concrete method
+// of every loaded type that implements the interface.
+func (cg *CallGraph) devirtualize(fn *types.Func) []FuncID {
+	if ids, ok := cg.devirtCache[fn]; ok {
+		return ids
+	}
+	var ids []FuncID
+	sig := fn.Type().(*types.Signature)
+	iface, ok := types.Unalias(sig.Recv().Type()).Underlying().(*types.Interface)
+	if ok {
+		for _, cand := range cg.named {
+			if _, isIface := cand.named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			ptr := types.NewPointer(cand.named)
+			if !types.Implements(cand.named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, cand.pkg.Types, fn.Name())
+			impl, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, id := range cg.known(typeFuncID(impl)) {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids = dedupIDs(ids)
+	cg.devirtCache[fn] = ids
+	return ids
+}
+
+func dedupIDs(ids []FuncID) []FuncID {
+	out := ids[:0]
+	var prev FuncID
+	for i, id := range ids {
+		if i == 0 || id != prev {
+			out = append(out, id)
+		}
+		prev = id
+	}
+	return out
+}
+
+// typeFuncID derives the stable ID of a declared function or method.
+func typeFuncID(fn *types.Func) FuncID {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := types.Unalias(sig.Recv().Type())
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(ptr.Elem())
+		}
+		if named, ok := t.(*types.Named); ok {
+			return FuncID(fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name())
+		}
+		return "" // interface or anonymous receiver: no single body
+	}
+	return FuncID(fn.Pkg().Path() + "." + fn.Name())
+}
+
+// funcTitle is the short diagnostic name of a declared function.
+func funcTitle(pkg *Package, fd *ast.FuncDecl) string {
+	base := pkgBase(pkg.ImportPath)
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return base + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return base + ".(" + id.Name + ")." + fd.Name.Name
+	}
+	return base + "." + fd.Name.Name
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural lock-ordering analyzer. From the
+// per-function lock-set summaries it derives the global acquisition
+// graph — an edge A → B for every place some path acquires B while A
+// may be held, including acquisitions buried in callees — and reports:
+//
+//   - cycles in the graph (potential deadlocks),
+//   - acquisitions that violate the engine's sanctioned tier order
+//     db → heap/btree → pager → wal,
+//   - read-to-write upgrades of the same RWMutex, both straight-line
+//     and across calls (Seek holds latch.RLock, callee takes Lock).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock-order cycles, tier inversions, and cross-call RLock upgrades",
+	RunProgram: func(pass *ProgramPass) error {
+		g := BuildLockOrder(pass.Prog)
+		for _, d := range g.problems(pass.Prog) {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+		return nil
+	},
+}
+
+// Lock tiers of the sanctioned acquisition order. Matching is by the
+// owning type's bare name so golden fixtures can model the engine's
+// hierarchy with local types. Lower rank = outer lock.
+var lockTiers = map[string]struct {
+	rank int
+	tier string
+}{
+	"DB":       {10, "db"},
+	"HeapFile": {20, "heap"},
+	"BTree":    {20, "btree"},
+	"Pager":    {30, "pager"},
+	"Log":      {40, "wal"},
+}
+
+const sanctionedOrder = "db → heap/btree → pager → wal"
+
+// lockTier resolves a lock to its policy tier; ok is false for locks
+// outside the sanctioned hierarchy.
+func lockTier(l LockID) (rank int, tier string, ok bool) {
+	owner := l.Owner
+	if i := strings.LastIndexByte(owner, '.'); i >= 0 {
+		owner = owner[i+1:]
+	}
+	t, ok := lockTiers[owner]
+	return t.rank, t.tier, ok
+}
+
+// LockOrderEdge is one witnessed acquisition-order edge: To was
+// acquired (possibly inside Via) while From was held.
+type LockOrderEdge struct {
+	From, To LockID
+	FromMode modeBits
+	ToMode   modeBits
+	Fn       string // function containing the witness site
+	Via      string // callee the acquisition was inherited from, "" if direct
+	Pos      token.Pos
+}
+
+// LockOrderGraph is the program's acquisition-order graph plus the
+// same-lock hazards found while building it.
+type LockOrderGraph struct {
+	Edges   []LockOrderEdge // cross-lock edges, deduplicated, stable order
+	hazards []diagRecord    // same-lock upgrade/recursion findings
+}
+
+type diagRecord struct {
+	pos token.Pos
+	msg string
+}
+
+// BuildLockOrder computes lock summaries for the program and assembles
+// the global acquisition-order graph. The lexequallint -graph mode
+// dumps it; the lockorder analyzer reports its problems.
+func BuildLockOrder(prog *Program) *LockOrderGraph {
+	ls := computeLockSummaries(prog)
+	g := &LockOrderGraph{}
+	type edgeKey struct {
+		from, to LockID
+	}
+	edges := map[edgeKey]*LockOrderEdge{}
+	addEdge := func(e LockOrderEdge) {
+		k := edgeKey{e.From, e.To}
+		if prev, ok := edges[k]; ok {
+			prev.FromMode |= e.FromMode
+			prev.ToMode |= e.ToMode
+			return
+		}
+		e2 := e
+		edges[k] = &e2
+	}
+	seenHazard := map[string]bool{}
+	hazard := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d:%s", pos, msg)
+		if seenHazard[key] {
+			return
+		}
+		seenHazard[key] = true
+		g.hazards = append(g.hazards, diagRecord{pos: pos, msg: msg})
+	}
+
+	for _, id := range ls.cg.Order {
+		s := ls.byID[id]
+		// Ordering constraints belong to the engine layers that manage
+		// the locks. A package-main driver making sequential API calls
+		// (BEGIN … INSERT … COMMIT) accumulates may-held handoff state
+		// that pairs locks the engine never nests, so drivers do not
+		// generate edges or hazards; their summaries still feed trans.
+		if s.fn.Pkg.Types.Name() == "main" {
+			continue
+		}
+		for _, a := range s.acquires {
+			l := a.op.lock
+			for h, hm := range a.held {
+				if h == l {
+					if hm&bitR != 0 && a.op.mode&bitW != 0 {
+						hazard(a.op.pos, "read-to-write upgrade: %s.Lock() while a read lock on %s may still be held (self-deadlock under a waiting writer)", l.Short(), l.Short())
+					} else if hm&bitW != 0 && a.op.mode&bitW != 0 {
+						hazard(a.op.pos, "recursive lock: %s acquired while already write-held (self-deadlock)", l.Short())
+					}
+					continue
+				}
+				addEdge(LockOrderEdge{From: h, To: l, FromMode: hm, ToMode: a.op.mode, Fn: s.fn.Name, Pos: a.op.pos})
+			}
+		}
+		for _, c := range s.calls {
+			if c.isGo || len(c.held) == 0 {
+				continue
+			}
+			for _, calleeID := range c.callees {
+				cs := ls.byID[calleeID]
+				if cs == nil {
+					continue
+				}
+				for l, te := range cs.trans {
+					for h, hm := range c.held {
+						// A lock the callee provably releases before the
+						// acquire is not nested around it (the WAL leader
+						// drops fmu before syncing under mu).
+						hm &= ^te.relBefore[h]
+						if hm == 0 {
+							continue
+						}
+						if h == l {
+							// Cross-call write-while-write recursion is left to the
+							// cycle check: may-join over branches makes a direct
+							// report here too noisy. The R→W upgrade is always a
+							// self-deadlock under a waiting writer, so report it.
+							if hm&bitR != 0 && te.bits&bitW != 0 {
+								hazard(c.pos, "read-to-write upgrade across call: %s acquires %s.Lock() while the caller may hold its read lock", cs.fn.Name, l.Short())
+							}
+							continue
+						}
+						addEdge(LockOrderEdge{From: h, To: l, FromMode: hm, ToMode: te.bits, Fn: s.fn.Name, Via: cs.fn.Name, Pos: c.pos})
+					}
+				}
+			}
+		}
+	}
+
+	for _, e := range edges {
+		g.Edges = append(g.Edges, *e)
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.From != b.From {
+			return a.From.String() < b.From.String()
+		}
+		return a.To.String() < b.To.String()
+	})
+	return g
+}
+
+// problems derives the analyzer's diagnostics from the graph: tier
+// inversions, acquisition cycles, and the collected same-lock hazards.
+func (g *LockOrderGraph) problems(prog *Program) []diagRecord {
+	var out []diagRecord
+	out = append(out, g.hazards...)
+
+	for _, e := range g.Edges {
+		fromRank, fromTier, okFrom := lockTier(e.From)
+		toRank, toTier, okTo := lockTier(e.To)
+		if !okFrom || !okTo || toRank >= fromRank {
+			continue
+		}
+		via := ""
+		if e.Via != "" {
+			via = fmt.Sprintf(" via %s", e.Via)
+		}
+		out = append(out, diagRecord{
+			pos: e.Pos,
+			msg: fmt.Sprintf("lock-order violation: %s (tier %s) acquired%s while holding %s (tier %s); sanctioned order is %s",
+				e.To.Short(), toTier, via, e.From.Short(), fromTier, sanctionedOrder),
+		})
+	}
+
+	for _, scc := range g.cycles() {
+		witness := make([]string, 0, len(scc))
+		pos := token.NoPos
+		for _, e := range scc {
+			if pos == token.NoPos || e.Pos < pos {
+				pos = e.Pos
+			}
+			via := ""
+			if e.Via != "" {
+				via = " via " + e.Via
+			}
+			witness = append(witness, fmt.Sprintf("%s → %s in %s%s at %s",
+				e.From.Short(), e.To.Short(), e.Fn, via, prog.Fset.Position(e.Pos)))
+		}
+		names := map[string]bool{}
+		for _, e := range scc {
+			names[e.From.Short()] = true
+			names[e.To.Short()] = true
+		}
+		locks := make([]string, 0, len(names))
+		for n := range names {
+			locks = append(locks, n)
+		}
+		sort.Strings(locks)
+		out = append(out, diagRecord{
+			pos: pos,
+			msg: fmt.Sprintf("lock-order cycle among %s: %s", strings.Join(locks, ", "), strings.Join(witness, "; ")),
+		})
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(out[i].pos), prog.Fset.Position(out[j].pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].msg < out[j].msg
+	})
+	return out
+}
+
+// cycles finds the strongly connected components of the edge graph with
+// more than one lock, returning each component's internal edges.
+func (g *LockOrderGraph) cycles() [][]LockOrderEdge {
+	succs := map[LockID][]LockID{}
+	nodes := map[LockID]bool{}
+	for _, e := range g.Edges {
+		succs[e.From] = append(succs[e.From], e.To)
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	order := make([]LockID, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+
+	// Tarjan's algorithm, iterative enough for our graph sizes via
+	// recursion with an explicit depth guard.
+	index := map[LockID]int{}
+	low := map[LockID]int{}
+	onStack := map[LockID]bool{}
+	var stack []LockID
+	next := 0
+	var comps [][]LockID
+	var strongconnect func(v LockID)
+	strongconnect = func(v LockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []LockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	var out [][]LockOrderEdge
+	for _, comp := range comps {
+		in := map[LockID]bool{}
+		for _, n := range comp {
+			in[n] = true
+		}
+		var edges []LockOrderEdge
+		for _, e := range g.Edges {
+			if in[e.From] && in[e.To] {
+				edges = append(edges, e)
+			}
+		}
+		out = append(out, edges)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i][0].From.String() < out[j][0].From.String()
+	})
+	return out
+}
+
+// DOT renders the acquisition graph for `lexequallint -graph`.
+func (g *LockOrderGraph) DOT(prog *Program) string {
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	nodes := map[LockID]bool{}
+	for _, e := range g.Edges {
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	for _, l := range sortedLockIDs(nodes) {
+		label := l.Short()
+		attrs := ""
+		if _, tier, ok := lockTier(l); ok {
+			attrs = fmt.Sprintf(", group=%q", tier)
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", l.String(), label, attrs)
+	}
+	for _, e := range g.Edges {
+		label := fmt.Sprintf("%s @ %s", e.Fn, prog.Fset.Position(e.Pos))
+		if e.Via != "" {
+			label += " via " + e.Via
+		}
+		style := ""
+		fromRank, _, okFrom := lockTier(e.From)
+		toRank, _, okTo := lockTier(e.To)
+		if okFrom && okTo && toRank < fromRank {
+			style = ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", e.From.String(), e.To.String(), label, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sortedLockIDs(m map[LockID]bool) []LockID {
+	out := make([]LockID, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sync"
+)
+
+// Program is the whole-engine view a dataflow analyzer works on: every
+// loaded package plus the call graph spanning them. Per-package
+// analyzers see syntax; program analyzers see flow.
+type Program struct {
+	Pkgs []*Package
+	Fset *token.FileSet
+
+	byFile map[string]*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
+}
+
+// NewProgram assembles a program over packages that share one FileSet
+// (which everything produced by Load does).
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Pkgs: pkgs, byFile: map[string]*Package{}}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			p.byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	return p
+}
+
+// PackageAt returns the package owning the file containing pos, or nil.
+func (p *Program) PackageAt(pos token.Position) *Package {
+	return p.byFile[pos.Filename]
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (p *Program) CallGraph() *CallGraph {
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p) })
+	return p.cg
+}
+
+// ProgramPass carries one program analyzer's reporting context.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //lint:ignore annotation in
+// the owning package covers it.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	if pkg := p.Prog.PackageAt(position); pkg != nil && pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunProgramAnalyzer applies one program-level analyzer to the program.
+func RunProgramAnalyzer(prog *Program, a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &diags}
+	if err := a.RunProgram(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return diags, nil
+}

@@ -1,0 +1,99 @@
+package lockorder
+
+import "sync"
+
+// The clean twin: nesting that follows the sanctioned order
+// db → heap/btree → pager → wal produces no findings. It uses the
+// db/btree/wal tiers so its edges stay disjoint from the seeded
+// violations in lockorder.go.
+
+type DB struct{ qmu sync.RWMutex }
+
+type BTree struct{ latch sync.RWMutex }
+
+func sanctioned(d *DB, t *BTree, l *Log) {
+	d.qmu.Lock()
+	t.latch.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	t.latch.Unlock()
+	d.qmu.Unlock()
+}
+
+// sanctionedViaCall nests the same tiers one call deep.
+func appendWAL(l *Log) {
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+func sanctionedViaCall(d *DB, l *Log) {
+	d.qmu.RLock()
+	appendWAL(l)
+	d.qmu.RUnlock()
+}
+
+// handover releases before re-acquiring: no held-across edge, no
+// upgrade, even though both modes of the same latch appear.
+func (t *BTree) handover() {
+	t.latch.RLock()
+	t.latch.RUnlock()
+	t.latch.Lock()
+	t.latch.Unlock()
+}
+
+// leader/leaderLocked mirror the WAL group-commit shape: the caller
+// holds the inner-tier latch, and the *Locked helper provably drops it
+// before entering the outer db tier, then retakes it. The analyzer must
+// see the must-release and not report a latch → qmu inversion.
+func leader(d *DB, t *BTree) {
+	t.latch.Lock()
+	leaderLocked(d, t)
+	t.latch.Unlock()
+}
+
+func leaderLocked(d *DB, t *BTree) {
+	t.latch.Unlock()
+	d.qmu.Lock()
+	d.qmu.Unlock()
+	t.latch.Lock()
+}
+
+// lockTree hands its lock to the caller as an unlock closure, the
+// session idiom: the caller releases by invoking the returned value.
+func lockTree(t *BTree) func() {
+	t.latch.RLock()
+	return t.latch.RUnlock
+}
+
+// closureRelease invokes the returned closure before entering the outer
+// db tier: the call through the local variable is the release, so no
+// latch → qmu inversion exists.
+func closureRelease(d *DB, t *BTree) {
+	unlock := lockTree(t)
+	unlock()
+	d.qmu.Lock()
+	d.qmu.Unlock()
+}
+
+// session stores the unlock closure in a field across calls, the
+// Session.txUnlock idiom; invoking the field releases the latch.
+type session struct {
+	unlock func()
+}
+
+func (s *session) begin(t *BTree) {
+	s.unlock = lockTree(t)
+}
+
+func (s *session) end(d *DB) {
+	s.unlock()
+	d.qmu.Lock()
+	d.qmu.Unlock()
+}
+
+// beginEnd carries the handed-off latch between the calls; end releases
+// it through the stored field before taking the outer db-tier lock.
+func beginEnd(d *DB, t *BTree, s *session) {
+	s.begin(t)
+	s.end(d)
+}

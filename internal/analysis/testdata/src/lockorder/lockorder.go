@@ -1,0 +1,81 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// a seeded two-lock acquisition cycle, a tier inversion against the
+// sanctioned order (direct and through a call), and read-to-write
+// upgrades of one RWMutex, straight-line and across a call. The type
+// names Pager/HeapFile/Log deliberately mirror the engine's so the
+// suffix-matched tier policy applies to them.
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+// abba1 and abba2 acquire the same two locks in opposite orders: the
+// classic deadlock seed the cycle detector must catch.
+func abba1(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock-order cycle among lockorder\.a\.mu, lockorder\.b\.mu`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func abba2(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type Pager struct{ mu sync.Mutex }
+
+type HeapFile struct{ latch sync.RWMutex }
+
+type Log struct{ mu sync.Mutex }
+
+// inverted takes a heap-tier latch while already inside the pager
+// tier: the sanctioned order is db → heap/btree → pager → wal.
+func inverted(p *Pager, h *HeapFile) {
+	p.mu.Lock()
+	h.latch.Lock() // want `lock-order violation: lockorder\.HeapFile\.latch \(tier heap\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is db → heap/btree → pager → wal`
+	h.latch.Unlock()
+	p.mu.Unlock()
+}
+
+func flushPager(p *Pager) {
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// invertedViaCall violates the order one call deep: the wal tier is
+// held while the callee enters the pager tier.
+func invertedViaCall(l *Log, p *Pager) {
+	l.mu.Lock()
+	flushPager(p) // want `lock-order violation: lockorder\.Pager\.mu \(tier pager\) acquired via lockorder\.flushPager while holding lockorder\.Log\.mu \(tier wal\)`
+	l.mu.Unlock()
+}
+
+type index struct{ latch sync.RWMutex }
+
+func (ix *index) grow() {
+	ix.latch.Lock()
+	ix.latch.Unlock()
+}
+
+// lookup upgrades its read lock by calling grow, which takes the write
+// lock: self-deadlock as soon as another writer is queued.
+func (ix *index) lookup() int {
+	ix.latch.RLock()
+	ix.grow() // want `read-to-write upgrade across call: lockorder\.\(index\)\.grow acquires lockorder\.index\.latch\.Lock\(\) while the caller may hold its read lock`
+	ix.latch.RUnlock()
+	return 0
+}
+
+// upgrade does the same in a straight line.
+func (ix *index) upgrade() {
+	ix.latch.RLock()
+	ix.latch.Lock() // want `read-to-write upgrade: lockorder\.index\.latch\.Lock\(\) while a read lock on lockorder\.index\.latch may still be held`
+	ix.latch.Unlock()
+	ix.latch.RUnlock()
+}

@@ -41,7 +41,7 @@ func forcedWriteback(pg *Pager) error {
 	if err := pg.Flush(); err != nil { // want `direct Pager\.Flush outside the storage/WAL layers`
 		return err
 	}
-	pg.Get(1) // reads are fine
+	pg.Get(1)         // reads are fine
 	return pg.Close() // want `direct Pager\.Close outside the storage/WAL layers`
 }
 

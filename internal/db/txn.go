@@ -59,6 +59,7 @@ func (d *DB) Begin() (*Tx, error) {
 	if err := d.usable(); err != nil {
 		return nil, err
 	}
+	//lint:ignore errpath txmu is handed off to the returned Tx: held for the transaction's lifetime, released by Commit or Rollback
 	d.txmu.Lock()
 	if err := d.usable(); err != nil {
 		d.txmu.Unlock()
