@@ -6,7 +6,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json lockgraph test race fuzz-smoke bench serve-smoke crash-smoke ci clean
+.PHONY: all build vet lint lint-json lockgraph test race fuzz-smoke bench bench-smoke serve-smoke crash-smoke ci clean
 
 all: build
 
@@ -44,11 +44,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Quick run of the §5 workload benchmark (DESIGN.md §9). Writes
-# BENCH_PR3.json and fails if any parallel run diverges from serial,
-# so it doubles as a determinism smoke test.
+# Full run of the §5 workload benchmark (DESIGN.md §9, §14). Writes
+# BENCH_PR8.json with per-kernel (scalar vs bit-parallel) ns/op and
+# fails if any parallel run diverges from serial or any bitvec result
+# diverges from scalar.
 bench:
-	$(GO) run ./cmd/lexequalbench -quick -out BENCH_PR3.json
+	$(GO) run ./cmd/lexequalbench -out BENCH_PR8.json
+
+# Shortened benchmark run. The binary exits non-zero unless results are
+# identical across every (kernel, workers) pair, so this target is the
+# bitvec/scalar identity assertion in the CI gate.
+bench-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/lexequalbench -quick -out results/BENCH_smoke.json
 
 # Run each native fuzz target briefly; a regression in either parser
 # robustness, TTP conversion, or WAL replay shows up here before a long
@@ -57,6 +65,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSQLParse -fuzztime $(FUZZTIME) ./internal/sql/
 	$(GO) test -run '^$$' -fuzz FuzzTTPConvert -fuzztime $(FUZZTIME) ./internal/ttp/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime $(FUZZTIME) ./internal/editdist/
 
 # End-to-end smoke of lexequald (DESIGN.md §10): spawn a server, run a
 # mixed workload through the network client, SIGTERM, require a clean
@@ -71,7 +80,7 @@ crash-smoke:
 	$(GO) test -run 'CrashTorture|RecoveryIdempotent|CrashDuringRecovery|BoundedRecovery|CheckpointENOSPC' -count=1 ./internal/db/
 	$(GO) test -run 'GroupCommit|Checkpoint' -count=1 ./internal/server/
 
-ci: vet build lint race fuzz-smoke serve-smoke crash-smoke bench
+ci: vet build lint race fuzz-smoke serve-smoke crash-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

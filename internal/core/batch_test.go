@@ -1,0 +1,266 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"lexequal/internal/phoneme"
+)
+
+// batchRows builds a row set that exercises the batch layout edge
+// cases: nil rows, explicit zero-length rows, single-phoneme rows, and
+// enough transformed rows that indices straddle a morsel boundary
+// (255/256/257).
+func batchRows(t *testing.T, op *Operator) []phoneme.String {
+	t.Helper()
+	var rows []phoneme.String
+	rows = append(rows, nil, phoneme.String{}) // 0, 1: zero-length forms
+	for _, txt := range bigCatalog() {
+		if !op.Registry().Has(txt.Lang) {
+			rows = append(rows, nil) // NORESOURCE rows materialize as nil
+			continue
+		}
+		p, err := op.Transform(txt.Value, txt.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, p)
+	}
+	if len(rows) <= MorselSize+1 {
+		t.Fatalf("row set too small to straddle a morsel boundary: %d", len(rows))
+	}
+	// Plant zero-length rows exactly at the boundary.
+	rows[MorselSize-1] = nil
+	rows[MorselSize] = phoneme.String{}
+	return rows
+}
+
+// TestBatchRoundTrip is the batch materialization property test: every
+// candidate read back through the columnar views is byte-identical to
+// the row-at-a-time source, including zero-length strings and rows at
+// morsel boundaries, for every (kernel, sigQ) column configuration.
+func TestBatchRoundTrip(t *testing.T) {
+	op := newOp(t)
+	rows := batchRows(t, op)
+	for _, k := range []Kernel{KernelAuto, KernelScalar, KernelBitvec} {
+		for _, sigQ := range []int{0, 2, 3} {
+			b := op.BuildBatch(rows, k, sigQ)
+			if b.Len() != len(rows) {
+				t.Fatalf("k=%v q=%d: Len = %d, want %d", k, sigQ, b.Len(), len(rows))
+			}
+			for i, want := range rows {
+				got := b.View(i)
+				if len(want) == 0 {
+					if got != nil {
+						t.Fatalf("k=%v q=%d row %d: zero-length row viewed as %v", k, sigQ, i, got)
+					}
+				} else if !reflect.DeepEqual(got, want) {
+					t.Fatalf("k=%v q=%d row %d: view %v != source %v", k, sigQ, i, got, want)
+				}
+				if b.phon.RowLen(i) != len(want) {
+					t.Fatalf("k=%v q=%d row %d: RowLen %d != %d", k, sigQ, i, b.phon.RowLen(i), len(want))
+				}
+				if sigQ > 0 {
+					if wantPr := len(op.encoder.Project(want)); b.ProjLen(i) != wantPr {
+						t.Fatalf("k=%v q=%d row %d: ProjLen %d != %d", k, sigQ, i, b.ProjLen(i), wantPr)
+					}
+				}
+			}
+			if (sigQ > 0) != (b.gsig != nil) {
+				t.Fatalf("k=%v q=%d: prefilter columns present=%v", k, sigQ, b.gsig != nil)
+			}
+			if k == KernelScalar && b.ksig != nil {
+				t.Fatalf("scalar batch built kernel signatures")
+			}
+		}
+	}
+}
+
+// TestCorpusBatchMatchesRowAtATime pins the corpus batch to the
+// row-at-a-time transforms: Phonemes(i) (a batch view) must equal the
+// operator's direct transform for every row, and stay nil for skipped
+// rows.
+func TestCorpusBatchMatchesRowAtATime(t *testing.T) {
+	op := newOp(t)
+	c := buildBigCorpus(t, op)
+	for i := 0; i < c.Len(); i++ {
+		txt := c.Text(i)
+		if !op.Registry().Has(txt.Lang) {
+			if c.Phonemes(i) != nil {
+				t.Fatalf("row %d: NORESOURCE row has phonemes %v", i, c.Phonemes(i))
+			}
+			continue
+		}
+		want, err := op.Transform(txt.Value, txt.Lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Phonemes(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("row %d (%v): batch view %v != transform %v", i, txt, got, want)
+		}
+	}
+}
+
+// kernelChoices are the settings the determinism contract quantifies
+// over.
+func kernelChoices() []Kernel { return []Kernel{KernelScalar, KernelAuto, KernelBitvec} }
+
+// TestSelectDeterministicAcrossKernels is the PR's core contract:
+// results are byte-identical across every (kernel, workers) pair, raw
+// Stats are identical across worker counts within a kernel, and the
+// kernel-independent Canon view is identical across kernels.
+func TestSelectDeterministicAcrossKernels(t *testing.T) {
+	op := newOp(t)
+	c := buildBigCorpus(t, op)
+	queries := []Text{en("Nehru"), en("Gandhi"), en("narula"), en("kathy")}
+	for _, strat := range []Strategy{Naive, QGram, Indexed} {
+		for _, q := range queries {
+			base, baseSt, err := c.Select(q, 0.30, nil, strat, WithKernel(KernelScalar), Parallel(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range kernelChoices() {
+				var kernelBase Stats
+				for wi, w := range []int{1, 2, 4} {
+					got, st, err := c.Select(q, 0.30, nil, strat, WithKernel(k), Parallel(w))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("%v %v kernel=%v workers=%d: results %v != scalar serial %v", strat, q, k, w, got, base)
+					}
+					if wi == 0 {
+						kernelBase = st
+					} else if st != kernelBase {
+						t.Errorf("%v %v kernel=%v workers=%d: stats %+v != serial %+v", strat, q, k, w, st, kernelBase)
+					}
+					if st.Canon() != baseSt.Canon() {
+						t.Errorf("%v %v kernel=%v workers=%d: canon stats %+v != scalar %+v", strat, q, k, w, st.Canon(), baseSt.Canon())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinDeterministicAcrossKernels extends the contract to joins.
+func TestJoinDeterministicAcrossKernels(t *testing.T) {
+	op := newOp(t)
+	c := buildBigCorpus(t, op)
+	for _, strat := range []Strategy{Naive, QGram, Indexed} {
+		base, baseSt, err := SelfJoin(c, 0.20, false, strat, WithKernel(KernelScalar), Parallel(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range kernelChoices() {
+			var kernelBase Stats
+			for wi, w := range []int{1, 2, 4} {
+				got, st, err := SelfJoin(c, 0.20, false, strat, WithKernel(k), Parallel(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("%v kernel=%v workers=%d: pairs diverge from scalar serial", strat, k, w)
+				}
+				if wi == 0 {
+					kernelBase = st
+				} else if st != kernelBase {
+					t.Errorf("%v kernel=%v workers=%d: stats %+v != serial %+v", strat, k, w, st, kernelBase)
+				}
+				if st.Canon() != baseSt.Canon() {
+					t.Errorf("%v kernel=%v workers=%d: canon stats %+v != scalar %+v", strat, k, w, st.Canon(), baseSt.Canon())
+				}
+			}
+		}
+	}
+}
+
+// TestKernelEngagesAndCounts proves the dispatch paths through the new
+// counters: the default (dyadic) model engages the bit-parallel kernel
+// under Auto, and a non-dyadic model transparently falls back to scalar
+// with ScalarFallbacks accounting for every verification.
+func TestKernelEngagesAndCounts(t *testing.T) {
+	op := newOp(t)
+	c := buildBigCorpus(t, op)
+	if op.ResolveKernel(KernelAuto) != KernelBitvec {
+		t.Fatal("default model did not resolve to the bit-parallel kernel")
+	}
+	_, st, err := c.Select(en("Nehru"), 0.30, nil, Naive, WithKernel(KernelAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BitvecOps == 0 {
+		t.Errorf("bit-parallel kernel did no work: %+v", st)
+	}
+	_, sst, err := c.Select(en("Nehru"), 0.30, nil, Naive, WithKernel(KernelScalar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.BitvecOps != 0 || sst.ScalarFallbacks != 0 {
+		t.Errorf("explicit scalar kernel ticked kernel counters: %+v", sst)
+	}
+
+	// ICSC 0.3 does not quantize to a dyadic cost domain: the kernel
+	// must refuse to compile and every verification must fall back.
+	nop := MustNew(Options{ICSC: 0.3})
+	if nop.ResolveKernel(KernelBitvec) != KernelScalar {
+		t.Fatal("non-dyadic model resolved to the bit-parallel kernel")
+	}
+	nc, err := nop.NewCorpus(bigCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantSt, err := nc.Select(en("Nehru"), 0.30, nil, Naive, WithKernel(KernelScalar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSt, err := nc.Select(en("Nehru"), 0.30, nil, Naive, WithKernel(KernelBitvec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("non-dyadic bitvec request diverges from scalar: %v vs %v", got, want)
+	}
+	if gotSt.BitvecOps != 0 {
+		t.Errorf("non-dyadic model did bit-parallel work: %+v", gotSt)
+	}
+	if gotSt.ScalarFallbacks != gotSt.Candidates || gotSt.ScalarFallbacks == 0 {
+		t.Errorf("fallback counter %d != candidates %d", gotSt.ScalarFallbacks, gotSt.Candidates)
+	}
+	if wantSt.Canon() != gotSt.Canon() {
+		t.Errorf("canon stats diverge: %+v vs %+v", wantSt.Canon(), gotSt.Canon())
+	}
+}
+
+// TestJoinCrossModelFallsBackToScalar pins the cross-operator safety
+// gate: a join whose sides use different cost models must not consume
+// the right batch's kernel signatures (they were built under the wrong
+// model), so the bit-parallel path stays off even when requested.
+func TestJoinCrossModelFallsBackToScalar(t *testing.T) {
+	left := MustNew(Options{ICSC: 0.25})
+	right := MustNew(Options{ICSC: 0.5})
+	lc, err := left.NewCorpus(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := right.NewCorpus(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{Naive, QGram, Indexed} {
+		want, _, err := Join(lc, rc, 0.30, false, strat, WithKernel(KernelScalar))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := Join(lc, rc, 0.30, false, strat, WithKernel(KernelBitvec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: cross-model join diverges across kernels", strat)
+		}
+		if st.BitvecOps != 0 {
+			t.Errorf("%v: cross-model join did bit-parallel work: %+v", strat, st)
+		}
+	}
+}

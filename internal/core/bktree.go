@@ -46,10 +46,11 @@ const metricQuantum = 0.25
 func (c *Corpus) NewMetricIndex() *MetricIndex {
 	mi := &MetricIndex{op: c.op, quantum: metricQuantum}
 	for i := range c.texts {
-		if c.phon[i] == nil {
+		p := c.Phonemes(i)
+		if p == nil {
 			continue
 		}
-		mi.insert(i, c.phon[i])
+		mi.insert(i, p)
 	}
 	return mi
 }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"lexequal/internal/editdist"
+	"lexequal/internal/phoneme"
+	"lexequal/internal/qgram"
+)
+
+// Kernel selects how the edit-distance verification stage executes.
+// The choice never changes results: the bit-parallel kernel either
+// decides a pair with the scalar kernel's exact outcome or defers the
+// pair to the scalar kernel (see editdist.Bitvec).
+type Kernel uint8
+
+// Verification kernels.
+const (
+	KernelAuto   Kernel = iota // bit-parallel when the cost model compiles
+	KernelScalar               // always the scalar banded DP
+	KernelBitvec               // bit-parallel requested explicitly
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelScalar:
+		return "scalar"
+	case KernelBitvec:
+		return "bitvec"
+	default:
+		return fmt.Sprintf("Kernel(%d)", uint8(k))
+	}
+}
+
+// ParseKernel resolves a kernel name from CLI/SQL settings.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "scalar", "dp":
+		return KernelScalar, nil
+	case "bitvec", "bitvector", "myers":
+		return KernelBitvec, nil
+	default:
+		return KernelAuto, fmt.Errorf("core: unknown kernel %q", s)
+	}
+}
+
+// ResolveKernel reports which kernel will verify under this operator's
+// cost model: Auto and Bitvec engage the bit-parallel kernel only when
+// the model compiles (dyadic parameters), otherwise everything runs on
+// the scalar path. Patterns longer than one machine word still fall
+// back per query at runtime; this is the model-level decision EXPLAIN
+// shows.
+func (op *Operator) ResolveKernel(k Kernel) Kernel {
+	if k != KernelScalar {
+		if _, ok := editdist.NewBitvec(op.cost); ok {
+			return KernelBitvec
+		}
+	}
+	return KernelScalar
+}
+
+// compileKernel builds a bit-parallel kernel instance for the knob, or
+// nil when the scalar path was chosen or the model is not
+// bit-parallelizable.
+func (op *Operator) compileKernel(k Kernel) *editdist.Bitvec {
+	if k == KernelScalar {
+		return nil
+	}
+	bv, ok := editdist.NewBitvec(op.cost)
+	if !ok {
+		return nil
+	}
+	return bv
+}
+
+// BatchMatcher verifies batch rows against one query pattern: the
+// bit-parallel kernel decides most pairs outright, and undecided pairs
+// (gray zone, oversized patterns, non-dyadic models) run the scalar DP,
+// counted as ScalarFallbacks whenever a kernel was requested — the
+// counter that proves the dispatch path. A matcher whose pattern is
+// fixed for the whole scan may be shared by concurrent lanes (Decide
+// only reads); pattern-varying probes must use a lane-private matcher
+// (SetPattern mutates kernel state).
+type BatchMatcher struct {
+	op    *Operator
+	bv    *editdist.Bitvec
+	ready bool // bv is prepared for the current pattern
+	tick  bool // a kernel was requested: count scalar verifications
+	qp    phoneme.String
+	e     float64
+}
+
+// NewBatchMatcher compiles a matcher with a fixed query pattern, for
+// scans where every candidate compares against the same string.
+func (op *Operator) NewBatchMatcher(qp phoneme.String, threshold float64, k Kernel) *BatchMatcher {
+	m := &BatchMatcher{op: op, bv: op.compileKernel(k), tick: k != KernelScalar}
+	m.SetPattern(qp, threshold)
+	return m
+}
+
+// NewLaneMatcher builds a matcher over the lane-private kernel for
+// pattern-varying probes (joins): call SetPattern before each probe
+// row. The kernel instance is cached on the lane, so re-preparing costs
+// only the sparse mask reset.
+func (op *Operator) NewLaneMatcher(ln *Lane, k Kernel) *BatchMatcher {
+	m := &BatchMatcher{op: op, tick: k != KernelScalar}
+	if k != KernelScalar {
+		m.bv = ln.kernel(op)
+	}
+	return m
+}
+
+// SetPattern re-prepares the matcher for a new query pattern.
+func (m *BatchMatcher) SetPattern(qp phoneme.String, threshold float64) {
+	m.qp, m.e = qp, threshold
+	m.ready = m.bv != nil && m.bv.Prepare(qp)
+}
+
+// Bitvec reports whether the bit-parallel kernel is engaged for the
+// current pattern.
+func (m *BatchMatcher) Bitvec() bool { return m.ready }
+
+// Match verifies batch row i under the Figure 8 bound (distance ≤
+// threshold × shorter length), accumulating kernel counters into the
+// lane. The batch's signature column must come from the same cost
+// model as the matcher's kernel (both derive from one operator).
+func (m *BatchMatcher) Match(b *Batch, i int, ln *Lane) bool {
+	cand := b.phon.View(i)
+	if m.ready && b.ksig != nil {
+		smaller := len(m.qp)
+		if len(cand) < smaller {
+			smaller = len(cand)
+		}
+		matched, decided, ops := m.bv.Decide(cand, int(b.wk[i]), b.ksig[i], m.e*float64(smaller))
+		ln.Stats.BitvecOps += ops
+		if decided {
+			return matched
+		}
+	}
+	if m.tick {
+		ln.Stats.ScalarFallbacks++
+	}
+	return m.op.MatchPhonemesScratch(m.qp, cand, m.e, ln.Scratch)
+}
+
+// SigFilter is the query-side state of the batched q-gram signature
+// prefilter: projected-space length and Bloom gram-count checks decided
+// from per-row batch columns with a couple of word operations, before
+// any kernel work. Its projected-edit budget is the pair's edit bound
+// plus both strings' weak counts: the default cluster set places
+// glottals in the same cluster as dorsal obstruents, so a cheap edit
+// (ICSC substitution or discounted glottal indel) can change the
+// glottal-dropping projection by one full unit — each glottal of either
+// string accounts for at most one such unit, making the slacked budget
+// sound where the unslacked one would falsely dismiss pairs like
+// /ha/~/ka/. Coarser than the q-gram strategy's exact positional
+// filter, but sound against the verified clustered distance.
+type SigFilter struct {
+	qlen  int
+	qproj int
+	qweak int
+	qsig  uint64
+	q     int
+	e     float64
+}
+
+// NewSigFilter prepares the prefilter for one query pattern; the batch
+// side must have been built with sigQ = q.
+func (op *Operator) NewSigFilter(qp phoneme.String, threshold float64, q int) SigFilter {
+	pr := op.encoder.Project(qp)
+	return SigFilter{
+		qlen:  len(qp),
+		qproj: len(pr),
+		qweak: editdist.WeakCount(qp),
+		qsig:  qgram.Signature(pr, q),
+		q:     q,
+		e:     threshold,
+	}
+}
+
+// Admit reports whether batch row i can possibly match within the
+// threshold; a false return is a proven dismissal and bumps PrunedSig.
+// Batches without prefilter columns admit everything.
+func (sf *SigFilter) Admit(b *Batch, i int, st *Stats) bool {
+	if b.gsig == nil {
+		return true
+	}
+	smaller := sf.qlen
+	if n := b.phon.RowLen(i); n < smaller {
+		smaller = n
+	}
+	k := sf.e*float64(smaller) + float64(sf.qweak+int(b.wk[i]))
+	if !qgram.LengthOK(sf.qproj, int(b.plen[i]), k) {
+		st.PrunedSig++
+		return false
+	}
+	if need := qgram.CountThreshold(sf.qproj, int(b.plen[i]), sf.q, k); need > 0 &&
+		qgram.MaxShared(sf.qsig, b.gsig[i], sf.qproj+sf.q-1) < need {
+		st.PrunedSig++
+		return false
+	}
+	return true
+}

@@ -13,6 +13,7 @@ import (
 	"lexequal/internal/editdist"
 	"lexequal/internal/phoneme"
 	"lexequal/internal/script"
+	"lexequal/internal/soundex"
 	"lexequal/internal/ttp"
 )
 
@@ -93,6 +94,7 @@ type Operator struct {
 	registry  *ttp.Registry
 	clusters  *phoneme.Clusters
 	cost      editdist.CostModel
+	encoder   *soundex.Encoder // shared projection/grouping encoder
 	icsc      float64
 	weak      float64
 	threshold float64
@@ -144,6 +146,7 @@ func New(opts Options) (*Operator, error) {
 		registry:  reg,
 		clusters:  cl,
 		cost:      cost,
+		encoder:   soundex.NewEncoder(cl),
 		icsc:      icsc,
 		weak:      weak,
 		threshold: thr,

@@ -14,6 +14,7 @@ type ExecOption func(*execOpts)
 
 type execOpts struct {
 	workers int
+	kernel  Kernel
 }
 
 // Parallel runs the strategy's candidate loop on a morsel-driven worker
@@ -25,8 +26,17 @@ func Parallel(workers int) ExecOption {
 	return func(o *execOpts) { o.workers = workers }
 }
 
+// WithKernel selects the verification kernel (Auto by default). Like
+// Parallel, it never changes what a strategy returns: the bit-parallel
+// kernel's decisions are exact, and after Stats.Canon (which masks the
+// kernel-dependent work counters) Stats too are identical across
+// kernels.
+func WithKernel(k Kernel) ExecOption {
+	return func(o *execOpts) { o.kernel = k }
+}
+
 func resolveOpts(opts []ExecOption) execOpts {
-	o := execOpts{workers: 1}
+	o := execOpts{workers: 1, kernel: KernelAuto}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -49,6 +59,24 @@ const MorselSize = 256
 type Lane struct {
 	Scratch *editdist.Scratch
 	Stats   Stats
+
+	// bv is the lane-private bit-parallel kernel for pattern-varying
+	// probes (joins re-Prepare it per probe row, which mutates kernel
+	// state and so cannot share one instance across lanes). Built on
+	// first use; bvInit caches the "model does not compile" nil too.
+	bv     *editdist.Bitvec
+	bvInit bool
+}
+
+// kernel returns the lane-private bit-parallel kernel, compiling it
+// from the operator's cost model on first use (nil when the model is
+// not bit-parallelizable).
+func (ln *Lane) kernel(op *Operator) *editdist.Bitvec {
+	if !ln.bvInit {
+		ln.bv, _ = editdist.NewBitvec(op.cost)
+		ln.bvInit = true
+	}
+	return ln.bv
 }
 
 func (ln *Lane) harvest() Stats {

@@ -172,16 +172,21 @@ func TestStageCounters(t *testing.T) {
 		t.Errorf("counters inconsistent: rows %d != pruned(len) %d + pruned(count) %d + candidates %d",
 			st.Rows, st.PrunedLength, st.PrunedCount, st.Candidates)
 	}
-	// Naive never prunes.
+	// Naive never touches the q-gram index filters, but its batched
+	// signature prefilter accounts for every row it dismisses.
 	_, stn, err := c.Select(en("Nehru"), 0.25, nil, Naive)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stn.PrunedLength != 0 || stn.PrunedCount != 0 {
-		t.Errorf("naive scan pruned: %+v", stn)
+		t.Errorf("naive scan used q-gram index filters: %+v", stn)
 	}
-	if stn.Rows != stn.Candidates {
-		t.Errorf("naive rows %d != candidates %d", stn.Rows, stn.Candidates)
+	if stn.Rows != stn.PrunedSig+stn.Candidates {
+		t.Errorf("naive rows %d != pruned(sig) %d + candidates %d",
+			stn.Rows, stn.PrunedSig, stn.Candidates)
+	}
+	if stn.PrunedSig == 0 {
+		t.Error("signature prefilter pruned nothing on the big corpus")
 	}
 }
 

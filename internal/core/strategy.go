@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lexequal/internal/editdist"
 	"lexequal/internal/phoneme"
 	"lexequal/internal/qgram"
 	"lexequal/internal/script"
@@ -79,8 +80,13 @@ type Stats struct {
 
 	PrunedLength int   // candidates dismissed by the q-gram length filter
 	PrunedCount  int   // candidates dismissed by the q-gram count filter
-	DPCells      int64 // DP cells evaluated during verification
+	PrunedSig    int   // candidates dismissed by the batched signature prefilter
+	DPCells      int64 // scalar DP cells evaluated during verification
 	SigCacheHits int   // join probes served from the corpus signature cache
+
+	BitvecOps       int64 // 64-cell word operations of the bit-parallel kernel
+	ScalarFallbacks int   // verifications the requested kernel deferred to the scalar DP
+	BatchesBuilt    int   // columnar candidate batches materialized
 }
 
 // Add accumulates another Stats into s (used to merge per-worker stats
@@ -91,21 +97,40 @@ func (s *Stats) Add(o Stats) {
 	s.Matches += o.Matches
 	s.PrunedLength += o.PrunedLength
 	s.PrunedCount += o.PrunedCount
+	s.PrunedSig += o.PrunedSig
 	s.DPCells += o.DPCells
 	s.SigCacheHits += o.SigCacheHits
+	s.BitvecOps += o.BitvecOps
+	s.ScalarFallbacks += o.ScalarFallbacks
+	s.BatchesBuilt += o.BatchesBuilt
+}
+
+// Canon returns the kernel-independent view of the stats: the work
+// counters that legitimately differ between the scalar and bit-parallel
+// kernels (DP cells, word ops, fallback dispatches) are masked, and
+// everything that must be byte-identical across every (kernel, workers)
+// pair — row, prune, candidate and match accounting — is kept. The
+// determinism tests and the bench audit compare Canon views across
+// kernels and raw Stats across worker counts.
+func (s Stats) Canon() Stats {
+	s.DPCells = 0
+	s.BitvecOps = 0
+	s.ScalarFallbacks = 0
+	return s
 }
 
 // Corpus is a queryable collection of multiscript texts with the
-// auxiliary structures of §5 built once: per-row phoneme strings
-// (cached transforms), the positional q-gram inverted index, and the
+// auxiliary structures of §5 built once: the flat columnar batch of
+// phoneme strings (cached transforms plus the per-row kernel and
+// prefilter columns), the positional q-gram inverted index, and the
 // grouped-phoneme-identifier hash. DefaultQ is used unless overridden.
 type Corpus struct {
 	op      *Operator
 	q       int
 	texts   []Text
-	phon    []phoneme.String
-	proj    []phoneme.String // signature projections (see soundex.Encoder.Project)
-	skipped []int            // rows whose language had no converter (NORESOURCE rows)
+	batch   Batch  // columnar phoneme rows + kernel/prefilter columns
+	proj    Column // signature projections (see soundex.Encoder.Project)
+	skipped []int  // rows whose language had no converter (NORESOURCE rows)
 
 	grams   map[string][]posting // q-gram inverted index
 	grouped map[soundex.GroupedID][]int
@@ -150,23 +175,40 @@ func (op *Operator) NewCorpusQ(texts []Text, q int) (*Corpus, error) {
 		op:       op,
 		q:        q,
 		texts:    texts,
-		phon:     make([]phoneme.String, len(texts)),
-		proj:     make([]phoneme.String, len(texts)),
 		grams:    make(map[string][]posting),
 		grouped:  make(map[soundex.GroupedID][]int),
-		encoder:  soundex.NewEncoder(op.clusters),
+		encoder:  op.encoder,
 		sigGrams: make([][]sigGram, len(texts)),
 	}
+	// The columnar batch is materialized once per corpus with every
+	// column the strategies can consume — transforms, weak counts, kernel
+	// signatures (when the cost model bit-parallelizes), projected
+	// lengths and Bloom signatures — so scans at any kernel setting share
+	// the same read-only batch and the per-candidate hot path never makes
+	// an interface call or allocates.
+	kern, _ := editdist.NewBitvec(op.cost)
+	c.batch.wk = make([]int32, len(texts))
+	if kern != nil {
+		c.batch.ksig = make([]uint64, len(texts))
+	}
+	c.batch.plen = make([]int32, len(texts))
+	c.batch.gsig = make([]uint64, len(texts))
 	for i, t := range texts {
 		if !op.registry.Has(t.Lang) {
 			c.skipped = append(c.skipped, i)
+			c.batch.phon.Append(nil)
+			c.proj.Append(nil)
 			continue
 		}
 		p, err := op.Transform(t.Value, t.Lang)
 		if err != nil {
 			return nil, fmt.Errorf("core: row %d (%s): %w", i, t, err)
 		}
-		c.phon[i] = p
+		c.batch.phon.Append(p)
+		c.batch.wk[i] = int32(editdist.WeakCount(p))
+		if kern != nil {
+			c.batch.ksig[i] = kern.CandSig(p)
+		}
 		// Q-grams are extracted over the signature projection of the
 		// phoneme string (glottals dropped, phonemes folded to their
 		// cluster representatives). Under the clustered cost model the
@@ -175,8 +217,11 @@ func (op *Operator) NewCorpusQ(texts []Text, q int) (*Corpus, error) {
 		// change it costs at least one full unit, so an edit-cost
 		// budget of k admits at most k projected-space unit edits: the
 		// exact premise of the three q-gram filters.
-		c.proj[i] = c.encoder.Project(p)
-		grams := qgram.Extract(c.proj[i], q)
+		pr := c.encoder.Project(p)
+		c.proj.Append(pr)
+		c.batch.plen[i] = int32(len(pr))
+		c.batch.gsig[i] = qgram.Signature(pr, q)
+		grams := qgram.Extract(pr, q)
 		c.sigGrams[i] = make([]sigGram, len(grams))
 		for gi, g := range grams {
 			key := g.Key()
@@ -204,7 +249,12 @@ func (c *Corpus) Len() int { return len(c.texts) }
 func (c *Corpus) Text(i int) Text { return c.texts[i] }
 
 // Phonemes returns row i's phoneme string (nil for NORESOURCE rows).
-func (c *Corpus) Phonemes(i int) phoneme.String { return c.phon[i] }
+// The view aliases the corpus batch buffer and must be treated as
+// read-only.
+func (c *Corpus) Phonemes(i int) phoneme.String { return c.batch.phon.View(i) }
+
+// Batch exposes the corpus's columnar candidate batch (read-only).
+func (c *Corpus) Batch() *Batch { return &c.batch }
 
 // Skipped lists rows whose language had no TTP converter.
 func (c *Corpus) Skipped() []int { return c.skipped }
@@ -232,26 +282,35 @@ func (c *Corpus) Select(query Text, threshold float64, langs LangSet, strat Stra
 	o := resolveOpts(opts)
 	switch strat {
 	case Naive:
-		return c.selectNaive(qp, threshold, langs, o.workers)
+		return c.selectNaive(qp, threshold, langs, o)
 	case QGram:
-		return c.selectQGram(qp, threshold, langs, o.workers)
+		return c.selectQGram(qp, threshold, langs, o)
 	case Indexed:
-		return c.selectIndexed(qp, threshold, langs, o.workers)
+		return c.selectIndexed(qp, threshold, langs, o)
 	default:
 		return nil, Stats{}, fmt.Errorf("core: unknown strategy %v", strat)
 	}
 }
 
-func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet, workers int) ([]int, Stats, error) {
-	chunks, st := RunMorsels(len(c.texts), workers, func(ln *Lane, lo, hi int) []int {
+// selectNaive scans every row, but runs the batched signature prefilter
+// (a couple of word operations against precomputed batch columns)
+// before paying for edit-distance verification — the naive plan's
+// Candidates therefore undercount Rows by exactly PrunedSig.
+func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet, o execOpts) ([]int, Stats, error) {
+	pm := c.op.NewBatchMatcher(qp, e, o.kernel)
+	sf := c.op.NewSigFilter(qp, e, c.q)
+	chunks, st := RunMorsels(len(c.texts), o.workers, func(ln *Lane, lo, hi int) []int {
 		var out []int
 		for i := lo; i < hi; i++ {
-			if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+			if c.batch.phon.RowLen(i) == 0 || !langs.Contains(c.texts[i].Lang) {
 				continue
 			}
 			ln.Stats.Rows++
+			if !sf.Admit(&c.batch, i, &ln.Stats) {
+				continue
+			}
 			ln.Stats.Candidates++
-			if c.op.MatchPhonemesScratch(qp, c.phon[i], e, ln.Scratch) {
+			if pm.Match(&c.batch, i, ln) {
 				out = append(out, i)
 			}
 		}
@@ -268,9 +327,10 @@ func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet, worker
 // counts, and candidates passing the length and count filters are
 // verified with the UDF. The probe phase runs once; the filter+verify
 // scan is morsel-parallel (counts is read-only by then).
-func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet, workers int) ([]int, Stats, error) {
+func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet, o execOpts) ([]int, Stats, error) {
 	k := c.sigBudget(e * float64(len(qp)))
 	qproj := c.encoder.Project(qp)
+	pm := c.op.NewBatchMatcher(qp, e, o.kernel)
 	counts := make(map[int]int)
 	for _, g := range qgram.Extract(qproj, c.q) {
 		for _, p := range c.grams[g.Key()] {
@@ -279,24 +339,24 @@ func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet, worker
 			}
 		}
 	}
-	chunks, st := RunMorsels(len(c.texts), workers, func(ln *Lane, lo, hi int) []int {
+	chunks, st := RunMorsels(len(c.texts), o.workers, func(ln *Lane, lo, hi int) []int {
 		var out []int
 		for i := lo; i < hi; i++ {
-			if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+			if c.batch.phon.RowLen(i) == 0 || !langs.Contains(c.texts[i].Lang) {
 				continue
 			}
 			ln.Stats.Rows++
-			if !qgram.LengthOK(len(qproj), len(c.proj[i]), k) {
+			if !qgram.LengthOK(len(qproj), c.proj.RowLen(i), k) {
 				ln.Stats.PrunedLength++
 				continue
 			}
-			need := qgram.CountThreshold(len(qproj), len(c.proj[i]), c.q, k)
+			need := qgram.CountThreshold(len(qproj), c.proj.RowLen(i), c.q, k)
 			if need > 0 && counts[i] < need {
 				ln.Stats.PrunedCount++
 				continue
 			}
 			ln.Stats.Candidates++
-			if c.op.MatchPhonemesScratch(qp, c.phon[i], e, ln.Scratch) {
+			if pm.Match(&c.batch, i, ln) {
 				out = append(out, i)
 			}
 		}
@@ -312,17 +372,18 @@ func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet, worker
 // query's cluster signature. Fast, with false dismissals for matches
 // whose edits cross cluster boundaries. The posting list is morseled
 // like any other candidate range.
-func (c *Corpus) selectIndexed(qp phoneme.String, e float64, langs LangSet, workers int) ([]int, Stats, error) {
+func (c *Corpus) selectIndexed(qp phoneme.String, e float64, langs LangSet, o execOpts) ([]int, Stats, error) {
 	group := c.grouped[c.encoder.Encode(qp)]
-	chunks, st := RunMorsels(len(group), workers, func(ln *Lane, lo, hi int) []int {
+	pm := c.op.NewBatchMatcher(qp, e, o.kernel)
+	chunks, st := RunMorsels(len(group), o.workers, func(ln *Lane, lo, hi int) []int {
 		var out []int
 		for _, i := range group[lo:hi] {
-			if c.phon[i] == nil || !langs.Contains(c.texts[i].Lang) {
+			if c.batch.phon.RowLen(i) == 0 || !langs.Contains(c.texts[i].Lang) {
 				continue
 			}
 			ln.Stats.Rows++
 			ln.Stats.Candidates++
-			if c.op.MatchPhonemesScratch(qp, c.phon[i], e, ln.Scratch) {
+			if pm.Match(&c.batch, i, ln) {
 				out = append(out, i)
 			}
 		}
@@ -353,25 +414,49 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 		return nil, Stats{}, fmt.Errorf("core: match threshold %v outside [0,1]", threshold)
 	}
 	o := resolveOpts(opts)
+	// The verification always runs under the left operator's cost model,
+	// but the right batch's kernel signatures were built under the
+	// right's: when the models differ the bit-parallel path would read
+	// masks from the wrong model, so cross-model joins run scalar.
+	// (Clustered and Unit are comparable values, so interface equality
+	// compares model parameters.)
+	kern := o.kernel
+	if left.op.cost != right.op.cost {
+		kern = KernelScalar
+	}
 	var probe func(ln *Lane, lo, hi int) []Pair
 	switch strat {
 	case Naive:
+		// The batched signature prefilter needs the probe projection and
+		// the right batch's signature columns to come from one encoder
+		// and cost model; a shared operator guarantees both.
+		useSig := left.op == right.op
 		probe = func(ln *Lane, lo, hi int) []Pair {
+			pm := left.op.NewLaneMatcher(ln, kern)
 			var out []Pair
 			for l := lo; l < hi; l++ {
-				if left.phon[l] == nil {
+				lp := left.batch.phon.View(l)
+				if lp == nil {
 					continue
 				}
+				pm.SetPattern(lp, threshold)
+				var sf SigFilter
+				if useSig {
+					sf = left.op.NewSigFilter(lp, threshold, right.q)
+				}
 				for r := range right.texts {
-					if right.phon[r] == nil {
+					if right.batch.phon.RowLen(r) == 0 {
 						continue
 					}
 					if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
 						continue
 					}
 					ln.Stats.Rows++
+					if useSig && !sf.Admit(&right.batch, r, &ln.Stats) {
+						continue
+					}
 					ln.Stats.Candidates++
-					if left.op.MatchPhonemesScratch(left.phon[l], right.phon[r], threshold, ln.Scratch) {
+					if pm.Match(&right.batch, r, ln) {
 						out = append(out, Pair{Left: l, Right: r})
 					}
 				}
@@ -384,13 +469,15 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 		// extraction or key rendering happens on the hot path.
 		cached := left.q == right.q
 		probe = func(ln *Lane, lo, hi int) []Pair {
+			pm := left.op.NewLaneMatcher(ln, kern)
 			var out []Pair
 			for l := lo; l < hi; l++ {
-				if left.phon[l] == nil {
+				lp := left.batch.phon.View(l)
+				if lp == nil {
 					continue
 				}
-				lp := left.phon[l]
-				lproj := left.proj[l]
+				pm.SetPattern(lp, threshold)
+				lplen := left.proj.RowLen(l)
 				k := right.sigBudget(threshold * float64(len(lp)))
 				counts := make(map[int]int)
 				if cached {
@@ -403,7 +490,7 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 						}
 					}
 				} else {
-					for _, g := range qgram.Extract(lproj, right.q) {
+					for _, g := range qgram.Extract(left.proj.View(l), right.q) {
 						for _, p := range right.grams[g.Key()] {
 							if qgram.PositionOK(g.Pos, p.pos, k) {
 								counts[p.row]++
@@ -412,24 +499,24 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 					}
 				}
 				for r, cnt := range counts {
-					if right.phon[r] == nil {
+					if right.batch.phon.RowLen(r) == 0 {
 						continue
 					}
 					if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
 						continue
 					}
 					ln.Stats.Rows++
-					if !qgram.LengthOK(len(lproj), len(right.proj[r]), k) {
+					if !qgram.LengthOK(lplen, right.proj.RowLen(r), k) {
 						ln.Stats.PrunedLength++
 						continue
 					}
-					need := qgram.CountThreshold(len(lproj), len(right.proj[r]), right.q, k)
+					need := qgram.CountThreshold(lplen, right.proj.RowLen(r), right.q, k)
 					if need > 0 && cnt < need {
 						ln.Stats.PrunedCount++
 						continue
 					}
 					ln.Stats.Candidates++
-					if left.op.MatchPhonemesScratch(lp, right.phon[r], threshold, ln.Scratch) {
+					if pm.Match(&right.batch, r, ln) {
 						out = append(out, Pair{Left: l, Right: r})
 					}
 				}
@@ -438,14 +525,17 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 		}
 	case Indexed:
 		probe = func(ln *Lane, lo, hi int) []Pair {
+			pm := left.op.NewLaneMatcher(ln, kern)
 			var out []Pair
 			for l := lo; l < hi; l++ {
-				if left.phon[l] == nil {
+				lp := left.batch.phon.View(l)
+				if lp == nil {
 					continue
 				}
-				id := right.encoder.Encode(left.phon[l])
+				pm.SetPattern(lp, threshold)
+				id := right.encoder.Encode(lp)
 				for _, r := range right.grouped[id] {
-					if right.phon[r] == nil {
+					if right.batch.phon.RowLen(r) == 0 {
 						continue
 					}
 					if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
@@ -453,7 +543,7 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 					}
 					ln.Stats.Rows++
 					ln.Stats.Candidates++
-					if left.op.MatchPhonemesScratch(left.phon[l], right.phon[r], threshold, ln.Scratch) {
+					if pm.Match(&right.batch, r, ln) {
 						out = append(out, Pair{Left: l, Right: r})
 					}
 				}

@@ -151,8 +151,13 @@ func TestQGramPrunesCandidates(t *testing.T) {
 	c := buildCorpus(t, op)
 	_, stn, _ := c.Select(en("Nehru"), 0.25, nil, Naive)
 	_, stq, _ := c.Select(en("Nehru"), 0.25, nil, QGram)
-	if stq.Candidates >= stn.Candidates {
-		t.Errorf("q-gram filter pruned nothing: naive %d vs qgram %d", stn.Candidates, stq.Candidates)
+	if stq.Candidates >= stn.Rows {
+		t.Errorf("q-gram filter pruned nothing: %d rows vs %d qgram candidates", stn.Rows, stq.Candidates)
+	}
+	// The q-gram plan's exact positional filter is at least as tight as
+	// the naive plan's Bloom signature prefilter.
+	if stq.Candidates > stn.Candidates {
+		t.Errorf("qgram candidates %d > sig-prefiltered naive candidates %d", stq.Candidates, stn.Candidates)
 	}
 }
 

@@ -59,6 +59,10 @@ type LexConfig struct {
 	// pool of this width. <= 1 is serial; results are identical at any
 	// width. 0 means GOMAXPROCS.
 	Workers int
+	// Kernel selects the verification kernel (SET lexequal_kernel).
+	// Auto engages the bit-parallel kernel whenever the operator's cost
+	// model compiles; results are identical under every setting.
+	Kernel core.Kernel
 	// Counters, when non-nil, accumulates per-stage execution counters
 	// across queries (surfaced by SHOW LEXSTATS).
 	Counters *metrics.PipelineCounters
@@ -88,13 +92,26 @@ type lexCand struct {
 	count int
 }
 
-// verifyStage runs the DP verification over fetched candidates on the
-// morsel pool. check, when non-nil, is the pre-DP filter chain (length
-// and count filters); it may bump the lane's pruning counters and
-// returns false to drop the candidate before verification. The
-// candidate slice and everything check reads must be treated as
-// read-only shared state.
-func (cfg *LexConfig) verifyStage(qp phoneme.String, threshold float64, cands []lexCand, check func(c *lexCand, st *core.Stats) bool) ([]Row, core.Stats) {
+// verifyStage materializes the fetched candidates into one flat
+// columnar batch and verifies them on the morsel pool through the
+// kernel dispatcher: the bit-parallel kernel decides most pairs from
+// the batch columns, undecided pairs fall back to the scalar DP. check,
+// when non-nil, is the pre-batch filter chain (the q-gram plan's length
+// and count filters); sigQ > 0 additionally runs the batched Bloom
+// signature prefilter (the naive plan, whose candidates saw no filter
+// at fetch time). The candidate slice, the batch, and everything check
+// reads must be treated as read-only shared state.
+func (cfg *LexConfig) verifyStage(qp phoneme.String, threshold float64, cands []lexCand, sigQ int, check func(c *lexCand, st *core.Stats) bool) ([]Row, core.Stats) {
+	phons := make([]phoneme.String, len(cands))
+	for i := range cands {
+		phons[i] = cands[i].phon
+	}
+	batch := cfg.Op.BuildBatch(phons, cfg.Kernel, sigQ)
+	pm := cfg.Op.NewBatchMatcher(qp, threshold, cfg.Kernel)
+	var sf core.SigFilter
+	if sigQ > 0 {
+		sf = cfg.Op.NewSigFilter(qp, threshold, sigQ)
+	}
 	chunks, st := core.RunMorsels(len(cands), cfg.workers(), func(ln *core.Lane, lo, hi int) []Row {
 		var out []Row
 		for i := lo; i < hi; i++ {
@@ -103,14 +120,18 @@ func (cfg *LexConfig) verifyStage(qp phoneme.String, threshold float64, cands []
 			if check != nil && !check(c, &ln.Stats) {
 				continue
 			}
+			if sigQ > 0 && !sf.Admit(batch, i, &ln.Stats) {
+				continue
+			}
 			ln.Stats.Candidates++
-			if cfg.Op.MatchPhonemesScratch(qp, c.phon, threshold, ln.Scratch) {
+			if pm.Match(batch, i, ln) {
 				out = append(out, c.row)
 			}
 		}
 		return out
 	})
 	rows := core.MergeChunks(chunks)
+	st.BatchesBuilt++
 	st.Matches = len(rows)
 	return rows, st
 }
@@ -216,7 +237,7 @@ func NewLexScanNaive(cfg *LexConfig, query core.Text, threshold float64, langs c
 		if err != nil {
 			return nil, err
 		}
-		rows, st := cfg.verifyStage(qp, threshold, cands, nil)
+		rows, st := cfg.verifyStage(qp, threshold, cands, cfg.Q, nil)
 		cfg.record(st)
 		return rows, nil
 	}}
@@ -369,7 +390,9 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 			return true
 		}
 		finish := func() ([]Row, error) {
-			rows, st := cfg.verifyStage(qp, threshold, cands, check)
+			// The exact positional gram filter already ran at probe time;
+			// the coarser Bloom prefilter (sigQ > 0) would be redundant.
+			rows, st := cfg.verifyStage(qp, threshold, cands, 0, check)
 			cfg.record(st)
 			return rows, nil
 		}
@@ -471,7 +494,7 @@ func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs
 			}
 			cands = append(cands, lexCand{row: row.Clone(), phon: rp})
 		}
-		rows, st := cfg.verifyStage(qp, threshold, cands, nil)
+		rows, st := cfg.verifyStage(qp, threshold, cands, 0, nil)
 		cfg.record(st)
 		return rows, nil
 	}}
@@ -514,10 +537,15 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 		}
 		finish := func(chunks [][]Row, st core.Stats) ([]Row, error) {
 			rows := core.MergeChunks(chunks)
+			st.BatchesBuilt++ // every join shape materializes one right-side batch
 			st.Matches = len(rows)
 			left.record(st)
 			return rows, nil
 		}
+		// The right side is always (re)batched under the LEFT operator, so
+		// the kernel signatures and projections agree with the model the
+		// verification runs under even when the two configs carry
+		// different operators.
 		switch strat {
 		case core.Naive:
 			// Materialize the right side once (the optimizer's nested
@@ -536,16 +564,23 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			if err != nil {
 				return nil, err
 			}
+			rbatch := left.Op.BuildBatch(rightPhon, left.Kernel, left.Q)
 			chunks, st := core.RunMorsels(len(leftRows), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
+				pm := left.Op.NewLaneMatcher(ln, left.Kernel)
 				var out []Row
 				for i := lo; i < hi; i++ {
+					pm.SetPattern(leftPhon[i], threshold)
+					sf := left.Op.NewSigFilter(leftPhon[i], threshold, left.Q)
 					for j, r := range rightRows {
 						if langClash(leftRows[i], r) {
 							continue
 						}
 						ln.Stats.Rows++
+						if !sf.Admit(rbatch, j, &ln.Stats) {
+							continue
+						}
 						ln.Stats.Candidates++
-						if left.Op.MatchPhonemesScratch(leftPhon[i], rightPhon[j], threshold, ln.Scratch) {
+						if pm.Match(rbatch, j, ln) {
 							out = append(out, concat(leftRows[i], r))
 						}
 					}
@@ -574,27 +609,35 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			if err != nil {
 				return nil, err
 			}
-			// Materialize right rows by id for candidate fetch.
-			rightByID := map[int64][]Row{}
-			rightPhonByID := map[int64][]phoneme.String{}
+			// Materialize right rows into one flat batch (the projected
+			// lengths the filter chain needs come from the batch columns,
+			// not per-pair re-projection), plus an id -> batch-row map for
+			// candidate fetch.
+			var rightRows []Row
+			rightIdxByID := map[int64][]int{}
+			var rightPhon []phoneme.String
 			err = right.Table.Scan(func(_ store.RID, row Row) error {
 				rp, ok := right.phonemes(row)
 				if !ok {
 					return nil
 				}
 				id := row[right.IDCol].I
-				rightByID[id] = append(rightByID[id], row.Clone())
-				rightPhonByID[id] = append(rightPhonByID[id], rp)
+				rightIdxByID[id] = append(rightIdxByID[id], len(rightRows))
+				rightRows = append(rightRows, row.Clone())
+				rightPhon = append(rightPhon, rp)
 				return nil
 			})
 			if err != nil {
 				return nil, err
 			}
+			rbatch := left.Op.BuildBatch(rightPhon, left.Kernel, right.Q)
 			enc := soundex.NewEncoder(left.Op.Clusters())
 			chunks, st := core.RunMorsels(len(leftRows), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
+				pm := left.Op.NewLaneMatcher(ln, left.Kernel)
 				var out []Row
 				for i := lo; i < hi; i++ {
 					lp := leftPhon[i]
+					pm.SetPattern(lp, threshold)
 					lproj := enc.Project(lp)
 					k := lexSigBudget(threshold * float64(len(lp)))
 					counts := map[int64]int{}
@@ -612,24 +655,23 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 					sortInt64s(ids)
 					for _, id := range ids {
 						cnt := counts[id]
-						for j, r := range rightByID[id] {
+						for _, j := range rightIdxByID[id] {
+							r := rightRows[j]
 							if langClash(leftRows[i], r) {
 								continue
 							}
 							ln.Stats.Rows++
-							rp := rightPhonByID[id][j]
-							rproj := enc.Project(rp)
-							if !qgram.LengthOK(len(lproj), len(rproj), k) {
+							if !qgram.LengthOK(len(lproj), rbatch.ProjLen(j), k) {
 								ln.Stats.PrunedLength++
 								continue
 							}
-							need := qgram.CountThreshold(len(lproj), len(rproj), right.Q, k)
+							need := qgram.CountThreshold(len(lproj), rbatch.ProjLen(j), right.Q, k)
 							if need > 0 && cnt < need {
 								ln.Stats.PrunedCount++
 								continue
 							}
 							ln.Stats.Candidates++
-							if left.Op.MatchPhonemesScratch(lp, rp, threshold, ln.Scratch) {
+							if pm.Match(rbatch, j, ln) {
 								out = append(out, concat(leftRows[i], r))
 							}
 						}
@@ -675,13 +717,26 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 					cands = append(cands, pairCand{li: i, r: r.Clone(), rp: rp})
 				}
 			}
+			phons := make([]phoneme.String, len(cands))
+			for i := range cands {
+				phons[i] = cands[i].rp
+			}
+			cbatch := left.Op.BuildBatch(phons, left.Kernel, 0)
 			chunks, st := core.RunMorsels(len(cands), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
+				pm := left.Op.NewLaneMatcher(ln, left.Kernel)
+				lastLi := -1
 				var out []Row
 				for i := lo; i < hi; i++ {
 					c := &cands[i]
+					// Candidates were prefetched in left-row order, so the
+					// pattern only re-prepares on a left-row change.
+					if c.li != lastLi {
+						pm.SetPattern(leftPhon[c.li], threshold)
+						lastLi = c.li
+					}
 					ln.Stats.Rows++
 					ln.Stats.Candidates++
-					if left.Op.MatchPhonemesScratch(leftPhon[c.li], c.rp, threshold, ln.Scratch) {
+					if pm.Match(cbatch, i, ln) {
 						out = append(out, concat(leftRows[c.li], c.r))
 					}
 				}

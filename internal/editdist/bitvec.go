@@ -1,0 +1,361 @@
+package editdist
+
+import (
+	"math/bits"
+
+	"lexequal/internal/phoneme"
+)
+
+// This file implements the bit-parallel bounded edit-distance kernel:
+// Myers/Hyyrö bit-vector DP (64 DP cells per word operation) specialized
+// to the cost models whose costs sit on the int32 quantized grid (see
+// quantize). The kernel never contradicts DistanceBoundedScratch — it
+// either *decides* a comparison (with the same accept/reject outcome the
+// scalar kernel would produce) or declines, in which case the caller
+// runs the scalar kernel. Three dispatch modes:
+//
+//   - Unit: one Myers run over exact-match masks computes the
+//     Levenshtein distance outright; every comparison is decided.
+//   - Clustered (dyadic ICSC/WeakIndel): a two-tier sandwich. The
+//     reject tier runs the recurrence over cluster-match masks
+//     (pattern position i matches text phoneme c when they are equal or
+//     share a cluster), which makes intra-cluster substitutions free;
+//     the resulting distance D_cm lower-bounds the clustered distance
+//     up to a weak-indel slack, so D_cm above the inflated budget
+//     proves a reject. The accept tier runs exact-match masks: the
+//     unit distance upper-bounds the clustered distance, so a unit
+//     distance within ⌊bound⌋ proves an accept. Pairs between the
+//     tiers (typically near-matches whose cost is dominated by ICSC
+//     arithmetic) fall back to the scalar kernel.
+//   - Everything else (Feature, non-dyadic parameters): not
+//     bit-parallelizable; NewBitvec reports false and callers stay on
+//     the scalar path.
+//
+// Soundness of the reject tier. Map each operation of an optimal
+// clustered alignment to a cluster-mask operation: matches and
+// intra-cluster substitutions cost 0 under the masks (≤ their clustered
+// cost), cross-cluster substitutions and non-weak indels cost 1 (= their
+// clustered cost), and weak (glottal) indels cost 1 against a clustered
+// cost of WeakIndel. An alignment deletes at most every glottal of one
+// string and inserts at most every glottal of the other, so
+//
+//	D_cm ≤ clustered + (weak(a)+weak(b))·(1−WeakIndel).
+//
+// All budget arithmetic happens on the same int32 grid the scalar
+// kernel quantizes to (ibound = ⌊bound·scale⌋), so flooring decisions
+// are bit-for-bit the scalar kernel's: d ≤ bound ⟺ d·scale ≤ ibound for
+// grid distances d. Note the masks are built over the *original*
+// phoneme strings — a projection-based lower bound would be unsound
+// here because the default cluster set places glottals (h, ɦ, ʔ) in the
+// same cluster as velar/uvular obstruents, making some
+// projection-changing substitutions cost only ICSC.
+
+// maxBitvecPattern is the longest pattern a single machine word can
+// carry: one bit per pattern position.
+const maxBitvecPattern = 64
+
+// WeakCount returns the number of weak (glottal) phonemes in s — the
+// per-string term of the reject tier's slack. Callers that batch
+// candidates precompute this once per row.
+func WeakCount(s phoneme.String) int {
+	n := 0
+	for _, p := range s {
+		if weak(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Bitvec is a compiled bit-parallel kernel: the per-cost-model dispatch
+// decision plus the 256-entry Peq match-mask tables for one prepared
+// pattern. Prepare is not safe for concurrent use; Decide only reads,
+// so a prepared Bitvec may be shared by concurrent workers as long as
+// none of them calls Prepare (the scan path prepares once up front; the
+// join path keeps one Bitvec per lane).
+type Bitvec struct {
+	// Model-level state, fixed at NewBitvec.
+	clusters *phoneme.Clusters // nil in exact (Unit) mode
+	twoTier  bool
+	scale    int32      // quantization grid, from quantize()
+	shift    uint8      // log2(scale): quantize grids are powers of two
+	wkExcess int32      // scale − weak indel cost (scaled); 0 = no slack
+	of       [256]uint8 // flattened Clusters.Of, so the inner loop needs no call
+
+	// Pattern-level state, rebuilt by Prepare.
+	m        int
+	patWeak  int
+	patSig   uint64
+	prepared bool
+	hibit    uint64
+	peq      [256]uint64 // exact-match masks, indexed by Phoneme
+	peqCl    [256]uint64 // cluster-match masks, indexed by ClusterID
+	touched  []phoneme.Phoneme
+	touchCl  []phoneme.ClusterID
+}
+
+// NewBitvec compiles cm into a bit-parallel kernel, or reports ok=false
+// when the model is not bit-parallelizable (its costs do not quantize
+// to the dyadic int32 grid, or its substitution structure is not the
+// exact/cluster two-level shape). Callers must keep the scalar path for
+// ok=false — that is the "scalar fallback for non-dyadic models".
+func NewBitvec(cm CostModel) (*Bitvec, bool) {
+	im, ok := quantize(cm)
+	if !ok {
+		return nil, false
+	}
+	bv := &Bitvec{scale: im.scale}
+	for s := im.scale; s > 1; s >>= 1 {
+		bv.shift++
+	}
+	switch cm.(type) {
+	case Unit:
+		// Exact mode: sub costs are {0, 1}, indels 1 — one run decides.
+	case Clustered:
+		bv.twoTier = true
+		bv.clusters = im.clusters
+		for c := 0; c < 256; c++ {
+			bv.of[c] = uint8(im.clusters.Of(phoneme.Phoneme(c)))
+		}
+		if im.weak > 0 {
+			bv.wkExcess = im.scale - im.weak
+		}
+	default:
+		return nil, false
+	}
+	return bv, true
+}
+
+// TwoTier reports whether the kernel runs the clustered two-tier
+// sandwich (as opposed to the single exact run of the Unit model).
+func (bv *Bitvec) TwoTier() bool { return bv.twoTier }
+
+// Prepare builds the Peq tables for pattern. It reports false when the
+// pattern does not fit a machine word (> 64 phonemes); the Bitvec is
+// then unprepared and Decide declines every comparison.
+func (bv *Bitvec) Prepare(pattern phoneme.String) bool {
+	// Sparse reset: only entries the previous pattern touched.
+	for _, p := range bv.touched {
+		bv.peq[p] = 0
+	}
+	bv.touched = bv.touched[:0]
+	for _, id := range bv.touchCl {
+		bv.peqCl[id] = 0
+	}
+	bv.touchCl = bv.touchCl[:0]
+
+	bv.m = len(pattern)
+	bv.patWeak = 0
+	bv.patSig = bv.CandSig(pattern)
+	bv.prepared = false
+	if bv.m > maxBitvecPattern {
+		return false
+	}
+	for i, p := range pattern {
+		if bv.peq[p] == 0 {
+			bv.touched = append(bv.touched, p)
+		}
+		bv.peq[p] |= 1 << uint(i)
+		if bv.twoTier {
+			if id := phoneme.ClusterID(bv.of[p]); id != 0 {
+				if bv.peqCl[id] == 0 {
+					bv.touchCl = append(bv.touchCl, id)
+				}
+				bv.peqCl[id] |= 1 << uint(i)
+			}
+			if weak(p) {
+				bv.patWeak++
+			}
+		}
+	}
+	if bv.m > 0 {
+		bv.hibit = 1 << uint(bv.m-1)
+	}
+	bv.prepared = true
+	return true
+}
+
+// CandSig computes the candidate-side histogram signature the kernel's
+// prefilter compares against the pattern's. Exact mode packs a presence
+// bit per phoneme identity (hashed into 64 buckets): every unit edit
+// flips at most two presence bits, so half the XOR popcount
+// lower-bounds the unit distance. Two-tier mode packs eight saturating
+// byte counters of cluster occupancy: cluster-matches leave the
+// histogram untouched while every cost-1 operation of the reject
+// tier's mask distance moves at most two counters by one, so half the
+// L1 distance lower-bounds D_cm (saturation only weakens the bound).
+// Batch builders call this once per row and hand the stored value to
+// Decide.
+func (bv *Bitvec) CandSig(s phoneme.String) uint64 {
+	var sig uint64
+	if bv.twoTier {
+		for _, p := range s {
+			off := uint(bv.of[p]&7) * 8
+			if sig>>off&0xff != 0xff {
+				sig += 1 << off
+			}
+		}
+	} else {
+		for _, p := range s {
+			sig |= 1 << (p & 63)
+		}
+	}
+	return sig
+}
+
+// l1Bytes is the L1 distance between two packed 8-lane byte histograms.
+func l1Bytes(a, b uint64) int {
+	sum := 0
+	for i := 0; i < 8; i++ {
+		d := int(a&0xff) - int(b&0xff)
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		a >>= 8
+		b >>= 8
+	}
+	return sum
+}
+
+// Decide compares the prepared pattern against cand under the same
+// bound contract as DistanceBoundedScratch: matched means distance ≤
+// bound. decided=false means the kernel could not prove the outcome
+// either way (gray zone, unprepared pattern, or a bound off the int32
+// grid) and the caller must verify on the scalar path. candWeak is
+// cand's WeakCount and candSig its CandSig — both computed once per
+// batch row by callers (candWeak is ignored in exact mode, and both
+// must come from this kernel's cost model or rejects become unsound).
+// ops counts 64-cell word operations for the BitvecOps counter. Decide
+// does not mutate bv.
+func (bv *Bitvec) Decide(cand phoneme.String, candWeak int, candSig uint64, bound float64) (matched, decided bool, ops int64) {
+	if !bv.prepared {
+		return false, false, 0
+	}
+	if bound < 0 {
+		// Scalar contract: a negative bound rejects everything.
+		return false, true, 0
+	}
+	bs := bound * float64(bv.scale)
+	if bs >= float64(intInf) {
+		return false, false, 0
+	}
+	ibound := int32(bs)
+	kU := int(ibound >> bv.shift) // ⌊bound⌋ on the grid
+	n := len(cand)
+	diff := bv.m - n
+	if diff < 0 {
+		diff = -diff
+	}
+
+	if !bv.twoTier {
+		// Exact mode: the length and presence-histogram filters are
+		// exact-distance lower bounds; past them the run computes the
+		// unit distance outright.
+		if diff > kU || bits.OnesCount64(bv.patSig^candSig) > 2*kU {
+			return false, true, 0
+		}
+		if bv.m == 0 {
+			return n <= kU, true, 0
+		}
+		_, within, o := bv.runExact(cand, kU)
+		return within, true, o
+	}
+
+	// Reject tier: budget inflated by the weak-indel slack, all on the
+	// scaled grid (kL = ⌊(ibound + slack·scale)/scale⌋).
+	w := int32(bv.patWeak+candWeak) * bv.wkExcess
+	kL := int((ibound + w) >> bv.shift)
+	if diff > kL || l1Bytes(bv.patSig, candSig) > 2*kL {
+		// The length gap and half the cluster-histogram L1 distance both
+		// lower-bound D_cm, so exceeding the budget proves a reject.
+		return false, true, 0
+	}
+	if bv.m == 0 {
+		// Distances degenerate to n indels: D_cm = D_exact = n.
+		if n > kL {
+			return false, true, 0
+		}
+		if n <= kU {
+			return true, true, 0
+		}
+		return false, false, 0
+	}
+	dcl, within, ops := bv.runCluster(cand, kL)
+	if !within {
+		return false, true, ops // clustered distance provably > bound
+	}
+	// Accept tier: the exact unit distance upper-bounds the clustered
+	// distance. D_exact ≥ D_cm, so skip the run when even the lower
+	// bound (or the length gap) rules an accept out.
+	if dcl > kU || diff > kU {
+		return false, false, ops
+	}
+	_, withinU, o2 := bv.runExact(cand, kU)
+	ops += o2
+	if withinU {
+		return true, true, ops
+	}
+	return false, false, ops
+}
+
+// runExact is the Hyyrö global-distance bit-vector recurrence over the
+// exact-match masks: one word operation per text phoneme, Score tracks
+// D[m][j], early exit once even n−j free matches cannot bring the
+// distance back under k. Requires 1 ≤ m ≤ 64.
+func (bv *Bitvec) runExact(text phoneme.String, k int) (dist int, within bool, ops int64) {
+	pv, mv := ^uint64(0), uint64(0)
+	score := bv.m
+	n := len(text)
+	hibit := bv.hibit
+	for j, c := range text {
+		eq := bv.peq[c]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&hibit != 0 {
+			score++
+		} else if mh&hibit != 0 {
+			score--
+		}
+		ph = ph<<1 | 1 // D[0][j] − D[0][j−1] = +1: global distance
+		pv = mh<<1 | ^(xv | ph)
+		mv = ph & xv
+		if score-(n-j-1) > k {
+			return score, false, int64(j + 1)
+		}
+	}
+	return score, score <= k, int64(n)
+}
+
+// runCluster is runExact over the cluster-match masks: pattern position
+// i matches text phoneme c when pattern[i] == c or they share a
+// non-zero cluster, so intra-cluster substitutions ride the zero-cost
+// diagonal.
+func (bv *Bitvec) runCluster(text phoneme.String, k int) (dist int, within bool, ops int64) {
+	pv, mv := ^uint64(0), uint64(0)
+	score := bv.m
+	n := len(text)
+	hibit := bv.hibit
+	for j, c := range text {
+		// peqCl[0] is always zero, so unclustered phonemes OR in nothing.
+		eq := bv.peq[c] | bv.peqCl[bv.of[c]]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&hibit != 0 {
+			score++
+		} else if mh&hibit != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		pv = mh<<1 | ^(xv | ph)
+		mv = ph & xv
+		if score-(n-j-1) > k {
+			return score, false, int64(j + 1)
+		}
+	}
+	return score, score <= k, int64(n)
+}

@@ -1,0 +1,212 @@
+package editdist
+
+import (
+	"testing"
+
+	"lexequal/internal/phoneme"
+)
+
+// bitvecBounds mirrors the bound spread of TestScratchAgreesWithLegacy:
+// negative, zero, sub-unit, the operator's threshold shape, the exact
+// distance and its neighbourhood, and effectively-unbounded.
+func bitvecBounds(a, b phoneme.String, full float64) []float64 {
+	return []float64{-1, 0, 0.25, 0.3 * float64(min(len(a), len(b))), full, full - 0.01, full + 0.5, 100}
+}
+
+func TestNewBitvecDispatch(t *testing.T) {
+	if bv, ok := NewBitvec(Unit{}); !ok || bv.TwoTier() {
+		t.Errorf("NewBitvec(Unit) = (%v, %v), want exact-mode kernel", bv, ok)
+	}
+	q, _ := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	if bv, ok := NewBitvec(q); !ok || !bv.TwoTier() {
+		t.Errorf("NewBitvec(clustered 0.25/0.5) = (%v, %v), want two-tier kernel", bv, ok)
+	}
+	nq, _ := NewClustered(phoneme.DefaultClusters(), 0.3)
+	if _, ok := NewBitvec(nq); ok {
+		t.Error("NewBitvec accepted non-dyadic ICSC 0.3")
+	}
+	if _, ok := NewBitvec(Feature{}); ok {
+		t.Error("NewBitvec accepted the feature model")
+	}
+	if _, ok := NewBitvec(opaque{Unit{}}); ok {
+		t.Error("NewBitvec accepted an opaque model it cannot inspect")
+	}
+}
+
+// TestBitvecNeverContradictsScalar is the kernel's core contract: on
+// every model × pair × bound, a decided comparison must agree with
+// DistanceBoundedScratch, and the Unit kernel must decide everything.
+func TestBitvecNeverContradictsScalar(t *testing.T) {
+	corpus := scratchCorpus()
+	s := NewScratch()
+	for _, cm := range scratchModels(t) {
+		bv, ok := NewBitvec(cm)
+		if !ok {
+			continue
+		}
+		for _, a := range corpus {
+			if !bv.Prepare(a) {
+				t.Fatalf("%s: Prepare(%v) failed for a %d-phoneme pattern", cm.Name(), a, len(a))
+			}
+			for _, b := range corpus {
+				full := DistanceScratch(a, b, cm, s)
+				for _, bound := range bitvecBounds(a, b, full) {
+					_, want := DistanceBoundedScratch(a, b, cm, bound, s)
+					matched, decided, ops := bv.Decide(b, WeakCount(b), bv.CandSig(b), bound)
+					if decided && matched != want {
+						t.Fatalf("%s: Decide(%v, %v, %g) = %v, scalar says %v",
+							cm.Name(), a, b, bound, matched, want)
+					}
+					if !bv.TwoTier() && !decided {
+						t.Fatalf("%s: exact kernel left (%v, %v, %g) undecided", cm.Name(), a, b, bound)
+					}
+					if ops < 0 || ops > 2*int64(len(b)) {
+						t.Fatalf("ops = %d for a %d-phoneme candidate", ops, len(b))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitvecDecidesFarPairs pins the perf-critical property: clearly
+// non-matching pairs must be decided (rejected) without the scalar
+// fallback, under both kernels, at the operator's bound shape.
+func TestBitvecDecidesFarPairs(t *testing.T) {
+	far := [][2]string{
+		{"nehru", "pɒtæsiəm"},
+		{"kristəfər", "sita"},
+		{"dʒəʋaːɦərlaːl", "neru"},
+	}
+	for _, cm := range scratchModels(t) {
+		bv, ok := NewBitvec(cm)
+		if !ok {
+			continue
+		}
+		for _, pair := range far {
+			a, b := phoneme.MustParse(pair[0]), phoneme.MustParse(pair[1])
+			bound := 0.3 * float64(min(len(a), len(b)))
+			bv.Prepare(a)
+			matched, decided, _ := bv.Decide(b, WeakCount(b), bv.CandSig(b), bound)
+			if !decided || matched {
+				t.Errorf("%s: (%s, %s) at bound %g: matched=%v decided=%v, want decided reject",
+					cm.Name(), pair[0], pair[1], bound, matched, decided)
+			}
+		}
+	}
+}
+
+// TestBitvecLongPattern: patterns beyond one machine word decline every
+// comparison instead of deciding wrongly.
+func TestBitvecLongPattern(t *testing.T) {
+	long := make(phoneme.String, 65)
+	for i := range long {
+		long[i] = phoneme.Phoneme(i%phoneme.Count() + 1)
+	}
+	bv, _ := NewBitvec(Unit{})
+	if bv.Prepare(long) {
+		t.Fatal("Prepare accepted a 65-phoneme pattern")
+	}
+	if _, decided, _ := bv.Decide(long[:10], 0, bv.CandSig(long[:10]), 100); decided {
+		t.Error("unprepared kernel decided a comparison")
+	}
+}
+
+// TestBitvecPrepareReuse: the sparse Peq reset must leave no residue
+// from a previous pattern — a reused kernel must agree with a fresh one.
+func TestBitvecPrepareReuse(t *testing.T) {
+	cm, _ := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	reused, _ := NewBitvec(cm)
+	corpus := scratchCorpus()
+	for _, a := range corpus {
+		reused.Prepare(a)
+		for _, b := range corpus {
+			fresh, _ := NewBitvec(cm)
+			fresh.Prepare(a)
+			bound := 0.3 * float64(min(len(a), len(b)))
+			m1, d1, o1 := reused.Decide(b, WeakCount(b), reused.CandSig(b), bound)
+			m2, d2, o2 := fresh.Decide(b, WeakCount(b), fresh.CandSig(b), bound)
+			if m1 != m2 || d1 != d2 || o1 != o2 {
+				t.Fatalf("reused kernel diverges on (%v, %v): (%v,%v,%d) vs fresh (%v,%v,%d)",
+					a, b, m1, d1, o1, m2, d2, o2)
+			}
+		}
+	}
+}
+
+// TestBitvecDecideZeroAllocs: Decide is on the per-candidate hot path
+// and must not allocate.
+func TestBitvecDecideZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	cm, _ := NewClusteredWeak(phoneme.DefaultClusters(), 0.25, 0.5)
+	bv, _ := NewBitvec(cm)
+	a := phoneme.MustParse("dʒəʋaːɦərlaːl")
+	b := phoneme.MustParse("pɒtæsiəm")
+	bv.Prepare(a)
+	wk, sig := WeakCount(b), bv.CandSig(b)
+	if n := testing.AllocsPerRun(200, func() {
+		bv.Decide(b, wk, sig, 2.0)
+	}); n != 0 {
+		t.Errorf("Decide: %v allocs/op, want 0", n)
+	}
+}
+
+// fuzzPhonemes maps arbitrary bytes onto the valid phoneme inventory.
+func fuzzPhonemes(raw []byte) phoneme.String {
+	if len(raw) > 24 {
+		raw = raw[:24]
+	}
+	s := make(phoneme.String, len(raw))
+	for i, b := range raw {
+		s[i] = phoneme.Phoneme(int(b)%phoneme.Count() + 1)
+	}
+	return s
+}
+
+// FuzzKernelEquivalence is the differential fuzz target of ISSUE 8:
+// random phoneme pairs and random dyadic cost parameters, asserting the
+// bit-parallel kernel, the scalar quantized DP, and the float reference
+// (forced via the opaque wrapper) agree on every accept/reject decision.
+func FuzzKernelEquivalence(f *testing.F) {
+	// Seed with the empty-string and band-edge shapes from scratch_test.
+	f.Add([]byte(""), []byte(""), uint8(1), uint8(2), float64(0))
+	f.Add([]byte("n"), []byte(""), uint8(1), uint8(2), float64(1))
+	f.Add([]byte{10, 20, 30, 40}, []byte{10, 20, 31, 40}, uint8(1), uint8(2), 0.25)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1}, uint8(0), uint8(0), 2.4)
+	f.Add([]byte("nehru"), []byte("neru"), uint8(2), uint8(2), 1.5)
+	f.Fuzz(func(t *testing.T, araw, braw []byte, icscQ, weakQ uint8, bound float64) {
+		a, b := fuzzPhonemes(araw), fuzzPhonemes(braw)
+		// Dyadic grid: quarters in [0, 1].
+		cm, err := NewClusteredWeak(phoneme.DefaultClusters(), float64(icscQ%5)/4, float64(weakQ%5)/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound > 1e6 || bound < -1e6 || bound != bound {
+			return // keep the scalar band finite; NaN has no contract
+		}
+		s := NewScratch()
+		di, oki := DistanceBoundedScratch(a, b, cm, bound, s)
+		df, okf := DistanceBoundedScratch(a, b, opaque{cm}, bound, s)
+		if oki != okf || (oki && di != df) {
+			t.Fatalf("scalar int (%v,%v) and float (%v,%v) kernels disagree on (%v, %v, %g)",
+				di, oki, df, okf, a, b, bound)
+		}
+		for _, m := range []CostModel{cm, Unit{}} {
+			bv, ok := NewBitvec(m)
+			if !ok {
+				t.Fatalf("%s did not compile", m.Name())
+			}
+			if !bv.Prepare(a) {
+				continue
+			}
+			_, want := DistanceBoundedScratch(a, b, m, bound, s)
+			matched, decided, _ := bv.Decide(b, WeakCount(b), bv.CandSig(b), bound)
+			if decided && matched != want {
+				t.Fatalf("%s: bitvec says %v, scalar says %v on (%v, %v, %g)",
+					m.Name(), matched, want, a, b, bound)
+			}
+		}
+	})
+}

@@ -21,9 +21,18 @@ type PipelineCounters struct {
 	Candidates   atomic.Int64
 	PrunedLength atomic.Int64
 	PrunedCount  atomic.Int64
+	PrunedSig    atomic.Int64
 	DPCells      atomic.Int64
 	Matches      atomic.Int64
 	SigCacheHits atomic.Int64
+
+	// Kernel/batch counters of the bit-parallel verification pipeline:
+	// word operations executed by the bit-parallel kernel, verifications
+	// a requested kernel deferred to the scalar DP, and columnar
+	// candidate batches materialized.
+	BitvecOps       atomic.Int64
+	ScalarFallbacks atomic.Int64
+	BatchesBuilt    atomic.Int64
 
 	// mu serializes Reset against Snapshot. Reset stores zero
 	// field-by-field; without the mutex a concurrent Snapshot could read
@@ -47,6 +56,10 @@ func (pc *PipelineCounters) Record(st core.Stats) {
 	pc.Candidates.Add(int64(st.Candidates))
 	pc.PrunedLength.Add(int64(st.PrunedLength))
 	pc.PrunedCount.Add(int64(st.PrunedCount))
+	pc.PrunedSig.Add(int64(st.PrunedSig))
+	pc.BitvecOps.Add(st.BitvecOps)
+	pc.ScalarFallbacks.Add(int64(st.ScalarFallbacks))
+	pc.BatchesBuilt.Add(int64(st.BatchesBuilt))
 	pc.DPCells.Add(st.DPCells)
 	pc.Matches.Add(int64(st.Matches))
 	pc.SigCacheHits.Add(int64(st.SigCacheHits))
@@ -72,6 +85,10 @@ func (pc *PipelineCounters) Reset() {
 	pc.Candidates.Store(0)
 	pc.PrunedLength.Store(0)
 	pc.PrunedCount.Store(0)
+	pc.PrunedSig.Store(0)
+	pc.BitvecOps.Store(0)
+	pc.ScalarFallbacks.Store(0)
+	pc.BatchesBuilt.Store(0)
 	pc.DPCells.Store(0)
 	pc.Matches.Store(0)
 	pc.SigCacheHits.Store(0)
@@ -85,9 +102,14 @@ type PipelineSnapshot struct {
 	Candidates   int64
 	PrunedLength int64
 	PrunedCount  int64
+	PrunedSig    int64
 	DPCells      int64
 	Matches      int64
 	SigCacheHits int64
+
+	BitvecOps       int64
+	ScalarFallbacks int64
+	BatchesBuilt    int64
 }
 
 // Snapshot copies the current counter values. It serializes against
@@ -103,6 +125,10 @@ func (pc *PipelineCounters) Snapshot() PipelineSnapshot {
 	s.SigCacheHits = pc.SigCacheHits.Load()
 	s.Matches = pc.Matches.Load()
 	s.DPCells = pc.DPCells.Load()
+	s.BatchesBuilt = pc.BatchesBuilt.Load()
+	s.ScalarFallbacks = pc.ScalarFallbacks.Load()
+	s.BitvecOps = pc.BitvecOps.Load()
+	s.PrunedSig = pc.PrunedSig.Load()
 	s.PrunedCount = pc.PrunedCount.Load()
 	s.PrunedLength = pc.PrunedLength.Load()
 	s.Candidates = pc.Candidates.Load()
@@ -117,13 +143,14 @@ func (s PipelineSnapshot) PruneRate() float64 {
 	if s.Rows == 0 {
 		return 0
 	}
-	return float64(s.PrunedLength+s.PrunedCount) / float64(s.Rows)
+	return float64(s.PrunedLength+s.PrunedCount+s.PrunedSig) / float64(s.Rows)
 }
 
 // String renders the snapshot as the one-line summary used by SHOW
 // LEXSTATS and the bench tool.
 func (s PipelineSnapshot) String() string {
 	return fmt.Sprintf(
-		"queries=%d rows=%d pruned_length=%d pruned_count=%d candidates=%d dp_cells=%d matches=%d sig_cache_hits=%d",
-		s.Queries, s.Rows, s.PrunedLength, s.PrunedCount, s.Candidates, s.DPCells, s.Matches, s.SigCacheHits)
+		"queries=%d rows=%d pruned_length=%d pruned_count=%d pruned_sig=%d candidates=%d dp_cells=%d bitvec_ops=%d scalar_fallbacks=%d batches_built=%d matches=%d sig_cache_hits=%d",
+		s.Queries, s.Rows, s.PrunedLength, s.PrunedCount, s.PrunedSig, s.Candidates, s.DPCells,
+		s.BitvecOps, s.ScalarFallbacks, s.BatchesBuilt, s.Matches, s.SigCacheHits)
 }

@@ -1,0 +1,63 @@
+package qgram
+
+import (
+	"math/bits"
+
+	"lexequal/internal/phoneme"
+)
+
+// This file adds the batched form of the Count filter: a 64-bit Bloom
+// signature of a string's q-gram contents, precomputed once per corpus
+// row, so a scan can reject most candidates with an XOR/AND/POPCNT
+// instead of extracting and intersecting gram lists per pair. The
+// signature discards positions, so the bound it yields (MaxShared) is
+// an upper bound on the positional match count the exact Count filter
+// computes — pruning on it never produces a false dismissal relative to
+// the exact filter.
+
+// sigHash folds one q-gram's content into a bucket index. FNV-1a over
+// the padded phonemes: cheap, deterministic, and spread well enough for
+// the 64-bucket Bloom domain.
+func sigHash(gram []phoneme.Phoneme) uint {
+	h := uint64(14695981039346656037)
+	for _, p := range gram {
+		h ^= uint64(p)
+		h *= 1099511628211
+	}
+	return uint(h & 63)
+}
+
+// Signature returns the 64-bit Bloom signature of s's positional
+// q-grams (content only, positions discarded): bit sigHash(g) is set
+// for every gram g of the padded string. Equal-content grams always map
+// to the same bit, so a gram of one string whose bit is absent from
+// another string's signature cannot content-match any gram there.
+func Signature(s phoneme.String, q int) uint64 {
+	if q < 2 {
+		panic("qgram: q must be >= 2")
+	}
+	// Mirror Extract's padding without materializing the gram structs.
+	padded := make([]phoneme.Phoneme, 0, len(s)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, phoneme.Invalid)
+	}
+	padded = append(padded, s...)
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, phoneme.Invalid)
+	}
+	var sig uint64
+	for i := 0; i+q <= len(padded); i++ {
+		sig |= 1 << sigHash(padded[i:i+q])
+	}
+	return sig
+}
+
+// MaxShared upper-bounds how many of the query's nQueryGrams positional
+// q-grams can content-match a gram of the candidate, given only the two
+// signatures: every distinct bit set in the query signature but absent
+// from the candidate's accounts for at least one unmatchable query
+// gram. Compare the result against CountThreshold — a candidate with
+// MaxShared below the threshold cannot survive the exact Count filter.
+func MaxShared(querySig, candSig uint64, nQueryGrams int) int {
+	return nQueryGrams - bits.OnesCount64(querySig&^candSig)
+}

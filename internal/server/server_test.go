@@ -132,10 +132,16 @@ func TestStatusCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"global:", "session:", "queries=1", "conns: active=1", "max=5"} {
+	for _, want := range []string{"global:", "session:", "queries=1", "conns: active=1", "max=5",
+		"pruned_sig=", "bitvec_ops=", "scalar_fallbacks=", "batches_built="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("STATUS missing %q:\n%s", want, out)
 		}
+	}
+	// The default model is dyadic: the naive scan above must have done
+	// bit-parallel work and built a batch.
+	if strings.Contains(out, "bitvec_ops=0 ") || strings.Contains(out, "batches_built=0 ") {
+		t.Errorf("kernel counters flat after a LexEQUAL query:\n%s", out)
 	}
 	// A second connection's LexEQUAL traffic lands in the global
 	// counters but not in the first session's.

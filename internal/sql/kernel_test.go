@@ -1,0 +1,128 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lexequal/internal/core"
+)
+
+func TestSetKernel(t *testing.T) {
+	s := newTestSession(t)
+	for _, tc := range []struct {
+		value string
+		want  core.Kernel
+	}{
+		{"scalar", core.KernelScalar},
+		{"bitvec", core.KernelBitvec},
+		{"auto", core.KernelAuto},
+		{"MYERS", core.KernelBitvec}, // settings are case-insensitive
+	} {
+		mustExec(t, s, `SET lexequal_kernel = `+tc.value)
+		if s.Kernel != tc.want {
+			t.Errorf("SET lexequal_kernel = %s: Kernel = %v, want %v", tc.value, s.Kernel, tc.want)
+		}
+	}
+	if _, err := s.Exec(`SET lexequal_kernel = turbo`); err == nil {
+		t.Error("accepted unknown kernel")
+	}
+}
+
+// TestKernelQueriesIdentical runs the same selection and join under
+// every (strategy, kernel, parallelism) combination; rows must be
+// byte-identical to the scalar serial run.
+func TestKernelQueriesIdentical(t *testing.T) {
+	s := newTestSession(t)
+	loadNames(t, s)
+	sel := `SELECT id FROM names WHERE name LEXEQUAL 'Nehru' THRESHOLD 0.30`
+	join := `select N1.id, N2.id from names N1, names N2
+		where N1.name LexEQUAL N2.name Threshold 0.30
+		and language(N1.name) <> language(N2.name)`
+	for _, strat := range []string{"naive", "qgram", "indexed"} {
+		mustExec(t, s, `SET lexequal_strategy = `+strat)
+		mustExec(t, s, `SET lexequal_kernel = scalar`)
+		mustExec(t, s, `SET parallelism = 1`)
+		baseSel := mustExec(t, s, sel)
+		baseJoin := mustExec(t, s, join)
+		for _, k := range []string{"scalar", "bitvec", "auto"} {
+			mustExec(t, s, `SET lexequal_kernel = `+k)
+			for _, w := range []string{"1", "2", "4"} {
+				mustExec(t, s, `SET parallelism = `+w)
+				if got := mustExec(t, s, sel); !reflect.DeepEqual(got.Rows, baseSel.Rows) {
+					t.Errorf("%s select kernel=%s parallelism=%s diverges: %v vs %v", strat, k, w, got.Rows, baseSel.Rows)
+				}
+				if got := mustExec(t, s, join); !reflect.DeepEqual(got.Rows, baseJoin.Rows) {
+					t.Errorf("%s join kernel=%s parallelism=%s diverges", strat, k, w)
+				}
+			}
+		}
+	}
+}
+
+func TestExplainShowsKernel(t *testing.T) {
+	s := newTestSession(t)
+	loadNames(t, s)
+	q := `EXPLAIN SELECT id FROM names WHERE name LEXEQUAL 'Nehru' THRESHOLD 0.30`
+	// The default operator's cost model is dyadic: auto resolves to the
+	// bit-parallel kernel.
+	exp := mustExec(t, s, q)
+	if !strings.Contains(exp.Rows[0][0].S, "[kernel: bitvec]") {
+		t.Errorf("EXPLAIN = %v", exp.Rows[0][0].S)
+	}
+	mustExec(t, s, `SET lexequal_kernel = scalar`)
+	exp = mustExec(t, s, q)
+	if !strings.Contains(exp.Rows[0][0].S, "[kernel: scalar]") {
+		t.Errorf("EXPLAIN = %v", exp.Rows[0][0].S)
+	}
+	// A non-dyadic ICSC makes the model scalar-only even under bitvec.
+	mustExec(t, s, `SET lexequal_kernel = bitvec`)
+	mustExec(t, s, `SET lexequal_icsc = 0.3`)
+	exp = mustExec(t, s, q)
+	if !strings.Contains(exp.Rows[0][0].S, "[kernel: scalar]") {
+		t.Errorf("EXPLAIN under non-dyadic model = %v", exp.Rows[0][0].S)
+	}
+}
+
+// TestLexStatsKernelCounters proves the dispatch through SHOW LEXSTATS:
+// the bit-parallel kernel reports word ops, the naive plan reports its
+// signature prefilter's rejections and the batches it built, and a
+// non-dyadic model's fallback verifications are counted.
+func TestLexStatsKernelCounters(t *testing.T) {
+	s := newTestSession(t)
+	loadNames(t, s)
+	stats := func() map[string]int64 {
+		res := mustExec(t, s, `SHOW LEXSTATS`)
+		out := map[string]int64{}
+		for _, r := range res.Rows {
+			out[r[0].S] = r[1].I
+		}
+		return out
+	}
+	mustExec(t, s, `SELECT id FROM names WHERE name LEXEQUAL 'Nehru' THRESHOLD 0.30`)
+	st := stats()
+	if st["bitvec_ops"] == 0 {
+		t.Errorf("bit-parallel kernel did no work under auto: %v", st)
+	}
+	if st["batches_built"] == 0 {
+		t.Errorf("no candidate batch materialized: %v", st)
+	}
+	if st["pruned_sig"] == 0 {
+		t.Errorf("naive signature prefilter pruned nothing: %v", st)
+	}
+	if st["rows_probed"] != st["pruned_sig"]+st["candidates"] {
+		t.Errorf("naive accounting split broken: %v", st)
+	}
+	// A non-dyadic model must prove its fallback dispatch.
+	mustExec(t, s, `SET lexequal_icsc = 0.3`)
+	mustExec(t, s, `SET lexequal_kernel = bitvec`)
+	before := stats()
+	mustExec(t, s, `SELECT id FROM names WHERE name LEXEQUAL 'Nehru' THRESHOLD 0.30`)
+	after := stats()
+	if after["scalar_fallbacks"] <= before["scalar_fallbacks"] {
+		t.Errorf("non-dyadic model recorded no scalar fallbacks: %v -> %v", before, after)
+	}
+	if after["bitvec_ops"] != before["bitvec_ops"] {
+		t.Errorf("non-dyadic model did bit-parallel work: %v -> %v", before, after)
+	}
+}

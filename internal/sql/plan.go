@@ -259,14 +259,19 @@ type planInfo struct {
 	strategy    string
 	shape       string
 	parallelism int
+	kernel      string
 }
 
 // configureLex applies the session execution knobs to a resolved
-// LexConfig and notes them for EXPLAIN.
+// LexConfig and notes them for EXPLAIN. The kernel shown is the
+// model-level resolution (a pattern longer than one machine word still
+// falls back to scalar per query at runtime).
 func (s *Session) configureLex(cfg *db.LexConfig, info *planInfo) {
 	cfg.Workers = s.Parallelism
 	cfg.Counters = &s.Pipeline
+	cfg.Kernel = s.Kernel
 	info.parallelism = s.Parallelism
+	info.kernel = s.Op.ResolveKernel(s.Kernel).String()
 }
 
 // planSelect lowers a SELECT into an executor tree.

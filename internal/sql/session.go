@@ -52,6 +52,11 @@ type Session struct {
 	// stage (SET PARALLELISM = n). 1 is serial; 0 selects GOMAXPROCS.
 	// Results are identical at any width.
 	Parallelism int
+	// Kernel selects the verification kernel (SET lexequal_kernel =
+	// auto|scalar|bitvec). Auto engages the bit-parallel kernel whenever
+	// the operator's cost model compiles; results are identical under
+	// every setting.
+	Kernel core.Kernel
 	// Pipeline accumulates per-stage execution counters across the
 	// session's LexEQUAL queries (SHOW LEXSTATS).
 	Pipeline metrics.PipelineCounters
@@ -338,6 +343,9 @@ func (s *Session) exec(stmt Stmt) (*Result, error) {
 		if info.parallelism > 1 || info.parallelism == 0 {
 			plan += fmt.Sprintf(" [parallelism: %d]", info.parallelism)
 		}
+		if info.kernel != "" {
+			plan += fmt.Sprintf(" [kernel: %s]", info.kernel)
+		}
 		return &Result{
 			Cols: []string{"plan"},
 			Rows: []db.Row{{db.Str(plan)}},
@@ -389,8 +397,12 @@ func (s *Session) exec(stmt Stmt) (*Result, error) {
 				{db.Str("rows_probed"), db.Int(snap.Rows)},
 				{db.Str("pruned_length"), db.Int(snap.PrunedLength)},
 				{db.Str("pruned_count"), db.Int(snap.PrunedCount)},
+				{db.Str("pruned_sig"), db.Int(snap.PrunedSig)},
 				{db.Str("candidates"), db.Int(snap.Candidates)},
 				{db.Str("dp_cells"), db.Int(snap.DPCells)},
+				{db.Str("bitvec_ops"), db.Int(snap.BitvecOps)},
+				{db.Str("scalar_fallbacks"), db.Int(snap.ScalarFallbacks)},
+				{db.Str("batches_built"), db.Int(snap.BatchesBuilt)},
 				{db.Str("matches"), db.Int(snap.Matches)},
 				{db.Str("sig_cache_hits"), db.Int(snap.SigCacheHits)},
 			}
@@ -629,6 +641,13 @@ func (s *Session) execSet(st *SetStmt) (*Result, error) {
 			return nil, fmt.Errorf("sql: parallelism must be a non-negative integer (0 = GOMAXPROCS)")
 		}
 		s.Parallelism = v
+		return ack()
+	case "lexequal_kernel":
+		k, err := core.ParseKernel(strings.ToLower(st.Value))
+		if err != nil {
+			return nil, err
+		}
+		s.Kernel = k
 		return ack()
 	case "lexequal_weakindel":
 		v, err := parseUnitInterval(st.Name, st.Value)
