@@ -6,7 +6,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json lockgraph test race fuzz-smoke bench bench-smoke serve-smoke crash-smoke ci clean
+.PHONY: all build vet lint lint-json lockgraph test race fuzz-smoke bench bench-smoke serve-smoke crash-smoke mvcc-smoke ci clean
 
 all: build
 
@@ -75,12 +75,22 @@ serve-smoke:
 
 # The crash-torture sweep (DESIGN.md §11): kill the WAL workload at
 # every write and sync point, recover, verify. Runs the full sweep (no
-# -short stride) plus the recovery-idempotency properties.
+# -short stride) plus the recovery-idempotency properties — including
+# the concurrent-writer sweep, which kills interleaved MVCC
+# transactions mid-flight and demands per-transaction all-or-nothing.
 crash-smoke:
 	$(GO) test -run 'CrashTorture|RecoveryIdempotent|CrashDuringRecovery|BoundedRecovery|CheckpointENOSPC' -count=1 ./internal/db/
 	$(GO) test -run 'GroupCommit|Checkpoint' -count=1 ./internal/server/
 
-ci: vet build lint race fuzz-smoke serve-smoke crash-smoke bench-smoke
+# The MVCC concurrency gate (DESIGN.md §15), under the race detector:
+# the 8-client mixed read/write soak, the reader-never-blocks and
+# conflict-retry contracts at the SQL layer, and the randomized
+# serial-equivalence property at the db layer.
+mvcc-smoke:
+	$(GO) test -race -count=1 -run 'TestMVCCSmoke|TestSelectNeverBlocksBehindWriter|TestWriteWriteConflictAbortsAndRetries' ./internal/sql/
+	$(GO) test -race -count=1 -run 'TestMVCC' ./internal/db/
+
+ci: vet build lint race fuzz-smoke serve-smoke crash-smoke mvcc-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

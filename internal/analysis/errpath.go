@@ -9,7 +9,9 @@ import (
 
 // ErrPath is the path-sensitive resource-balance analyzer. For every
 // acquisition of an engine resource — a page pinned by Pager.Get or
-// Pager.Allocate, a mutex lock, a transaction opened by DB.Begin — it
+// Pager.Allocate, a mutex lock, a transaction opened by DB.Begin or
+// DB.BeginTx, an MVCC snapshot from DB.AcquireSnap (a leaked snapshot
+// pins the version-GC horizon forever) — it
 // walks the function's CFG and proves the resource is released,
 // deferred, or visibly handed off on *every* path to the exit,
 // including early error returns. It subsumes the old pinbalance
@@ -47,6 +49,7 @@ const (
 	resPin resKind = iota
 	resLock
 	resTxn
+	resSnap
 )
 
 // resLevel is the per-path obligation state: levels join by max.
@@ -111,6 +114,7 @@ type errpathFunc struct {
 	closureUnpin  map[types.Object]bool
 	closureUnlock map[LockID]modeBits
 	closureTxDone map[types.Object]bool
+	closureSnap   map[types.Object]bool
 }
 
 func (ef *errpathFunc) run() {
@@ -130,6 +134,7 @@ func (ef *errpathFunc) scanReleases() {
 	ef.closureUnpin = map[types.Object]bool{}
 	ef.closureUnlock = map[LockID]modeBits{}
 	ef.closureTxDone = map[types.Object]bool{}
+	ef.closureSnap = map[types.Object]bool{}
 	ast.Inspect(ef.fn.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			if op := ef.resolver.lockOpOf(call); op != nil && !op.acquire {
@@ -164,6 +169,10 @@ func (ef *errpathFunc) scanReleases() {
 			}
 			if obj := unpinArg(ef.info, call); obj != nil {
 				ef.closureUnpin[obj] = true
+				return true
+			}
+			if obj := snapReleaseArg(ef.info, call); obj != nil {
+				ef.closureSnap[obj] = true
 				return true
 			}
 			if obj := txReleaseRecv(ef.info, call); obj != nil {
@@ -259,10 +268,16 @@ func (ef *errpathFunc) assignSite(n *ast.AssignStmt, block int) *resSite {
 	kind := resPin
 	method := pagerAcquireMethod(ef.info, call)
 	if method == "" {
-		if methodCallOn(ef.info, call, "DB", "Begin") == nil {
+		switch {
+		case methodCallOn(ef.info, call, "DB", "Begin") != nil:
+			kind, method = resTxn, "Begin"
+		case methodCallOn(ef.info, call, "DB", "BeginTx") != nil:
+			kind, method = resTxn, "BeginTx"
+		case methodCallOn(ef.info, call, "DB", "AcquireSnap") != nil:
+			kind, method = resSnap, "AcquireSnap"
+		default:
 			return nil
 		}
-		kind, method = resTxn, "Begin"
 	}
 	if len(n.Lhs) == 0 {
 		return nil
@@ -333,7 +348,10 @@ func (ef *errpathFunc) checkSite(site *resSite) {
 		ef.pass.Reportf(site.pos, "page %q pinned by Pager.%s is not released on every path through %s (early return without Unpin?)",
 			site.obj.Name(), site.method, name)
 	case resTxn:
-		ef.pass.Reportf(site.pos, "transaction %q from DB.Begin is neither committed nor rolled back on some path through %s",
+		ef.pass.Reportf(site.pos, "transaction %q from DB.%s is neither committed nor rolled back on some path through %s",
+			site.obj.Name(), site.method, name)
+	case resSnap:
+		ef.pass.Reportf(site.pos, "snapshot %q from DB.AcquireSnap is not released on every path through %s (early return without ReleaseSnap pins the version-GC horizon)",
 			site.obj.Name(), name)
 	case resLock:
 		ef.pass.Reportf(site.pos, "%s locked here is not unlocked on every path through %s (early return while holding it?)",
@@ -350,6 +368,8 @@ func (ef *errpathFunc) closureCovers(site *resSite) bool {
 		return ef.closureUnpin[site.obj]
 	case resTxn:
 		return ef.closureTxDone[site.obj]
+	case resSnap:
+		return ef.closureSnap[site.obj]
 	case resLock:
 		return ef.closureUnlock[site.lock]&site.mode != 0
 	}
@@ -420,6 +440,10 @@ func (ef *errpathFunc) nodeReleases(site *resSite, n ast.Node) bool {
 			}
 		case resPin:
 			if unpinArg(ef.info, call) == site.obj {
+				found = true
+			}
+		case resSnap:
+			if snapReleaseArg(ef.info, call) == site.obj {
 				found = true
 			}
 		case resTxn:
@@ -651,6 +675,18 @@ func pagerAcquireMethod(info *types.Info, call *ast.CallExpr) string {
 // unpinArg returns the object passed to Pager.Unpin, or nil.
 func unpinArg(info *types.Info, call *ast.CallExpr) types.Object {
 	if methodCallOn(info, call, "Pager", "Unpin") == nil || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// snapReleaseArg returns the object passed to DB.ReleaseSnap, or nil.
+func snapReleaseArg(info *types.Info, call *ast.CallExpr) types.Object {
+	if methodCallOn(info, call, "DB", "ReleaseSnap") == nil || len(call.Args) != 1 {
 		return nil
 	}
 	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)

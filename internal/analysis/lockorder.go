@@ -43,7 +43,21 @@ var lockTiers = map[string]struct {
 	"Log":      {40, "wal"},
 }
 
-const sanctionedOrder = "db → heap/btree → pager → wal"
+// lockFieldTiers refines specific fields of a tiered type: the MVCC
+// version store's locks live on DB but occupy their own slots in the
+// sanctioned order — the claim lock (wmu) is taken before the storage
+// latches it arbitrates, and the version registry (tmu) nests inside
+// them, outside only the pager and WAL tiers. Field matches take
+// precedence over the owner-type match.
+var lockFieldTiers = map[string]struct {
+	rank int
+	tier string
+}{
+	"DB.wmu": {15, "claim"},
+	"DB.tmu": {25, "version"},
+}
+
+const sanctionedOrder = "db → claim → heap/btree → version → pager → wal"
 
 // lockTier resolves a lock to its policy tier; ok is false for locks
 // outside the sanctioned hierarchy.
@@ -51,6 +65,9 @@ func lockTier(l LockID) (rank int, tier string, ok bool) {
 	owner := l.Owner
 	if i := strings.LastIndexByte(owner, '.'); i >= 0 {
 		owner = owner[i+1:]
+	}
+	if t, ok := lockFieldTiers[owner+"."+l.Field]; ok {
+		return t.rank, t.tier, true
 	}
 	t, ok := lockTiers[owner]
 	return t.rank, t.tier, ok

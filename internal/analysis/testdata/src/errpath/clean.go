@@ -122,6 +122,49 @@ func cleanTxnDefer(d *DB, fail bool) error {
 	return tx.Commit()
 }
 
+// cleanConcurrentTxn resolves the MVCC transaction on both arms — the
+// conflict path rolls back (the SQL layer's retry contract), the happy
+// path commits.
+func cleanConcurrentTxn(d *DB, conflict bool) error {
+	tx, err := d.BeginTx()
+	if err != nil {
+		return err
+	}
+	if conflict {
+		return tx.Rollback()
+	}
+	return tx.Commit()
+}
+
+// cleanSnapDefer is the per-statement snapshot shape: acquire, defer
+// the release, evaluate under it.
+func cleanSnapDefer(d *DB, bad bool) error {
+	s := d.AcquireSnap()
+	defer d.ReleaseSnap(s)
+	if bad {
+		return errBad
+	}
+	_ = s.h
+	return nil
+}
+
+// cleanSnapBothArms releases on the early exit and the fall-through.
+func cleanSnapBothArms(d *DB, bad bool) error {
+	s := d.AcquireSnap()
+	if bad {
+		d.ReleaseSnap(s)
+		return errBad
+	}
+	d.ReleaseSnap(s)
+	return nil
+}
+
+// cleanSnapHandoff returns the acquired snapshot: the caller owns the
+// release, exactly like a pinned page handed off wholesale.
+func cleanSnapHandoff(d *DB) *Snap {
+	return d.AcquireSnap()
+}
+
 // cleanLockDefer is the standard critical-section shape.
 func cleanLockDefer(c *counter) int {
 	c.mu.Lock()

@@ -24,11 +24,20 @@ func (pg *Pager) Unpin(p *Page)                { pg.pins-- }
 
 type Tx struct{ done bool }
 
-type DB struct{ pg Pager }
+type Snap struct{ h uint64 }
 
-func (d *DB) Begin() (*Tx, error) { return &Tx{}, nil }
-func (t *Tx) Commit() error       { t.done = true; return nil }
-func (t *Tx) Rollback() error     { t.done = true; return nil }
+type DB struct {
+	pg    Pager
+	snaps int
+}
+
+func (d *DB) Begin() (*Tx, error)   { return &Tx{}, nil }
+func (d *DB) BeginTx() (*Tx, error) { return &Tx{}, nil }
+func (t *Tx) Commit() error         { t.done = true; return nil }
+func (t *Tx) Rollback() error       { t.done = true; return nil }
+
+func (d *DB) AcquireSnap() *Snap  { d.snaps++; return &Snap{} }
+func (d *DB) ReleaseSnap(s *Snap) { d.snaps-- }
 
 type counter struct {
 	mu sync.Mutex
@@ -110,6 +119,31 @@ func leakTxn(d *DB, fail bool) error {
 		return errBad
 	}
 	return tx.Commit()
+}
+
+// leakConcurrentTxn abandons the MVCC transaction when the write
+// fails: never finished, it stays in the in-flight registry and blocks
+// the version-GC horizon for the life of the process.
+func leakConcurrentTxn(d *DB, fail bool) error {
+	tx, err := d.BeginTx() // want `transaction "tx" from DB\.BeginTx is neither committed nor rolled back`
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errBad
+	}
+	return tx.Commit()
+}
+
+// leakSnap drops the snapshot on the validation failure path: a
+// registered snapshot that is never released pins the GC horizon.
+func leakSnap(d *DB, bad bool) error {
+	s := d.AcquireSnap() // want `snapshot "s" from DB\.AcquireSnap is not released on every path`
+	if bad {
+		return errBad
+	}
+	d.ReleaseSnap(s)
+	return nil
 }
 
 // leakLock returns while still holding the mutex.

@@ -7,7 +7,15 @@ import "sync"
 // db/btree/wal tiers so its edges stay disjoint from the seeded
 // violations in lockorder.go.
 
-type DB struct{ qmu sync.RWMutex }
+type DB struct {
+	qmu sync.RWMutex
+	// The MVCC version store: wmu is the claim lock (tier claim, outside
+	// the storage latches), tmu the version registry (tier version,
+	// inside them). The field-qualified tier overrides give them their
+	// own ranks even though they live on DB.
+	wmu sync.Mutex
+	tmu sync.RWMutex
+}
 
 type BTree struct{ latch sync.RWMutex }
 
@@ -18,6 +26,23 @@ func sanctioned(d *DB, t *BTree, l *Log) {
 	l.mu.Unlock()
 	t.latch.Unlock()
 	d.qmu.Unlock()
+}
+
+// sanctionedMVCC is the version store's write path: query lock shared,
+// claim decision under wmu, storage latch for the row patch, version
+// registry read for the visibility horizon — every step descends the
+// sanctioned order. (It stops short of the wal tier: BTree.latch → Log
+// already exists in sanctioned, and adding wmu → Log here would close a
+// cycle through the seeded Log → Pager → heap inversions.)
+func sanctionedMVCC(d *DB, h *HeapFile) {
+	d.qmu.RLock()
+	d.wmu.Lock()
+	h.latch.Lock()
+	d.tmu.RLock()
+	d.tmu.RUnlock()
+	h.latch.Unlock()
+	d.wmu.Unlock()
+	d.qmu.RUnlock()
 }
 
 // sanctionedViaCall nests the same tiers one call deep.

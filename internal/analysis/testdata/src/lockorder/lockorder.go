@@ -38,7 +38,7 @@ type Log struct{ mu sync.Mutex }
 // tier: the sanctioned order is db → heap/btree → pager → wal.
 func inverted(p *Pager, h *HeapFile) {
 	p.mu.Lock()
-	h.latch.Lock() // want `lock-order violation: lockorder\.HeapFile\.latch \(tier heap\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is db → heap/btree → pager → wal`
+	h.latch.Lock() // want `lock-order violation: lockorder\.HeapFile\.latch \(tier heap\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is db → claim → heap/btree → version → pager → wal`
 	h.latch.Unlock()
 	p.mu.Unlock()
 }
@@ -54,6 +54,29 @@ func invertedViaCall(l *Log, p *Pager) {
 	l.mu.Lock()
 	flushPager(p) // want `lock-order violation: lockorder\.Pager\.mu \(tier pager\) acquired via lockorder\.flushPager while holding lockorder\.Log\.mu \(tier wal\)`
 	l.mu.Unlock()
+}
+
+// claimUnderLatch takes the MVCC claim lock while already inside a
+// storage latch: the claim tier arbitrates row claims *before* the
+// winner touches storage, so it must be acquired outside the latches.
+// (The edge ends at DB.wmu, whose only fixture successors are
+// HeapFile.latch and DB.tmu — neither reaches BTree.latch — so the
+// seeded inversion stays acyclic.)
+func claimUnderLatch(d *DB, t *BTree) {
+	t.latch.Lock()
+	d.wmu.Lock() // want `lock-order violation: lockorder\.DB\.wmu \(tier claim\) acquired while holding lockorder\.BTree\.latch \(tier btree\); sanctioned order is db → claim → heap/btree → version → pager → wal`
+	d.wmu.Unlock()
+	t.latch.Unlock()
+}
+
+// versionUnderPager consults the version registry from inside the pager
+// tier: visibility decisions happen above the page cache, never below
+// it.
+func versionUnderPager(d *DB, p *Pager) {
+	p.mu.Lock()
+	d.tmu.Lock() // want `lock-order violation: lockorder\.DB\.tmu \(tier version\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is db → claim → heap/btree → version → pager → wal`
+	d.tmu.Unlock()
+	p.mu.Unlock()
 }
 
 type index struct{ latch sync.RWMutex }

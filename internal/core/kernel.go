@@ -152,13 +152,14 @@ func (m *BatchMatcher) Match(b *Batch, i int, ln *Lane) bool {
 // from per-row batch columns with a couple of word operations, before
 // any kernel work. Its projected-edit budget is the pair's edit bound
 // plus both strings' weak counts: the default cluster set places
-// glottals in the same cluster as dorsal obstruents, so a cheap edit
-// (ICSC substitution or discounted glottal indel) can change the
-// glottal-dropping projection by one full unit — each glottal of either
-// string accounts for at most one such unit, making the slacked budget
-// sound where the unslacked one would falsely dismiss pairs like
-// /ha/~/ka/. Coarser than the q-gram strategy's exact positional
-// filter, but sound against the verified clustered distance.
+// glottals in the same cluster as dorsal obstruents, so an ICSC
+// substitution between a glottal and a strong clustermate (as in
+// /ha/~/ka/) changes the glottal-dropping projection by one full unit
+// for less than a unit of cost — each glottal of either string accounts
+// for at most one such unit, so the slacked budget is sound. The
+// q-gram strategy's exact positional filters budget with the same slack
+// (Operator.SigBudget); this filter is merely the coarser, batched
+// form of it.
 type SigFilter struct {
 	qlen  int
 	qproj int

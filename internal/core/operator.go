@@ -176,6 +176,13 @@ func (op *Operator) Clusters() *phoneme.Clusters { return op.clusters }
 // Cost exposes the cost model (for benchmarks and explain output).
 func (op *Operator) Cost() editdist.CostModel { return op.cost }
 
+// CostEqual reports whether two operators share one edit-cost model
+// (built-in models are comparable values, so parameters compare by
+// value). Joins verify under the left operator's model; when the models
+// differ the right corpus's precomputed kernel columns are unusable and
+// the join runs on the scalar kernel.
+func (op *Operator) CostEqual(o *Operator) bool { return op.cost == o.cost }
+
 // ICSC returns the intra-cluster substitution cost in use.
 func (op *Operator) ICSC() float64 { return op.icsc }
 

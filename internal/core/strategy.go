@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"lexequal/internal/editdist"
@@ -233,13 +234,57 @@ func (op *Operator) NewCorpusQ(texts []Text, q int) (*Corpus, error) {
 	return c, nil
 }
 
-// sigBudget converts a clustered-cost bound into a sound budget on
-// projected-space unit edits. By construction (the cost model's
-// discounted-indel set equals the projection's drop set), every edit
-// that changes the signature projection costs at least 1, so the budget
-// is the bound itself.
-func (c *Corpus) sigBudget(bound float64) float64 {
-	return bound
+// SigBudget converts a clustered-cost bound into a sound budget on
+// projected-space unit edits for one candidate pair; weak is the total
+// weak-phoneme count of the two strings. Most projection-changing edits
+// cost at least one full unit (the cost model's discounted-indel set
+// equals the projection's drop set), but the default cluster set places
+// glottals in the same cluster as dorsal obstruents, so an ICSC
+// substitution between a glottal and a strong clustermate changes the
+// projection for less than a unit — the /ha/~/ka/ pair SigFilter's doc
+// walks through. Each such edit consumes a distinct weak occurrence of
+// one of the two strings, so bound + weak is sound (the same slack
+// SigFilter applies); independently, SigBudgetCap bounds the budget
+// without reference to the candidate. The tighter of the two applies.
+func (op *Operator) SigBudget(bound float64, weak int) float64 {
+	b := bound + float64(weak)
+	if c := op.SigBudgetCap(bound); c < b {
+		b = c
+	}
+	return b
+}
+
+// SigBudgetCap is the candidate-independent ceiling on the projected-
+// space edit budget: every edit that changes the signature projection
+// costs at least the model's floor (cross-cluster substitutions and
+// strong indels cost 1, glottal↔strong intra-cluster substitutions cost
+// ICSC; discounted glottal indels never change the projection because
+// the projection drops glottals), so a pair within clustered cost
+// `bound` admits at most bound/floor projected unit edits. An ICSC of
+// zero prices some projection-changing edits free, so no finite cap
+// exists there. Plans use the cap where the candidate (and hence its
+// weak count) is not yet in hand: probe-time pruning and the decision
+// whether zero-gram candidates must still be swept.
+func (op *Operator) SigBudgetCap(bound float64) float64 {
+	switch cm := op.cost.(type) {
+	case editdist.Clustered:
+		if cm.ICSC >= 1 {
+			return bound
+		}
+		if cm.ICSC == 0 {
+			return math.Inf(1)
+		}
+		if c := bound / cm.ICSC; c < 1e12 {
+			return c
+		}
+		// An absurdly small ICSC yields a quotient with no filtering
+		// power (and unsafe to truncate to int); treat it as unbounded.
+		return math.Inf(1)
+	default:
+		// Unit charges 1 per projection-changing edit; other models keep
+		// the historical bare bound (their floor is not analyzable here).
+		return bound
+	}
 }
 
 // Len returns the number of rows.
@@ -323,18 +368,21 @@ func (c *Corpus) selectNaive(qp phoneme.String, e float64, langs LangSet, o exec
 
 // selectQGram implements the Figure 14 plan: the edit-distance budget is
 // k = e·|query| (the paper uses the query length in all three filter
-// predicates), the inverted index supplies position-filtered gram match
-// counts, and candidates passing the length and count filters are
-// verified with the UDF. The probe phase runs once; the filter+verify
-// scan is morsel-parallel (counts is read-only by then).
+// predicates) slacked per row by the pair's weak counts (SigBudget),
+// the inverted index supplies position-filtered gram match counts, and
+// candidates passing the length and count filters are verified with the
+// UDF. The probe phase runs once; the filter+verify scan is
+// morsel-parallel (counts is read-only by then).
 func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet, o execOpts) ([]int, Stats, error) {
-	k := c.sigBudget(e * float64(len(qp)))
+	base := e * float64(len(qp))
+	qweak := editdist.WeakCount(qp)
+	kRow := func(i int) float64 { return c.op.SigBudget(base, qweak+int(c.batch.wk[i])) }
 	qproj := c.encoder.Project(qp)
 	pm := c.op.NewBatchMatcher(qp, e, o.kernel)
 	counts := make(map[int]int)
 	for _, g := range qgram.Extract(qproj, c.q) {
 		for _, p := range c.grams[g.Key()] {
-			if qgram.PositionOK(g.Pos, p.pos, k) {
+			if qgram.PositionOK(g.Pos, p.pos, kRow(p.row)) {
 				counts[p.row]++
 			}
 		}
@@ -346,6 +394,7 @@ func (c *Corpus) selectQGram(qp phoneme.String, e float64, langs LangSet, o exec
 				continue
 			}
 			ln.Stats.Rows++
+			k := kRow(i)
 			if !qgram.LengthOK(len(qproj), c.proj.RowLen(i), k) {
 				ln.Stats.PrunedLength++
 				continue
@@ -421,7 +470,7 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 	// (Clustered and Unit are comparable values, so interface equality
 	// compares model parameters.)
 	kern := o.kernel
-	if left.op.cost != right.op.cost {
+	if !left.op.CostEqual(right.op) {
 		kern = KernelScalar
 	}
 	var probe func(ln *Lane, lo, hi int) []Pair
@@ -468,6 +517,20 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 		// lengths agree (always, for a self-join), so no per-probe gram
 		// extraction or key rendering happens on the hot path.
 		cached := left.q == right.q
+		// Right rows ordered by weak count (descending): the zero-gram
+		// sweep below visits rows in this order and stops as soon as the
+		// count filter regains power, so glottal-free corpora pay nothing.
+		sweepOrder := make([]int, len(right.texts))
+		for r := range sweepOrder {
+			sweepOrder[r] = r
+		}
+		sort.Slice(sweepOrder, func(a, b int) bool {
+			wa, wb := right.batch.wk[sweepOrder[a]], right.batch.wk[sweepOrder[b]]
+			if wa != wb {
+				return wa > wb
+			}
+			return sweepOrder[a] < sweepOrder[b]
+		})
 		probe = func(ln *Lane, lo, hi int) []Pair {
 			pm := left.op.NewLaneMatcher(ln, kern)
 			var out []Pair
@@ -478,13 +541,17 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 				}
 				pm.SetPattern(lp, threshold)
 				lplen := left.proj.RowLen(l)
-				k := right.sigBudget(threshold * float64(len(lp)))
+				// Budgets are per pair (SigBudget slacks by both weak
+				// counts) under the LEFT operator's cost model — the model
+				// the verification runs under.
+				base := threshold * float64(len(lp))
+				kPair := func(r int) float64 { return left.op.SigBudget(base, int(left.batch.wk[l])+int(right.batch.wk[r])) }
 				counts := make(map[int]int)
 				if cached {
 					ln.Stats.SigCacheHits++
 					for _, g := range left.sigGrams[l] {
 						for _, p := range right.grams[g.key] {
-							if qgram.PositionOK(g.pos, p.pos, k) {
+							if qgram.PositionOK(g.pos, p.pos, kPair(p.row)) {
 								counts[p.row]++
 							}
 						}
@@ -492,32 +559,55 @@ func Join(left, right *Corpus, threshold float64, requireDifferentLang bool, str
 				} else {
 					for _, g := range qgram.Extract(left.proj.View(l), right.q) {
 						for _, p := range right.grams[g.Key()] {
-							if qgram.PositionOK(g.Pos, p.pos, k) {
+							if qgram.PositionOK(g.Pos, p.pos, kPair(p.row)) {
 								counts[p.row]++
 							}
 						}
 					}
 				}
-				for r, cnt := range counts {
+				tryPair := func(r, cnt int) {
 					if right.batch.phon.RowLen(r) == 0 {
-						continue
+						return
 					}
 					if requireDifferentLang && left.texts[l].Lang == right.texts[r].Lang {
-						continue
+						return
 					}
 					ln.Stats.Rows++
+					k := kPair(r)
 					if !qgram.LengthOK(lplen, right.proj.RowLen(r), k) {
 						ln.Stats.PrunedLength++
-						continue
+						return
 					}
 					need := qgram.CountThreshold(lplen, right.proj.RowLen(r), right.q, k)
 					if need > 0 && cnt < need {
 						ln.Stats.PrunedCount++
-						continue
+						return
 					}
 					ln.Stats.Candidates++
 					if pm.Match(&right.batch, r, ln) {
 						out = append(out, Pair{Left: l, Right: r})
+					}
+				}
+				for r, cnt := range counts {
+					tryPair(r, cnt)
+				}
+				// Rows sharing no position-compatible gram can still be
+				// true matches when the count filter has no power for the
+				// pair (short strings, or weak-count slack swallowing the
+				// whole budget). Sweep them only in that regime: rows in
+				// descending weak order, stopping once the count filter
+				// regains power (need is monotone in the row's weak count,
+				// and CountThreshold's second argument 0 selects the
+				// admissible length that minimizes it).
+				capK := left.op.SigBudgetCap(base)
+				if math.IsInf(capK, 1) || qgram.CountThreshold(lplen, 0, right.q, capK) <= 0 {
+					for _, r := range sweepOrder {
+						if qgram.CountThreshold(lplen, 0, right.q, kPair(r)) > 0 {
+							break
+						}
+						if _, seen := counts[r]; !seen {
+							tryPair(r, 0)
+						}
 					}
 				}
 			}

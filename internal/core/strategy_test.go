@@ -299,3 +299,78 @@ func TestNoResourceRowsNeverMatch(t *testing.T) {
 		}
 	}
 }
+
+// weakCatalog is a lexicon dominated by glottal-bearing names. The
+// signature projection drops glottals, and the default cluster set
+// places them with dorsal obstruents, so a cheap ICSC substitution like
+// /ha/~/ka/ moves the projection by a full unit for a fraction of the
+// budget — the exact surface the q-gram strategy's weak-count slack
+// (Operator.SigBudget) exists for.
+func weakCatalog() []Text {
+	return []Text{
+		en("Ha"),    // 0
+		en("Ka"),    // 1
+		en("Hahn"),  // 2
+		en("Kahn"),  // 3
+		en("Khan"),  // 4
+		en("Han"),   // 5
+		en("Aha"),   // 6
+		en("Hoho"),  // 7
+		en("Koko"),  // 8
+		en("Oh"),    // 9
+		en("Nehru"), // 10
+		en("Neru"),  // 11
+		en("Kathy"), // 12
+		en("Cathy"), // 13
+	}
+}
+
+// TestQGramEqualsNaiveOnWeakLexicon is the budget-slack regression: the
+// unslacked strategy budget falsely dismissed pairs whose cheap
+// glottal-substitution edits shift the projection (e.g. /ha/~/ka/),
+// making StrategyQGram diverge from StrategyNaive. The two strategies
+// must agree exactly on selects and self-joins over the weak lexicon.
+func TestQGramEqualsNaiveOnWeakLexicon(t *testing.T) {
+	op := newOp(t)
+	c, err := op.NewCorpus(weakCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, query := range weakCatalog() {
+		for _, thr := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+			naive, _, err := c.Select(query, thr, nil, Naive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qg, _, err := c.Select(query, thr, nil, QGram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(naive, qg) {
+				t.Errorf("%v @%v: naive %v != qgram %v", query, thr, naive, qg)
+			}
+		}
+	}
+	for _, thr := range []float64{0.2, 0.3, 0.5} {
+		nj, _, err := SelfJoin(c, thr, false, Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qj, _, err := SelfJoin(c, thr, false, QGram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(nj, qj) {
+			t.Errorf("self-join @%v: naive %v != qgram %v", thr, nj, qj)
+		}
+	}
+	// The canonical hazard pair: /ka/ must find /ha/ under both plans
+	// (distance is one intra-cluster substitution, well within 0.30×2).
+	got, _, err := c.Select(en("Ka"), 0.30, nil, QGram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsInt(got, 0) {
+		t.Error("qgram strategy falsely dismissed /ha/ for query /ka/")
+	}
+}

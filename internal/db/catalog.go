@@ -96,16 +96,35 @@ type DB struct {
 
 	// wal is the write-ahead log; nil when opened with DisableWAL.
 	wal *wal.Log
-	// txmu serializes write transactions (held from Begin to
-	// Commit/Rollback).
+	// txmu serializes ambient write transactions (held from Begin to
+	// Commit/Rollback). Concurrent transactions (BeginTx) bypass it.
 	txmu sync.Mutex
 	// stmu guards the small mutable transaction/lifecycle state below.
 	stmu     sync.Mutex
 	activeTx *Tx
-	// txWrites counts log records the open transaction has written.
-	txWrites int
-	nextTxID uint64
 	commits  uint64
+
+	// tmu guards the MVCC transaction registry: which transactions are
+	// in flight, when finished ones committed, and which snapshots are
+	// open. Taken briefly per visibility check (shared) and per
+	// begin/commit/snapshot transition (exclusive); never held across a
+	// storage-latch acquisition (the order is latch, then tmu).
+	tmu sync.RWMutex
+	// inflight maps open transaction IDs to their Tx.
+	inflight map[uint64]*Tx
+	// committedAt maps finished transaction IDs to their commit LSNs;
+	// entries at or below every open snapshot's horizon are pruned by
+	// version GC (visible treats unknown IDs as anciently committed).
+	committedAt map[uint64]uint64
+	// maxCommit is the commit horizon: the newest commit LSN.
+	maxCommit uint64
+	// snaps is the registry of open read snapshots, bounding version GC.
+	snaps map[*Snap]struct{}
+	// conflicts counts first-writer-wins conflicts lost.
+	conflicts uint64
+	// wmu serializes row-claim decisions (DeleteTx's read-check-stamp)
+	// and abort-time claim clearing against each other.
+	wmu sync.Mutex
 	// catDirty means the catalog has committed changes that are logged
 	// but not yet written to catalog.json (the write is deferred to
 	// Close; recovery re-creates it from the log after a crash).
@@ -189,11 +208,14 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("db: create dir: %w", err)
 	}
 	d := &DB{
-		dir:        dir,
-		cachePages: opts.CachePages,
-		fs:         fs,
-		tables:     make(map[string]*Table),
-		indexes:    make(map[string]*Index),
+		dir:         dir,
+		cachePages:  opts.CachePages,
+		fs:          fs,
+		tables:      make(map[string]*Table),
+		indexes:     make(map[string]*Index),
+		inflight:    make(map[uint64]*Tx),
+		committedAt: make(map[uint64]uint64),
+		snaps:       make(map[*Snap]struct{}),
 	}
 	if !opts.DisableWAL {
 		l, err := wal.Open(dir, fs)
@@ -214,9 +236,19 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 			if err != nil {
 				return nil, errors.Join(fmt.Errorf("db: crash recovery: %w", err), l.Close())
 			}
+			// Redo skipped the losers' own page images, but committed
+			// images can embed loser rows; purge them by version header
+			// before the database serves anything. This runs before the
+			// log reset so a crash mid-purge reruns redo and purge from
+			// the same records.
+			purged, err := d.purgeLosers(stats.Losers)
+			if err != nil {
+				return nil, errors.Join(fmt.Errorf("db: crash recovery: %w", err), l.Close())
+			}
 			d.recovery = RecoveryStats{
 				Ran:      true,
 				Duration: time.Since(started),
+				Purged:   purged,
 				Redo: RedoSummary{
 					Floor:    stats.Floor,
 					Scanned:  stats.Scanned,
@@ -319,11 +351,13 @@ func (d *DB) saveCatalog() error {
 		if tx == nil {
 			return errors.New("db: catalog change outside a transaction")
 		}
+		// A catalog change cannot be undone by row compensation; mark
+		// the transaction so its rollback recovers in place.
+		tx.markDDL()
 		if _, err := d.wal.LogCatalog(tx.id, filepath.Base(d.catalogPath()), data); err != nil {
 			return err
 		}
 		d.stmu.Lock()
-		d.txWrites++
 		d.catDirty = true
 		d.stmu.Unlock()
 		return nil
@@ -372,11 +406,32 @@ func (d *DB) Close() error {
 		return err
 	}
 	d.closed = true
-	active := d.activeTx
 	recErr := d.recoveryErr
 	d.stmu.Unlock()
 
 	var errs []error
+	if recErr == nil {
+		// Roll back every transaction still in flight — the ambient one
+		// and any concurrent ones. finish() rejects a stale handle, so a
+		// racing explicit Commit/Rollback is safe; the rollbacks restore
+		// the committed state before anything is flushed. A rollback that
+		// had to escalate may set the sticky recovery error, so re-read
+		// it afterwards.
+		d.tmu.RLock()
+		open := make([]*Tx, 0, len(d.inflight))
+		for _, tx := range d.inflight {
+			open = append(open, tx)
+		}
+		d.tmu.RUnlock()
+		for _, tx := range open {
+			if err := tx.Rollback(); err != nil && !errors.Is(err, errTxDone) {
+				errs = append(errs, err)
+			}
+		}
+		d.stmu.Lock()
+		recErr = d.recoveryErr
+		d.stmu.Unlock()
+	}
 	if recErr != nil {
 		// The database is in an undefined in-memory state: drop the
 		// caches without write-back and keep the log for the next
@@ -397,14 +452,6 @@ func (d *DB) Close() error {
 		d.closeErr = recErr
 		d.stmu.Unlock()
 		return recErr
-	}
-	if active != nil {
-		// finish() rejects a stale handle, so a racing explicit
-		// Commit/Rollback is safe; the rollback restores the
-		// committed state before anything is flushed.
-		if err := active.Rollback(); err != nil {
-			errs = append(errs, err)
-		}
 	}
 	if d.wal != nil {
 		if err := d.wal.Sync(); err != nil {
@@ -482,6 +529,9 @@ func (d *DB) CreateTable(name string, cols Schema) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The catalog-map surgery below is invisible to row compensation;
+	// only in-place recovery can undo it.
+	tx.markDDL()
 	t, err := d.createTableTx(key, name, cols)
 	if err := d.autoEnd(tx, err); err != nil {
 		return nil, err
@@ -554,6 +604,7 @@ func (d *DB) DropTable(name string) error {
 	if err != nil {
 		return err
 	}
+	tx.markDDL()
 	var errs []error
 	errs = append(errs, t.Heap.Discard())
 	delete(d.tables, key)
@@ -586,83 +637,43 @@ func (d *DB) DropTable(name string) error {
 // Insert appends a row after checking it against the schema. The row
 // and its index entries are one transaction: standalone, Insert
 // returns only after the row is durably committed; inside an explicit
-// transaction it is covered by that transaction's commit.
+// (ambient) transaction it is covered by that transaction's commit.
+// Concurrent sessions use InsertTx with their own transactions.
 func (t *Table) Insert(row Row) (store.RID, error) {
-	if len(row) != len(t.Columns) {
-		return store.RID{}, fmt.Errorf("db: %s: row has %d values, schema has %d", t.Name, len(row), len(t.Columns))
-	}
-	for i, v := range row {
-		if v.T == TNull {
-			continue
-		}
-		if v.T != t.Columns[i].Type {
-			return store.RID{}, fmt.Errorf("db: %s.%s: value type %v, column type %v",
-				t.Name, t.Columns[i].Name, v.T, t.Columns[i].Type)
-		}
-	}
 	tx, err := t.db.autoBegin()
 	if err != nil {
 		return store.RID{}, err
 	}
-	rid, err := t.insertTx(row)
+	rid, err := t.InsertTx(tx, row)
 	if err := t.db.autoEnd(tx, err); err != nil {
 		return store.RID{}, err
 	}
 	return rid, nil
 }
 
-func (t *Table) insertTx(row Row) (store.RID, error) {
-	rid, err := t.Heap.Insert(row.Encode())
-	if err != nil {
-		return store.RID{}, err
-	}
-	// Maintain indexes.
-	for _, ix := range t.db.indexes {
-		if !strings.EqualFold(ix.Def.Table, t.Name) {
-			continue
-		}
-		ci := t.Columns.ColIndex(ix.Def.Column)
-		if ci < 0 || row[ci].T != TInt {
-			continue
-		}
-		if err := ix.Tree.Insert(uint64(row[ci].I), rid.Pack()); err != nil {
-			return store.RID{}, err
-		}
-	}
-	return rid, nil
-}
-
-// Get fetches the row at rid.
+// Get fetches the row at rid from the latest committed state; a
+// claimed (deleted-but-unpurged) row reports store.ErrDeleted.
 func (t *Table) Get(rid store.RID) (Row, error) {
-	rec, err := t.Heap.Get(rid)
-	if err != nil {
-		return nil, err
-	}
-	return DecodeRow(rec, len(t.Columns))
+	return t.GetSnap(nil, rid)
 }
 
-// Delete tombstones the row at rid. Secondary index entries are not
-// removed (B-trees are insert-only here); index readers skip entries
-// whose heap fetch reports store.ErrDeleted. Transactional like
-// Insert.
+// Delete removes the row at rid, transactionally like Insert. The
+// physical record is only claimed (its version header's xmax stamped);
+// version GC removes it once no snapshot can see it. Secondary index
+// entries are never removed (B-trees are insert-only here); index
+// readers skip entries whose heap fetch reports store.ErrDeleted.
 func (t *Table) Delete(rid store.RID) error {
 	tx, err := t.db.autoBegin()
 	if err != nil {
 		return err
 	}
-	return t.db.autoEnd(tx, t.Heap.Delete(rid))
+	return t.db.autoEnd(tx, t.DeleteTx(tx, rid))
 }
 
-// Scan invokes fn for each row in RID order.
+// Scan invokes fn for each row of the latest committed state in RID
+// order.
 func (t *Table) Scan(fn func(rid store.RID, row Row) error) error {
-	n := len(t.Columns)
-	return t.Heap.Scan(func(rid store.RID, rec []byte) error {
-		row, err := DecodeRow(rec, n)
-		if err != nil {
-			return fmt.Errorf("db: %s at %v: %w", t.Name, rid, err)
-		}
-		return fn(rid, row)
-	})
+	return t.ScanSnap(nil, fn)
 }
 
 // Count returns the number of rows.
@@ -693,6 +704,7 @@ func (d *DB) CreateIndex(name, table, column string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	tx.markDDL()
 	ix, err := d.createIndexTx(key, name, t, ci)
 	if err := d.autoEnd(tx, err); err != nil {
 		return nil, err
@@ -706,7 +718,11 @@ func (d *DB) createIndexTx(key, name string, t *Table, ci int) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{Def: IndexDef{Name: name, Table: t.Name, Column: t.Columns[ci].Name}, Tree: bt}
-	err = t.Scan(func(rid store.RID, row Row) error {
+	// Index every physical record, even claimed or dead versions: index
+	// readers re-check visibility against the heap, so an entry for an
+	// invisible row is inert — but omitting one would lose the row for
+	// any older snapshot that can still see it.
+	err = t.scanVersions(func(rid store.RID, _, _ uint64, row Row) error {
 		if row[ci].T != TInt {
 			return nil // NULLs are not indexed
 		}

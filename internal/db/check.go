@@ -40,7 +40,12 @@ func (d *DB) Check() []CheckIssue {
 			add("table "+name, "%s", is)
 		}
 		err := t.Heap.Scan(func(rid store.RID, rec []byte) error {
-			row, err := DecodeRow(rec, len(t.Columns))
+			_, _, body, err := splitVersion(rec)
+			if err != nil {
+				add("table "+name, "row %v lacks a version header: %v", rid, err)
+				return nil
+			}
+			row, err := DecodeRow(body, len(t.Columns))
 			if err != nil {
 				add("table "+name, "row %v does not decode: %v", rid, err)
 				return nil

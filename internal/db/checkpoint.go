@@ -18,13 +18,15 @@ import (
 //
 // The checkpoint is "fuzzy" because it never stalls serving: each
 // flush round holds the database query lock SHARED, so concurrent
-// SELECTs proceed throughout, and writers are excluded only for the
-// duration of one object's flush or the floor snapshot, never for the
-// whole checkpoint. No-steal makes this safe — the only dirty pages
-// in any cache belong to committed transactions (an open transaction
-// holds the query lock exclusively, so none can overlap a shared
-// acquisition), and a page re-dirtied after its flush simply raises
-// its recovery LSN above the floor the snapshot will compute.
+// SELECTs — and, under MVCC, concurrent writers — proceed throughout;
+// only the floor snapshot takes the lock exclusively, and only
+// briefly. No-steal makes the flush rounds safe: FlushCommitted asks
+// the log whether each page's last record belongs to a finished
+// transaction, and the log's live-transaction set answers no for
+// every in-flight writer's pages, so they stay cached. The floor is
+// safe against in-flight writers too — CompleteCheckpoint clamps it
+// below the oldest live transaction's begin record, so nothing a live
+// transaction logged is ever promised as durable.
 
 // DefaultAutoCheckpointBytes is the WAL-bytes threshold at which
 // CheckpointIfNeeded fires (4 MiB: a quarter of one segment, so a
@@ -41,6 +43,9 @@ type CheckpointStats struct {
 	// SegmentsRemoved is how many WAL segments the post-checkpoint GC
 	// unlinked.
 	SegmentsRemoved int
+	// VersionsGCed is how many dead row versions (deleted rows below
+	// every snapshot's horizon) this checkpoint physically removed.
+	VersionsGCed int
 	// Duration is the wall-clock time of the whole checkpoint.
 	Duration time.Duration
 }
@@ -52,6 +57,9 @@ type RecoveryStats struct {
 	Ran bool
 	// Duration is the wall-clock time of the redo pass.
 	Duration time.Duration
+	// Purged counts rows deleted or unclaimed by the post-redo loser
+	// purge (crashed transactions' debris in committed page images).
+	Purged int
 	// Redo carries the scan/skip/replay counters, including the
 	// checkpoint floor recovery started from.
 	Redo RedoSummary
@@ -157,6 +165,14 @@ func (d *DB) checkpointLocked() (CheckpointStats, error) {
 	if err := d.usable(); err != nil {
 		return st, err
 	}
+	// Phase 0 — version GC: physically remove deleted rows no open
+	// snapshot can still see, as an ordinary logged transaction (so its
+	// page images are flushed by the rounds below like anyone else's).
+	gced, err := d.gcVersions()
+	if err != nil {
+		return st, fmt.Errorf("db: checkpoint version gc: %w", err)
+	}
+	st.VersionsGCed = gced
 	// The begin record marks intent only; if anything below fails it is
 	// abandoned debris the strict checker can point at.
 	beginLSN, err := d.wal.CheckpointBegin()
@@ -174,15 +190,19 @@ func (d *DB) checkpointLocked() (CheckpointStats, error) {
 			return st, fmt.Errorf("db: checkpoint flush: %w", err)
 		}
 	}
-	// Phase 2 — snapshot, under ONE shared hold so no writer can slip
-	// between the catalog publish and the floor computation. The floor
-	// is min(recLSN)-1 over the pages still dirty (their first
-	// unflushed change bounds what recovery must replay); with nothing
-	// dirty every logged change is in the files and the floor is the
-	// last LSN itself. The deferred catalog must be published first:
-	// committed catalog records at or below the floor will never be
-	// replayed again.
-	d.qmu.RLock()
+	// Phase 2 — snapshot, under ONE EXCLUSIVE hold so no writer can
+	// slip between the catalog publish and the floor computation.
+	// (Shared is no longer enough: MVCC writers take the query lock
+	// shared too, and one logging a page image after its object's
+	// minRec scan but before the LastLSN read — then committing before
+	// the end record — would put a committed, unflushed change at or
+	// below the floor.) The floor is min(recLSN)-1 over the pages still
+	// dirty (their first unflushed change bounds what recovery must
+	// replay); with nothing dirty every logged change is in the files
+	// and the floor is the last LSN itself. The deferred catalog must
+	// be published first: committed catalog records at or below the
+	// floor will never be replayed again.
+	d.qmu.Lock()
 	d.stmu.Lock()
 	catDirty := d.catDirty
 	d.stmu.Unlock()
@@ -195,7 +215,7 @@ func (d *DB) checkpointLocked() (CheckpointStats, error) {
 			err = store.SyncDir(d.fs, d.dir)
 		}
 		if err != nil {
-			d.qmu.RUnlock()
+			d.qmu.Unlock()
 			return st, fmt.Errorf("db: checkpoint catalog: %w", err)
 		}
 		d.stmu.Lock()
@@ -210,7 +230,7 @@ func (d *DB) checkpointLocked() (CheckpointStats, error) {
 		}
 	}
 	lastLSN := d.wal.LastLSN()
-	d.qmu.RUnlock()
+	d.qmu.Unlock()
 	floor := lastLSN
 	if anyDirty {
 		floor = minRec - 1

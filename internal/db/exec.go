@@ -40,9 +40,11 @@ func Collect(n Node) ([]Row, error) {
 
 // SeqScan reads every row of a table in RID order. It materializes the
 // scan lazily via a goroutine-free resumable cursor over heap pages by
-// buffering one page's rows at a time.
+// buffering one page's rows at a time. Snap selects which versions the
+// scan sees (nil = the latest committed state).
 type SeqScan struct {
 	Table *Table
+	Snap  *Snap
 
 	rows   []Row
 	rowIdx int
@@ -52,8 +54,12 @@ type SeqScan struct {
 	nextPage store.PageID
 }
 
-// NewSeqScan returns a sequential scan of t.
+// NewSeqScan returns a sequential scan of t over the latest committed
+// state; set Snap for a snapshot view.
 func NewSeqScan(t *Table) *SeqScan { return &SeqScan{Table: t} }
+
+// NewSeqScanSnap returns a sequential scan of t as snapshot s sees it.
+func NewSeqScanSnap(t *Table, s *Snap) *SeqScan { return &SeqScan{Table: t, Snap: s} }
 
 // Columns implements Node.
 func (s *SeqScan) Columns() Schema { return s.Table.Columns }
@@ -98,7 +104,14 @@ func (s *SeqScan) fill() error {
 		page := s.nextPage
 		s.nextPage++
 		err := h.ScanPage(page, func(rid store.RID, rec []byte) error {
-			row, err := DecodeRow(rec, len(s.Table.Columns))
+			xmin, xmax, body, err := splitVersion(rec)
+			if err != nil {
+				return err
+			}
+			if !s.Table.db.visible(s.Snap, xmin, xmax) {
+				return nil
+			}
+			row, err := DecodeRow(body, len(s.Table.Columns))
 			if err != nil {
 				return err
 			}
@@ -120,17 +133,20 @@ func (s *SeqScan) Close() error { return nil }
 
 // --- IndexScan ---
 
-// IndexScan fetches the rows whose indexed column equals Key.
+// IndexScan fetches the rows whose indexed column equals Key. Snap
+// selects which versions qualify (nil = the latest committed state).
 type IndexScan struct {
 	Table *Table
 	Index *Index
 	Key   int64
+	Snap  *Snap
 
 	rids []uint64
 	idx  int
 }
 
-// NewIndexScan returns an equality index scan.
+// NewIndexScan returns an equality index scan over the latest
+// committed state; set Snap for a snapshot view.
 func NewIndexScan(t *Table, ix *Index, key int64) *IndexScan {
 	return &IndexScan{Table: t, Index: ix, Key: key}
 }
@@ -154,9 +170,9 @@ func (s *IndexScan) Next() (Row, error) {
 	for s.idx < len(s.rids) {
 		rid := store.UnpackRID(s.rids[s.idx])
 		s.idx++
-		row, err := s.Table.Get(rid)
+		row, err := s.Table.GetSnap(s.Snap, rid)
 		if errors.Is(err, store.ErrDeleted) {
-			continue // stale index entry for a tombstoned row
+			continue // stale entry: tombstoned, or invisible to the snapshot
 		}
 		return row, err
 	}

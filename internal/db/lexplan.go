@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 
 	"lexequal/internal/core"
+	"lexequal/internal/editdist"
 	"lexequal/internal/metrics"
 	"lexequal/internal/phoneme"
 	"lexequal/internal/qgram"
@@ -53,6 +55,12 @@ type LexConfig struct {
 	Op *core.Operator
 	Q  int
 
+	// Snap is the read snapshot every scan and fetch in the lex plans
+	// runs under (nil = latest committed state). The SQL layer sets it
+	// per statement, so a lex query inside a transaction sees the
+	// transaction's snapshot like any other read.
+	Snap *Snap
+
 	// Workers sets the verification parallelism of the lex nodes:
 	// candidates are fetched from storage serially (the storage layer is
 	// single-threaded), then the DP verification stage runs on a morsel
@@ -84,12 +92,16 @@ func (cfg *LexConfig) record(st core.Stats) {
 }
 
 // lexCand is one fetched candidate awaiting verification: the base row,
-// its decoded phonemes, and (q-gram strategy only) its shared-gram
-// count.
+// its decoded phonemes, and (q-gram strategy only) the pair's exact
+// filter state — shared-gram count, projected length, and the
+// weak-slacked budget (core.Operator.SigBudget), all fixed at collect
+// time once the candidate's phonemes are in hand.
 type lexCand struct {
 	row   Row
 	phon  phoneme.String
 	count int
+	plen  int
+	kbud  float64
 }
 
 // verifyStage materializes the fetched candidates into one flat
@@ -223,7 +235,7 @@ func NewLexScanNaive(cfg *LexConfig, query core.Text, threshold float64, langs c
 	}
 	return &lexRowsNode{cols: cfg.Table.Columns, run: func() ([]Row, error) {
 		var cands []lexCand
-		err := cfg.Table.Scan(func(_ store.RID, row Row) error {
+		err := cfg.Table.ScanSnap(cfg.Snap, func(_ store.RID, row Row) error {
 			if !cfg.langOK(row, langs) {
 				return nil
 			}
@@ -293,31 +305,50 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 		}
 		enc := soundex.NewEncoder(cfg.Op.Clusters())
 		qproj := enc.Project(qp)
-		k := lexSigBudget(threshold * float64(len(qp)))
+		qweak := editdist.WeakCount(qp)
+		base := threshold * float64(len(qp))
+		kMax := cfg.Op.SigBudgetCap(base)
 		// Build the query-gram hash (the tiny build side of the gram
 		// join in Figure 14).
 		queryGrams := map[string][]int{}
 		for _, g := range qgram.Extract(qproj, cfg.Q) {
 			queryGrams[g.Key()] = append(queryGrams[g.Key()], g.Pos)
 		}
-		// Probe: count position-compatible gram matches per base-row id
-		// (the gram join + GROUP BY of Figure 14). With a gramhash
-		// index the probe touches only matching aux rows — the plan a
-		// real optimizer picks for the Figure 14 SQL; without one it
-		// degrades to an aux-table scan.
-		counts := map[int64]int{}
+		// Probe: the gram join of Figure 14, with the position predicate
+		// deferred. The sound position budget is per pair — it slacks by
+		// the candidate's weak count (core.Operator.SigBudget), unknown
+		// until the candidate row is fetched — so the probe keeps, per
+		// base-row id, each matching gram's best displacement within the
+		// candidate-independent budget cap, and the per-row filter counts
+		// the displacements within the pair's exact budget. With a
+		// gramhash index the probe touches only matching aux rows — the
+		// plan a real optimizer picks for the Figure 14 SQL; without one
+		// it degrades to an aux-table scan.
+		disps := map[int64][]int32{}
+		best := func(positions []int, pos int) int {
+			d := -1
+			for _, qpos := range positions {
+				dd := qpos - pos
+				if dd < 0 {
+					dd = -dd
+				}
+				if d < 0 || dd < d {
+					d = dd
+				}
+			}
+			return d
+		}
+		note := func(id int64, d int) {
+			if float64(d) <= kMax {
+				disps[id] = append(disps[id], int32(d))
+			}
+		}
 		tally := func(row Row) {
 			positions, ok := queryGrams[row[cfg.AuxGram].S]
 			if !ok {
 				return
 			}
-			pos := int(row[cfg.AuxPos].I)
-			for _, qpos := range positions {
-				if qgram.PositionOK(qpos, pos, k) {
-					counts[row[cfg.AuxID].I]++
-					break
-				}
-			}
+			note(row[cfg.AuxID].I, best(positions, int(row[cfg.AuxPos].I)))
 		}
 		switch {
 		case cfg.CoverIndex != nil:
@@ -332,12 +363,7 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 				}
 				for _, v := range vals {
 					id, pos := UnpackCover(v)
-					for _, qpos := range positions {
-						if qgram.PositionOK(qpos, pos, k) {
-							counts[id]++
-							break
-						}
-					}
+					note(id, best(positions, pos))
 				}
 			}
 		case cfg.AuxHashIndex != nil:
@@ -347,7 +373,10 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 					return nil, err
 				}
 				for _, packed := range rids {
-					row, err := cfg.Aux.Get(store.UnpackRID(packed))
+					row, err := cfg.Aux.GetSnap(cfg.Snap, store.UnpackRID(packed))
+					if errors.Is(err, store.ErrDeleted) {
+						continue // stale index entry or invisible version
+					}
 					if err != nil {
 						return nil, err
 					}
@@ -355,7 +384,7 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 				}
 			}
 		default:
-			err = cfg.Aux.Scan(func(_ store.RID, row Row) error {
+			err = cfg.Aux.ScanSnap(cfg.Snap, func(_ store.RID, row Row) error {
 				tally(row)
 				return nil
 			})
@@ -375,14 +404,25 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 			if !ok {
 				return
 			}
-			cands = append(cands, lexCand{row: row.Clone(), phon: rp, count: counts[row[cfg.IDCol].I]})
+			k := cfg.Op.SigBudget(base, qweak+editdist.WeakCount(rp))
+			cnt := 0
+			for _, d := range disps[row[cfg.IDCol].I] {
+				if float64(d) <= k {
+					cnt++
+				}
+			}
+			cands = append(cands, lexCand{row: row.Clone(), phon: rp, count: cnt, plen: len(enc.Project(rp)), kbud: k})
 		}
+		// The filters compare projected-space lengths against the
+		// projected-edit budget — same space as core's strategy filters
+		// (raw lengths would over-demand the count threshold by up to the
+		// pair's weak slack).
 		check := func(c *lexCand, st *core.Stats) bool {
-			if !qgram.LengthOK(len(qp), len(c.phon), k) {
+			if !qgram.LengthOK(len(qproj), c.plen, c.kbud) {
 				st.PrunedLength++
 				return false
 			}
-			need := qgram.CountThreshold(len(qp), len(c.phon), cfg.Q, k)
+			need := qgram.CountThreshold(len(qproj), c.plen, cfg.Q, c.kbud)
 			if need > 0 && c.count < need {
 				st.PrunedCount++
 				return false
@@ -396,15 +436,25 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 			cfg.record(st)
 			return rows, nil
 		}
+		// Candidates sharing no budget-compatible gram can still be true
+		// matches when the count filter has no power at the budget cap
+		// (very short strings, or weak slack swallowing the whole
+		// budget); the per-candidate check re-decides at the pair's
+		// exact budget on collect.
+		zeroCanMatch := math.IsInf(kMax, 1) || qgram.CountThreshold(len(qproj), 0, cfg.Q, kMax) <= 0
 		if cfg.IDIndex != nil {
-			// Prefilter on the count threshold before fetching: the
-			// smallest admissible candidate (len(qproj) - k projected
-			// phonemes) needs at least minNeed shared grams, so ids
-			// below that bound cannot pass the per-row check either.
-			minNeed := qgram.CountThreshold(len(qproj), len(qproj)-int(k), cfg.Q, k)
-			ids := make([]int64, 0, len(counts))
-			for id, cnt := range counts {
-				if minNeed > 0 && cnt < minNeed {
+			// Prefilter on the count threshold before fetching, at the
+			// candidate-independent budget cap: the smallest admissible
+			// candidate (len(qproj) - kMax projected phonemes) needs at
+			// least minNeed shared grams there, and a pair's exact budget
+			// only tightens that bound.
+			minNeed := 0
+			if !math.IsInf(kMax, 1) {
+				minNeed = qgram.CountThreshold(len(qproj), len(qproj)-int(kMax), cfg.Q, kMax)
+			}
+			ids := make([]int64, 0, len(disps))
+			for id, ds := range disps {
+				if minNeed > 0 && len(ds) < minNeed {
 					continue
 				}
 				ids = append(ids, id)
@@ -416,7 +466,7 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 					return nil, err
 				}
 				for _, packed := range rids {
-					row, err := cfg.Table.Get(store.UnpackRID(packed))
+					row, err := cfg.Table.GetSnap(cfg.Snap, store.UnpackRID(packed))
 					if errors.Is(err, store.ErrDeleted) {
 						continue
 					}
@@ -426,13 +476,11 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 					collect(row)
 				}
 			}
-			// Note: candidates with zero shared grams can still be true
-			// matches when the count threshold is non-positive (very
-			// short strings). Sweep them with a residual length-bounded
-			// scan only in that regime.
-			if qgram.CountThreshold(len(qproj), len(qproj), cfg.Q, k) <= 0 {
-				err = cfg.Table.Scan(func(_ store.RID, row Row) error {
-					if _, seen := counts[row[cfg.IDCol].I]; seen {
+			// Residual sweep for the zero-gram candidates, only in the
+			// regime where they can survive the count filter.
+			if zeroCanMatch {
+				err = cfg.Table.ScanSnap(cfg.Snap, func(_ store.RID, row Row) error {
+					if _, seen := disps[row[cfg.IDCol].I]; seen {
 						return nil
 					}
 					collect(row)
@@ -444,8 +492,8 @@ func NewLexScanQGram(cfg *LexConfig, query core.Text, threshold float64, langs c
 			}
 			return finish()
 		}
-		err = cfg.Table.Scan(func(_ store.RID, row Row) error {
-			if _, ok := counts[row[cfg.IDCol].I]; !ok && qgram.CountThreshold(len(qp), len(qp), cfg.Q, k) > 0 {
+		err = cfg.Table.ScanSnap(cfg.Snap, func(_ store.RID, row Row) error {
+			if _, ok := disps[row[cfg.IDCol].I]; !ok && !zeroCanMatch {
 				return nil
 			}
 			collect(row)
@@ -478,7 +526,7 @@ func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs
 		}
 		var cands []lexCand
 		for _, packed := range rids {
-			row, err := cfg.Table.Get(store.UnpackRID(packed))
+			row, err := cfg.Table.GetSnap(cfg.Snap, store.UnpackRID(packed))
 			if errors.Is(err, store.ErrDeleted) {
 				continue
 			}
@@ -500,6 +548,21 @@ func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs
 	}}
 }
 
+// JoinKernel resolves the kernel a lex join actually verifies with.
+// Joins verify under the left operator's cost model, but the right
+// side's kernel signatures are built under its own model: when the two
+// differ, the bit-parallel path would read masks from the wrong model,
+// so the join runs on the scalar kernel regardless of the session knob.
+// The returned reason is non-empty exactly when that forced downgrade
+// happens — EXPLAIN appends it so the plan reports the effective
+// kernel, not the model-level resolution.
+func JoinKernel(left, right *LexConfig) (core.Kernel, string) {
+	if !left.Op.CostEqual(right.Op) {
+		return core.KernelScalar, "cross-model join"
+	}
+	return left.Kernel, ""
+}
+
 // NewLexJoin builds the equi-join plans of Figure 5: every pair of rows
 // from the two tables matching under LexEQUAL (optionally restricted to
 // different languages). Strategy selects the physical shape: Naive is
@@ -509,6 +572,7 @@ func NewLexScanIndexed(cfg *LexConfig, query core.Text, threshold float64, langs
 // concatenation left ++ right.
 func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat core.Strategy) Node {
 	cols := append(append(Schema{}, left.Table.Columns...), right.Table.Columns...)
+	kern, _ := JoinKernel(left, right)
 	return &lexRowsNode{cols: cols, run: func() ([]Row, error) {
 		// The probe loop runs on the morsel pool over materialized left
 		// rows (Naive, QGram: all probe state is in-memory and
@@ -523,7 +587,7 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 		// row.
 		var leftRows []Row
 		var leftPhon []phoneme.String
-		err := left.Table.Scan(func(_ store.RID, row Row) error {
+		err := left.Table.ScanSnap(left.Snap, func(_ store.RID, row Row) error {
 			lp, ok := left.phonemes(row)
 			if !ok {
 				return nil
@@ -552,7 +616,7 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			// loop of §5.1).
 			var rightRows []Row
 			var rightPhon []phoneme.String
-			err := right.Table.Scan(func(_ store.RID, row Row) error {
+			err := right.Table.ScanSnap(right.Snap, func(_ store.RID, row Row) error {
 				rp, ok := right.phonemes(row)
 				if !ok {
 					return nil
@@ -564,9 +628,9 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			if err != nil {
 				return nil, err
 			}
-			rbatch := left.Op.BuildBatch(rightPhon, left.Kernel, left.Q)
+			rbatch := left.Op.BuildBatch(rightPhon, kern, left.Q)
 			chunks, st := core.RunMorsels(len(leftRows), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
-				pm := left.Op.NewLaneMatcher(ln, left.Kernel)
+				pm := left.Op.NewLaneMatcher(ln, kern)
 				var out []Row
 				for i := lo; i < hi; i++ {
 					pm.SetPattern(leftPhon[i], threshold)
@@ -601,7 +665,7 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 				pos int
 			}
 			postings := map[string][]post{}
-			err := right.Aux.Scan(func(_ store.RID, row Row) error {
+			err := right.Aux.ScanSnap(right.Snap, func(_ store.RID, row Row) error {
 				postings[row[right.AuxGram].S] = append(postings[row[right.AuxGram].S],
 					post{id: row[right.AuxID].I, pos: int(row[right.AuxPos].I)})
 				return nil
@@ -612,11 +676,14 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			// Materialize right rows into one flat batch (the projected
 			// lengths the filter chain needs come from the batch columns,
 			// not per-pair re-projection), plus an id -> batch-row map for
-			// candidate fetch.
+			// candidate fetch and the per-row weak counts the pair budgets
+			// slack by.
 			var rightRows []Row
 			rightIdxByID := map[int64][]int{}
 			var rightPhon []phoneme.String
-			err = right.Table.Scan(func(_ store.RID, row Row) error {
+			var rightIDs []int64
+			var rightWeak []int
+			err = right.Table.ScanSnap(right.Snap, func(_ store.RID, row Row) error {
 				rp, ok := right.phonemes(row)
 				if !ok {
 					return nil
@@ -625,54 +692,118 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 				rightIdxByID[id] = append(rightIdxByID[id], len(rightRows))
 				rightRows = append(rightRows, row.Clone())
 				rightPhon = append(rightPhon, rp)
+				rightIDs = append(rightIDs, id)
+				rightWeak = append(rightWeak, editdist.WeakCount(rp))
 				return nil
 			})
 			if err != nil {
 				return nil, err
 			}
-			rbatch := left.Op.BuildBatch(rightPhon, left.Kernel, right.Q)
+			rbatch := left.Op.BuildBatch(rightPhon, kern, right.Q)
 			enc := soundex.NewEncoder(left.Op.Clusters())
+			// Right rows ordered by weak count (descending): the zero-gram
+			// sweep below visits rows in this order and stops as soon as
+			// the count filter regains power, so glottal-free corpora pay
+			// nothing (same scheme as core.Join's QGram probe).
+			sweepOrder := make([]int, len(rightRows))
+			for j := range sweepOrder {
+				sweepOrder[j] = j
+			}
+			sort.Slice(sweepOrder, func(a, b int) bool {
+				wa, wb := rightWeak[sweepOrder[a]], rightWeak[sweepOrder[b]]
+				if wa != wb {
+					return wa > wb
+				}
+				return sweepOrder[a] < sweepOrder[b]
+			})
 			chunks, st := core.RunMorsels(len(leftRows), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
-				pm := left.Op.NewLaneMatcher(ln, left.Kernel)
+				pm := left.Op.NewLaneMatcher(ln, kern)
 				var out []Row
 				for i := lo; i < hi; i++ {
 					lp := leftPhon[i]
 					pm.SetPattern(lp, threshold)
 					lproj := enc.Project(lp)
-					k := lexSigBudget(threshold * float64(len(lp)))
-					counts := map[int64]int{}
+					lweak := editdist.WeakCount(lp)
+					base := threshold * float64(len(lp))
+					kMax := left.Op.SigBudgetCap(base)
+					// Probe the postings with the position predicate
+					// deferred: budgets are per pair (SigBudget slacks by
+					// both weak counts) under the LEFT operator's model, so
+					// the probe keeps each posting's best displacement
+					// within the candidate-independent cap and the per-pair
+					// filter counts those within the exact budget.
+					leftGrams := map[string][]int{}
 					for _, g := range qgram.Extract(lproj, right.Q) {
-						for _, p := range postings[g.Key()] {
-							if qgram.PositionOK(g.Pos, p.pos, k) {
-								counts[p.id]++
+						leftGrams[g.Key()] = append(leftGrams[g.Key()], g.Pos)
+					}
+					dlist := map[int64][]int32{}
+					for key, positions := range leftGrams {
+						for _, p := range postings[key] {
+							d := -1
+							for _, qpos := range positions {
+								dd := qpos - p.pos
+								if dd < 0 {
+									dd = -dd
+								}
+								if d < 0 || dd < d {
+									d = dd
+								}
+							}
+							if float64(d) <= kMax {
+								dlist[p.id] = append(dlist[p.id], int32(d))
 							}
 						}
 					}
-					ids := make([]int64, 0, len(counts))
-					for id := range counts {
+					tryRow := func(j int, ds []int32) {
+						r := rightRows[j]
+						if langClash(leftRows[i], r) {
+							return
+						}
+						ln.Stats.Rows++
+						k := left.Op.SigBudget(base, lweak+rightWeak[j])
+						if !qgram.LengthOK(len(lproj), rbatch.ProjLen(j), k) {
+							ln.Stats.PrunedLength++
+							return
+						}
+						need := qgram.CountThreshold(len(lproj), rbatch.ProjLen(j), right.Q, k)
+						if need > 0 {
+							cnt := 0
+							for _, d := range ds {
+								if float64(d) <= k {
+									cnt++
+								}
+							}
+							if cnt < need {
+								ln.Stats.PrunedCount++
+								return
+							}
+						}
+						ln.Stats.Candidates++
+						if pm.Match(rbatch, j, ln) {
+							out = append(out, concat(leftRows[i], r))
+						}
+					}
+					ids := make([]int64, 0, len(dlist))
+					for id := range dlist {
 						ids = append(ids, id)
 					}
 					sortInt64s(ids)
 					for _, id := range ids {
-						cnt := counts[id]
 						for _, j := range rightIdxByID[id] {
-							r := rightRows[j]
-							if langClash(leftRows[i], r) {
-								continue
+							tryRow(j, dlist[id])
+						}
+					}
+					// Zero-gram sweep: rows sharing no budget-compatible
+					// gram can still match when the count filter has no
+					// power for the pair; visit in descending weak order,
+					// stopping once the filter regains power.
+					if math.IsInf(kMax, 1) || qgram.CountThreshold(len(lproj), 0, right.Q, kMax) <= 0 {
+						for _, j := range sweepOrder {
+							if qgram.CountThreshold(len(lproj), 0, right.Q, left.Op.SigBudget(base, lweak+rightWeak[j])) > 0 {
+								break
 							}
-							ln.Stats.Rows++
-							if !qgram.LengthOK(len(lproj), rbatch.ProjLen(j), k) {
-								ln.Stats.PrunedLength++
-								continue
-							}
-							need := qgram.CountThreshold(len(lproj), rbatch.ProjLen(j), right.Q, k)
-							if need > 0 && cnt < need {
-								ln.Stats.PrunedCount++
-								continue
-							}
-							ln.Stats.Candidates++
-							if pm.Match(rbatch, j, ln) {
-								out = append(out, concat(leftRows[i], r))
+							if _, seen := dlist[rightIDs[j]]; !seen {
+								tryRow(j, nil)
 							}
 						}
 					}
@@ -700,7 +831,7 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 					return nil, err
 				}
 				for _, packed := range rids {
-					r, err := right.Table.Get(store.UnpackRID(packed))
+					r, err := right.Table.GetSnap(right.Snap, store.UnpackRID(packed))
 					if errors.Is(err, store.ErrDeleted) {
 						continue
 					}
@@ -721,9 +852,9 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			for i := range cands {
 				phons[i] = cands[i].rp
 			}
-			cbatch := left.Op.BuildBatch(phons, left.Kernel, 0)
+			cbatch := left.Op.BuildBatch(phons, kern, 0)
 			chunks, st := core.RunMorsels(len(cands), left.workers(), func(ln *core.Lane, lo, hi int) []Row {
-				pm := left.Op.NewLaneMatcher(ln, left.Kernel)
+				pm := left.Op.NewLaneMatcher(ln, kern)
 				lastLi := -1
 				var out []Row
 				for i := lo; i < hi; i++ {
@@ -748,14 +879,6 @@ func NewLexJoin(left, right *LexConfig, threshold float64, diffLang bool, strat 
 			return nil, fmt.Errorf("lexequal: unknown strategy %v", strat)
 		}
 	}}
-}
-
-// lexSigBudget mirrors core's signature-space budget: every edit that
-// changes the signature projection costs at least one full unit, so the
-// clustered-cost bound is itself a sound unit-edit budget in projected
-// space.
-func lexSigBudget(bound float64) float64 {
-	return bound
 }
 
 func sortInt64s(xs []int64) {

@@ -286,3 +286,113 @@ func TestLexEqualUDF(t *testing.T) {
 		}
 	}
 }
+
+// weakLexFixture loads the glottal-heavy lexicon whose cheap
+// projection-shifting edits (/ha/~/ka/) regressed the unslacked q-gram
+// strategy budget; see core's weakCatalog twin.
+func weakLexFixture(t *testing.T) (*DB, *LexConfig) {
+	t.Helper()
+	d := openDB(t)
+	op := core.MustNew(core.Options{})
+	var texts []core.Text
+	for _, w := range []string{
+		"Ha", "Ka", "Hahn", "Kahn", "Khan", "Han", "Aha",
+		"Hoho", "Koko", "Oh", "Nehru", "Neru", "Kathy", "Cathy",
+	} {
+		texts = append(texts, core.Text{Value: w, Lang: script.English})
+	}
+	cfg, err := CreateNameTable(d, "weak", op, texts, NameTableSpec{WithAux: true, WithIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cfg
+}
+
+// TestLexScanQGramWeakLexicon is the db-plan half of the budget-slack
+// regression: the q-gram scan and join must agree exactly with naive on
+// the weak-phoneme lexicon (the scan plan budgets per pair at collect
+// time, the join plan per probe posting).
+func TestLexScanQGramWeakLexicon(t *testing.T) {
+	_, cfg := weakLexFixture(t)
+	for _, w := range []string{"Ha", "Ka", "Hahn", "Khan", "Aha", "Oh", "Koko"} {
+		q := core.Text{Value: w, Lang: script.English}
+		for _, thr := range []float64{0.1, 0.3, 0.5} {
+			naive, err := Collect(NewLexScanNaive(cfg, q, thr, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qg, err := Collect(NewLexScanQGram(cfg, q, thr, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ids(naive, cfg.IDCol), ids(qg, cfg.IDCol)) {
+				t.Errorf("%v @%v: naive %v != qgram %v", q, thr, ids(naive, cfg.IDCol), ids(qg, cfg.IDCol))
+			}
+		}
+	}
+	// /ka/ must find /ha/ (id 0): one intra-cluster substitution.
+	q := core.Text{Value: "Ka", Lang: script.English}
+	rows, err := Collect(NewLexScanQGram(cfg, q, 0.30, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsID(ids(rows, cfg.IDCol), 0) {
+		t.Error("qgram scan falsely dismissed /ha/ for query /ka/")
+	}
+	// Join agreement on the same lexicon.
+	type pair struct{ l, r int64 }
+	collect := func(strat core.Strategy) map[pair]bool {
+		rows, err := Collect(NewLexJoin(cfg, cfg, 0.30, false, strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := len(cfg.Table.Columns)
+		out := map[pair]bool{}
+		for _, r := range rows {
+			out[pair{r[cfg.IDCol].I, r[w+cfg.IDCol].I}] = true
+		}
+		return out
+	}
+	naive := collect(core.Naive)
+	qg := collect(core.QGram)
+	if !reflect.DeepEqual(naive, qg) {
+		t.Errorf("weak-lexicon join: naive %v != qgram %v", naive, qg)
+	}
+	if !naive[pair{0, 1}] {
+		t.Error("naive join missing the /ha/~/ka/ pair itself")
+	}
+}
+
+// TestJoinKernelCrossModel asserts the EXPLAIN-facing contract: a join
+// whose sides carry different cost models is forced onto the scalar
+// kernel with a reason EXPLAIN appends, and still returns the same rows
+// (verification always runs under the left model).
+func TestJoinKernelCrossModel(t *testing.T) {
+	_, cfg, _ := lexFixture(t)
+	cfg.Kernel = core.KernelAuto
+	if k, reason := JoinKernel(cfg, cfg); k != cfg.Kernel || reason != "" {
+		t.Errorf("same-model JoinKernel = %v %q", k, reason)
+	}
+	other := *cfg
+	other.Op = core.MustNew(core.Options{ICSC: 0.5, ICSCSet: true})
+	k, reason := JoinKernel(cfg, &other)
+	if k != core.KernelScalar {
+		t.Errorf("cross-model JoinKernel = %v, want scalar", k)
+	}
+	if reason != "cross-model join" {
+		t.Errorf("cross-model reason = %q", reason)
+	}
+	// The downgrade changes the execution path, never the rows: the
+	// cross-model join verifies under the left model either way.
+	same, err := Collect(NewLexJoin(cfg, cfg, 0.30, true, core.QGram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := Collect(NewLexJoin(cfg, &other, 0.30, true, core.QGram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(same, cross) {
+		t.Errorf("cross-model join rows differ from same-model join")
+	}
+}

@@ -9,49 +9,70 @@ import (
 	"lexequal/internal/wal"
 )
 
-// Tx is a write transaction. At most one write transaction is open per
-// database at a time (they serialize on an internal mutex); SELECTs are
-// unaffected. A Tx is created by Begin and finished by exactly one of
-// Commit or Rollback.
+// Tx is a write transaction under snapshot isolation: it reads from
+// the snapshot taken at Begin (plus its own writes) and its writes
+// become visible to others atomically at Commit. Independent
+// transactions run concurrently; two that claim the same row resolve
+// by first writer wins, the loser getting ErrSerializationFailure.
+// A Tx is finished by exactly one of Commit or Rollback.
 //
-// Concurrency contract: the goroutine that begins an explicit
-// transaction is the only one that may write until it finishes the
-// transaction (the SQL layer guarantees this by holding the query lock
-// exclusively for the whole transaction; direct API callers must do the
-// same).
+// Two flavors exist. BeginTx opens a concurrent transaction — any
+// number may be in flight, each used by one goroutine at a time. Begin
+// opens the *ambient* transaction: it additionally serializes on the
+// legacy writer mutex and becomes the transaction that the
+// autocommitting Table helpers (Insert, Delete, the DDL statements)
+// join — the pre-MVCC single-writer API, preserved for callers that
+// drive the db layer directly.
 type Tx struct {
 	d      *DB
 	id     uint64
-	joined bool // piggy-backed on an already-open transaction
+	joined bool // piggy-backed handle on an already-open transaction
 	done   bool
+	// owner is the transaction that actually holds the ID, snapshot and
+	// write set: the Tx itself, or the ambient transaction a joined
+	// handle rides on.
+	owner *Tx
+	snap  *Snap
+	// writes is the compensation log: every heap write in order, undone
+	// in reverse on rollback. Guarded by d.stmu.
+	writes []txWrite
+	// tainted marks a failed mutation that left unlogged dirty pages —
+	// compensation cannot undo it; rollback must recover in place.
+	// Guarded by d.stmu.
+	tainted bool
+	// ddl marks a catalog change, which compensation cannot undo
+	// either. Guarded by d.stmu.
+	ddl bool
+	// ambient is whether this transaction holds txmu and is registered
+	// as d.activeTx.
+	ambient bool
 }
 
-// walLogger adapts the database's log to store.PageLogger: page images
-// captured by heap/B-tree mutations are stamped with the currently
-// open transaction.
-type walLogger struct{ d *DB }
+// errTxDone is returned by operations on a finished transaction.
+var errTxDone = errors.New("db: transaction already finished")
 
-func (w walLogger) LogPage(path string, id store.PageID, payload []byte) (uint64, error) {
-	d := w.d
-	d.stmu.Lock()
-	tx := d.activeTx
-	d.stmu.Unlock()
-	if tx == nil {
-		return 0, errors.New("db: page mutation outside a transaction")
-	}
-	lsn, err := d.wal.LogPage(tx.id, path, id, payload)
-	if err != nil {
-		return 0, err
-	}
-	d.stmu.Lock()
-	d.txWrites++
-	d.stmu.Unlock()
-	return lsn, nil
+// txLogger adapts the log to store.PageLogger for one transaction:
+// captured page images are stamped with its ID. Unlike the pre-MVCC
+// ambient logger it carries the transaction explicitly, so any number
+// can log concurrently — including a rollback compensating a
+// transaction that is already finished.
+type txLogger struct {
+	d  *DB
+	tx *Tx
 }
 
-// Begin opens a write transaction, blocking until any other write
-// transaction finishes. The database must have been opened with the
-// WAL enabled (the default).
+func (w txLogger) LogPage(path string, id store.PageID, payload []byte) (uint64, error) {
+	return w.d.wal.LogPage(w.tx.owner.id, path, id, payload)
+}
+
+// Begin opens the ambient write transaction, blocking until any other
+// ambient transaction finishes. The database must have been opened
+// with the WAL enabled (the default).
+//
+// Concurrency contract: the goroutine that begins an ambient
+// transaction is the only one that may use the autocommitting Table
+// helpers until it finishes the transaction. For concurrent writers
+// use BeginTx.
 func (d *DB) Begin() (*Tx, error) {
 	if d.wal == nil {
 		return nil, errors.New("db: transactions require the write-ahead log (database opened with DisableWAL)")
@@ -65,40 +86,131 @@ func (d *DB) Begin() (*Tx, error) {
 		d.txmu.Unlock()
 		return nil, err
 	}
-	d.stmu.Lock()
-	d.nextTxID++
-	tx := &Tx{d: d, id: d.nextTxID}
-	d.activeTx = tx
-	d.txWrites = 0
-	d.stmu.Unlock()
-	if _, err := d.wal.Begin(tx.id); err != nil {
-		d.stmu.Lock()
-		d.activeTx = nil
-		d.stmu.Unlock()
+	tx, err := d.beginTx(true)
+	if err != nil {
 		d.txmu.Unlock()
 		return nil, err
 	}
+	d.stmu.Lock()
+	d.activeTx = tx
+	d.stmu.Unlock()
 	return tx, nil
 }
 
-// InTxn reports whether a write transaction is currently open.
+// BeginTx opens a concurrent write transaction. It never blocks behind
+// other transactions; conflicts surface later as
+// ErrSerializationFailure from the row that loses a claim race.
+func (d *DB) BeginTx() (*Tx, error) {
+	if d.wal == nil {
+		return nil, errors.New("db: transactions require the write-ahead log (database opened with DisableWAL)")
+	}
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	return d.beginTx(false)
+}
+
+// beginTx logs the begin record — whose LSN is the transaction's ID —
+// and registers the transaction in flight with its snapshot. The two
+// registrations happen before the Tx is returned, so no row can carry
+// an ID the registry has not seen.
+func (d *DB) beginTx(ambient bool) (*Tx, error) {
+	id, err := d.wal.BeginAuto()
+	if err != nil {
+		return nil, err
+	}
+	tx := &Tx{d: d, id: id, ambient: ambient}
+	tx.owner = tx
+	d.tmu.Lock()
+	d.inflight[id] = tx
+	tx.snap = &Snap{h: d.maxCommit, self: id, reg: true}
+	d.snaps[tx.snap] = struct{}{}
+	d.tmu.Unlock()
+	return tx, nil
+}
+
+// Snapshot returns the transaction's read snapshot (taken at Begin:
+// repeatable reads, plus the transaction's own writes).
+func (tx *Tx) Snapshot() *Snap { return tx.owner.snap }
+
+// InTxn reports whether the ambient write transaction is open.
 func (d *DB) InTxn() bool {
 	d.stmu.Lock()
 	defer d.stmu.Unlock()
 	return d.activeTx != nil
 }
 
+// Done reports whether the transaction has been finished by Commit or
+// Rollback (directly, or by a failed statement aborting it).
+func (tx *Tx) Done() bool {
+	tx.d.stmu.Lock()
+	defer tx.d.stmu.Unlock()
+	return tx.owner.done
+}
+
+// usableTx fails operations on a finished or tainted transaction.
+func (tx *Tx) usableTx() error {
+	d := tx.d
+	d.stmu.Lock()
+	defer d.stmu.Unlock()
+	if tx.owner.done {
+		return errTxDone
+	}
+	if tx.owner.tainted {
+		return errors.New("db: transaction unusable after a failed mutation; roll it back")
+	}
+	return nil
+}
+
+// noteStoreErr inspects a failed storage mutation: one that left
+// unlogged dirty pages behind taints the transaction (compensation can
+// no longer prove a clean state; rollback will recover in place). A
+// nil receiver (unlogged bulk mode) ignores it.
+func (tx *Tx) noteStoreErr(err error) {
+	if tx == nil || err == nil || !errors.Is(err, store.ErrUnloggedDirt) {
+		return
+	}
+	d := tx.d
+	d.stmu.Lock()
+	tx.owner.tainted = true
+	d.stmu.Unlock()
+}
+
+// track appends one write to the transaction's compensation log. A nil
+// receiver (unlogged bulk mode) ignores it.
+func (tx *Tx) track(w txWrite) {
+	if tx == nil {
+		return
+	}
+	d := tx.d
+	d.stmu.Lock()
+	tx.owner.writes = append(tx.owner.writes, w)
+	d.stmu.Unlock()
+}
+
+// markDDL flags the transaction as carrying a catalog change.
+func (tx *Tx) markDDL() {
+	if tx == nil {
+		return
+	}
+	d := tx.d
+	d.stmu.Lock()
+	tx.owner.ddl = true
+	d.stmu.Unlock()
+}
+
 // autoBegin wraps a single mutating operation in a transaction: it
-// joins the open transaction if there is one (the operation runs as
-// part of it and is finished by the caller's Commit/Rollback), begins
-// a fresh one otherwise, and returns nil when the WAL is disabled.
+// joins the open ambient transaction if there is one (the operation
+// runs as part of it and is finished by the caller's Commit/Rollback),
+// begins a fresh ambient one otherwise, and returns nil when the WAL
+// is disabled.
 func (d *DB) autoBegin() (*Tx, error) {
 	if d.wal == nil {
 		return nil, nil
 	}
 	d.stmu.Lock()
 	if cur := d.activeTx; cur != nil {
-		tx := &Tx{d: d, id: cur.id, joined: true}
+		tx := &Tx{d: d, id: cur.id, joined: true, owner: cur}
 		d.stmu.Unlock()
 		return tx, nil
 	}
@@ -107,31 +219,25 @@ func (d *DB) autoBegin() (*Tx, error) {
 }
 
 // autoEnd finishes an autoBegin transaction: commit on success, roll
-// back on failure. A failed statement may have partially mutated pages
-// it never logged, so the failure rollback always recovers in place —
-// and when the statement ran inside an explicit transaction, that
-// whole transaction is aborted on the spot (its owner's later
-// Commit/Rollback reports "already finished"; the SQL layer translates
-// this to the usual "transaction aborted by an earlier error").
+// back on failure. When the failed statement ran inside an explicit
+// transaction, that whole transaction is rolled back on the spot — its
+// owner's later Commit/Rollback reports "already finished", which the
+// SQL layer translates to the usual "transaction aborted by an earlier
+// error".
 func (d *DB) autoEnd(tx *Tx, err error) error {
 	if tx == nil {
 		return err
 	}
 	if tx.joined {
 		if err != nil {
-			d.stmu.Lock()
-			owner := d.activeTx
-			d.stmu.Unlock()
-			if owner != nil && owner.id == tx.id {
-				if rbErr := owner.rollback(true); rbErr != nil {
-					err = errors.Join(err, rbErr)
-				}
+			if rbErr := tx.owner.Rollback(); rbErr != nil && !errors.Is(rbErr, errTxDone) {
+				err = errors.Join(err, rbErr)
 			}
 		}
 		return err
 	}
 	if err != nil {
-		if rbErr := tx.rollback(true); rbErr != nil {
+		if rbErr := tx.Rollback(); rbErr != nil {
 			return errors.Join(err, rbErr)
 		}
 		return err
@@ -139,62 +245,76 @@ func (d *DB) autoEnd(tx *Tx, err error) error {
 	return tx.Commit()
 }
 
-// finish validates that tx is the open transaction and detaches it.
-// The caller still holds txmu and must release it.
+// finish marks tx finished exactly once; the ambient transaction is
+// also detached from the database. The ambient caller still holds txmu
+// and must release it.
 func (tx *Tx) finish() error {
 	d := tx.d
 	d.stmu.Lock()
 	defer d.stmu.Unlock()
 	if tx.done || tx.joined {
-		return errors.New("db: transaction already finished")
+		return errTxDone
 	}
-	if d.activeTx != tx {
+	if tx.ambient && d.activeTx != tx {
 		return errors.New("db: not the active transaction")
 	}
 	tx.done = true
-	d.activeTx = nil
+	if tx.ambient {
+		d.activeTx = nil
+	}
 	return nil
 }
 
-// CommitNoWait appends the commit record and releases the write slot
-// without waiting for durability. The returned LSN can be passed to
-// WaitDurable later — splitting the two lets a session release its
-// locks before blocking on the fsync, so concurrent committers batch
-// into one group-commit flush.
+// CommitNoWait appends the commit record and returns without waiting
+// for durability. The returned LSN can be passed to WaitDurable later —
+// splitting the two lets a session release its locks before blocking
+// on the fsync, so concurrent committers batch into one group-commit
+// flush.
 func (tx *Tx) CommitNoWait() (uint64, error) {
 	d := tx.d
+	d.stmu.Lock()
+	tainted := tx.owner.tainted
+	d.stmu.Unlock()
+	if tainted {
+		// The cache holds changes no log record describes; committing
+		// would publish them as durable. Refuse, and take the rollback
+		// path the taint demands.
+		err := errors.New("db: cannot commit after a failed mutation")
+		if rbErr := tx.Rollback(); rbErr != nil && !errors.Is(rbErr, errTxDone) {
+			err = errors.Join(err, rbErr)
+		}
+		return 0, err
+	}
 	if err := tx.finish(); err != nil {
 		return 0, err
 	}
-	lsn, err := d.wal.CommitNoWait(tx.id)
+	lsn, err := d.commitTx(tx)
 	if err != nil {
 		// The commit record never reached the log (disk full, I/O
 		// error), so the transaction must not look committed — but its
-		// writes are still live in the page caches and would otherwise
-		// be served to later queries and then silently dropped at
-		// Close (no-steal never lets them flush). Take the rollback
-		// path while the write slot is still held: best-effort abort
-		// record (a missing one is indistinguishable from a crash,
-		// which recovery handles identically), then in-place recovery
-		// to re-apply only the committed history.
+		// writes are live in the page caches and would be served to
+		// later snapshots once this ID fell out of the in-flight
+		// registry. Undo them by logged compensation while the
+		// transaction is still registered, then abort.
 		err = fmt.Errorf("db: commit: %w", err)
-		d.stmu.Lock()
-		d.txWrites = 0
-		d.stmu.Unlock()
-		_, _ = d.wal.Abort(tx.id)
-		if rErr := d.recoverInPlace(); rErr != nil {
-			rErr = fmt.Errorf("db: commit-failure recovery failed, database unusable: %w", rErr)
-			d.stmu.Lock()
-			if d.recoveryErr == nil {
-				d.recoveryErr = rErr
-			}
-			d.stmu.Unlock()
-			err = errors.Join(err, rErr)
+		if cErr := tx.compensate(); cErr != nil {
+			d.wal.Forget(tx.id)
+			err = errors.Join(err, d.escalate(tx, cErr))
+		} else if aErr := d.abortTx(tx); aErr != nil {
+			err = errors.Join(err, d.escalate(tx, aErr))
+		} else {
+			d.deregister(tx)
 		}
-		d.txmu.Unlock()
+		if tx.ambient {
+			d.txmu.Unlock()
+		}
 		return 0, err
 	}
-	d.txmu.Unlock()
+	d.ReleaseSnap(tx.snap)
+	tx.snap = nil
+	if tx.ambient {
+		d.txmu.Unlock()
+	}
 	d.stmu.Lock()
 	d.commits++
 	d.stmu.Unlock()
@@ -220,55 +340,149 @@ func (d *DB) WaitDurable(lsn uint64) error {
 	return d.wal.WaitDurable(lsn)
 }
 
-// Rollback abandons the transaction. Its writes — held only in page
-// caches, never flushed (no-steal) — are discarded by re-running crash
-// recovery in place: caches are dropped and the committed state is
-// re-applied from the log. If recovery itself fails the database is
-// marked unusable and every later operation (including Close) reports
-// the recovery error.
-func (tx *Tx) Rollback() error { return tx.rollback(false) }
-
-// rollback implements Rollback. force runs the in-place recovery even
-// when no log record was written — the path for failed statements,
-// which may have dirtied pages they never got around to logging.
-func (tx *Tx) rollback(force bool) error {
+// Rollback abandons the transaction. Ordinary row writes are undone in
+// place by logged compensation — inserts tombstoned, delete claims
+// cleared — so concurrent transactions are untouched. A transaction
+// that changed the catalog, or whose failed mutation left unlogged
+// dirty pages, cannot be compensated; its rollback falls back to
+// in-place recovery (drop every cache, replay the log), which requires
+// it to be the only transaction in flight — the DDL paths guarantee
+// that. If recovery is impossible or fails, the database is marked
+// unusable and every later operation reports the error.
+func (tx *Tx) Rollback() error {
 	d := tx.d
 	if err := tx.finish(); err != nil {
 		return err
 	}
-	defer d.txmu.Unlock()
+	if tx.ambient {
+		defer d.txmu.Unlock()
+	}
 	d.stmu.Lock()
-	writes := d.txWrites
-	d.txWrites = 0
+	tainted, ddl := tx.tainted, tx.ddl
 	d.stmu.Unlock()
-	// Best-effort: the abort record is bookkeeping (it lets the pager
-	// prove cached pages of this transaction are finished). A missing
-	// abort record is indistinguishable from a crash, which recovery
-	// below handles identically.
-	abortErr := error(nil)
-	if _, err := d.wal.Abort(tx.id); err != nil {
-		abortErr = err
+	if tainted || ddl {
+		// No abort record: compensation never ran, so the trail must not
+		// be replayed as finished. Forget it instead — redo discards
+		// terminator-less trails wholesale and the loser purge removes
+		// whatever they left embedded in finished page images.
+		d.wal.Forget(tx.id)
+		return d.escalate(tx, nil)
 	}
-	if writes == 0 && !force {
-		return abortErr
+	if err := tx.compensate(); err != nil {
+		d.wal.Forget(tx.id)
+		return d.escalate(tx, err)
 	}
-	if err := d.recoverInPlace(); err != nil {
-		err = fmt.Errorf("db: rollback recovery failed, database unusable: %w", err)
-		d.stmu.Lock()
-		if d.recoveryErr == nil {
-			d.recoveryErr = err
+	if err := d.abortTx(tx); err != nil {
+		return d.escalate(tx, err)
+	}
+	d.deregister(tx)
+	return nil
+}
+
+// compensate undoes the transaction's tracked writes in reverse order
+// with fresh logged mutations under the same ID. The transaction must
+// still be in flight: clearing a claim while its claimant is
+// registered is what lets DeleteTx treat any standing claim as
+// serious.
+func (tx *Tx) compensate() error {
+	d := tx.d
+	d.stmu.Lock()
+	writes := tx.writes
+	tx.writes = nil
+	d.stmu.Unlock()
+	lg := txLogger{d, tx}
+	var zero [8]byte
+	for i := len(writes) - 1; i >= 0; i-- {
+		w := writes[i]
+		var err error
+		if w.claim {
+			d.wmu.Lock()
+			err = w.t.Heap.PatchTx(w.rid, verXmaxOff, zero[:], lg)
+			d.wmu.Unlock()
+		} else {
+			err = w.t.Heap.DeleteTx(w.rid, lg)
+			if errors.Is(err, store.ErrDeleted) {
+				err = nil // already tombstoned by an earlier partial pass
+			}
 		}
-		d.stmu.Unlock()
+		if err != nil {
+			return fmt.Errorf("db: rollback compensation of %s at %v: %w", w.t.Name, w.rid, err)
+		}
+	}
+	return nil
+}
+
+// abortTx appends the abort record, which terminates the trail and
+// makes it replayable: the forward images followed by the compensation
+// images land redo on the undone state, so pages carrying the trail's
+// LSNs are safe to flush under no-steal. On append failure the
+// transaction is forgotten instead — the trail has no terminator and
+// redo will discard it wholesale, which no longer matches the
+// compensated state the caches hold — so the caller must escalate to
+// in-place recovery.
+func (d *DB) abortTx(tx *Tx) error {
+	_, err := d.wal.Abort(tx.id)
+	if err != nil {
+		d.wal.Forget(tx.id)
+	}
+	return err
+}
+
+// escalate is the rollback path of last resort: the transaction's
+// effects cannot be (or failed to be) compensated, so the caches are
+// dropped and the committed state replayed from the log. That is only
+// sound when the database is idle — no other transaction in flight
+// (their cached writes would be lost) and no reader mid-plan (the
+// catalog maps and storage caches are swapped out wholesale) — and the
+// database is otherwise marked unusable. cause, if non-nil, is the
+// compensation failure that forced this.
+func (d *DB) escalate(tx *Tx, cause error) error {
+	d.tmu.RLock()
+	_, still := d.inflight[tx.id]
+	sole := still && len(d.inflight) == 1
+	d.tmu.RUnlock()
+	d.deregister(tx)
+	if !sole {
+		err := fmt.Errorf("db: rollback requires in-place recovery with other transactions in flight; database unusable (cause: %w)", firstErr(cause, errors.New("uncompensatable transaction")))
+		d.markUnusable(err)
 		return err
+	}
+	// Readers are fenced by the query lock, so claim it exclusively for
+	// the rebuild — TryLock, not Lock, because the rolling-back session
+	// may itself still hold it (shared for MVCC statements, exclusive
+	// for DDL) and a blocking acquire would self-deadlock. Contention
+	// means the database is in use; recovery cannot run safely.
+	if !d.qmu.TryLock() {
+		err := fmt.Errorf("db: rollback requires in-place recovery while the database is in use; database unusable (cause: %w)", firstErr(cause, errors.New("uncompensatable transaction")))
+		d.markUnusable(err)
+		return err
+	}
+	defer d.qmu.Unlock()
+	if err := d.recoverInPlace(); err != nil {
+		err = fmt.Errorf("db: rollback recovery failed, database unusable: %w", errors.Join(cause, err))
+		d.markUnusable(err)
+		return err
+	}
+	return nil
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // recoverInPlace drops every page cache without write-back and rebuilds
 // the on-disk state from the log: redo re-applies committed images,
-// loser records are skipped, and the catalog and all storage objects
-// are reloaded from the recovered files. Callers must hold txmu and
-// exclude concurrent readers.
+// loser records are skipped, rows the losers left embedded in committed
+// images are purged by version header, and the catalog and all storage
+// objects are reloaded from the recovered files. Callers must ensure no
+// other transaction is in flight and no reader is mid-scan (the DDL
+// paths hold the query lock exclusively).
 func (d *DB) recoverInPlace() error {
 	for _, t := range d.tables {
 		if err := t.Heap.Discard(); err != nil {
@@ -282,7 +496,11 @@ func (d *DB) recoverInPlace() error {
 	}
 	d.tables = make(map[string]*Table)
 	d.indexes = make(map[string]*Index)
-	if _, err := wal.Redo(d.wal, d.dir, d.fs); err != nil {
+	stats, err := wal.Redo(d.wal, d.dir, d.fs)
+	if err != nil {
+		return err
+	}
+	if _, err := d.purgeLosers(stats.Losers); err != nil {
 		return err
 	}
 	// Redo published the last committed catalog image (if any), so the
@@ -308,13 +526,13 @@ func (d *DB) usable() error {
 }
 
 // attachHeap wires a heap file into the WAL: its pager enforces the
-// WAL rule and no-steal, and its mutations log page images.
+// WAL rule and no-steal. Mutations log through per-transaction loggers
+// (txLogger), not an ambient per-file one.
 func (d *DB) attachHeap(h *store.HeapFile) {
 	if d.wal == nil {
 		return
 	}
 	h.Pager().SetWAL(d.wal)
-	h.SetLogger(walLogger{d})
 }
 
 // attachTree is attachHeap for B-trees.
@@ -323,7 +541,6 @@ func (d *DB) attachTree(bt *store.BTree) {
 		return
 	}
 	bt.Pager().SetWAL(d.wal)
-	bt.SetLogger(walLogger{d})
 }
 
 // WALStats reports write-ahead log activity.

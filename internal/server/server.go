@@ -326,6 +326,10 @@ func (s *Server) status(sess *sql.Session) string {
 				ws.LastCheckpoint.SegmentsRemoved, ws.LastCheckpoint.Duration)
 		}
 	}
+	if ms := s.db.MVCCStats(); ms.Enabled {
+		wal += fmt.Sprintf("\nmvcc: inflight=%d snapshots=%d max_commit=%d conflicts=%d commit_registry=%d",
+			ms.InFlight, ms.Snapshots, ms.MaxCommit, ms.Conflicts, ms.CommitRegistry)
+	}
 	if rs := s.db.RecoveryStats(); rs.Ran {
 		wal += fmt.Sprintf("\nrecovery: duration=%v floor=%d scanned=%d skipped=%d replayed=%d applied=%d",
 			rs.Duration, rs.Redo.Floor, rs.Redo.Scanned, rs.Redo.Skipped,

@@ -1,0 +1,201 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lexequal/internal/db"
+)
+
+// TestSelectNeverBlocksBehindWriter is the MVCC contract in one
+// statement: while one session holds an open transaction with
+// uncommitted writes, another session's SELECT completes immediately
+// and sees the pre-transaction state. Under the old exclusive-lock
+// transactions the SELECT blocked until COMMIT, so this test hung.
+func TestSelectNeverBlocksBehindWriter(t *testing.T) {
+	writer := newTestSession(t)
+	mustExec(t, writer, `CREATE TABLE kv (k INT, v TEXT)`)
+	mustExec(t, writer, `INSERT INTO kv VALUES (1, 'committed')`)
+
+	reader, err := NewSession(writer.DB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustExec(t, writer, `BEGIN`)
+	mustExec(t, writer, `INSERT INTO kv VALUES (2, 'uncommitted')`)
+
+	done := make(chan int, 1)
+	go func() { done <- countRows(t, reader, "kv") }()
+	select {
+	case got := <-done:
+		if got != 1 {
+			t.Errorf("reader saw %d rows, want 1 (uncommitted insert leaked)", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SELECT blocked behind an open write transaction")
+	}
+	mustExec(t, writer, `COMMIT`)
+	if got := countRows(t, reader, "kv"); got != 2 {
+		t.Errorf("after commit the reader sees %d rows, want 2", got)
+	}
+}
+
+// TestWriteWriteConflictAbortsAndRetries drives the first-writer-wins
+// protocol through SQL: the losing session's DELETE fails with the
+// serialization-failure retry hint, its transaction is rolled back, and
+// the conventional retry then succeeds as a no-op.
+func TestWriteWriteConflictAbortsAndRetries(t *testing.T) {
+	a := newTestSession(t)
+	mustExec(t, a, `CREATE TABLE kv (k INT, v TEXT)`)
+	mustExec(t, a, `INSERT INTO kv VALUES (1, 'one'), (2, 'two')`)
+
+	b, err := NewSession(a.DB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, a, `BEGIN`)
+	mustExec(t, a, `DELETE FROM kv WHERE k = 2`)
+
+	mustExec(t, b, `BEGIN`)
+	_, err = b.Exec(`DELETE FROM kv WHERE k = 2`)
+	if !errors.Is(err, db.ErrSerializationFailure) {
+		t.Fatalf("losing delete: got %v, want ErrSerializationFailure", err)
+	}
+	if !strings.Contains(err.Error(), "retry the transaction") {
+		t.Errorf("conflict error lacks the retry hint: %v", err)
+	}
+	if !strings.Contains(err.Error(), "the open transaction was rolled back") {
+		t.Errorf("conflict error does not report the rollback: %v", err)
+	}
+	mustExec(t, a, `COMMIT`)
+
+	// Retry: the row is gone now, so the delete matches nothing.
+	mustExec(t, b, `BEGIN`)
+	res := mustExec(t, b, `DELETE FROM kv WHERE k = 2`)
+	if res.Affected != 0 {
+		t.Errorf("retried delete affected %d rows, want 0", res.Affected)
+	}
+	mustExec(t, b, `COMMIT`)
+	if got := countRows(t, a, "kv"); got != 1 {
+		t.Errorf("final state has %d rows, want 1", got)
+	}
+}
+
+// TestMVCCSmoke is the 8-client soak `make mvcc-smoke` runs under
+// -race: every client interleaves explicit transactions (insert own
+// keys, delete from a contested pool, commit or roll back) with
+// autocommit statements and SELECTs. Serialization failures are
+// expected and retried; anything else fails the soak. The final state
+// must reconcile exactly with the per-client commit bookkeeping.
+func TestMVCCSmoke(t *testing.T) {
+	setup := newTestSession(t)
+	mustExec(t, setup, `CREATE TABLE kv (k INT, v TEXT)`)
+	const contested = 32
+	for i := 0; i < contested; i++ {
+		mustExec(t, setup, fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'pool')`, i))
+	}
+
+	const clients, rounds = 8, 12
+	var mu sync.Mutex
+	alive := make(map[int]bool) // committed own keys still live
+	deleted := make(map[int]bool)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess, err := NewSession(setup.DB, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Reset()
+			rng := rand.New(rand.NewSource(int64(c)*104729 + 1))
+			for r := 0; r < rounds; r++ {
+				own := 1000 + c*1000 + r
+				pool := rng.Intn(contested)
+				if _, err := sess.Exec(`BEGIN`); err != nil {
+					t.Errorf("client %d: BEGIN: %v", c, err)
+					return
+				}
+				if _, err := sess.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'c%d')`, own, c)); err != nil {
+					t.Errorf("client %d: insert own key: %v", c, err)
+					return
+				}
+				poolDeleted := false
+				if rng.Intn(2) == 0 {
+					res, err := sess.Exec(fmt.Sprintf(`DELETE FROM kv WHERE k = %d`, pool))
+					if err != nil {
+						if !errors.Is(err, db.ErrSerializationFailure) {
+							t.Errorf("client %d: contested delete: %v", c, err)
+							return
+						}
+						continue // whole transaction rolled back; next round
+					}
+					poolDeleted = res.Affected > 0
+				}
+				if rng.Intn(6) == 0 {
+					if _, err := sess.Exec(`ROLLBACK`); err != nil {
+						t.Errorf("client %d: ROLLBACK: %v", c, err)
+						return
+					}
+					continue
+				}
+				if _, err := sess.Exec(`COMMIT`); err != nil {
+					t.Errorf("client %d: COMMIT: %v", c, err)
+					return
+				}
+				mu.Lock()
+				alive[own] = true
+				if poolDeleted {
+					deleted[pool] = true
+				}
+				mu.Unlock()
+				// Autocommit read between transactions.
+				if _, err := sess.Exec(`SELECT COUNT(*) FROM kv`); err != nil {
+					t.Errorf("client %d: interleaved select: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	res := mustExec(t, setup, `SELECT k FROM kv`)
+	got := make(map[int]bool)
+	for _, row := range res.Rows {
+		got[int(row[0].I)] = true
+	}
+	want := make(map[int]bool)
+	for i := 0; i < contested; i++ {
+		if !deleted[i] {
+			want[i] = true
+		}
+	}
+	for k := range alive {
+		want[k] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("committed key %d missing from final state", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("key %d visible but never committed (or committed deleted)", k)
+		}
+	}
+	if issues := setup.DB.Check(); len(issues) != 0 {
+		t.Errorf("consistency check after soak: %v", issues)
+	}
+}

@@ -270,6 +270,7 @@ func (s *Session) configureLex(cfg *db.LexConfig, info *planInfo) {
 	cfg.Workers = s.Parallelism
 	cfg.Counters = &s.Pipeline
 	cfg.Kernel = s.Kernel
+	cfg.Snap = s.snap
 	info.parallelism = s.Parallelism
 	info.kernel = s.Op.ResolveKernel(s.Kernel).String()
 }
@@ -391,7 +392,7 @@ func (s *Session) planBase(sc *scope, sel *SelectStmt, info *planInfo) (db.Node,
 			// Fall through: generic predicate filter handles it.
 		}
 		info.shape = "seqscan " + b.table.Name
-		return db.NewSeqScan(b.table), rest(), nil
+		return db.NewSeqScanSnap(b.table, s.snap), rest(), nil
 
 	case 2:
 		if lex != nil {
@@ -414,6 +415,13 @@ func (s *Session) planBase(sc *scope, sel *SelectStmt, info *planInfo) (db.Node,
 							}
 							s.configureLex(leftCfg, info)
 							s.configureLex(rightCfg, info)
+							// EXPLAIN must report the kernel the join
+							// actually verifies with: a cross-model join is
+							// forced onto the scalar kernel whatever the
+							// session knob says.
+							if k, reason := db.JoinKernel(leftCfg, rightCfg); reason != "" {
+								info.kernel = k.String() + " (" + reason + ")"
+							}
 							node := db.NewLexJoin(leftCfg, rightCfg, thr, false, s.Strategy)
 							if lb > rb {
 								// Output layout is left++right in FROM
@@ -451,8 +459,8 @@ func (s *Session) planBase(sc *scope, sel *SelectStmt, info *planInfo) (db.Node,
 			}
 			info.shape = "hashjoin"
 			node := &db.HashJoin{
-				Left:     db.NewSeqScan(sc.bindings[0].table),
-				Right:    db.NewSeqScan(sc.bindings[1].table),
+				Left:     db.NewSeqScanSnap(sc.bindings[0].table, s.snap),
+				Right:    db.NewSeqScanSnap(sc.bindings[1].table, s.snap),
 				LeftCol:  li,
 				RightCol: ri - sc.bindings[1].offset,
 			}
@@ -460,8 +468,8 @@ func (s *Session) planBase(sc *scope, sel *SelectStmt, info *planInfo) (db.Node,
 		}
 		info.shape = "nestedloop"
 		node := &db.NestedLoopJoin{
-			Left:  db.NewSeqScan(sc.bindings[0].table),
-			Right: db.NewSeqScan(sc.bindings[1].table),
+			Left:  db.NewSeqScanSnap(sc.bindings[0].table, s.snap),
+			Right: db.NewSeqScanSnap(sc.bindings[1].table, s.snap),
 		}
 		return node, rest(), nil
 

@@ -29,15 +29,21 @@ import (
 //	SET parallelism        = 1 | n | 0 (0 = GOMAXPROCS)
 //	SET lexequal_wal_flush = milliseconds (group-commit window)
 //
-// Explicit transactions span statements: BEGIN takes the exclusive
-// query lock and opens a write transaction, every following statement
-// joins it, and COMMIT/ROLLBACK finishes it (durability is awaited
-// after the locks drop, so concurrent committers share one fsync).
+// Explicit transactions span statements: BEGIN takes the query lock
+// shared and opens a concurrent write transaction, every following
+// statement runs in it, and COMMIT/ROLLBACK finishes it (durability is
+// awaited after the locks drop, so concurrent committers share one
+// fsync). Under MVCC snapshot isolation the shared lock is enough:
+// readers never block behind writers, independent writers never block
+// behind each other, and a write-write conflict surfaces as
+// db.ErrSerializationFailure — the statement (or transaction) should
+// be retried.
 //
 // A Session is safe for concurrent use: Exec serializes on a
 // per-session mutex (statements from one session never interleave),
-// and takes the database-level query lock — shared for reads,
-// exclusive for DML/DDL — so many sessions can run against one DB.
+// and takes the database-level query lock — shared for reads and row
+// DML, exclusive only for DDL — so many sessions can run against one
+// DB.
 type Session struct {
 	// mu serializes Exec: session state (Strategy, Threshold, operator
 	// rebuilds on SET) is mutated with no finer-grained synchronization,
@@ -62,12 +68,19 @@ type Session struct {
 	Pipeline metrics.PipelineCounters
 
 	// tx and txUnlock track an explicit transaction (BEGIN..COMMIT):
-	// the database write transaction and the release of the exclusive
-	// query lock, which the session holds across statements until
-	// COMMIT/ROLLBACK so no other session observes its uncommitted
-	// writes.
+	// the concurrent database write transaction and the release of the
+	// shared query lock, which the session holds across statements
+	// until COMMIT/ROLLBACK so DDL and checkpoints serialize against
+	// it. Isolation comes from MVCC, not the lock: other sessions read
+	// and write concurrently and never observe its uncommitted writes.
 	tx       *db.Tx
 	txUnlock func()
+	// snap is the snapshot the current statement reads under: the
+	// explicit transaction's when one is open, else a fresh one at the
+	// latest commit horizon (snapOwned — released after the statement).
+	// The planner threads it into every scan and fetch.
+	snap      *db.Snap
+	snapOwned bool
 	// stmtLSN is the commit LSN of the last statement-scoped
 	// transaction, stashed by endStmtTxn for Exec to await after the
 	// locks drop.
@@ -167,37 +180,80 @@ func (s *Session) execLocked(sqlText string) (*Result, uint64, error) {
 	case *CheckpointStmt:
 		res, err := s.execCheckpoint()
 		return res, 0, err
+	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt:
+		if s.tx != nil {
+			// DDL needs the exclusive query lock; the open transaction
+			// holds it shared across statements, so the upgrade would
+			// deadlock — and a failed DDL rollback escalates to in-place
+			// recovery, which tolerates no concurrent transaction.
+			return nil, 0, fmt.Errorf("sql: DDL inside a transaction is not supported")
+		}
 	}
 	unlock := s.acquireDB(stmt)
+	s.beginStmtSnap()
 	res, err := s.exec(stmt)
+	s.endStmtSnap()
 	waitLSN := s.stmtLSN
 	s.stmtLSN = 0
 	if unlock != nil {
 		unlock()
 	}
-	if err != nil && s.tx != nil && !s.DB.InTxn() {
-		// The failed statement aborted the explicit transaction at the
-		// database level (its pages may have been mutated before the
-		// failure, so the db rolled the whole transaction back on the
-		// spot). Drop the session's side of it and tell the client.
-		s.endTxn()
-		err = fmt.Errorf("%w (the open transaction was rolled back)", err)
+	if err != nil && s.tx != nil {
+		abort := false
+		switch stmt.(type) {
+		case *InsertStmt, *DeleteStmt:
+			// A failed mutation poisons the whole explicit transaction
+			// (its earlier writes may be what made the statement fail,
+			// and partial statements must not commit).
+			abort = true
+		}
+		if abort || s.tx.Done() {
+			if rbErr := s.rollbackTxn(); rbErr != nil {
+				err = errors.Join(err, rbErr)
+			}
+			err = fmt.Errorf("%w (the open transaction was rolled back)", err)
+		}
 	}
 	if err != nil {
 		waitLSN = 0
+		if errors.Is(err, db.ErrSerializationFailure) {
+			err = fmt.Errorf("%w; retry the transaction", err)
+		}
 	}
 	return res, waitLSN, err
 }
 
-// execBegin opens an explicit transaction: it takes the exclusive
-// query lock — held until COMMIT/ROLLBACK — and begins a database
-// write transaction that every following statement joins.
+// beginStmtSnap points the planner at the snapshot the next statement
+// reads under: the explicit transaction's (repeatable reads plus its
+// own writes) or a fresh one at the latest commit horizon.
+func (s *Session) beginStmtSnap() {
+	if s.tx != nil {
+		s.snap, s.snapOwned = s.tx.Snapshot(), false
+		return
+	}
+	s.snap, s.snapOwned = s.DB.AcquireSnap(), true
+}
+
+// endStmtSnap releases a statement-scoped snapshot so version GC can
+// advance past its horizon; a transaction's snapshot lives on until
+// COMMIT/ROLLBACK.
+func (s *Session) endStmtSnap() {
+	if s.snapOwned {
+		s.DB.ReleaseSnap(s.snap)
+	}
+	s.snap, s.snapOwned = nil, false
+}
+
+// execBegin opens an explicit transaction: it takes the shared query
+// lock — held until COMMIT/ROLLBACK, so DDL and checkpoints wait but
+// readers and other writers do not — and begins a concurrent write
+// transaction that every following statement runs in.
 func (s *Session) execBegin() (*Result, error) {
 	if s.tx != nil {
 		return nil, fmt.Errorf("sql: a transaction is already open")
 	}
-	unlock := s.lockExclusive()
-	tx, err := s.DB.Begin()
+	unlock := s.lockShared()
+	tx, err := s.DB.BeginTx()
 	if err != nil {
 		unlock()
 		return nil, err
@@ -222,19 +278,31 @@ func (s *Session) execCommit() (*Result, uint64, error) {
 	return &Result{Message: "transaction committed"}, lsn, nil
 }
 
-// execRollback abandons the open transaction. The in-place recovery it
-// triggers runs while this session still holds the exclusive query
-// lock, so no reader observes the storage objects mid-rebuild.
+// execRollback abandons the open transaction via rollbackTxn.
 func (s *Session) execRollback() (*Result, error) {
 	if s.tx == nil {
 		return nil, fmt.Errorf("sql: no transaction is open")
 	}
-	tx := s.tx
-	defer s.endTxn()
-	if err := tx.Rollback(); err != nil {
+	if err := s.rollbackTxn(); err != nil {
 		return nil, err
 	}
 	return &Result{Message: "transaction rolled back"}, nil
+}
+
+// rollbackTxn aborts the open explicit transaction and clears the
+// session's side of it. The rollback runs under the shared query lock
+// held since BEGIN — compensation is plain latched page traffic, safe
+// beside concurrent readers and writers. The catastrophic path (a
+// rollback that cannot be compensated) is the db layer's problem: it
+// escalates to in-place recovery only when no other transaction or
+// snapshot is live, and marks the database unusable otherwise.
+func (s *Session) rollbackTxn() error {
+	tx := s.tx
+	defer s.endTxn()
+	if tx == nil || tx.Done() {
+		return nil
+	}
+	return tx.Rollback()
 }
 
 // execCheckpoint runs an online fuzzy checkpoint. It takes no
@@ -255,7 +323,7 @@ func (s *Session) execCheckpoint() (*Result, error) {
 }
 
 // endTxn drops the session's explicit-transaction state and releases
-// the exclusive query lock.
+// the shared query lock.
 func (s *Session) endTxn() {
 	if s.txUnlock != nil {
 		s.txUnlock()
@@ -274,25 +342,25 @@ func (s *Session) Reset() error {
 	if s.tx == nil {
 		return nil
 	}
-	tx := s.tx
-	defer s.endTxn()
-	if s.DB.InTxn() {
-		return tx.Rollback()
-	}
-	return nil
+	return s.rollbackTxn()
 }
 
 // acquireDB takes the database-level query lock for one statement:
-// shared for read-only statements, exclusive for DML/DDL, none for
-// session-local SET/SHOW-LEXSTATS. It returns the release func.
+// shared for reads and row DML (MVCC snapshots isolate them), exclusive
+// only for DDL, none for session-local SET/SHOW-LEXSTATS. It returns
+// the release func.
 func (s *Session) acquireDB(stmt Stmt) func() {
 	if s.tx != nil {
-		// An explicit transaction already holds the exclusive lock
-		// across statements; re-acquiring (even shared) would deadlock.
+		// An explicit transaction already holds the shared lock across
+		// statements; re-acquiring would deadlock against a pending DDL.
 		return nil
 	}
 	switch st := stmt.(type) {
-	case *SelectStmt, *ExplainStmt:
+	case *SelectStmt, *ExplainStmt, *InsertStmt, *DeleteStmt:
+		// Readers and row writers all share: SELECTs never block behind
+		// writers and independent writers never block each other —
+		// write-write conflicts surface as ErrSerializationFailure from
+		// the row that loses the claim race, not as lock waits.
 		return s.lockShared()
 	case *ShowStmt:
 		if st.What == "LEXSTATS" {
@@ -301,7 +369,7 @@ func (s *Session) acquireDB(stmt Stmt) func() {
 		return s.lockShared()
 	case *SetStmt:
 		return nil // session state only
-	default: // CREATE/DROP/INSERT/DELETE: writers serialize
+	default: // CREATE/DROP: DDL rewrites shared structures in place
 		return s.lockExclusive()
 	}
 }
@@ -436,22 +504,21 @@ func (s *Session) beginStmtTxn(n int) (*db.Tx, error) {
 	if n < 1 || s.tx != nil || !s.DB.WALStats().Enabled {
 		return nil, nil
 	}
-	return s.DB.Begin()
+	return s.DB.BeginTx()
 }
 
 // endStmtTxn finishes a statement-scoped transaction. On success it
 // appends the commit record without waiting for durability and stashes
 // the commit LSN for Exec to await once the query lock is released. On
-// failure the database has usually already aborted it (a failed row
-// aborts its enclosing transaction on the spot); if it is somehow
-// still open — the statement failed before touching any row — roll it
-// back here.
+// failure it rolls the transaction back under the statement's shared
+// lock — compensation is ordinary latched page traffic, and a
+// transaction CommitNoWait itself could not finish is already done.
 func (s *Session) endStmtTxn(tx *db.Tx, err error) error {
 	if tx == nil {
 		return err
 	}
 	if err != nil {
-		if s.DB.InTxn() {
+		if !tx.Done() {
 			if rbErr := tx.Rollback(); rbErr != nil {
 				err = errors.Join(err, rbErr)
 			}
@@ -473,18 +540,25 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: no table %q", st.Table)
 	}
-	tx, err := s.beginStmtTxn(len(st.Rows))
+	stmtTx, err := s.beginStmtTxn(len(st.Rows))
 	if err != nil {
 		return nil, err
 	}
-	n, err := s.insertRows(t, st)
-	if err = s.endStmtTxn(tx, err); err != nil {
+	tx := s.tx
+	if stmtTx != nil {
+		tx = stmtTx
+	}
+	n, err := s.insertRows(tx, t, st)
+	if err = s.endStmtTxn(stmtTx, err); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: n, Message: fmt.Sprintf("%d row(s) inserted", n)}, nil
 }
 
-func (s *Session) insertRows(t *db.Table, st *InsertStmt) (int, error) {
+// insertRows writes the statement's rows under tx — the explicit
+// transaction, a statement-scoped one, or nil on a WAL-less database
+// (single-writer bulk mode, frozen versions).
+func (s *Session) insertRows(tx *db.Tx, t *db.Table, st *InsertStmt) (int, error) {
 	n := 0
 	for _, astRow := range st.Rows {
 		row := make(db.Row, len(astRow))
@@ -500,7 +574,7 @@ func (s *Session) insertRows(t *db.Table, st *InsertStmt) (int, error) {
 			}
 			row[i] = v
 		}
-		if _, err := t.Insert(row); err != nil {
+		if _, err := t.InsertTx(tx, row); err != nil {
 			return n, err
 		}
 		n++
@@ -508,8 +582,11 @@ func (s *Session) insertRows(t *db.Table, st *InsertStmt) (int, error) {
 	return n, nil
 }
 
-// execDelete scans the table, collects matching RIDs, then tombstones
-// them (two phases so the scan never observes its own deletions).
+// execDelete scans the table under the statement's snapshot, collects
+// matching RIDs, then claims them for deletion (two phases so the scan
+// never observes its own deletions). A row another transaction claimed
+// or replaced since the snapshot fails the statement with
+// ErrSerializationFailure — first writer wins.
 func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
 	t, ok := s.DB.Table(st.Table)
 	if !ok {
@@ -527,7 +604,7 @@ func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
 		}
 	}
 	var rids []store.RID
-	err = t.Scan(func(rid store.RID, row db.Row) error {
+	err = t.ScanSnap(s.snap, func(rid store.RID, row db.Row) error {
 		if pred != nil {
 			v, err := pred.Eval(row)
 			if err != nil {
@@ -543,16 +620,20 @@ func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tx, err := s.beginStmtTxn(len(rids))
+	stmtTx, err := s.beginStmtTxn(len(rids))
 	if err != nil {
 		return nil, err
 	}
+	tx := s.tx
+	if stmtTx != nil {
+		tx = stmtTx
+	}
 	for _, rid := range rids {
-		if err = t.Delete(rid); err != nil {
+		if err = t.DeleteTx(tx, rid); err != nil {
 			break
 		}
 	}
-	if err = s.endStmtTxn(tx, err); err != nil {
+	if err = s.endStmtTxn(stmtTx, err); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: len(rids), Message: fmt.Sprintf("%d row(s) deleted", len(rids))}, nil

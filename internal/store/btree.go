@@ -336,7 +336,20 @@ func leafLowerBound(p *Page, key uint64) int {
 func (t *BTree) Insert(key, value uint64) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
-	if t.logger != nil {
+	return t.insertCaptured(key, value, t.logger)
+}
+
+// InsertTx is Insert against an explicit per-call page logger, for
+// concurrent transactions that each carry their own WAL identity; nil
+// inserts unlogged.
+func (t *BTree) InsertTx(key, value uint64, lg PageLogger) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	return t.insertCaptured(key, value, lg)
+}
+
+func (t *BTree) insertCaptured(key, value uint64, lg PageLogger) error {
+	if lg != nil {
 		t.pg.CaptureStart()
 	}
 	err := t.insertLocked(key, value)
@@ -345,11 +358,15 @@ func (t *BTree) Insert(key, value uint64) error {
 		// logged mutation so recovery replays a consistent tree.
 		err = t.syncMeta()
 	}
-	if t.logger != nil {
+	if lg != nil {
 		if err != nil {
-			t.pg.DropCapture()
-		} else {
-			err = t.pg.LogCaptured(t.logger)
+			// A mutation that dirtied pages before failing cannot be
+			// undone by logged compensation; mark it so the db layer
+			// escalates to cache-discard recovery.
+			err = taintDirty(err, t.pg.DropCapture())
+		} else if lerr := t.pg.LogCaptured(lg); lerr != nil {
+			// Partial logging always leaves captured dirt behind.
+			err = &dirtyFailError{lerr}
 		}
 	}
 	return err

@@ -250,11 +250,25 @@ func (h *HeapFile) slotRecord(p *Page, s int, freeOff int) ([]byte, error) {
 	return p.Data[off : off+length], nil
 }
 
-// Insert appends a record and returns its RID.
+// Insert appends a record and returns its RID, logging against the
+// attached logger (the ambient-transaction path).
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	h.latch.Lock()
 	defer h.latch.Unlock()
-	if h.logger != nil {
+	return h.insertCaptured(rec, h.logger)
+}
+
+// InsertTx is Insert against an explicit per-call page logger, for
+// concurrent transactions that each carry their own WAL identity. A
+// nil logger inserts unlogged (bulk builds, recovery repair).
+func (h *HeapFile) InsertTx(rec []byte, lg PageLogger) (RID, error) {
+	h.latch.Lock()
+	defer h.latch.Unlock()
+	return h.insertCaptured(rec, lg)
+}
+
+func (h *HeapFile) insertCaptured(rec []byte, lg PageLogger) (RID, error) {
+	if lg != nil {
 		h.pg.CaptureStart()
 	}
 	rid, err := h.insertLocked(rec)
@@ -264,11 +278,15 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		// wait for Close.
 		err = h.syncMeta()
 	}
-	if h.logger != nil {
+	if lg != nil {
 		if err != nil {
-			h.pg.DropCapture()
-		} else {
-			err = h.pg.LogCaptured(h.logger)
+			// A mutation that dirtied pages before failing cannot be
+			// undone by logged compensation; mark it so the db layer
+			// escalates to cache-discard recovery.
+			err = taintDirty(err, h.pg.DropCapture())
+		} else if lerr := h.pg.LogCaptured(lg); lerr != nil {
+			// Partial logging always leaves captured dirt behind.
+			err = &dirtyFailError{lerr}
 		}
 	}
 	if err != nil {
@@ -354,23 +372,40 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 	return rec, nil
 }
 
-// Delete tombstones the record at rid. The space is not reclaimed
-// (adequate for the read-mostly experimental workloads).
+// Delete tombstones the record at rid, logging against the attached
+// logger. The space is not reclaimed (adequate for the read-mostly
+// experimental workloads).
 func (h *HeapFile) Delete(rid RID) error {
 	h.latch.Lock()
 	defer h.latch.Unlock()
-	if h.logger != nil {
+	return h.deleteCaptured(rid, h.logger)
+}
+
+// DeleteTx is Delete against an explicit per-call page logger; nil
+// deletes unlogged.
+func (h *HeapFile) DeleteTx(rid RID, lg PageLogger) error {
+	h.latch.Lock()
+	defer h.latch.Unlock()
+	return h.deleteCaptured(rid, lg)
+}
+
+func (h *HeapFile) deleteCaptured(rid RID, lg PageLogger) error {
+	if lg != nil {
 		h.pg.CaptureStart()
 	}
 	err := h.deleteLocked(rid)
 	if err == nil {
 		err = h.syncMeta()
 	}
-	if h.logger != nil {
+	if lg != nil {
 		if err != nil {
-			h.pg.DropCapture()
-		} else {
-			err = h.pg.LogCaptured(h.logger)
+			// A mutation that dirtied pages before failing cannot be
+			// undone by logged compensation; mark it so the db layer
+			// escalates to cache-discard recovery.
+			err = taintDirty(err, h.pg.DropCapture())
+		} else if lerr := h.pg.LogCaptured(lg); lerr != nil {
+			// Partial logging always leaves captured dirt behind.
+			err = &dirtyFailError{lerr}
 		}
 	}
 	return err
@@ -400,6 +435,79 @@ func (h *HeapFile) deleteLocked(rid RID) error {
 	binary.LittleEndian.PutUint16(p.Data[slot+2:], 0)
 	p.MarkDirty()
 	h.count--
+	return nil
+}
+
+// Patch overwrites len(data) bytes of the record at rid starting at
+// byte offset off, in place (the record's length never changes),
+// logging against the attached logger. It exists for the MVCC version
+// header: claiming or clearing a row's deleter stamp rewrites eight
+// bytes of a live record without moving it.
+func (h *HeapFile) Patch(rid RID, off int, data []byte) error {
+	h.latch.Lock()
+	defer h.latch.Unlock()
+	return h.patchCaptured(rid, off, data, h.logger)
+}
+
+// PatchTx is Patch against an explicit per-call page logger; nil
+// patches unlogged (recovery repair).
+func (h *HeapFile) PatchTx(rid RID, off int, data []byte, lg PageLogger) error {
+	h.latch.Lock()
+	defer h.latch.Unlock()
+	return h.patchCaptured(rid, off, data, lg)
+}
+
+func (h *HeapFile) patchCaptured(rid RID, off int, data []byte, lg PageLogger) error {
+	if lg != nil {
+		h.pg.CaptureStart()
+	}
+	err := h.patchLocked(rid, off, data)
+	if err == nil {
+		err = h.syncMeta()
+	}
+	if lg != nil {
+		if err != nil {
+			// A mutation that dirtied pages before failing cannot be
+			// undone by logged compensation; mark it so the db layer
+			// escalates to cache-discard recovery.
+			err = taintDirty(err, h.pg.DropCapture())
+		} else if lerr := h.pg.LogCaptured(lg); lerr != nil {
+			// Partial logging always leaves captured dirt behind.
+			err = &dirtyFailError{lerr}
+		}
+	}
+	return err
+}
+
+func (h *HeapFile) patchLocked(rid RID, off int, data []byte) error {
+	if rid.Page == 0 {
+		return fmt.Errorf("store: rid %v addresses the meta page", rid)
+	}
+	p, err := h.pg.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pg.Unpin(p)
+	n, freeOff, err := h.pageSlots(p)
+	if err != nil {
+		return err
+	}
+	if int(rid.Slot) >= n {
+		return fmt.Errorf("store: rid %v slot out of range", rid)
+	}
+	raw, err := h.slotRecord(p, int(rid.Slot), freeOff)
+	if err != nil {
+		return err
+	}
+	if raw == nil {
+		return fmt.Errorf("store: rid %v: %w", rid, ErrDeleted)
+	}
+	if off < 0 || off+len(data) > len(raw) {
+		return fmt.Errorf("store: patch [%d:%d) outside record of %d bytes at rid %v",
+			off, off+len(data), len(raw), rid)
+	}
+	copy(raw[off:], data)
+	p.MarkDirty()
 	return nil
 }
 

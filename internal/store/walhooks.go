@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -68,13 +69,46 @@ func (pg *Pager) noteDirty(id PageID) {
 }
 
 // DropCapture closes the capture window without logging (the mutation
-// failed; the transaction is headed for rollback-by-recovery).
-func (pg *Pager) DropCapture() {
+// failed) and returns how many pages the window had captured. Zero
+// means the mutation failed before dirtying anything — the caller's
+// transaction can roll back by compensation; nonzero means the cache
+// now holds changes no log record describes, which only cache-discard
+// recovery can undo (see ErrUnloggedDirt).
+func (pg *Pager) DropCapture() int {
 	pg.mu.Lock()
+	n := len(pg.captured)
 	pg.capturing = false
 	pg.captured = nil
 	pg.captureOn.Store(false)
 	pg.mu.Unlock()
+	return n
+}
+
+// ErrUnloggedDirt marks a failed mutation that left modified pages in
+// the cache with no (or incomplete) log coverage: the failure struck
+// after the first MarkDirty but before LogCaptured finished. A
+// transaction that sees it cannot roll back by logged compensation —
+// only discarding the caches and redoing the log restores a provable
+// state. Match with errors.Is; the original failure is preserved
+// (message and wrapped sentinels are unchanged).
+var ErrUnloggedDirt = errors.New("store: failed mutation left unlogged dirty pages")
+
+// dirtyFailError decorates a mutation failure with ErrUnloggedDirt
+// without disturbing its message or its own wrapped sentinels.
+type dirtyFailError struct{ err error }
+
+func (e *dirtyFailError) Error() string { return e.err.Error() }
+
+func (e *dirtyFailError) Unwrap() []error { return []error{e.err, ErrUnloggedDirt} }
+
+// taintDirty classifies a failed capture-window mutation: failures
+// that dirtied nothing pass through untouched, failures that left
+// captured pages behind are marked with ErrUnloggedDirt.
+func taintDirty(err error, captured int) error {
+	if err == nil || captured == 0 {
+		return err
+	}
+	return &dirtyFailError{err}
 }
 
 // LogCaptured closes the capture window, sends the after-image of

@@ -22,21 +22,35 @@ type RedoStats struct {
 	CheckpointLSN uint64
 	// Scanned counts every record the recovery scan visited.
 	Scanned int
-	// Skipped counts committed page/catalog records at or below the
+	// Skipped counts finished page/catalog records at or below the
 	// floor — work the checkpoint already made durable.
 	Skipped int
-	// Replayed counts committed page/catalog records above the floor.
+	// Replayed counts finished page/catalog records above the floor.
 	Replayed int
 	// Applied counts page images physically rewritten (Replayed minus
 	// pages whose on-disk image was already current).
 	Applied int
+	// Losers holds the IDs of transactions the log shows records for
+	// but no terminator (neither commit nor abort) — in flight at the
+	// crash, or abandoned by an escalated in-process rollback that
+	// could not finish compensating. Redo skipped their page images,
+	// but a finished image logged AFTER a loser's write to the same
+	// page embeds the loser's rows; the db layer purges those by
+	// version header before reopening for service.
+	Losers map[uint64]bool
 }
 
 // Redo replays the log over the database directory: every page image
-// belonging to a committed transaction is re-applied (newest wins), and
-// records of loser transactions — begun but neither committed nor
-// aborted before the crash — are discarded, which under the no-steal
-// buffer policy is all the undo there is.
+// belonging to a finished transaction — one the log terminates with a
+// commit OR an abort record — is re-applied (newest wins). An abort
+// trail is replayed because it is self-contained: the forward images
+// followed by the compensation images that undid them, so replaying
+// it in LSN order lands on the undone state; the abort record is only
+// appended once compensation has been fully logged, which is what
+// makes the trail safe to flush under no-steal and safe to replay
+// here. Records of loser transactions — begun but never terminated —
+// are discarded, which under the no-steal buffer policy is all the
+// undo there is.
 //
 // Replay starts at the last complete checkpoint's redo floor: records
 // at or below it were durably flushed to the data files before the
@@ -56,16 +70,21 @@ func Redo(l *Log, dbDir string, fs store.VFS) (RedoStats, error) {
 	if fs == nil {
 		fs = store.OSFS{}
 	}
-	// Pass 1: which transactions finished with a commit, and where the
-	// last complete checkpoint put the redo floor. Any checkpoint-end
-	// the scan reaches is complete by construction (it was appended and
-	// synced before anything relied on it); the newest one wins.
-	committed := make(map[uint64]bool)
+	// Pass 1: which transactions finished with a terminator (commit or
+	// abort), and where the last complete checkpoint put the redo
+	// floor. Any checkpoint-end the scan reaches is complete by
+	// construction (it was appended and synced before anything relied
+	// on it); the newest one wins.
+	finished := make(map[uint64]bool)
+	seen := make(map[uint64]bool)
 	if err := l.Records(func(r Record) error {
 		stats.Scanned++
+		if r.TxID != 0 {
+			seen[r.TxID] = true
+		}
 		switch r.Type {
-		case RecCommit:
-			committed[r.TxID] = true
+		case RecCommit, RecAbort:
+			finished[r.TxID] = true
 		case RecCheckpointEnd:
 			stats.Floor = r.CkptFloor
 			stats.CheckpointLSN = r.LSN
@@ -74,8 +93,18 @@ func Redo(l *Log, dbDir string, fs store.VFS) (RedoStats, error) {
 	}); err != nil {
 		return stats, err
 	}
-	// Pass 2: apply page images of committed transactions in LSN
-	// order, remembering the last committed catalog image.
+	// Loser identification needs no begin record: every record a
+	// transaction writes carries its ID, and the checkpoint floor is
+	// pinned below the oldest live begin, so no loser's trail is ever
+	// wholly garbage-collected out from under this scan.
+	stats.Losers = make(map[uint64]bool)
+	for id := range seen {
+		if !finished[id] {
+			stats.Losers[id] = true
+		}
+	}
+	// Pass 2: apply page images of finished transactions in LSN
+	// order, remembering the last finished catalog image.
 	files := make(map[string]store.File)
 	defer func() {
 		for _, f := range files {
@@ -96,7 +125,7 @@ func Redo(l *Log, dbDir string, fs store.VFS) (RedoStats, error) {
 	var catName string
 	var catImage []byte
 	err := l.Records(func(r Record) error {
-		if !committed[r.TxID] {
+		if !finished[r.TxID] {
 			return nil
 		}
 		if r.Type != RecPage && r.Type != RecCatalog {

@@ -156,10 +156,17 @@ type Log struct {
 	hasRecords bool
 
 	// finishedLSN is the LSN of the most recent commit or abort
-	// record. Because write transactions serialize above this layer, a
-	// page LSN at or below it belongs to a finished transaction — the
-	// basis of the pager's no-steal check.
+	// record. With no transaction in flight, a page LSN at or below it
+	// belongs to a finished transaction — the basis of the pager's
+	// no-steal check (see Committed for the concurrent-writer form).
 	finishedLSN uint64
+
+	// liveTxs maps each in-flight transaction to the LSN of its begin
+	// record. It drives the conservative no-steal floor in Committed
+	// (any record below every live begin belongs to a finished
+	// transaction) and pins the checkpoint redo floor below the oldest
+	// live begin so segment GC never orphans a loser's record trail.
+	liveTxs map[uint64]uint64
 
 	fmu        sync.Mutex // guards durability state
 	fcond      *sync.Cond
@@ -180,7 +187,8 @@ func Open(dir string, fs store.VFS) (*Log, error) {
 	if err := fs.MkdirAll(wdir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
-	l := &Log{dir: wdir, fs: fs, nextLSN: 1, segLimit: segmentLimit, flushEvery: DefaultFlushInterval}
+	l := &Log{dir: wdir, fs: fs, nextLSN: 1, segLimit: segmentLimit, flushEvery: DefaultFlushInterval,
+		liveTxs: make(map[uint64]uint64)}
 	l.fcond = sync.NewCond(&l.fmu)
 	if err := l.openTail(); err != nil {
 		return nil, err
@@ -444,6 +452,13 @@ func (l *Log) createSegment(seq uint32, baseLSN uint64) error {
 // append encodes and writes one record, returning its LSN. The bytes
 // are in the OS page cache but NOT durable until a sync covers them.
 func (l *Log) append(typ byte, txid uint64, payload []byte) (uint64, error) {
+	return l.appendRec(typ, txid, payload, false)
+}
+
+// appendRec is append with the selfID option: a self-identified record
+// stamps its own LSN into the txid field, which is how BeginAuto mints
+// log-life-unique transaction IDs in a single append.
+func (l *Log) appendRec(typ byte, txid uint64, payload []byte, selfID bool) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -455,6 +470,9 @@ func (l *Log) append(typ byte, txid uint64, payload []byte) (uint64, error) {
 		}
 	}
 	lsn := l.nextLSN
+	if selfID {
+		txid = lsn
+	}
 	total := recHdrSize + len(payload)
 	buf := make([]byte, total)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(total))
@@ -471,8 +489,14 @@ func (l *Log) append(typ byte, txid uint64, payload []byte) (uint64, error) {
 	l.nextLSN = lsn + 1
 	l.lastLSN = lsn
 	l.hasRecords = true
-	if typ == RecCommit || typ == RecAbort {
+	switch typ {
+	case RecBegin:
+		if _, ok := l.liveTxs[txid]; !ok {
+			l.liveTxs[txid] = lsn
+		}
+	case RecCommit, RecAbort:
 		l.finishedLSN = lsn
+		delete(l.liveTxs, txid)
 	}
 	return lsn, nil
 }
@@ -480,6 +504,17 @@ func (l *Log) append(typ byte, txid uint64, payload []byte) (uint64, error) {
 // Begin appends a begin record for txid.
 func (l *Log) Begin(txid uint64) (uint64, error) {
 	return l.append(RecBegin, txid, nil)
+}
+
+// BeginAuto appends a begin record whose transaction ID is the
+// record's own LSN, allocating a log-life-unique transaction ID and
+// opening the transaction in one append. LSNs never restart across
+// Reset (the fresh segment header carries the old nextLSN as its
+// base), so IDs minted here never collide with IDs from any earlier
+// life of the same log — the property the MVCC layer's frozen-row
+// convention depends on.
+func (l *Log) BeginAuto() (uint64, error) {
+	return l.appendRec(RecBegin, 0, nil, true)
 }
 
 // LogPage appends the after-image of one page. path is the data file's
@@ -513,6 +548,19 @@ func (l *Log) LogCatalog(txid uint64, name string, contents []byte) (uint64, err
 // from a crash mid-transaction, and both discard the loser.
 func (l *Log) Abort(txid uint64) (uint64, error) {
 	return l.append(RecAbort, txid, nil)
+}
+
+// Forget drops a transaction from the live set without a terminator
+// record — the escape hatch for when the abort append itself fails
+// (the log would otherwise gate every later page flush on a
+// transaction that can never finish). The caller asserts the
+// transaction's effects are already undone in the page caches; the
+// on-log records remain and recovery treats them as a loser's, exactly
+// as if the process had crashed before the abort.
+func (l *Log) Forget(txid uint64) {
+	l.mu.Lock()
+	delete(l.liveTxs, txid)
+	l.mu.Unlock()
 }
 
 // CommitNoWait appends the commit record and returns its LSN without
@@ -637,13 +685,27 @@ func (l *Log) Sync() error {
 }
 
 // Committed reports whether lsn belongs to a finished (committed or
-// aborted) transaction. Valid because write transactions serialize:
-// every record at or below the last commit/abort record belongs to a
-// finished transaction. Implements store.WALHook.
+// aborted) transaction — the pager's no-steal gate. With no
+// transaction in flight, every record at or below the last
+// commit/abort record belongs to a finished transaction. With writers
+// in flight the check is conservative: only records strictly below
+// every live transaction's begin LSN are provably finished (a live
+// transaction's records all sit at or above its begin). Interleaved
+// finished-transaction records above that floor stay pinned until the
+// younger transactions finish — strictly a flush delay, never a
+// correctness loss. Implements store.WALHook.
 func (l *Log) Committed(lsn uint64) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return lsn <= l.finishedLSN
+	if len(l.liveTxs) == 0 {
+		return lsn <= l.finishedLSN
+	}
+	for _, begin := range l.liveTxs {
+		if lsn >= begin {
+			return false
+		}
+	}
+	return true
 }
 
 // DurableLSN returns the highest LSN known durable.
@@ -755,6 +817,22 @@ func (l *Log) CompleteCheckpoint(beginLSN, floor uint64) (uint64, error) {
 		last := l.lastLSN
 		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: checkpoint floor %d above last lsn %d", floor, last)
+	}
+	// A live transaction pins the floor below its begin record: segment
+	// GC must never unlink part of an in-flight transaction's record
+	// trail (recovery identifies losers from it, and the log checker's
+	// truncated-start heuristic assumes a scan opens mid-transaction
+	// only for transactions older than every surviving begin). If the
+	// clamp would drop below the published floor, the published floor
+	// wins — it was itself below every then-live begin when published,
+	// and begins only move forward.
+	for _, begin := range l.liveTxs {
+		if begin <= floor {
+			floor = begin - 1
+		}
+	}
+	if floor < l.redoFloor {
+		floor = l.redoFloor
 	}
 	l.mu.Unlock()
 	payload := make([]byte, 16)
@@ -895,6 +973,10 @@ func (l *Log) Reset() error {
 		return err
 	}
 	l.f = nil
+	// The db layer resets only after rolling back every open
+	// transaction, so liveTxs is empty here in correct use; clear it
+	// anyway so a protocol slip cannot pin Committed forever.
+	l.liveTxs = make(map[uint64]uint64)
 	hdr := make([]byte, segHdrSize)
 	copy(hdr, walMagic)
 	binary.LittleEndian.PutUint32(hdr[8:], 1)
