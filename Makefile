@@ -6,7 +6,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json lockgraph test race fuzz-smoke bench bench-smoke serve-smoke crash-smoke mvcc-smoke ci clean
+.PHONY: all build vet lint lint-json lockgraph test race fuzz-smoke bench bench-smoke serve-smoke repl-smoke crash-smoke mvcc-smoke ci clean
 
 all: build
 
@@ -73,6 +73,13 @@ fuzz-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# End-to-end smoke of WAL-shipping replication (DESIGN.md §16): a
+# primary and a follower lexequald over the wire, catch-up to lag=0,
+# byte-identical answers, rejected replica writes, repl STATUS lines on
+# both roles, and a follower restart that resumes without a resync.
+repl-smoke:
+	sh scripts/repl_smoke.sh
+
 # The crash-torture sweep (DESIGN.md §11): kill the WAL workload at
 # every write and sync point, recover, verify. Runs the full sweep (no
 # -short stride) plus the recovery-idempotency properties — including
@@ -90,7 +97,7 @@ mvcc-smoke:
 	$(GO) test -race -count=1 -run 'TestMVCCSmoke|TestSelectNeverBlocksBehindWriter|TestWriteWriteConflictAbortsAndRetries' ./internal/sql/
 	$(GO) test -race -count=1 -run 'TestMVCC' ./internal/db/
 
-ci: vet build lint race fuzz-smoke serve-smoke crash-smoke mvcc-smoke bench-smoke
+ci: vet build lint race fuzz-smoke serve-smoke repl-smoke crash-smoke mvcc-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -300,7 +300,11 @@ func cmdCheck(args []string) error {
 	if _, err := os.Stat(dir); err != nil {
 		return err // don't silently create an empty db just to check it
 	}
-	d, err := lexequal.Open(dir)
+	open := lexequal.Open
+	if lexequal.IsReplicaDir(dir) {
+		open = lexequal.OpenReplica
+	}
+	d, err := open(dir)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", dir, err)
 	}

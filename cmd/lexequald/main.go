@@ -6,7 +6,15 @@
 //
 //	lexequald -db DIR [-addr HOST:PORT] [-max-conns N]
 //	          [-query-timeout D] [-slow-query D] [-group-commit D]
-//	          [-checkpoint-interval D]
+//	          [-checkpoint-interval D] [-repl-retain-segments N]
+//	          [-follow HOST:PORT]
+//
+// With -follow the daemon runs as a read replica (DESIGN.md §16): the
+// database directory is opened (or created) in replica mode, a
+// continuous apply loop streams the primary's WAL and applies it, and
+// every session is read-only — writes are rejected with a redirect to
+// the primary. Without -follow the daemon is a primary and serves
+// replication streams to any follower that connects.
 //
 // The bound address is printed as "listening on HOST:PORT" once the
 // listener is up (useful with -addr 127.0.0.1:0). If opening the
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"lexequal/internal/db"
+	"lexequal/internal/repl"
 	"lexequal/internal/server"
 )
 
@@ -45,9 +54,11 @@ func run() error {
 	slowQuery := fs.Duration("slow-query", time.Second, "slow-query log threshold (0 = off)")
 	groupCommit := fs.Duration("group-commit", 0, "WAL group-commit collection window (0 = WAL default)")
 	ckptInterval := fs.Duration("checkpoint-interval", 30*time.Second, "background checkpointer poll interval (0 = off)")
+	retainSegs := fs.Int("repl-retain-segments", 0, "max live WAL segments follower pins may retain (0 = unlimited)")
+	follow := fs.String("follow", "", "run as a read replica of the primary at HOST:PORT")
 	fs.Parse(os.Args[1:])
 
-	d, err := db.Open(*dir)
+	d, err := db.OpenOpts(*dir, db.Options{Replica: *follow != ""})
 	if err != nil {
 		return err
 	}
@@ -62,12 +73,26 @@ func run() error {
 		SlowQuery:          *slowQuery,
 		GroupCommit:        *groupCommit,
 		CheckpointInterval: *ckptInterval,
+		ReplRetainSegments: *retainSegs,
 	})
 	if err != nil {
 		d.Close()
 		return err
 	}
+	var follower *repl.Follower
+	if *follow != "" {
+		follower, err = repl.StartFollower(d, *follow)
+		if err != nil {
+			d.Close()
+			return err
+		}
+		srv.SetFollower(follower)
+		fmt.Printf("following %s from applied lsn %d\n", *follow, d.AppliedLSN())
+	}
 	if err := srv.Start(); err != nil {
+		if follower != nil {
+			follower.Stop()
+		}
 		d.Close()
 		return err
 	}
@@ -77,7 +102,11 @@ func run() error {
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	got := <-sig
 	fmt.Printf("received %s, draining\n", got)
-	// Shutdown finishes in-flight statements and flushes the pager
-	// exactly once; the database is closed by it, not here.
+	// Stop the apply loop first so no batch lands mid-drain; Shutdown
+	// then finishes in-flight statements and flushes the pager exactly
+	// once (the database is closed by it, not here).
+	if follower != nil {
+		follower.Stop()
+	}
 	return srv.Shutdown()
 }

@@ -47,6 +47,27 @@ func OpenWith(dir string, m *Matcher) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	return wrap(d, m)
+}
+
+// OpenReplica opens a WAL-shipping read replica's directory (one
+// written by `lexequald -follow`): reads work at the replica's applied
+// horizon, every write is refused. Deleting the directory's replstate
+// file promotes it to an ordinary database.
+func OpenReplica(dir string) (*DB, error) {
+	d, err := db.OpenOpts(dir, db.Options{Replica: true})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(d, NewDefault())
+}
+
+// IsReplicaDir reports whether dir is marked as a read replica (it
+// carries a replstate file); such a directory must be opened with
+// OpenReplica.
+func IsReplicaDir(dir string) bool { return db.IsReplicaDir(dir) }
+
+func wrap(d *db.DB, m *Matcher) (*DB, error) {
 	sess, err := sql.NewSession(d, m.operator())
 	if err != nil {
 		d.Close()

@@ -11,7 +11,9 @@ import (
 // acquisition of an engine resource — a page pinned by Pager.Get or
 // Pager.Allocate, a mutex lock, a transaction opened by DB.Begin or
 // DB.BeginTx, an MVCC snapshot from DB.AcquireSnap (a leaked snapshot
-// pins the version-GC horizon forever) — it
+// pins the version-GC horizon forever), a WAL stream reader from
+// Log.NewStreamReader (abandoned readers leak the tail-segment handle
+// replication holds open) — it
 // walks the function's CFG and proves the resource is released,
 // deferred, or visibly handed off on *every* path to the exit,
 // including early error returns. It subsumes the old pinbalance
@@ -50,6 +52,7 @@ const (
 	resLock
 	resTxn
 	resSnap
+	resStream
 )
 
 // resLevel is the per-path obligation state: levels join by max.
@@ -115,6 +118,7 @@ type errpathFunc struct {
 	closureUnlock map[LockID]modeBits
 	closureTxDone map[types.Object]bool
 	closureSnap   map[types.Object]bool
+	closureStream map[types.Object]bool
 }
 
 func (ef *errpathFunc) run() {
@@ -135,6 +139,7 @@ func (ef *errpathFunc) scanReleases() {
 	ef.closureUnlock = map[LockID]modeBits{}
 	ef.closureTxDone = map[types.Object]bool{}
 	ef.closureSnap = map[types.Object]bool{}
+	ef.closureStream = map[types.Object]bool{}
 	ast.Inspect(ef.fn.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			if op := ef.resolver.lockOpOf(call); op != nil && !op.acquire {
@@ -177,6 +182,10 @@ func (ef *errpathFunc) scanReleases() {
 			}
 			if obj := txReleaseRecv(ef.info, call); obj != nil {
 				ef.closureTxDone[obj] = true
+				return true
+			}
+			if obj := streamCloseRecv(ef.info, call); obj != nil {
+				ef.closureStream[obj] = true
 			}
 			return true
 		})
@@ -275,6 +284,8 @@ func (ef *errpathFunc) assignSite(n *ast.AssignStmt, block int) *resSite {
 			kind, method = resTxn, "BeginTx"
 		case methodCallOn(ef.info, call, "DB", "AcquireSnap") != nil:
 			kind, method = resSnap, "AcquireSnap"
+		case methodCallOn(ef.info, call, "Log", "NewStreamReader") != nil:
+			kind, method = resStream, "NewStreamReader"
 		default:
 			return nil
 		}
@@ -353,6 +364,9 @@ func (ef *errpathFunc) checkSite(site *resSite) {
 	case resSnap:
 		ef.pass.Reportf(site.pos, "snapshot %q from DB.AcquireSnap is not released on every path through %s (early return without ReleaseSnap pins the version-GC horizon)",
 			site.obj.Name(), name)
+	case resStream:
+		ef.pass.Reportf(site.pos, "stream reader %q from Log.NewStreamReader is not closed on every path through %s (an abandoned reader leaks its segment handle)",
+			site.obj.Name(), name)
 	case resLock:
 		ef.pass.Reportf(site.pos, "%s locked here is not unlocked on every path through %s (early return while holding it?)",
 			site.lock.Short(), name)
@@ -370,6 +384,8 @@ func (ef *errpathFunc) closureCovers(site *resSite) bool {
 		return ef.closureTxDone[site.obj]
 	case resSnap:
 		return ef.closureSnap[site.obj]
+	case resStream:
+		return ef.closureStream[site.obj]
 	case resLock:
 		return ef.closureUnlock[site.lock]&site.mode != 0
 	}
@@ -448,6 +464,10 @@ func (ef *errpathFunc) nodeReleases(site *resSite, n ast.Node) bool {
 			}
 		case resTxn:
 			if txReleaseRecv(ef.info, call) == site.obj {
+				found = true
+			}
+		case resStream:
+			if streamCloseRecv(ef.info, call) == site.obj {
 				found = true
 			}
 		}
@@ -713,6 +733,30 @@ func txReleaseRecv(info *types.Info, call *ast.CallExpr) types.Object {
 	}
 	recv := info.ObjectOf(id)
 	if recv == nil || namedOf(recv.Type()) == nil || namedOf(recv.Type()).Obj().Name() != "Tx" {
+		return nil
+	}
+	return recv
+}
+
+// streamCloseRecv returns the receiver object of a Close or Stop call
+// on a StreamReader value, or nil. Stop counts as a release: a stopped
+// reader's next Next returns ErrStreamStopped and the replication
+// serve loop closes it on the way out, but the fixture contract is
+// simpler — either call ends the reader's claim on its segment handle.
+func streamCloseRecv(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if name := sel.Sel.Name; name != "Close" && name != "Stop" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	recv := info.ObjectOf(id)
+	if recv == nil || namedOf(recv.Type()) == nil || namedOf(recv.Type()).Obj().Name() != "StreamReader" {
 		return nil
 	}
 	return recv

@@ -14,7 +14,7 @@ import (
 //
 //   - cycles in the graph (potential deadlocks),
 //   - acquisitions that violate the engine's sanctioned tier order
-//     db → heap/btree → pager → wal,
+//     repl → db → heap/btree → pager → wal,
 //   - read-to-write upgrades of the same RWMutex, both straight-line
 //     and across calls (Seek holds latch.RLock, callee takes Lock).
 var LockOrder = &Analyzer{
@@ -36,6 +36,13 @@ var lockTiers = map[string]struct {
 	rank int
 	tier string
 }{
+	// The replication endpoints sit above the whole engine: a Primary
+	// or Follower mutex guards connection bookkeeping and may be held
+	// while calling down into db/wal, never the other way around — a
+	// storage path that blocked on a replication lock would let one
+	// slow follower stall local commits.
+	"Primary":  {5, "repl"},
+	"Follower": {5, "repl"},
 	"DB":       {10, "db"},
 	"HeapFile": {20, "heap"},
 	"BTree":    {20, "btree"},
@@ -57,7 +64,7 @@ var lockFieldTiers = map[string]struct {
 	"DB.tmu": {25, "version"},
 }
 
-const sanctionedOrder = "db → claim → heap/btree → version → pager → wal"
+const sanctionedOrder = "repl → db → claim → heap/btree → version → pager → wal"
 
 // lockTier resolves a lock to its policy tier; ok is false for locks
 // outside the sanctioned hierarchy.

@@ -218,3 +218,28 @@ func cleanPanicPath(pg *Pager, id uint32) {
 	}
 	pg.Unpin(p)
 }
+
+// cleanStreamDefer closes the reader on every exit — the replication
+// serve loop's shape: open, defer Close, then stream until error.
+func cleanStreamDefer(l *Log, limit uint64) error {
+	sr, err := l.NewStreamReader(1)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	if limit == 0 {
+		return errBad
+	}
+	return nil
+}
+
+// cleanStreamHandoff hands the reader to a goroutine, which owns it
+// from then on (the follower's tailing loop).
+func cleanStreamHandoff(l *Log) error {
+	sr, err := l.NewStreamReader(1)
+	if err != nil {
+		return err
+	}
+	go func() { sr.Close() }()
+	return nil
+}

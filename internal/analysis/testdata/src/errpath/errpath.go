@@ -156,6 +156,35 @@ func leakLock(c *counter, bad bool) error {
 	return nil
 }
 
+// Replication's stream surface: the analyzer recognizes the reader by
+// type and method name, exactly as it does the real wal.Log.
+
+type StreamReader struct{ open bool }
+
+type Log struct{ readers int }
+
+func (l *Log) NewStreamReader(from uint64) (*StreamReader, error) {
+	l.readers++
+	return &StreamReader{open: true}, nil
+}
+
+func (sr *StreamReader) Close() { sr.open = false }
+
+// leakStream abandons the reader when validation fails: the reader
+// keeps its segment handle (and on a primary, its follower slot) for
+// the life of the process.
+func leakStream(l *Log, limit uint64) error {
+	sr, err := l.NewStreamReader(1) // want `stream reader "sr" from Log\.NewStreamReader is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if limit == 0 {
+		return errBad
+	}
+	sr.Close()
+	return nil
+}
+
 // discards throws pinned pages away entirely.
 func discards(pg *Pager) {
 	pg.Get(7)        // want `result of Pager\.Get is discarded; the pinned page leaks`

@@ -3,7 +3,7 @@ package lockorder
 import "sync"
 
 // The clean twin: nesting that follows the sanctioned order
-// db → heap/btree → pager → wal produces no findings. It uses the
+// repl → db → heap/btree → pager → wal produces no findings. It uses the
 // db/btree/wal tiers so its edges stay disjoint from the seeded
 // violations in lockorder.go.
 
@@ -121,4 +121,19 @@ func (s *session) end(d *DB) {
 func beginEnd(d *DB, t *BTree, s *session) {
 	s.begin(t)
 	s.end(d)
+}
+
+type Primary struct{ mu sync.Mutex }
+
+// sanctionedRepl descends from the replication endpoint into the db
+// tier — the streaming service inspecting follower state before it
+// reads the engine — which is the sanctioned direction. (It uses
+// Primary, not Follower: Follower carries the seeded wal → repl
+// inversion edge in lockorder.go, and an outgoing repl → db edge from
+// the same lock would close a cycle through the fixture graph.)
+func sanctionedRepl(p *Primary, d *DB) {
+	p.mu.Lock()
+	d.qmu.RLock()
+	d.qmu.RUnlock()
+	p.mu.Unlock()
 }

@@ -38,7 +38,7 @@ type Log struct{ mu sync.Mutex }
 // tier: the sanctioned order is db → heap/btree → pager → wal.
 func inverted(p *Pager, h *HeapFile) {
 	p.mu.Lock()
-	h.latch.Lock() // want `lock-order violation: lockorder\.HeapFile\.latch \(tier heap\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is db → claim → heap/btree → version → pager → wal`
+	h.latch.Lock() // want `lock-order violation: lockorder\.HeapFile\.latch \(tier heap\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is repl → db → claim → heap/btree → version → pager → wal`
 	h.latch.Unlock()
 	p.mu.Unlock()
 }
@@ -64,7 +64,7 @@ func invertedViaCall(l *Log, p *Pager) {
 // seeded inversion stays acyclic.)
 func claimUnderLatch(d *DB, t *BTree) {
 	t.latch.Lock()
-	d.wmu.Lock() // want `lock-order violation: lockorder\.DB\.wmu \(tier claim\) acquired while holding lockorder\.BTree\.latch \(tier btree\); sanctioned order is db → claim → heap/btree → version → pager → wal`
+	d.wmu.Lock() // want `lock-order violation: lockorder\.DB\.wmu \(tier claim\) acquired while holding lockorder\.BTree\.latch \(tier btree\); sanctioned order is repl → db → claim → heap/btree → version → pager → wal`
 	d.wmu.Unlock()
 	t.latch.Unlock()
 }
@@ -74,7 +74,7 @@ func claimUnderLatch(d *DB, t *BTree) {
 // it.
 func versionUnderPager(d *DB, p *Pager) {
 	p.mu.Lock()
-	d.tmu.Lock() // want `lock-order violation: lockorder\.DB\.tmu \(tier version\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is db → claim → heap/btree → version → pager → wal`
+	d.tmu.Lock() // want `lock-order violation: lockorder\.DB\.tmu \(tier version\) acquired while holding lockorder\.Pager\.mu \(tier pager\); sanctioned order is repl → db → claim → heap/btree → version → pager → wal`
 	d.tmu.Unlock()
 	p.mu.Unlock()
 }
@@ -101,4 +101,17 @@ func (ix *index) upgrade() {
 	ix.latch.Lock() // want `read-to-write upgrade: lockorder\.index\.latch\.Lock\(\) while a read lock on lockorder\.index\.latch may still be held`
 	ix.latch.Unlock()
 	ix.latch.RUnlock()
+}
+
+type Follower struct{ mu sync.Mutex }
+
+// replUnderWal takes a replication-endpoint lock from inside the wal
+// tier: the repl tier tops the sanctioned order precisely so a slow
+// follower's bookkeeping can never stall a local commit. (Follower has
+// no outgoing fixture edges, so the seeded inversion stays acyclic.)
+func replUnderWal(l *Log, f *Follower) {
+	l.mu.Lock()
+	f.mu.Lock() // want `lock-order violation: lockorder\.Follower\.mu \(tier repl\) acquired while holding lockorder\.Log\.mu \(tier wal\); sanctioned order is repl → db → claim → heap/btree → version → pager → wal`
+	f.mu.Unlock()
+	l.mu.Unlock()
 }

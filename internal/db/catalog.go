@@ -135,6 +135,25 @@ type DB struct {
 	// the database is unusable and every operation returns it.
 	recoveryErr error
 
+	// replica marks a database opened as a WAL-shipping read replica
+	// (Options.Replica): writes are refused, records arriving from the
+	// primary are applied via ApplyBatch, and the local log keeps the
+	// primary's LSNs (never Reset). Immutable after Open.
+	replica bool
+	// appliedLSN is the replica's applied horizon (guarded by stmu).
+	appliedLSN uint64
+	// pmu guards the replica apply loop's side tables below.
+	pmu sync.Mutex
+	// pending holds bare pagers for replicated page images whose file
+	// the catalog does not name yet (a CREATE TABLE's data pages stream
+	// before its catalog record commits).
+	pending map[string]*store.Pager
+	// pendingCat buffers replicated catalog images per transaction
+	// until the transaction commits.
+	pendingCat map[uint64][]byte
+	// replayStats describes the restart replay a replica open ran.
+	replayStats wal.ReplayStats
+
 	// ckptMu serializes checkpoints (never held together with qmu or
 	// txmu — the checkpoint takes qmu shared in short rounds).
 	ckptMu sync.Mutex
@@ -181,6 +200,11 @@ type Options struct {
 	// CheckpointIfNeeded fires (0 selects DefaultAutoCheckpointBytes).
 	// Ignored with DisableWAL.
 	AutoCheckpointBytes int64
+	// Replica opens the database as a WAL-shipping read replica: every
+	// write is refused, the local log is replayed (not recovered) on
+	// open and never reset, and the replication layer feeds primary
+	// records in via ApplyBatch. Incompatible with DisableWAL.
+	Replica bool
 }
 
 // Open opens (creating if necessary) a database directory.
@@ -216,6 +240,22 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 		inflight:    make(map[uint64]*Tx),
 		committedAt: make(map[uint64]uint64),
 		snaps:       make(map[*Snap]struct{}),
+		replica:     opts.Replica,
+	}
+	if opts.Replica && opts.DisableWAL {
+		return nil, errors.New("db: a replica requires the WAL")
+	}
+	if !opts.Replica {
+		// A directory carrying a replica state file belongs to a
+		// follower: opening it as a primary would run winner/loser
+		// recovery and reset a log whose LSNs the primary owns,
+		// destroying the follower's ability to resume. Promotion is the
+		// explicit step of deleting the state file.
+		if _, _, isReplica, err := readReplState(fs, dir); err != nil {
+			return nil, err
+		} else if isReplica {
+			return nil, fmt.Errorf("db: %s is a replica directory; delete its %q file to promote it", dir, replStateName)
+		}
 	}
 	if !opts.DisableWAL {
 		l, err := wal.Open(dir, fs)
@@ -230,7 +270,11 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 			l.SetSegmentBytes(opts.WALSegmentBytes)
 		}
 		d.autoCkptBytes = opts.AutoCheckpointBytes
-		if l.HasRecords() {
+		if opts.Replica {
+			if err := d.openReplica(); err != nil {
+				return nil, errors.Join(err, l.Close())
+			}
+		} else if l.HasRecords() {
 			started := time.Now()
 			stats, err := wal.Redo(l, dir, fs)
 			if err != nil {
@@ -265,10 +309,59 @@ func OpenOpts(dir string, opts Options) (*DB, error) {
 			}
 		}
 	}
+	// A replica can crash between publishing a replicated catalog and
+	// finishing the local index rebuild it triggers; detect index files
+	// the catalog names but the directory lacks BEFORE openObjects
+	// creates them as empty trees, and rebuild them after.
+	var missingIdx []string
+	if opts.Replica {
+		cat, err := d.loadCatalog()
+		if err != nil {
+			return nil, errors.Join(err, d.Close())
+		}
+		for _, id := range cat.Indexes {
+			if _, err := fs.Stat(d.indexPath(id.Name)); errors.Is(err, os.ErrNotExist) {
+				missingIdx = append(missingIdx, id.Name)
+			}
+		}
+	}
 	if err := d.openObjects(); err != nil {
 		return nil, errors.Join(err, d.Close())
 	}
+	if len(missingIdx) > 0 {
+		if err := d.rebuildMissingIndexes(missingIdx); err != nil {
+			return nil, errors.Join(err, d.Close())
+		}
+	}
+	if err := d.sweepTmpDebris(); err != nil {
+		return nil, errors.Join(err, d.Close())
+	}
 	return d, nil
+}
+
+// sweepTmpDebris removes stale temp files left by a crash mid
+// atomic-publish (tmp + fsync + rename). An un-renamed tmp is an
+// uncommitted write by definition, so deleting it loses nothing. Runs
+// after recovery and openObjects so every publisher that could be
+// mid-flight has finished and the catalog names every data file.
+func (d *DB) sweepTmpDebris() error {
+	tmps := []string{
+		d.catalogPath() + ".tmp",
+		d.catalogPath() + ".redo.tmp",
+		filepath.Join(d.dir, replStateName+".tmp"),
+	}
+	for name := range d.tables {
+		tmps = append(tmps, d.heapPath(name)+".redo.tmp")
+	}
+	for name := range d.indexes {
+		tmps = append(tmps, d.indexPath(name)+".redo.tmp")
+	}
+	for _, tmp := range tmps {
+		if err := d.fs.Remove(tmp); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("db: sweep debris %s: %w", tmp, err)
+		}
+	}
+	return nil
 }
 
 // openObjects loads the catalog and opens (and WAL-attaches) every
@@ -410,13 +503,15 @@ func (d *DB) Close() error {
 	d.stmu.Unlock()
 
 	var errs []error
-	if recErr == nil {
+	if recErr == nil && !d.replica {
 		// Roll back every transaction still in flight — the ambient one
 		// and any concurrent ones. finish() rejects a stale handle, so a
 		// racing explicit Commit/Rollback is safe; the rollbacks restore
 		// the committed state before anything is flushed. A rollback that
 		// had to escalate may set the sticky recovery error, so re-read
-		// it afterwards.
+		// it afterwards. (A replica's in-flight registry holds the
+		// PRIMARY's open transactions — no local Tx exists to roll back;
+		// their records stay in the local log above the floor.)
 		d.tmu.RLock()
 		open := make([]*Tx, 0, len(d.inflight))
 		for _, tx := range d.inflight {
@@ -484,13 +579,41 @@ func (d *DB) Close() error {
 			errs = append(errs, err)
 		}
 	}
+	d.pmu.Lock()
+	for name, pg := range d.pending {
+		//lint:ignore walonly pending replica pagers hold pages whose WAL records are already durable; closing them at db close cannot violate the WAL rule
+		if err := pg.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		delete(d.pending, name)
+	}
+	d.pmu.Unlock()
 	d.tables = map[string]*Table{}
 	d.indexes = map[string]*Index{}
 	if d.wal != nil {
-		// Checkpoint only on a fully clean shutdown: with any error
-		// above, the log's history is still needed to repair the
-		// files on the next open.
-		if len(errs) == 0 {
+		switch {
+		case d.replica:
+			// A replica must never reset its log (the LSNs belong to the
+			// primary). On a clean close everything committed is flushed;
+			// advance the persisted floor instead — DeclareFloor clamps
+			// it below any of the primary's still-open transactions,
+			// whose unflushed images the next replay must reapply.
+			if len(errs) == 0 {
+				d.stmu.Lock()
+				applied := d.appliedLSN
+				d.stmu.Unlock()
+				floor, err := d.wal.DeclareFloor(applied)
+				if err == nil {
+					err = writeReplState(d.fs, d.dir, floor, applied)
+				}
+				if err != nil {
+					errs = append(errs, err)
+				}
+			}
+		case len(errs) == 0:
+			// Checkpoint only on a fully clean shutdown: with any error
+			// above, the log's history is still needed to repair the
+			// files on the next open.
 			if err := d.wal.Reset(); err != nil {
 				errs = append(errs, err)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"lexequal/internal/store"
@@ -104,6 +105,30 @@ func (d *DB) CheckWAL() []CheckIssue {
 	}
 	for _, detail := range wal.Check(d.wal, false) {
 		add("wal", "%s", detail)
+	}
+	for _, detail := range wal.CheckDir(d.wal) {
+		add("wal", "%s", detail)
+	}
+	// Orphaned temp files in the database directory itself: each of
+	// these names is the staging half of a tmp+fsync+rename publish
+	// (catalog, replica state, recovery's per-file rebuild); one left
+	// behind is crash debris the next publish would silently overwrite,
+	// so flag it while the evidence is fresh.
+	tmps := []string{
+		d.catalogPath() + ".tmp",
+		d.catalogPath() + ".redo.tmp",
+		filepath.Join(d.dir, replStateName+".tmp"),
+	}
+	for _, name := range d.Tables() {
+		tmps = append(tmps, d.heapPath(name)+".redo.tmp")
+	}
+	for _, name := range d.Indexes() {
+		tmps = append(tmps, d.indexPath(name)+".redo.tmp")
+	}
+	for _, tmp := range tmps {
+		if _, err := d.fs.Stat(tmp); err == nil {
+			add("db", "orphaned temp file %s (crash debris from an interrupted atomic publish)", tmp)
+		}
 	}
 	durable := d.wal.DurableLSN()
 	checkFile := func(object, path string) {

@@ -141,6 +141,12 @@ func (d *DB) Checkpoint() (CheckpointStats, error) {
 	if d.wal == nil {
 		return CheckpointStats{}, errors.New("db: checkpoint requires the write-ahead log")
 	}
+	if d.replica {
+		// A replica cannot append checkpoint records (its LSN space
+		// belongs to the primary) or run version GC (a write); its
+		// checkpoint persists the floor in the replica state file.
+		return CheckpointStats{}, d.ReplicaCheckpoint()
+	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	start := time.Now()

@@ -115,6 +115,9 @@ func (d *DB) BeginTx() (*Tx, error) {
 // registrations happen before the Tx is returned, so no row can carry
 // an ID the registry has not seen.
 func (d *DB) beginTx(ambient bool) (*Tx, error) {
+	if d.replica {
+		return nil, fmt.Errorf("%w: writes must go to the primary", ErrReplica)
+	}
 	id, err := d.wal.BeginAuto()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,53 @@
+// Package frame implements the length-prefixed wire framing shared by
+// the lexequald query protocol (internal/server) and the WAL-shipping
+// replication stream (internal/repl): every message, in both
+// directions, is one frame —
+//
+//	uint32 big-endian payload length | payload bytes
+//
+// The framing carries no semantics of its own; each protocol defines
+// its payload format on top.
+package frame
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single frame; larger requests or responses are
+// rejected rather than buffered. Replication batches size themselves
+// well below it.
+const MaxFrame = 1 << 20
+
+// Write sends one length-prefixed frame.
+func Write(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("frame: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Read reads one length-prefixed frame.
+func Read(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("frame: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,274 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"lexequal/internal/db"
+	"lexequal/internal/frame"
+)
+
+// ErrResync is the follower-side cannot-resume error: the primary
+// refused to serve from the follower's position (segments retired past
+// the retention cap, or diverged history). The follower must be
+// re-seeded from a copy of the primary's directory; the apply loop
+// stops retrying once it sees this.
+var ErrResync = errors.New("repl: resync required")
+
+// FollowerInfo is a snapshot of the apply loop's state, for STATUS.
+type FollowerInfo struct {
+	// Primary is the address being followed.
+	Primary string
+	// Connected reports whether a stream is currently established.
+	Connected bool
+	// AppliedLSN is the follower's applied (and locally durable)
+	// horizon — reads serve at this point.
+	AppliedLSN uint64
+	// PrimaryLSN is the primary's last LSN as of the latest batch or
+	// heartbeat (0 before the first contact).
+	PrimaryLSN uint64
+	// Lag is PrimaryLSN - AppliedLSN in records (0 when caught up).
+	Lag uint64
+	// Batches and Records count replication work since start.
+	Batches, Records uint64
+	// LastErr is the most recent connection/apply error ("" when none,
+	// or after a successful reconnect).
+	LastErr string
+	// Resync reports the terminal resync-required state.
+	Resync bool
+}
+
+// Follower runs the continuous apply loop of a replica: dial the
+// primary, hand it the local log's last LSN, append + apply every
+// batch, ack, and reconnect with backoff when the link drops. One
+// Follower per replica database.
+type Follower struct {
+	d       *db.DB
+	primary string
+
+	dial func(addr string) (net.Conn, error)
+
+	mu        sync.Mutex
+	conn      net.Conn
+	connected bool
+	primLSN   uint64
+	batches   uint64
+	records   uint64
+	lastErr   error
+	resync    bool
+	stopped   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartFollower starts the apply loop against the primary address. The
+// database must have been opened with Options.Replica. Stop ends the
+// loop; the caller still owns closing the database afterwards.
+func StartFollower(d *db.DB, primary string) (*Follower, error) {
+	if !d.IsReplica() {
+		return nil, errors.New("repl: database was not opened as a replica")
+	}
+	f := &Follower{
+		d:       d,
+		primary: primary,
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go f.loop()
+	return f, nil
+}
+
+// Info snapshots the apply loop's state.
+func (f *Follower) Info() FollowerInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	info := FollowerInfo{
+		Primary:    f.primary,
+		Connected:  f.connected,
+		AppliedLSN: f.d.AppliedLSN(),
+		PrimaryLSN: f.primLSN,
+		Batches:    f.batches,
+		Records:    f.records,
+		Resync:     f.resync,
+	}
+	if f.lastErr != nil {
+		info.LastErr = f.lastErr.Error()
+	}
+	if info.PrimaryLSN > info.AppliedLSN {
+		info.Lag = info.PrimaryLSN - info.AppliedLSN
+	}
+	return info
+}
+
+// Stop ends the apply loop and waits for it to exit. The replica
+// database keeps serving reads at its applied horizon; Stop does not
+// close it.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		<-f.done
+		return
+	}
+	f.stopped = true
+	conn := f.conn
+	f.mu.Unlock()
+	close(f.stop)
+	if conn != nil {
+		conn.Close()
+	}
+	<-f.done
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// loop reconnects with exponential backoff (100ms doubling to 3s,
+// reset after a successful stream) until stopped or told to resync.
+func (f *Follower) loop() {
+	defer close(f.done)
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		served, err := f.runOnce()
+		if errors.Is(err, ErrResync) {
+			f.mu.Lock()
+			f.resync = true
+			f.lastErr = err
+			f.mu.Unlock()
+			return
+		}
+		if err != nil {
+			f.setErr(err)
+		}
+		if served {
+			backoff = 100 * time.Millisecond
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
+
+// runOnce runs one connection lifetime: handshake at the local log's
+// last LSN, then append + apply batches until the link breaks. served
+// reports whether the handshake was accepted (resets the backoff).
+func (f *Follower) runOnce() (served bool, err error) {
+	l := f.d.WAL()
+	conn, err := f.dial(f.primary)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return false, nil
+	}
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.connected = false
+		f.mu.Unlock()
+	}()
+
+	if err := frame.Write(conn, []byte(Handshake(l.LastLSN()))); err != nil {
+		return false, err
+	}
+	r := bufio.NewReader(conn)
+	resp, err := frame.Read(r)
+	if err != nil {
+		return false, err
+	}
+	if len(resp) == 0 || resp[0] != '+' {
+		msg := strings.TrimPrefix(string(resp), "-")
+		if strings.Contains(msg, resyncMarker) {
+			return false, fmt.Errorf("%w: primary said: %s", ErrResync, msg)
+		}
+		return false, fmt.Errorf("repl: handshake refused: %s", msg)
+	}
+	f.mu.Lock()
+	f.connected = true
+	f.lastErr = nil
+	f.mu.Unlock()
+
+	ack := func(applied uint64) error {
+		var a [9]byte
+		a[0] = frameAck
+		binary.LittleEndian.PutUint64(a[1:], applied)
+		return frame.Write(conn, a[:])
+	}
+	for {
+		payload, err := frame.Read(r)
+		if err != nil {
+			return true, err
+		}
+		if len(payload) == 0 {
+			return true, errors.New("repl: empty frame from primary")
+		}
+		switch payload[0] {
+		case frameBatch:
+			before := f.d.AppliedLSN()
+			applied, err := f.d.ApplyBatch(payload[1:])
+			if err != nil {
+				// The batch is in the local log; a restart replays it.
+				// The in-memory state may be torn, so the apply loop
+				// stops rather than serving ahead of it.
+				return true, err
+			}
+			f.mu.Lock()
+			f.batches++
+			if applied > before {
+				f.records += applied - before
+			}
+			if applied > f.primLSN {
+				f.primLSN = applied
+			}
+			f.mu.Unlock()
+			if err := ack(applied); err != nil {
+				return true, err
+			}
+		case frameHeartbeat:
+			if len(payload) == 9 {
+				f.mu.Lock()
+				f.primLSN = binary.LittleEndian.Uint64(payload[1:])
+				f.mu.Unlock()
+			}
+			if err := ack(f.d.AppliedLSN()); err != nil {
+				return true, err
+			}
+		case '-':
+			msg := string(payload[1:])
+			if strings.Contains(msg, resyncMarker) {
+				return true, fmt.Errorf("%w: primary said: %s", ErrResync, msg)
+			}
+			return true, fmt.Errorf("repl: primary error: %s", msg)
+		default:
+			return true, fmt.Errorf("repl: unknown frame type %q from primary", payload[0])
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package repl implements WAL-shipping replication (DESIGN.md §16):
+// a primary streams its durable log records to followers over the
+// length-prefixed frame protocol, and a follower appends + applies
+// them into its own database, serving read-only sessions at its
+// applied horizon.
+//
+// Wire protocol, layered on internal/frame (every message one frame):
+//
+//	follower → primary  "REPL FOLLOW <lastLSN>"        handshake
+//	primary  → follower "+OK last_lsn=<n>"             accepted
+//	                    "-<message>"                    refused (a message
+//	                     containing "resync required" is the deterministic
+//	                     cannot-resume signal: the follower must be
+//	                     re-seeded from a copy of the primary's directory)
+//	primary  → follower 'W' + raw records               a batch, LSN-contiguous
+//	                    'H' + uint64 LE                 heartbeat: primary's last LSN
+//	follower → primary  'A' + uint64 LE                 ack: follower's applied LSN
+//
+// The primary sends every record verbatim (checkpoint records
+// included — they keep the LSN run contiguous; replicas ignore them),
+// never sends a record that is not yet durable, and holds segment GC
+// back for each connected follower at its last acked LSN, up to the
+// configured retention cap.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lexequal/internal/frame"
+	"lexequal/internal/wal"
+)
+
+// handshakePrefix opens a replication stream in place of a first SQL
+// statement.
+const handshakePrefix = "REPL FOLLOW "
+
+// Frame type markers (first payload byte after the handshake).
+const (
+	frameBatch     = 'W'
+	frameHeartbeat = 'H'
+	frameAck       = 'A'
+)
+
+// resyncMarker is the substring both sides use to recognize the
+// deterministic cannot-resume refusal.
+const resyncMarker = "resync required"
+
+// IsHandshake reports whether a request payload opens a replication
+// stream.
+func IsHandshake(stmt string) bool {
+	return strings.HasPrefix(strings.TrimSpace(stmt), handshakePrefix)
+}
+
+// Handshake renders the handshake payload for a follower at lastLSN.
+func Handshake(lastLSN uint64) string {
+	return handshakePrefix + strconv.FormatUint(lastLSN, 10)
+}
+
+// Config tunes a Primary. The zero value picks defaults.
+type Config struct {
+	// RetainSegments caps how many live WAL segments follower pins may
+	// hold back from GC; a follower needing older segments is broken
+	// into resync-required. 0 = unlimited.
+	RetainSegments int
+	// Heartbeat is the idle-stream heartbeat interval (default 1s).
+	Heartbeat time.Duration
+	// BatchBytes bounds one 'W' frame (default 256 KiB; always kept
+	// under the frame limit).
+	BatchBytes int
+}
+
+// Primary streams WAL records to followers. One Primary serves any
+// number of concurrent follower connections; the serving layer hands
+// each connection to Serve after spotting the handshake frame.
+type Primary struct {
+	log *wal.Log
+	cfg Config
+
+	mu        sync.Mutex
+	followers map[string]*followerConn
+	nextID    uint64
+	closed    bool
+}
+
+type followerConn struct {
+	id      string
+	conn    net.Conn
+	sr      *wal.StreamReader
+	acked   atomic.Uint64
+	started time.Time
+}
+
+// FollowerStatus is one connected follower's replication state, for
+// STATUS reporting.
+type FollowerStatus struct {
+	ID       string
+	AckedLSN uint64
+	Since    time.Duration
+}
+
+// NewPrimary builds the primary-side streaming service over the log.
+func NewPrimary(l *wal.Log, cfg Config) *Primary {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 256 << 10
+	}
+	if cfg.BatchBytes > frame.MaxFrame-1 {
+		cfg.BatchBytes = frame.MaxFrame - 1
+	}
+	if cfg.RetainSegments > 0 {
+		l.SetRetentionSegments(cfg.RetainSegments)
+	}
+	return &Primary{log: l, cfg: cfg, followers: make(map[string]*followerConn)}
+}
+
+// Followers snapshots the connected followers' replication state.
+func (p *Primary) Followers() []FollowerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]FollowerStatus, 0, len(p.followers))
+	for _, f := range p.followers {
+		out = append(out, FollowerStatus{ID: f.id, AckedLSN: f.acked.Load(), Since: time.Since(f.started)})
+	}
+	return out
+}
+
+// Close stops every active stream. Connections are owned (and closed)
+// by the serving layer; Close just makes their Serve calls return.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]*followerConn, 0, len(p.followers))
+	for _, f := range p.followers {
+		conns = append(conns, f)
+	}
+	p.mu.Unlock()
+	for _, f := range conns {
+		f.sr.Stop()
+		f.conn.SetReadDeadline(time.Now())
+	}
+}
+
+// refuse sends a '-' response and returns nil (a refused handshake is
+// a served request, not a transport failure).
+func refuse(conn net.Conn, msg string) error {
+	return frame.Write(conn, append([]byte{'-'}, msg...))
+}
+
+// Serve runs one replication stream on a connection whose first frame
+// was the given handshake. It returns when the follower disconnects,
+// the primary closes, or the stream fails; the caller closes the
+// connection. r must be the buffered reader already wrapping conn
+// (bytes after the handshake frame may sit in its buffer).
+func (p *Primary) Serve(conn net.Conn, r *bufio.Reader, handshake string) error {
+	arg := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(handshake), handshakePrefix))
+	lsn, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		refuse(conn, fmt.Sprintf("repl: bad handshake %q", handshake))
+		return fmt.Errorf("repl: bad handshake %q", handshake)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return refuse(conn, "repl: primary shutting down")
+	}
+	p.nextID++
+	id := fmt.Sprintf("%s#%d", conn.RemoteAddr(), p.nextID)
+	p.mu.Unlock()
+
+	l := p.log
+	// Pin before validating: GC must not unlink the resume segment
+	// between the check and the first read.
+	l.PinRetention(id, lsn)
+	defer l.ReleaseRetention(id)
+	first, err := l.FirstLiveLSN()
+	if err != nil {
+		refuse(conn, "repl: "+err.Error())
+		return err
+	}
+	last := l.LastLSN()
+	if lsn > last {
+		// The follower has records this primary never wrote — a
+		// diverged history (e.g. the primary was restored from a
+		// backup). Only a re-seed can reconcile them.
+		return refuse(conn, fmt.Sprintf(
+			"repl: %s: follower at lsn %d is ahead of primary at %d (diverged history)", resyncMarker, lsn, last))
+	}
+	if lsn+1 < first {
+		return refuse(conn, fmt.Sprintf(
+			"repl: %s: follower needs lsn %d but the oldest live record is %d (segments were retired); re-seed the follower from a copy of the primary's directory", resyncMarker, lsn+1, first))
+	}
+	sr, err := l.NewStreamReader(lsn + 1)
+	if err != nil {
+		if errors.Is(err, wal.ErrResyncRequired) {
+			return refuse(conn, "repl: "+resyncMarker+": "+err.Error())
+		}
+		refuse(conn, "repl: "+err.Error())
+		return err
+	}
+	defer sr.Close()
+
+	f := &followerConn{id: id, conn: conn, sr: sr, started: time.Now()}
+	f.acked.Store(lsn)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return refuse(conn, "repl: primary shutting down")
+	}
+	p.followers[id] = f
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.followers, id)
+		p.mu.Unlock()
+	}()
+
+	if err := frame.Write(conn, []byte(fmt.Sprintf("+OK last_lsn=%d", last))); err != nil {
+		return err
+	}
+
+	// The connection is full duplex from here: this goroutine writes
+	// batches, a ticker goroutine writes heartbeats (sharing wmu), and
+	// an ack reader advances the retention pin. Any of them failing
+	// stops the stream reader, which unblocks the others.
+	var wmu sync.Mutex
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(p.cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				var hb [9]byte
+				hb[0] = frameHeartbeat
+				binary.LittleEndian.PutUint64(hb[1:], l.LastLSN())
+				wmu.Lock()
+				err := frame.Write(conn, hb[:])
+				wmu.Unlock()
+				if err != nil {
+					sr.Stop()
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		for {
+			payload, err := frame.Read(r)
+			if err != nil {
+				sr.Stop()
+				return
+			}
+			if len(payload) == 9 && payload[0] == frameAck {
+				acked := binary.LittleEndian.Uint64(payload[1:])
+				l.AdvanceRetention(id, acked)
+				f.acked.Store(acked)
+			}
+		}
+	}()
+
+	buf := make([]byte, 0, p.cfg.BatchBytes+1)
+	for {
+		if l.RetentionBroken(id) {
+			// The retention cap retired segments this follower still
+			// needs; tell it deterministically instead of letting the
+			// next segment read fail with a confusing open error.
+			wmu.Lock()
+			refuse(conn, "repl: "+resyncMarker+": follower fell behind the retention cap")
+			wmu.Unlock()
+			return nil
+		}
+		raw, _, err := sr.Next()
+		if err != nil {
+			if errors.Is(err, wal.ErrStreamStopped) {
+				return nil
+			}
+			if l.RetentionBroken(id) {
+				wmu.Lock()
+				refuse(conn, "repl: "+resyncMarker+": follower fell behind the retention cap")
+				wmu.Unlock()
+				return nil
+			}
+			return err
+		}
+		buf = append(buf[:0], frameBatch)
+		buf = append(buf, raw...)
+		for len(buf) < p.cfg.BatchBytes && sr.Ready() {
+			raw, _, err = sr.Next()
+			if err != nil {
+				break // surface on the next loop iteration's Next
+			}
+			if len(buf)+len(raw) > p.cfg.BatchBytes {
+				// Keep the batch under the frame limit; re-reading this
+				// record is not possible, so flush what we have plus it
+				// only if it fits — otherwise send it alone next round.
+				buf2 := append([]byte{frameBatch}, raw...)
+				wmu.Lock()
+				werr := frame.Write(conn, buf)
+				if werr == nil {
+					werr = frame.Write(conn, buf2)
+				}
+				wmu.Unlock()
+				if werr != nil {
+					return werr
+				}
+				buf = buf[:0]
+				break
+			}
+			buf = append(buf, raw...)
+		}
+		if len(buf) > 1 {
+			wmu.Lock()
+			werr := frame.Write(conn, buf)
+			wmu.Unlock()
+			if werr != nil {
+				return werr
+			}
+		}
+	}
+}

@@ -2,15 +2,16 @@ package server
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"strings"
+
+	"lexequal/internal/frame"
 )
 
 // The wire protocol is deliberately minimal: every message, in both
-// directions, is one frame —
+// directions, is one frame (see internal/frame) —
 //
 //	uint32 big-endian payload length | payload bytes
 //
@@ -18,12 +19,15 @@ import (
 // in UTF-8. A response payload starts with a one-byte status marker:
 // '+' (success; the rest is the rendered result table) or '-' (failure;
 // the rest is the error message). One request yields exactly one
-// response, in order, so a client may pipeline.
+// response, in order, so a client may pipeline. A connection may also
+// open a replication stream (internal/repl) with a REPL handshake
+// frame, after which the framing stays but the payload grammar is the
+// replication protocol's.
 
 // MaxFrame bounds a single frame; larger requests or responses are
 // rejected rather than buffered (a 1 MiB statement is not a query, it
 // is a mistake).
-const MaxFrame = 1 << 20
+const MaxFrame = frame.MaxFrame
 
 const (
 	statusOK  = '+'
@@ -32,33 +36,12 @@ const (
 
 // writeFrame sends one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+	return frame.Write(w, payload)
 }
 
 // readFrame reads one length-prefixed frame.
 func readFrame(r *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	return payload, nil
+	return frame.Read(r)
 }
 
 func okPayload(text string) []byte {

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lexequal/internal/db"
+	"lexequal/internal/repl"
+)
+
+// startPrimaryServer opens a fresh primary (WAL starting at LSN 1, so
+// a fresh follower can bootstrap over the wire) and serves it.
+func startPrimaryServer(t *testing.T, dir string, opts db.Options, cfg Config) (*Server, *db.DB) {
+	t.Helper()
+	d, err := db.OpenOpts(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(d, nil, cfg)
+	if err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown() })
+	return srv, d
+}
+
+// startReplica opens dir as a replica, starts a follower streaming
+// from primaryAddr, and serves the replica read-only.
+func startReplica(t *testing.T, dir, primaryAddr string) (*Server, *db.DB, *repl.Follower) {
+	t.Helper()
+	d, err := db.OpenOpts(dir, db.Options{Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := repl.StartFollower(d, primaryAddr)
+	if err != nil {
+		d.Close()
+		t.Fatal(err)
+	}
+	srv, err := New(d, nil, Config{})
+	if err != nil {
+		f.Stop()
+		d.Close()
+		t.Fatal(err)
+	}
+	srv.SetFollower(f)
+	if err := srv.Start(); err != nil {
+		f.Stop()
+		d.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Stop(); srv.Shutdown() })
+	return srv, d, f
+}
+
+// waitApplied polls until the replica's applied LSN reaches at least
+// target.
+func waitApplied(t *testing.T, d *db.DB, target uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.AppliedLSN() >= target {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replica stuck at applied lsn %d, want >= %d", d.AppliedLSN(), target)
+}
+
+const soakQuery = `SELECT id, name FROM people ORDER BY id`
+
+// TestReplServerEndToEnd drives the whole wire path: a primary server
+// seeded over its own SQL protocol, a follower bootstrapping from
+// nothing, an 8-client read soak against the replica while a writer
+// keeps committing on the primary, STATUS on both roles, read-only
+// enforcement, and a follower kill/restart that resumes without a
+// resync.
+func TestReplServerEndToEnd(t *testing.T) {
+	primSrv, primDB := startPrimaryServer(t, t.TempDir(), db.Options{}, Config{})
+	w := dial(t, primSrv)
+	if _, err := w.Query(`CREATE TABLE people (id INT, name TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Query(fmt.Sprintf(`INSERT INTO people VALUES (%d, 'seed-%d')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replSrv, replDB, f := startReplica(t, t.TempDir(), primSrv.Addr().String())
+	waitApplied(t, replDB, primDB.WAL().DurableLSN())
+
+	// Concurrent writer on the primary while 8 clients soak the replica
+	// with reads. The replica serves snapshots, so every read must
+	// succeed and parse; convergence is checked after the writer stops.
+	const writerRows = 40
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerRows; i++ {
+			if _, err := w.Query(fmt.Sprintf(`INSERT INTO people VALUES (%d, 'soak-%d')`, 100+i, i)); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rc := dial(t, replSrv)
+			for i := 0; i < 25; i++ {
+				out, err := rc.Query(soakQuery)
+				if err != nil {
+					t.Errorf("reader %d: %v", c, err)
+					return
+				}
+				if !strings.Contains(out, "seed-0") {
+					t.Errorf("reader %d: seed row missing:\n%s", c, out)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Writer done: wait for full catch-up, then the replica must answer
+	// byte-identically to the primary.
+	waitApplied(t, replDB, primDB.WAL().DurableLSN())
+	pw, err := w.Query(soakQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := dial(t, replSrv)
+	rw, err := rc.Query(soakQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw != rw {
+		t.Fatalf("replica answer diverges from primary:\nprimary:\n%s\nreplica:\n%s", pw, rw)
+	}
+	if !strings.Contains(pw, fmt.Sprintf("soak-%d", writerRows-1)) {
+		t.Fatalf("last soak row missing from converged state:\n%s", pw)
+	}
+
+	// Writes are refused at the replica with a clear error.
+	if _, err := rc.Query(`INSERT INTO people VALUES (999, 'no')`); err == nil {
+		t.Fatal("replica accepted INSERT")
+	} else if !strings.Contains(err.Error(), "read-only replica") {
+		t.Fatalf("replica write refusal unclear: %v", err)
+	}
+
+	// STATUS on both roles. The replica has caught up, so its lag line
+	// must return to 0.
+	pst, err := w.Query("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"repl: role=primary followers=1", "repl_follower: id="} {
+		if !strings.Contains(pst, want) {
+			t.Errorf("primary STATUS missing %q:\n%s", want, pst)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rst, err := rc.Query("status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(rst, "repl: role=follower") && strings.Contains(rst, "lag=0") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica STATUS never showed lag=0:\n%s", rst)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill the follower, keep writing, restart it: the new follower
+	// must resume from the applied LSN (no resync) and converge.
+	f.Stop()
+	for i := 0; i < 10; i++ {
+		if _, err := w.Query(fmt.Sprintf(`INSERT INTO people VALUES (%d, 'late-%d')`, 200+i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f2, err := repl.StartFollower(replDB, primSrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f2.Stop)
+	replSrv.SetFollower(f2)
+	waitApplied(t, replDB, primDB.WAL().DurableLSN())
+	if info := f2.Info(); info.Resync {
+		t.Fatalf("restarted follower demands a resync: %+v", info)
+	}
+	pw, err = w.Query(soakQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err = rc.Query(soakQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw != rw {
+		t.Fatalf("after restart, replica diverges:\nprimary:\n%s\nreplica:\n%s", pw, rw)
+	}
+}
+
+// TestReplServerRetentionResync proves a follower that falls behind
+// the primary's retention cap is told — deterministically — that it
+// needs a full resync, rather than hanging or streaming garbage.
+func TestReplServerRetentionResync(t *testing.T) {
+	primSrv, primDB := startPrimaryServer(t, t.TempDir(),
+		db.Options{WALSegmentBytes: 16 << 10}, Config{ReplRetainSegments: 2})
+	w := dial(t, primSrv)
+	if _, err := w.Query(`CREATE TABLE people (id INT, name TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Query(`INSERT INTO people VALUES (0, 'seed')`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A follower connects, catches up, and disconnects.
+	replDir := t.TempDir()
+	replDB, err := db.OpenOpts(replDir, db.Options{Replica: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replDB.Close()
+	f, err := repl.StartFollower(replDB, primSrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, replDB, primDB.WAL().DurableLSN())
+	f.Stop()
+
+	// The primary writes far past the retention cap and checkpoints:
+	// GC breaks the absent follower's pin and unlinks its segments.
+	pad := strings.Repeat("x", 400)
+	for i := 0; ; i++ {
+		if _, err := w.Query(fmt.Sprintf(`INSERT INTO people VALUES (%d, '%s-%d')`, 1+i, pad, i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, count := primDB.WAL().Segments(); count >= 6 {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("primary never rolled enough segments")
+		}
+	}
+	if _, err := primDB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if first, _ := primDB.WAL().Segments(); first == 1 {
+		t.Fatal("GC reclaimed nothing; the retention cap never engaged")
+	}
+
+	// The follower reconnects below the chain: the handshake must
+	// report the deterministic resync-required refusal.
+	f2, err := repl.StartFollower(replDB, primSrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Stop()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		info := f2.Info()
+		if info.Resync {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lapsed follower never learned it needs a resync: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"lexequal/internal/core"
 	"lexequal/internal/db"
 	"lexequal/internal/metrics"
+	"lexequal/internal/repl"
 	"lexequal/internal/sql"
 )
 
@@ -65,6 +66,12 @@ type Config struct {
 	// graceful drain always runs one final checkpoint so a restart
 	// replays almost nothing.
 	CheckpointInterval time.Duration
+	// ReplRetainSegments caps how many live WAL segments connected
+	// followers may hold back from checkpoint GC (DESIGN.md §16); a
+	// follower that falls further behind is disconnected into
+	// resync-required. 0 = unlimited retention while a follower is
+	// connected.
+	ReplRetainSegments int
 	// Logf receives server log lines; default log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -79,6 +86,14 @@ type Server struct {
 	// session's counters mirror into it); per-connection counters stay
 	// on the session. Both are reported by the STATUS admin command.
 	Global metrics.PipelineCounters
+
+	// primary streams WAL records to followers (nil on a replica or a
+	// WAL-less database). A connection whose request is the replication
+	// handshake is handed to it instead of the SQL path.
+	primary *repl.Primary
+	// follower is the replica-side apply loop, wired in by the daemon
+	// with SetFollower so STATUS can report lag; nil on a primary.
+	follower *repl.Follower
 
 	lis      net.Listener
 	sem      chan struct{}  // connection slots (accept backpressure)
@@ -127,14 +142,27 @@ func New(d *db.DB, op *core.Operator, cfg Config) (*Server, error) {
 	if cfg.GroupCommit > 0 {
 		d.SetWALFlushInterval(cfg.GroupCommit)
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		db:     d,
 		op:     op,
 		sem:    make(chan struct{}, cfg.MaxConns),
 		active: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if l := d.WAL(); l != nil && !d.IsReplica() {
+		s.primary = repl.NewPrimary(l, repl.Config{RetainSegments: cfg.ReplRetainSegments})
+	}
+	return s, nil
 }
+
+// SetFollower wires the replica-side apply loop into STATUS reporting.
+// The daemon calls it right after StartFollower; the server does not
+// own the follower's lifecycle (the daemon stops it before Shutdown).
+func (s *Server) SetFollower(f *repl.Follower) { s.follower = f }
+
+// Primary exposes the replication streaming service (nil on a replica
+// or WAL-less database) for tests and status tooling.
+func (s *Server) Primary() *repl.Primary { return s.primary }
 
 // Start begins listening and serving. It returns once the listener is
 // bound; Addr then reports the actual address.
@@ -252,7 +280,22 @@ func (s *Server) handle(conn net.Conn) {
 			// statements — never mid-statement, so no response is lost.
 			return
 		}
-		resp := s.execute(sess, strings.TrimSpace(string(payload)))
+		stmt := strings.TrimSpace(string(payload))
+		if repl.IsHandshake(stmt) {
+			// The connection becomes a replication stream for its whole
+			// remaining lifetime (it occupies its connection slot like any
+			// client). The drain's read deadline interrupts its ack reader,
+			// which stops the stream, so Shutdown proceeds normally.
+			if s.primary == nil {
+				writeFrame(conn, errPayload(fmt.Errorf("server: this server cannot serve replication (replica or WAL disabled)")))
+				return
+			}
+			if err := s.primary.Serve(conn, r, stmt); err != nil {
+				s.cfg.Logf("lexequald: repl stream %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.execute(sess, stmt)
 		if err := writeFrame(conn, resp); err != nil {
 			s.cfg.Logf("lexequald: write: %v", err)
 			return
@@ -335,9 +378,49 @@ func (s *Server) status(sess *sql.Session) string {
 			rs.Duration, rs.Redo.Floor, rs.Redo.Scanned, rs.Redo.Skipped,
 			rs.Redo.Replayed, rs.Redo.Applied)
 	}
+	if line := s.replStatus(); line != "" {
+		wal += "\n" + line
+	}
 	return fmt.Sprintf("global:  %s\nsession: %s\nconns: active=%d accepted=%d max=%d draining=%v\n%s\n",
 		s.Global.Snapshot(), sess.Pipeline.Snapshot(),
 		activeConns, s.accepted.Load(), s.cfg.MaxConns, s.draining.Load(), wal)
+}
+
+// replStatus renders the replication STATUS lines: on a primary the
+// follower roster with per-follower acked LSN and lag; on a follower
+// the applied LSN and lag behind the primary. Empty when replication
+// is not in play (no follower ever connected and not a replica).
+func (s *Server) replStatus() string {
+	if s.follower != nil {
+		info := s.follower.Info()
+		line := fmt.Sprintf("repl: role=follower primary=%s connected=%v applied_lsn=%d primary_lsn=%d lag=%d batches=%d records=%d",
+			info.Primary, info.Connected, info.AppliedLSN, info.PrimaryLSN, info.Lag, info.Batches, info.Records)
+		if info.Resync {
+			line += " resync_required=true"
+		}
+		if info.LastErr != "" {
+			line += fmt.Sprintf(" last_err=%q", info.LastErr)
+		}
+		return line
+	}
+	if s.db.IsReplica() {
+		return fmt.Sprintf("repl: role=follower applied_lsn=%d (apply loop not running)", s.db.AppliedLSN())
+	}
+	if s.primary == nil {
+		return ""
+	}
+	followers := s.primary.Followers()
+	line := fmt.Sprintf("repl: role=primary followers=%d", len(followers))
+	last := s.db.WALStats().LastLSN
+	for _, f := range followers {
+		lag := uint64(0)
+		if last > f.AckedLSN {
+			lag = last - f.AckedLSN
+		}
+		line += fmt.Sprintf("\nrepl_follower: id=%s acked_lsn=%d lag=%d since=%v",
+			f.ID, f.AckedLSN, lag, f.Since.Round(time.Millisecond))
+	}
+	return line
 }
 
 // Shutdown gracefully drains the server: stop accepting, let every
@@ -358,6 +441,12 @@ func (s *Server) Shutdown() error {
 			c.SetReadDeadline(time.Now())
 		}
 		s.mu.Unlock()
+		// Stop replication streams explicitly too: their writers may be
+		// blocked in the durability wait rather than a read, which the
+		// deadline alone does not interrupt.
+		if s.primary != nil {
+			s.primary.Close()
+		}
 		s.handlers.Wait()
 		// Statements abandoned by the query deadline may still be
 		// running after their handler exited; the pager must not flush

@@ -168,6 +168,18 @@ func (s *Session) execLocked(sqlText string) (*Result, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if s.DB.IsReplica() {
+		// A read replica applies the primary's WAL stream and nothing
+		// else: every mutating statement class is rejected up front with
+		// a clear error, before any lock or transaction state is touched.
+		// SELECT/EXPLAIN/SHOW/SET stay available, and CHECKPOINT maps to
+		// the replica's flush-and-persist-floor variant.
+		switch stmt.(type) {
+		case *InsertStmt, *DeleteStmt, *CreateTableStmt, *CreateIndexStmt,
+			*DropTableStmt, *BeginStmt, *CommitStmt, *RollbackStmt:
+			return nil, 0, fmt.Errorf("sql: %w: this server is a read-only replica; send writes to the primary", db.ErrReplica)
+		}
+	}
 	switch stmt.(type) {
 	case *BeginStmt:
 		res, err := s.execBegin()

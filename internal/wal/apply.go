@@ -1,0 +1,260 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lexequal/internal/store"
+)
+
+// Applier applies page and catalog images from log records to a
+// database directory with raw file I/O — the shared engine under
+// crash recovery (Redo), replica restart replay (Replay), and any
+// future offline log tooling. Raw I/O rather than pagers because the
+// target files may be torn, missing, or non-page-aligned; the images
+// in the log are exactly what repairs them.
+//
+// Page application is idempotent: an image is skipped when the on-disk
+// page already verifies with an LSN at or above the record's, so a
+// crash mid-apply is cured by applying again. The catalog image is
+// buffered and published last, atomically, in Finish — data pages must
+// be on disk before a catalog that names them becomes visible.
+//
+// Not safe for concurrent use.
+type Applier struct {
+	fs    store.VFS
+	dbDir string
+	files map[string]store.File
+
+	catName  string
+	catImage []byte
+
+	// Applied counts page images physically rewritten (records minus
+	// pages whose on-disk image was already current).
+	Applied int
+}
+
+// NewApplier returns an applier over dbDir. fs nil means the OS
+// filesystem.
+func NewApplier(dbDir string, fs store.VFS) *Applier {
+	if fs == nil {
+		fs = store.OSFS{}
+	}
+	return &Applier{fs: fs, dbDir: dbDir, files: make(map[string]store.File)}
+}
+
+func (a *Applier) openData(name string) (store.File, error) {
+	if f, ok := a.files[name]; ok {
+		return f, nil
+	}
+	f, err := a.fs.OpenFile(filepath.Join(a.dbDir, name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: apply open %s: %w", name, err)
+	}
+	a.files[name] = f
+	return f, nil
+}
+
+// Apply applies one RecPage or RecCatalog record. Other record types
+// are ignored (returning false) so callers can feed an unfiltered
+// stream. Returns whether a page image was physically written.
+func (a *Applier) Apply(r Record) (bool, error) {
+	switch r.Type {
+	case RecPage:
+		name, err := safeName(r.File)
+		if err != nil {
+			return false, err
+		}
+		f, err := a.openData(name)
+		if err != nil {
+			return false, err
+		}
+		off := int64(r.Page) * store.PageSize
+		cur := make([]byte, store.PageSize)
+		if n, rerr := f.ReadAt(cur, off); n == store.PageSize && rerr == nil {
+			if lsn, ok := store.PageImageLSN(r.Page, cur); ok && lsn >= r.LSN {
+				return false, nil // already at or past this image
+			}
+		}
+		img := make([]byte, store.PageSize)
+		copy(img, r.Payload)
+		store.StampPageImage(r.Page, img, r.LSN)
+		if _, err := f.WriteAt(img, off); err != nil {
+			return false, fmt.Errorf("wal: apply write %s page %d: %w", name, r.Page, err)
+		}
+		a.Applied++
+		return true, nil
+	case RecCatalog:
+		name, err := safeName(r.File)
+		if err != nil {
+			return false, err
+		}
+		a.catName = name
+		a.catImage = append(a.catImage[:0], r.Payload...)
+		return false, nil
+	}
+	return false, nil
+}
+
+// Finish fixes file tails, makes every applied image durable, and
+// publishes the buffered catalog image atomically. Non-page-aligned
+// files are rounded down: the partial tail page is crash debris — any
+// committed content for it was just rewritten at full size, which
+// realigns the file first. Closes all handles; the applier must not be
+// used afterwards.
+func (a *Applier) Finish() error {
+	names := make([]string, 0, len(a.files))
+	for name := range a.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := a.files[name]
+		st, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		if rem := st.Size() % store.PageSize; rem != 0 {
+			if err := f.Truncate(st.Size() - rem); err != nil {
+				return fmt.Errorf("wal: apply truncate %s: %w", name, err)
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("wal: apply sync %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		delete(a.files, name)
+	}
+	if a.catName != "" {
+		if err := writeFileAtomic(a.fs, a.dbDir, a.catName, a.catImage); err != nil {
+			return err
+		}
+		a.catName, a.catImage = "", nil
+	}
+	if err := store.SyncDir(a.fs, a.dbDir); err != nil {
+		return fmt.Errorf("wal: apply sync dir: %w", err)
+	}
+	return nil
+}
+
+// Close releases file handles without syncing — the error-path
+// counterpart of Finish. Safe after Finish (a no-op then).
+func (a *Applier) Close() error {
+	var first error
+	for name, f := range a.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(a.files, name)
+	}
+	return first
+}
+
+// ReplayStats describes one replica restart replay.
+type ReplayStats struct {
+	// Scanned counts every record the replay visited above the floor.
+	Scanned int
+	// Applied counts page images physically rewritten.
+	Applied int
+	// Live maps each transaction with records but no terminator in the
+	// local log to the LSN of its first record — in flight on the
+	// primary at the moment of the replica's crash. Their page images
+	// WERE applied (the live apply loop applies images as they arrive;
+	// MVCC version headers keep their rows invisible), so they must be
+	// re-registered as in-flight both in the log (SeedLiveTxs) and in
+	// the database's MVCC registry before serving reads.
+	Live map[uint64]uint64
+	// MaxCommit is the LSN of the newest commit record seen (0 if
+	// none).
+	MaxCommit uint64
+	// LiveCatalogs maps each live transaction to its buffered catalog
+	// image, if it logged one. The live apply loop defers catalog
+	// publication to the commit record; restart must re-buffer these so
+	// the commit still to arrive from the stream publishes them — and
+	// must NOT publish them itself (the transaction may yet abort).
+	LiveCatalogs map[uint64][]byte
+}
+
+// Replay is replica restart recovery: it re-applies every page and
+// catalog record above floor from the replica's local log, regardless
+// of transaction state. Unlike Redo there is no winner/loser pass —
+// a replica never undoes anything. Its live apply loop writes every
+// incoming image into the pager as it arrives, relying on MVCC version
+// headers for visibility, so restart must reconstruct exactly that
+// state: all images applied, in-flight transactions re-registered
+// (returned in Live).
+//
+// floor is the replica's persisted checkpoint floor: images at or
+// below it were flushed and fsynced by a replica checkpoint. The first
+// record of every live transaction is above the floor (DeclareFloor
+// clamps below live begins), so Live's first-seen LSNs are true begin
+// LSNs.
+//
+// fs nil means the OS filesystem.
+func Replay(l *Log, dbDir string, fs store.VFS, floor uint64) (ReplayStats, error) {
+	stats := ReplayStats{Live: make(map[uint64]uint64), LiveCatalogs: make(map[uint64][]byte)}
+	a := NewApplier(dbDir, fs)
+	defer a.Close()
+	// Catalog images follow the live apply loop's commit rule: buffered
+	// per transaction, handed to the applier only when the commit record
+	// is in the log, dropped on abort, and returned in LiveCatalogs when
+	// the terminator has not arrived yet.
+	pendingCat := make(map[uint64]Record)
+	err := l.Records(func(r Record) error {
+		if r.LSN <= floor {
+			return nil
+		}
+		stats.Scanned++
+		switch r.Type {
+		case RecCommit:
+			delete(stats.Live, r.TxID)
+			if rec, ok := pendingCat[r.TxID]; ok {
+				delete(pendingCat, r.TxID)
+				if _, err := a.Apply(rec); err != nil {
+					return err
+				}
+			}
+			if r.LSN > stats.MaxCommit {
+				stats.MaxCommit = r.LSN
+			}
+			return nil
+		case RecAbort:
+			delete(stats.Live, r.TxID)
+			delete(pendingCat, r.TxID)
+			return nil
+		case RecCheckpointBegin, RecCheckpointEnd:
+			// The primary streams its checkpoint records verbatim (they
+			// keep the LSN run contiguous); they carry nothing a replica
+			// applies.
+			return nil
+		}
+		if r.TxID != 0 {
+			if _, ok := stats.Live[r.TxID]; !ok {
+				stats.Live[r.TxID] = r.LSN
+			}
+		}
+		if r.Type == RecCatalog {
+			rc := r
+			rc.Payload = append([]byte(nil), r.Payload...) // fn must not retain
+			pendingCat[r.TxID] = rc
+			return nil
+		}
+		_, err := a.Apply(r)
+		return err
+	})
+	if err != nil {
+		return stats, err
+	}
+	if err := a.Finish(); err != nil {
+		return stats, err
+	}
+	for txid, rec := range pendingCat {
+		stats.LiveCatalogs[txid] = rec.Payload
+	}
+	stats.Applied = a.Applied
+	return stats, nil
+}

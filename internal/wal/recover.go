@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"lexequal/internal/store"
@@ -103,27 +102,11 @@ func Redo(l *Log, dbDir string, fs store.VFS) (RedoStats, error) {
 			stats.Losers[id] = true
 		}
 	}
-	// Pass 2: apply page images of finished transactions in LSN
-	// order, remembering the last finished catalog image.
-	files := make(map[string]store.File)
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
-	openData := func(name string) (store.File, error) {
-		if f, ok := files[name]; ok {
-			return f, nil
-		}
-		f, err := fs.OpenFile(filepath.Join(dbDir, name), os.O_RDWR|os.O_CREATE, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("wal: redo open %s: %w", name, err)
-		}
-		files[name] = f
-		return f, nil
-	}
-	var catName string
-	var catImage []byte
+	// Pass 2: apply page images of finished transactions in LSN order
+	// through the shared Applier (which remembers the last finished
+	// catalog image and publishes it atomically in Finish).
+	a := NewApplier(dbDir, fs)
+	defer a.Close()
 	err := l.Records(func(r Record) error {
 		if !finished[r.TxID] {
 			return nil
@@ -140,79 +123,16 @@ func Redo(l *Log, dbDir string, fs store.VFS) (RedoStats, error) {
 			return nil
 		}
 		stats.Replayed++
-		switch r.Type {
-		case RecPage:
-			name, err := safeName(r.File)
-			if err != nil {
-				return err
-			}
-			f, err := openData(name)
-			if err != nil {
-				return err
-			}
-			off := int64(r.Page) * store.PageSize
-			cur := make([]byte, store.PageSize)
-			if n, rerr := f.ReadAt(cur, off); n == store.PageSize && rerr == nil {
-				if lsn, ok := store.PageImageLSN(r.Page, cur); ok && lsn >= r.LSN {
-					return nil // already at or past this image
-				}
-			}
-			img := make([]byte, store.PageSize)
-			copy(img, r.Payload)
-			store.StampPageImage(r.Page, img, r.LSN)
-			if _, err := f.WriteAt(img, off); err != nil {
-				return fmt.Errorf("wal: redo write %s page %d: %w", name, r.Page, err)
-			}
-			stats.Applied++
-		case RecCatalog:
-			name, err := safeName(r.File)
-			if err != nil {
-				return err
-			}
-			catName = name
-			catImage = append(catImage[:0], r.Payload...)
-		}
-		return nil
+		_, err := a.Apply(r)
+		return err
 	})
 	if err != nil {
 		return stats, err
 	}
-	// Fix tails and make everything durable before the log can be
-	// reset: round non-aligned files down (the partial tail page is
-	// crash debris — any committed content for it was just rewritten
-	// at full size, which realigns the file first).
-	names := make([]string, 0, len(files))
-	for name := range files {
-		names = append(names, name)
+	if err := a.Finish(); err != nil {
+		return stats, err
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		f := files[name]
-		st, err := f.Stat()
-		if err != nil {
-			return stats, err
-		}
-		if rem := st.Size() % store.PageSize; rem != 0 {
-			if err := f.Truncate(st.Size() - rem); err != nil {
-				return stats, fmt.Errorf("wal: redo truncate %s: %w", name, err)
-			}
-		}
-		if err := f.Sync(); err != nil {
-			return stats, fmt.Errorf("wal: redo sync %s: %w", name, err)
-		}
-		if err := f.Close(); err != nil {
-			return stats, err
-		}
-		delete(files, name)
-	}
-	if catName != "" {
-		if err := writeFileAtomic(fs, dbDir, catName, catImage); err != nil {
-			return stats, err
-		}
-	}
-	if err := store.SyncDir(fs, dbDir); err != nil {
-		return stats, fmt.Errorf("wal: redo sync dir: %w", err)
-	}
+	stats.Applied = a.Applied
 	return stats, nil
 }
 

@@ -1,0 +1,474 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"lexequal/internal/store"
+)
+
+// This file is the log's replication seam (DESIGN.md §16). A primary
+// exposes its durable record run as a byte stream: StreamReader walks
+// the segment files record by record, never emitting past the durable
+// LSN, and tails live appends through the group-commit notification
+// path (WaitDurableAbove). A follower feeds the raw records it
+// receives back in through AppendReplica, which preserves the
+// primary's LSNs so the whole recovery/checkpoint/no-steal machinery
+// works unchanged on the replica. Retention pins let connected
+// followers hold segment GC back until they have acked what they need,
+// bounded by a configurable cap that breaks too-slow pins instead of
+// letting the log grow without limit.
+
+// ErrStreamStopped is returned by a stream reader whose Stop was
+// called (typically because the follower connection went away).
+var ErrStreamStopped = errors.New("wal: stream stopped")
+
+// ErrResyncRequired marks a follower that can no longer be served from
+// the live log: the records it needs were garbage-collected (its
+// retention pin broke, or its position predates the first live
+// segment). The only way forward is a fresh seed of the data
+// directory.
+var ErrResyncRequired = errors.New("wal: resync required")
+
+// ParseRawHeader validates the fixed header and CRC of one raw encoded
+// record and returns its LSN, transaction ID, type and total encoded
+// length. raw must hold the complete record.
+func ParseRawHeader(raw []byte) (lsn, txid uint64, typ byte, total int, err error) {
+	if len(raw) < recHdrSize {
+		return 0, 0, 0, 0, fmt.Errorf("wal: raw record of %d bytes is shorter than the header", len(raw))
+	}
+	n := binary.LittleEndian.Uint32(raw[4:])
+	if n < recHdrSize || n > MaxRecordSize || int(n) > len(raw) {
+		return 0, 0, 0, 0, fmt.Errorf("wal: raw record claims impossible length %d", n)
+	}
+	if crc32.Checksum(raw[4:n], castagnoli) != binary.LittleEndian.Uint32(raw[0:]) {
+		return 0, 0, 0, 0, errors.New("wal: raw record checksum mismatch")
+	}
+	return binary.LittleEndian.Uint64(raw[8:]), binary.LittleEndian.Uint64(raw[16:]), raw[24], int(n), nil
+}
+
+// DecodeRaw parses one complete raw record (header-validated or not)
+// into a Record. The returned Record's Payload aliases raw.
+func DecodeRaw(raw []byte) (Record, error) {
+	_, _, _, total, err := ParseRawHeader(raw)
+	if err != nil {
+		return Record{}, err
+	}
+	return decodeRecord(raw[:total])
+}
+
+// --- durability notification ---
+
+// WaitDurableAbove blocks until some record above lsn is durable and
+// returns the new durable LSN. It does not itself trigger a sync — the
+// group-commit leaders (and segment rolls) advance durability; this is
+// the tailing side. stop, when non-nil, aborts the wait with
+// ErrStreamStopped once set (wake it with WakeDurableWaiters).
+func (l *Log) WaitDurableAbove(lsn uint64, stop *atomic.Bool) (uint64, error) {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	for {
+		if stop != nil && stop.Load() {
+			return 0, ErrStreamStopped
+		}
+		if l.durableLSN > lsn {
+			return l.durableLSN, nil
+		}
+		if l.syncErr != nil {
+			return 0, l.syncErr
+		}
+		l.fcond.Wait()
+	}
+}
+
+// WakeDurableWaiters broadcasts to everything blocked on durability —
+// used to deliver a Stop to a tailing stream reader promptly.
+func (l *Log) WakeDurableWaiters() {
+	l.fmu.Lock()
+	l.fcond.Broadcast()
+	l.fmu.Unlock()
+}
+
+// FirstLiveLSN returns the base LSN of the first live segment — the
+// LSN of the oldest record the log can still stream. A follower whose
+// applied LSN is below FirstLiveLSN-1 cannot resume and must be
+// re-seeded.
+func (l *Log) FirstLiveLSN() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	return l.readSegBase(l.firstSeq)
+}
+
+// --- retention pins ---
+
+// retentionPin records the acked LSN of one connected (or recently
+// connected) follower. GC keeps every segment holding records above
+// the pin; a pin the retention cap breaks stays registered but marked,
+// so the follower's streamer reports a deterministic resync error.
+type retentionPin struct {
+	lsn    uint64
+	broken bool
+}
+
+// PinRetention registers (or re-registers, resetting a broken state)
+// a retention pin holding segment GC at lsn: every record above lsn
+// stays streamable. Call before the first stream read so GC cannot
+// race the handshake.
+func (l *Log) PinRetention(id string, lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pins == nil {
+		l.pins = make(map[string]*retentionPin)
+	}
+	l.pins[id] = &retentionPin{lsn: lsn}
+}
+
+// AdvanceRetention moves a pin forward to the follower's newly acked
+// LSN. Pins never move backward; advancing an unknown or broken pin is
+// a no-op.
+func (l *Log) AdvanceRetention(id string, lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p, ok := l.pins[id]; ok && !p.broken && lsn > p.lsn {
+		p.lsn = lsn
+	}
+}
+
+// ReleaseRetention drops a pin (the follower disconnected and owes the
+// log nothing, or was handed a resync error).
+func (l *Log) ReleaseRetention(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.pins, id)
+}
+
+// RetentionBroken reports whether the named pin was broken by the
+// retention cap — the follower behind it must be re-seeded.
+func (l *Log) RetentionBroken(id string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p, ok := l.pins[id]
+	return ok && p.broken
+}
+
+// SetRetentionSegments caps how many live segments follower pins may
+// retain. Zero (the default) means unlimited: a connected follower can
+// hold GC back indefinitely. When the cap would be exceeded, the
+// offending pins are broken — their followers get ErrResyncRequired —
+// and GC proceeds. Segments the checkpoint redo floor itself still
+// needs are never GC'd regardless of the cap.
+func (l *Log) SetRetentionSegments(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	l.retainSegs = n
+}
+
+// RetentionPins returns a snapshot of the live pins: id → acked LSN,
+// with broken pins reported at LSN 0. For observability (STATUS).
+func (l *Log) RetentionPins() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.pins))
+	for id, p := range l.pins {
+		if p.broken {
+			out[id] = 0
+			continue
+		}
+		out[id] = p.lsn
+	}
+	return out
+}
+
+// --- replica append ---
+
+// AppendReplica appends one raw record received from a primary,
+// preserving its LSN and transaction bookkeeping. Records must arrive
+// in exactly the primary's order: the record's LSN must be the log's
+// next LSN, or the stream has diverged and the append is refused (the
+// primary streams every record verbatim, checkpoint records included —
+// they keep the LSN run contiguous and are ignored by replica replay;
+// the replica's own redo floor lives in its state file). Like append,
+// the bytes are not durable until a sync covers them.
+func (l *Log) AppendReplica(raw []byte) (Record, error) {
+	lsn, txid, typ, total, err := ParseRawHeader(raw)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: replica append: %w", err)
+	}
+	rec, err := decodeRecord(raw[:total])
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: replica append: %w", err)
+	}
+	if rec.File != "" {
+		if _, err := safeName(rec.File); err != nil {
+			return Record{}, fmt.Errorf("wal: replica append: %w", err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Record{}, ErrClosed
+	}
+	if lsn != l.nextLSN {
+		return Record{}, fmt.Errorf("wal: replica append: record lsn %d, want %d (stream diverged)", lsn, l.nextLSN)
+	}
+	if l.size >= l.segLimit {
+		if err := l.createSegment(l.seq+1, l.nextLSN); err != nil {
+			return Record{}, err
+		}
+	}
+	if _, err := l.f.WriteAt(raw[:total], l.size); err != nil {
+		return Record{}, fmt.Errorf("wal: replica append: %w", err)
+	}
+	l.size += int64(total)
+	l.ckptBytes += int64(total)
+	l.nextLSN = lsn + 1
+	l.lastLSN = lsn
+	l.hasRecords = true
+	switch typ {
+	case RecBegin:
+		if _, ok := l.liveTxs[txid]; !ok {
+			l.liveTxs[txid] = lsn
+		}
+	case RecCommit, RecAbort:
+		l.finishedLSN = lsn
+		delete(l.liveTxs, txid)
+	}
+	return rec, nil
+}
+
+// SeedLiveTxs installs the in-flight transaction set a replica replay
+// reconstructed (transactions with records but no terminator in the
+// local log). Their begin LSNs drive the no-steal gate and pin the
+// replica's checkpoint floor exactly as live writers do on a primary.
+func (l *Log) SeedLiveTxs(m map[uint64]uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for txid, begin := range m {
+		if _, ok := l.liveTxs[txid]; !ok {
+			l.liveTxs[txid] = begin
+		}
+	}
+}
+
+// DeclareFloor installs a redo floor without writing a checkpoint
+// record — the replica's checkpoint path. The replica cannot append
+// its own checkpoint records (its LSN space belongs to the primary),
+// so the floor lives in the replica state file and is re-installed
+// here on restart. The same clamps as CompleteCheckpoint apply: the
+// floor never regresses, never exceeds the last LSN, and sits below
+// every live transaction's begin record. Returns the clamped floor.
+func (l *Log) DeclareFloor(floor uint64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if floor > l.lastLSN {
+		floor = l.lastLSN
+	}
+	for _, begin := range l.liveTxs {
+		if begin <= floor && begin > 0 {
+			floor = begin - 1
+		}
+	}
+	if floor < l.redoFloor {
+		floor = l.redoFloor
+	}
+	l.redoFloor = floor
+	l.ckptBytes = 0
+	return floor, nil
+}
+
+// --- stream reader ---
+
+// StreamReader walks the log's records from a starting LSN, in order,
+// never emitting a record that is not yet durable (a follower must
+// never apply bytes the primary could still lose). At the durable tail
+// it blocks on the group-commit notification path until more records
+// become durable. Safe for use by one goroutine; Stop may be called
+// from another.
+type StreamReader struct {
+	l    *Log
+	f    store.File
+	seq  uint32
+	off  int64
+	want uint64 // next LSN to emit
+	stop atomic.Bool
+}
+
+// NewStreamReader opens a reader positioned at fromLSN. The caller
+// must ensure fromLSN is still live (FirstLiveLSN ≤ fromLSN), normally
+// by registering a retention pin at fromLSN-1 first; a reader below
+// the first live segment reports ErrResyncRequired.
+func (l *Log) NewStreamReader(fromLSN uint64) (*StreamReader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if fromLSN == 0 {
+		fromLSN = 1
+	}
+	// Find the segment whose base is the greatest at or below fromLSN.
+	seg := uint32(0)
+	for s := l.firstSeq; s <= l.seq; s++ {
+		base, err := l.readSegBase(s)
+		if err != nil {
+			return nil, err
+		}
+		if base > fromLSN {
+			break
+		}
+		seg = s
+	}
+	if seg == 0 {
+		return nil, fmt.Errorf("%w: lsn %d predates first live segment", ErrResyncRequired, fromLSN)
+	}
+	f, err := l.fs.OpenFile(l.segPath(seg), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: stream open segment %d: %w", seg, err)
+	}
+	return &StreamReader{l: l, f: f, seq: seg, off: segHdrSize, want: fromLSN}, nil
+}
+
+// Ready reports whether the next record is already durable — a Next
+// call would return without blocking. Used by the primary's batcher to
+// flush a partial batch instead of stalling it behind the tail.
+func (sr *StreamReader) Ready() bool {
+	return sr.l.DurableLSN() >= sr.want
+}
+
+// Stop aborts a blocked or future Next with ErrStreamStopped.
+func (sr *StreamReader) Stop() {
+	sr.stop.Store(true)
+	sr.l.WakeDurableWaiters()
+}
+
+// Close releases the reader's file handle.
+func (sr *StreamReader) Close() error {
+	if sr.f == nil {
+		return nil
+	}
+	err := sr.f.Close()
+	sr.f = nil
+	return err
+}
+
+// segmentAfter reports whether a segment above seq exists and, if so,
+// its sequence number and base LSN.
+func (l *Log) segmentAfter(seq uint32) (uint32, uint64, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, false, ErrClosed
+	}
+	if l.seq <= seq {
+		return 0, 0, false, nil
+	}
+	base, err := l.readSegBase(seq + 1)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return seq + 1, base, true, nil
+}
+
+// advance moves the reader to the next segment.
+func (sr *StreamReader) advance(seq uint32) error {
+	f, err := sr.l.fs.OpenFile(sr.l.segPath(seq), os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: stream advance to segment %d: %w", seq, err)
+	}
+	if cerr := sr.f.Close(); cerr != nil {
+		return errors.Join(cerr, f.Close())
+	}
+	sr.f = f
+	sr.seq = seq
+	sr.off = segHdrSize
+	return nil
+}
+
+// Next returns the next raw encoded record and its decoded header
+// fields, blocking at the durable tail until more records arrive.
+// The returned buffer is freshly allocated and owned by the caller.
+func (sr *StreamReader) Next() (raw []byte, rec Record, err error) {
+	for {
+		if sr.stop.Load() {
+			return nil, Record{}, ErrStreamStopped
+		}
+		// Never read past durability: the record at sr.want may exist
+		// in the file but be lost in a crash; emitting it would let the
+		// follower apply history the primary forgets.
+		if _, err := sr.l.WaitDurableAbove(sr.want-1, &sr.stop); err != nil {
+			return nil, Record{}, err
+		}
+		var hdr [recHdrSize]byte
+		n, rerr := sr.f.ReadAt(hdr[:], sr.off)
+		if n < recHdrSize {
+			if rerr != nil && !isEOF(rerr) {
+				return nil, Record{}, fmt.Errorf("wal: stream read segment %d: %w", sr.seq, rerr)
+			}
+			// End of this segment: the wanted record must live in the
+			// next one (durability said it exists somewhere).
+			next, base, ok, serr := sr.l.segmentAfter(sr.seq)
+			if serr != nil {
+				return nil, Record{}, serr
+			}
+			if !ok || base > sr.want {
+				// Durable-but-invisible should be impossible; treat as
+				// corruption rather than spinning.
+				return nil, Record{}, &store.CorruptFileError{Path: sr.l.segPath(sr.seq),
+					Reason: fmt.Sprintf("stream: durable record %d not found at offset %d", sr.want, sr.off)}
+			}
+			if err := sr.advance(next); err != nil {
+				return nil, Record{}, err
+			}
+			continue
+		}
+		total := binary.LittleEndian.Uint32(hdr[4:])
+		if total < recHdrSize || total > MaxRecordSize {
+			return nil, Record{}, &store.CorruptFileError{Path: sr.l.segPath(sr.seq),
+				Reason: fmt.Sprintf("stream: record at offset %d claims length %d", sr.off, total)}
+		}
+		buf := make([]byte, total)
+		if _, err := sr.f.ReadAt(buf, sr.off); err != nil {
+			return nil, Record{}, fmt.Errorf("wal: stream read segment %d: %w", sr.seq, err)
+		}
+		lsn, _, _, _, perr := ParseRawHeader(buf)
+		if perr != nil {
+			return nil, Record{}, &store.CorruptFileError{Path: sr.l.segPath(sr.seq),
+				Reason: fmt.Sprintf("stream: record at offset %d: %v", sr.off, perr)}
+		}
+		sr.off += int64(total)
+		if lsn < sr.want {
+			continue // positioning skip inside the first segment
+		}
+		if lsn != sr.want {
+			return nil, Record{}, &store.CorruptFileError{Path: sr.l.segPath(sr.seq),
+				Reason: fmt.Sprintf("stream: record lsn %d, want %d", lsn, sr.want)}
+		}
+		decoded, derr := decodeRecord(buf)
+		if derr != nil {
+			return nil, Record{}, &store.CorruptFileError{Path: sr.l.segPath(sr.seq),
+				Reason: fmt.Sprintf("stream: record %d: %v", lsn, derr)}
+		}
+		sr.want = lsn + 1
+		return buf, decoded, nil
+	}
+}
+
+// isEOF matches the short-read errors a ReadAt past the written tail
+// produces.
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -1,0 +1,380 @@
+package wal
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamAll reads records from the reader until want is reached,
+// returning the raw record bytes in order.
+func streamAll(t *testing.T, sr *StreamReader, upto uint64) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		raw, rec, err := sr.Next()
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		out = append(out, raw)
+		if rec.LSN >= upto {
+			return out
+		}
+	}
+}
+
+// TestStreamReaderFollowsLiveAppends proves the stream reader delivers
+// every durable record in LSN order, across segment rolls, and wakes
+// up for records appended after it caught up to the tail.
+func TestStreamReaderFollowsLiveAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSegmentBytes(32 << 10) // force several rolls
+
+	for txid := uint64(1); txid <= 8; txid++ {
+		commitTxn(t, l, txid, "a.heap", 1, byte(txid))
+	}
+	last := l.LastLSN()
+
+	sr, err := l.NewStreamReader(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	got := streamAll(t, sr, last)
+	if len(got) != int(last) {
+		t.Fatalf("streamed %d records, want %d", len(got), last)
+	}
+	// Verify the raw bytes parse and run contiguously from LSN 1.
+	for i, raw := range got {
+		lsn, _, _, _, err := ParseRawHeader(raw)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d", i, lsn)
+		}
+	}
+
+	// The reader is at the tail now; a live append must wake it.
+	done := make(chan uint64, 1)
+	go func() {
+		_, rec, err := sr.Next()
+		if err != nil {
+			done <- 0
+			return
+		}
+		done <- rec.LSN
+	}()
+	commitTxn(t, l, 99, "a.heap", 2, 0xEE)
+	select {
+	case lsn := <-done:
+		if lsn != last+1 {
+			t.Fatalf("tail read returned lsn %d, want %d", lsn, last+1)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream reader never woke for the live append")
+	}
+}
+
+// TestStreamReaderStops proves Stop unblocks a reader waiting at the
+// durable tail.
+func TestStreamReaderStops(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	commitTxn(t, l, 1, "a.heap", 1, 0x11)
+
+	sr, err := l.NewStreamReader(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	streamAll(t, sr, l.LastLSN())
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := sr.Next()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sr.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStreamStopped) {
+			t.Fatalf("stopped reader returned %v, want ErrStreamStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not unblock the reader")
+	}
+}
+
+// TestWaitDurableAboveStopFlag proves an armed stop flag aborts the
+// durability wait.
+func TestWaitDurableAboveStopFlag(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() { _, err := l.WaitDurableAbove(100, &stop); done <- err }()
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	l.WakeDurableWaiters()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStreamStopped) {
+			t.Fatalf("wait returned %v, want ErrStreamStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WakeDurableWaiters did not unblock the wait")
+	}
+}
+
+// fillSegments commits transactions until the log holds at least n
+// live segments, returning the last LSN.
+func fillSegments(t *testing.T, l *Log, n int) uint64 {
+	t.Helper()
+	txid := uint64(1000)
+	for {
+		_, count := l.Segments()
+		if count >= n {
+			return l.LastLSN()
+		}
+		txid++
+		commitTxn(t, l, txid, "a.heap", 1, byte(txid))
+	}
+}
+
+// TestRetentionPinHoldsGC proves a follower pin keeps segments alive
+// past the checkpoint floor, and that releasing (or advancing) the pin
+// lets the next GC reclaim them.
+func TestRetentionPinHoldsGC(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSegmentBytes(16 << 10)
+
+	l.PinRetention("f1", 1) // follower acked nothing yet
+	last := fillSegments(t, l, 5)
+
+	// Checkpoint at the tail: without the pin every old segment dies.
+	begin, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CompleteCheckpoint(begin, last); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("GC removed %d segments despite the follower pin", removed)
+	}
+	if first, _ := l.Segments(); first != 1 {
+		t.Fatalf("first live segment %d, want 1 (pinned)", first)
+	}
+
+	// The follower acks the tail: everything below becomes reclaimable.
+	l.AdvanceRetention("f1", last)
+	removed, err = l.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("GC reclaimed nothing after the pin advanced")
+	}
+	if broken := l.RetentionBroken("f1"); broken {
+		t.Fatal("advancing pin must not break it")
+	}
+}
+
+// TestRetentionCapBreaksSlowFollower proves the retention cap
+// sacrifices a too-slow follower's pin (flagging it for resync)
+// instead of letting the log grow without bound — while never
+// unlinking segments the checkpoint floor still needs.
+func TestRetentionCapBreaksSlowFollower(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSegmentBytes(16 << 10)
+	l.SetRetentionSegments(2)
+
+	l.PinRetention("slow", 1)
+	last := fillSegments(t, l, 6)
+
+	begin, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CompleteCheckpoint(begin, last); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("GC reclaimed nothing: the cap never broke the slow pin")
+	}
+	if !l.RetentionBroken("slow") {
+		t.Fatal("slow follower's pin survived past the retention cap")
+	}
+	seq, count := l.Segments()
+	if count > 2 {
+		t.Fatalf("%d live segments survive a cap of 2 (first %d)", count, seq)
+	}
+
+	// A pin at the tail still works after the cap fired for another.
+	l.PinRetention("fresh", last)
+	if l.RetentionBroken("fresh") {
+		t.Fatal("fresh pin at the tail must not be broken")
+	}
+}
+
+// TestRetentionCapSparesCheckpointSegments proves the cap never breaks
+// pins when doing so could not reclaim anything anyway because the
+// checkpoint floor itself holds the segments live: recovery's needs
+// outrank the cap.
+func TestRetentionCapSparesCheckpointSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSegmentBytes(16 << 10)
+	l.SetRetentionSegments(2)
+
+	l.PinRetention("f1", 1)
+	fillSegments(t, l, 6)
+	// No checkpoint: the redo floor is still 0, every segment is needed
+	// for recovery regardless of pins.
+	removed, err := l.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("GC removed %d recovery-needed segments", removed)
+	}
+	if l.RetentionBroken("f1") {
+		t.Fatal("pin broken although breaking it could reclaim nothing")
+	}
+}
+
+// TestAppendReplicaRoundTrip proves raw records streamed from one log
+// reproduce byte-identical segments in another, and that the replica
+// log rejects non-contiguous appends (a diverged stream).
+func TestAppendReplicaRoundTrip(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, err := Open(srcDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for txid := uint64(1); txid <= 3; txid++ {
+		commitTxn(t, src, txid, "a.heap", 1, byte(txid))
+	}
+	last := src.LastLSN()
+
+	dst, err := Open(dstDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	sr, err := src.NewStreamReader(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var raws [][]byte
+	for _, raw := range streamAll(t, sr, last) {
+		raws = append(raws, raw)
+		if _, err := dst.AppendReplica(raw); err != nil {
+			t.Fatalf("append replica: %v", err)
+		}
+	}
+	if err := dst.EnsureDurable(last); err != nil {
+		t.Fatal(err)
+	}
+	if dst.LastLSN() != last {
+		t.Fatalf("replica last lsn %d, want %d", dst.LastLSN(), last)
+	}
+
+	// Replaying an old record (gap or duplicate) must be refused.
+	if _, err := dst.AppendReplica(raws[0]); err == nil {
+		t.Fatal("replica accepted a non-contiguous record")
+	}
+
+	// The replica's scan must agree record-for-record with the source.
+	var srcRecs, dstRecs []Record
+	if err := src.Records(func(r Record) error { srcRecs = append(srcRecs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Records(func(r Record) error { dstRecs = append(dstRecs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(srcRecs) != len(dstRecs) {
+		t.Fatalf("replica scanned %d records, source %d", len(dstRecs), len(srcRecs))
+	}
+	for i := range srcRecs {
+		if srcRecs[i].LSN != dstRecs[i].LSN || srcRecs[i].Type != dstRecs[i].Type || srcRecs[i].TxID != dstRecs[i].TxID {
+			t.Fatalf("record %d diverges: %+v vs %+v", i, srcRecs[i], dstRecs[i])
+		}
+	}
+}
+
+// TestStreamReaderResyncBelowChain proves asking for records below the
+// first live segment reports the deterministic resync error.
+func TestStreamReaderResyncBelowChain(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSegmentBytes(16 << 10)
+	last := fillSegments(t, l, 4)
+	begin, err := l.CheckpointBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CompleteCheckpoint(begin, last); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := l.GC(); err != nil || removed == 0 {
+		t.Fatalf("GC removed %d segments (err %v); the test needs a truncated chain", removed, err)
+	}
+	if _, err := l.NewStreamReader(1); !errors.Is(err, ErrResyncRequired) {
+		t.Fatalf("stream from lsn 1 after GC returned %v, want ErrResyncRequired", err)
+	}
+	first, err := l.FirstLiveLSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := l.NewStreamReader(first)
+	if err != nil {
+		t.Fatalf("stream from first live lsn %d: %v", first, err)
+	}
+	sr.Close()
+}

@@ -168,6 +168,14 @@ type Log struct {
 	// live begin so segment GC never orphans a loser's record trail.
 	liveTxs map[uint64]uint64
 
+	// pins holds the per-follower retention pins (see stream.go): GC
+	// keeps every segment with records above any unbroken pin, up to
+	// retainSegs live segments (0 = unlimited). A pin broken by the cap
+	// stays registered, marked, so its follower gets a deterministic
+	// resync error instead of silently missing history.
+	pins       map[string]*retentionPin
+	retainSegs int
+
 	fmu        sync.Mutex // guards durability state
 	fcond      *sync.Cond
 	durableLSN uint64
@@ -190,6 +198,14 @@ func Open(dir string, fs store.VFS) (*Log, error) {
 	l := &Log{dir: wdir, fs: fs, nextLSN: 1, segLimit: segmentLimit, flushEvery: DefaultFlushInterval,
 		liveTxs: make(map[uint64]uint64)}
 	l.fcond = sync.NewCond(&l.fmu)
+	// Sweep crash debris from interrupted atomic publishes: an
+	// un-renamed tmp is by definition an uncommitted write, safe to
+	// drop. Both writers here use deterministic names.
+	for _, tmp := range []string{l.gcFloorPath() + ".tmp", l.segPath(1) + ".tmp"} {
+		if err := fs.Remove(tmp); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("wal: sweep debris %s: %w", tmp, err)
+		}
+	}
 	if err := l.openTail(); err != nil {
 		return nil, err
 	}
@@ -314,6 +330,18 @@ func (l *Log) openTail() error {
 		return err
 	}
 	l.firstSeq = first
+	if first == 1 {
+		// Segment 1 outranks the gcfloor pointer, so any pointer on disk
+		// now is stale: debris of a crash between the floor publish and
+		// the unlink loop, or of a pre-Reset life. Drop it — the next GC
+		// republishes a fresh one — so a lingering stale pointer can
+		// never outlive the open that judged it stale.
+		if _, statErr := l.fs.Stat(l.gcFloorPath()); statErr == nil {
+			if err := l.fs.Remove(l.gcFloorPath()); err != nil {
+				return fmt.Errorf("wal: remove stale gc floor: %w", err)
+			}
+		}
+	}
 	// Sweep orphans a crash-interrupted GC left below the pointer. GC
 	// unlinks lowest-first, so survivors are contiguous up to first-1;
 	// probing downward finds them all and stops at the first gap.
@@ -417,6 +445,7 @@ func (l *Log) createSegment(seq uint32, baseLSN uint64) error {
 		l.syncs++
 		if l.lastLSN > l.durableLSN {
 			l.durableLSN = l.lastLSN
+			l.fcond.Broadcast() // wake tailing stream readers
 		}
 		l.fmu.Unlock()
 	}
@@ -856,13 +885,19 @@ func (l *Log) CompleteCheckpoint(beginLSN, floor uint64) (uint64, error) {
 	return lsn, nil
 }
 
-// GC unlinks segments that lie wholly below the redo floor: a segment
-// is dead once the NEXT segment's baseLSN shows every record in it has
-// LSN at or below the floor. The tail segment always survives. Before
-// any unlink the gcfloor pointer is durably renamed into place, naming
-// the new first segment, so a reopen after any crash inside GC finds
-// the run (openTail sweeps stragglers below the pointer). Returns the
-// number of segments removed.
+// GC unlinks segments that lie wholly below the redo floor AND below
+// every connected follower's retention pin: a segment is dead once the
+// NEXT segment's baseLSN shows every record in it has LSN at or below
+// the floor, and no follower still needs to stream it. The tail
+// segment always survives. A configurable retention cap (see
+// SetRetentionSegments) bounds how far pins may hold GC back: when the
+// checkpoint floor alone would allow staying within the cap, pins
+// retaining segments below the cap window are broken (their followers
+// must full-resync) and GC proceeds. Before any unlink the gcfloor
+// pointer is durably renamed into place, naming the new first segment,
+// so a reopen after any crash inside GC finds the run (openTail sweeps
+// stragglers below the pointer). Returns the number of segments
+// removed.
 func (l *Log) GC() (int, error) {
 	l.fmu.Lock()
 	if l.syncErr != nil {
@@ -879,18 +914,55 @@ func (l *Log) GC() (int, error) {
 	if floor == 0 || l.firstSeq >= l.seq {
 		return 0, nil
 	}
-	// keep = the highest segment whose baseLSN is at or below floor+1:
-	// the segment holding the first record recovery must see.
-	keep := l.firstSeq
-	for s := l.firstSeq + 1; s <= l.seq; s++ {
+	// One pass over the live segment headers; keepSeg answers "which
+	// segment holds the first record at or above lsn" from the cache.
+	bases := make(map[uint32]uint64, l.seq-l.firstSeq+1)
+	for s := l.firstSeq; s <= l.seq; s++ {
 		base, err := l.readSegBase(s)
 		if err != nil {
 			return 0, err
 		}
-		if base > floor+1 {
-			break
+		bases[s] = base
+	}
+	keepSeg := func(lsn uint64) uint32 {
+		keep := l.firstSeq
+		for s := l.firstSeq + 1; s <= l.seq; s++ {
+			if bases[s] > lsn {
+				break
+			}
+			keep = s
 		}
-		keep = s
+		return keep
+	}
+	// keepF = the highest segment whose baseLSN is at or below floor+1:
+	// the segment holding the first record recovery must see.
+	keepF := keepSeg(floor + 1)
+	pinMin := func() uint32 {
+		min := keepF
+		for _, p := range l.pins {
+			if p.broken {
+				continue
+			}
+			if s := keepSeg(p.lsn + 1); s < min {
+				min = s
+			}
+		}
+		return min
+	}
+	keep := pinMin()
+	if l.retainSegs > 0 && l.seq >= uint32(l.retainSegs) {
+		// The cap allows at most retainSegs live segments. Break pins
+		// only when the checkpoint floor itself fits inside the cap
+		// window — segments recovery needs are never sacrificed.
+		lowestAllowed := l.seq - uint32(l.retainSegs) + 1
+		if keepF >= lowestAllowed && keep < lowestAllowed {
+			for _, p := range l.pins {
+				if !p.broken && keepSeg(p.lsn+1) < lowestAllowed {
+					p.broken = true
+				}
+			}
+			keep = pinMin()
+		}
 	}
 	if keep == l.firstSeq {
 		return 0, nil
@@ -1033,6 +1105,7 @@ func (l *Log) Reset() error {
 	l.ckptBytes = 0
 	l.fmu.Lock()
 	l.durableLSN = l.nextLSN - 1
+	l.fcond.Broadcast() // wake tailing stream readers
 	l.fmu.Unlock()
 	return nil
 }
